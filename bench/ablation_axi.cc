@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: shared memory fabric (AXI) contention.
+ *
+ * Fig 10 shows DSP inference staying flat under CPU multi-tenancy —
+ * true when compute resources are disjoint and bandwidth is ample.
+ * With fabric contention enabled, heavy CPU memory traffic derates the
+ * DSP's effective bandwidth too, a second-order interaction the paper
+ * could not isolate on real silicon. This harness quantifies it.
+ */
+
+#include <iostream>
+
+#include "bench/multitenancy_common.h"
+
+namespace {
+
+using namespace aitax;
+
+core::TaxReport
+runFabric(bool contention, int bg_processes)
+{
+    auto platform = soc::makeSnapdragon845();
+    platform.fabric.contentionEnabled = contention;
+    soc::SocSystem sys(platform, 7);
+
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = tensor::DType::UInt8;
+    cfg.framework = app::FrameworkKind::TfliteHexagon;
+    cfg.mode = app::HarnessMode::AndroidApp;
+    app::Application application(sys, cfg);
+
+    std::vector<std::unique_ptr<app::BackgroundInferenceLoop>> loops;
+    for (int i = 0; i < bg_processes; ++i) {
+        app::BackgroundLoadConfig bg;
+        bg.model = models::findModel("mobilenet_v1");
+        bg.dtype = tensor::DType::UInt8;
+        bg.framework = app::FrameworkKind::TfliteCpu;
+        bg.processId = 100 + i;
+        loops.push_back(
+            std::make_unique<app::BackgroundInferenceLoop>(sys, bg));
+        loops.back()->start(sim::secToNs(120.0));
+    }
+
+    core::TaxReport report;
+    application.scheduleRuns(40, report, [&](sim::TimeNs) {
+        for (auto &loop : loops)
+            loop->stop();
+    });
+    sys.run();
+    return report;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::heading(
+        "Ablation: AXI fabric contention under CPU multi-tenancy "
+        "(DSP-resident inference, CPU background load)",
+        "Fig 10 modelling choice: private per-client bandwidth vs a "
+        "shared, contended fabric",
+        "the compute-bound DSP job is nearly insensitive to fabric "
+        "contention (its roofline is ops-limited), but the byte-heavy "
+        "CPU pre-processing derates visibly as clients multiply — "
+        "contention relocates the tax rather than scaling everything");
+
+    aitax::stats::Table table(
+        {"background CPU inferences", "pre-proc private (ms)",
+         "pre-proc contended (ms)", "inference private (ms)",
+         "inference contended (ms)", "E2E private (ms)",
+         "E2E contended (ms)"});
+    for (int n : {0, 2, 4, 8}) {
+        const auto off = runFabric(false, n);
+        const auto on = runFabric(true, n);
+        table.addRow(
+            {std::to_string(n),
+             bench::fmtMs(off.stageMeanMs(core::Stage::PreProcessing)),
+             bench::fmtMs(on.stageMeanMs(core::Stage::PreProcessing)),
+             bench::fmtMs(off.stageMeanMs(core::Stage::Inference)),
+             bench::fmtMs(on.stageMeanMs(core::Stage::Inference)),
+             bench::fmtMs(off.endToEndMeanMs()),
+             bench::fmtMs(on.endToEndMeanMs())});
+    }
+    table.render(std::cout);
+    std::printf("\nThe DSP job's ops-limited roofline shields it; the "
+                "pre-processing stage (byte-bound on the CPU) absorbs "
+                "the contention.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: on-demand vs streaming capture.
+ *
+ * The paper's example applications request a frame and wait for the
+ * sensor (Section II-A); production camera apps instead consume the
+ * newest frame from a continuously filled buffer. This harness
+ * quantifies how much of the data-capture tax that design choice
+ * removes — and shows that once capture is hidden, pre-processing is
+ * what remains of the AI tax.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace aitax;
+
+core::TaxReport
+runCapture(const char *model, tensor::DType dtype, bool streaming,
+           bool pre_on_dsp = false)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), 7);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel(model);
+    cfg.dtype = dtype;
+    cfg.framework = app::FrameworkKind::TfliteHexagon;
+    cfg.mode = app::HarnessMode::AndroidApp;
+    cfg.streamingCapture = streaming;
+    cfg.preprocessOnDsp = pre_on_dsp;
+    app::Application application(sys, cfg);
+    core::TaxReport report;
+    application.scheduleRuns(200, report);
+    sys.run();
+    return report;
+}
+
+void
+addRow(aitax::stats::Table &table, const char *name,
+       const core::TaxReport &r)
+{
+    table.addRow(
+        {name, bench::fmtMs(r.stageMeanMs(core::Stage::DataCapture)),
+         bench::fmtMs(r.stageMeanMs(core::Stage::PreProcessing)),
+         bench::fmtMs(r.stageMeanMs(core::Stage::Inference)),
+         bench::fmtMs(r.endToEndMeanMs()),
+         aitax::stats::Table::num(1000.0 / r.endToEndMeanMs(), 1),
+         aitax::stats::Table::pct(r.aiTaxFraction() * 100.0, 1)});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::heading(
+        "Ablation: on-demand vs streaming capture (MobileNet v1 int8, "
+        "inference on the DSP)",
+        "Section II-A data capture: 'capturing raw images faster than "
+        "what the application can handle can put strains on the "
+        "system' — and the flip side: request-and-wait capture wastes "
+        "a sensor period per frame",
+        "streaming capture removes nearly the whole capture wait; "
+        "combined with DSP pre-processing the AI tax collapses and the "
+        "effective frame rate approaches the sensor's 30 fps");
+
+    aitax::stats::Table table({"Capture strategy", "capture (ms)",
+                               "pre-proc (ms)", "inference (ms)",
+                               "E2E (ms)", "eff. fps", "AI tax share"});
+    addRow(table, "on-demand (paper's apps)",
+           runCapture("mobilenet_v1", tensor::DType::UInt8, false));
+    addRow(table, "streaming (depth-1 buffer)",
+           runCapture("mobilenet_v1", tensor::DType::UInt8, true));
+    addRow(table, "streaming + DSP pre-processing",
+           runCapture("mobilenet_v1", tensor::DType::UInt8, true, true));
+    table.render(std::cout);
+    std::printf("\nNote the last row: with pre-processing gone the "
+                "pipeline outruns the 30 fps sensor, so the capture "
+                "stage re-absorbs the wait for the next frame — the "
+                "app is now sensor-bound, which is where an optimized "
+                "pipeline should sit.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Each bench binary regenerates one table or figure from the paper:
+ * it runs the simulated experiment and prints the same rows/series the
+ * paper reports, plus the expected qualitative shape.
+ */
+
+#ifndef AITAX_BENCH_BENCH_COMMON_H
+#define AITAX_BENCH_BENCH_COMMON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "app/pipeline.h"
+#include "core/analyzer.h"
+#include "soc/chipsets.h"
+#include "stats/table.h"
+
+namespace aitax::bench {
+
+/** Runs per configuration; the paper performs 500 model invocations. */
+constexpr int kRuns = 500;
+
+/** One experiment configuration. */
+struct RunSpec
+{
+    std::string model = "mobilenet_v1";
+    tensor::DType dtype = tensor::DType::Float32;
+    app::FrameworkKind framework = app::FrameworkKind::TfliteCpu;
+    app::HarnessMode mode = app::HarnessMode::CliBenchmark;
+    int runs = kRuns;
+    int threads = 4;
+    std::uint64_t seed = 7;
+    bool instrumentation = false;
+    /** SoC preset; default is the paper's primary platform. */
+    std::string soc = "Snapdragon 845";
+};
+
+/** Execute one configuration on a fresh simulated SoC. */
+inline core::TaxReport
+runSpec(const RunSpec &spec)
+{
+    soc::SocSystem sys(soc::platformByName(spec.soc), spec.seed);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel(spec.model);
+    cfg.dtype = spec.dtype;
+    cfg.framework = spec.framework;
+    cfg.mode = spec.mode;
+    cfg.threads = spec.threads;
+    cfg.instrumentationEnabled = spec.instrumentation;
+    app::Application application(sys, cfg);
+    core::TaxReport report;
+    application.scheduleRuns(spec.runs, report);
+    sys.run();
+    return report;
+}
+
+/** Print a section heading with the paper reference. */
+inline void
+heading(const char *what, const char *paper_ref, const char *shape)
+{
+    std::printf("\n================================================="
+                "=============================\n");
+    std::printf("%s\n", what);
+    std::printf("Reproduces: %s\n", paper_ref);
+    std::printf("Expected shape: %s\n", shape);
+    std::printf("==================================================="
+                "===========================\n\n");
+}
+
+inline std::string
+fmtMs(double ms)
+{
+    return stats::Table::num(ms, 2);
+}
+
+} // namespace aitax::bench
+
+#endif // AITAX_BENCH_BENCH_COMMON_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Extension: energy per inference across backends.
+ *
+ * The paper motivates hardware offload with energy: "AI processing on
+ * general-purpose mobile processors is inefficient in terms of energy
+ * and power". The EnergyMeter extension quantifies that on the
+ * simulated SD845 — including the energy cost of the *whole* pipeline,
+ * where pre-processing energy is part of the AI tax too.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace aitax;
+
+struct EnergyOutcome
+{
+    double e2e_ms;
+    double mj_per_inference;
+    double big_mj;
+    double little_mj;
+    double gpu_mj;
+    double dsp_mj;
+};
+
+EnergyOutcome
+runEnergy(app::FrameworkKind fw, tensor::DType dtype, int runs)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), 7);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = dtype;
+    cfg.framework = fw;
+    cfg.mode = app::HarnessMode::AndroidApp;
+    cfg.suppressInterference = true; // meter only the pipeline
+    app::Application application(sys, cfg);
+    core::TaxReport report;
+    application.scheduleRuns(runs, report);
+    sys.run();
+    const auto &meter = sys.energy();
+    return {report.endToEndMeanMs(), meter.totalMj() / runs,
+            meter.domainMj(soc::PowerDomain::BigCpu) / runs,
+            meter.domainMj(soc::PowerDomain::LittleCpu) / runs,
+            meter.domainMj(soc::PowerDomain::Gpu) / runs,
+            meter.domainMj(soc::PowerDomain::Dsp) / runs};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::heading(
+        "Extension: energy per end-to-end inference (MobileNet v1, "
+        "camera app, interference suppressed)",
+        "Introduction motivation: general-purpose CPU AI is "
+        "energy-inefficient, hence the accelerator zoo",
+        "DSP << GPU << CPU in energy per inference; pre-processing "
+        "energy (on the CPU) becomes the dominant share once inference "
+        "is offloaded");
+
+    struct Row
+    {
+        const char *name;
+        aitax::app::FrameworkKind fw;
+        aitax::tensor::DType dtype;
+    };
+    const Row rows[] = {
+        {"CPU 4T fp32", aitax::app::FrameworkKind::TfliteCpu,
+         aitax::tensor::DType::Float32},
+        {"CPU 4T int8", aitax::app::FrameworkKind::TfliteCpu,
+         aitax::tensor::DType::UInt8},
+        {"GPU delegate fp32", aitax::app::FrameworkKind::TfliteGpu,
+         aitax::tensor::DType::Float32},
+        {"Hexagon delegate int8",
+         aitax::app::FrameworkKind::TfliteHexagon,
+         aitax::tensor::DType::UInt8},
+        {"SNPE DSP int8", aitax::app::FrameworkKind::SnpeDsp,
+         aitax::tensor::DType::UInt8},
+    };
+
+    aitax::stats::Table table({"Backend", "E2E (ms)",
+                               "energy (mJ/inference)", "big CPU",
+                               "little CPU", "GPU", "DSP"});
+    for (const auto &row : rows) {
+        const auto o = runEnergy(row.fw, row.dtype, 200);
+        table.addRow({row.name, bench::fmtMs(o.e2e_ms),
+                      aitax::stats::Table::num(o.mj_per_inference, 2),
+                      aitax::stats::Table::num(o.big_mj, 2),
+                      aitax::stats::Table::num(o.little_mj, 2),
+                      aitax::stats::Table::num(o.gpu_mj, 2),
+                      aitax::stats::Table::num(o.dsp_mj, 2)});
+    }
+    table.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the *real* pre-/post-processing
+ * kernel implementations. These measure host wall-clock (not simulated
+ * time): they document that the pipeline algorithms the simulator's
+ * cost models describe are genuinely implemented and exercised.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "imaging/convert.h"
+#include "imaging/crop.h"
+#include "imaging/letterbox.h"
+#include "imaging/normalize.h"
+#include "imaging/resize.h"
+#include "imaging/rotate.h"
+#include "imaging/yuv.h"
+#include "postproc/bbox.h"
+#include "postproc/mask.h"
+#include "postproc/multipose.h"
+#include "postproc/tokenizer.h"
+#include "postproc/topk.h"
+#include "sim/random.h"
+
+namespace {
+
+using namespace aitax;
+
+void
+BM_Nv21ToArgb(benchmark::State &state)
+{
+    const auto w = static_cast<std::int32_t>(state.range(0));
+    const auto h = static_cast<std::int32_t>(state.range(1));
+    const auto frame = imaging::makeTestFrameNv21(w, h, 1);
+    for (auto _ : state) {
+        auto rgb = imaging::nv21ToArgb(frame);
+        benchmark::DoNotOptimize(rgb.data());
+    }
+    state.SetItemsProcessed(state.iterations() * w * h);
+}
+BENCHMARK(BM_Nv21ToArgb)->Args({640, 480})->Args({1280, 720});
+
+void
+BM_ResizeBilinear(benchmark::State &state)
+{
+    const auto out = static_cast<std::int32_t>(state.range(0));
+    const auto src =
+        imaging::nv21ToArgb(imaging::makeTestFrameNv21(640, 480, 1));
+    for (auto _ : state) {
+        auto scaled = imaging::resizeBilinear(src, out, out);
+        benchmark::DoNotOptimize(scaled.data());
+    }
+    state.SetItemsProcessed(state.iterations() * out * out);
+}
+BENCHMARK(BM_ResizeBilinear)->Arg(224)->Arg(300)->Arg(513);
+
+void
+BM_CenterCrop(benchmark::State &state)
+{
+    const auto src =
+        imaging::nv21ToArgb(imaging::makeTestFrameNv21(640, 480, 1));
+    for (auto _ : state) {
+        auto cropped = imaging::centerCrop(src, 480, 480);
+        benchmark::DoNotOptimize(cropped.data());
+    }
+}
+BENCHMARK(BM_CenterCrop);
+
+void
+BM_Normalize(benchmark::State &state)
+{
+    const auto n = static_cast<std::int32_t>(state.range(0));
+    imaging::Image src(imaging::PixelFormat::Argb8888, n, n);
+    for (auto _ : state) {
+        auto norm =
+            imaging::normalizeToFloat(src, {127.5f, 127.5f});
+        benchmark::DoNotOptimize(norm.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Normalize)->Arg(224)->Arg(513);
+
+void
+BM_Rotate90(benchmark::State &state)
+{
+    const auto src =
+        imaging::nv21ToArgb(imaging::makeTestFrameNv21(640, 480, 1));
+    for (auto _ : state) {
+        auto rotated = imaging::rotate(src, imaging::Rotation::Deg90);
+        benchmark::DoNotOptimize(rotated.data());
+    }
+}
+BENCHMARK(BM_Rotate90);
+
+void
+BM_Letterbox(benchmark::State &state)
+{
+    const auto src =
+        imaging::nv21ToArgb(imaging::makeTestFrameNv21(640, 480, 1));
+    for (auto _ : state) {
+        auto boxed = imaging::letterbox(src, 300, 300, 128);
+        benchmark::DoNotOptimize(boxed.data());
+    }
+}
+BENCHMARK(BM_Letterbox);
+
+void
+BM_Grayscale(benchmark::State &state)
+{
+    const auto src =
+        imaging::nv21ToArgb(imaging::makeTestFrameNv21(640, 480, 1));
+    for (auto _ : state) {
+        auto gray = imaging::toGrayscale(src);
+        benchmark::DoNotOptimize(gray.data());
+    }
+}
+BENCHMARK(BM_Grayscale);
+
+void
+BM_MultiposeDecode(benchmark::State &state)
+{
+    using namespace postproc;
+    tensor::Tensor heat(tensor::Shape::nhwc(17, 24, kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor offs(tensor::Shape::nhwc(17, 24, 2 * kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor fwd(tensor::Shape::nhwc(17, 24, 32),
+                       tensor::DType::Float32);
+    tensor::Tensor bwd(tensor::Shape::nhwc(17, 24, 32),
+                       tensor::DType::Float32);
+    sim::RandomStream rng(5);
+    for (auto &v : heat.data<float>())
+        v = static_cast<float>(rng.nextDouble()) * 0.6f;
+    for (auto _ : state) {
+        auto poses =
+            decodeMultiplePoses(heat, offs, fwd, bwd, 16, 5, 0.5f,
+                                20.0f);
+        benchmark::DoNotOptimize(poses.data());
+    }
+}
+BENCHMARK(BM_MultiposeDecode);
+
+void
+BM_QuantizeInput(benchmark::State &state)
+{
+    imaging::Image src(imaging::PixelFormat::RgbF32, 224, 224);
+    const auto qp = tensor::chooseQuantParams(-1.0f, 1.0f);
+    for (auto _ : state) {
+        auto t = imaging::toQuantizedTensor(src, qp);
+        benchmark::DoNotOptimize(t.rawData());
+    }
+}
+BENCHMARK(BM_QuantizeInput);
+
+void
+BM_TopK(benchmark::State &state)
+{
+    sim::RandomStream rng(1);
+    std::vector<float> scores(1001);
+    for (auto &s : scores)
+        s = static_cast<float>(rng.nextDouble());
+    for (auto _ : state) {
+        auto top = postproc::topK(std::span<const float>(scores), 5);
+        benchmark::DoNotOptimize(top.data());
+    }
+}
+BENCHMARK(BM_TopK);
+
+void
+BM_MaskFlatten(benchmark::State &state)
+{
+    tensor::Tensor logits(tensor::Shape::nhwc(513, 513, 21),
+                          tensor::DType::Float32);
+    sim::RandomStream rng(2);
+    for (auto &v : logits.data<float>())
+        v = static_cast<float>(rng.nextDouble());
+    for (auto _ : state) {
+        auto mask = postproc::flattenMask(logits);
+        benchmark::DoNotOptimize(mask.labels.data());
+    }
+}
+BENCHMARK(BM_MaskFlatten);
+
+void
+BM_DetectionPostproc(benchmark::State &state)
+{
+    const auto anchors = postproc::makeAnchorGrid(13, 13, 6);
+    sim::RandomStream rng(3);
+    std::vector<float> deltas(anchors.size() * 4);
+    std::vector<float> scores(anchors.size() * 91);
+    for (auto &d : deltas)
+        d = static_cast<float>(rng.gaussian()) * 0.5f;
+    for (auto &s : scores)
+        s = static_cast<float>(rng.nextDouble()) * 0.6f;
+    for (auto _ : state) {
+        auto dets = postproc::decodeDetections(anchors, deltas, scores,
+                                               91, 0.5f);
+        auto kept = postproc::nonMaxSuppression(std::move(dets), 0.5f,
+                                                20);
+        benchmark::DoNotOptimize(kept.data());
+    }
+}
+BENCHMARK(BM_DetectionPostproc);
+
+void
+BM_Tokenize(benchmark::State &state)
+{
+    postproc::WordpieceTokenizer tok;
+    const std::string text =
+        "the phone camera works and the model runs fast on this new "
+        "smart deep net for many people using it every day";
+    for (auto _ : state) {
+        auto ids = tok.tokenize(text, 128);
+        benchmark::DoNotOptimize(ids.data());
+    }
+}
+BENCHMARK(BM_Tokenize);
+
+} // namespace
+
+BENCHMARK_MAIN();

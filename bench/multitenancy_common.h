@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared sweep logic for the Fig 9 / Fig 10 multi-tenancy harnesses.
+ */
+
+#ifndef AITAX_BENCH_MULTITENANCY_COMMON_H
+#define AITAX_BENCH_MULTITENANCY_COMMON_H
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "app/background_load.h"
+#include "bench/bench_common.h"
+
+namespace aitax::bench {
+
+/**
+ * Run the quantized MobileNet classification app (inference on the
+ * Hexagon DSP) with @p bg_processes background inference loops on
+ * @p bg_framework.
+ */
+inline core::TaxReport
+runWithBackgroundLoad(app::FrameworkKind bg_framework, int bg_processes,
+                      int runs, std::uint64_t seed = 7)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), seed);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = tensor::DType::UInt8;
+    cfg.framework = app::FrameworkKind::TfliteHexagon;
+    cfg.mode = app::HarnessMode::AndroidApp;
+    app::Application application(sys, cfg);
+
+    std::vector<std::unique_ptr<app::BackgroundInferenceLoop>> loops;
+    for (int i = 0; i < bg_processes; ++i) {
+        app::BackgroundLoadConfig bg;
+        bg.model = models::findModel("mobilenet_v1");
+        bg.dtype = tensor::DType::UInt8;
+        bg.framework = bg_framework;
+        bg.processId = 100 + i;
+        loops.push_back(
+            std::make_unique<app::BackgroundInferenceLoop>(sys, bg));
+        loops.back()->start(sim::secToNs(120.0));
+    }
+
+    core::TaxReport report;
+    application.scheduleRuns(runs, report, [&](sim::TimeNs) {
+        for (auto &loop : loops)
+            loop->stop();
+    });
+    sys.run();
+    return report;
+}
+
+/** Print the Fig 9/10-style breakdown sweep over background counts. */
+inline void
+multitenancySweep(app::FrameworkKind bg_framework, const char *title)
+{
+    std::printf("--- %s ---\n", title);
+    stats::Table table({"background inferences", "capture (ms)",
+                        "pre-proc (ms)", "inference (ms)", "post (ms)",
+                        "E2E (ms)"});
+    for (int n : {0, 1, 2, 4, 6, 8}) {
+        const auto r = runWithBackgroundLoad(bg_framework, n, 40);
+        table.addRow(
+            {std::to_string(n),
+             fmtMs(r.stageMeanMs(core::Stage::DataCapture)),
+             fmtMs(r.stageMeanMs(core::Stage::PreProcessing)),
+             fmtMs(r.stageMeanMs(core::Stage::Inference)),
+             fmtMs(r.stageMeanMs(core::Stage::PostProcessing)),
+             fmtMs(r.endToEndMeanMs())});
+    }
+    table.render(std::cout);
+    std::printf("\n");
+}
+
+} // namespace aitax::bench
+
+#endif // AITAX_BENCH_MULTITENANCY_COMMON_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Section III-D reproduction: the probe effect of driver
+ * instrumentation — 4-7% on hardware-accelerated inference, none on
+ * CPU paths.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace aitax;
+    using core::Stage;
+    bench::heading(
+        "Probe effect of driver instrumentation",
+        "Section III-D (Probe Effect)",
+        "instrumentation adds 4-7% to DSP/GPU-accelerated inference "
+        "and has no effect on CPU pre-processing or CPU inference");
+
+    struct Case
+    {
+        const char *name;
+        app::FrameworkKind fw;
+        tensor::DType dtype;
+    };
+    const Case cases[] = {
+        {"Hexagon delegate int8", app::FrameworkKind::TfliteHexagon,
+         tensor::DType::UInt8},
+        {"SNPE DSP int8", app::FrameworkKind::SnpeDsp,
+         tensor::DType::UInt8},
+        {"GPU delegate fp32", app::FrameworkKind::TfliteGpu,
+         tensor::DType::Float32},
+        {"CPU 4 threads fp32", app::FrameworkKind::TfliteCpu,
+         tensor::DType::Float32},
+        {"CPU 4 threads int8", app::FrameworkKind::TfliteCpu,
+         tensor::DType::UInt8},
+    };
+
+    stats::Table table({"Backend", "inference off (ms)",
+                        "inference on (ms)", "slowdown",
+                        "pre-proc off (ms)", "pre-proc on (ms)"});
+    for (const auto &c : cases) {
+        bench::RunSpec spec;
+        spec.model = "mobilenet_v1";
+        spec.dtype = c.dtype;
+        spec.framework = c.fw;
+        spec.mode = app::HarnessMode::AndroidApp;
+        spec.runs = 200;
+        spec.instrumentation = false;
+        const auto off = bench::runSpec(spec);
+        spec.instrumentation = true;
+        const auto on = bench::runSpec(spec);
+        table.addRow(
+            {c.name, bench::fmtMs(off.stageMeanMs(Stage::Inference)),
+             bench::fmtMs(on.stageMeanMs(Stage::Inference)),
+             [&] {
+                 const double pct =
+                     (on.stageMeanMs(Stage::Inference) /
+                          off.stageMeanMs(Stage::Inference) -
+                      1.0) *
+                     100.0;
+                 char buf[32];
+                 std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
+                 return std::string(buf);
+             }(),
+             bench::fmtMs(off.stageMeanMs(Stage::PreProcessing)),
+             bench::fmtMs(on.stageMeanMs(Stage::PreProcessing))});
+    }
+    table.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table I reproduction: the benchmark/model inventory with tasks,
+ * resolutions, pre-/post-processing steps and framework support, plus
+ * measured complexity (MACs/parameters) from the zoo graphs.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "models/zoo.h"
+
+int
+main()
+{
+    using namespace aitax;
+    bench::heading(
+        "Table I: benchmark inventory",
+        "Table I (comprehensive list of benchmarks)",
+        "11 models spanning 6 tasks; NNAPI-int8 support only for "
+        "MobileNet/EfficientNet/Inception/SSD; AlexNet CPU-only");
+
+    stats::Table table({"Task", "Model", "Resolution", "Pre-processing",
+                        "Post-processing", "NNAPI-fp32", "NNAPI-int8",
+                        "CPU-fp32", "CPU-int8", "GMACs", "MParams"});
+
+    for (const auto &m : models::allModels()) {
+        std::string res =
+            m.inputH > 0 ? std::to_string(m.inputH) + "x" +
+                               std::to_string(m.inputW)
+                         : "-";
+        std::string pre;
+        for (auto p : m.preTasks) {
+            if (!pre.empty())
+                pre += ", ";
+            pre += std::string(models::preTaskName(p));
+        }
+        std::string post;
+        for (auto p : m.postTasks) {
+            if (!post.empty())
+                post += ", ";
+            post += std::string(models::postTaskName(p));
+            if (p == models::PostTask::Dequantize)
+                post += "*";
+        }
+        const auto g = models::buildGraph(m, tensor::DType::Float32);
+        table.addRow({std::string(models::taskName(m.task)),
+                      m.displayName, res, pre, post,
+                      m.nnapiFp32 ? "Y" : "N", m.nnapiInt8 ? "Y" : "N",
+                      m.cpuFp32 ? "Y" : "N", m.cpuInt8 ? "Y" : "N",
+                      stats::Table::num(
+                          static_cast<double>(g.totalMacs()) / 1e9, 2),
+                      stats::Table::num(
+                          static_cast<double>(g.totalParams()) / 1e6,
+                          2)});
+    }
+    table.render(std::cout);
+    std::printf("\n(*) dequantization only performed with quantized "
+                "models.\n");
+    return 0;
+}

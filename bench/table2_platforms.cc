@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table II reproduction: the four Snapdragon platforms, plus a sanity
+ * sweep showing each generation's measured inference latency.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace aitax;
+    bench::heading(
+        "Table II: platforms",
+        "Table II (systems used to conduct the study)",
+        "SD835 -> SD865 with Adreno 540/630/640/650 and Hexagon "
+        "682/685/690/698; newer generations strictly faster");
+
+    stats::Table table({"System", "SoC", "Accelerators",
+                        "MobileNet-int8 SNPE-DSP (ms)",
+                        "MobileNet-fp32 CPU-4T (ms)"});
+
+    for (const auto &platform : soc::allPlatforms()) {
+        bench::RunSpec dsp_spec;
+        dsp_spec.model = "mobilenet_v1";
+        dsp_spec.dtype = tensor::DType::UInt8;
+        dsp_spec.framework = app::FrameworkKind::SnpeDsp;
+        dsp_spec.soc = platform.socName;
+        dsp_spec.runs = 100;
+        const auto dsp_report = bench::runSpec(dsp_spec);
+
+        bench::RunSpec cpu_spec = dsp_spec;
+        cpu_spec.dtype = tensor::DType::Float32;
+        cpu_spec.framework = app::FrameworkKind::TfliteCpu;
+        const auto cpu_report = bench::runSpec(cpu_spec);
+
+        table.addRow(
+            {platform.name, platform.socName,
+             platform.gpu.name + " GPU, " + platform.dsp.name + " DSP",
+             bench::fmtMs(
+                 dsp_report.stageMeanMs(core::Stage::Inference)),
+             bench::fmtMs(
+                 cpu_report.stageMeanMs(core::Stage::Inference))});
+    }
+    table.render(std::cout);
+    std::printf("\nThe paper reports results on the Google Pixel 3 "
+                "(SD845); trends are representative across the other "
+                "chipsets.\n");
+    return 0;
+}

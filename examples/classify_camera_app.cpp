@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Image-classification application scenario (the paper's running
+ * example): the same MobileNet model measured as a command-line
+ * benchmark, as a benchmark app, and inside a camera application —
+ * demonstrating why benchmark numbers mislead.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "app/pipeline.h"
+#include "core/analyzer.h"
+#include "soc/chipsets.h"
+
+namespace {
+
+using namespace aitax;
+
+core::TaxReport
+runMode(app::HarnessMode mode, tensor::DType dtype)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), 21);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = dtype;
+    cfg.framework = app::FrameworkKind::TfliteCpu;
+    cfg.mode = mode;
+    app::Application application(sys, cfg);
+    core::TaxReport report;
+    application.scheduleRuns(200, report);
+    sys.run();
+    return report;
+}
+
+} // namespace
+
+int
+main()
+{
+    using app::HarnessMode;
+    std::printf("== Camera classification app vs its benchmarks "
+                "(MobileNet v1) ==\n\n");
+
+    for (auto dtype : {aitax::tensor::DType::Float32,
+                       aitax::tensor::DType::UInt8}) {
+        const auto cli = runMode(HarnessMode::CliBenchmark, dtype);
+        const auto bench_app = runMode(HarnessMode::BenchmarkApp, dtype);
+        const auto app_mode = runMode(HarnessMode::AndroidApp, dtype);
+
+        std::printf("---- format: %s ----\n",
+                    std::string(aitax::tensor::dtypeName(dtype)).c_str());
+        cli.render(std::cout);
+        std::printf("\n");
+        bench_app.render(std::cout);
+        std::printf("\n");
+        app_mode.render(std::cout);
+        std::printf("\napp is %.0f%% slower end-to-end than the CLI "
+                    "benchmark; its AI tax share is %.0f%% vs %.0f%%.\n\n",
+                    aitax::core::harnessGapPct(cli, app_mode),
+                    app_mode.aiTaxFraction() * 100.0,
+                    cli.aiTaxFraction() * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Framework advisor: automates the paper's advice that developers must
+ * (1) take their models, (2) try each framework, (3) profile on the
+ * target SoC — and only then pick a deployment path.
+ *
+ * For each Table I model/format, profiles every applicable framework
+ * on a chosen platform and prints the winner with its margin.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "app/pipeline.h"
+#include "core/analyzer.h"
+#include "soc/chipsets.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace aitax;
+
+core::TaxReport
+profileOne(const models::ModelInfo &model, tensor::DType dtype,
+           app::FrameworkKind fw, const soc::SocConfig &platform)
+{
+    soc::SocSystem sys(platform, 17);
+    app::PipelineConfig cfg;
+    cfg.model = &model;
+    cfg.dtype = dtype;
+    cfg.framework = fw;
+    cfg.mode = app::HarnessMode::AndroidApp;
+    app::Application application(sys, cfg);
+    core::TaxReport report;
+    application.scheduleRuns(60, report);
+    sys.run();
+    return report;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *soc_name = argc > 1 ? argv[1] : "Snapdragon 845";
+    const auto platform = soc::platformByName(soc_name);
+    std::printf("== Framework advisor for %s (%s) ==\n\n",
+                platform.name.c_str(), platform.socName.c_str());
+
+    stats::Table table({"Model", "Format", "Best framework",
+                        "best E2E (ms)", "speedup vs worst"});
+
+    for (const auto &model : models::allModels()) {
+        for (auto dtype :
+             {tensor::DType::Float32, tensor::DType::UInt8}) {
+            if (!model.supports(false, dtype))
+                continue;
+
+            std::vector<std::pair<app::FrameworkKind, const char *>>
+                candidates = {{app::FrameworkKind::TfliteCpu,
+                               "tflite-cpu"}};
+            if (tensor::isFloat(dtype))
+                candidates.push_back(
+                    {app::FrameworkKind::TfliteGpu, "tflite-gpu"});
+            if (tensor::isQuantized(dtype)) {
+                candidates.push_back({app::FrameworkKind::TfliteHexagon,
+                                      "hexagon"});
+                candidates.push_back(
+                    {app::FrameworkKind::SnpeDsp, "snpe-dsp"});
+            }
+            if (model.supports(true, dtype))
+                candidates.push_back(
+                    {app::FrameworkKind::TfliteNnapi, "nnapi"});
+
+            std::vector<core::TaxReport> reports;
+            reports.reserve(candidates.size());
+            for (const auto &[fw, name] : candidates)
+                reports.push_back(
+                    profileOne(model, dtype, fw, platform));
+
+            std::vector<std::pair<std::string, const core::TaxReport *>>
+                named;
+            for (std::size_t i = 0; i < candidates.size(); ++i)
+                named.emplace_back(candidates[i].second, &reports[i]);
+            const auto choice = core::adviseFramework(named);
+
+            table.addRow({model.id,
+                          std::string(tensor::dtypeName(dtype)),
+                          choice.framework,
+                          stats::Table::num(choice.e2eMeanMs, 2),
+                          stats::Table::num(choice.speedupVsWorst, 2) +
+                              "x"});
+        }
+    }
+    table.render(std::cout);
+    std::printf("\nAhead of time it is unclear which framework best "
+                "supports a model; profile before you ship.\n");
+    return 0;
+}

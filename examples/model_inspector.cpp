@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Model inspector: dump any zoo model to the text graph format and
+ * print its hottest operators — where the MACs, parameters and
+ * activation traffic actually live. Useful when deciding what a
+ * delegate must support to capture most of a model's compute (the
+ * question behind the paper's partial-offload findings).
+ *
+ * Usage: model_inspector [model-id] [--dump]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "drivers/driver.h"
+#include "graph/serialize.h"
+#include "models/zoo.h"
+#include "stats/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aitax;
+
+    const char *model_id = argc > 1 ? argv[1] : "inception_v3";
+    const bool dump =
+        argc > 2 && std::strcmp(argv[2], "--dump") == 0;
+
+    const auto *info = models::findModel(model_id);
+    if (info == nullptr) {
+        std::fprintf(stderr, "unknown model '%s'\n", model_id);
+        return 2;
+    }
+    const auto g = models::buildGraph(*info, tensor::DType::Float32);
+
+    if (dump) {
+        std::fputs(graph::serializeGraph(g).c_str(), stdout);
+        return 0;
+    }
+
+    std::printf("%s (%s): %zu ops, %.2f GMACs, %.2f M params, "
+                "%.1f MB activations/inference\n\n",
+                info->displayName.c_str(),
+                std::string(models::taskName(info->task)).c_str(),
+                g.opCount(),
+                static_cast<double>(g.totalMacs()) / 1e9,
+                static_cast<double>(g.totalParams()) / 1e6,
+                static_cast<double>(g.activationBytes()) / 1e6);
+
+    // Rank ops by MACs.
+    std::vector<std::size_t> order(g.opCount());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return g.ops()[a].macs() > g.ops()[b].macs();
+              });
+
+    stats::Table table({"op", "kind", "output", "MMACs",
+                        "% of model", "KParams"});
+    const double total =
+        std::max<double>(static_cast<double>(g.totalMacs()), 1.0);
+    for (std::size_t r = 0; r < std::min<std::size_t>(12, order.size());
+         ++r) {
+        const auto &op = g.ops()[order[r]];
+        table.addRow(
+            {op.name, std::string(graph::opKindName(op.kind)),
+             op.output.toString(),
+             stats::Table::num(static_cast<double>(op.macs()) / 1e6, 1),
+             stats::Table::pct(
+                 static_cast<double>(op.macs()) / total * 100.0, 1),
+             stats::Table::num(
+                 static_cast<double>(op.paramCount()) / 1e3, 1)});
+    }
+    table.render(std::cout);
+
+    // Delegate coverage: how much of the compute each backend claims.
+    std::printf("\ndelegate MAC coverage (fp32/int8):\n");
+    struct Entry
+    {
+        const char *name;
+        const drivers::Driver *driver;
+    };
+    const Entry entries[] = {
+        {"tflite-gpu-delegate", &drivers::tfliteGpuDelegateDriver()},
+        {"nnapi-vendor-gpu", &drivers::nnapiVendorGpuDriver()},
+        {"tflite-hexagon-delegate",
+         &drivers::tfliteHexagonDelegateDriver()},
+        {"nnapi-vendor-dsp", &drivers::nnapiVendorDspDriver()},
+        {"snpe-dsp", &drivers::snpeDspDriver()},
+    };
+    for (const auto &e : entries) {
+        for (auto dtype :
+             {tensor::DType::Float32, tensor::DType::UInt8}) {
+            const auto gd = models::buildGraph(*info, dtype);
+            double covered = 0.0;
+            for (const auto &op : gd.ops())
+                if (e.driver->supportsOp(op, dtype))
+                    covered += static_cast<double>(op.macs());
+            std::printf("  %-26s %-5s %5.1f%%\n", e.name,
+                        std::string(tensor::dtypeName(dtype)).c_str(),
+                        covered /
+                            std::max<double>(
+                                static_cast<double>(gd.totalMacs()),
+                                1.0) *
+                            100.0);
+        }
+    }
+    return 0;
+}

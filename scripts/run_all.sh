@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerate every reproduced table/figure and the test evidence.
+# Usage: scripts/run_all.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in "$BUILD"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "##### $(basename "$b")" >> bench_output.txt
+    "$b" >> bench_output.txt 2>&1
+done
+echo "wrote test_output.txt and bench_output.txt"

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Background inference load for the multi-tenancy experiments
+ * (Fig 9/10): extra processes running back-to-back inferences on the
+ * DSP (contending for the single accelerator) or on the CPU
+ * (contending with capture/pre-processing).
+ */
+
+#ifndef AITAX_APP_BACKGROUND_LOAD_H
+#define AITAX_APP_BACKGROUND_LOAD_H
+
+#include <cstdint>
+#include <memory>
+
+#include "app/engine.h"
+#include "soc/system.h"
+
+namespace aitax::app {
+
+/** Configuration of one background inference process. */
+struct BackgroundLoadConfig
+{
+    const models::ModelInfo *model = nullptr;
+    tensor::DType dtype = tensor::DType::UInt8;
+    FrameworkKind framework = FrameworkKind::TfliteHexagon;
+    int threads = 4;
+    std::int32_t processId = 100;
+};
+
+/**
+ * Runs inferences back-to-back until stopped.
+ */
+class BackgroundInferenceLoop
+{
+  public:
+    BackgroundInferenceLoop(soc::SocSystem &sys,
+                            BackgroundLoadConfig cfg);
+
+    /** Begin looping; keeps going until stop() or @p horizon. */
+    void start(sim::TimeNs horizon);
+
+    /** Stop after the in-flight inference. */
+    void stop() { stopped = true; }
+
+    std::int64_t completedInferences() const { return completed; }
+
+  private:
+    soc::SocSystem &sys;
+    BackgroundLoadConfig cfg;
+    InferenceEngine engine;
+    bool stopped = false;
+    sim::TimeNs horizon_ = 0;
+    std::int64_t completed = 0;
+
+    void next();
+};
+
+} // namespace aitax::app
+
+#endif // AITAX_APP_BACKGROUND_LOAD_H

@@ -1,0 +1,79 @@
+#include "app/engine.h"
+
+#include <cassert>
+
+namespace aitax::app {
+
+using runtime::tflite::DelegateKind;
+using runtime::tflite::Interpreter;
+using runtime::tflite::InterpreterOptions;
+
+std::string_view
+frameworkName(FrameworkKind kind)
+{
+    switch (kind) {
+      case FrameworkKind::TfliteCpu: return "tflite-cpu";
+      case FrameworkKind::TfliteGpu: return "tflite-gpu";
+      case FrameworkKind::TfliteHexagon: return "tflite-hexagon";
+      case FrameworkKind::TfliteNnapi: return "nnapi";
+      case FrameworkKind::SnpeDsp: return "snpe-dsp";
+    }
+    return "unknown";
+}
+
+InferenceEngine::InferenceEngine(const models::ModelInfo &info,
+                                 tensor::DType dtype, FrameworkKind kind,
+                                 int threads)
+    : kind_(kind)
+{
+    auto g = models::buildGraph(info, dtype);
+    if (kind == FrameworkKind::SnpeDsp) {
+        snpe_ = std::make_unique<runtime::snpe::Network>(
+            std::move(g), dtype, runtime::snpe::RuntimeTarget::Dsp);
+        return;
+    }
+    InterpreterOptions opts;
+    opts.threads = threads;
+    switch (kind) {
+      case FrameworkKind::TfliteCpu:
+        opts.delegate = DelegateKind::None;
+        break;
+      case FrameworkKind::TfliteGpu:
+        opts.delegate = DelegateKind::Gpu;
+        break;
+      case FrameworkKind::TfliteHexagon:
+        opts.delegate = DelegateKind::Hexagon;
+        break;
+      case FrameworkKind::TfliteNnapi:
+        opts.delegate = DelegateKind::Nnapi;
+        break;
+      case FrameworkKind::SnpeDsp:
+        break; // handled above
+    }
+    tflite_ = std::make_unique<Interpreter>(std::move(g), dtype, opts);
+}
+
+const runtime::ExecutionPlan &
+InferenceEngine::plan() const
+{
+    return snpe_ ? snpe_->plan() : tflite_->plan();
+}
+
+sim::DurationNs
+InferenceEngine::initNs() const
+{
+    return snpe_ ? snpe_->initNs() : tflite_->modelInitNs();
+}
+
+void
+InferenceEngine::appendInvoke(soc::SocSystem &sys, soc::Task &task,
+                              runtime::ExecOptions opts) const
+{
+    if (snpe_) {
+        snpe_->appendInvoke(sys, task, std::move(opts));
+        return;
+    }
+    tflite_->appendInvoke(sys, task, std::move(opts));
+}
+
+} // namespace aitax::app

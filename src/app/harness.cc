@@ -1,0 +1,45 @@
+#include "app/harness.h"
+
+namespace aitax::app {
+
+std::string_view
+harnessModeName(HarnessMode m)
+{
+    switch (m) {
+      case HarnessMode::CliBenchmark: return "cli-benchmark";
+      case HarnessMode::BenchmarkApp: return "benchmark-app";
+      case HarnessMode::AndroidApp: return "android-app";
+    }
+    return "unknown";
+}
+
+HarnessProfile
+HarnessProfile::forMode(HarnessMode mode)
+{
+    HarnessProfile p;
+    switch (mode) {
+      case HarnessMode::CliBenchmark:
+        p.computeNoiseSigma = 0.008;
+        break;
+      case HarnessMode::BenchmarkApp:
+        p.computeNoiseSigma = 0.02;
+        p.interference = true;
+        // Only UI ticks; the benchmark app keeps the screen mostly
+        // static.
+        p.interferenceCfg.daemonRatePerSec = 5.0;
+        p.interferenceCfg.uiOps = 1.0e6;
+        break;
+      case HarnessMode::AndroidApp:
+        p.usesCamera = true;
+        p.fullPipeline = true;
+        p.interference = true;
+        p.computeNoiseSigma = 0.05;
+        p.managedRuntimeFactor = 9.0;
+        p.interferenceCfg.daemonRatePerSec = 30.0;
+        p.interferenceCfg.uiOps = 2.5e6;
+        break;
+    }
+    return p;
+}
+
+} // namespace aitax::app

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Harness modes: the three ways the paper runs each model —
+ * command-line benchmark, benchmark app with a UI, and a real Android
+ * application (Fig 3) — and the noise/interference profile of each.
+ */
+
+#ifndef AITAX_APP_HARNESS_H
+#define AITAX_APP_HARNESS_H
+
+#include <string_view>
+
+#include "soc/interference.h"
+
+namespace aitax::app {
+
+/** How the model is packaged and driven. */
+enum class HarnessMode
+{
+    CliBenchmark, ///< TFLite command-line benchmark utility
+    BenchmarkApp, ///< TFLite Android benchmark app (UI wrapper)
+    AndroidApp,   ///< real application (camera + full pipeline)
+};
+
+std::string_view harnessModeName(HarnessMode m);
+
+/** Derived behaviour parameters per mode. */
+struct HarnessProfile
+{
+    /** Real camera capture (vs random input generation). */
+    bool usesCamera = false;
+    /** Full pre/post-processing chain (vs negligible benchmark prep). */
+    bool fullPipeline = false;
+    /** Background system interference active. */
+    bool interference = false;
+    /** Log-normal sigma on compute work per run. */
+    double computeNoiseSigma = 0.0;
+    /**
+     * Slowdown of pre/post-processing code relative to optimized
+     * native kernels. Real apps run the TFLite Java support library
+     * through JNI; benchmarks run C++.
+     */
+    double managedRuntimeFactor = 1.0;
+    soc::InterferenceConfig interferenceCfg;
+
+    static HarnessProfile forMode(HarnessMode mode);
+};
+
+} // namespace aitax::app
+
+#endif // AITAX_APP_HARNESS_H

@@ -1,0 +1,341 @@
+#include "app/pipeline.h"
+
+#include <array>
+#include <cassert>
+
+#include "imaging/convert.h"
+#include "imaging/crop.h"
+#include "imaging/normalize.h"
+#include "imaging/resize.h"
+#include "imaging/rotate.h"
+#include "imaging/yuv.h"
+#include "postproc/bbox.h"
+#include "postproc/keypoints.h"
+#include "postproc/logits.h"
+#include "postproc/mask.h"
+#include "postproc/tokenizer.h"
+#include "postproc/topk.h"
+#include "runtime/execute.h"
+
+namespace aitax::app {
+
+using core::Stage;
+using core::StageLatencies;
+using models::PostTask;
+using models::PreTask;
+using soc::Task;
+using soc::WorkClass;
+
+namespace {
+
+/** Characters of text a voice/typing interaction hands Mobile BERT. */
+constexpr std::int64_t kBertInputChars = 256;
+
+} // namespace
+
+Application::Application(soc::SocSystem &sys, PipelineConfig cfg_in)
+    : sys(sys), cfg(std::move(cfg_in)),
+      prof(HarnessProfile::forMode(cfg.mode)),
+      engine_(*cfg.model, cfg.dtype, cfg.framework, cfg.threads),
+      camera_(cfg.camera), randomSource(cfg.stdlib),
+      rng(sys.rng().fork("app:" + cfg.model->id))
+{
+    assert(cfg.model != nullptr);
+    instr.enable(cfg.instrumentationEnabled);
+    streamPhaseNs = static_cast<sim::TimeNs>(rng.uniform(
+        0.0, static_cast<double>(camera_.framePeriodNs())));
+    if (prof.interference && !cfg.suppressInterference) {
+        interference = std::make_unique<soc::InterferenceGenerator>(
+            sys.simulator(), sys.scheduler(), prof.interferenceCfg,
+            rng.fork("interference"));
+    }
+}
+
+std::int64_t
+Application::inputElements() const
+{
+    if (cfg.model->task == models::Task::LanguageProcessing)
+        return cfg.model->seqLen;
+    return static_cast<std::int64_t>(cfg.model->inputH) *
+           cfg.model->inputW * cfg.model->inputChannels;
+}
+
+void
+Application::appendCapture(Task &task, double noise)
+{
+    if (prof.usesCamera) {
+        if (cfg.model->task == models::Task::LanguageProcessing) {
+            // Text arrival: IME/ASR hand-off delay.
+            task.sleep(sim::msToNs(2.0));
+            task.compute({5.0e5 * noise, 1.0e5}, WorkClass::Scalar);
+            return;
+        }
+        soc::SocSystem *system = &sys;
+        if (cfg.streamingCapture) {
+            // Depth-1 buffered stream: frames arrive every period at
+            // streamPhaseNs + k*period; the app consumes the newest
+            // one, waiting only if it outran the sensor.
+            Application *self = this;
+            task.block([system, self](Task &,
+                                      std::function<void()> resume) {
+                const auto period = self->camera_.framePeriodNs();
+                const sim::TimeNs now = system->simulator().now();
+                const std::int64_t latest =
+                    (now - self->streamPhaseNs) / period;
+                sim::DurationNs wait;
+                if (latest > self->lastConsumedFrame && latest >= 0) {
+                    // A fresh frame is already buffered.
+                    self->lastConsumedFrame = latest;
+                    wait = sim::usToNs(200.0); // dequeue latency
+                } else {
+                    // Outran the sensor: wait for the next arrival.
+                    const std::int64_t next =
+                        self->lastConsumedFrame + 1;
+                    self->lastConsumedFrame = next;
+                    wait = self->streamPhaseNs + next * period - now;
+                }
+                system->simulator().scheduleIn(wait, resume);
+            });
+            task.compute(camera_.frameGlueWork() * noise,
+                         WorkClass::Scalar);
+            return;
+        }
+        // On-demand capture: wait for the next preview frame (delivery
+        // is paced by the sensor), then copy it out of the HAL buffer.
+        const capture::CameraModel *cam = &camera_;
+        auto *stream = &rng;
+        task.block([system, cam, stream](Task &,
+                                         std::function<void()> resume) {
+            const sim::DurationNs wait = cam->waitForFrameNs(
+                system->simulator().now(), *stream);
+            system->simulator().scheduleIn(wait, resume);
+        });
+        task.compute(camera_.frameGlueWork() * noise, WorkClass::Scalar);
+        return;
+    }
+
+    // Benchmark modes: "capture" is random input generation.
+    tensor::DType gen_dtype = cfg.dtype;
+    if (cfg.model->task == models::Task::LanguageProcessing)
+        gen_dtype = tensor::DType::Int32;
+    task.compute(randomSource.generationWork(inputElements(), gen_dtype) *
+                     noise,
+                 WorkClass::Scalar);
+}
+
+void
+Application::appendPreProcessing(Task &task, double noise)
+{
+    if (!prof.fullPipeline) {
+        // Benchmarks generate inputs directly in the model's shape and
+        // type; only a trivial layout check remains.
+        task.compute(runtime::workForCpuNs(30.0e3) * noise,
+                     WorkClass::Scalar);
+        return;
+    }
+
+    const double factor = prof.managedRuntimeFactor * noise;
+    const std::int32_t mw = cfg.model->inputW;
+    const std::int32_t mh = cfg.model->inputH;
+    const std::int32_t cw = cfg.camera.width;
+    const std::int32_t ch = cfg.camera.height;
+
+    if (cfg.model->task == models::Task::LanguageProcessing) {
+        task.compute(postproc::WordpieceTokenizer::tokenizeCost(
+                         kBertInputChars) *
+                         factor,
+                     WorkClass::Scalar);
+        return;
+    }
+
+    // Bitmap formatting always precedes the Table I tasks in apps,
+    // and type conversion into the input tensor closes the stage.
+    std::vector<sim::Work> items;
+    items.push_back(imaging::nv21ToArgbCost(cw, ch));
+    for (PreTask pre : cfg.model->preTasks) {
+        switch (pre) {
+          case PreTask::BitmapFormat:
+            items.push_back(imaging::nv21ToArgbCost(cw, ch));
+            break;
+          case PreTask::Scale:
+            items.push_back(imaging::resizeBilinearCost(mw, mh));
+            break;
+          case PreTask::Crop:
+            items.push_back(imaging::centerCropCost(mw, mh));
+            break;
+          case PreTask::Normalize:
+            items.push_back(imaging::normalizeCost(mw, mh));
+            break;
+          case PreTask::Rotate:
+            // Rotation applies at capture resolution — the quadratic
+            // scaling trap the paper points out for PoseNet.
+            items.push_back(imaging::rotateCost(cw, ch));
+            break;
+          case PreTask::TypeConvert:
+            items.push_back(imaging::typeConvertCost(
+                mw, mh, tensor::isQuantized(cfg.dtype)));
+            break;
+          case PreTask::Tokenize:
+            items.push_back(postproc::WordpieceTokenizer::tokenizeCost(
+                kBertInputChars));
+            break;
+        }
+    }
+    items.push_back(imaging::typeConvertCost(
+        mw, mh, tensor::isQuantized(cfg.dtype)));
+
+    if (cfg.preprocessOnDsp) {
+        // FastCV-style vision offload: the whole chain runs as one
+        // fused DSP job; the CPU only pays the FastRPC round trip.
+        sim::Work total{};
+        for (const auto &w : items)
+            total += w;
+        soc::AccelJob job;
+        job.name = cfg.model->id + "_fastcv_pre";
+        // Vision kernels vectorize well on HVX but not perfectly.
+        job.ops = total.flops * noise / 0.8;
+        job.bytes = total.bytes;
+        job.format = tensor::DType::UInt8;
+        const std::int32_t pid = cfg.processId;
+        const double payload = camera_.frameBytes();
+        soc::SocSystem *system = &sys;
+        task.block([system, job = std::move(job), pid,
+                    payload](Task &,
+                             std::function<void()> resume) mutable {
+            job.onDone = [resume](sim::TimeNs) { resume(); };
+            system->fastrpc().call(pid, payload, std::move(job), {});
+        });
+        return;
+    }
+
+    for (const auto &w : items)
+        task.compute(w * factor, WorkClass::Scalar);
+}
+
+void
+Application::appendPostProcessing(Task &task, double noise)
+{
+    if (cfg.mode == HarnessMode::CliBenchmark) {
+        // The benchmark utility discards outputs.
+        return;
+    }
+    const double factor =
+        (cfg.mode == HarnessMode::AndroidApp ? prof.managedRuntimeFactor
+                                             : 1.0) *
+        noise;
+
+    for (PostTask post : cfg.model->postTasks) {
+        sim::Work work{};
+        switch (post) {
+          case PostTask::TopK:
+            work = postproc::topKCost(cfg.model->numClasses, cfg.topK);
+            break;
+          case PostTask::Dequantize:
+            // Table I: performed only with quantized models.
+            if (!tensor::isQuantized(cfg.dtype))
+                continue;
+            work = postproc::dequantizeCost(cfg.model->numClasses);
+            break;
+          case PostTask::MaskFlatten:
+            work = postproc::flattenMaskCost(cfg.model->inputH,
+                                             cfg.model->inputW, 21);
+            break;
+          case PostTask::Keypoints:
+            work = postproc::decodeKeypointsCost(
+                cfg.model->inputH / 16, cfg.model->inputW / 16, 17);
+            break;
+          case PostTask::BBoxDecode:
+            work = postproc::detectionPostprocCost(834, 91);
+            break;
+          case PostTask::Logits:
+            work = postproc::bestSpanCost(cfg.model->seqLen, 30);
+            break;
+        }
+        task.compute(work * factor, WorkClass::Scalar);
+    }
+}
+
+void
+Application::scheduleRuns(int n, core::TaxReport &report,
+                          std::function<void(sim::TimeNs)> on_done)
+{
+    assert(n > 0);
+    if (report.label().empty()) {
+        report.setLabel(cfg.model->id + "/" +
+                        std::string(tensor::dtypeName(cfg.dtype)) + "/" +
+                        std::string(frameworkName(cfg.framework)) + "/" +
+                        std::string(harnessModeName(cfg.mode)));
+    }
+
+    if (interference) {
+        // Generously sized horizon; leftover interference arrivals
+        // after the last frame only extend the (cheap) event loop.
+        const auto estimate = static_cast<sim::DurationNs>(n) *
+                                  sim::msToNs(400.0) +
+                              sim::secToNs(1.0);
+        interference->start(estimate);
+    }
+
+    auto done =
+        std::make_shared<std::function<void(sim::TimeNs)>>(
+            std::move(on_done));
+
+    // Model/framework initialization runs first, as CPU work.
+    auto init = std::make_shared<Task>(cfg.model->id + "_init");
+    init->compute(
+        runtime::workForCpuNs(static_cast<double>(engine_.initNs())),
+        WorkClass::Scalar);
+    init->setOnComplete([this, n, &report, done](sim::TimeNs) {
+        startFrame(0, n, &report, done);
+    });
+    sys.scheduler().submit(std::move(init));
+}
+
+void
+Application::startFrame(
+    int index, int total, core::TaxReport *report,
+    std::shared_ptr<std::function<void(sim::TimeNs)>> on_done)
+{
+    auto task = std::make_shared<Task>(cfg.model->id + "_pipeline");
+    auto times = std::make_shared<std::array<sim::TimeNs, 5>>();
+
+    const double noise =
+        rng.lognormalFactor(prof.computeNoiseSigma);
+
+    task->marker([times](sim::TimeNs t) { (*times)[0] = t; });
+    appendCapture(*task, noise);
+    task->marker([times](sim::TimeNs t) { (*times)[1] = t; });
+    appendPreProcessing(*task, noise);
+    task->marker([times](sim::TimeNs t) { (*times)[2] = t; });
+
+    runtime::ExecOptions exec;
+    exec.processId = cfg.processId;
+    exec.cpuThreads = cfg.threads;
+    exec.noiseSigma = prof.computeNoiseSigma;
+    exec.instrumentation = &instr;
+    exec.rpcLog = &rpcLog_;
+    exec.label = cfg.model->id + "_infer";
+    engine_.appendInvoke(sys, *task, exec);
+
+    task->marker([times](sim::TimeNs t) { (*times)[3] = t; });
+    appendPostProcessing(*task, noise);
+    task->marker([times](sim::TimeNs t) { (*times)[4] = t; });
+
+    task->setOnComplete([this, index, total, report, on_done,
+                         times](sim::TimeNs end) {
+        StageLatencies lat;
+        lat[Stage::DataCapture] = (*times)[1] - (*times)[0];
+        lat[Stage::PreProcessing] = (*times)[2] - (*times)[1];
+        lat[Stage::Inference] = (*times)[3] - (*times)[2];
+        lat[Stage::PostProcessing] = (*times)[4] - (*times)[3];
+        report->add(lat);
+        if (index + 1 < total) {
+            startFrame(index + 1, total, report, on_done);
+        } else if (*on_done) {
+            (*on_done)(end);
+        }
+    });
+    sys.scheduler().submit(std::move(task));
+}
+
+} // namespace aitax::app

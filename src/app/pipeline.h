@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The end-to-end ML application pipeline (Fig 2): data capture ->
+ * pre-processing -> framework/inference -> post-processing, packaged
+ * in any of the three harness modes, with per-stage latency
+ * accounting into a core::TaxReport.
+ */
+
+#ifndef AITAX_APP_PIPELINE_H
+#define AITAX_APP_PIPELINE_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "app/engine.h"
+#include "app/harness.h"
+#include "capture/camera.h"
+#include "capture/random_source.h"
+#include "core/tax_report.h"
+#include "drivers/instrumentation.h"
+#include "soc/system.h"
+
+namespace aitax::app {
+
+/** Full pipeline configuration. */
+struct PipelineConfig
+{
+    const models::ModelInfo *model = nullptr;
+    tensor::DType dtype = tensor::DType::Float32;
+    FrameworkKind framework = FrameworkKind::TfliteCpu;
+    HarnessMode mode = HarnessMode::AndroidApp;
+    int threads = 4;
+    std::int32_t processId = 1;
+    capture::CameraConfig camera;
+    capture::StdlibFlavor stdlib = capture::StdlibFlavor::Libcpp;
+    /** Enable the Section III-D driver instrumentation probe. */
+    bool instrumentationEnabled = false;
+    /**
+     * Offload image pre-processing to the DSP through a FastCV-like
+     * vendor vision framework instead of running it in the app's
+     * managed runtime — the optimization the paper's introduction
+     * suggests ("consider dropping an expensive tensor accelerator in
+     * favor of a cheaper DSP that can also do pre-processing").
+     * Only meaningful in AndroidApp mode with image models.
+     */
+    bool preprocessOnDsp = false;
+    /**
+     * Streaming capture: the camera delivers frames continuously into
+     * a depth-1 buffer and the app consumes the latest one, instead of
+     * requesting a frame and waiting a full sensor period. This is how
+     * production camera apps hide capture latency; with it on, the
+     * capture stage shrinks to dequeue + copy time whenever the
+     * pipeline runs slower than the sensor.
+     */
+    bool streamingCapture = false;
+    /** Disable the mode's background interference (for isolation). */
+    bool suppressInterference = false;
+    /** topK size for classification post-processing. */
+    std::int32_t topK = 5;
+};
+
+/**
+ * One application instance bound to a simulated SoC.
+ */
+class Application
+{
+  public:
+    Application(soc::SocSystem &sys, PipelineConfig cfg);
+
+    const PipelineConfig &config() const { return cfg; }
+    const HarnessProfile &profile() const { return prof; }
+    const InferenceEngine &engine() const { return engine_; }
+
+    /** Framework + model initialization latency (cold start). */
+    sim::DurationNs modelInitNs() const { return engine_.initNs(); }
+
+    /**
+     * Schedule model init followed by @p n pipeline runs.
+     *
+     * Stage latencies land in @p report as each run finishes; the
+     * caller drives the simulator (sys.run()).
+     */
+    void scheduleRuns(int n, core::TaxReport &report,
+                      std::function<void(sim::TimeNs)> on_done = {});
+
+    /** FastRPC breakdowns collected across runs (Fig 7/8 data). */
+    const std::vector<soc::FastRpcBreakdown> &rpcLog() const
+    {
+        return rpcLog_;
+    }
+
+  private:
+    soc::SocSystem &sys;
+    PipelineConfig cfg;
+    HarnessProfile prof;
+    InferenceEngine engine_;
+    drivers::Instrumentation instr;
+    capture::CameraModel camera_;
+    capture::RandomInputSource randomSource;
+    std::vector<soc::FastRpcBreakdown> rpcLog_;
+    std::unique_ptr<soc::InterferenceGenerator> interference;
+    sim::RandomStream rng;
+    /** Streaming-capture state: arrival phase and last consumed frame. */
+    sim::TimeNs streamPhaseNs = 0;
+    std::int64_t lastConsumedFrame = -1;
+
+    void startFrame(int index, int total, core::TaxReport *report,
+                    std::shared_ptr<std::function<void(sim::TimeNs)>>
+                        on_done);
+    void appendCapture(soc::Task &task, double noise);
+    void appendPreProcessing(soc::Task &task, double noise);
+    void appendPostProcessing(soc::Task &task, double noise);
+    std::int64_t inputElements() const;
+};
+
+} // namespace aitax::app
+
+#endif // AITAX_APP_PIPELINE_H

@@ -1,0 +1,62 @@
+#include "capture/camera.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "imaging/yuv.h"
+
+namespace aitax::capture {
+
+CameraModel::CameraModel(CameraConfig cfg)
+    : cfg(cfg)
+{
+    assert(cfg.fps > 0.0);
+    assert(cfg.width > 0 && cfg.height > 0);
+}
+
+sim::DurationNs
+CameraModel::framePeriodNs() const
+{
+    return static_cast<sim::DurationNs>(1e9 / cfg.fps);
+}
+
+double
+CameraModel::frameBytes() const
+{
+    return static_cast<double>(imaging::imageByteSize(
+        imaging::PixelFormat::YuvNv21, cfg.width, cfg.height));
+}
+
+sim::DurationNs
+CameraModel::waitForFrameNs(sim::TimeNs now,
+                            sim::RandomStream &rng) const
+{
+    const sim::DurationNs period = framePeriodNs();
+    sim::DurationNs to_tick;
+    if (cfg.phaseLocked) {
+        const sim::DurationNs phase = now % period;
+        to_tick = period - phase;
+    } else {
+        to_tick = static_cast<sim::DurationNs>(
+            rng.uniform(1.0, static_cast<double>(period)));
+    }
+    const auto jitter = static_cast<sim::DurationNs>(
+        rng.exponential(static_cast<double>(cfg.jitterMeanNs)));
+    return to_tick + jitter;
+}
+
+sim::Work
+CameraModel::frameGlueWork() const
+{
+    const double bytes = frameBytes();
+    // Copy out of the HAL buffer plus callback/JNI glue.
+    return {bytes * cfg.glueOpsPerByte, bytes * 2.0};
+}
+
+imaging::Image
+CameraModel::captureFrame(std::uint32_t frame_index) const
+{
+    return imaging::makeTestFrameNv21(cfg.width, cfg.height, frame_index);
+}
+
+} // namespace aitax::capture

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Camera sensor model: paced frame delivery plus the supporting-code
+ * cost of getting a frame into the application ("the supporting code
+ * around data capture contributed a large share of overall
+ * application latency", Section II-A).
+ */
+
+#ifndef AITAX_CAPTURE_CAMERA_H
+#define AITAX_CAPTURE_CAMERA_H
+
+#include <cstdint>
+
+#include "imaging/image.h"
+#include "sim/random.h"
+#include "sim/time.h"
+#include "sim/work.h"
+
+namespace aitax::capture {
+
+/** Camera configuration. */
+struct CameraConfig
+{
+    std::int32_t width = 640;
+    std::int32_t height = 480;
+    double fps = 30.0;
+    /** Delivery jitter (interrupt handling, HAL queueing). */
+    sim::DurationNs jitterMeanNs = sim::usToNs(400.0);
+    /**
+     * When true, frames arrive on exact period boundaries and the
+     * wait is the remainder of the current period (an app whose loop
+     * is synchronized to the sensor). When false (default), the app
+     * loop and the sensor free-run relative to each other and the
+     * wait is uniform over a period.
+     */
+    bool phaseLocked = false;
+    /** CPU ops per frame byte for buffer copy + callback glue. */
+    double glueOpsPerByte = 1.8;
+};
+
+/**
+ * A preview-stream camera.
+ */
+class CameraModel
+{
+  public:
+    explicit CameraModel(CameraConfig cfg);
+
+    const CameraConfig &config() const { return cfg; }
+
+    sim::DurationNs framePeriodNs() const;
+
+    /** Frame bytes in the NV21 delivery format. */
+    double frameBytes() const;
+
+    /**
+     * Wait until the next frame is delivered, given current time:
+     * remainder of the frame period plus exponential jitter.
+     */
+    sim::DurationNs waitForFrameNs(sim::TimeNs now,
+                                   sim::RandomStream &rng) const;
+
+    /** CPU work to copy the frame buffer and run app callbacks. */
+    sim::Work frameGlueWork() const;
+
+    /** Synthesize the frame an application would receive. */
+    imaging::Image captureFrame(std::uint32_t frame_index) const;
+
+  private:
+    CameraConfig cfg;
+};
+
+} // namespace aitax::capture
+
+#endif // AITAX_CAPTURE_CAMERA_H

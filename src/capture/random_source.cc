@@ -1,0 +1,60 @@
+#include "capture/random_source.h"
+
+namespace aitax::capture {
+
+std::string_view
+stdlibFlavorName(StdlibFlavor f)
+{
+    switch (f) {
+      case StdlibFlavor::Libcpp: return "libc++";
+      case StdlibFlavor::Libstdcxx: return "libstdc++";
+    }
+    return "unknown";
+}
+
+RandomInputSource::RandomInputSource(StdlibFlavor flavor)
+    : flavor_(flavor)
+{
+}
+
+sim::Work
+RandomInputSource::generationWork(std::int64_t elements,
+                                  tensor::DType dtype) const
+{
+    const double n = static_cast<double>(elements);
+    const bool integral = tensor::isQuantized(dtype);
+    // Ops per element for uniform_real/uniform_int distributions.
+    double ops_per_elem;
+    if (flavor_ == StdlibFlavor::Libcpp)
+        ops_per_elem = integral ? 60.0 : 8.0;
+    else
+        ops_per_elem = integral ? 10.0 : 45.0;
+    return {n * ops_per_elem,
+            n * static_cast<double>(tensor::dtypeSize(dtype))};
+}
+
+void
+RandomInputSource::fill(tensor::Tensor &t, sim::RandomStream &rng) const
+{
+    switch (t.dtype()) {
+      case tensor::DType::Float32:
+        for (auto &x : t.data<float>())
+            x = static_cast<float>(rng.uniform(-1.0, 1.0));
+        break;
+      case tensor::DType::UInt8:
+      case tensor::DType::Int8:
+        for (auto &x : t.data<std::uint8_t>())
+            x = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        break;
+      case tensor::DType::Int32:
+        for (auto &x : t.data<std::int32_t>())
+            x = static_cast<std::int32_t>(rng.uniformInt(0, 30521));
+        break;
+      default:
+        for (auto &x : t.data<std::uint8_t>())
+            x = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        break;
+    }
+}
+
+} // namespace aitax::capture

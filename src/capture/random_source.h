@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Random input generation — how the TFLite command-line benchmark
+ * "captures data".
+ *
+ * The paper flags a subtle trap here (Section IV-A): the cost of
+ * generating random inputs depends on the C++ standard library. The
+ * libc++ the benchmark was built against generates real numbers
+ * significantly faster than integers; libstdc++ shows the exact
+ * opposite. We model both flavors.
+ */
+
+#ifndef AITAX_CAPTURE_RANDOM_SOURCE_H
+#define AITAX_CAPTURE_RANDOM_SOURCE_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/random.h"
+#include "sim/work.h"
+#include "tensor/tensor.h"
+
+namespace aitax::capture {
+
+/** Which C++ standard library the benchmark binary links. */
+enum class StdlibFlavor
+{
+    Libcpp,    ///< LLVM libc++: fast reals, slow integers
+    Libstdcxx, ///< GNU libstdc++: fast integers, slow reals
+};
+
+std::string_view stdlibFlavorName(StdlibFlavor f);
+
+/**
+ * Random tensor source for benchmark harnesses.
+ */
+class RandomInputSource
+{
+  public:
+    explicit RandomInputSource(StdlibFlavor flavor = StdlibFlavor::Libcpp);
+
+    StdlibFlavor flavor() const { return flavor_; }
+
+    /** Modelled cost of generating @p elements of @p dtype. */
+    sim::Work generationWork(std::int64_t elements,
+                             tensor::DType dtype) const;
+
+    /** Actually fill a tensor with pseudorandom data. */
+    void fill(tensor::Tensor &t, sim::RandomStream &rng) const;
+
+  private:
+    StdlibFlavor flavor_;
+};
+
+} // namespace aitax::capture
+
+#endif // AITAX_CAPTURE_RANDOM_SOURCE_H

@@ -1,0 +1,52 @@
+#include "core/analyzer.h"
+
+#include <cassert>
+
+namespace aitax::core {
+
+FrameworkChoice
+adviseFramework(
+    const std::vector<std::pair<std::string, const TaxReport *>>
+        &candidates)
+{
+    assert(!candidates.empty());
+    FrameworkChoice best;
+    double worst = 0.0;
+    for (const auto &[name, report] : candidates) {
+        const double e2e = report->endToEndMeanMs();
+        worst = std::max(worst, e2e);
+        if (best.framework.empty() || e2e < best.e2eMeanMs) {
+            best.framework = name;
+            best.e2eMeanMs = e2e;
+        }
+    }
+    best.speedupVsWorst =
+        best.e2eMeanMs > 0.0 ? worst / best.e2eMeanMs : 1.0;
+    return best;
+}
+
+std::vector<double>
+offloadShareSeries(const std::vector<soc::FastRpcBreakdown> &calls)
+{
+    std::vector<double> out;
+    out.reserve(calls.size());
+    double overhead = 0.0;
+    double total = 0.0;
+    for (const auto &c : calls) {
+        overhead += static_cast<double>(c.overheadNs());
+        total += static_cast<double>(c.totalNs());
+        out.push_back(total > 0.0 ? overhead / total : 0.0);
+    }
+    return out;
+}
+
+double
+harnessGapPct(const TaxReport &benchmark, const TaxReport &application)
+{
+    const double bench = benchmark.endToEndMeanMs();
+    if (bench <= 0.0)
+        return 0.0;
+    return (application.endToEndMeanMs() - bench) / bench * 100.0;
+}
+
+} // namespace aitax::core

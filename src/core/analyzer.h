@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cross-report analyses: framework advice, offload amortization and
+ * benchmark-vs-application gaps — the quantitative arguments of
+ * Section IV.
+ */
+
+#ifndef AITAX_CORE_ANALYZER_H
+#define AITAX_CORE_ANALYZER_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/tax_report.h"
+#include "soc/fastrpc.h"
+
+namespace aitax::core {
+
+/** Result of comparing frameworks for one model. */
+struct FrameworkChoice
+{
+    std::string framework;
+    double e2eMeanMs = 0.0;
+    /** Speedup over the worst candidate. */
+    double speedupVsWorst = 1.0;
+};
+
+/**
+ * Pick the framework with the lowest mean end-to-end latency.
+ * This encodes the paper's advice that developers must profile their
+ * models per framework per SoC before deployment.
+ */
+FrameworkChoice adviseFramework(
+    const std::vector<std::pair<std::string, const TaxReport *>>
+        &candidates);
+
+/**
+ * Cumulative offload-overhead share after each consecutive call:
+ * entry k = total overhead / total time over calls 0..k (Fig 8).
+ */
+std::vector<double> offloadShareSeries(
+    const std::vector<soc::FastRpcBreakdown> &calls);
+
+/**
+ * Relative end-to-end gap of the application versus the benchmark,
+ * in percent (positive = application is slower).
+ */
+double harnessGapPct(const TaxReport &benchmark,
+                     const TaxReport &application);
+
+} // namespace aitax::core
+
+#endif // AITAX_CORE_ANALYZER_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The ML pipeline stages of Section II — the axes along which AI tax
+ * is accounted.
+ */
+
+#ifndef AITAX_CORE_STAGE_H
+#define AITAX_CORE_STAGE_H
+
+#include <array>
+#include <string_view>
+
+namespace aitax::core {
+
+/** Pipeline stages, in execution order. */
+enum class Stage
+{
+    DataCapture,
+    PreProcessing,
+    Inference,
+    PostProcessing,
+};
+
+constexpr std::array<Stage, 4> kAllStages = {
+    Stage::DataCapture,
+    Stage::PreProcessing,
+    Stage::Inference,
+    Stage::PostProcessing,
+};
+
+constexpr std::string_view
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::DataCapture: return "data-capture";
+      case Stage::PreProcessing: return "pre-processing";
+      case Stage::Inference: return "inference";
+      case Stage::PostProcessing: return "post-processing";
+    }
+    return "unknown";
+}
+
+/** AI tax membership: every stage except model inference. */
+constexpr bool
+isTaxStage(Stage s)
+{
+    return s != Stage::Inference;
+}
+
+} // namespace aitax::core
+
+#endif // AITAX_CORE_STAGE_H

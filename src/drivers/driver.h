@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Vendor driver capability model.
+ *
+ * A Driver answers, per operator and numeric format: can this backend
+ * run it, and at what efficiency relative to the device's peak rate?
+ * The paper's framework findings (Section IV-B) all reduce to
+ * differences between these tables — e.g. NNAPI's vendor DSP driver
+ * lagging on the INT8 operator variants EfficientNet-Lite0 uses, or
+ * vendor SNPE kernels outperforming the open-source delegates.
+ */
+
+#ifndef AITAX_DRIVERS_DRIVER_H
+#define AITAX_DRIVERS_DRIVER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/op.h"
+#include "sim/time.h"
+#include "tensor/dtype.h"
+
+namespace aitax::drivers {
+
+/** Execution resource a driver targets. */
+enum class Target
+{
+    CpuThreads, ///< TFLite-style optimized CPU kernels
+    CpuSingleThreadReference, ///< slow reference path (NNAPI fallback)
+    Gpu,
+    Dsp,
+};
+
+/**
+ * Abstract driver: capability + efficiency table for one backend.
+ */
+class Driver
+{
+  public:
+    virtual ~Driver() = default;
+
+    virtual std::string name() const = 0;
+    virtual Target target() const = 0;
+
+    /** True if the backend executes off the CPU. */
+    bool
+    isAccelerated() const
+    {
+        return target() == Target::Gpu || target() == Target::Dsp;
+    }
+
+    /** Can this driver run the op at the given format? */
+    virtual bool supportsOp(const graph::Op &op,
+                            tensor::DType dtype) const = 0;
+
+    /**
+     * Throughput efficiency in (0, 1] relative to the device's
+     * effective peak rate; only meaningful when supportsOp is true.
+     */
+    virtual double efficiency(const graph::Op &op,
+                              tensor::DType dtype) const = 0;
+
+    /** Fixed per-operator scheduling/dispatch overhead. */
+    virtual sim::DurationNs perOpOverheadNs() const { return 0; }
+
+    /** True if every op of @p ops is supported. */
+    bool supportsAll(const std::vector<graph::Op> &ops,
+                     tensor::DType dtype) const;
+};
+
+// --- Concrete drivers (stateless singletons) --------------------------
+
+/** TFLite optimized CPU kernels (ruy/XNNPACK class). */
+const Driver &tfliteCpuDriver();
+
+/** Open-source TFLite GPU delegate (OpenCL path). */
+const Driver &tfliteGpuDelegateDriver();
+
+/** Open-source TFLite Hexagon delegate (quantized only). */
+const Driver &tfliteHexagonDelegateDriver();
+
+/** Vendor NNAPI DSP driver: lagging INT8 operator coverage. */
+const Driver &nnapiVendorDspDriver();
+
+/** Vendor NNAPI GPU driver: no rectangular-kernel convolutions. */
+const Driver &nnapiVendorGpuDriver();
+
+/** NNAPI CPU reference fallback: single-threaded, slow kernels. */
+const Driver &nnapiCpuReferenceDriver();
+
+/** Qualcomm SNPE DSP runtime: full coverage, tuned kernels. */
+const Driver &snpeDspDriver();
+
+} // namespace aitax::drivers
+
+#endif // AITAX_DRIVERS_DRIVER_H

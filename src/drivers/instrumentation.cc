@@ -1,0 +1,13 @@
+#include "drivers/instrumentation.h"
+
+namespace aitax::drivers {
+
+double
+Instrumentation::acceleratedSlowdown(sim::RandomStream &rng) const
+{
+    if (!enabled_)
+        return 1.0;
+    return rng.uniform(1.04, 1.07);
+}
+
+} // namespace aitax::drivers

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Driver instrumentation (probe-effect) model.
+ *
+ * Section III-D: enabling driver instrumentation adds 4-7% to
+ * hardware-accelerated inference time and has no effect on CPU
+ * pre-processing or CPU inference. Experiments can switch this on to
+ * reveal driver code paths, at that modelled cost.
+ */
+
+#ifndef AITAX_DRIVERS_INSTRUMENTATION_H
+#define AITAX_DRIVERS_INSTRUMENTATION_H
+
+#include "sim/random.h"
+
+namespace aitax::drivers {
+
+/** Instrumentation state shared by an experiment. */
+class Instrumentation
+{
+  public:
+    void enable(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Multiplier applied to accelerated (GPU/DSP) job durations.
+     * Draws uniformly in [1.04, 1.07] when enabled; exactly 1.0
+     * otherwise.
+     */
+    double acceleratedSlowdown(sim::RandomStream &rng) const;
+
+    /** Multiplier for CPU work: always 1.0 (no measurable effect). */
+    double cpuSlowdown() const { return 1.0; }
+
+  private:
+    bool enabled_ = false;
+};
+
+} // namespace aitax::drivers
+
+#endif // AITAX_DRIVERS_INSTRUMENTATION_H

@@ -1,0 +1,336 @@
+#include "graph/builder.h"
+
+#include <cassert>
+
+namespace aitax::graph {
+
+using tensor::Shape;
+
+GraphBuilder::GraphBuilder(std::string name, Shape input,
+                           tensor::DType dtype)
+    : g(std::move(name), input, dtype), cur(std::move(input))
+{
+}
+
+Graph
+GraphBuilder::build()
+{
+    return std::move(g);
+}
+
+std::string
+GraphBuilder::autoName(OpKind k, const std::string &given)
+{
+    if (!given.empty())
+        return given;
+    return std::string(opKindName(k)) + "_" +
+           std::to_string(autoNameCounter++);
+}
+
+std::int64_t
+GraphBuilder::convOut(std::int64_t in, std::int32_t kernel,
+                      std::int32_t stride, bool same)
+{
+    if (same)
+        return (in + stride - 1) / stride;
+    return (in - kernel) / stride + 1;
+}
+
+GraphBuilder &
+GraphBuilder::pushSimple(OpKind k, Shape out, const std::string &name)
+{
+    Op op;
+    op.kind = k;
+    op.name = autoName(k, name);
+    op.inputs = {cur};
+    op.output = std::move(out);
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::conv2d(std::int64_t out_channels, std::int32_t kernel,
+                     std::int32_t stride, bool same_padding,
+                     const std::string &name)
+{
+    assert(cur.rank() == 4);
+    Op op;
+    op.kind = OpKind::Conv2D;
+    op.name = autoName(op.kind, name);
+    op.inputs = {cur};
+    op.conv = {kernel, kernel, stride, stride, same_padding, 1};
+    op.output = Shape{cur.batch(),
+                      convOut(cur.height(), kernel, stride, same_padding),
+                      convOut(cur.width(), kernel, stride, same_padding),
+                      out_channels};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::conv2dRect(std::int64_t out_channels, std::int32_t kernel_h,
+                         std::int32_t kernel_w, std::int32_t stride,
+                         bool same_padding, const std::string &name)
+{
+    assert(cur.rank() == 4);
+    Op op;
+    op.kind = OpKind::Conv2D;
+    op.name = autoName(op.kind, name);
+    op.inputs = {cur};
+    op.conv = {kernel_h, kernel_w, stride, stride, same_padding, 1};
+    op.output =
+        Shape{cur.batch(),
+              convOut(cur.height(), kernel_h, stride, same_padding),
+              convOut(cur.width(), kernel_w, stride, same_padding),
+              out_channels};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::dwconv2d(std::int32_t kernel, std::int32_t stride,
+                       bool same_padding, const std::string &name)
+{
+    assert(cur.rank() == 4);
+    Op op;
+    op.kind = OpKind::DepthwiseConv2D;
+    op.name = autoName(op.kind, name);
+    op.inputs = {cur};
+    op.conv = {kernel, kernel, stride, stride, same_padding, 1};
+    op.output = Shape{cur.batch(),
+                      convOut(cur.height(), kernel, stride, same_padding),
+                      convOut(cur.width(), kernel, stride, same_padding),
+                      cur.channels()};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::transposeConv2d(std::int64_t out_channels,
+                              std::int32_t kernel, std::int32_t stride,
+                              const std::string &name)
+{
+    assert(cur.rank() == 4);
+    Op op;
+    op.kind = OpKind::TransposeConv2D;
+    op.name = autoName(op.kind, name);
+    op.inputs = {cur};
+    op.conv = {kernel, kernel, stride, stride, true, 1};
+    op.output = Shape{cur.batch(), cur.height() * stride,
+                      cur.width() * stride, out_channels};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::maxPool(std::int32_t kernel, std::int32_t stride,
+                      bool same_padding, const std::string &name)
+{
+    assert(cur.rank() == 4);
+    Op op;
+    op.kind = OpKind::MaxPool2D;
+    op.name = autoName(op.kind, name);
+    op.inputs = {cur};
+    op.conv = {kernel, kernel, stride, stride, same_padding, 1};
+    op.output = Shape{cur.batch(),
+                      convOut(cur.height(), kernel, stride, same_padding),
+                      convOut(cur.width(), kernel, stride, same_padding),
+                      cur.channels()};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::avgPool(std::int32_t kernel, std::int32_t stride,
+                      bool same_padding, const std::string &name)
+{
+    assert(cur.rank() == 4);
+    Op op;
+    op.kind = OpKind::AvgPool2D;
+    op.name = autoName(op.kind, name);
+    op.inputs = {cur};
+    op.conv = {kernel, kernel, stride, stride, same_padding, 1};
+    op.output = Shape{cur.batch(),
+                      convOut(cur.height(), kernel, stride, same_padding),
+                      convOut(cur.width(), kernel, stride, same_padding),
+                      cur.channels()};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::globalAvgPool(const std::string &name)
+{
+    assert(cur.rank() == 4);
+    Op op;
+    op.kind = OpKind::AvgPool2D;
+    op.name = autoName(op.kind, name);
+    op.inputs = {cur};
+    op.conv = {static_cast<std::int32_t>(cur.height()),
+               static_cast<std::int32_t>(cur.width()), 1, 1, false, 1};
+    op.output = Shape{cur.batch(), 1, 1, cur.channels()};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::fullyConnected(std::int64_t out_features,
+                             const std::string &name)
+{
+    Op op;
+    op.kind = OpKind::FullyConnected;
+    op.name = autoName(op.kind, name);
+    op.inputs = {cur};
+    op.output = Shape{1, out_features};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::matmul(std::int64_t batch, std::int64_t m, std::int64_t k,
+                     std::int64_t n, bool rhs_is_weight,
+                     const std::string &name)
+{
+    Op op;
+    op.kind = OpKind::MatMul;
+    op.name = autoName(op.kind, name);
+    op.inputs = {Shape{batch, m, k}};
+    op.matmul = {batch, m, k, n, rhs_is_weight};
+    op.output = Shape{batch, m, n};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::embedding(std::int64_t vocab, std::int64_t width,
+                        std::int64_t seq_len, const std::string &name)
+{
+    Op op;
+    op.kind = OpKind::EmbeddingLookup;
+    op.name = autoName(op.kind, name);
+    // inputs[0]: token ids, inputs[1]: the table (for paramCount).
+    op.inputs = {Shape{1, seq_len}, Shape{vocab, width}};
+    op.output = Shape{1, seq_len, width};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::layerNorm(const std::string &name)
+{
+    return pushSimple(OpKind::LayerNorm, cur, name);
+}
+
+GraphBuilder &
+GraphBuilder::relu(const std::string &name)
+{
+    return pushSimple(OpKind::Relu, cur, name);
+}
+
+GraphBuilder &
+GraphBuilder::relu6(const std::string &name)
+{
+    return pushSimple(OpKind::Relu6, cur, name);
+}
+
+GraphBuilder &
+GraphBuilder::gelu(const std::string &name)
+{
+    return pushSimple(OpKind::Gelu, cur, name);
+}
+
+GraphBuilder &
+GraphBuilder::logistic(const std::string &name)
+{
+    return pushSimple(OpKind::Logistic, cur, name);
+}
+
+GraphBuilder &
+GraphBuilder::tanh(const std::string &name)
+{
+    return pushSimple(OpKind::Tanh, cur, name);
+}
+
+GraphBuilder &
+GraphBuilder::softmax(const std::string &name)
+{
+    return pushSimple(OpKind::Softmax, cur, name);
+}
+
+GraphBuilder &
+GraphBuilder::residualAdd(const std::string &name)
+{
+    Op op;
+    op.kind = OpKind::Add;
+    op.name = autoName(op.kind, name);
+    op.inputs = {cur, cur};
+    op.output = cur;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::concatChannels(std::int64_t extra_channels,
+                             const std::string &name)
+{
+    assert(cur.rank() == 4);
+    Op op;
+    op.kind = OpKind::Concat;
+    op.name = autoName(op.kind, name);
+    Shape other{cur.batch(), cur.height(), cur.width(), extra_channels};
+    op.inputs = {cur, other};
+    op.output = Shape{cur.batch(), cur.height(), cur.width(),
+                      cur.channels() + extra_channels};
+    cur = op.output;
+    g.addOp(std::move(op));
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::reshape(Shape new_shape, const std::string &name)
+{
+    assert(new_shape.elementCount() == cur.elementCount());
+    return pushSimple(OpKind::Reshape, std::move(new_shape), name);
+}
+
+GraphBuilder &
+GraphBuilder::resizeBilinear(std::int64_t out_h, std::int64_t out_w,
+                             const std::string &name)
+{
+    assert(cur.rank() == 4);
+    Shape out{cur.batch(), out_h, out_w, cur.channels()};
+    return pushSimple(OpKind::ResizeBilinear, std::move(out), name);
+}
+
+GraphBuilder &
+GraphBuilder::mean(const std::string &name)
+{
+    assert(cur.rank() == 4);
+    Shape out{cur.batch(), cur.channels()};
+    return pushSimple(OpKind::Mean, std::move(out), name);
+}
+
+GraphBuilder &
+GraphBuilder::dequantize(const std::string &name)
+{
+    return pushSimple(OpKind::Dequantize, cur, name);
+}
+
+GraphBuilder &
+GraphBuilder::quantize(const std::string &name)
+{
+    return pushSimple(OpKind::Quantize, cur, name);
+}
+
+} // namespace aitax::graph

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fluent builder for model graphs.
+ *
+ * Tracks the "current" tensor shape the way a sequential model
+ * definition does, computing convolution/pool output shapes from
+ * attributes so zoo definitions stay close to the papers'
+ * layer tables.
+ */
+
+#ifndef AITAX_GRAPH_BUILDER_H
+#define AITAX_GRAPH_BUILDER_H
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace aitax::graph {
+
+/**
+ * Sequential graph builder with branch bookkeeping helpers.
+ */
+class GraphBuilder
+{
+  public:
+    GraphBuilder(std::string name, tensor::Shape input,
+                 tensor::DType dtype);
+
+    /** Finish and return the graph (moves it out). */
+    Graph build();
+
+    /** Shape flowing out of the most recent op. */
+    const tensor::Shape &current() const { return cur; }
+
+    /** Override the current shape (for branch joins). */
+    void setCurrent(tensor::Shape s) { cur = std::move(s); }
+
+    // --- Convolutional ops -------------------------------------------
+
+    /** Standard convolution; fuses an implicit bias. */
+    GraphBuilder &conv2d(std::int64_t out_channels, std::int32_t kernel,
+                         std::int32_t stride, bool same_padding = true,
+                         const std::string &name = "");
+
+    /** Convolution with a rectangular kernel (e.g. Inception's 1x7). */
+    GraphBuilder &conv2dRect(std::int64_t out_channels,
+                             std::int32_t kernel_h, std::int32_t kernel_w,
+                             std::int32_t stride, bool same_padding = true,
+                             const std::string &name = "");
+
+    /** Depthwise convolution. */
+    GraphBuilder &dwconv2d(std::int32_t kernel, std::int32_t stride,
+                           bool same_padding = true,
+                           const std::string &name = "");
+
+    /** Transposed ("deconv") convolution that upsamples by stride. */
+    GraphBuilder &transposeConv2d(std::int64_t out_channels,
+                                  std::int32_t kernel, std::int32_t stride,
+                                  const std::string &name = "");
+
+    GraphBuilder &maxPool(std::int32_t kernel, std::int32_t stride,
+                          bool same_padding = false,
+                          const std::string &name = "");
+    GraphBuilder &avgPool(std::int32_t kernel, std::int32_t stride,
+                          bool same_padding = false,
+                          const std::string &name = "");
+
+    /** Global average pool: collapses HxW to 1x1. */
+    GraphBuilder &globalAvgPool(const std::string &name = "");
+
+    // --- Dense / sequence ops ----------------------------------------
+
+    GraphBuilder &fullyConnected(std::int64_t out_features,
+                                 const std::string &name = "");
+    GraphBuilder &matmul(std::int64_t batch, std::int64_t m,
+                         std::int64_t k, std::int64_t n,
+                         bool rhs_is_weight = true,
+                         const std::string &name = "");
+    GraphBuilder &embedding(std::int64_t vocab, std::int64_t width,
+                            std::int64_t seq_len,
+                            const std::string &name = "");
+    GraphBuilder &layerNorm(const std::string &name = "");
+
+    // --- Activations & elementwise -----------------------------------
+
+    GraphBuilder &relu(const std::string &name = "");
+    GraphBuilder &relu6(const std::string &name = "");
+    GraphBuilder &gelu(const std::string &name = "");
+    GraphBuilder &logistic(const std::string &name = "");
+    GraphBuilder &tanh(const std::string &name = "");
+    GraphBuilder &softmax(const std::string &name = "");
+
+    /** Residual add with a same-shaped second input. */
+    GraphBuilder &residualAdd(const std::string &name = "");
+
+    /** Concat: widens channels by @p extra_channels. */
+    GraphBuilder &concatChannels(std::int64_t extra_channels,
+                                 const std::string &name = "");
+
+    // --- Structure ----------------------------------------------------
+
+    GraphBuilder &reshape(tensor::Shape new_shape,
+                          const std::string &name = "");
+    GraphBuilder &resizeBilinear(std::int64_t out_h, std::int64_t out_w,
+                                 const std::string &name = "");
+    GraphBuilder &mean(const std::string &name = "");
+    GraphBuilder &dequantize(const std::string &name = "");
+    GraphBuilder &quantize(const std::string &name = "");
+
+  private:
+    Graph g;
+    tensor::Shape cur;
+    std::int64_t autoNameCounter = 0;
+
+    std::string autoName(OpKind k, const std::string &given);
+    GraphBuilder &pushSimple(OpKind k, tensor::Shape out,
+                             const std::string &name);
+    static std::int64_t convOut(std::int64_t in, std::int32_t kernel,
+                                std::int32_t stride, bool same);
+};
+
+} // namespace aitax::graph
+
+#endif // AITAX_GRAPH_BUILDER_H

@@ -1,0 +1,98 @@
+#include "graph/graph.h"
+
+#include <cassert>
+
+namespace aitax::graph {
+
+Graph::Graph(std::string name, tensor::Shape input_shape,
+             tensor::DType dtype)
+    : name_(std::move(name)), inputShape_(std::move(input_shape)),
+      dtype_(dtype)
+{
+}
+
+const tensor::Shape &
+Graph::outputShape() const
+{
+    assert(!ops_.empty());
+    return ops_.back().output;
+}
+
+void
+Graph::addOp(Op op)
+{
+    ops_.push_back(std::move(op));
+}
+
+std::int64_t
+Graph::totalMacs() const
+{
+    std::int64_t n = 0;
+    for (const auto &op : ops_)
+        n += op.macs();
+    return n;
+}
+
+std::int64_t
+Graph::totalFlops() const
+{
+    std::int64_t n = 0;
+    for (const auto &op : ops_)
+        n += op.flops();
+    return n;
+}
+
+std::int64_t
+Graph::totalParams() const
+{
+    std::int64_t n = 0;
+    for (const auto &op : ops_)
+        n += op.paramCount();
+    return n;
+}
+
+std::int64_t
+Graph::paramBytes() const
+{
+    return totalParams() *
+           static_cast<std::int64_t>(tensor::dtypeSize(dtype_));
+}
+
+std::int64_t
+Graph::activationBytes() const
+{
+    std::int64_t n = 0;
+    const auto elem = tensor::dtypeSize(dtype_);
+    for (const auto &op : ops_)
+        n += op.activationBytes(elem);
+    return n;
+}
+
+std::string
+Graph::validate() const
+{
+    if (name_.empty())
+        return "graph has no name";
+    if (ops_.empty())
+        return "graph has no ops";
+    if (inputShape_.rank() == 0)
+        return "graph has no input shape";
+    for (const auto &op : ops_) {
+        if (op.output.rank() == 0 && op.kind != OpKind::Reshape)
+            return "op '" + op.name + "' has no output shape";
+        if (op.kind == OpKind::Conv2D ||
+            op.kind == OpKind::DepthwiseConv2D) {
+            if (op.conv.kernelH <= 0 || op.conv.kernelW <= 0)
+                return "op '" + op.name + "' has a non-positive kernel";
+            if (op.conv.strideH <= 0 || op.conv.strideW <= 0)
+                return "op '" + op.name + "' has a non-positive stride";
+            if (op.inputs.empty() || op.inputs[0].rank() != 4)
+                return "op '" + op.name + "' needs a rank-4 input";
+        }
+        if (isMacHeavy(op.kind) && op.macs() <= 0)
+            return "op '" + op.name + "' computes zero MACs";
+    }
+    return "";
+}
+
+} // namespace aitax::graph

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Linearized neural-network graph IR.
+ *
+ * Graphs in the zoo are stored as a topologically ordered op list.
+ * Branching architectures (Inception, NasNet) are encoded by building
+ * each branch's ops in sequence and joining with Concat/Add ops whose
+ * input shapes record the branch outputs; for the cost model (MACs,
+ * parameter and activation bytes per op), this is exact.
+ */
+
+#ifndef AITAX_GRAPH_GRAPH_H
+#define AITAX_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/op.h"
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace aitax::graph {
+
+/**
+ * A complete model graph with resolved shapes.
+ */
+class Graph
+{
+  public:
+    Graph() = default;
+    Graph(std::string name, tensor::Shape input_shape, tensor::DType dtype);
+
+    const std::string &name() const { return name_; }
+    const tensor::Shape &inputShape() const { return inputShape_; }
+    const tensor::Shape &outputShape() const;
+    tensor::DType dtype() const { return dtype_; }
+    void setDtype(tensor::DType t) { dtype_ = t; }
+
+    void addOp(Op op);
+
+    const std::vector<Op> &ops() const { return ops_; }
+    std::size_t opCount() const { return ops_.size(); }
+
+    /** Sum of per-op MAC counts. */
+    std::int64_t totalMacs() const;
+
+    /** Sum of per-op non-MAC flops. */
+    std::int64_t totalFlops() const;
+
+    /** Total learned parameter count. */
+    std::int64_t totalParams() const;
+
+    /** Parameter bytes at the graph's element width. */
+    std::int64_t paramBytes() const;
+
+    /** Activation traffic bytes at the graph's element width. */
+    std::int64_t activationBytes() const;
+
+    /**
+     * Validate the op chain: non-empty, every op has an output, conv
+     * attrs are sane.
+     * @return empty string if valid, else a diagnostic.
+     */
+    std::string validate() const;
+
+  private:
+    std::string name_;
+    tensor::Shape inputShape_;
+    tensor::DType dtype_ = tensor::DType::Float32;
+    std::vector<Op> ops_;
+};
+
+} // namespace aitax::graph
+
+#endif // AITAX_GRAPH_GRAPH_H

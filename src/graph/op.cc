@@ -1,0 +1,179 @@
+#include "graph/op.h"
+
+#include <cassert>
+
+namespace aitax::graph {
+
+std::string_view
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Conv2D: return "Conv2D";
+      case OpKind::DepthwiseConv2D: return "DepthwiseConv2D";
+      case OpKind::FullyConnected: return "FullyConnected";
+      case OpKind::MaxPool2D: return "MaxPool2D";
+      case OpKind::AvgPool2D: return "AvgPool2D";
+      case OpKind::Relu: return "Relu";
+      case OpKind::Relu6: return "Relu6";
+      case OpKind::Softmax: return "Softmax";
+      case OpKind::Logistic: return "Logistic";
+      case OpKind::Add: return "Add";
+      case OpKind::Mul: return "Mul";
+      case OpKind::Concat: return "Concat";
+      case OpKind::Reshape: return "Reshape";
+      case OpKind::Pad: return "Pad";
+      case OpKind::Mean: return "Mean";
+      case OpKind::ResizeBilinear: return "ResizeBilinear";
+      case OpKind::TransposeConv2D: return "TransposeConv2D";
+      case OpKind::Dequantize: return "Dequantize";
+      case OpKind::Quantize: return "Quantize";
+      case OpKind::MatMul: return "MatMul";
+      case OpKind::LayerNorm: return "LayerNorm";
+      case OpKind::Gelu: return "Gelu";
+      case OpKind::EmbeddingLookup: return "EmbeddingLookup";
+      case OpKind::Tanh: return "Tanh";
+    }
+    return "unknown";
+}
+
+bool
+isMacHeavy(OpKind k)
+{
+    switch (k) {
+      case OpKind::Conv2D:
+      case OpKind::DepthwiseConv2D:
+      case OpKind::FullyConnected:
+      case OpKind::TransposeConv2D:
+      case OpKind::MatMul:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::int64_t
+Op::inputElements() const
+{
+    std::int64_t n = 0;
+    for (const auto &s : inputs)
+        n += s.elementCount();
+    return n;
+}
+
+std::int64_t
+Op::macs() const
+{
+    switch (kind) {
+      case OpKind::Conv2D: {
+        assert(!inputs.empty() && inputs[0].rank() == 4);
+        const std::int64_t in_c = inputs[0].channels();
+        return output.elementCount() * conv.kernelH * conv.kernelW * in_c;
+      }
+      case OpKind::DepthwiseConv2D: {
+        // Each output element is a kernelH x kernelW dot product over
+        // a single input channel.
+        return output.elementCount() * conv.kernelH * conv.kernelW;
+      }
+      case OpKind::TransposeConv2D: {
+        assert(!inputs.empty() && inputs[0].rank() == 4);
+        // Work is proportional to the *input* spatial extent.
+        const std::int64_t out_c = output.channels();
+        return inputs[0].elementCount() * conv.kernelH * conv.kernelW *
+               out_c / inputs[0].channels();
+      }
+      case OpKind::FullyConnected: {
+        assert(!inputs.empty());
+        return inputs[0].elementCount() * output.elementCount();
+      }
+      case OpKind::MatMul:
+        return matmul.batch * matmul.m * matmul.k * matmul.n;
+      default:
+        return 0;
+    }
+}
+
+std::int64_t
+Op::flops() const
+{
+    const std::int64_t out = output.elementCount();
+    switch (kind) {
+      case OpKind::MaxPool2D:
+      case OpKind::AvgPool2D:
+        return out * conv.kernelH * conv.kernelW;
+      case OpKind::Relu:
+      case OpKind::Relu6:
+        return out;
+      case OpKind::Softmax:
+        return out * 5; // exp + sum + div, amortized
+      case OpKind::Logistic:
+      case OpKind::Tanh:
+      case OpKind::Gelu:
+        return out * 8; // transcendental approximations
+      case OpKind::Add:
+      case OpKind::Mul:
+        return out;
+      case OpKind::Mean:
+        return inputElements();
+      case OpKind::ResizeBilinear:
+        return out * 7; // 4 taps, 3 lerps per element
+      case OpKind::LayerNorm:
+        return inputElements() * 4; // mean, var, scale, shift
+      case OpKind::Dequantize:
+      case OpKind::Quantize:
+        return out * 2;
+      case OpKind::Concat:
+      case OpKind::Reshape:
+      case OpKind::Pad:
+      case OpKind::EmbeddingLookup:
+        return 0; // pure data movement; captured by activationBytes()
+      default:
+        // MAC-heavy ops: bias add + activation epilogue.
+        return isMacHeavy(kind) ? out : out;
+    }
+}
+
+std::int64_t
+Op::paramCount() const
+{
+    switch (kind) {
+      case OpKind::Conv2D: {
+        assert(!inputs.empty() && inputs[0].rank() == 4);
+        const std::int64_t in_c = inputs[0].channels();
+        const std::int64_t out_c = output.channels();
+        return conv.kernelH * conv.kernelW * in_c * out_c + out_c;
+      }
+      case OpKind::DepthwiseConv2D: {
+        const std::int64_t out_c = output.channels();
+        return conv.kernelH * conv.kernelW * out_c + out_c;
+      }
+      case OpKind::TransposeConv2D: {
+        assert(!inputs.empty() && inputs[0].rank() == 4);
+        const std::int64_t in_c = inputs[0].channels();
+        const std::int64_t out_c = output.channels();
+        return conv.kernelH * conv.kernelW * in_c * out_c + out_c;
+      }
+      case OpKind::FullyConnected: {
+        assert(!inputs.empty());
+        return inputs[0].elementCount() * output.elementCount() +
+               output.elementCount();
+      }
+      case OpKind::MatMul:
+        return matmul.rhsIsWeight ? matmul.k * matmul.n : 0;
+      case OpKind::LayerNorm:
+        return output.rank() > 0 ? 2 * output.dim(output.rank() - 1) : 0;
+      case OpKind::EmbeddingLookup:
+        // Table size = vocab x width; vocab is carried in inputs[1].
+        return inputs.size() > 1 ? inputs[1].elementCount() : 0;
+      default:
+        return 0;
+    }
+}
+
+std::int64_t
+Op::activationBytes(std::size_t elem_size) const
+{
+    return static_cast<std::int64_t>(elem_size) *
+           (inputElements() + output.elementCount());
+}
+
+} // namespace aitax::graph

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Operator definitions for the neural-network graph IR.
+ *
+ * Each operator carries enough attribute detail to compute an exact
+ * multiply-accumulate (MAC) count, parameter byte count and activation
+ * byte traffic — the quantities that drive the simulated device cost
+ * model in src/drivers.
+ */
+
+#ifndef AITAX_GRAPH_OP_H
+#define AITAX_GRAPH_OP_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace aitax::graph {
+
+/** Kinds of operators our model zoo requires. */
+enum class OpKind
+{
+    Conv2D,
+    DepthwiseConv2D,
+    FullyConnected,
+    MaxPool2D,
+    AvgPool2D,
+    Relu,
+    Relu6,
+    Softmax,
+    Logistic,
+    Add,
+    Mul,
+    Concat,
+    Reshape,
+    Pad,
+    Mean,
+    ResizeBilinear,
+    TransposeConv2D,
+    Dequantize,
+    Quantize,
+    MatMul,
+    LayerNorm,
+    Gelu,
+    EmbeddingLookup,
+    Tanh,
+};
+
+/** Human-readable operator name. */
+std::string_view opKindName(OpKind k);
+
+/** True for operators dominated by MAC work (conv/fc/matmul). */
+bool isMacHeavy(OpKind k);
+
+/** Convolution-style attributes (also used by pooling). */
+struct ConvAttrs
+{
+    std::int32_t kernelH = 1;
+    std::int32_t kernelW = 1;
+    std::int32_t strideH = 1;
+    std::int32_t strideW = 1;
+    /** "SAME" padding when true, "VALID" otherwise. */
+    bool samePadding = true;
+    /** Depth multiplier (depthwise conv only). */
+    std::int32_t depthMultiplier = 1;
+};
+
+/** Matrix-multiply attributes: output = [batch, m, n], inner dim k. */
+struct MatMulAttrs
+{
+    std::int64_t batch = 1;
+    std::int64_t m = 1;
+    std::int64_t k = 1;
+    std::int64_t n = 1;
+    /** Whether the right operand is a learned weight (adds params). */
+    bool rhsIsWeight = true;
+};
+
+/**
+ * One operator instance in a graph.
+ *
+ * Shapes are fully resolved at construction time by the GraphBuilder,
+ * so cost queries are pure arithmetic.
+ */
+struct Op
+{
+    OpKind kind = OpKind::Relu;
+    std::string name;
+    std::vector<tensor::Shape> inputs;
+    tensor::Shape output;
+    ConvAttrs conv;
+    MatMulAttrs matmul;
+
+    /** Multiply-accumulate count for this op. */
+    std::int64_t macs() const;
+
+    /**
+     * Non-MAC arithmetic operation count (activations, normalization,
+     * elementwise work). MAC-heavy ops report only their epilogue here.
+     */
+    std::int64_t flops() const;
+
+    /** Learned parameter count. */
+    std::int64_t paramCount() const;
+
+    /** Bytes of activations read + written, given an element size. */
+    std::int64_t activationBytes(std::size_t elem_size) const;
+
+    /** Total input element count across all inputs. */
+    std::int64_t inputElements() const;
+};
+
+} // namespace aitax::graph
+
+#endif // AITAX_GRAPH_OP_H

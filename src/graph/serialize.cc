@@ -1,0 +1,303 @@
+#include "graph/serialize.h"
+
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace aitax::graph {
+
+namespace {
+
+const std::map<std::string, OpKind> &
+kindByName()
+{
+    static const std::map<std::string, OpKind> m = [] {
+        std::map<std::string, OpKind> out;
+        for (int i = 0; i <= static_cast<int>(OpKind::Tanh); ++i) {
+            const auto kind = static_cast<OpKind>(i);
+            out[std::string(opKindName(kind))] = kind;
+        }
+        return out;
+    }();
+    return m;
+}
+
+std::string
+shapeToken(const tensor::Shape &s)
+{
+    if (s.rank() == 0)
+        return "scalar";
+    std::string out;
+    for (std::size_t i = 0; i < s.rank(); ++i) {
+        if (i)
+            out += "x";
+        out += std::to_string(s.dim(i));
+    }
+    return out;
+}
+
+bool
+parseShapeToken(const std::string &token, tensor::Shape &out)
+{
+    if (token == "scalar") {
+        out = tensor::Shape{};
+        return true;
+    }
+    std::vector<std::int64_t> dims;
+    std::string cur;
+    for (char c : token + "x") {
+        if (c == 'x') {
+            if (cur.empty())
+                return false;
+            for (char d : cur)
+                if (d < '0' || d > '9')
+                    return false;
+            dims.push_back(std::stoll(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out = tensor::Shape(std::move(dims));
+    return true;
+}
+
+std::map<std::string, tensor::DType>
+dtypeByName()
+{
+    using tensor::DType;
+    return {{"fp32", DType::Float32}, {"fp16", DType::Float16},
+            {"int8", DType::Int8},    {"uint8", DType::UInt8},
+            {"int32", DType::Int32},  {"int64", DType::Int64}};
+}
+
+bool
+hasConvAttrs(OpKind k)
+{
+    switch (k) {
+      case OpKind::Conv2D:
+      case OpKind::DepthwiseConv2D:
+      case OpKind::TransposeConv2D:
+      case OpKind::MaxPool2D:
+      case OpKind::AvgPool2D:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Split a line into whitespace-separated tokens. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+/** Split "key=value"; returns false if there is no '='. */
+bool
+splitKv(const std::string &tok, std::string &key, std::string &value)
+{
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+        return false;
+    key = tok.substr(0, eq);
+    value = tok.substr(eq + 1);
+    return true;
+}
+
+} // namespace
+
+std::string
+serializeGraph(const Graph &g)
+{
+    std::ostringstream os;
+    os << "graph " << g.name() << " dtype=" << tensor::dtypeName(g.dtype())
+       << " input=" << shapeToken(g.inputShape()) << "\n";
+    for (const auto &op : g.ops()) {
+        assert(op.name.find(' ') == std::string::npos);
+        os << "op " << opKindName(op.kind) << " name=" << op.name;
+        os << " in=";
+        for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+            if (i)
+                os << ";";
+            os << shapeToken(op.inputs[i]);
+        }
+        os << " out=" << shapeToken(op.output);
+        if (hasConvAttrs(op.kind)) {
+            os << " k=" << op.conv.kernelH << "x" << op.conv.kernelW
+               << " s=" << op.conv.strideH << "x" << op.conv.strideW
+               << " pad=" << (op.conv.samePadding ? "same" : "valid");
+        }
+        if (op.kind == OpKind::MatMul) {
+            os << " mm=" << op.matmul.batch << "x" << op.matmul.m << "x"
+               << op.matmul.k << "x" << op.matmul.n
+               << " w=" << (op.matmul.rhsIsWeight ? 1 : 0);
+        }
+        os << "\n";
+    }
+    os << "end\n";
+    return os.str();
+}
+
+bool
+parseGraph(const std::string &text, Graph &out, std::string &error)
+{
+    std::istringstream is(text);
+    std::string line;
+    int line_no = 0;
+    bool have_header = false;
+    bool have_end = false;
+    std::string name;
+    tensor::DType dtype = tensor::DType::Float32;
+    tensor::Shape input_shape;
+    std::vector<Op> ops;
+
+    auto fail = [&](const std::string &msg) {
+        error = "line " + std::to_string(line_no) + ": " + msg;
+        return false;
+    };
+
+    const auto dtypes = dtypeByName();
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto tokens = tokenize(line);
+        if (tokens.empty() || tokens[0][0] == '#')
+            continue;
+        if (have_end)
+            return fail("content after 'end'");
+
+        if (tokens[0] == "graph") {
+            if (have_header)
+                return fail("duplicate graph header");
+            if (tokens.size() < 2)
+                return fail("graph header needs a name");
+            name = tokens[1];
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                std::string key;
+                std::string value;
+                if (!splitKv(tokens[i], key, value))
+                    return fail("bad token '" + tokens[i] + "'");
+                if (key == "dtype") {
+                    const auto it = dtypes.find(value);
+                    if (it == dtypes.end())
+                        return fail("unknown dtype '" + value + "'");
+                    dtype = it->second;
+                } else if (key == "input") {
+                    if (!parseShapeToken(value, input_shape))
+                        return fail("bad shape '" + value + "'");
+                } else {
+                    return fail("unknown key '" + key + "'");
+                }
+            }
+            have_header = true;
+            continue;
+        }
+
+        if (tokens[0] == "end") {
+            have_end = true;
+            continue;
+        }
+
+        if (tokens[0] != "op")
+            return fail("expected 'op', got '" + tokens[0] + "'");
+        if (!have_header)
+            return fail("op before graph header");
+        if (tokens.size() < 2)
+            return fail("op needs a kind");
+
+        Op op;
+        const auto kind_it = kindByName().find(tokens[1]);
+        if (kind_it == kindByName().end())
+            return fail("unknown op kind '" + tokens[1] + "'");
+        op.kind = kind_it->second;
+
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+            std::string key;
+            std::string value;
+            if (!splitKv(tokens[i], key, value))
+                return fail("bad token '" + tokens[i] + "'");
+            if (key == "name") {
+                op.name = value;
+            } else if (key == "in") {
+                std::string cur;
+                for (char c : value + ";") {
+                    if (c == ';') {
+                        if (cur.empty())
+                            continue;
+                        tensor::Shape s;
+                        if (!parseShapeToken(cur, s))
+                            return fail("bad shape '" + cur + "'");
+                        op.inputs.push_back(std::move(s));
+                        cur.clear();
+                    } else {
+                        cur += c;
+                    }
+                }
+            } else if (key == "out") {
+                if (!parseShapeToken(value, op.output))
+                    return fail("bad shape '" + value + "'");
+            } else if (key == "k" || key == "s" || key == "mm") {
+                std::vector<std::int64_t> nums;
+                tensor::Shape tmp;
+                if (!parseShapeToken(value, tmp))
+                    return fail("bad numeric list '" + value + "'");
+                for (std::size_t d = 0; d < tmp.rank(); ++d)
+                    nums.push_back(tmp.dim(d));
+                if (key == "k" && nums.size() == 2) {
+                    op.conv.kernelH = static_cast<std::int32_t>(nums[0]);
+                    op.conv.kernelW = static_cast<std::int32_t>(nums[1]);
+                } else if (key == "s" && nums.size() == 2) {
+                    op.conv.strideH = static_cast<std::int32_t>(nums[0]);
+                    op.conv.strideW = static_cast<std::int32_t>(nums[1]);
+                } else if (key == "mm" && nums.size() == 4) {
+                    op.matmul.batch = nums[0];
+                    op.matmul.m = nums[1];
+                    op.matmul.k = nums[2];
+                    op.matmul.n = nums[3];
+                } else {
+                    return fail("wrong arity for '" + key + "'");
+                }
+            } else if (key == "pad") {
+                if (value == "same")
+                    op.conv.samePadding = true;
+                else if (value == "valid")
+                    op.conv.samePadding = false;
+                else
+                    return fail("bad pad '" + value + "'");
+            } else if (key == "w") {
+                op.matmul.rhsIsWeight = (value == "1");
+            } else {
+                return fail("unknown key '" + key + "'");
+            }
+        }
+        if (op.name.empty())
+            return fail("op missing a name");
+        ops.push_back(std::move(op));
+    }
+
+    if (!have_header) {
+        ++line_no;
+        return fail("missing graph header");
+    }
+    if (!have_end) {
+        ++line_no;
+        return fail("missing 'end'");
+    }
+
+    Graph g(name, input_shape, dtype);
+    for (auto &op : ops)
+        g.addOp(std::move(op));
+    out = std::move(g);
+    error.clear();
+    return true;
+}
+
+} // namespace aitax::graph

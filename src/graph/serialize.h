@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Text serialization of model graphs.
+ *
+ * A line-oriented, diff-friendly format so zoo models can be dumped,
+ * inspected and reloaded without rebuilding them from code:
+ *
+ *   graph mobilenet_v1 dtype=fp32 input=1x224x224x3
+ *   op Conv2D name=stem in=1x224x224x3 out=1x112x112x32 \
+ *      k=3x3 s=2 pad=same
+ *   ...
+ *   end
+ */
+
+#ifndef AITAX_GRAPH_SERIALIZE_H
+#define AITAX_GRAPH_SERIALIZE_H
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace aitax::graph {
+
+/** Render a graph in the text format. */
+std::string serializeGraph(const Graph &g);
+
+/**
+ * Parse a graph from the text format.
+ *
+ * @param text the serialized form.
+ * @param out receives the parsed graph on success.
+ * @param error receives a diagnostic (with line number) on failure.
+ * @return true on success.
+ */
+bool parseGraph(const std::string &text, Graph &out, std::string &error);
+
+} // namespace aitax::graph
+
+#endif // AITAX_GRAPH_SERIALIZE_H

@@ -1,0 +1,45 @@
+#include "imaging/convert.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace aitax::imaging {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor
+toFloatTensor(const Image &src)
+{
+    assert(src.format() == PixelFormat::RgbF32);
+    Tensor t(Shape::nhwc(src.height(), src.width(), 3), DType::Float32);
+    std::memcpy(t.rawData(), src.data(), t.byteSize());
+    return t;
+}
+
+Tensor
+toQuantizedTensor(const Image &src, const tensor::QuantParams &qp)
+{
+    assert(src.format() == PixelFormat::RgbF32);
+    Tensor t(Shape::nhwc(src.height(), src.width(), 3), DType::UInt8, qp);
+    const float *in = src.floatData();
+    auto out = t.data<std::uint8_t>();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = tensor::quantizeU8(in[i], qp);
+    return t;
+}
+
+sim::Work
+typeConvertCost(std::int32_t w, std::int32_t h, bool quantize)
+{
+    const double elems = static_cast<double>(w) * h * 3.0;
+    if (quantize) {
+        // scale + round + clamp per element; 4 B read, 1 B write.
+        return {elems * 4.0, elems * 5.0};
+    }
+    // Straight copy.
+    return {elems * 0.5, elems * 8.0};
+}
+
+} // namespace aitax::imaging

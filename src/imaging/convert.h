@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Type conversion between image buffers and model input tensors —
+ * float input for fp32 models, quantized uint8 for int8 models.
+ */
+
+#ifndef AITAX_IMAGING_CONVERT_H
+#define AITAX_IMAGING_CONVERT_H
+
+#include <cstdint>
+
+#include "imaging/image.h"
+#include "sim/work.h"
+#include "tensor/tensor.h"
+
+namespace aitax::imaging {
+
+/** Copy a float RGB image into a [1,h,w,3] fp32 tensor. */
+tensor::Tensor toFloatTensor(const Image &src);
+
+/**
+ * Quantize a float RGB image into a [1,h,w,3] uint8 tensor with the
+ * given parameters (the "type conversion" pre-processing step for
+ * quantized models).
+ */
+tensor::Tensor toQuantizedTensor(const Image &src,
+                                 const tensor::QuantParams &qp);
+
+/** Modelled conversion cost for w x h x 3 elements. */
+sim::Work typeConvertCost(std::int32_t w, std::int32_t h, bool quantize);
+
+} // namespace aitax::imaging
+
+#endif // AITAX_IMAGING_CONVERT_H

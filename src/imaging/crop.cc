@@ -1,0 +1,48 @@
+#include "imaging/crop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace aitax::imaging {
+
+Image
+centerCrop(const Image &src, std::int32_t out_w, std::int32_t out_h)
+{
+    assert(src.format() == PixelFormat::Argb8888);
+    assert(out_w > 0 && out_w <= src.width());
+    assert(out_h > 0 && out_h <= src.height());
+
+    const std::int32_t x0 = (src.width() - out_w) / 2;
+    const std::int32_t y0 = (src.height() - out_h) / 2;
+
+    Image out(PixelFormat::Argb8888, out_w, out_h);
+    for (std::int32_t row = 0; row < out_h; ++row) {
+        const std::uint8_t *src_row =
+            src.data() +
+            (static_cast<std::size_t>(y0 + row) * src.width() + x0) * 4;
+        std::uint8_t *dst_row =
+            out.data() + static_cast<std::size_t>(row) * out_w * 4;
+        std::memcpy(dst_row, src_row, static_cast<std::size_t>(out_w) * 4);
+    }
+    return out;
+}
+
+Image
+centerCropFraction(const Image &src, double fraction)
+{
+    assert(fraction > 0.0 && fraction <= 1.0);
+    const std::int32_t edge = static_cast<std::int32_t>(
+        std::min(src.width(), src.height()) * fraction);
+    return centerCrop(src, std::max(edge, 1), std::max(edge, 1));
+}
+
+sim::Work
+centerCropCost(std::int32_t out_w, std::int32_t out_h)
+{
+    const double pixels = static_cast<double>(out_w) * out_h;
+    // Pure data movement: read + write 4 bytes per pixel.
+    return {pixels * 0.5, pixels * 8.0};
+}
+
+} // namespace aitax::imaging

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Center crop — removes border pixels ahead of scaling, as Inception-
+ * style input pipelines do.
+ */
+
+#ifndef AITAX_IMAGING_CROP_H
+#define AITAX_IMAGING_CROP_H
+
+#include <cstdint>
+
+#include "imaging/image.h"
+#include "sim/work.h"
+
+namespace aitax::imaging {
+
+/** Crop a w x h window centered in @p src. Window must fit. */
+Image centerCrop(const Image &src, std::int32_t out_w, std::int32_t out_h);
+
+/**
+ * Center crop to a square covering @p fraction of the shorter edge
+ * (the tflite-support default uses fraction = 0.875 for Inception).
+ */
+Image centerCropFraction(const Image &src, double fraction);
+
+/** Modelled cost: a bounding-box computation plus a 4 B/px copy. */
+sim::Work centerCropCost(std::int32_t out_w, std::int32_t out_h);
+
+} // namespace aitax::imaging
+
+#endif // AITAX_IMAGING_CROP_H

@@ -1,0 +1,135 @@
+#include "imaging/image.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace aitax::imaging {
+
+std::string_view
+pixelFormatName(PixelFormat f)
+{
+    switch (f) {
+      case PixelFormat::YuvNv21: return "YUV_NV21";
+      case PixelFormat::Argb8888: return "ARGB_8888";
+      case PixelFormat::RgbF32: return "RGB_F32";
+    }
+    return "unknown";
+}
+
+std::size_t
+imageByteSize(PixelFormat f, std::int32_t w, std::int32_t h)
+{
+    const auto pixels =
+        static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+    switch (f) {
+      case PixelFormat::YuvNv21:
+        return pixels + pixels / 2;
+      case PixelFormat::Argb8888:
+        return pixels * 4;
+      case PixelFormat::RgbF32:
+        return pixels * 3 * sizeof(float);
+    }
+    return 0;
+}
+
+Image::Image(PixelFormat fmt, std::int32_t width, std::int32_t height)
+    : fmt(fmt), w(width), h(height),
+      bytes(imageByteSize(fmt, width, height), 0)
+{
+    assert(width > 0 && height > 0);
+    if (fmt == PixelFormat::YuvNv21)
+        assert(width % 2 == 0 && height % 2 == 0);
+}
+
+float *
+Image::floatData()
+{
+    assert(fmt == PixelFormat::RgbF32);
+    return reinterpret_cast<float *>(bytes.data());
+}
+
+const float *
+Image::floatData() const
+{
+    assert(fmt == PixelFormat::RgbF32);
+    return reinterpret_cast<const float *>(bytes.data());
+}
+
+void
+Image::setArgb(std::int32_t x, std::int32_t y, std::uint8_t a,
+               std::uint8_t r, std::uint8_t g, std::uint8_t b)
+{
+    assert(fmt == PixelFormat::Argb8888);
+    assert(x >= 0 && x < w && y >= 0 && y < h);
+    const std::size_t off =
+        (static_cast<std::size_t>(y) * w + x) * 4;
+    bytes[off + 0] = a;
+    bytes[off + 1] = r;
+    bytes[off + 2] = g;
+    bytes[off + 3] = b;
+}
+
+std::uint32_t
+Image::argbAt(std::int32_t x, std::int32_t y) const
+{
+    assert(fmt == PixelFormat::Argb8888);
+    assert(x >= 0 && x < w && y >= 0 && y < h);
+    const std::size_t off =
+        (static_cast<std::size_t>(y) * w + x) * 4;
+    return (static_cast<std::uint32_t>(bytes[off + 0]) << 24) |
+           (static_cast<std::uint32_t>(bytes[off + 1]) << 16) |
+           (static_cast<std::uint32_t>(bytes[off + 2]) << 8) |
+           static_cast<std::uint32_t>(bytes[off + 3]);
+}
+
+std::uint8_t
+Image::redAt(std::int32_t x, std::int32_t y) const
+{
+    return static_cast<std::uint8_t>((argbAt(x, y) >> 16) & 0xff);
+}
+
+std::uint8_t
+Image::greenAt(std::int32_t x, std::int32_t y) const
+{
+    return static_cast<std::uint8_t>((argbAt(x, y) >> 8) & 0xff);
+}
+
+std::uint8_t
+Image::blueAt(std::int32_t x, std::int32_t y) const
+{
+    return static_cast<std::uint8_t>(argbAt(x, y) & 0xff);
+}
+
+void
+Image::setRgbF(std::int32_t x, std::int32_t y, float r, float g, float b)
+{
+    assert(fmt == PixelFormat::RgbF32);
+    assert(x >= 0 && x < w && y >= 0 && y < h);
+    float *p = floatData() + (static_cast<std::size_t>(y) * w + x) * 3;
+    p[0] = r;
+    p[1] = g;
+    p[2] = b;
+}
+
+float
+Image::rAt(std::int32_t x, std::int32_t y) const
+{
+    assert(x >= 0 && x < w && y >= 0 && y < h);
+    return floatData()[(static_cast<std::size_t>(y) * w + x) * 3 + 0];
+}
+
+float
+Image::gAt(std::int32_t x, std::int32_t y) const
+{
+    assert(x >= 0 && x < w && y >= 0 && y < h);
+    return floatData()[(static_cast<std::size_t>(y) * w + x) * 3 + 1];
+}
+
+float
+Image::bAt(std::int32_t x, std::int32_t y) const
+{
+    assert(x >= 0 && x < w && y >= 0 && y < h);
+    return floatData()[(static_cast<std::size_t>(y) * w + x) * 3 + 2];
+}
+
+} // namespace aitax::imaging

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Raster image buffers in the formats the ML pipeline moves between:
+ * camera YUV NV21, Android ARGB8888 bitmaps, and planar float RGB.
+ */
+
+#ifndef AITAX_IMAGING_IMAGE_H
+#define AITAX_IMAGING_IMAGE_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace aitax::imaging {
+
+/** Storage formats. */
+enum class PixelFormat
+{
+    YuvNv21,  ///< full-res Y plane + interleaved half-res VU plane
+    Argb8888, ///< 4 bytes per pixel: A, R, G, B
+    RgbF32,   ///< interleaved float RGB (12 bytes per pixel)
+};
+
+std::string_view pixelFormatName(PixelFormat f);
+
+/** Bytes needed for a w x h image in format @p f. */
+std::size_t imageByteSize(PixelFormat f, std::int32_t w, std::int32_t h);
+
+/**
+ * An owned image buffer.
+ */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Allocate a zeroed image. Width/height must be positive; NV21
+     *  additionally requires even dimensions. */
+    Image(PixelFormat fmt, std::int32_t width, std::int32_t height);
+
+    PixelFormat format() const { return fmt; }
+    std::int32_t width() const { return w; }
+    std::int32_t height() const { return h; }
+    std::size_t byteSize() const { return bytes.size(); }
+
+    std::uint8_t *data() { return bytes.data(); }
+    const std::uint8_t *data() const { return bytes.data(); }
+
+    float *floatData();
+    const float *floatData() const;
+
+    /** ARGB8888 pixel accessors (byte order A,R,G,B). */
+    void setArgb(std::int32_t x, std::int32_t y, std::uint8_t a,
+                 std::uint8_t r, std::uint8_t g, std::uint8_t b);
+    std::uint32_t argbAt(std::int32_t x, std::int32_t y) const;
+    std::uint8_t redAt(std::int32_t x, std::int32_t y) const;
+    std::uint8_t greenAt(std::int32_t x, std::int32_t y) const;
+    std::uint8_t blueAt(std::int32_t x, std::int32_t y) const;
+
+    /** RgbF32 pixel accessors. */
+    void setRgbF(std::int32_t x, std::int32_t y, float r, float g,
+                 float b);
+    float rAt(std::int32_t x, std::int32_t y) const;
+    float gAt(std::int32_t x, std::int32_t y) const;
+    float bAt(std::int32_t x, std::int32_t y) const;
+
+  private:
+    PixelFormat fmt = PixelFormat::Argb8888;
+    std::int32_t w = 0;
+    std::int32_t h = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+} // namespace aitax::imaging
+
+#endif // AITAX_IMAGING_IMAGE_H

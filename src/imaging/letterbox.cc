@@ -1,0 +1,100 @@
+#include "imaging/letterbox.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "imaging/resize.h"
+
+namespace aitax::imaging {
+
+void
+LetterboxLayout::toSource(double out_x, double out_y, double &src_x,
+                          double &src_y) const
+{
+    src_x = (out_x - offsetX) / scale;
+    src_y = (out_y - offsetY) / scale;
+}
+
+Image
+letterbox(const Image &src, std::int32_t out_w, std::int32_t out_h,
+          std::uint8_t pad, LetterboxLayout *layout)
+{
+    assert(src.format() == PixelFormat::Argb8888);
+    assert(out_w > 0 && out_h > 0);
+
+    const double scale =
+        std::min(static_cast<double>(out_w) / src.width(),
+                 static_cast<double>(out_h) / src.height());
+    const auto content_w = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::lround(src.width() * scale)));
+    const auto content_h = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::lround(src.height() * scale)));
+    const std::int32_t off_x = (out_w - content_w) / 2;
+    const std::int32_t off_y = (out_h - content_h) / 2;
+
+    if (layout != nullptr) {
+        layout->offsetX = off_x;
+        layout->offsetY = off_y;
+        layout->contentW = content_w;
+        layout->contentH = content_h;
+        layout->scale = scale;
+    }
+
+    const Image scaled = resizeBilinear(src, content_w, content_h);
+
+    Image out(PixelFormat::Argb8888, out_w, out_h);
+    for (std::int32_t y = 0; y < out_h; ++y) {
+        for (std::int32_t x = 0; x < out_w; ++x) {
+            const std::int32_t sx = x - off_x;
+            const std::int32_t sy = y - off_y;
+            if (sx >= 0 && sx < content_w && sy >= 0 &&
+                sy < content_h) {
+                out.setArgb(x, y, 0xff, scaled.redAt(sx, sy),
+                            scaled.greenAt(sx, sy),
+                            scaled.blueAt(sx, sy));
+            } else {
+                out.setArgb(x, y, 0xff, pad, pad, pad);
+            }
+        }
+    }
+    return out;
+}
+
+sim::Work
+letterboxCost(std::int32_t out_w, std::int32_t out_h)
+{
+    // Content resize (bounded by the full output) plus a canvas pass.
+    const auto resize = resizeBilinearCost(out_w, out_h);
+    const double pixels = static_cast<double>(out_w) * out_h;
+    return resize + sim::Work{pixels * 1.0, pixels * 4.0};
+}
+
+Image
+toGrayscale(const Image &src)
+{
+    assert(src.format() == PixelFormat::Argb8888);
+    Image out(PixelFormat::Argb8888, src.width(), src.height());
+    for (std::int32_t y = 0; y < src.height(); ++y) {
+        for (std::int32_t x = 0; x < src.width(); ++x) {
+            // BT.601 integer luma.
+            const int luma = (299 * src.redAt(x, y) +
+                              587 * src.greenAt(x, y) +
+                              114 * src.blueAt(x, y)) /
+                             1000;
+            const auto g = static_cast<std::uint8_t>(
+                std::clamp(luma, 0, 255));
+            out.setArgb(x, y, 0xff, g, g, g);
+        }
+    }
+    return out;
+}
+
+sim::Work
+toGrayscaleCost(std::int32_t w, std::int32_t h)
+{
+    const double pixels = static_cast<double>(w) * h;
+    return {pixels * 5.0, pixels * 8.0};
+}
+
+} // namespace aitax::imaging

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Letterbox resize: aspect-preserving scale plus border padding, the
+ * alternative detection-pipeline pre-processing to plain stretch
+ * (keeps geometry honest for box regression at the cost of padded
+ * pixels).
+ */
+
+#ifndef AITAX_IMAGING_LETTERBOX_H
+#define AITAX_IMAGING_LETTERBOX_H
+
+#include <cstdint>
+
+#include "imaging/image.h"
+#include "sim/work.h"
+
+namespace aitax::imaging {
+
+/** Placement of the scaled content inside the letterboxed output. */
+struct LetterboxLayout
+{
+    std::int32_t offsetX = 0;
+    std::int32_t offsetY = 0;
+    std::int32_t contentW = 0;
+    std::int32_t contentH = 0;
+    double scale = 1.0;
+
+    /** Map a point in output coordinates back to source coordinates. */
+    void toSource(double out_x, double out_y, double &src_x,
+                  double &src_y) const;
+};
+
+/**
+ * Aspect-preserving resize of @p src into a w x h canvas, padding the
+ * remainder with @p pad gray.
+ */
+Image letterbox(const Image &src, std::int32_t out_w, std::int32_t out_h,
+                std::uint8_t pad, LetterboxLayout *layout = nullptr);
+
+/** Modelled cost: a bilinear pass over the content + padding writes. */
+sim::Work letterboxCost(std::int32_t out_w, std::int32_t out_h);
+
+/** Luma-weighted RGB -> grayscale (BT.601 weights). */
+Image toGrayscale(const Image &src);
+
+/** Modelled grayscale cost. */
+sim::Work toGrayscaleCost(std::int32_t w, std::int32_t h);
+
+} // namespace aitax::imaging
+
+#endif // AITAX_IMAGING_LETTERBOX_H

@@ -1,0 +1,58 @@
+#include "imaging/normalize.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace aitax::imaging {
+
+Image
+normalizeToFloat(const Image &src, const NormParams &params)
+{
+    assert(src.format() == PixelFormat::Argb8888);
+    assert(params.stddev != 0.0f);
+    Image out(PixelFormat::RgbF32, src.width(), src.height());
+    const float inv = 1.0f / params.stddev;
+    for (std::int32_t y = 0; y < src.height(); ++y) {
+        for (std::int32_t x = 0; x < src.width(); ++x) {
+            out.setRgbF(x, y, (src.redAt(x, y) - params.mean) * inv,
+                        (src.greenAt(x, y) - params.mean) * inv,
+                        (src.blueAt(x, y) - params.mean) * inv);
+        }
+    }
+    return out;
+}
+
+NormParams
+measureStats(const Image &src)
+{
+    assert(src.format() == PixelFormat::Argb8888);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const double n =
+        static_cast<double>(src.width()) * src.height() * 3.0;
+    for (std::int32_t y = 0; y < src.height(); ++y) {
+        for (std::int32_t x = 0; x < src.width(); ++x) {
+            for (double c : {static_cast<double>(src.redAt(x, y)),
+                             static_cast<double>(src.greenAt(x, y)),
+                             static_cast<double>(src.blueAt(x, y))}) {
+                sum += c;
+                sum_sq += c * c;
+            }
+        }
+    }
+    NormParams p;
+    p.mean = static_cast<float>(sum / n);
+    const double var = sum_sq / n - (sum / n) * (sum / n);
+    p.stddev = static_cast<float>(std::sqrt(std::max(var, 1e-6)));
+    return p;
+}
+
+sim::Work
+normalizeCost(std::int32_t w, std::int32_t h)
+{
+    const double pixels = static_cast<double>(w) * h;
+    // 3 channels x (subtract + multiply); read 4 B, write 12 B.
+    return {pixels * 6.0, pixels * 16.0};
+}
+
+} // namespace aitax::imaging

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Normalization: ARGB bytes -> zero-mean/unit-variance float RGB, the
+ * per-pixel pass nearly every network input requires.
+ */
+
+#ifndef AITAX_IMAGING_NORMALIZE_H
+#define AITAX_IMAGING_NORMALIZE_H
+
+#include <cstdint>
+
+#include "imaging/image.h"
+#include "sim/work.h"
+
+namespace aitax::imaging {
+
+/** Per-channel normalization constants. */
+struct NormParams
+{
+    float mean = 127.5f;
+    float stddev = 127.5f;
+};
+
+/**
+ * Convert ARGB8888 to normalized float RGB:
+ * out = (channel - mean) / stddev.
+ */
+Image normalizeToFloat(const Image &src, const NormParams &params);
+
+/** Compute the actual mean/stddev of an ARGB image's RGB channels. */
+NormParams measureStats(const Image &src);
+
+/** Modelled cost: linear in pixel count (2 ops/channel). */
+sim::Work normalizeCost(std::int32_t w, std::int32_t h);
+
+} // namespace aitax::imaging
+
+#endif // AITAX_IMAGING_NORMALIZE_H

@@ -1,0 +1,64 @@
+#include "imaging/resize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aitax::imaging {
+
+Image
+resizeBilinear(const Image &src, std::int32_t out_w, std::int32_t out_h)
+{
+    assert(src.format() == PixelFormat::Argb8888);
+    assert(out_w > 0 && out_h > 0);
+    Image out(PixelFormat::Argb8888, out_w, out_h);
+
+    const double sx = static_cast<double>(src.width()) / out_w;
+    const double sy = static_cast<double>(src.height()) / out_h;
+
+    for (std::int32_t oy = 0; oy < out_h; ++oy) {
+        // Half-pixel centers.
+        const double fy = (oy + 0.5) * sy - 0.5;
+        const std::int32_t y0 =
+            std::clamp(static_cast<std::int32_t>(std::floor(fy)), 0,
+                       src.height() - 1);
+        const std::int32_t y1 = std::min(y0 + 1, src.height() - 1);
+        const double wy = std::clamp(fy - y0, 0.0, 1.0);
+
+        for (std::int32_t ox = 0; ox < out_w; ++ox) {
+            const double fx = (ox + 0.5) * sx - 0.5;
+            const std::int32_t x0 =
+                std::clamp(static_cast<std::int32_t>(std::floor(fx)), 0,
+                           src.width() - 1);
+            const std::int32_t x1 = std::min(x0 + 1, src.width() - 1);
+            const double wx = std::clamp(fx - x0, 0.0, 1.0);
+
+            auto lerp_channel = [&](std::uint8_t (Image::*get)(
+                                        std::int32_t, std::int32_t)
+                                        const) {
+                const double top = (src.*get)(x0, y0) * (1 - wx) +
+                                   (src.*get)(x1, y0) * wx;
+                const double bot = (src.*get)(x0, y1) * (1 - wx) +
+                                   (src.*get)(x1, y1) * wx;
+                return static_cast<std::uint8_t>(std::lround(
+                    std::clamp(top * (1 - wy) + bot * wy, 0.0, 255.0)));
+            };
+
+            out.setArgb(ox, oy, 0xff, lerp_channel(&Image::redAt),
+                        lerp_channel(&Image::greenAt),
+                        lerp_channel(&Image::blueAt));
+        }
+    }
+    return out;
+}
+
+sim::Work
+resizeBilinearCost(std::int32_t out_w, std::int32_t out_h)
+{
+    const double pixels = static_cast<double>(out_w) * out_h;
+    // 3 channels x (4 taps, 3 lerps ~= 9 ops) + coordinate math,
+    // reading 16 bytes of taps and writing 4 bytes per pixel.
+    return {pixels * 30.0, pixels * 20.0};
+}
+
+} // namespace aitax::imaging

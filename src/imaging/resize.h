@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Bilinear resize — TensorFlow's default image scaling algorithm and
+ * the dominant pre-processing kernel in the paper's image models.
+ */
+
+#ifndef AITAX_IMAGING_RESIZE_H
+#define AITAX_IMAGING_RESIZE_H
+
+#include <cstdint>
+
+#include "imaging/image.h"
+#include "sim/work.h"
+
+namespace aitax::imaging {
+
+/**
+ * Bilinear resize of an ARGB8888 image, half-pixel centers (the
+ * align_corners=false convention of TFLite's ResizeBilinear).
+ */
+Image resizeBilinear(const Image &src, std::int32_t out_w,
+                     std::int32_t out_h);
+
+/** Modelled cost: runtime scales with the *output* size (quadratic in
+ *  output edge length, as the paper notes). */
+sim::Work resizeBilinearCost(std::int32_t out_w, std::int32_t out_h);
+
+} // namespace aitax::imaging
+
+#endif // AITAX_IMAGING_RESIZE_H

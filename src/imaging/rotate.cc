@@ -1,0 +1,56 @@
+#include "imaging/rotate.h"
+
+#include <cassert>
+
+namespace aitax::imaging {
+
+Image
+rotate(const Image &src, Rotation rot)
+{
+    assert(src.format() == PixelFormat::Argb8888);
+    const std::int32_t w = src.width();
+    const std::int32_t h = src.height();
+
+    const bool swap = (rot == Rotation::Deg90 || rot == Rotation::Deg270);
+    Image out(PixelFormat::Argb8888, swap ? h : w, swap ? w : h);
+
+    for (std::int32_t y = 0; y < h; ++y) {
+        for (std::int32_t x = 0; x < w; ++x) {
+            std::int32_t ox = x;
+            std::int32_t oy = y;
+            switch (rot) {
+              case Rotation::Deg0:
+                break;
+              case Rotation::Deg90:
+                ox = h - 1 - y;
+                oy = x;
+                break;
+              case Rotation::Deg180:
+                ox = w - 1 - x;
+                oy = h - 1 - y;
+                break;
+              case Rotation::Deg270:
+                ox = y;
+                oy = w - 1 - x;
+                break;
+            }
+            const std::uint32_t p = src.argbAt(x, y);
+            out.setArgb(ox, oy, static_cast<std::uint8_t>(p >> 24),
+                        static_cast<std::uint8_t>((p >> 16) & 0xff),
+                        static_cast<std::uint8_t>((p >> 8) & 0xff),
+                        static_cast<std::uint8_t>(p & 0xff));
+        }
+    }
+    return out;
+}
+
+sim::Work
+rotateCost(std::int32_t w, std::int32_t h)
+{
+    const double pixels = static_cast<double>(w) * h;
+    // Index arithmetic plus a strided copy; the stride defeats the
+    // prefetcher, which we reflect as extra effective bytes.
+    return {pixels * 4.0, pixels * 12.0};
+}
+
+} // namespace aitax::imaging

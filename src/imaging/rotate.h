@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Image rotation for sensor-orientation fixes (PoseNet's extra
+ * pre-processing step; cost scales quadratically with image size).
+ */
+
+#ifndef AITAX_IMAGING_ROTATE_H
+#define AITAX_IMAGING_ROTATE_H
+
+#include <cstdint>
+
+#include "imaging/image.h"
+#include "sim/work.h"
+
+namespace aitax::imaging {
+
+/** Quarter-turn rotations (camera orientations are multiples of 90). */
+enum class Rotation
+{
+    Deg0,
+    Deg90,  ///< clockwise
+    Deg180,
+    Deg270, ///< clockwise (= 90 counter-clockwise)
+};
+
+/** Rotate an ARGB8888 image by a quarter-turn multiple. */
+Image rotate(const Image &src, Rotation rot);
+
+/** Modelled cost: strided read + sequential write of 4 B/px. */
+sim::Work rotateCost(std::int32_t w, std::int32_t h);
+
+} // namespace aitax::imaging
+
+#endif // AITAX_IMAGING_ROTATE_H

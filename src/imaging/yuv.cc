@@ -1,0 +1,139 @@
+#include "imaging/yuv.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aitax::imaging {
+
+Image
+nv21ToArgb(const Image &yuv)
+{
+    assert(yuv.format() == PixelFormat::YuvNv21);
+    const std::int32_t w = yuv.width();
+    const std::int32_t h = yuv.height();
+    Image out(PixelFormat::Argb8888, w, h);
+
+    const std::uint8_t *y_plane = yuv.data();
+    const std::uint8_t *vu_plane =
+        yuv.data() + static_cast<std::size_t>(w) * h;
+
+    for (std::int32_t row = 0; row < h; ++row) {
+        for (std::int32_t col = 0; col < w; ++col) {
+            const int y_val =
+                y_plane[static_cast<std::size_t>(row) * w + col];
+            const std::size_t vu_off =
+                static_cast<std::size_t>(row / 2) * w + (col & ~1);
+            const int v_val = vu_plane[vu_off] - 128;
+            const int u_val = vu_plane[vu_off + 1] - 128;
+
+            // BT.601 fixed point (as in Android's YUV->RGB intrinsics):
+            // R = Y + 1.402 V; G = Y - 0.344 U - 0.714 V; B = Y + 1.772 U
+            const int y16 = std::max(0, y_val - 16) * 1192;
+            int r = (y16 + 1634 * v_val) >> 10;
+            int g = (y16 - 833 * v_val - 400 * u_val) >> 10;
+            int b = (y16 + 2066 * u_val) >> 10;
+            r = std::clamp(r, 0, 255);
+            g = std::clamp(g, 0, 255);
+            b = std::clamp(b, 0, 255);
+            out.setArgb(col, row, 0xff, static_cast<std::uint8_t>(r),
+                        static_cast<std::uint8_t>(g),
+                        static_cast<std::uint8_t>(b));
+        }
+    }
+    return out;
+}
+
+Image
+makeTestFrameNv21(std::int32_t width, std::int32_t height,
+                  std::uint32_t seed)
+{
+    Image img(PixelFormat::YuvNv21, width, height);
+    std::uint8_t *y_plane = img.data();
+    std::uint8_t *vu_plane =
+        img.data() + static_cast<std::size_t>(width) * height;
+
+    for (std::int32_t row = 0; row < height; ++row) {
+        for (std::int32_t col = 0; col < width; ++col) {
+            const auto v = static_cast<std::uint32_t>(
+                (row * 3 + col * 5 + seed * 17) & 0xff);
+            y_plane[static_cast<std::size_t>(row) * width + col] =
+                static_cast<std::uint8_t>(16 + (v * 219) / 255);
+        }
+    }
+    for (std::int32_t row = 0; row < height / 2; ++row) {
+        for (std::int32_t col = 0; col < width / 2; ++col) {
+            const std::size_t off =
+                static_cast<std::size_t>(row) * width + col * 2;
+            vu_plane[off] = static_cast<std::uint8_t>(
+                128 + ((row + seed) % 32) - 16);
+            vu_plane[off + 1] = static_cast<std::uint8_t>(
+                128 + ((col + seed * 3) % 32) - 16);
+        }
+    }
+    return img;
+}
+
+Image
+argbToNv21(const Image &rgb)
+{
+    assert(rgb.format() == PixelFormat::Argb8888);
+    assert(rgb.width() % 2 == 0 && rgb.height() % 2 == 0);
+    const std::int32_t w = rgb.width();
+    const std::int32_t h = rgb.height();
+    Image out(PixelFormat::YuvNv21, w, h);
+    std::uint8_t *y_plane = out.data();
+    std::uint8_t *vu_plane =
+        out.data() + static_cast<std::size_t>(w) * h;
+
+    for (std::int32_t row = 0; row < h; ++row) {
+        for (std::int32_t col = 0; col < w; ++col) {
+            const int r = rgb.redAt(col, row);
+            const int g = rgb.greenAt(col, row);
+            const int b = rgb.blueAt(col, row);
+            // BT.601 studio swing: Y in [16, 235].
+            const int y = ((66 * r + 129 * g + 25 * b + 128) >> 8) + 16;
+            y_plane[static_cast<std::size_t>(row) * w + col] =
+                static_cast<std::uint8_t>(std::clamp(y, 16, 235));
+        }
+    }
+    for (std::int32_t row = 0; row < h; row += 2) {
+        for (std::int32_t col = 0; col < w; col += 2) {
+            // Average the 2x2 block before subsampling chroma.
+            int r = 0;
+            int g = 0;
+            int b = 0;
+            for (int dy = 0; dy < 2; ++dy) {
+                for (int dx = 0; dx < 2; ++dx) {
+                    r += rgb.redAt(col + dx, row + dy);
+                    g += rgb.greenAt(col + dx, row + dy);
+                    b += rgb.blueAt(col + dx, row + dy);
+                }
+            }
+            r /= 4;
+            g /= 4;
+            b /= 4;
+            const int u =
+                ((-38 * r - 74 * g + 112 * b + 128) >> 8) + 128;
+            const int v =
+                ((112 * r - 94 * g - 18 * b + 128) >> 8) + 128;
+            const std::size_t off =
+                static_cast<std::size_t>(row / 2) * w + col;
+            vu_plane[off] =
+                static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+            vu_plane[off + 1] =
+                static_cast<std::uint8_t>(std::clamp(u, 0, 255));
+        }
+    }
+    return out;
+}
+
+sim::Work
+nv21ToArgbCost(std::int32_t width, std::int32_t height)
+{
+    const double pixels = static_cast<double>(width) * height;
+    // ~12 integer ops per pixel (scale, 3 channel recoveries, clamps)
+    // reading 1.5 bytes of YUV and writing 4 bytes of ARGB.
+    return {pixels * 12.0, pixels * 5.5};
+}
+
+} // namespace aitax::imaging

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * YUV NV21 handling: the Android camera's default preview format and
+ * its conversion to ARGB8888 bitmaps ("bitmap formatting" in the
+ * paper's pre-processing taxonomy).
+ */
+
+#ifndef AITAX_IMAGING_YUV_H
+#define AITAX_IMAGING_YUV_H
+
+#include <cstdint>
+
+#include "imaging/image.h"
+#include "sim/work.h"
+
+namespace aitax::imaging {
+
+/**
+ * Convert an NV21 frame to ARGB8888 using BT.601 integer arithmetic —
+ * the same fixed-point math Android's YuvImage path uses.
+ */
+Image nv21ToArgb(const Image &yuv);
+
+/**
+ * Synthesize a deterministic NV21 test frame (smooth gradients plus a
+ * block pattern) standing in for a camera capture.
+ *
+ * @param seed perturbs the pattern so consecutive frames differ.
+ */
+Image makeTestFrameNv21(std::int32_t width, std::int32_t height,
+                        std::uint32_t seed);
+
+/** Modelled cost of nv21ToArgb for a w x h frame. */
+sim::Work nv21ToArgbCost(std::int32_t width, std::int32_t height);
+
+/**
+ * Convert ARGB8888 back to NV21 (BT.601), chroma averaged over each
+ * 2x2 block — the encoder-side counterpart used when apps feed
+ * processed frames back to video pipelines.
+ */
+Image argbToNv21(const Image &rgb);
+
+} // namespace aitax::imaging
+
+#endif // AITAX_IMAGING_YUV_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * AlexNet (Krizhevsky et al., 2012), single-tower variant.
+ *
+ * Table I lists 256x256 capture resolution; the network consumes the
+ * center-cropped 227x227 view. ~60M parameters, ~0.7G MACs.
+ */
+
+#include "models/builders.h"
+
+#include "graph/builder.h"
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+
+graph::Graph
+buildAlexNet(DType dtype)
+{
+    GraphBuilder b("alexnet", Shape::nhwc(227, 227, 3), dtype);
+    if (tensor::isQuantized(dtype))
+        b.quantize("input_quant");
+
+    b.conv2d(96, 11, 4, false, "conv1").relu();
+    b.maxPool(3, 2, false, "pool1");
+    b.conv2d(256, 5, 1, true, "conv2").relu();
+    b.maxPool(3, 2, false, "pool2");
+    b.conv2d(384, 3, 1, true, "conv3").relu();
+    b.conv2d(384, 3, 1, true, "conv4").relu();
+    b.conv2d(256, 3, 1, true, "conv5").relu();
+    b.maxPool(3, 2, false, "pool5");
+
+    const auto flat = b.current().elementCount();
+    b.reshape(Shape{1, flat}, "flatten")
+        .fullyConnected(4096, "fc6")
+        .relu()
+        .fullyConnected(4096, "fc7")
+        .relu()
+        .fullyConnected(1000, "fc8")
+        .softmax("prob");
+    if (tensor::isQuantized(dtype))
+        b.dequantize("output_dequant");
+    return b.build();
+}
+
+} // namespace aitax::models::detail

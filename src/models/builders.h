@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal per-model graph builder declarations.
+ *
+ * Each builder constructs the architecture at the resolution listed in
+ * Table I. Branching topologies (Inception, SqueezeNet fire modules,
+ * NasNet cells) are linearized exactly with respect to MAC/parameter
+ * counts; see graph/graph.h for the encoding rules.
+ */
+
+#ifndef AITAX_MODELS_BUILDERS_H
+#define AITAX_MODELS_BUILDERS_H
+
+#include "graph/graph.h"
+#include "tensor/dtype.h"
+
+namespace aitax::models::detail {
+
+graph::Graph buildMobileNetV1(tensor::DType dtype);
+graph::Graph buildNasNetMobile(tensor::DType dtype);
+graph::Graph buildSqueezeNet(tensor::DType dtype);
+graph::Graph buildEfficientNetLite0(tensor::DType dtype);
+graph::Graph buildAlexNet(tensor::DType dtype);
+graph::Graph buildInceptionV3(tensor::DType dtype);
+graph::Graph buildInceptionV4(tensor::DType dtype);
+graph::Graph buildDeepLabV3(tensor::DType dtype);
+graph::Graph buildSsdMobileNetV2(tensor::DType dtype);
+graph::Graph buildPoseNet(tensor::DType dtype);
+graph::Graph buildMobileBert(tensor::DType dtype);
+
+} // namespace aitax::models::detail
+
+#endif // AITAX_MODELS_BUILDERS_H

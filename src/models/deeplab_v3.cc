@@ -1,0 +1,49 @@
+/**
+ * @file
+ * DeepLab-v3 with MobileNetV2 backbone @ 513x513 (Chen et al., 2017;
+ * Sandler et al., 2018).
+ *
+ * Output-stride-16 backbone, ASPP head with image-level pooling,
+ * 21-class logits upsampled back to the input resolution by bilinear
+ * resize — the resize plus the dense per-pixel output is why this
+ * model's post-processing (mask flattening) is non-trivial.
+ */
+
+#include "models/builders.h"
+
+#include "models/mnv2_backbone.h"
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+
+graph::Graph
+buildDeepLabV3(DType dtype)
+{
+    GraphBuilder b("deeplab_v3", Shape::nhwc(513, 513, 3), dtype);
+    if (tensor::isQuantized(dtype))
+        b.quantize("input_quant");
+
+    mobileNetV2Backbone(b, /*output_stride=*/16, /*include_head=*/false);
+
+    // ASPP: parallel 1x1 conv and image-level pooling branch
+    // (the mobile DeepLab configuration drops the dilated 3x3 rates).
+    const Shape feat = b.current();
+    b.conv2d(256, 1, 1, true, "aspp_conv1x1").relu();
+    b.setCurrent(feat);
+    b.globalAvgPool("aspp_image_pool");
+    b.conv2d(256, 1, 1, true, "aspp_pool_proj").relu();
+    b.resizeBilinear(feat.height(), feat.width(), "aspp_pool_upsample");
+    b.concatChannels(256, "aspp_concat");
+
+    b.conv2d(256, 1, 1, true, "head_proj").relu();
+    b.conv2d(21, 1, 1, true, "logits");
+    b.resizeBilinear(513, 513, "upsample_logits");
+    if (tensor::isQuantized(dtype))
+        b.dequantize("output_dequant");
+    return b.build();
+}
+
+} // namespace aitax::models::detail

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * EfficientNet-Lite0 @ 224x224 (Tan & Le, 2019; Lite variant 2020).
+ *
+ * The Lite variants drop squeeze-excite and replace swish with ReLU6 so
+ * they quantize cleanly — which is exactly why the paper uses the INT8
+ * build for its NNAPI fallback case study (Fig 5). ~407M MACs.
+ */
+
+#include "models/builders.h"
+
+#include "graph/builder.h"
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+/**
+ * MBConv block: 1x1 expand -> dw kxk -> 1x1 project (+ residual when
+ * stride 1 and channels match).
+ */
+void
+mbconv(GraphBuilder &b, std::int64_t in_c, std::int64_t out_c,
+       std::int32_t expand, std::int32_t kernel, std::int32_t stride,
+       const std::string &name)
+{
+    if (expand != 1) {
+        b.conv2d(in_c * expand, 1, 1, true, name + "_expand").relu6();
+    }
+    b.dwconv2d(kernel, stride, true, name + "_dw").relu6();
+    b.conv2d(out_c, 1, 1, true, name + "_project");
+    if (stride == 1 && in_c == out_c)
+        b.residualAdd(name + "_residual");
+}
+
+} // namespace
+
+graph::Graph
+buildEfficientNetLite0(DType dtype)
+{
+    GraphBuilder b("efficientnet_lite0", Shape::nhwc(224, 224, 3), dtype);
+    if (tensor::isQuantized(dtype))
+        b.quantize("input_quant");
+
+    b.conv2d(32, 3, 2, true, "stem").relu6();
+
+    struct StageCfg
+    {
+        std::int32_t expand;
+        std::int64_t channels;
+        std::int32_t layers;
+        std::int32_t stride;
+        std::int32_t kernel;
+    };
+    // Lite0 = B0 with fixed stem/head widths.
+    const StageCfg stages[] = {
+        {1, 16, 1, 1, 3}, {6, 24, 2, 2, 3}, {6, 40, 2, 2, 5},
+        {6, 80, 3, 2, 3}, {6, 112, 3, 1, 5}, {6, 192, 4, 2, 5},
+        {6, 320, 1, 1, 3},
+    };
+
+    std::int64_t in_c = 32;
+    int stage_idx = 0;
+    for (const auto &st : stages) {
+        for (std::int32_t layer = 0; layer < st.layers; ++layer) {
+            const std::int32_t stride = (layer == 0) ? st.stride : 1;
+            mbconv(b, in_c, st.channels, st.expand, st.kernel, stride,
+                   "mb" + std::to_string(stage_idx) + "_" +
+                       std::to_string(layer));
+            in_c = st.channels;
+        }
+        ++stage_idx;
+    }
+
+    b.conv2d(1280, 1, 1, true, "head").relu6();
+    b.globalAvgPool("global_pool")
+        .reshape(Shape{1, 1280}, "flatten")
+        .fullyConnected(1000, "logits")
+        .softmax("prob");
+    if (tensor::isQuantized(dtype))
+        b.dequantize("output_dequant");
+    return b.build();
+}
+
+} // namespace aitax::models::detail

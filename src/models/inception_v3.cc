@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Inception v3 @ 299x299 (Szegedy et al., 2015).
+ *
+ * Full stem + 3x Inception-A + Reduction-A + 4x Inception-B +
+ * Reduction-B + 2x Inception-C. ~5.7G MACs, ~23.8M parameters.
+ *
+ * Branch encoding: each branch is built sequentially from the block
+ * input (rewound with setCurrent); the trailing Concat op records the
+ * combined output width. MAC and parameter counts are exact.
+ */
+
+#include "models/builders.h"
+
+#include "graph/builder.h"
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+void
+inceptionA(GraphBuilder &b, std::int64_t pool_proj, const std::string &n)
+{
+    const Shape in = b.current();
+    // Branch 1: 1x1 64.
+    b.conv2d(64, 1, 1, true, n + "_b1_1x1").relu();
+    // Branch 2: 1x1 48 -> 5x5 64.
+    b.setCurrent(in);
+    b.conv2d(48, 1, 1, true, n + "_b2_1x1").relu();
+    b.conv2d(64, 5, 1, true, n + "_b2_5x5").relu();
+    // Branch 3: 1x1 64 -> 3x3 96 -> 3x3 96.
+    b.setCurrent(in);
+    b.conv2d(64, 1, 1, true, n + "_b3_1x1").relu();
+    b.conv2d(96, 3, 1, true, n + "_b3_3x3a").relu();
+    b.conv2d(96, 3, 1, true, n + "_b3_3x3b").relu();
+    // Branch 4: avgpool -> 1x1 pool_proj.
+    b.setCurrent(in);
+    b.avgPool(3, 1, true, n + "_b4_pool");
+    b.conv2d(pool_proj, 1, 1, true, n + "_b4_proj").relu();
+    // Join: 64 + 64 + 96 already built; add their widths to branch 4.
+    b.concatChannels(64 + 64 + 96, n + "_concat");
+}
+
+void
+reductionA(GraphBuilder &b, const std::string &n)
+{
+    const Shape in = b.current();
+    b.conv2d(384, 3, 2, false, n + "_b1_3x3").relu();
+    b.setCurrent(in);
+    b.conv2d(64, 1, 1, true, n + "_b2_1x1").relu();
+    b.conv2d(96, 3, 1, true, n + "_b2_3x3a").relu();
+    b.conv2d(96, 3, 2, false, n + "_b2_3x3b").relu();
+    b.setCurrent(in);
+    b.maxPool(3, 2, false, n + "_b3_pool");
+    b.concatChannels(384 + 96, n + "_concat");
+}
+
+void
+inceptionB(GraphBuilder &b, std::int64_t c7, const std::string &n)
+{
+    const Shape in = b.current();
+    b.conv2d(192, 1, 1, true, n + "_b1_1x1").relu();
+    b.setCurrent(in);
+    b.conv2d(c7, 1, 1, true, n + "_b2_1x1").relu();
+    b.conv2dRect(c7, 1, 7, 1, true, n + "_b2_1x7").relu();
+    b.conv2dRect(192, 7, 1, 1, true, n + "_b2_7x1").relu();
+    b.setCurrent(in);
+    b.conv2d(c7, 1, 1, true, n + "_b3_1x1").relu();
+    b.conv2dRect(c7, 7, 1, 1, true, n + "_b3_7x1a").relu();
+    b.conv2dRect(c7, 1, 7, 1, true, n + "_b3_1x7a").relu();
+    b.conv2dRect(c7, 7, 1, 1, true, n + "_b3_7x1b").relu();
+    b.conv2dRect(192, 1, 7, 1, true, n + "_b3_1x7b").relu();
+    b.setCurrent(in);
+    b.avgPool(3, 1, true, n + "_b4_pool");
+    b.conv2d(192, 1, 1, true, n + "_b4_proj").relu();
+    b.concatChannels(192 + 192 + 192, n + "_concat");
+}
+
+void
+reductionB(GraphBuilder &b, const std::string &n)
+{
+    const Shape in = b.current();
+    b.conv2d(192, 1, 1, true, n + "_b1_1x1").relu();
+    b.conv2d(320, 3, 2, false, n + "_b1_3x3").relu();
+    b.setCurrent(in);
+    b.conv2d(192, 1, 1, true, n + "_b2_1x1").relu();
+    b.conv2dRect(192, 1, 7, 1, true, n + "_b2_1x7").relu();
+    b.conv2dRect(192, 7, 1, 1, true, n + "_b2_7x1").relu();
+    b.conv2d(192, 3, 2, false, n + "_b2_3x3").relu();
+    b.setCurrent(in);
+    b.maxPool(3, 2, false, n + "_b3_pool");
+    b.concatChannels(320 + 192, n + "_concat");
+}
+
+void
+inceptionC(GraphBuilder &b, const std::string &n)
+{
+    const Shape in = b.current();
+    b.conv2d(320, 1, 1, true, n + "_b1_1x1").relu();
+    // Branch 2: 1x1 384 -> parallel 1x3 / 3x1 (each 384).
+    b.setCurrent(in);
+    b.conv2d(384, 1, 1, true, n + "_b2_1x1").relu();
+    const Shape b2 = b.current();
+    b.conv2dRect(384, 1, 3, 1, true, n + "_b2_1x3").relu();
+    b.setCurrent(b2);
+    b.conv2dRect(384, 3, 1, 1, true, n + "_b2_3x1").relu();
+    // Branch 3: 1x1 448 -> 3x3 384 -> parallel 1x3 / 3x1.
+    b.setCurrent(in);
+    b.conv2d(448, 1, 1, true, n + "_b3_1x1").relu();
+    b.conv2d(384, 3, 1, true, n + "_b3_3x3").relu();
+    const Shape b3 = b.current();
+    b.conv2dRect(384, 1, 3, 1, true, n + "_b3_1x3").relu();
+    b.setCurrent(b3);
+    b.conv2dRect(384, 3, 1, 1, true, n + "_b3_3x1").relu();
+    // Branch 4.
+    b.setCurrent(in);
+    b.avgPool(3, 1, true, n + "_b4_pool");
+    b.conv2d(192, 1, 1, true, n + "_b4_proj").relu();
+    b.concatChannels(320 + 2 * 384 + 2 * 384, n + "_concat");
+}
+
+} // namespace
+
+graph::Graph
+buildInceptionV3(DType dtype)
+{
+    GraphBuilder b("inception_v3", Shape::nhwc(299, 299, 3), dtype);
+    if (tensor::isQuantized(dtype))
+        b.quantize("input_quant");
+
+    // Stem.
+    b.conv2d(32, 3, 2, false, "stem_conv1").relu();
+    b.conv2d(32, 3, 1, false, "stem_conv2").relu();
+    b.conv2d(64, 3, 1, true, "stem_conv3").relu();
+    b.maxPool(3, 2, false, "stem_pool1");
+    b.conv2d(80, 1, 1, false, "stem_conv4").relu();
+    b.conv2d(192, 3, 1, false, "stem_conv5").relu();
+    b.maxPool(3, 2, false, "stem_pool2");
+
+    inceptionA(b, 32, "mixed0");
+    inceptionA(b, 64, "mixed1");
+    inceptionA(b, 64, "mixed2");
+    reductionA(b, "mixed3");
+    inceptionB(b, 128, "mixed4");
+    inceptionB(b, 160, "mixed5");
+    inceptionB(b, 160, "mixed6");
+    inceptionB(b, 192, "mixed7");
+    reductionB(b, "mixed8");
+    inceptionC(b, "mixed9");
+    inceptionC(b, "mixed10");
+
+    b.globalAvgPool("global_pool")
+        .reshape(Shape{1, 2048}, "flatten")
+        .fullyConnected(1001, "logits")
+        .softmax("prob");
+    if (tensor::isQuantized(dtype))
+        b.dequantize("output_dequant");
+    return b.build();
+}
+
+} // namespace aitax::models::detail

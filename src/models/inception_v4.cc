@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Inception v4 @ 299x299 (Szegedy et al., 2016).
+ *
+ * Stem + 4x Inception-A + Reduction-A + 7x Inception-B + Reduction-B +
+ * 3x Inception-C. ~12.3G MACs, ~42.7M parameters. Used by the paper's
+ * face-recognition workload and as its largest network — the one model
+ * for which NNAPI-DSP beat the CPU path (Section IV-B).
+ */
+
+#include "models/builders.h"
+
+#include "graph/builder.h"
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+void
+inceptionA(GraphBuilder &b, const std::string &n)
+{
+    const Shape in = b.current();
+    b.conv2d(96, 1, 1, true, n + "_b1_1x1").relu();
+    b.setCurrent(in);
+    b.conv2d(64, 1, 1, true, n + "_b2_1x1").relu();
+    b.conv2d(96, 3, 1, true, n + "_b2_3x3").relu();
+    b.setCurrent(in);
+    b.conv2d(64, 1, 1, true, n + "_b3_1x1").relu();
+    b.conv2d(96, 3, 1, true, n + "_b3_3x3a").relu();
+    b.conv2d(96, 3, 1, true, n + "_b3_3x3b").relu();
+    b.setCurrent(in);
+    b.avgPool(3, 1, true, n + "_b4_pool");
+    b.conv2d(96, 1, 1, true, n + "_b4_proj").relu();
+    b.concatChannels(96 * 3, n + "_concat");
+}
+
+void
+reductionA(GraphBuilder &b, const std::string &n)
+{
+    const Shape in = b.current();
+    b.conv2d(384, 3, 2, false, n + "_b1_3x3").relu();
+    b.setCurrent(in);
+    b.conv2d(192, 1, 1, true, n + "_b2_1x1").relu();
+    b.conv2d(224, 3, 1, true, n + "_b2_3x3a").relu();
+    b.conv2d(256, 3, 2, false, n + "_b2_3x3b").relu();
+    b.setCurrent(in);
+    b.maxPool(3, 2, false, n + "_b3_pool");
+    b.concatChannels(384 + 256, n + "_concat");
+}
+
+void
+inceptionB(GraphBuilder &b, const std::string &n)
+{
+    const Shape in = b.current();
+    b.conv2d(384, 1, 1, true, n + "_b1_1x1").relu();
+    b.setCurrent(in);
+    b.conv2d(192, 1, 1, true, n + "_b2_1x1").relu();
+    b.conv2dRect(224, 1, 7, 1, true, n + "_b2_1x7").relu();
+    b.conv2dRect(256, 7, 1, 1, true, n + "_b2_7x1").relu();
+    b.setCurrent(in);
+    b.conv2d(192, 1, 1, true, n + "_b3_1x1").relu();
+    b.conv2dRect(192, 7, 1, 1, true, n + "_b3_7x1a").relu();
+    b.conv2dRect(224, 1, 7, 1, true, n + "_b3_1x7a").relu();
+    b.conv2dRect(224, 7, 1, 1, true, n + "_b3_7x1b").relu();
+    b.conv2dRect(256, 1, 7, 1, true, n + "_b3_1x7b").relu();
+    b.setCurrent(in);
+    b.avgPool(3, 1, true, n + "_b4_pool");
+    b.conv2d(128, 1, 1, true, n + "_b4_proj").relu();
+    b.concatChannels(384 + 256 + 256, n + "_concat");
+}
+
+void
+reductionB(GraphBuilder &b, const std::string &n)
+{
+    const Shape in = b.current();
+    b.conv2d(192, 1, 1, true, n + "_b1_1x1").relu();
+    b.conv2d(192, 3, 2, false, n + "_b1_3x3").relu();
+    b.setCurrent(in);
+    b.conv2d(256, 1, 1, true, n + "_b2_1x1").relu();
+    b.conv2dRect(256, 1, 7, 1, true, n + "_b2_1x7").relu();
+    b.conv2dRect(320, 7, 1, 1, true, n + "_b2_7x1").relu();
+    b.conv2d(320, 3, 2, false, n + "_b2_3x3").relu();
+    b.setCurrent(in);
+    b.maxPool(3, 2, false, n + "_b3_pool");
+    b.concatChannels(192 + 320, n + "_concat");
+}
+
+void
+inceptionC(GraphBuilder &b, const std::string &n)
+{
+    const Shape in = b.current();
+    b.conv2d(256, 1, 1, true, n + "_b1_1x1").relu();
+    b.setCurrent(in);
+    b.conv2d(384, 1, 1, true, n + "_b2_1x1").relu();
+    const Shape b2 = b.current();
+    b.conv2dRect(256, 1, 3, 1, true, n + "_b2_1x3").relu();
+    b.setCurrent(b2);
+    b.conv2dRect(256, 3, 1, 1, true, n + "_b2_3x1").relu();
+    b.setCurrent(in);
+    b.conv2d(384, 1, 1, true, n + "_b3_1x1").relu();
+    b.conv2dRect(448, 3, 1, 1, true, n + "_b3_3x1").relu();
+    b.conv2dRect(512, 1, 3, 1, true, n + "_b3_1x3").relu();
+    const Shape b3 = b.current();
+    b.conv2dRect(256, 1, 3, 1, true, n + "_b3_1x3b").relu();
+    b.setCurrent(b3);
+    b.conv2dRect(256, 3, 1, 1, true, n + "_b3_3x1b").relu();
+    b.setCurrent(in);
+    b.avgPool(3, 1, true, n + "_b4_pool");
+    b.conv2d(256, 1, 1, true, n + "_b4_proj").relu();
+    b.concatChannels(256 + 512 + 512, n + "_concat");
+}
+
+} // namespace
+
+graph::Graph
+buildInceptionV4(DType dtype)
+{
+    GraphBuilder b("inception_v4", Shape::nhwc(299, 299, 3), dtype);
+    if (tensor::isQuantized(dtype))
+        b.quantize("input_quant");
+
+    // Stem.
+    b.conv2d(32, 3, 2, false, "stem_conv1").relu();
+    b.conv2d(32, 3, 1, false, "stem_conv2").relu();
+    b.conv2d(64, 3, 1, true, "stem_conv3").relu();
+    {
+        const Shape in = b.current();
+        b.maxPool(3, 2, false, "stem_pool1");
+        b.setCurrent(in);
+        b.conv2d(96, 3, 2, false, "stem_conv4").relu();
+        b.concatChannels(64, "stem_concat1"); // 96 + 64 = 160
+    }
+    {
+        const Shape in = b.current();
+        b.conv2d(64, 1, 1, true, "stem_b1_1x1").relu();
+        b.conv2d(96, 3, 1, false, "stem_b1_3x3").relu();
+        b.setCurrent(in);
+        b.conv2d(64, 1, 1, true, "stem_b2_1x1").relu();
+        b.conv2dRect(64, 7, 1, 1, true, "stem_b2_7x1").relu();
+        b.conv2dRect(64, 1, 7, 1, true, "stem_b2_1x7").relu();
+        b.conv2d(96, 3, 1, false, "stem_b2_3x3").relu();
+        b.concatChannels(96, "stem_concat2"); // 96 + 96 = 192
+    }
+    {
+        const Shape in = b.current();
+        b.conv2d(192, 3, 2, false, "stem_conv5").relu();
+        b.setCurrent(in);
+        b.maxPool(3, 2, false, "stem_pool2");
+        b.concatChannels(192, "stem_concat3"); // 192 + 192 = 384
+    }
+
+    for (int i = 0; i < 4; ++i)
+        inceptionA(b, "inceptionA_" + std::to_string(i));
+    reductionA(b, "reductionA");
+    for (int i = 0; i < 7; ++i)
+        inceptionB(b, "inceptionB_" + std::to_string(i));
+    reductionB(b, "reductionB");
+    for (int i = 0; i < 3; ++i)
+        inceptionC(b, "inceptionC_" + std::to_string(i));
+
+    b.globalAvgPool("global_pool")
+        .reshape(Shape{1, 1536}, "flatten")
+        .fullyConnected(1001, "logits")
+        .softmax("prob");
+    if (tensor::isQuantized(dtype))
+        b.dequantize("output_dequant");
+    return b.build();
+}
+
+} // namespace aitax::models::detail

@@ -1,0 +1,69 @@
+#include "models/mnv2_backbone.h"
+
+#include <string>
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+
+namespace {
+
+/** Inverted-residual bottleneck (expansion t, output c, stride s). */
+void
+bottleneck(GraphBuilder &b, std::int64_t in_c, std::int64_t out_c,
+           std::int32_t t, std::int32_t stride, const std::string &n)
+{
+    if (t != 1)
+        b.conv2d(in_c * t, 1, 1, true, n + "_expand").relu6();
+    b.dwconv2d(3, stride, true, n + "_dw").relu6();
+    b.conv2d(out_c, 1, 1, true, n + "_project");
+    if (stride == 1 && in_c == out_c)
+        b.residualAdd(n + "_residual");
+}
+
+} // namespace
+
+void
+mobileNetV2Backbone(graph::GraphBuilder &b, std::int32_t output_stride,
+                    bool include_head)
+{
+    b.conv2d(32, 3, 2, true, "mnv2_stem").relu6();
+
+    struct StageCfg
+    {
+        std::int32_t t;
+        std::int64_t c;
+        std::int32_t n;
+        std::int32_t s;
+    };
+    const StageCfg stages[] = {
+        {1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+        {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+    };
+
+    std::int64_t in_c = 32;
+    std::int32_t stride_so_far = 2;
+    int idx = 0;
+    for (const auto &st : stages) {
+        for (std::int32_t layer = 0; layer < st.n; ++layer) {
+            std::int32_t stride = (layer == 0) ? st.s : 1;
+            // With a capped output stride, later stages run dense
+            // (dilated in the original; stride 1 is cost-equivalent
+            // up to the enlarged feature map it produces).
+            if (stride == 2 && stride_so_far >= output_stride)
+                stride = 1;
+            if (layer == 0 && st.s == 2 && stride == 2)
+                stride_so_far *= 2;
+            bottleneck(b, in_c, st.c, st.t, stride,
+                       "mnv2_b" + std::to_string(idx) + "_" +
+                           std::to_string(layer));
+            in_c = st.c;
+        }
+        ++idx;
+    }
+
+    if (include_head)
+        b.conv2d(1280, 1, 1, true, "mnv2_head").relu6();
+}
+
+} // namespace aitax::models::detail

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared MobileNetV2 backbone used by DeepLab-v3 and SSD MobileNet v2.
+ */
+
+#ifndef AITAX_MODELS_MNV2_BACKBONE_H
+#define AITAX_MODELS_MNV2_BACKBONE_H
+
+#include <cstdint>
+
+#include "graph/builder.h"
+
+namespace aitax::models::detail {
+
+/**
+ * Append the MobileNetV2 feature extractor to @p b.
+ *
+ * @param b the builder positioned at the image input.
+ * @param output_stride 32 for classification/SSD use; 16 for DeepLab
+ *        (the final stage then keeps stride 1, standing in for the
+ *        dilated convolutions of the original).
+ * @param include_head whether to append the final 1x1 conv to 1280.
+ */
+void mobileNetV2Backbone(graph::GraphBuilder &b,
+                         std::int32_t output_stride,
+                         bool include_head);
+
+} // namespace aitax::models::detail
+
+#endif // AITAX_MODELS_MNV2_BACKBONE_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Mobile BERT (Sun et al., 2020), sequence length 128.
+ *
+ * 24 bottlenecked transformer layers: 512-wide embeddings projected to
+ * a 128-wide intra-block width, 4-head self-attention, and a stack of
+ * four 128->512->128 feed-forward networks per layer. ~25M parameters.
+ */
+
+#include "models/builders.h"
+
+#include "graph/builder.h"
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+constexpr std::int64_t kSeqLen = 128;
+constexpr std::int64_t kVocab = 30522;
+constexpr std::int64_t kEmbedWidth = 512;
+constexpr std::int64_t kIntraWidth = 128;
+constexpr std::int64_t kFfnWidth = 512;
+constexpr int kLayers = 24;
+constexpr int kFfnPerLayer = 4;
+
+void
+transformerLayer(GraphBuilder &b, const std::string &n)
+{
+    // Bottleneck in: 512 -> 128.
+    b.matmul(1, kSeqLen, kEmbedWidth, kIntraWidth, true, n + "_bn_in");
+    b.layerNorm(n + "_bn_in_ln");
+
+    // Self-attention: Q, K, V projections at the intra width.
+    b.matmul(1, kSeqLen, kIntraWidth, kIntraWidth, true, n + "_q");
+    b.matmul(1, kSeqLen, kIntraWidth, kIntraWidth, true, n + "_k");
+    b.matmul(1, kSeqLen, kIntraWidth, kIntraWidth, true, n + "_v");
+    // Scores (QK^T) and context (AV): activation-activation matmuls.
+    b.matmul(1, kSeqLen, kIntraWidth, kSeqLen, false, n + "_qk");
+    b.softmax(n + "_attn_softmax");
+    b.matmul(1, kSeqLen, kSeqLen, kIntraWidth, false, n + "_av");
+    b.matmul(1, kSeqLen, kIntraWidth, kIntraWidth, true, n + "_attn_out");
+    b.residualAdd(n + "_attn_residual");
+    b.layerNorm(n + "_attn_ln");
+
+    // Stacked FFNs.
+    for (int f = 0; f < kFfnPerLayer; ++f) {
+        const std::string fn = n + "_ffn" + std::to_string(f);
+        b.matmul(1, kSeqLen, kIntraWidth, kFfnWidth, true, fn + "_up");
+        b.gelu(fn + "_gelu");
+        b.matmul(1, kSeqLen, kFfnWidth, kIntraWidth, true, fn + "_down");
+        b.residualAdd(fn + "_residual");
+        b.layerNorm(fn + "_ln");
+    }
+
+    // Bottleneck out: 128 -> 512.
+    b.matmul(1, kSeqLen, kIntraWidth, kEmbedWidth, true, n + "_bn_out");
+    b.residualAdd(n + "_bn_out_residual");
+    b.layerNorm(n + "_bn_out_ln");
+}
+
+} // namespace
+
+graph::Graph
+buildMobileBert(DType dtype)
+{
+    GraphBuilder b("mobile_bert", Shape{1, kSeqLen}, dtype);
+    if (tensor::isQuantized(dtype))
+        b.quantize("input_quant");
+
+    b.embedding(kVocab, kEmbedWidth, kSeqLen, "token_embedding");
+    b.layerNorm("embedding_ln");
+
+    for (int layer = 0; layer < kLayers; ++layer)
+        transformerLayer(b, "layer" + std::to_string(layer));
+
+    // Span-style output head (start/end logits per token).
+    b.matmul(1, kSeqLen, kEmbedWidth, 2, true, "qa_logits");
+    if (tensor::isQuantized(dtype))
+        b.dequantize("output_dequant");
+    return b.build();
+}
+
+} // namespace aitax::models::detail

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MobileNet 1.0 v1 @ 224x224 (Howard et al., 2017).
+ *
+ * 13 depthwise-separable blocks after a 3x3 stem; ~569M MACs,
+ * ~4.2M parameters.
+ */
+
+#include "models/builders.h"
+
+#include "graph/builder.h"
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+/** One depthwise-separable block: dw3x3 -> relu6 -> pw1x1 -> relu6. */
+void
+separableBlock(GraphBuilder &b, std::int64_t out_channels,
+               std::int32_t stride)
+{
+    b.dwconv2d(3, stride).relu6().conv2d(out_channels, 1, 1).relu6();
+}
+
+} // namespace
+
+graph::Graph
+buildMobileNetV1(DType dtype)
+{
+    GraphBuilder b("mobilenet_v1", Shape::nhwc(224, 224, 3), dtype);
+    if (tensor::isQuantized(dtype))
+        b.quantize("input_quant");
+
+    b.conv2d(32, 3, 2, true, "stem").relu6();
+
+    separableBlock(b, 64, 1);
+    separableBlock(b, 128, 2);
+    separableBlock(b, 128, 1);
+    separableBlock(b, 256, 2);
+    separableBlock(b, 256, 1);
+    separableBlock(b, 512, 2);
+    for (int i = 0; i < 5; ++i)
+        separableBlock(b, 512, 1);
+    separableBlock(b, 1024, 2);
+    separableBlock(b, 1024, 1);
+
+    b.globalAvgPool("global_pool")
+        .reshape(Shape{1, 1024}, "flatten")
+        .fullyConnected(1001, "logits")
+        .softmax("prob");
+    if (tensor::isQuantized(dtype))
+        b.dequantize("output_dequant");
+    return b.build();
+}
+
+} // namespace aitax::models::detail

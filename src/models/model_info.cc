@@ -1,0 +1,57 @@
+#include "models/model_info.h"
+
+namespace aitax::models {
+
+std::string_view
+taskName(Task t)
+{
+    switch (t) {
+      case Task::Classification: return "Classification";
+      case Task::FaceRecognition: return "Face Recognition";
+      case Task::Segmentation: return "Segmentation";
+      case Task::ObjectDetection: return "Object Detection";
+      case Task::PoseEstimation: return "Pose Estimation";
+      case Task::LanguageProcessing: return "Language Processing";
+    }
+    return "unknown";
+}
+
+std::string_view
+preTaskName(PreTask t)
+{
+    switch (t) {
+      case PreTask::BitmapFormat: return "bitmap-format";
+      case PreTask::Scale: return "scale";
+      case PreTask::Crop: return "crop";
+      case PreTask::Normalize: return "normalize";
+      case PreTask::Rotate: return "rotate";
+      case PreTask::TypeConvert: return "type-convert";
+      case PreTask::Tokenize: return "tokenization";
+    }
+    return "unknown";
+}
+
+std::string_view
+postTaskName(PostTask t)
+{
+    switch (t) {
+      case PostTask::TopK: return "topK";
+      case PostTask::Dequantize: return "dequantization";
+      case PostTask::MaskFlatten: return "mask flattening";
+      case PostTask::Keypoints: return "calculate keypoints";
+      case PostTask::BBoxDecode: return "bbox decode";
+      case PostTask::Logits: return "compute logits";
+    }
+    return "unknown";
+}
+
+bool
+ModelInfo::supports(bool nnapi, tensor::DType dtype) const
+{
+    const bool int8 = tensor::isQuantized(dtype);
+    if (nnapi)
+        return int8 ? nnapiInt8 : nnapiFp32;
+    return int8 ? cpuInt8 : cpuFp32;
+}
+
+} // namespace aitax::models

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Model metadata mirroring Table I of the paper: task, input
+ * resolution, pre-/post-processing tasks, and framework/format support.
+ */
+
+#ifndef AITAX_MODELS_MODEL_INFO_H
+#define AITAX_MODELS_MODEL_INFO_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/dtype.h"
+
+namespace aitax::models {
+
+/** ML task categories from Table I. */
+enum class Task
+{
+    Classification,
+    FaceRecognition,
+    Segmentation,
+    ObjectDetection,
+    PoseEstimation,
+    LanguageProcessing,
+};
+
+std::string_view taskName(Task t);
+
+/** Pre-processing steps an application performs before inference. */
+enum class PreTask
+{
+    BitmapFormat, ///< YUV NV21 -> ARGB8888 conversion
+    Scale,        ///< bilinear resize to model input
+    Crop,         ///< center crop
+    Normalize,    ///< zero mean / unit variance
+    Rotate,       ///< orientation fix (PoseNet)
+    TypeConvert,  ///< byte -> float / quantize
+    Tokenize,     ///< wordpiece tokenization (Mobile BERT)
+};
+
+std::string_view preTaskName(PreTask t);
+
+/** Post-processing steps after inference. */
+enum class PostTask
+{
+    TopK,         ///< select likeliest classes
+    Dequantize,   ///< quantized models only
+    MaskFlatten,  ///< segmentation mask -> label image
+    Keypoints,    ///< pose keypoint decode
+    BBoxDecode,   ///< detection box decode + NMS
+    Logits,       ///< compute logits (BERT)
+};
+
+std::string_view postTaskName(PostTask t);
+
+/**
+ * Static description of one Table I entry.
+ */
+struct ModelInfo
+{
+    std::string id;          ///< stable identifier, e.g. "mobilenet_v1"
+    std::string displayName; ///< e.g. "MobileNet 1.0 v1"
+    Task task = Task::Classification;
+    /** Input resolution (HxW); 0 for non-image models (BERT). */
+    std::int32_t inputH = 0;
+    std::int32_t inputW = 0;
+    std::int32_t inputChannels = 3;
+    /** Sequence length for language models. */
+    std::int32_t seqLen = 0;
+    std::vector<PreTask> preTasks;
+    std::vector<PostTask> postTasks;
+    /** Framework/format support matrix (Table I's last four columns). */
+    bool nnapiFp32 = false;
+    bool nnapiInt8 = false;
+    bool cpuFp32 = false;
+    bool cpuInt8 = false;
+
+    /** Number of classes / output entities. */
+    std::int32_t numClasses = 1000;
+
+    /** True if the model supports the given format on the framework. */
+    bool supports(bool nnapi, tensor::DType dtype) const;
+};
+
+} // namespace aitax::models
+
+#endif // AITAX_MODELS_MODEL_INFO_H

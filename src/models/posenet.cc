@@ -1,0 +1,71 @@
+/**
+ * @file
+ * PoseNet @ 224x224 (TFLite single-person pose estimation).
+ *
+ * MobileNet v1 feature extractor at output stride 16 with four
+ * prediction heads: keypoint heatmaps (17), short-range offsets (34)
+ * and forward/backward displacement maps (32 each). The heavy
+ * keypoint decode on these maps is PoseNet's post-processing story in
+ * the paper.
+ */
+
+#include "models/builders.h"
+
+#include "graph/builder.h"
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+void
+separableBlock(GraphBuilder &b, std::int64_t out_channels,
+               std::int32_t stride, const std::string &n)
+{
+    b.dwconv2d(3, stride, true, n + "_dw").relu6();
+    b.conv2d(out_channels, 1, 1, true, n + "_pw").relu6();
+}
+
+} // namespace
+
+graph::Graph
+buildPoseNet(DType dtype)
+{
+    GraphBuilder b("posenet", Shape::nhwc(224, 224, 3), dtype);
+    if (tensor::isQuantized(dtype))
+        b.quantize("input_quant");
+
+    b.conv2d(32, 3, 2, true, "stem").relu6();
+    separableBlock(b, 64, 1, "block1");
+    separableBlock(b, 128, 2, "block2");
+    separableBlock(b, 128, 1, "block3");
+    separableBlock(b, 256, 2, "block4");
+    separableBlock(b, 256, 1, "block5");
+    separableBlock(b, 512, 2, "block6");
+    for (int i = 0; i < 5; ++i)
+        separableBlock(b, 512, 1, "block7_" + std::to_string(i));
+    // Output stride 16: final stage keeps stride 1.
+    separableBlock(b, 1024, 1, "block8");
+    separableBlock(b, 1024, 1, "block9");
+
+    const Shape feat = b.current(); // 14x14x1024
+    b.conv2d(17, 1, 1, true, "heatmaps");
+    b.logistic("heatmap_scores");
+    b.setCurrent(feat);
+    b.conv2d(34, 1, 1, true, "offsets");
+    b.setCurrent(feat);
+    b.conv2d(32, 1, 1, true, "displacement_fwd");
+    b.setCurrent(feat);
+    b.conv2d(32, 1, 1, true, "displacement_bwd");
+    // Join: heads are consumed independently by the decoder; the
+    // concat records combined output traffic.
+    b.concatChannels(17 + 34 + 32, "head_concat");
+    if (tensor::isQuantized(dtype))
+        b.dequantize("output_dequant");
+    return b.build();
+}
+
+} // namespace aitax::models::detail

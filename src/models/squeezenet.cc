@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SqueezeNet v1.0 @ 227x227 (Iandola et al., 2016).
+ *
+ * Fire modules: a 1x1 squeeze conv feeding parallel 1x1 and 3x3 expand
+ * convs whose outputs concatenate. ~1.25M parameters.
+ */
+
+#include "models/builders.h"
+
+#include "graph/builder.h"
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+/**
+ * Fire module. The two expand branches share the squeeze output; we
+ * build expand1x1, rewind the builder's current shape, build expand3x3,
+ * then concat the branch widths.
+ */
+void
+fire(GraphBuilder &b, std::int64_t squeeze, std::int64_t expand1,
+     std::int64_t expand3, const std::string &name)
+{
+    b.conv2d(squeeze, 1, 1, true, name + "_squeeze").relu();
+    const Shape branch_in = b.current();
+    b.conv2d(expand1, 1, 1, true, name + "_expand1x1").relu();
+    b.setCurrent(branch_in);
+    b.conv2d(expand3, 3, 1, true, name + "_expand3x3").relu();
+    b.concatChannels(expand1, name + "_concat");
+}
+
+} // namespace
+
+graph::Graph
+buildSqueezeNet(DType dtype)
+{
+    GraphBuilder b("squeezenet", Shape::nhwc(227, 227, 3), dtype);
+    if (tensor::isQuantized(dtype))
+        b.quantize("input_quant");
+
+    b.conv2d(96, 7, 2, false, "conv1").relu();
+    b.maxPool(3, 2, false, "pool1");
+    fire(b, 16, 64, 64, "fire2");
+    fire(b, 16, 64, 64, "fire3");
+    fire(b, 32, 128, 128, "fire4");
+    b.maxPool(3, 2, false, "pool4");
+    fire(b, 32, 128, 128, "fire5");
+    fire(b, 48, 192, 192, "fire6");
+    fire(b, 48, 192, 192, "fire7");
+    fire(b, 64, 256, 256, "fire8");
+    b.maxPool(3, 2, false, "pool8");
+    fire(b, 64, 256, 256, "fire9");
+
+    b.conv2d(1000, 1, 1, true, "conv10").relu();
+    b.globalAvgPool("global_pool")
+        .reshape(Shape{1, 1000}, "flatten")
+        .softmax("prob");
+    if (tensor::isQuantized(dtype))
+        b.dequantize("output_dequant");
+    return b.build();
+}
+
+} // namespace aitax::models::detail

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SSD MobileNet v2 @ 300x300 (Liu et al., 2016; Sandler et al., 2018).
+ *
+ * MobileNetV2 feature extractor plus SSDLite-style multi-scale heads:
+ * four extra feature levels and per-level box/class predictors over
+ * the standard 1917-anchor grid.
+ */
+
+#include "models/builders.h"
+
+#include "models/mnv2_backbone.h"
+
+namespace aitax::models::detail {
+
+using graph::GraphBuilder;
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+/** SSDLite predictor: depthwise 3x3 + 1x1 to the prediction width. */
+void
+predictor(GraphBuilder &b, const Shape &feature, std::int64_t out_c,
+          const std::string &n)
+{
+    b.setCurrent(feature);
+    b.dwconv2d(3, 1, true, n + "_dw");
+    b.conv2d(out_c, 1, 1, true, n + "_pw");
+}
+
+} // namespace
+
+graph::Graph
+buildSsdMobileNetV2(DType dtype)
+{
+    constexpr std::int64_t anchors_per_cell = 6;
+    constexpr std::int64_t num_classes = 91; // COCO, incl. background
+
+    GraphBuilder b("ssd_mobilenet_v2", Shape::nhwc(300, 300, 3), dtype);
+    if (tensor::isQuantized(dtype))
+        b.quantize("input_quant");
+
+    mobileNetV2Backbone(b, /*output_stride=*/32, /*include_head=*/true);
+
+    // Extra feature levels: 10x10 -> 5x5 -> 3x3 -> 2x2 -> 1x1.
+    std::vector<Shape> features;
+    features.push_back(b.current()); // 10x10x1280
+    const std::int64_t extra_channels[] = {512, 256, 256, 128};
+    for (int i = 0; i < 4; ++i) {
+        b.conv2d(extra_channels[i] / 2, 1, 1, true,
+                 "extra" + std::to_string(i) + "_proj")
+            .relu6();
+        b.conv2d(extra_channels[i], 3, 2, true,
+                 "extra" + std::to_string(i) + "_conv")
+            .relu6();
+        features.push_back(b.current());
+    }
+
+    // Box and class heads per level.
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        predictor(b, features[i], anchors_per_cell * 4,
+                  "box_head" + std::to_string(i));
+        predictor(b, features[i], anchors_per_cell * num_classes,
+                  "class_head" + std::to_string(i));
+    }
+
+    // Gather predictions: anchors x (4 + classes).
+    std::int64_t total_anchors = 0;
+    for (const auto &f : features)
+        total_anchors += f.height() * f.width() * anchors_per_cell;
+    b.reshape(Shape{1, b.current().elementCount()}, "flatten_heads");
+    b.setCurrent(Shape{1, total_anchors, 4 + num_classes});
+    b.logistic("score_activation");
+    if (tensor::isQuantized(dtype))
+        b.dequantize("output_dequant");
+    return b.build();
+}
+
+} // namespace aitax::models::detail

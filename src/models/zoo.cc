@@ -1,0 +1,205 @@
+#include "models/zoo.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "models/builders.h"
+
+namespace aitax::models {
+
+namespace {
+
+using enum PreTask;
+using enum PostTask;
+
+std::vector<ModelInfo>
+makeRegistry()
+{
+    // Rows mirror Table I of the paper, in order. The classification
+    // pre-processing set {scale, crop, normalize} implicitly begins
+    // with bitmap formatting and ends with type conversion inside real
+    // applications; those two are added by the application pipeline.
+    std::vector<ModelInfo> v;
+
+    ModelInfo m;
+
+    m = {};
+    m.id = "mobilenet_v1";
+    m.displayName = "MobileNet 1.0 v1";
+    m.task = Task::Classification;
+    m.inputH = m.inputW = 224;
+    m.preTasks = {Scale, Crop, Normalize};
+    m.postTasks = {TopK, Dequantize};
+    m.nnapiFp32 = m.nnapiInt8 = m.cpuFp32 = m.cpuInt8 = true;
+    v.push_back(m);
+
+    m = {};
+    m.id = "nasnet_mobile";
+    m.displayName = "NasNet Mobile";
+    m.task = Task::Classification;
+    m.inputH = m.inputW = 331;
+    m.preTasks = {Scale, Crop, Normalize};
+    m.postTasks = {TopK, Dequantize};
+    m.nnapiFp32 = m.cpuFp32 = true;
+    v.push_back(m);
+
+    m = {};
+    m.id = "squeezenet";
+    m.displayName = "SqueezeNet";
+    m.task = Task::Classification;
+    m.inputH = m.inputW = 227;
+    m.preTasks = {Scale, Crop, Normalize};
+    m.postTasks = {TopK, Dequantize};
+    m.nnapiFp32 = m.cpuFp32 = true;
+    v.push_back(m);
+
+    m = {};
+    m.id = "efficientnet_lite0";
+    m.displayName = "EfficientNet-Lite0";
+    m.task = Task::Classification;
+    m.inputH = m.inputW = 224;
+    m.preTasks = {Scale, Crop, Normalize};
+    m.postTasks = {TopK, Dequantize};
+    m.nnapiFp32 = m.nnapiInt8 = m.cpuFp32 = m.cpuInt8 = true;
+    v.push_back(m);
+
+    m = {};
+    m.id = "alexnet";
+    m.displayName = "AlexNet";
+    m.task = Task::Classification;
+    m.inputH = m.inputW = 256;
+    m.preTasks = {Scale, Crop, Normalize};
+    m.postTasks = {TopK, Dequantize};
+    m.cpuFp32 = m.cpuInt8 = true;
+    v.push_back(m);
+
+    m = {};
+    m.id = "inception_v4";
+    m.displayName = "Inception v4";
+    m.task = Task::FaceRecognition;
+    m.inputH = m.inputW = 299;
+    m.preTasks = {Scale, Crop, Normalize};
+    m.postTasks = {TopK, Dequantize};
+    m.nnapiFp32 = m.nnapiInt8 = m.cpuFp32 = m.cpuInt8 = true;
+    v.push_back(m);
+
+    m = {};
+    m.id = "inception_v3";
+    m.displayName = "Inception v3";
+    m.task = Task::FaceRecognition;
+    m.inputH = m.inputW = 299;
+    m.preTasks = {Scale, Crop, Normalize};
+    m.postTasks = {TopK, Dequantize};
+    m.nnapiFp32 = m.nnapiInt8 = m.cpuFp32 = m.cpuInt8 = true;
+    v.push_back(m);
+
+    m = {};
+    m.id = "deeplab_v3";
+    m.displayName = "Deeplab-v3 Mobilenet-v2";
+    m.task = Task::Segmentation;
+    m.inputH = m.inputW = 513;
+    m.preTasks = {Scale, Normalize};
+    m.postTasks = {MaskFlatten};
+    m.nnapiFp32 = m.cpuFp32 = true;
+    m.numClasses = 21;
+    v.push_back(m);
+
+    m = {};
+    m.id = "ssd_mobilenet_v2";
+    m.displayName = "SSD MobileNet v2";
+    m.task = Task::ObjectDetection;
+    m.inputH = m.inputW = 300;
+    m.preTasks = {Scale, Crop, Normalize};
+    m.postTasks = {TopK, Dequantize, BBoxDecode};
+    m.nnapiFp32 = m.nnapiInt8 = m.cpuFp32 = m.cpuInt8 = true;
+    m.numClasses = 91;
+    v.push_back(m);
+
+    m = {};
+    m.id = "posenet";
+    m.displayName = "PoseNet";
+    m.task = Task::PoseEstimation;
+    m.inputH = m.inputW = 224;
+    m.preTasks = {Scale, Crop, Normalize, Rotate};
+    m.postTasks = {Keypoints};
+    m.nnapiFp32 = m.cpuFp32 = true;
+    m.numClasses = 17;
+    v.push_back(m);
+
+    m = {};
+    m.id = "mobile_bert";
+    m.displayName = "Mobile BERT";
+    m.task = Task::LanguageProcessing;
+    m.inputH = m.inputW = 0;
+    m.seqLen = 128;
+    m.preTasks = {Tokenize};
+    m.postTasks = {TopK, Logits};
+    m.nnapiFp32 = m.cpuFp32 = true;
+    m.numClasses = 2;
+    v.push_back(m);
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<ModelInfo> &
+allModels()
+{
+    static const std::vector<ModelInfo> registry = makeRegistry();
+    return registry;
+}
+
+const ModelInfo *
+findModel(std::string_view id)
+{
+    for (const auto &m : allModels())
+        if (m.id == id)
+            return &m;
+    return nullptr;
+}
+
+graph::Graph
+buildGraph(const ModelInfo &info, tensor::DType dtype)
+{
+    using namespace detail;
+    if (info.id == "mobilenet_v1")
+        return buildMobileNetV1(dtype);
+    if (info.id == "nasnet_mobile")
+        return buildNasNetMobile(dtype);
+    if (info.id == "squeezenet")
+        return buildSqueezeNet(dtype);
+    if (info.id == "efficientnet_lite0")
+        return buildEfficientNetLite0(dtype);
+    if (info.id == "alexnet")
+        return buildAlexNet(dtype);
+    if (info.id == "inception_v3")
+        return buildInceptionV3(dtype);
+    if (info.id == "inception_v4")
+        return buildInceptionV4(dtype);
+    if (info.id == "deeplab_v3")
+        return buildDeepLabV3(dtype);
+    if (info.id == "ssd_mobilenet_v2")
+        return buildSsdMobileNetV2(dtype);
+    if (info.id == "posenet")
+        return buildPoseNet(dtype);
+    if (info.id == "mobile_bert")
+        return buildMobileBert(dtype);
+    assert(false && "unknown model id");
+    std::abort();
+}
+
+graph::Graph
+buildGraph(std::string_view id, tensor::DType dtype)
+{
+    const ModelInfo *info = findModel(id);
+    if (info == nullptr) {
+        std::fprintf(stderr, "unknown model id: %.*s\n",
+                     static_cast<int>(id.size()), id.data());
+        std::abort();
+    }
+    return buildGraph(*info, dtype);
+}
+
+} // namespace aitax::models

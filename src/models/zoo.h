@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The model zoo: every Table I benchmark, buildable as a graph.
+ */
+
+#ifndef AITAX_MODELS_ZOO_H
+#define AITAX_MODELS_ZOO_H
+
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "models/model_info.h"
+
+namespace aitax::models {
+
+/** All Table I models, in the paper's row order. */
+const std::vector<ModelInfo> &allModels();
+
+/** Look up a model by stable id; nullptr if unknown. */
+const ModelInfo *findModel(std::string_view id);
+
+/**
+ * Build the op graph for a model at a given numeric format.
+ *
+ * Quantized graphs carry Quantize/Dequantize boundary ops, mirroring
+ * how TFLite quantized models ingest uint8 and emit uint8 scores.
+ */
+graph::Graph buildGraph(const ModelInfo &info, tensor::DType dtype);
+
+/** Convenience overload; aborts on unknown id. */
+graph::Graph buildGraph(std::string_view id, tensor::DType dtype);
+
+} // namespace aitax::models
+
+#endif // AITAX_MODELS_ZOO_H

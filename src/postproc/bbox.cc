@@ -1,0 +1,138 @@
+#include "postproc/bbox.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aitax::postproc {
+
+float
+Box::area() const
+{
+    return std::max(0.0f, ymax - ymin) * std::max(0.0f, xmax - xmin);
+}
+
+float
+iou(const Box &a, const Box &b)
+{
+    const float iy0 = std::max(a.ymin, b.ymin);
+    const float ix0 = std::max(a.xmin, b.xmin);
+    const float iy1 = std::min(a.ymax, b.ymax);
+    const float ix1 = std::min(a.xmax, b.xmax);
+    const float inter =
+        std::max(0.0f, iy1 - iy0) * std::max(0.0f, ix1 - ix0);
+    const float uni = a.area() + b.area() - inter;
+    if (uni <= 0.0f)
+        return 0.0f;
+    return inter / uni;
+}
+
+std::vector<Anchor>
+makeAnchorGrid(std::int32_t rows, std::int32_t cols, std::int32_t scales)
+{
+    std::vector<Anchor> anchors;
+    anchors.reserve(static_cast<std::size_t>(rows) * cols * scales);
+    for (std::int32_t r = 0; r < rows; ++r) {
+        for (std::int32_t c = 0; c < cols; ++c) {
+            for (std::int32_t s = 0; s < scales; ++s) {
+                Anchor a;
+                a.cy = (static_cast<float>(r) + 0.5f) / rows;
+                a.cx = (static_cast<float>(c) + 0.5f) / cols;
+                const float base = 0.08f * static_cast<float>(s + 1);
+                // Alternate aspect ratios across scales.
+                const float ratio = (s % 2 == 0) ? 1.0f : 2.0f;
+                a.h = base / std::sqrt(ratio);
+                a.w = base * std::sqrt(ratio);
+                anchors.push_back(a);
+            }
+        }
+    }
+    return anchors;
+}
+
+std::vector<Detection>
+decodeDetections(const std::vector<Anchor> &anchors,
+                 const std::vector<float> &box_deltas,
+                 const std::vector<float> &class_scores,
+                 std::int32_t num_classes, float score_threshold)
+{
+    assert(box_deltas.size() == anchors.size() * 4);
+    assert(class_scores.size() == anchors.size() *
+                                      static_cast<std::size_t>(num_classes));
+
+    std::vector<Detection> out;
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+        // Best class (skipping background class 0).
+        std::int32_t best_class = -1;
+        float best_score = score_threshold;
+        for (std::int32_t c = 1; c < num_classes; ++c) {
+            const float s =
+                class_scores[i * static_cast<std::size_t>(num_classes) +
+                             static_cast<std::size_t>(c)];
+            if (s > best_score) {
+                best_score = s;
+                best_class = c;
+            }
+        }
+        if (best_class < 0)
+            continue;
+
+        const Anchor &a = anchors[i];
+        const float dy = box_deltas[i * 4 + 0] / 10.0f;
+        const float dx = box_deltas[i * 4 + 1] / 10.0f;
+        const float dh = box_deltas[i * 4 + 2] / 5.0f;
+        const float dw = box_deltas[i * 4 + 3] / 5.0f;
+
+        const float cy = a.cy + dy * a.h;
+        const float cx = a.cx + dx * a.w;
+        const float bh = a.h * std::exp(dh);
+        const float bw = a.w * std::exp(dw);
+
+        Detection det;
+        det.box = {cy - bh / 2, cx - bw / 2, cy + bh / 2, cx + bw / 2};
+        det.classIndex = best_class;
+        det.score = best_score;
+        out.push_back(det);
+    }
+    return out;
+}
+
+std::vector<Detection>
+nonMaxSuppression(std::vector<Detection> dets, float iou_threshold,
+                  std::int32_t max_out)
+{
+    std::sort(dets.begin(), dets.end(),
+              [](const Detection &a, const Detection &b) {
+                  return a.score > b.score;
+              });
+
+    std::vector<Detection> kept;
+    for (const auto &cand : dets) {
+        if (static_cast<std::int32_t>(kept.size()) >= max_out)
+            break;
+        bool suppressed = false;
+        for (const auto &k : kept) {
+            if (k.classIndex == cand.classIndex &&
+                iou(k.box, cand.box) > iou_threshold) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed)
+            kept.push_back(cand);
+    }
+    return kept;
+}
+
+sim::Work
+detectionPostprocCost(std::int64_t anchors, std::int64_t classes)
+{
+    const double a = static_cast<double>(anchors);
+    const double c = static_cast<double>(classes);
+    // Score scan + decode transcendentals + quadratic-ish NMS term
+    // over the ~100 surviving candidates.
+    return {a * c + a * 20.0 + 100.0 * 100.0 * 8.0,
+            a * c * 4.0 + a * 16.0};
+}
+
+} // namespace aitax::postproc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Detection post-processing: anchor box decode + class score
+ * thresholding + non-maximum suppression, the CPU-heavy output
+ * transformation the paper highlights for object detection apps.
+ */
+
+#ifndef AITAX_POSTPROC_BBOX_H
+#define AITAX_POSTPROC_BBOX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/work.h"
+
+namespace aitax::postproc {
+
+/** Axis-aligned box, normalized [0,1] coordinates. */
+struct Box
+{
+    float ymin = 0.0f;
+    float xmin = 0.0f;
+    float ymax = 0.0f;
+    float xmax = 0.0f;
+
+    float area() const;
+};
+
+/** Intersection-over-union of two boxes. */
+float iou(const Box &a, const Box &b);
+
+/** A decoded detection. */
+struct Detection
+{
+    Box box;
+    std::int32_t classIndex = 0;
+    float score = 0.0f;
+};
+
+/** Anchor prior (center-size form). */
+struct Anchor
+{
+    float cy = 0.5f;
+    float cx = 0.5f;
+    float h = 0.1f;
+    float w = 0.1f;
+};
+
+/** Build a uniform grid of anchors (rows x cols x scales). */
+std::vector<Anchor> makeAnchorGrid(std::int32_t rows, std::int32_t cols,
+                                   std::int32_t scales);
+
+/**
+ * Decode SSD box regressions against anchors.
+ *
+ * @param box_deltas flattened [anchors][4]: (dy, dx, dh, dw) with the
+ *        standard (10, 10, 5, 5) scaling.
+ * @param class_scores flattened [anchors][classes] post-sigmoid.
+ * @param score_threshold detections below this are dropped.
+ */
+std::vector<Detection> decodeDetections(
+    const std::vector<Anchor> &anchors,
+    const std::vector<float> &box_deltas,
+    const std::vector<float> &class_scores, std::int32_t num_classes,
+    float score_threshold);
+
+/**
+ * Greedy per-class non-maximum suppression.
+ * @return surviving detections, highest score first.
+ */
+std::vector<Detection> nonMaxSuppression(std::vector<Detection> dets,
+                                         float iou_threshold,
+                                         std::int32_t max_out);
+
+/** Modelled cost of the full decode + NMS pipeline. */
+sim::Work detectionPostprocCost(std::int64_t anchors,
+                                std::int64_t classes);
+
+} // namespace aitax::postproc
+
+#endif // AITAX_POSTPROC_BBOX_H

@@ -1,0 +1,74 @@
+#include "postproc/keypoints.h"
+
+#include <cassert>
+
+namespace aitax::postproc {
+
+std::vector<Keypoint>
+decodeKeypoints(const tensor::Tensor &heatmaps,
+                const tensor::Tensor &offsets,
+                std::int32_t output_stride)
+{
+    const auto &hs = heatmaps.shape();
+    const auto &os = offsets.shape();
+    assert(hs.rank() == 4 && os.rank() == 4);
+    const std::int64_t h = hs.height();
+    const std::int64_t w = hs.width();
+    const std::int64_t parts = hs.channels();
+    assert(os.height() == h && os.width() == w);
+    assert(os.channels() == 2 * parts);
+
+    std::vector<Keypoint> out;
+    out.reserve(static_cast<std::size_t>(parts));
+
+    for (std::int64_t p = 0; p < parts; ++p) {
+        std::int64_t best_y = 0;
+        std::int64_t best_x = 0;
+        float best = -1e30f;
+        for (std::int64_t y = 0; y < h; ++y) {
+            for (std::int64_t x = 0; x < w; ++x) {
+                const float s =
+                    heatmaps.realAt(((y * w) + x) * parts + p);
+                if (s > best) {
+                    best = s;
+                    best_y = y;
+                    best_x = x;
+                }
+            }
+        }
+        const std::int64_t off_base =
+            ((best_y * w) + best_x) * (2 * parts);
+        const float dy = offsets.realAt(off_base + p);
+        const float dx = offsets.realAt(off_base + parts + p);
+
+        Keypoint kp;
+        kp.part = static_cast<std::int32_t>(p);
+        kp.y = static_cast<float>(best_y * output_stride) + dy;
+        kp.x = static_cast<float>(best_x * output_stride) + dx;
+        kp.score = best;
+        out.push_back(kp);
+    }
+    return out;
+}
+
+float
+poseScore(const std::vector<Keypoint> &keypoints)
+{
+    if (keypoints.empty())
+        return 0.0f;
+    float sum = 0.0f;
+    for (const auto &kp : keypoints)
+        sum += kp.score;
+    return sum / static_cast<float>(keypoints.size());
+}
+
+sim::Work
+decodeKeypointsCost(std::int64_t h, std::int64_t w, std::int64_t parts)
+{
+    const double cells = static_cast<double>(h * w);
+    const double p = static_cast<double>(parts);
+    // Full argmax scan per part plus offset lookups.
+    return {cells * p * 1.5, cells * p * 4.0};
+}
+
+} // namespace aitax::postproc

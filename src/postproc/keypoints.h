@@ -1,0 +1,47 @@
+/**
+ * @file
+ * PoseNet keypoint decoding: per-part heatmap argmax plus offset
+ * refinement mapped back to image coordinates.
+ */
+
+#ifndef AITAX_POSTPROC_KEYPOINTS_H
+#define AITAX_POSTPROC_KEYPOINTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/work.h"
+#include "tensor/tensor.h"
+
+namespace aitax::postproc {
+
+/** A decoded keypoint in input-image pixel coordinates. */
+struct Keypoint
+{
+    std::int32_t part = 0;
+    float x = 0.0f;
+    float y = 0.0f;
+    float score = 0.0f;
+};
+
+/**
+ * Decode single-person keypoints.
+ *
+ * @param heatmaps [1,h,w,parts] sigmoid scores.
+ * @param offsets  [1,h,w,2*parts] (dy then dx per part, in pixels).
+ * @param output_stride feature-to-image scale (16 for our PoseNet).
+ */
+std::vector<Keypoint> decodeKeypoints(const tensor::Tensor &heatmaps,
+                                      const tensor::Tensor &offsets,
+                                      std::int32_t output_stride);
+
+/** Mean keypoint score (the pose's overall confidence). */
+float poseScore(const std::vector<Keypoint> &keypoints);
+
+/** Modelled cost of the decode over an h x w x parts heatmap. */
+sim::Work decodeKeypointsCost(std::int64_t h, std::int64_t w,
+                              std::int64_t parts);
+
+} // namespace aitax::postproc
+
+#endif // AITAX_POSTPROC_KEYPOINTS_H

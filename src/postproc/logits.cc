@@ -1,0 +1,58 @@
+#include "postproc/logits.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aitax::postproc {
+
+std::vector<float>
+softmax(std::span<const float> logits)
+{
+    std::vector<float> out(logits.size());
+    if (logits.empty())
+        return out;
+    const float m = *std::max_element(logits.begin(), logits.end());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        out[i] = std::exp(logits[i] - m);
+        sum += out[i];
+    }
+    const auto inv = static_cast<float>(1.0 / sum);
+    for (auto &x : out)
+        x *= inv;
+    return out;
+}
+
+SpanPrediction
+bestSpan(std::span<const float> start_logits,
+         std::span<const float> end_logits, std::int32_t max_span)
+{
+    assert(start_logits.size() == end_logits.size());
+    assert(max_span > 0);
+    SpanPrediction best;
+    best.score = -1e30f;
+    const auto n = static_cast<std::int32_t>(start_logits.size());
+    for (std::int32_t s = 0; s < n; ++s) {
+        const std::int32_t e_max = std::min(n, s + max_span);
+        for (std::int32_t e = s; e < e_max; ++e) {
+            const float score = start_logits[static_cast<std::size_t>(s)] +
+                                end_logits[static_cast<std::size_t>(e)];
+            if (score > best.score) {
+                best.score = score;
+                best.start = s;
+                best.end = e;
+            }
+        }
+    }
+    return best;
+}
+
+sim::Work
+bestSpanCost(std::int64_t n, std::int32_t max_span)
+{
+    const double nd = static_cast<double>(n);
+    return {nd * max_span * 2.0, nd * 8.0};
+}
+
+} // namespace aitax::postproc

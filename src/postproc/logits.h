@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Logit utilities for language-model outputs: softmax and span
+ * selection ("compute logits" in Table I's Mobile BERT row).
+ */
+
+#ifndef AITAX_POSTPROC_LOGITS_H
+#define AITAX_POSTPROC_LOGITS_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/work.h"
+
+namespace aitax::postproc {
+
+/** Numerically stable softmax. */
+std::vector<float> softmax(std::span<const float> logits);
+
+/** A question-answering span prediction. */
+struct SpanPrediction
+{
+    std::int32_t start = 0;
+    std::int32_t end = 0;
+    float score = 0.0f;
+};
+
+/**
+ * Pick the best (start <= end, end - start < max_span) span from
+ * per-token start/end logits, BERT-QA style.
+ */
+SpanPrediction bestSpan(std::span<const float> start_logits,
+                        std::span<const float> end_logits,
+                        std::int32_t max_span);
+
+/** Modelled cost of span selection over n tokens. */
+sim::Work bestSpanCost(std::int64_t n, std::int32_t max_span);
+
+} // namespace aitax::postproc
+
+#endif // AITAX_POSTPROC_LOGITS_H

@@ -1,0 +1,61 @@
+#include "postproc/mask.h"
+
+#include <cassert>
+
+namespace aitax::postproc {
+
+LabelMask
+flattenMask(const tensor::Tensor &logits)
+{
+    const auto &shape = logits.shape();
+    assert(shape.rank() == 4);
+    const std::int64_t h = shape.height();
+    const std::int64_t w = shape.width();
+    const std::int64_t c = shape.channels();
+    assert(c > 0 && c <= 256);
+
+    LabelMask mask;
+    mask.width = static_cast<std::int32_t>(w);
+    mask.height = static_cast<std::int32_t>(h);
+    mask.labels.resize(static_cast<std::size_t>(h * w));
+
+    for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+            const std::int64_t base = (y * w + x) * c;
+            std::int64_t best = 0;
+            float best_score = logits.realAt(base);
+            for (std::int64_t k = 1; k < c; ++k) {
+                const float s = logits.realAt(base + k);
+                if (s > best_score) {
+                    best_score = s;
+                    best = k;
+                }
+            }
+            mask.labels[static_cast<std::size_t>(y * w + x)] =
+                static_cast<std::uint8_t>(best);
+        }
+    }
+    return mask;
+}
+
+std::vector<std::int64_t>
+labelHistogram(const LabelMask &mask, std::int32_t num_classes)
+{
+    std::vector<std::int64_t> hist(
+        static_cast<std::size_t>(num_classes), 0);
+    for (auto label : mask.labels) {
+        if (label < num_classes)
+            ++hist[label];
+    }
+    return hist;
+}
+
+sim::Work
+flattenMaskCost(std::int64_t h, std::int64_t w, std::int64_t classes)
+{
+    const double n = static_cast<double>(h * w);
+    const double c = static_cast<double>(classes);
+    return {n * c, n * c * 4.0 + n};
+}
+
+} // namespace aitax::postproc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Segmentation mask flattening: per-pixel argmax over class logits
+ * into a label image (DeepLab's post-processing step in Table I).
+ */
+
+#ifndef AITAX_POSTPROC_MASK_H
+#define AITAX_POSTPROC_MASK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/work.h"
+#include "tensor/tensor.h"
+
+namespace aitax::postproc {
+
+/** A flattened segmentation mask: one label byte per pixel. */
+struct LabelMask
+{
+    std::int32_t width = 0;
+    std::int32_t height = 0;
+    std::vector<std::uint8_t> labels;
+
+    std::uint8_t
+    at(std::int32_t x, std::int32_t y) const
+    {
+        return labels[static_cast<std::size_t>(y) * width + x];
+    }
+};
+
+/**
+ * Flatten a [1,h,w,classes] logit tensor into a label mask.
+ */
+LabelMask flattenMask(const tensor::Tensor &logits);
+
+/** Count pixels carrying each label (size = number of classes). */
+std::vector<std::int64_t> labelHistogram(const LabelMask &mask,
+                                         std::int32_t num_classes);
+
+/** Modelled cost: h*w*classes comparisons plus the label writes. */
+sim::Work flattenMaskCost(std::int64_t h, std::int64_t w,
+                          std::int64_t classes);
+
+} // namespace aitax::postproc
+
+#endif // AITAX_POSTPROC_MASK_H

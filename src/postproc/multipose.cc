@@ -1,0 +1,253 @@
+#include "postproc/multipose.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aitax::postproc {
+
+const std::vector<PoseEdge> &
+poseSkeleton()
+{
+    // COCO parts: 0 nose, 1/2 eyes, 3/4 ears, 5/6 shoulders,
+    // 7/8 elbows, 9/10 wrists, 11/12 hips, 13/14 knees, 15/16 ankles.
+    static const std::vector<PoseEdge> edges = {
+        {0, 1},  {1, 3},   {0, 2},  {2, 4},  {0, 5},  {5, 7},
+        {7, 9},  {5, 11},  {11, 13}, {13, 15}, {0, 6},  {6, 8},
+        {8, 10}, {6, 12},  {12, 14}, {14, 16},
+    };
+    return edges;
+}
+
+namespace {
+
+float
+heat(const tensor::Tensor &heatmaps, std::int64_t y, std::int64_t x,
+     int part)
+{
+    const auto &s = heatmaps.shape();
+    return heatmaps.realAt((y * s.width() + x) * s.channels() + part);
+}
+
+/** Offset-refined image coordinates for a heatmap cell. */
+Keypoint
+keypointAtCell(const tensor::Tensor &heatmaps,
+               const tensor::Tensor &offsets, std::int64_t y,
+               std::int64_t x, int part, std::int32_t stride)
+{
+    const auto &os = offsets.shape();
+    const std::int64_t base = (y * os.width() + x) * os.channels();
+    Keypoint kp;
+    kp.part = part;
+    kp.y = static_cast<float>(y * stride) +
+           offsets.realAt(base + part);
+    kp.x = static_cast<float>(x * stride) +
+           offsets.realAt(base + kPoseParts + part);
+    kp.score = heat(heatmaps, y, x, part);
+    return kp;
+}
+
+/** Clamp image coordinates to the nearest heatmap cell. */
+void
+nearestCell(const tensor::Tensor &heatmaps, float img_y, float img_x,
+            std::int32_t stride, std::int64_t &cy, std::int64_t &cx)
+{
+    const auto &s = heatmaps.shape();
+    cy = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::lround(img_y / stride)), 0,
+        s.height() - 1);
+    cx = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::lround(img_x / stride)), 0,
+        s.width() - 1);
+}
+
+/**
+ * Decode one part from an already-decoded source keypoint by following
+ * the given displacement channel, then snapping to the best nearby
+ * heatmap cell.
+ */
+Keypoint
+traverseEdge(const tensor::Tensor &heatmaps,
+             const tensor::Tensor &offsets,
+             const tensor::Tensor &displacements, int edge_index,
+             const Keypoint &source, int target_part,
+             std::int32_t stride)
+{
+    const auto edge_count =
+        static_cast<int>(poseSkeleton().size());
+    std::int64_t sy = 0;
+    std::int64_t sx = 0;
+    nearestCell(heatmaps, source.y, source.x, stride, sy, sx);
+
+    const auto &ds = displacements.shape();
+    const std::int64_t base = (sy * ds.width() + sx) * ds.channels();
+    const float dy = displacements.realAt(base + edge_index);
+    const float dx =
+        displacements.realAt(base + edge_count + edge_index);
+
+    std::int64_t ty = 0;
+    std::int64_t tx = 0;
+    nearestCell(heatmaps, source.y + dy, source.x + dx, stride, ty, tx);
+    return keypointAtCell(heatmaps, offsets, ty, tx, target_part,
+                          stride);
+}
+
+} // namespace
+
+std::vector<PartCandidate>
+findLocalMaxima(const tensor::Tensor &heatmaps, float threshold,
+                std::int32_t radius)
+{
+    const auto &s = heatmaps.shape();
+    assert(s.rank() == 4);
+    const std::int64_t h = s.height();
+    const std::int64_t w = s.width();
+    const std::int64_t parts = s.channels();
+
+    std::vector<PartCandidate> out;
+    for (int part = 0; part < parts; ++part) {
+        for (std::int64_t y = 0; y < h; ++y) {
+            for (std::int64_t x = 0; x < w; ++x) {
+                const float score = heat(heatmaps, y, x, part);
+                if (score < threshold)
+                    continue;
+                bool is_max = true;
+                for (std::int64_t ny = std::max<std::int64_t>(
+                         0, y - radius);
+                     is_max && ny <= std::min(h - 1, y + radius);
+                     ++ny) {
+                    for (std::int64_t nx = std::max<std::int64_t>(
+                             0, x - radius);
+                         nx <= std::min(w - 1, x + radius); ++nx) {
+                        if (ny == y && nx == x)
+                            continue;
+                        const float n = heat(heatmaps, ny, nx, part);
+                        // Strictly-greater neighbours disqualify;
+                        // ties resolve to the earlier cell.
+                        if (n > score ||
+                            (n == score && (ny < y ||
+                                            (ny == y && nx < x)))) {
+                            is_max = false;
+                            break;
+                        }
+                    }
+                }
+                if (is_max) {
+                    out.push_back({part, static_cast<std::int32_t>(y),
+                                   static_cast<std::int32_t>(x),
+                                   score});
+                }
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PartCandidate &a, const PartCandidate &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  if (a.part != b.part)
+                      return a.part < b.part;
+                  if (a.y != b.y)
+                      return a.y < b.y;
+                  return a.x < b.x;
+              });
+    return out;
+}
+
+std::vector<Pose>
+decodeMultiplePoses(const tensor::Tensor &heatmaps,
+                    const tensor::Tensor &offsets,
+                    const tensor::Tensor &displacements_fwd,
+                    const tensor::Tensor &displacements_bwd,
+                    std::int32_t output_stride, std::int32_t max_poses,
+                    float score_threshold, float nms_radius_px)
+{
+    assert(heatmaps.shape().channels() == kPoseParts);
+    const auto &edges = poseSkeleton();
+    assert(displacements_fwd.shape().channels() ==
+           2 * static_cast<std::int64_t>(edges.size()));
+
+    const auto candidates =
+        findLocalMaxima(heatmaps, score_threshold, 1);
+    const float nms_sq = nms_radius_px * nms_radius_px;
+
+    std::vector<Pose> poses;
+    for (const auto &cand : candidates) {
+        if (static_cast<std::int32_t>(poses.size()) >= max_poses)
+            break;
+
+        const Keypoint root = keypointAtCell(
+            heatmaps, offsets, cand.y, cand.x, cand.part,
+            output_stride);
+
+        // Non-maximum suppression against already-claimed parts.
+        bool claimed = false;
+        for (const auto &pose : poses) {
+            const auto &kp =
+                pose.keypoints[static_cast<std::size_t>(cand.part)];
+            const float dy = kp.y - root.y;
+            const float dx = kp.x - root.x;
+            if (dy * dy + dx * dx <= nms_sq) {
+                claimed = true;
+                break;
+            }
+        }
+        if (claimed)
+            continue;
+
+        Pose pose;
+        pose.keypoints.assign(kPoseParts, Keypoint{});
+        std::vector<bool> decoded(kPoseParts, false);
+        pose.keypoints[static_cast<std::size_t>(cand.part)] = root;
+        decoded[static_cast<std::size_t>(cand.part)] = true;
+
+        // Backward pass: decode ancestors of the root part.
+        for (int k = static_cast<int>(edges.size()) - 1; k >= 0; --k) {
+            const auto &e = edges[static_cast<std::size_t>(k)];
+            if (decoded[static_cast<std::size_t>(e.child)] &&
+                !decoded[static_cast<std::size_t>(e.parent)]) {
+                pose.keypoints[static_cast<std::size_t>(e.parent)] =
+                    traverseEdge(
+                        heatmaps, offsets, displacements_bwd, k,
+                        pose.keypoints[static_cast<std::size_t>(
+                            e.child)],
+                        e.parent, output_stride);
+                decoded[static_cast<std::size_t>(e.parent)] = true;
+            }
+        }
+        // Forward pass: decode descendants.
+        for (std::size_t k = 0; k < edges.size(); ++k) {
+            const auto &e = edges[k];
+            if (decoded[static_cast<std::size_t>(e.parent)] &&
+                !decoded[static_cast<std::size_t>(e.child)]) {
+                pose.keypoints[static_cast<std::size_t>(e.child)] =
+                    traverseEdge(
+                        heatmaps, offsets, displacements_fwd,
+                        static_cast<int>(k),
+                        pose.keypoints[static_cast<std::size_t>(
+                            e.parent)],
+                        e.child, output_stride);
+                decoded[static_cast<std::size_t>(e.child)] = true;
+            }
+        }
+
+        float sum = 0.0f;
+        for (const auto &kp : pose.keypoints)
+            sum += kp.score;
+        pose.score = sum / static_cast<float>(kPoseParts);
+        poses.push_back(std::move(pose));
+    }
+    return poses;
+}
+
+sim::Work
+decodeMultiplePosesCost(std::int64_t h, std::int64_t w,
+                        std::int32_t max_poses)
+{
+    const double cells = static_cast<double>(h * w);
+    // Local-maxima scan over all parts (3x3 window) plus per-pose
+    // skeleton traversal.
+    return {cells * kPoseParts * 10.0 + max_poses * 16.0 * 50.0,
+            cells * kPoseParts * 4.0};
+}
+
+} // namespace aitax::postproc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Multi-person pose decoding.
+ *
+ * The single-person decoder (keypoints.h) takes the global argmax per
+ * part; real PoseNet deployments decode *multiple* people using the
+ * network's displacement heads: pick high-confidence root candidates,
+ * walk the skeleton tree along forward/backward displacement vectors,
+ * and suppress candidates claimed by already-decoded poses. This is
+ * the CPU-heavy post-processing path the paper's pose workload implies
+ * at its extreme.
+ */
+
+#ifndef AITAX_POSTPROC_MULTIPOSE_H
+#define AITAX_POSTPROC_MULTIPOSE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "postproc/keypoints.h"
+#include "sim/work.h"
+#include "tensor/tensor.h"
+
+namespace aitax::postproc {
+
+/** Number of parts in the COCO-style skeleton. */
+constexpr int kPoseParts = 17;
+
+/** A directed skeleton edge (parent -> child part ids). */
+struct PoseEdge
+{
+    int parent;
+    int child;
+};
+
+/** The 16-edge tree rooted at the nose (part 0). */
+const std::vector<PoseEdge> &poseSkeleton();
+
+/** A decoded multi-person pose. */
+struct Pose
+{
+    std::vector<Keypoint> keypoints; ///< one per part
+    float score = 0.0f;              ///< mean keypoint score
+};
+
+/** A scored heatmap cell (candidate root). */
+struct PartCandidate
+{
+    int part = 0;
+    std::int32_t y = 0;
+    std::int32_t x = 0;
+    float score = 0.0f;
+};
+
+/**
+ * Local maxima above @p threshold within a square window of
+ * @p radius cells, across all parts, sorted by descending score.
+ */
+std::vector<PartCandidate> findLocalMaxima(const tensor::Tensor &heatmaps,
+                                           float threshold,
+                                           std::int32_t radius);
+
+/**
+ * Decode up to @p max_poses people.
+ *
+ * @param heatmaps [1,h,w,17] part scores.
+ * @param offsets [1,h,w,34] per-part (dy..,dx..) refinements, pixels.
+ * @param displacements_fwd [1,h,w,2*edges] parent->child vectors,
+ *        laid out (dy per edge.., dx per edge..), in pixels.
+ * @param displacements_bwd same for child->parent.
+ * @param output_stride feature-to-pixel scale.
+ * @param max_poses maximum number of people to return.
+ * @param score_threshold candidate/root threshold.
+ * @param nms_radius_px a new root whose part lies within this radius
+ *        of the same part of an existing pose is skipped.
+ */
+std::vector<Pose> decodeMultiplePoses(
+    const tensor::Tensor &heatmaps, const tensor::Tensor &offsets,
+    const tensor::Tensor &displacements_fwd,
+    const tensor::Tensor &displacements_bwd, std::int32_t output_stride,
+    std::int32_t max_poses, float score_threshold,
+    float nms_radius_px);
+
+/** Modelled decode cost over an h x w grid for @p max_poses people. */
+sim::Work decodeMultiplePosesCost(std::int64_t h, std::int64_t w,
+                                  std::int32_t max_poses);
+
+} // namespace aitax::postproc
+
+#endif // AITAX_POSTPROC_MULTIPOSE_H

@@ -1,0 +1,175 @@
+#include "postproc/tokenizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+
+namespace aitax::postproc {
+
+namespace {
+
+std::vector<std::string>
+builtinVocab()
+{
+    std::vector<std::string> v = {"[PAD]", "[UNK]", "[CLS]", "[SEP]"};
+    // Single characters.
+    for (char c = 'a'; c <= 'z'; ++c)
+        v.emplace_back(1, c);
+    for (char c = '0'; c <= '9'; ++c)
+        v.emplace_back(1, c);
+    for (const char *p : {".", ",", "?", "!", "'", "-"})
+        v.emplace_back(p);
+    // Common words and continuations.
+    for (const char *p :
+         {"the",    "a",      "an",     "of",    "to",     "and",
+          "in",     "is",     "it",     "you",   "that",   "he",
+          "she",    "was",    "for",    "on",    "are",    "with",
+          "as",     "his",    "her",    "they",  "be",     "at",
+          "one",    "have",   "this",   "from",  "or",     "had",
+          "by",     "not",    "what",   "all",   "were",   "we",
+          "when",   "your",   "can",    "said",  "there",  "use",
+          "how",    "where",  "who",    "will",  "up",     "other",
+          "about",  "out",    "many",   "then",  "them",   "these",
+          "so",     "some",   "would",  "make",  "like",   "him",
+          "into",   "time",   "has",    "look",  "two",    "more",
+          "write",  "go",     "see",    "no",    "way",    "could",
+          "people", "my",     "than",   "first", "been",   "call",
+          "its",    "now",    "find",   "long",  "down",   "day",
+          "did",    "get",    "come",   "made",  "may",    "part",
+          "phone",  "camera", "photo",  "image", "model",  "run",
+          "fast",   "slow",   "smart",  "learn", "deep",   "net",
+          "work",   "works",  "good",   "bad",   "new",    "old",
+          "##s",    "##ing",  "##ed",   "##er",  "##est",  "##ly",
+          "##tion", "##ment", "##ness", "##able","##ful",  "##less"})
+        v.emplace_back(p);
+    return v;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    });
+    return out;
+}
+
+} // namespace
+
+WordpieceTokenizer::WordpieceTokenizer()
+    : WordpieceTokenizer(builtinVocab())
+{
+}
+
+WordpieceTokenizer::WordpieceTokenizer(
+    const std::vector<std::string> &vocab)
+    : vocab_(vocab)
+{
+    buildIndex();
+}
+
+void
+WordpieceTokenizer::buildIndex()
+{
+    for (std::size_t i = 0; i < vocab_.size(); ++i)
+        index[vocab_[i]] = static_cast<std::int32_t>(i);
+    auto find_or = [&](const char *tok) {
+        auto it = index.find(tok);
+        assert(it != index.end() && "special token missing from vocab");
+        return it->second;
+    };
+    pad = find_or("[PAD]");
+    unk = find_or("[UNK]");
+    cls = find_or("[CLS]");
+    sep = find_or("[SEP]");
+}
+
+void
+WordpieceTokenizer::appendWordPieces(std::string_view word,
+                                     std::vector<std::int32_t> &out) const
+{
+    std::string w = toLower(word);
+    std::size_t start = 0;
+    bool first = true;
+    while (start < w.size()) {
+        std::size_t end = w.size();
+        std::int32_t match = -1;
+        // Longest-match-first.
+        while (end > start) {
+            std::string piece = w.substr(start, end - start);
+            if (!first)
+                piece = "##" + piece;
+            auto it = index.find(piece);
+            if (it != index.end()) {
+                match = it->second;
+                break;
+            }
+            --end;
+        }
+        if (match < 0) {
+            out.push_back(unk);
+            return;
+        }
+        out.push_back(match);
+        start = end;
+        first = false;
+    }
+}
+
+std::vector<std::int32_t>
+WordpieceTokenizer::tokenize(std::string_view text,
+                             std::int32_t max_len) const
+{
+    assert(max_len >= 2);
+    std::vector<std::int32_t> ids;
+    ids.push_back(cls);
+
+    std::size_t i = 0;
+    while (i < text.size() &&
+           static_cast<std::int32_t>(ids.size()) < max_len - 1) {
+        // Skip whitespace.
+        while (i < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+        if (i >= text.size())
+            break;
+        // Punctuation splits into its own token.
+        if (std::ispunct(static_cast<unsigned char>(text[i]))) {
+            appendWordPieces(text.substr(i, 1), ids);
+            ++i;
+            continue;
+        }
+        std::size_t start = i;
+        while (i < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[i])) &&
+               !std::ispunct(static_cast<unsigned char>(text[i])))
+            ++i;
+        appendWordPieces(text.substr(start, i - start), ids);
+    }
+
+    if (static_cast<std::int32_t>(ids.size()) > max_len - 1)
+        ids.resize(static_cast<std::size_t>(max_len - 1));
+    ids.push_back(sep);
+    while (static_cast<std::int32_t>(ids.size()) < max_len)
+        ids.push_back(pad);
+    return ids;
+}
+
+const std::string &
+WordpieceTokenizer::tokenText(std::int32_t id) const
+{
+    assert(id >= 0 && id < vocabSize());
+    return vocab_[static_cast<std::size_t>(id)];
+}
+
+sim::Work
+WordpieceTokenizer::tokenizeCost(std::int64_t text_len)
+{
+    const double n = static_cast<double>(text_len);
+    // Hash probes over candidate substrings dominate.
+    return {n * 40.0, n * 24.0};
+}
+
+} // namespace aitax::postproc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Greedy wordpiece tokenizer — Mobile BERT's pre-processing step
+ * (Table I lists "tokenization" as its only pre-processing task).
+ */
+
+#ifndef AITAX_POSTPROC_TOKENIZER_H
+#define AITAX_POSTPROC_TOKENIZER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/work.h"
+
+namespace aitax::postproc {
+
+/**
+ * Greedy longest-match-first wordpiece tokenizer.
+ *
+ * A compact built-in vocabulary covers common English words and
+ * subword pieces ("##ing" style continuations); everything else
+ * decomposes into single-character pieces or [UNK].
+ */
+class WordpieceTokenizer
+{
+  public:
+    /** Construct with the built-in demo vocabulary. */
+    WordpieceTokenizer();
+
+    /** Construct with a custom vocabulary (id order = vector order). */
+    explicit WordpieceTokenizer(const std::vector<std::string> &vocab);
+
+    /**
+     * Tokenize text into wordpiece ids: [CLS] pieces... [SEP],
+     * truncated/padded to @p max_len with [PAD].
+     */
+    std::vector<std::int32_t> tokenize(std::string_view text,
+                                       std::int32_t max_len) const;
+
+    /** Token string for an id (for tests/diagnostics). */
+    const std::string &tokenText(std::int32_t id) const;
+
+    std::int32_t vocabSize() const
+    {
+        return static_cast<std::int32_t>(vocab_.size());
+    }
+
+    std::int32_t clsId() const { return cls; }
+    std::int32_t sepId() const { return sep; }
+    std::int32_t padId() const { return pad; }
+    std::int32_t unkId() const { return unk; }
+
+    /** Modelled cost of tokenizing @p text_len characters. */
+    static sim::Work tokenizeCost(std::int64_t text_len);
+
+  private:
+    std::vector<std::string> vocab_;
+    std::unordered_map<std::string, std::int32_t> index;
+    std::int32_t cls = 0;
+    std::int32_t sep = 0;
+    std::int32_t pad = 0;
+    std::int32_t unk = 0;
+
+    void buildIndex();
+    void appendWordPieces(std::string_view word,
+                          std::vector<std::int32_t> &out) const;
+};
+
+} // namespace aitax::postproc
+
+#endif // AITAX_POSTPROC_TOKENIZER_H

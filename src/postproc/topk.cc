@@ -1,0 +1,69 @@
+#include "postproc/topk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aitax::postproc {
+
+namespace {
+
+std::vector<ClassScore>
+selectTop(std::vector<ClassScore> &all, std::int32_t k)
+{
+    const auto kk = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(k, 0)), all.size());
+    std::partial_sort(all.begin(), all.begin() + kk, all.end(),
+                      [](const ClassScore &a, const ClassScore &b) {
+                          if (a.score != b.score)
+                              return a.score > b.score;
+                          return a.index < b.index;
+                      });
+    all.resize(kk);
+    return all;
+}
+
+} // namespace
+
+std::vector<ClassScore>
+topK(std::span<const float> scores, std::int32_t k)
+{
+    std::vector<ClassScore> all;
+    all.reserve(scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i)
+        all.push_back({static_cast<std::int32_t>(i), scores[i]});
+    return selectTop(all, k);
+}
+
+std::vector<ClassScore>
+topK(const tensor::Tensor &scores, std::int32_t k)
+{
+    if (scores.dtype() == tensor::DType::Float32)
+        return topK(scores.data<float>(), k);
+
+    std::vector<ClassScore> all;
+    const auto n = scores.elementCount();
+    all.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        all.push_back({static_cast<std::int32_t>(i), scores.realAt(i)});
+    return selectTop(all, k);
+}
+
+sim::Work
+topKCost(std::int64_t n, std::int32_t k)
+{
+    // Partial selection: one comparison pass plus heap maintenance.
+    const double nd = static_cast<double>(n);
+    const double logk =
+        std::log2(static_cast<double>(std::max(k, 2)));
+    return {nd * (1.0 + logk * 0.2), nd * 4.0};
+}
+
+sim::Work
+dequantizeCost(std::int64_t n)
+{
+    const double nd = static_cast<double>(n);
+    return {nd * 2.0, nd * 5.0};
+}
+
+} // namespace aitax::postproc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * topK selection over classifier output scores, plus the dequantize
+ * step quantized models need first.
+ */
+
+#ifndef AITAX_POSTPROC_TOPK_H
+#define AITAX_POSTPROC_TOPK_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/work.h"
+#include "tensor/tensor.h"
+
+namespace aitax::postproc {
+
+/** One classification result. */
+struct ClassScore
+{
+    std::int32_t index = 0;
+    float score = 0.0f;
+
+    bool operator==(const ClassScore &other) const = default;
+};
+
+/**
+ * Return the k highest-scoring entries, descending (ties by lower
+ * index first). Handles fp32 and quantized tensors (dequantizing
+ * scores on the fly, as the TFLite task library does).
+ */
+std::vector<ClassScore> topK(const tensor::Tensor &scores, std::int32_t k);
+
+/** topK over a plain float span. */
+std::vector<ClassScore> topK(std::span<const float> scores,
+                             std::int32_t k);
+
+/** Modelled cost of topK over n classes. */
+sim::Work topKCost(std::int64_t n, std::int32_t k);
+
+/** Modelled cost of dequantizing n values. */
+sim::Work dequantizeCost(std::int64_t n);
+
+} // namespace aitax::postproc
+
+#endif // AITAX_POSTPROC_TOPK_H

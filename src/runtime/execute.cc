@@ -1,0 +1,179 @@
+#include "runtime/execute.h"
+
+#include <cassert>
+#include <memory>
+
+namespace aitax::runtime {
+
+using drivers::Target;
+using soc::AccelJob;
+using soc::Task;
+using soc::WorkClass;
+
+namespace {
+
+/** Reference big-core scalar throughput used to size overhead work. */
+constexpr double kScalarOpsPerNs = 3.5;
+
+WorkClass
+workClassFor(tensor::DType dtype)
+{
+    return tensor::isQuantized(dtype) ? WorkClass::VectorI8
+                                      : WorkClass::VectorF32;
+}
+
+tensor::DType
+accelFormatFor(tensor::DType dtype, const drivers::Driver &driver)
+{
+    // DSPs have no fp32 path: float plans that reach a DSP (SNPE's
+    // converted networks) execute in fp16.
+    if (driver.target() == Target::Dsp &&
+        dtype == tensor::DType::Float32) {
+        return tensor::DType::Float16;
+    }
+    return dtype;
+}
+
+} // namespace
+
+sim::Work
+workForCpuNs(double ns)
+{
+    return {ns * kScalarOpsPerNs, 0.0};
+}
+
+void
+appendPlanExecution(soc::SocSystem &sys, Task &task,
+                    const ExecutionPlan &plan, const ExecOptions &opts)
+{
+    assert(!plan.partitions.empty());
+    soc::SocSystem *system = &sys;
+
+    // Per-invocation multiplicative factors, drawn deterministically.
+    auto &rng = sys.rng();
+    const double noise =
+        opts.noiseSigma > 0.0 ? rng.lognormalFactor(opts.noiseSigma)
+                              : 1.0;
+    // Only draw the probe-effect factor when something is offloaded:
+    // instrumentation has no effect on pure CPU paths (Section III-D),
+    // and drawing would needlessly perturb the noise stream.
+    bool any_accelerated = false;
+    for (const auto &part : plan.partitions)
+        any_accelerated |= part.driver->isAccelerated();
+    const double instr_accel =
+        (opts.instrumentation && any_accelerated)
+            ? opts.instrumentation->acceleratedSlowdown(rng)
+            : 1.0;
+
+    const WorkClass cls = workClassFor(plan.dtype);
+
+    for (std::size_t pi = 0; pi < plan.partitions.size(); ++pi) {
+        const Partition &part = plan.partitions[pi];
+
+        // Tensor handoff when crossing a partition boundary.
+        if (pi > 0) {
+            task.compute({part.inputBytes * 0.5, part.inputBytes * 2.0},
+                         WorkClass::Scalar);
+        }
+
+        // CPU-side driver scheduling overhead for this partition.
+        if (part.opOverheadNs > 0) {
+            task.compute(
+                workForCpuNs(static_cast<double>(part.opOverheadNs)),
+                WorkClass::Scalar);
+        }
+
+        switch (part.driver->target()) {
+          case Target::CpuThreads: {
+            const int threads = std::max(opts.cpuThreads, 1);
+            if (threads == 1) {
+                task.compute({part.deviceOps * noise, part.bytes}, cls);
+                break;
+            }
+            const double per_thread_ops = part.deviceOps * noise /
+                                          (threads *
+                                           opts.parallelEfficiency);
+            const double per_thread_bytes =
+                part.bytes / static_cast<double>(threads);
+            const std::string label = opts.label;
+            const bool background = opts.background;
+            task.block([system, threads, per_thread_ops,
+                        per_thread_bytes, cls, label, background](
+                           Task &, std::function<void()> resume) {
+                auto remaining = std::make_shared<int>(threads);
+                for (int t = 0; t < threads; ++t) {
+                    auto worker = std::make_shared<Task>(
+                        label + "_w" + std::to_string(t), background);
+                    worker->compute({per_thread_ops, per_thread_bytes},
+                                    cls);
+                    worker->setOnComplete(
+                        [remaining, resume](sim::TimeNs) {
+                            if (--(*remaining) == 0)
+                                resume();
+                        });
+                    system->scheduler().submit(std::move(worker));
+                }
+            });
+            break;
+          }
+
+          case Target::CpuSingleThreadReference: {
+            task.compute({part.deviceOps * noise, part.bytes}, cls);
+            break;
+          }
+
+          case Target::Gpu: {
+            AccelJob job;
+            job.name = opts.label + "@" + part.driver->name();
+            job.ops = part.deviceOps * noise * instr_accel;
+            job.bytes = part.bytes;
+            job.format = accelFormatFor(plan.dtype, *part.driver);
+            task.block([system, job = std::move(job)](
+                           Task &, std::function<void()> resume) mutable {
+                job.onDone = [resume](sim::TimeNs) { resume(); };
+                system->gpu().submit(std::move(job));
+            });
+            break;
+          }
+
+          case Target::Dsp: {
+            AccelJob job;
+            job.name = opts.label + "@" + part.driver->name();
+            job.ops = part.deviceOps * noise * instr_accel;
+            job.bytes = part.bytes;
+            job.format = accelFormatFor(plan.dtype, *part.driver);
+            if (sys.dsp().config().tightlyCoupled) {
+                // Tightly coupled integration (Section II-D): the
+                // accelerator shares the CPU cache hierarchy, so the
+                // invocation is a direct enqueue — no kernel round
+                // trip, no coherency flush, no session.
+                task.block([system, job = std::move(job)](
+                               Task &,
+                               std::function<void()> resume) mutable {
+                    job.onDone = [resume](sim::TimeNs) { resume(); };
+                    system->dsp().submit(std::move(job));
+                });
+                break;
+            }
+            const std::int32_t pid = opts.processId;
+            const double payload = part.inputBytes;
+            auto *rpc_log = opts.rpcLog;
+            task.block([system, job = std::move(job), pid, payload,
+                        rpc_log](Task &,
+                                 std::function<void()> resume) mutable {
+                system->fastrpc().call(
+                    pid, payload, std::move(job),
+                    [resume, rpc_log](
+                        const soc::FastRpcBreakdown &breakdown) {
+                        if (rpc_log)
+                            rpc_log->push_back(breakdown);
+                        resume();
+                    });
+            });
+            break;
+          }
+        }
+    }
+}
+
+} // namespace aitax::runtime

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Plan execution: turning an ExecutionPlan into scheduler/accelerator
+ * activity on a simulated SoC.
+ */
+
+#ifndef AITAX_RUNTIME_EXECUTE_H
+#define AITAX_RUNTIME_EXECUTE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "drivers/instrumentation.h"
+#include "runtime/plan.h"
+#include "soc/fastrpc.h"
+#include "soc/system.h"
+#include "soc/task.h"
+
+namespace aitax::runtime {
+
+/** Per-invocation execution options. */
+struct ExecOptions
+{
+    /** Calling process (FastRPC sessions are per-process). */
+    std::int32_t processId = 1;
+    /** Thread count for optimized CPU partitions. */
+    int cpuThreads = 4;
+    /** Parallel scaling efficiency of the CPU thread pool. */
+    double parallelEfficiency = 0.85;
+    /** Run worker threads at background priority. */
+    bool background = false;
+    /** Log-normal sigma applied to this invocation's compute work. */
+    double noiseSigma = 0.0;
+    /** Optional probe-effect model (Section III-D). */
+    const drivers::Instrumentation *instrumentation = nullptr;
+    /** If set, FastRPC breakdowns are appended here (Fig 7/8 data). */
+    std::vector<soc::FastRpcBreakdown> *rpcLog = nullptr;
+    /** Label used for worker tasks and trace intervals. */
+    std::string label = "inference";
+};
+
+/**
+ * Scalar CPU work sized to take roughly @p ns on a reference big core
+ * (used to model driver/framework CPU overheads as real CPU busy time).
+ */
+sim::Work workForCpuNs(double ns);
+
+/**
+ * Append the steps that execute @p plan to @p task.
+ *
+ * CPU partitions fork a thread pool (or run inline for the reference
+ * path); accelerated partitions cross the GPU queue or the FastRPC
+ * channel to the DSP. Partition boundaries pay a tensor-handoff cost.
+ */
+void appendPlanExecution(soc::SocSystem &sys, soc::Task &task,
+                         const ExecutionPlan &plan,
+                         const ExecOptions &opts);
+
+} // namespace aitax::runtime
+
+#endif // AITAX_RUNTIME_EXECUTE_H

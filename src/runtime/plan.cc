@@ -1,0 +1,110 @@
+#include "runtime/plan.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace aitax::runtime {
+
+using drivers::Driver;
+using graph::Op;
+using tensor::DType;
+
+std::size_t
+ExecutionPlan::transitions() const
+{
+    return partitions.empty() ? 0 : partitions.size() - 1;
+}
+
+double
+ExecutionPlan::acceleratedMacShare() const
+{
+    double share = 0.0;
+    for (const auto &p : partitions)
+        if (p.driver->isAccelerated())
+            share += p.macShare;
+    return share;
+}
+
+bool
+ExecutionPlan::usesAccelerator() const
+{
+    for (const auto &p : partitions)
+        if (p.driver->isAccelerated())
+            return true;
+    return false;
+}
+
+std::string
+ExecutionPlan::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s/%s: %zu partition(s), %zu transition(s), "
+                  "%.0f%% of MACs accelerated",
+                  modelName.c_str(),
+                  std::string(tensor::dtypeName(dtype)).c_str(),
+                  partitions.size(), transitions(),
+                  acceleratedMacShare() * 100.0);
+    return buf;
+}
+
+double
+deviceOpsFor(const Op &op, const Driver &driver, DType dtype)
+{
+    const double raw =
+        2.0 * static_cast<double>(op.macs()) +
+        static_cast<double>(op.flops());
+    const double eff = driver.efficiency(op, dtype);
+    assert(eff > 0.0);
+    return raw / eff;
+}
+
+ExecutionPlan
+buildPlan(const graph::Graph &g, DType dtype,
+          const std::vector<const Driver *> &preference,
+          const Driver &fallback)
+{
+    ExecutionPlan plan;
+    plan.modelName = g.name();
+    plan.dtype = dtype;
+
+    const double total_macs =
+        std::max<double>(static_cast<double>(g.totalMacs()), 1.0);
+    const auto elem =
+        static_cast<double>(tensor::dtypeSize(dtype));
+
+    const auto &ops = g.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op &op = ops[i];
+        const Driver *chosen = &fallback;
+        for (const Driver *cand : preference) {
+            if (cand->supportsOp(op, dtype)) {
+                chosen = cand;
+                break;
+            }
+        }
+        assert(chosen->supportsOp(op, dtype));
+
+        if (plan.partitions.empty() ||
+            plan.partitions.back().driver != chosen) {
+            Partition p;
+            p.driver = chosen;
+            p.firstOp = i;
+            p.inputBytes =
+                static_cast<double>(op.inputElements()) * elem;
+            plan.partitions.push_back(p);
+        }
+        Partition &part = plan.partitions.back();
+        ++part.opCount;
+        part.deviceOps += deviceOpsFor(op, *chosen, dtype);
+        part.bytes +=
+            static_cast<double>(op.activationBytes(
+                static_cast<std::size_t>(elem))) +
+            static_cast<double>(op.paramCount()) * elem;
+        part.opOverheadNs += chosen->perOpOverheadNs();
+        part.macShare += static_cast<double>(op.macs()) / total_macs;
+    }
+    return plan;
+}
+
+} // namespace aitax::runtime

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Execution planning: partitioning a model graph across drivers.
+ *
+ * Mirrors NNAPI's "model compilation" step — walk the op list, assign
+ * each op to the most preferred driver that supports it, and coalesce
+ * runs of same-driver ops into partitions. The partition count and
+ * the CPU-fallback share are the quantities the paper's framework
+ * analysis (Fig 5/6) turns on.
+ */
+
+#ifndef AITAX_RUNTIME_PLAN_H
+#define AITAX_RUNTIME_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "drivers/driver.h"
+#include "graph/graph.h"
+#include "sim/time.h"
+#include "sim/work.h"
+#include "tensor/dtype.h"
+
+namespace aitax::runtime {
+
+/** One contiguous run of ops assigned to a single driver. */
+struct Partition
+{
+    const drivers::Driver *driver = nullptr;
+    std::size_t firstOp = 0;
+    std::size_t opCount = 0;
+    /** Device ops to execute, already divided by driver efficiency. */
+    double deviceOps = 0.0;
+    /** Activation + parameter bytes moved. */
+    double bytes = 0.0;
+    /** Sum of the driver's per-op overheads. */
+    sim::DurationNs opOverheadNs = 0;
+    /** Input boundary bytes (copied when crossing partitions). */
+    double inputBytes = 0.0;
+    /** MAC share of the whole graph in this partition (0..1). */
+    double macShare = 0.0;
+};
+
+/** A compiled execution plan. */
+struct ExecutionPlan
+{
+    std::string modelName;
+    tensor::DType dtype = tensor::DType::Float32;
+    std::vector<Partition> partitions;
+
+    /** Number of driver transitions (partition boundaries). */
+    std::size_t transitions() const;
+
+    /** Fraction of graph MACs on accelerated partitions. */
+    double acceleratedMacShare() const;
+
+    /** True if any partition runs on an accelerator. */
+    bool usesAccelerator() const;
+
+    /** Human-readable summary, e.g. for framework-advisor output. */
+    std::string summary() const;
+};
+
+/**
+ * Build a plan: each op goes to the first driver in @p preference that
+ * supports it, else to @p fallback (which must support everything).
+ */
+ExecutionPlan buildPlan(const graph::Graph &g, tensor::DType dtype,
+                        const std::vector<const drivers::Driver *>
+                            &preference,
+                        const drivers::Driver &fallback);
+
+/** Device ops (macs*2 + flops, divided by efficiency) for one op. */
+double deviceOpsFor(const graph::Op &op, const drivers::Driver &driver,
+                    tensor::DType dtype);
+
+} // namespace aitax::runtime
+
+#endif // AITAX_RUNTIME_PLAN_H

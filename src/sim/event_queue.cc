@@ -1,0 +1,65 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace aitax::sim {
+
+EventId
+EventQueue::schedule(TimeNs when, std::function<void()> fn)
+{
+    const EventId id = nextId++;
+    heap.push(Entry{when, nextSeq++, id, std::move(fn)});
+    ++liveCount;
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id == 0 || id >= nextId)
+        return;
+    // Lazily discarded when it reaches the heap top.
+    if (cancelled.insert(id).second && liveCount > 0)
+        --liveCount;
+}
+
+bool
+EventQueue::isCancelled(EventId id) const
+{
+    return cancelled.count(id) > 0;
+}
+
+void
+EventQueue::dropCancelledHead()
+{
+    while (!heap.empty() && isCancelled(heap.top().id)) {
+        cancelled.erase(heap.top().id);
+        heap.pop();
+    }
+}
+
+TimeNs
+EventQueue::nextTime() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    self->dropCancelledHead();
+    assert(!heap.empty());
+    return heap.top().when;
+}
+
+TimeNs
+EventQueue::popAndRun()
+{
+    dropCancelledHead();
+    assert(!heap.empty());
+    // Move the callback out before popping: the callback may schedule
+    // new events, which mutates the heap.
+    Entry top = std::move(const_cast<Entry &>(heap.top()));
+    heap.pop();
+    --liveCount;
+    top.fn();
+    return top.when;
+}
+
+} // namespace aitax::sim

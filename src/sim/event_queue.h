@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Priority event queue for the discrete-event simulator.
+ */
+
+#ifndef AITAX_SIM_EVENT_QUEUE_H
+#define AITAX_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aitax::sim {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * Time-ordered queue of callbacks.
+ *
+ * Ties are broken by insertion order so that same-timestamp events
+ * execute deterministically in FIFO order.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn to fire at absolute time @p when. */
+    EventId schedule(TimeNs when, std::function<void()> fn);
+
+    /** Cancel a pending event. Cancelling a fired event is a no-op. */
+    void cancel(EventId id);
+
+    /** True if no live events remain. */
+    bool empty() const { return liveCount == 0; }
+
+    /** Number of live (non-cancelled, unfired) events. */
+    std::size_t size() const { return liveCount; }
+
+    /** Timestamp of the next live event. Queue must not be empty. */
+    TimeNs nextTime() const;
+
+    /**
+     * Pop and run the next live event.
+     * @return the timestamp the event fired at.
+     */
+    TimeNs popAndRun();
+
+  private:
+    struct Entry
+    {
+        TimeNs when;
+        std::uint64_t seq;
+        EventId id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::unordered_set<EventId> cancelled;
+    std::uint64_t nextSeq = 0;
+    EventId nextId = 1;
+    std::size_t liveCount = 0;
+
+    bool isCancelled(EventId id) const;
+    void dropCancelledHead();
+};
+
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_EVENT_QUEUE_H

@@ -1,0 +1,135 @@
+#include "sim/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace aitax::sim {
+
+namespace {
+
+std::uint64_t
+hashName(std::string_view name)
+{
+    // FNV-1a 64-bit.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+RandomStream::splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+RandomStream::RandomStream(std::uint64_t seed, std::string_view stream_name)
+{
+    std::uint64_t x = seed ^ hashName(stream_name);
+    for (auto &s : state_)
+        s = splitMix64(x);
+}
+
+std::uint64_t
+RandomStream::nextU64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+RandomStream::nextDouble()
+{
+    // 53 high-quality bits into [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+RandomStream::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+std::int64_t
+RandomStream::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(nextU64());
+    return lo + static_cast<std::int64_t>(nextU64() % span);
+}
+
+double
+RandomStream::gaussian()
+{
+    // Box-Muller; we deliberately do not cache the second deviate so
+    // the stream position is a pure function of the call count.
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    while (u1 <= 0.0)
+        u1 = nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+double
+RandomStream::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+RandomStream::lognormalFactor(double sigma)
+{
+    if (sigma <= 0.0)
+        return 1.0;
+    return std::exp(sigma * gaussian());
+}
+
+bool
+RandomStream::bernoulli(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+RandomStream::exponential(double mean)
+{
+    double u = nextDouble();
+    while (u <= 0.0)
+        u = nextDouble();
+    return -mean * std::log(u);
+}
+
+RandomStream
+RandomStream::fork(std::string_view child_name)
+{
+    const std::uint64_t child_seed = nextU64();
+    return RandomStream(child_seed, child_name);
+}
+
+} // namespace aitax::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic random-number streams for simulation noise models.
+ *
+ * Every source of modelled nondeterminism (scheduler jitter, interrupt
+ * delays, run-to-run interference) draws from a named RandomStream so
+ * that a whole experiment is reproducible from a single root seed.
+ */
+
+#ifndef AITAX_SIM_RANDOM_H
+#define AITAX_SIM_RANDOM_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace aitax::sim {
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256**).
+ *
+ * We implement the generator ourselves rather than using std::mt19937
+ * because standard-library distributions are not bit-reproducible
+ * across implementations — a pitfall the paper itself runs into with
+ * libc++ vs libstdc++ random generation (Section IV-A).
+ */
+class RandomStream
+{
+  public:
+    /** Construct from a root seed and a stream-name hash. */
+    explicit RandomStream(std::uint64_t seed,
+                          std::string_view stream_name = "");
+
+    /** Next raw 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal deviate (Box-Muller, no cached spare). */
+    double gaussian();
+
+    /** Normal deviate with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Log-normal multiplicative jitter factor.
+     *
+     * @param sigma log-space standard deviation; the returned factor
+     *              has median 1.0, so sigma=0 returns exactly 1.0.
+     */
+    double lognormalFactor(double sigma);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(double p);
+
+    /** Exponential deviate with the given mean. */
+    double exponential(double mean);
+
+    /** Fork a child stream, deterministically derived from this one. */
+    RandomStream fork(std::string_view child_name);
+
+  private:
+    std::uint64_t state_[4];
+
+    static std::uint64_t splitMix64(std::uint64_t &x);
+};
+
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_RANDOM_H

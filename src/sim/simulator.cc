@@ -1,0 +1,44 @@
+#include "sim/simulator.h"
+
+namespace aitax::sim {
+
+TimeNs
+Simulator::run()
+{
+    while (!queue.empty()) {
+        // Advance the clock before the event body runs so that now()
+        // observed inside callbacks is the event's own timestamp.
+        nowNs = queue.nextTime();
+        queue.popAndRun();
+        ++executed;
+    }
+    return nowNs;
+}
+
+TimeNs
+Simulator::runUntil(TimeNs deadline)
+{
+    while (!queue.empty() && queue.nextTime() <= deadline) {
+        nowNs = queue.nextTime();
+        queue.popAndRun();
+        ++executed;
+    }
+    if (nowNs < deadline && queue.empty())
+        return nowNs;
+    if (nowNs < deadline)
+        nowNs = deadline;
+    return nowNs;
+}
+
+TimeNs
+Simulator::runUntilCondition(const std::function<bool()> &done)
+{
+    while (!queue.empty() && !done()) {
+        nowNs = queue.nextTime();
+        queue.popAndRun();
+        ++executed;
+    }
+    return nowNs;
+}
+
+} // namespace aitax::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The discrete-event simulator: a virtual clock plus an event queue.
+ *
+ * All SoC components (CPU scheduler, accelerator servers, FastRPC
+ * channel, camera) schedule work against a shared Simulator instance.
+ * Running the simulator to quiescence advances virtual time
+ * deterministically.
+ */
+
+#ifndef AITAX_SIM_SIMULATOR_H
+#define AITAX_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace aitax::sim {
+
+/**
+ * Discrete-event simulation driver.
+ *
+ * Events fire in timestamp order (FIFO among ties); the clock never
+ * moves backwards. The simulator is single-threaded by design —
+ * determinism is a core requirement for reproducible experiments.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current virtual time. */
+    TimeNs now() const { return nowNs; }
+
+    /** Schedule @p fn to run @p delay ns from now. Negative clamps to 0. */
+    EventId
+    scheduleIn(DurationNs delay, std::function<void()> fn)
+    {
+        if (delay < 0)
+            delay = 0;
+        return queue.schedule(nowNs + delay, std::move(fn));
+    }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    EventId
+    scheduleAt(TimeNs when, std::function<void()> fn)
+    {
+        if (when < nowNs)
+            when = nowNs;
+        return queue.schedule(when, std::move(fn));
+    }
+
+    /** Cancel a previously scheduled event. */
+    void cancel(EventId id) { queue.cancel(id); }
+
+    /** True if no events are pending. */
+    bool idle() const { return queue.empty(); }
+
+    /**
+     * Run until the event queue drains.
+     * @return the final virtual time.
+     */
+    TimeNs run();
+
+    /**
+     * Run until the queue drains or virtual time would pass @p deadline.
+     * Events at exactly @p deadline still fire.
+     * @return the final virtual time.
+     */
+    TimeNs runUntil(TimeNs deadline);
+
+    /**
+     * Run until @p done() returns true (checked after each event) or
+     * the queue drains.
+     * @return the final virtual time.
+     */
+    TimeNs runUntilCondition(const std::function<bool()> &done);
+
+    /** Number of events executed so far (for tests/diagnostics). */
+    std::uint64_t eventsExecuted() const { return executed; }
+
+  private:
+    EventQueue queue;
+    TimeNs nowNs = 0;
+    std::uint64_t executed = 0;
+};
+
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_SIMULATOR_H

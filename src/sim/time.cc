@@ -1,0 +1,29 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace aitax::sim {
+
+std::string
+formatDuration(DurationNs ns)
+{
+    char buf[64];
+    double abs_ns = std::abs(static_cast<double>(ns));
+    if (abs_ns >= kNsPerSec) {
+        std::snprintf(buf, sizeof(buf), "%.3f s",
+                      static_cast<double>(ns) / kNsPerSec);
+    } else if (abs_ns >= kNsPerMs) {
+        std::snprintf(buf, sizeof(buf), "%.3f ms",
+                      static_cast<double>(ns) / kNsPerMs);
+    } else if (abs_ns >= kNsPerUs) {
+        std::snprintf(buf, sizeof(buf), "%.3f us",
+                      static_cast<double>(ns) / kNsPerUs);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lld ns",
+                      static_cast<long long>(ns));
+    }
+    return buf;
+}
+
+} // namespace aitax::sim

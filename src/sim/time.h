@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Virtual-time types for the discrete-event simulator.
+ *
+ * All simulated latencies in this project are expressed in integer
+ * nanoseconds of virtual time so that results are deterministic and
+ * independent of host speed.
+ */
+
+#ifndef AITAX_SIM_TIME_H
+#define AITAX_SIM_TIME_H
+
+#include <cstdint>
+#include <string>
+
+namespace aitax::sim {
+
+/** Virtual time, in nanoseconds since simulation start. */
+using TimeNs = std::int64_t;
+
+/** A span of virtual time, in nanoseconds. */
+using DurationNs = std::int64_t;
+
+constexpr DurationNs kNsPerUs = 1'000;
+constexpr DurationNs kNsPerMs = 1'000'000;
+constexpr DurationNs kNsPerSec = 1'000'000'000;
+
+/** Build a duration from microseconds. */
+constexpr DurationNs
+usToNs(double us)
+{
+    return static_cast<DurationNs>(us * kNsPerUs);
+}
+
+/** Build a duration from milliseconds. */
+constexpr DurationNs
+msToNs(double ms)
+{
+    return static_cast<DurationNs>(ms * kNsPerMs);
+}
+
+/** Build a duration from seconds. */
+constexpr DurationNs
+secToNs(double sec)
+{
+    return static_cast<DurationNs>(sec * kNsPerSec);
+}
+
+/** Convert a duration to fractional milliseconds. */
+constexpr double
+nsToMs(DurationNs ns)
+{
+    return static_cast<double>(ns) / kNsPerMs;
+}
+
+/** Convert a duration to fractional microseconds. */
+constexpr double
+nsToUs(DurationNs ns)
+{
+    return static_cast<double>(ns) / kNsPerUs;
+}
+
+/** Render a duration as a human-readable string, e.g. "12.34 ms". */
+std::string formatDuration(DurationNs ns);
+
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_TIME_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Device-independent work descriptor.
+ *
+ * Pipeline stages (pre-processing kernels, NN operators, post-
+ * processing) describe their cost as arithmetic operations plus bytes
+ * of memory traffic; a device model converts Work into virtual time
+ * using its compute throughput and memory bandwidth (roofline style:
+ * the slower of the two bounds applies).
+ */
+
+#ifndef AITAX_SIM_WORK_H
+#define AITAX_SIM_WORK_H
+
+namespace aitax::sim {
+
+/** Cost of a unit of computation, device-independent. */
+struct Work
+{
+    /** Arithmetic operations (FLOPs, or int ops for quantized code). */
+    double flops = 0.0;
+    /** Bytes read + written. */
+    double bytes = 0.0;
+
+    Work &
+    operator+=(const Work &other)
+    {
+        flops += other.flops;
+        bytes += other.bytes;
+        return *this;
+    }
+
+    friend Work
+    operator+(Work a, const Work &b)
+    {
+        a += b;
+        return a;
+    }
+
+    friend Work
+    operator*(Work a, double k)
+    {
+        a.flops *= k;
+        a.bytes *= k;
+        return a;
+    }
+};
+
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_WORK_H

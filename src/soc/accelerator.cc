@@ -1,0 +1,99 @@
+#include "soc/accelerator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aitax::soc {
+
+Accelerator::Accelerator(sim::Simulator &sim, AcceleratorConfig cfg,
+                         trace::Tracer &tracer, EnergyMeter *energy,
+                         MemoryFabric *fabric)
+    : sim(sim), cfg(std::move(cfg)), tracer(tracer), energy(energy),
+      fabric(fabric)
+{
+}
+
+double
+Accelerator::opsPerSec(tensor::DType format) const
+{
+    switch (format) {
+      case tensor::DType::Float32:
+        return cfg.f32OpsPerSec;
+      case tensor::DType::Float16:
+        return cfg.f16OpsPerSec;
+      case tensor::DType::Int8:
+      case tensor::DType::UInt8:
+        return cfg.i8OpsPerSec;
+      default:
+        return 0.0;
+    }
+}
+
+bool
+Accelerator::supportsFormat(tensor::DType format) const
+{
+    return opsPerSec(format) > 0.0;
+}
+
+sim::DurationNs
+Accelerator::execDuration(double ops, double bytes,
+                          tensor::DType format) const
+{
+    const double rate = opsPerSec(format);
+    assert(rate > 0.0 && "unsupported format submitted to accelerator");
+    double byte_rate = cfg.memBytesPerSec;
+    if (fabric)
+        byte_rate *= fabric->derateFactor();
+    const double sec = std::max(ops / rate, bytes / byte_rate);
+    return cfg.perJobOverheadNs +
+           std::max<sim::DurationNs>(
+               static_cast<sim::DurationNs>(std::ceil(sec * 1e9)), 1);
+}
+
+void
+Accelerator::submit(AccelJob job)
+{
+    queue.push_back(std::move(job));
+    if (!busy_)
+        startNext();
+}
+
+void
+Accelerator::startNext()
+{
+    assert(!busy_);
+    if (queue.empty())
+        return;
+    busy_ = true;
+    if (fabric)
+        fabric->onClientChange(+1);
+    AccelJob job = std::move(queue.front());
+    queue.pop_front();
+
+    const sim::DurationNs duration =
+        execDuration(job.ops, job.bytes, job.format);
+    const sim::TimeNs start = sim.now();
+
+    sim.scheduleIn(duration, [this, job = std::move(job), start] {
+        tracer.recordInterval(cfg.name, job.name, start, sim.now());
+        if (job.bytes > 0)
+            tracer.recordCounter("axi_bytes", sim.now(), job.bytes);
+        if (energy) {
+            const PowerDomain domain =
+                cfg.kind == AcceleratorKind::Gpu ? PowerDomain::Gpu
+                                                 : PowerDomain::Dsp;
+            energy->addDynamic(domain, job.ops);
+            energy->addStatic(domain, sim.now() - start);
+        }
+        ++completed;
+        busy_ = false;
+        if (fabric)
+            fabric->onClientChange(-1);
+        if (job.onDone)
+            job.onDone(sim.now());
+        startNext();
+    });
+}
+
+} // namespace aitax::soc

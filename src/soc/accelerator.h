@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Loosely coupled accelerator model (GPU / DSP).
+ *
+ * A single-context FIFO server: one job executes at a time and later
+ * arrivals queue — the structural property behind the paper's
+ * multi-tenancy result (Fig 9: "there is only one DSP available for
+ * ML model acceleration on this particular SoC").
+ */
+
+#ifndef AITAX_SOC_ACCELERATOR_H
+#define AITAX_SOC_ACCELERATOR_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+#include "soc/energy.h"
+#include "soc/memory.h"
+#include "soc/soc_config.h"
+#include "tensor/dtype.h"
+#include "trace/tracer.h"
+
+namespace aitax::soc {
+
+/** A unit of accelerator work. */
+struct AccelJob
+{
+    std::string name;
+    double ops = 0.0;
+    double bytes = 0.0;
+    tensor::DType format = tensor::DType::Float32;
+    /** Called at completion time. */
+    std::function<void(sim::TimeNs)> onDone;
+};
+
+/**
+ * FIFO accelerator server.
+ */
+class Accelerator
+{
+  public:
+    Accelerator(sim::Simulator &sim, AcceleratorConfig cfg,
+                trace::Tracer &tracer, EnergyMeter *energy = nullptr,
+                MemoryFabric *fabric = nullptr);
+
+    Accelerator(const Accelerator &) = delete;
+    Accelerator &operator=(const Accelerator &) = delete;
+
+    const AcceleratorConfig &config() const { return cfg; }
+    const std::string &name() const { return cfg.name; }
+
+    /** True if the device can execute the format natively. */
+    bool supportsFormat(tensor::DType format) const;
+
+    /** Execution time for a job, excluding queueing. */
+    sim::DurationNs execDuration(double ops, double bytes,
+                                 tensor::DType format) const;
+
+    /** Enqueue a job; onDone fires when it completes. */
+    void submit(AccelJob job);
+
+    bool busy() const { return busy_; }
+    std::size_t queueDepth() const { return queue.size(); }
+    std::int64_t jobsCompleted() const { return completed; }
+
+  private:
+    sim::Simulator &sim;
+    AcceleratorConfig cfg;
+    trace::Tracer &tracer;
+    EnergyMeter *energy;
+    MemoryFabric *fabric;
+    std::deque<AccelJob> queue;
+    bool busy_ = false;
+    std::int64_t completed = 0;
+
+    double opsPerSec(tensor::DType format) const;
+    void startNext();
+};
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_ACCELERATOR_H

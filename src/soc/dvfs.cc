@@ -1,0 +1,62 @@
+#include "soc/dvfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aitax::soc {
+
+DvfsGovernor::DvfsGovernor(DvfsConfig cfg, sim::Simulator &sim)
+    : cfg(cfg), sim(sim)
+{
+    big.f = cfg.minFactor;
+    little.f = cfg.minFactor;
+}
+
+void
+DvfsGovernor::advance(Tier &t)
+{
+    const sim::TimeNs now = sim.now();
+    if (now <= t.lastUpdate)
+        return;
+    const double dt = static_cast<double>(now - t.lastUpdate);
+    const bool busy = t.busyCores > 0;
+    const double target = busy ? 1.0 : cfg.minFactor;
+    const double tau = static_cast<double>(
+        busy ? cfg.rampUpTauNs : cfg.decayTauNs);
+    t.f = target + (t.f - target) * std::exp(-dt / tau);
+    t.f = std::clamp(t.f, cfg.minFactor, 1.0);
+    t.lastUpdate = now;
+}
+
+void
+DvfsGovernor::onBusyChange(bool big_tier, int delta)
+{
+    if (!cfg.enabled)
+        return;
+    Tier &t = tier(big_tier);
+    advance(t); // settle the factor under the old busy state first
+    t.busyCores += delta;
+    assert(t.busyCores >= 0);
+}
+
+double
+DvfsGovernor::factor(bool big_tier)
+{
+    if (!cfg.enabled)
+        return 1.0;
+    Tier &t = tier(big_tier);
+    advance(t);
+    return t.f;
+}
+
+void
+DvfsGovernor::reset()
+{
+    big.f = cfg.minFactor;
+    little.f = cfg.minFactor;
+    big.lastUpdate = sim.now();
+    little.lastUpdate = sim.now();
+}
+
+} // namespace aitax::soc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DVFS governor model (opt-in).
+ *
+ * Mobile kernels run interactive/schedutil governors: clocks ramp up
+ * under load and decay when idle. This is one mechanism behind the
+ * paper's cold-start observation — "benchmarks ... allow for warm-up
+ * time that is not necessarily representative of a real-world
+ * application" (Section IV-C) — a sporadically invoked pipeline keeps
+ * hitting low clocks.
+ */
+
+#ifndef AITAX_SOC_DVFS_H
+#define AITAX_SOC_DVFS_H
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace aitax::soc {
+
+/** Governor parameters. */
+struct DvfsConfig
+{
+    bool enabled = false;
+    /** Frequency floor as a fraction of maximum. */
+    double minFactor = 0.55;
+    /** Time constant for ramping up while the tier is busy. */
+    sim::DurationNs rampUpTauNs = sim::msToNs(30.0);
+    /** Time constant for decaying while the tier is idle. */
+    sim::DurationNs decayTauNs = sim::msToNs(120.0);
+};
+
+/**
+ * Two-tier (big/little) frequency governor.
+ *
+ * Tracks the number of busy cores per tier; the tier's frequency
+ * factor relaxes exponentially toward 1.0 while any core is busy and
+ * toward minFactor while all are idle. Factors are advanced lazily on
+ * query, so the model adds no events of its own.
+ */
+class DvfsGovernor
+{
+  public:
+    DvfsGovernor(DvfsConfig cfg, sim::Simulator &sim);
+
+    const DvfsConfig &config() const { return cfg; }
+
+    /** A core of the tier started (delta=+1) or stopped (-1) running. */
+    void onBusyChange(bool big_tier, int delta);
+
+    /** Current frequency factor in [minFactor, 1]. */
+    double factor(bool big_tier);
+
+    /** Reset both tiers to the floor (cold clocks). */
+    void reset();
+
+  private:
+    struct Tier
+    {
+        double f;
+        sim::TimeNs lastUpdate = 0;
+        int busyCores = 0;
+    };
+
+    DvfsConfig cfg;
+    sim::Simulator &sim;
+    Tier big;
+    Tier little;
+
+    void advance(Tier &tier);
+    Tier &tier(bool big_tier) { return big_tier ? big : little; }
+};
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_DVFS_H

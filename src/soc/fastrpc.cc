@@ -1,0 +1,92 @@
+#include "soc/fastrpc.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace aitax::soc {
+
+sim::DurationNs
+FastRpcBreakdown::overheadNs() const
+{
+    return sessionOpenNs + userToKernelNs + cacheFlushNs +
+           kernelSignalNs + queueWaitNs + returnPathNs;
+}
+
+sim::DurationNs
+FastRpcBreakdown::totalNs() const
+{
+    return overheadNs() + dspExecNs;
+}
+
+FastRpcChannel::FastRpcChannel(sim::Simulator &sim, FastRpcConfig cfg,
+                               Accelerator &dsp)
+    : sim(sim), cfg(cfg), dsp(dsp)
+{
+}
+
+bool
+FastRpcChannel::sessionOpen(std::int32_t process_id) const
+{
+    return sessions.count(process_id) > 0;
+}
+
+void
+FastRpcChannel::closeSession(std::int32_t process_id)
+{
+    sessions.erase(process_id);
+}
+
+void
+FastRpcChannel::call(std::int32_t process_id, double payload_bytes,
+                     AccelJob job,
+                     std::function<void(const FastRpcBreakdown &)> on_done)
+{
+    auto breakdown = std::make_shared<FastRpcBreakdown>();
+
+    sim::DurationNs pre = 0;
+    if (!sessionOpen(process_id)) {
+        sessions.insert(process_id);
+        breakdown->sessionOpenNs = cfg.sessionOpenNs;
+        pre += cfg.sessionOpenNs;
+    }
+    breakdown->userToKernelNs = cfg.userToKernelNs;
+    pre += cfg.userToKernelNs;
+
+    const auto flush_ns = static_cast<sim::DurationNs>(std::ceil(
+        payload_bytes / cfg.cacheFlushBytesPerSec * 1e9));
+    breakdown->cacheFlushNs = flush_ns;
+    pre += flush_ns;
+
+    breakdown->kernelSignalNs = cfg.kernelSignalNs;
+    pre += cfg.kernelSignalNs;
+
+    // After the CPU-side stages, the job lands in the DSP queue.
+    sim.scheduleIn(pre, [this, breakdown, job = std::move(job),
+                         on_done = std::move(on_done)]() mutable {
+        const sim::TimeNs enqueued = sim.now();
+        const sim::DurationNs exec =
+            dsp.execDuration(job.ops, job.bytes, job.format);
+
+        auto inner_done = std::move(job.onDone);
+        job.onDone = [this, breakdown, enqueued, exec,
+                      inner_done = std::move(inner_done),
+                      on_done =
+                          std::move(on_done)](sim::TimeNs done_at) {
+            breakdown->dspExecNs = exec;
+            breakdown->queueWaitNs = (done_at - enqueued) - exec;
+            breakdown->returnPathNs = cfg.returnPathNs;
+            sim.scheduleIn(cfg.returnPathNs,
+                           [this, breakdown, inner_done, on_done] {
+                               ++completed;
+                               if (inner_done)
+                                   inner_done(sim.now());
+                               if (on_done)
+                                   on_done(*breakdown);
+                           });
+        };
+        dsp.submit(std::move(job));
+    });
+}
+
+} // namespace aitax::soc

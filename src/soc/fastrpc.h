@@ -1,0 +1,84 @@
+/**
+ * @file
+ * FastRPC channel model — the CPU<->DSP communication path of Fig 7.
+ *
+ * Every call crosses user -> kernel driver -> (cache flush for
+ * coherency) -> DSP-side driver and back. The first call from a
+ * process additionally pays the session-open cost (process mapping +
+ * library load), the paper's DSP cold-start penalty (Fig 8).
+ */
+
+#ifndef AITAX_SOC_FASTRPC_H
+#define AITAX_SOC_FASTRPC_H
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "soc/accelerator.h"
+#include "soc/soc_config.h"
+
+namespace aitax::soc {
+
+/** Per-call latency breakdown mirroring the Fig 7 stages. */
+struct FastRpcBreakdown
+{
+    sim::DurationNs sessionOpenNs = 0;
+    sim::DurationNs userToKernelNs = 0;
+    sim::DurationNs cacheFlushNs = 0;
+    sim::DurationNs kernelSignalNs = 0;
+    sim::DurationNs queueWaitNs = 0;
+    sim::DurationNs dspExecNs = 0;
+    sim::DurationNs returnPathNs = 0;
+
+    /** Offload overhead: everything except the DSP execution itself. */
+    sim::DurationNs overheadNs() const;
+    sim::DurationNs totalNs() const;
+};
+
+/**
+ * The FastRPC channel to one DSP.
+ */
+class FastRpcChannel
+{
+  public:
+    FastRpcChannel(sim::Simulator &sim, FastRpcConfig cfg,
+                   Accelerator &dsp);
+
+    FastRpcChannel(const FastRpcChannel &) = delete;
+    FastRpcChannel &operator=(const FastRpcChannel &) = delete;
+
+    /**
+     * Issue a remote call.
+     *
+     * @param process_id calling process (first call pays session open).
+     * @param payload_bytes bytes flushed/transferred for arguments.
+     * @param job the DSP work to run remotely.
+     * @param on_done completion callback, given the call's breakdown.
+     */
+    void call(std::int32_t process_id, double payload_bytes,
+              AccelJob job,
+              std::function<void(const FastRpcBreakdown &)> on_done);
+
+    /** True once a process has an open DSP session. */
+    bool sessionOpen(std::int32_t process_id) const;
+
+    /** Drop a process's session (app restart / model reload). */
+    void closeSession(std::int32_t process_id);
+
+    std::int64_t callsCompleted() const { return completed; }
+
+  private:
+    sim::Simulator &sim;
+    FastRpcConfig cfg;
+    Accelerator &dsp;
+    std::set<std::int32_t> sessions;
+    std::int64_t completed = 0;
+};
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_FASTRPC_H

@@ -1,0 +1,57 @@
+#include "soc/interference.h"
+
+#include <memory>
+
+namespace aitax::soc {
+
+InterferenceGenerator::InterferenceGenerator(sim::Simulator &sim,
+                                             OsScheduler &sched,
+                                             InterferenceConfig cfg,
+                                             sim::RandomStream rng)
+    : sim(sim), sched(sched), cfg(cfg), rng(std::move(rng))
+{
+}
+
+void
+InterferenceGenerator::submitTask(const char *name, double mean_ops,
+                                  bool background)
+{
+    const double ops = mean_ops * rng.lognormalFactor(cfg.jitterSigma);
+    auto task = std::make_shared<Task>(name, background);
+    task->compute({ops, ops * 2.0}, WorkClass::Scalar);
+    sched.submit(std::move(task));
+    ++injected;
+}
+
+void
+InterferenceGenerator::start(sim::TimeNs horizon)
+{
+    if (!cfg.enabled)
+        return;
+
+    // UI ticks: fixed period, jittered work, foreground priority.
+    for (sim::TimeNs t = cfg.uiPeriodNs; t < horizon;
+         t += cfg.uiPeriodNs) {
+        sim.scheduleAt(t, [this] {
+            submitTask("ui_frame", cfg.uiOps, /*background=*/false);
+        });
+    }
+
+    // Daemon/binder activity: Poisson arrivals, background priority.
+    if (cfg.daemonRatePerSec > 0.0) {
+        const double mean_gap_ns = 1e9 / cfg.daemonRatePerSec;
+        sim::TimeNs t = 0;
+        while (true) {
+            t += static_cast<sim::DurationNs>(
+                rng.exponential(mean_gap_ns));
+            if (t >= horizon)
+                break;
+            sim.scheduleAt(t, [this] {
+                submitTask("system_daemon", cfg.daemonOps,
+                           /*background=*/true);
+            });
+        }
+    }
+}
+
+} // namespace aitax::soc

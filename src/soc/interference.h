@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Background system activity generator.
+ *
+ * Real applications never run on a quiet system: UI rendering, binder
+ * transactions and system daemons share the CPU complex. This module
+ * injects that activity, producing the wide app-mode latency
+ * distributions of Fig 11 (run-to-run variability) in contrast to the
+ * tight benchmark-mode distributions.
+ */
+
+#ifndef AITAX_SOC_INTERFERENCE_H
+#define AITAX_SOC_INTERFERENCE_H
+
+#include <cstdint>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "soc/scheduler.h"
+
+namespace aitax::soc {
+
+/** Interference intensity knobs. */
+struct InterferenceConfig
+{
+    bool enabled = true;
+    /** UI/compositor tick (60 Hz frame handling). */
+    sim::DurationNs uiPeriodNs = sim::usToNs(16667.0);
+    /** Mean UI work per tick (scalar ops). */
+    double uiOps = 2.0e6;
+    /** Mean rate of short daemon/binder tasks, per second. */
+    double daemonRatePerSec = 30.0;
+    /** Mean daemon task work (scalar ops). */
+    double daemonOps = 1.5e6;
+    /** Log-normal sigma applied to every injected task's work. */
+    double jitterSigma = 0.45;
+};
+
+/**
+ * Periodically submits interference tasks to the scheduler.
+ */
+class InterferenceGenerator
+{
+  public:
+    InterferenceGenerator(sim::Simulator &sim, OsScheduler &sched,
+                          InterferenceConfig cfg,
+                          sim::RandomStream rng);
+
+    /** Schedule interference task arrivals up to @p horizon. */
+    void start(sim::TimeNs horizon);
+
+    std::int64_t tasksInjected() const { return injected; }
+
+  private:
+    sim::Simulator &sim;
+    OsScheduler &sched;
+    InterferenceConfig cfg;
+    sim::RandomStream rng;
+    std::int64_t injected = 0;
+
+    void submitTask(const char *name, double mean_ops, bool background);
+};
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_INTERFERENCE_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared memory fabric (AXI) contention model, opt-in.
+ *
+ * The baseline model gives every client its private sustained
+ * bandwidth, which is accurate while few units are active. With
+ * contention enabled, concurrently active high-bandwidth clients
+ * (busy CPU cores and accelerators) derate each other — letting
+ * experiments explore an interaction the paper could not isolate on
+ * real hardware: DSP inference slowing under heavy CPU memory traffic
+ * even though compute resources are disjoint.
+ */
+
+#ifndef AITAX_SOC_MEMORY_H
+#define AITAX_SOC_MEMORY_H
+
+#include <cassert>
+
+namespace aitax::soc {
+
+/** Fabric parameters. */
+struct MemoryFabricConfig
+{
+    bool contentionEnabled = false;
+    /** Derate slope per additional concurrent client. */
+    double deratePerClient = 0.15;
+    /** Floor on the derate factor. */
+    double minFactor = 0.45;
+};
+
+/**
+ * Counts active bandwidth clients and answers derate queries.
+ */
+class MemoryFabric
+{
+  public:
+    explicit MemoryFabric(MemoryFabricConfig cfg = {})
+        : cfg(cfg)
+    {
+    }
+
+    const MemoryFabricConfig &config() const { return cfg; }
+
+    /** A client became active (+1) or idle (-1). */
+    void
+    onClientChange(int delta)
+    {
+        clients += delta;
+        assert(clients >= 0);
+    }
+
+    int activeClients() const { return clients; }
+
+    /**
+     * Effective-bandwidth factor seen by one active client, given the
+     * other concurrently active clients: 1 / (1 + slope * others),
+     * floored at minFactor. Always 1.0 when contention is disabled.
+     */
+    double
+    derateFactor() const
+    {
+        if (!cfg.contentionEnabled)
+            return 1.0;
+        const int others = clients > 0 ? clients - 1 : 0;
+        const double f =
+            1.0 / (1.0 + cfg.deratePerClient * static_cast<double>(others));
+        return f < cfg.minFactor ? cfg.minFactor : f;
+    }
+
+  private:
+    MemoryFabricConfig cfg;
+    int clients = 0;
+};
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_MEMORY_H

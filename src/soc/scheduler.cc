@@ -1,0 +1,347 @@
+#include "soc/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aitax::soc {
+
+OsScheduler::OsScheduler(sim::Simulator &sim, const CpuClusterConfig &cfg,
+                         ThermalModel &thermal, trace::Tracer &tracer,
+                         EnergyMeter *energy, DvfsGovernor *dvfs,
+                         MemoryFabric *fabric)
+    : sim(sim), cfg(cfg), thermal(thermal), tracer(tracer),
+      energy(energy), dvfs(dvfs), fabric(fabric),
+      balanceRng(0xA17Au, "os-load-balance")
+{
+    assert(!cfg.cores.empty());
+    cores.reserve(cfg.cores.size());
+    for (const auto &core_cfg : cfg.cores)
+        cores.push_back(Core{core_cfg, nullptr, 0, 0, 0});
+}
+
+std::size_t
+OsScheduler::runningCount() const
+{
+    std::size_t n = 0;
+    for (const auto &c : cores)
+        if (c.running)
+            ++n;
+    return n;
+}
+
+void
+OsScheduler::submit(std::shared_ptr<Task> task)
+{
+    assert(task);
+    assert(task->state() == TaskState::Created);
+    makeReady(std::move(task));
+}
+
+void
+OsScheduler::makeReady(std::shared_ptr<Task> task)
+{
+    if (task->state() == TaskState::Done)
+        return;
+    assert(task->state() != TaskState::Ready &&
+           task->state() != TaskState::Running);
+    task->setState(TaskState::Ready);
+    runQueue.push_back(std::move(task));
+    tryDispatch();
+}
+
+int
+OsScheduler::pickCore(const Task &task) const
+{
+    // Foreground tasks take the fastest idle core (EAS-style up-
+    // migration), background tasks the slowest; the previous core
+    // breaks ties so hot caches are reused within a tier.
+    int best = -1;
+    double best_rate = 0.0;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (cores[i].running)
+            continue;
+        const double rate =
+            cores[i].cfg.freqGhz * cores[i].cfg.f32OpsPerCycle;
+        bool better;
+        if (best < 0) {
+            better = true;
+        } else if (rate != best_rate) {
+            better = task.isBackground() ? rate < best_rate
+                                         : rate > best_rate;
+        } else {
+            better = static_cast<int>(i) == task.lastCore();
+        }
+        if (better) {
+            best = static_cast<int>(i);
+            best_rate = rate;
+        }
+    }
+    return best;
+}
+
+void
+OsScheduler::tryDispatch()
+{
+    while (!runQueue.empty()) {
+        const int core_idx = pickCore(*runQueue.front());
+        if (core_idx < 0)
+            return;
+        auto task = std::move(runQueue.front());
+        runQueue.pop_front();
+        dispatch(core_idx, std::move(task));
+    }
+}
+
+void
+OsScheduler::dispatch(int core_idx, std::shared_ptr<Task> task)
+{
+    Core &core = cores[static_cast<std::size_t>(core_idx)];
+    assert(!core.running);
+    const bool migrated =
+        task->lastCore() >= 0 && task->lastCore() != core_idx;
+    if (migrated) {
+        ++migrations_;
+        tracer.recordEvent("migration", task->name(), sim.now());
+    }
+    task->setLastCore(core_idx);
+    task->setState(TaskState::Running);
+    core.running = std::move(task);
+    core.runStart = sim.now();
+    if (dvfs)
+        dvfs->onBusyChange(core.cfg.big, +1);
+    if (fabric)
+        fabric->onClientChange(+1);
+
+    const sim::DurationNs overhead =
+        cfg.contextSwitchNs + (migrated ? cfg.migrationNs : 0);
+    core.sliceEnd = sim.now() + overhead + cfg.timeSliceNs;
+    core.pendingEvent =
+        sim.scheduleIn(overhead, [this, core_idx] { runFront(core_idx); });
+}
+
+void
+OsScheduler::leaveCore(int core_idx)
+{
+    Core &core = cores[static_cast<std::size_t>(core_idx)];
+    assert(core.running);
+    tracer.recordInterval(core.cfg.name, core.running->name(),
+                          core.runStart, sim.now());
+    core.running = nullptr;
+    core.pendingEvent = 0;
+    if (dvfs)
+        dvfs->onBusyChange(core.cfg.big, -1);
+    if (fabric)
+        fabric->onClientChange(-1);
+}
+
+void
+OsScheduler::runFront(int core_idx)
+{
+    Core &core = cores[static_cast<std::size_t>(core_idx)];
+    auto task = core.running;
+    assert(task);
+
+    while (true) {
+        if (!task->hasSteps()) {
+            leaveCore(core_idx);
+            task->finish(sim.now());
+            tryDispatch();
+            return;
+        }
+
+        TaskStep &step = task->frontStep();
+
+        if (auto *marker = std::get_if<MarkerStep>(&step)) {
+            auto fn = std::move(marker->fn);
+            task->popStep();
+            if (fn)
+                fn(sim.now());
+            continue;
+        }
+
+        if (auto *sleep = std::get_if<SleepStep>(&step)) {
+            const sim::DurationNs duration = sleep->duration;
+            task->popStep();
+            leaveCore(core_idx);
+            task->setState(TaskState::Blocked);
+            sim.scheduleIn(duration, [this, task] { makeReady(task); });
+            tryDispatch();
+            return;
+        }
+
+        if (auto *blocked = std::get_if<BlockStep>(&step)) {
+            auto start = std::move(blocked->start);
+            task->popStep();
+            leaveCore(core_idx);
+            task->setState(TaskState::Blocked);
+            // Resuming re-enters the scheduler via a fresh event so a
+            // synchronous resume inside start() cannot re-enter us.
+            auto resume = [this, task] {
+                sim.scheduleIn(0, [this, task] { makeReady(task); });
+            };
+            start(*task, resume);
+            tryDispatch();
+            return;
+        }
+
+        startCompute(core_idx, std::get<ComputeStep>(step));
+        return;
+    }
+}
+
+sim::DurationNs
+OsScheduler::computeDuration(const Core &core,
+                             const ComputeStep &step) const
+{
+    double factor = const_cast<ThermalModel &>(thermal).speedFactor();
+    if (dvfs)
+        factor *= const_cast<DvfsGovernor *>(dvfs)->factor(core.cfg.big);
+    const double ops_rate = core.cfg.freqGhz * 1e9 *
+                            core.cfg.opsPerCycle(step.cls) * factor;
+    double byte_rate = core.cfg.memBytesPerSec * factor;
+    if (fabric)
+        byte_rate *= fabric->derateFactor();
+    const double ops = step.work.flops * step.remaining;
+    const double bytes = step.work.bytes * step.remaining;
+    const double sec =
+        std::max(ops / ops_rate, bytes / byte_rate);
+    const auto ns = static_cast<sim::DurationNs>(std::ceil(sec * 1e9));
+    return std::max<sim::DurationNs>(ns, 1);
+}
+
+void
+OsScheduler::startCompute(int core_idx, ComputeStep &step)
+{
+    Core &core = cores[static_cast<std::size_t>(core_idx)];
+    auto task = core.running;
+    assert(task);
+
+    const sim::DurationNs duration = computeDuration(core, step);
+    const sim::DurationNs slice_rem =
+        std::max<sim::DurationNs>(core.sliceEnd - sim.now(), 0);
+
+    if (duration <= slice_rem) {
+        // Step completes within the slice.
+        core.pendingEvent = sim.scheduleIn(duration, [this, core_idx,
+                                                      duration] {
+            finishComputeSlice(core_idx, sim.now() - duration, duration);
+            Core &c = cores[static_cast<std::size_t>(core_idx)];
+            auto &st = std::get<ComputeStep>(c.running->frontStep());
+            st.remaining = 0.0;
+            c.running->popStep();
+            runFront(core_idx);
+        });
+        return;
+    }
+
+    // Slice expires first.
+    core.pendingEvent = sim.scheduleIn(slice_rem, [this, core_idx,
+                                                   duration, slice_rem] {
+        finishComputeSlice(core_idx, sim.now() - slice_rem, slice_rem);
+        Core &c = cores[static_cast<std::size_t>(core_idx)];
+        auto task = c.running;
+        auto &st = std::get<ComputeStep>(task->frontStep());
+        const double frac =
+            static_cast<double>(slice_rem) / static_cast<double>(duration);
+        st.remaining *= std::max(0.0, 1.0 - frac);
+
+        if (runQueue.empty()) {
+            const int dest = balanceTarget(core_idx, *task);
+            if (dest >= 0) {
+                leaveCore(core_idx);
+                task->setState(TaskState::Ready);
+                dispatch(dest, std::move(task));
+                return;
+            }
+            // Nothing else to run: renew the slice in place, free of
+            // context-switch cost.
+            c.sliceEnd = sim.now() + cfg.timeSliceNs;
+            startCompute(core_idx, st);
+            return;
+        }
+        ++ctxSwitches;
+        tracer.recordEvent("context_switch", task->name(), sim.now());
+        leaveCore(core_idx);
+        task->setState(TaskState::Ready);
+        runQueue.push_back(task);
+        tryDispatch();
+    });
+}
+
+void
+OsScheduler::finishComputeSlice(int core_idx, sim::TimeNs started,
+                                sim::DurationNs full_duration)
+{
+    Core &core = cores[static_cast<std::size_t>(core_idx)];
+    auto task = core.running;
+    assert(task);
+    (void)started;
+
+    const auto &st = std::get<ComputeStep>(task->frontStep());
+    // Portion of the step's total byte traffic this slice covered.
+    const sim::DurationNs total = computeDuration(core, st);
+    const double frac_of_remaining =
+        total > 0 ? std::min(1.0, static_cast<double>(full_duration) /
+                                      static_cast<double>(total))
+                  : 1.0;
+    const double bytes = st.work.bytes * st.remaining * frac_of_remaining;
+    if (bytes > 0)
+        tracer.recordCounter("axi_bytes", sim.now(), bytes);
+
+    if (energy) {
+        const PowerDomain domain = core.cfg.big
+                                       ? PowerDomain::BigCpu
+                                       : PowerDomain::LittleCpu;
+        energy->addDynamic(domain, st.work.flops * st.remaining *
+                                       frac_of_remaining);
+        energy->addStatic(domain, full_duration);
+    }
+
+    const double busy_sec =
+        static_cast<double>(full_duration) / sim::kNsPerSec;
+    thermal.addHeat(busy_sec * (core.cfg.big ? 1.0 : 0.4));
+}
+
+
+int
+OsScheduler::balanceTarget(int core_idx, const Task &task)
+{
+    const Core &core = cores[static_cast<std::size_t>(core_idx)];
+    const double my_rate = core.cfg.freqGhz * core.cfg.f32OpsPerCycle;
+
+    // EAS-style up-migration: a foreground task displaced to a slow
+    // core moves as soon as a faster core goes idle.
+    if (!task.isBackground()) {
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (!cores[i].running &&
+                cores[i].cfg.freqGhz * cores[i].cfg.f32OpsPerCycle >
+                    my_rate) {
+                return static_cast<int>(i);
+            }
+        }
+    }
+
+    // Kernel load balancing occasionally bounces a lone task between
+    // idle cores of the same tier (Fig 6's migration churn).
+    if (cfg.loadBalanceProb > 0.0 &&
+        balanceRng.bernoulli(cfg.loadBalanceProb)) {
+        std::vector<int> candidates;
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (static_cast<int>(i) == core_idx || cores[i].running)
+                continue;
+            if (cores[i].cfg.freqGhz * cores[i].cfg.f32OpsPerCycle ==
+                my_rate) {
+                candidates.push_back(static_cast<int>(i));
+            }
+        }
+        if (!candidates.empty()) {
+            const auto pick = balanceRng.uniformInt(
+                0, static_cast<std::int64_t>(candidates.size()) - 1);
+            return candidates[static_cast<std::size_t>(pick)];
+        }
+    }
+    return -1;
+}
+
+} // namespace aitax::soc

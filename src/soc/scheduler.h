@@ -1,0 +1,109 @@
+/**
+ * @file
+ * OS CPU scheduler model.
+ *
+ * A round-robin, time-sliced scheduler over a big.LITTLE core complex,
+ * with per-dispatch context-switch cost and a cache-warmup penalty on
+ * core migration. This is deliberately simpler than CFS but reproduces
+ * the behaviours the paper attributes to the Android scheduler:
+ * single-thread fallback pathologies, frequent migrations under load
+ * (Fig 6), and pre-processing slowdown under CPU multi-tenancy
+ * (Fig 10).
+ */
+
+#ifndef AITAX_SOC_SCHEDULER_H
+#define AITAX_SOC_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "soc/dvfs.h"
+#include "soc/energy.h"
+#include "soc/memory.h"
+#include "soc/soc_config.h"
+#include "soc/task.h"
+#include "soc/thermal.h"
+#include "trace/tracer.h"
+
+namespace aitax::soc {
+
+/**
+ * Round-robin scheduler over the CPU cluster.
+ */
+class OsScheduler
+{
+  public:
+    OsScheduler(sim::Simulator &sim, const CpuClusterConfig &cfg,
+                ThermalModel &thermal, trace::Tracer &tracer,
+                EnergyMeter *energy = nullptr,
+                DvfsGovernor *dvfs = nullptr,
+                MemoryFabric *fabric = nullptr);
+
+    OsScheduler(const OsScheduler &) = delete;
+    OsScheduler &operator=(const OsScheduler &) = delete;
+
+    /** Submit a task for execution. */
+    void submit(std::shared_ptr<Task> task);
+
+    /** Tasks currently queued (not running, not blocked). */
+    std::size_t queuedCount() const { return runQueue.size(); }
+
+    /** Tasks currently on a core. */
+    std::size_t runningCount() const;
+
+    std::size_t coreCount() const { return cores.size(); }
+
+    /** Lifetime counters for tests and Fig 6 annotations. */
+    std::int64_t contextSwitches() const { return ctxSwitches; }
+    std::int64_t migrations() const { return migrations_; }
+
+  private:
+    struct Core
+    {
+        CpuCoreConfig cfg;
+        std::shared_ptr<Task> running;
+        sim::EventId pendingEvent = 0;
+        sim::TimeNs runStart = 0;
+        sim::TimeNs sliceEnd = 0;
+    };
+
+    sim::Simulator &sim;
+    CpuClusterConfig cfg;
+    ThermalModel &thermal;
+    trace::Tracer &tracer;
+    EnergyMeter *energy;
+    DvfsGovernor *dvfs;
+    MemoryFabric *fabric;
+    std::vector<Core> cores;
+    std::deque<std::shared_ptr<Task>> runQueue;
+    sim::RandomStream balanceRng;
+    std::int64_t ctxSwitches = 0;
+    std::int64_t migrations_ = 0;
+
+    void makeReady(std::shared_ptr<Task> task);
+    void tryDispatch();
+    int pickCore(const Task &task) const;
+    void dispatch(int core_idx, std::shared_ptr<Task> task);
+    void runFront(int core_idx);
+    void startCompute(int core_idx, ComputeStep &step);
+    void finishComputeSlice(int core_idx, sim::TimeNs started,
+                            sim::DurationNs full_duration);
+    void leaveCore(int core_idx);
+    sim::DurationNs computeDuration(const Core &core,
+                                    const ComputeStep &step) const;
+
+    /**
+     * Destination for a lone task at slice expiry: a faster idle core
+     * (deterministic up-migration), or with loadBalanceProb a same-
+     * tier idle core (kernel load balancing). -1 = stay put.
+     */
+    int balanceTarget(int core_idx, const Task &task);
+};
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_SCHEDULER_H

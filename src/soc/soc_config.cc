@@ -1,0 +1,16 @@
+#include "soc/soc_config.h"
+
+namespace aitax::soc {
+
+double
+CpuCoreConfig::opsPerCycle(WorkClass cls) const
+{
+    switch (cls) {
+      case WorkClass::Scalar: return scalarOpsPerCycle;
+      case WorkClass::VectorF32: return f32OpsPerCycle;
+      case WorkClass::VectorI8: return i8OpsPerCycle;
+    }
+    return 1.0;
+}
+
+} // namespace aitax::soc

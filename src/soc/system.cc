@@ -1,0 +1,16 @@
+#include "soc/system.h"
+
+namespace aitax::soc {
+
+SocSystem::SocSystem(SocConfig cfg_in, std::uint64_t seed)
+    : cfg(std::move(cfg_in)), fabric_(cfg.fabric),
+      dvfs_(cfg.dvfs, sim_), thermal_(cfg.thermal, sim_),
+      sched_(sim_, cfg.cluster, thermal_, tracer_, &energy_, &dvfs_,
+             &fabric_),
+      gpu_(sim_, cfg.gpu, tracer_, &energy_, &fabric_),
+      dsp_(sim_, cfg.dsp, tracer_, &energy_, &fabric_),
+      rpc_(sim_, cfg.fastrpc, dsp_), rng_(seed, "soc")
+{
+}
+
+} // namespace aitax::soc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The assembled SoC: simulator + scheduler + accelerators + FastRPC +
+ * thermal + tracer, built from a SocConfig (one Table II platform).
+ */
+
+#ifndef AITAX_SOC_SYSTEM_H
+#define AITAX_SOC_SYSTEM_H
+
+#include <cstdint>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "soc/accelerator.h"
+#include "soc/dvfs.h"
+#include "soc/energy.h"
+#include "soc/fastrpc.h"
+#include "soc/memory.h"
+#include "soc/scheduler.h"
+#include "soc/soc_config.h"
+#include "soc/thermal.h"
+#include "trace/tracer.h"
+
+namespace aitax::soc {
+
+/**
+ * One simulated phone.
+ *
+ * Owns every hardware model; experiments construct a SocSystem per
+ * run, submit tasks, then drive the simulator to quiescence.
+ */
+class SocSystem
+{
+  public:
+    explicit SocSystem(SocConfig cfg, std::uint64_t seed = 1);
+
+    SocSystem(const SocSystem &) = delete;
+    SocSystem &operator=(const SocSystem &) = delete;
+
+    const SocConfig &config() const { return cfg; }
+
+    sim::Simulator &simulator() { return sim_; }
+    trace::Tracer &tracer() { return tracer_; }
+    ThermalModel &thermal() { return thermal_; }
+    OsScheduler &scheduler() { return sched_; }
+    EnergyMeter &energy() { return energy_; }
+    DvfsGovernor &dvfs() { return dvfs_; }
+    MemoryFabric &fabric() { return fabric_; }
+    Accelerator &gpu() { return gpu_; }
+    Accelerator &dsp() { return dsp_; }
+    FastRpcChannel &fastrpc() { return rpc_; }
+    sim::RandomStream &rng() { return rng_; }
+
+    /** Run the simulation until all events drain; returns end time. */
+    sim::TimeNs run() { return sim_.run(); }
+
+  private:
+    SocConfig cfg;
+    sim::Simulator sim_;
+    trace::Tracer tracer_;
+    EnergyMeter energy_;
+    MemoryFabric fabric_;
+    DvfsGovernor dvfs_;
+    ThermalModel thermal_;
+    OsScheduler sched_;
+    Accelerator gpu_;
+    Accelerator dsp_;
+    FastRpcChannel rpc_;
+    sim::RandomStream rng_;
+};
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_SYSTEM_H

@@ -1,0 +1,70 @@
+#include "soc/task.h"
+
+#include <cassert>
+
+namespace aitax::soc {
+
+Task::Task(std::string name, bool background)
+    : name_(std::move(name)), background_(background)
+{
+}
+
+Task &
+Task::compute(sim::Work work, WorkClass cls)
+{
+    steps.push_back(ComputeStep{work, cls, 1.0});
+    return *this;
+}
+
+Task &
+Task::sleep(sim::DurationNs duration)
+{
+    steps.push_back(SleepStep{duration});
+    return *this;
+}
+
+Task &
+Task::marker(std::function<void(sim::TimeNs)> fn)
+{
+    steps.push_back(MarkerStep{std::move(fn)});
+    return *this;
+}
+
+Task &
+Task::block(
+    std::function<void(Task &, std::function<void()> resume)> start)
+{
+    steps.push_back(BlockStep{std::move(start)});
+    return *this;
+}
+
+void
+Task::setOnComplete(std::function<void(sim::TimeNs)> fn)
+{
+    onComplete = std::move(fn);
+}
+
+TaskStep &
+Task::frontStep()
+{
+    assert(!steps.empty());
+    return steps.front();
+}
+
+void
+Task::popStep()
+{
+    assert(!steps.empty());
+    steps.pop_front();
+}
+
+void
+Task::finish(sim::TimeNs now)
+{
+    assert(steps.empty());
+    state_ = TaskState::Done;
+    if (onComplete)
+        onComplete(now);
+}
+
+} // namespace aitax::soc

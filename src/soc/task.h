@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Software task model: a schedulable unit of work on the CPU cluster.
+ *
+ * A Task is a queue of steps — compute slices, sleeps, markers and
+ * blocking calls (used for accelerator offload). The OS scheduler
+ * executes compute steps on cores, preempting at time-slice
+ * boundaries; blocking steps take the task off the run queue until an
+ * external completion resumes it.
+ */
+
+#ifndef AITAX_SOC_TASK_H
+#define AITAX_SOC_TASK_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "sim/time.h"
+#include "sim/work.h"
+#include "soc/soc_config.h"
+
+namespace aitax::soc {
+
+class Task;
+
+/** CPU work slice. */
+struct ComputeStep
+{
+    sim::Work work;
+    WorkClass cls = WorkClass::Scalar;
+    /** Fraction of the step still to execute (preemption state). */
+    double remaining = 1.0;
+};
+
+/** Off-CPU wait for a fixed duration. */
+struct SleepStep
+{
+    sim::DurationNs duration = 0;
+};
+
+/** Instantaneous timestamp callback (stage boundaries). */
+struct MarkerStep
+{
+    std::function<void(sim::TimeNs)> fn;
+};
+
+/**
+ * Blocking external call. The scheduler invokes @p start with a resume
+ * callback; the task stays blocked until that callback runs.
+ */
+struct BlockStep
+{
+    std::function<void(Task &, std::function<void()> resume)> start;
+};
+
+using TaskStep =
+    std::variant<ComputeStep, SleepStep, MarkerStep, BlockStep>;
+
+/** Scheduler-visible task states. */
+enum class TaskState
+{
+    Created,
+    Ready,
+    Running,
+    Blocked,
+    Done,
+};
+
+/**
+ * A schedulable task.
+ *
+ * Steps may be pushed while the task runs (self-extending programs),
+ * which is how the pipeline layer chains stages that depend on data
+ * produced by earlier steps.
+ */
+class Task
+{
+  public:
+    explicit Task(std::string name, bool background = false);
+
+    const std::string &name() const { return name_; }
+
+    /** Background tasks never get priority pick of big cores. */
+    bool isBackground() const { return background_; }
+
+    Task &compute(sim::Work work, WorkClass cls);
+    Task &sleep(sim::DurationNs duration);
+    Task &marker(std::function<void(sim::TimeNs)> fn);
+    Task &block(
+        std::function<void(Task &, std::function<void()> resume)> start);
+
+    /** Called (with completion time) when the last step finishes. */
+    void setOnComplete(std::function<void(sim::TimeNs)> fn);
+
+    // --- Scheduler interface -----------------------------------------
+
+    TaskState state() const { return state_; }
+    void setState(TaskState s) { state_ = s; }
+
+    int lastCore() const { return lastCore_; }
+    void setLastCore(int core) { lastCore_ = core; }
+
+    bool hasSteps() const { return !steps.empty(); }
+    TaskStep &frontStep();
+    void popStep();
+
+    void finish(sim::TimeNs now);
+
+  private:
+    std::string name_;
+    bool background_ = false;
+    TaskState state_ = TaskState::Created;
+    int lastCore_ = -1;
+    std::deque<TaskStep> steps;
+    std::function<void(sim::TimeNs)> onComplete;
+};
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_TASK_H

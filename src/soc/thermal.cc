@@ -1,0 +1,62 @@
+#include "soc/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aitax::soc {
+
+ThermalModel::ThermalModel(const ThermalConfig &cfg, sim::Simulator &sim)
+    : cfg(cfg), sim(sim)
+{
+}
+
+void
+ThermalModel::cool()
+{
+    const sim::TimeNs now = sim.now();
+    if (now > lastUpdate && heat > 0.0) {
+        const double dt =
+            static_cast<double>(now - lastUpdate) / sim::kNsPerSec;
+        heat *= std::exp(-dt / cfg.coolingTauSec);
+    }
+    lastUpdate = now;
+}
+
+void
+ThermalModel::addHeat(double busy_sec)
+{
+    if (!cfg.enabled)
+        return;
+    cool();
+    heat += busy_sec * cfg.heatPerBusySec;
+}
+
+double
+ThermalModel::heatLevel()
+{
+    cool();
+    return heat;
+}
+
+double
+ThermalModel::speedFactor()
+{
+    if (!cfg.enabled)
+        return 1.0;
+    cool();
+    if (heat <= cfg.throttleThreshold)
+        return 1.0;
+    const double excess =
+        (heat - cfg.throttleThreshold) / cfg.throttleThreshold;
+    const double t = std::clamp(excess, 0.0, 1.0);
+    return 1.0 + t * (cfg.throttledFactor - 1.0);
+}
+
+void
+ThermalModel::reset()
+{
+    heat = 0.0;
+    lastUpdate = sim.now();
+}
+
+} // namespace aitax::soc

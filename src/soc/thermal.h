@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Thermal throttling model.
+ *
+ * The paper's methodology section notes that mobile SoCs are
+ * particularly susceptible to thermal throttling (their runs wait for
+ * a 33 C idle temperature). This simple RC model lets experiments
+ * reproduce — or deliberately avoid — that effect.
+ */
+
+#ifndef AITAX_SOC_THERMAL_H
+#define AITAX_SOC_THERMAL_H
+
+#include "sim/simulator.h"
+#include "soc/soc_config.h"
+
+namespace aitax::soc {
+
+/**
+ * Lumped thermal state with exponential cooling.
+ */
+class ThermalModel
+{
+  public:
+    ThermalModel(const ThermalConfig &cfg, sim::Simulator &sim);
+
+    /** Add heat for busy compute time (in seconds of big-core work). */
+    void addHeat(double busy_sec);
+
+    /** Current heat level (after lazy cooling). */
+    double heatLevel();
+
+    /**
+     * Clock multiplier in (0, 1]; 1.0 when cool. Ramps linearly from
+     * 1.0 at the throttle threshold down to throttledFactor at twice
+     * the threshold.
+     */
+    double speedFactor();
+
+    /** Reset to cold. */
+    void reset();
+
+  private:
+    ThermalConfig cfg;
+    sim::Simulator &sim;
+    double heat = 0.0;
+    sim::TimeNs lastUpdate = 0;
+
+    void cool();
+};
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_THERMAL_H

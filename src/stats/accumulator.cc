@@ -1,0 +1,77 @@
+#include "stats/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aitax::stats {
+
+void
+Accumulator::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mu - mu;
+    const auto na = static_cast<double>(n);
+    const auto nb = static_cast<double>(other.n);
+    const double nt = na + nb;
+    mu += delta * nb / nt;
+    m2 += other.m2 + delta * delta * na * nb / nt;
+    n += other.n;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+Accumulator::sampleVariance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(sampleVariance());
+}
+
+double
+Accumulator::cv() const
+{
+    if (n == 0 || mu == 0.0)
+        return 0.0;
+    return stddev() / mu;
+}
+
+} // namespace aitax::stats

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Streaming statistics accumulator (Welford's algorithm).
+ */
+
+#ifndef AITAX_STATS_ACCUMULATOR_H
+#define AITAX_STATS_ACCUMULATOR_H
+
+#include <cstdint>
+#include <limits>
+
+namespace aitax::stats {
+
+/**
+ * Single-pass accumulator for count/mean/variance/min/max.
+ *
+ * Uses Welford's online algorithm so the variance is numerically
+ * stable regardless of magnitude.
+ */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const Accumulator &other);
+
+    /** Remove all samples. */
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Population variance. Zero for fewer than two samples. */
+    double variance() const;
+
+    /** Sample (Bessel-corrected) variance. */
+    double sampleVariance() const;
+
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+    /** Coefficient of variation (stddev / mean); 0 when mean is 0. */
+    double cv() const;
+
+  private:
+    std::uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double total = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace aitax::stats
+
+#endif // AITAX_STATS_ACCUMULATOR_H

@@ -1,0 +1,136 @@
+#include "stats/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace aitax::stats {
+
+void
+Distribution::add(double x)
+{
+    samples.push_back(x);
+    acc.add(x);
+    sortedValid = false;
+}
+
+void
+Distribution::reset()
+{
+    samples.clear();
+    sorted.clear();
+    sortedValid = false;
+    acc.reset();
+}
+
+const std::vector<double> &
+Distribution::sortedSamples() const
+{
+    if (!sortedValid) {
+        sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        sortedValid = true;
+    }
+    return sorted;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    const auto &s = sortedSamples();
+    if (s.empty())
+        return 0.0;
+    if (s.size() == 1)
+        return s.front();
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo_idx);
+    if (lo_idx + 1 >= s.size())
+        return s.back();
+    return s[lo_idx] + frac * (s[lo_idx + 1] - s[lo_idx]);
+}
+
+double
+Distribution::iqr() const
+{
+    return percentile(75.0) - percentile(25.0);
+}
+
+double
+Distribution::meanConfidence95() const
+{
+    if (count() < 2)
+        return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count()));
+}
+
+double
+Distribution::mad() const
+{
+    if (samples.empty())
+        return 0.0;
+    const double med = median();
+    std::vector<double> dev;
+    dev.reserve(samples.size());
+    for (double x : samples)
+        dev.push_back(std::abs(x - med));
+    std::sort(dev.begin(), dev.end());
+    const std::size_t n = dev.size();
+    if (n % 2 == 1)
+        return dev[n / 2];
+    return 0.5 * (dev[n / 2 - 1] + dev[n / 2]);
+}
+
+double
+Distribution::maxDeviationFromMedianPct() const
+{
+    if (samples.empty())
+        return 0.0;
+    const double med = median();
+    if (med == 0.0)
+        return 0.0;
+    double worst = 0.0;
+    for (double x : samples)
+        worst = std::max(worst, std::abs(x - med) / med);
+    return worst * 100.0;
+}
+
+std::vector<HistogramBin>
+Distribution::histogram(std::size_t bins) const
+{
+    std::vector<HistogramBin> out;
+    if (samples.empty() || bins == 0)
+        return out;
+    const double lo = min();
+    const double hi = max();
+    const double width = (hi > lo) ? (hi - lo) / static_cast<double>(bins)
+                                   : 1.0;
+    out.resize(bins);
+    for (std::size_t i = 0; i < bins; ++i) {
+        out[i].lo = lo + width * static_cast<double>(i);
+        out[i].hi = out[i].lo + width;
+        out[i].count = 0;
+    }
+    for (double x : samples) {
+        auto idx = static_cast<std::size_t>((x - lo) / width);
+        if (idx >= bins)
+            idx = bins - 1;
+        ++out[idx].count;
+    }
+    return out;
+}
+
+std::string
+Distribution::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%zu mean=%.3f median=%.3f p95=%.3f min=%.3f max=%.3f "
+                  "cv=%.3f",
+                  count(), mean(), median(), p95(), min(), max(), cv());
+    return buf;
+}
+
+} // namespace aitax::stats

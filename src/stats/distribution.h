@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Sample-retaining distribution for percentile and variability analysis.
+ *
+ * The paper (Section IV-C, Fig 11) argues that mobile AI performance
+ * must be reported as a distribution, not a single number; this class
+ * is the library's vehicle for doing so.
+ */
+
+#ifndef AITAX_STATS_DISTRIBUTION_H
+#define AITAX_STATS_DISTRIBUTION_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/accumulator.h"
+
+namespace aitax::stats {
+
+/** A histogram bucket: [lo, hi) with a sample count. */
+struct HistogramBin
+{
+    double lo;
+    double hi;
+    std::size_t count;
+};
+
+/**
+ * Retains every sample; answers order-statistics queries.
+ */
+class Distribution
+{
+  public:
+    void add(double x);
+    void reserve(std::size_t n) { samples.reserve(n); }
+    void reset();
+
+    std::size_t count() const { return samples.size(); }
+    bool empty() const { return samples.empty(); }
+
+    double mean() const { return acc.mean(); }
+    double stddev() const { return acc.stddev(); }
+    double min() const { return acc.min(); }
+    double max() const { return acc.max(); }
+    double cv() const { return acc.cv(); }
+
+    /**
+     * Linear-interpolated percentile.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    /** Interquartile range (p75 - p25). */
+    double iqr() const;
+
+    /**
+     * Half-width of the ~95% confidence interval of the mean
+     * (normal approximation, 1.96 * s / sqrt(n)); 0 for n < 2.
+     */
+    double meanConfidence95() const;
+
+    /** Median absolute deviation. */
+    double mad() const;
+
+    /**
+     * Maximum relative deviation from the median, in percent.
+     *
+     * This is the paper's "latency can vary by as much as 30% from the
+     * median" metric (Fig 11 discussion).
+     */
+    double maxDeviationFromMedianPct() const;
+
+    /** Fixed-width histogram over [min, max] with @p bins buckets. */
+    std::vector<HistogramBin> histogram(std::size_t bins) const;
+
+    /** Read-only access to raw samples (unsorted, insertion order). */
+    const std::vector<double> &raw() const { return samples; }
+
+    /** One-line summary, e.g. for logging. */
+    std::string summary() const;
+
+  private:
+    std::vector<double> samples;
+    mutable std::vector<double> sorted;
+    mutable bool sortedValid = false;
+    Accumulator acc;
+
+    const std::vector<double> &sortedSamples() const;
+};
+
+} // namespace aitax::stats
+
+#endif // AITAX_STATS_DISTRIBUTION_H

@@ -1,0 +1,108 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdint>
+
+namespace aitax::stats {
+
+Table::Table(std::vector<std::string> header)
+    : head(std::move(header))
+{
+    assert(!head.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == head.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::num(std::int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+    return buf;
+}
+
+void
+Table::render(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c];
+            for (std::size_t p = row[c].size(); p < widths[c]; ++p)
+                os << ' ';
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    print_row(head);
+    os << "|";
+    for (std::size_t c = 0; c < head.size(); ++c) {
+        for (std::size_t p = 0; p < widths[c] + 2; ++p)
+            os << '-';
+        os << "|";
+    }
+    os << "\n";
+    for (const auto &row : body)
+        print_row(row);
+}
+
+void
+Table::renderCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            const bool quote =
+                row[c].find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                os << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << row[c];
+            }
+        }
+        os << "\n";
+    };
+    emit(head);
+    for (const auto &row : body)
+        emit(row);
+}
+
+} // namespace aitax::stats

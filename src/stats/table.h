@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table writer used by the benchmark harnesses to print the
+ * rows/series corresponding to the paper's tables and figures.
+ */
+
+#ifndef AITAX_STATS_TABLE_H
+#define AITAX_STATS_TABLE_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aitax::stats {
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Cells are strings; helpers format doubles with a fixed precision.
+ * Rendering pads every column to its widest cell.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer. */
+    static std::string num(std::int64_t v);
+
+    /** Format a percentage, e.g. "42.0%". */
+    static std::string pct(double v, int precision = 1);
+
+    std::size_t rows() const { return body.size(); }
+    std::size_t columns() const { return head.size(); }
+
+    /** Render with column separators and a header rule. */
+    void render(std::ostream &os) const;
+
+    /** Render as CSV (comma-separated, quoted when needed). */
+    void renderCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace aitax::stats
+
+#endif // AITAX_STATS_TABLE_H

@@ -1,0 +1,19 @@
+#include "tensor/dtype.h"
+
+namespace aitax::tensor {
+
+std::string_view
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::Float32: return "fp32";
+      case DType::Float16: return "fp16";
+      case DType::Int8: return "int8";
+      case DType::UInt8: return "uint8";
+      case DType::Int32: return "int32";
+      case DType::Int64: return "int64";
+    }
+    return "unknown";
+}
+
+} // namespace aitax::tensor

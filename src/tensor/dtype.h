@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Numeric element types for tensors.
+ *
+ * The paper studies two deployment formats — 32-bit floating point and
+ * 8-bit quantized integers — plus 16-bit floats as an emerging option;
+ * we also carry the integer accumulator types models need internally.
+ */
+
+#ifndef AITAX_TENSOR_DTYPE_H
+#define AITAX_TENSOR_DTYPE_H
+
+#include <cstddef>
+#include <string_view>
+
+namespace aitax::tensor {
+
+/** Element type of a tensor. */
+enum class DType
+{
+    Float32,
+    Float16,
+    Int8,
+    UInt8,
+    Int32,
+    Int64,
+};
+
+/** Size in bytes of one element. */
+constexpr std::size_t
+dtypeSize(DType t)
+{
+    switch (t) {
+      case DType::Float32: return 4;
+      case DType::Float16: return 2;
+      case DType::Int8: return 1;
+      case DType::UInt8: return 1;
+      case DType::Int32: return 4;
+      case DType::Int64: return 8;
+    }
+    return 0;
+}
+
+/** True for Int8/UInt8 quantized formats. */
+constexpr bool
+isQuantized(DType t)
+{
+    return t == DType::Int8 || t == DType::UInt8;
+}
+
+/** True for floating-point formats. */
+constexpr bool
+isFloat(DType t)
+{
+    return t == DType::Float32 || t == DType::Float16;
+}
+
+/** Human-readable name, e.g. "fp32" or "int8". */
+std::string_view dtypeName(DType t);
+
+} // namespace aitax::tensor
+
+#endif // AITAX_TENSOR_DTYPE_H

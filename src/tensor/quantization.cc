@@ -1,0 +1,81 @@
+#include "tensor/quantization.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aitax::tensor {
+
+namespace {
+
+std::int32_t
+quantizeRaw(float real, const QuantParams &qp)
+{
+    const double q = std::nearbyint(real / qp.scale) + qp.zeroPoint;
+    return static_cast<std::int32_t>(q);
+}
+
+} // namespace
+
+std::uint8_t
+quantizeU8(float real, const QuantParams &qp)
+{
+    return static_cast<std::uint8_t>(std::clamp(quantizeRaw(real, qp), 0, 255));
+}
+
+std::int8_t
+quantizeS8(float real, const QuantParams &qp)
+{
+    return static_cast<std::int8_t>(
+        std::clamp(quantizeRaw(real, qp), -128, 127));
+}
+
+float
+dequantizeU8(std::uint8_t q, const QuantParams &qp)
+{
+    return static_cast<float>(qp.scale *
+                              (static_cast<std::int32_t>(q) - qp.zeroPoint));
+}
+
+float
+dequantizeS8(std::int8_t q, const QuantParams &qp)
+{
+    return static_cast<float>(qp.scale *
+                              (static_cast<std::int32_t>(q) - qp.zeroPoint));
+}
+
+void
+quantizeBuffer(std::span<const float> in, const QuantParams &qp,
+               std::span<std::uint8_t> out)
+{
+    assert(in.size() == out.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = quantizeU8(in[i], qp);
+}
+
+void
+dequantizeBuffer(std::span<const std::uint8_t> in, const QuantParams &qp,
+                 std::span<float> out)
+{
+    assert(in.size() == out.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = dequantizeU8(in[i], qp);
+}
+
+QuantParams
+chooseQuantParams(float lo, float hi)
+{
+    lo = std::min(lo, 0.0f);
+    hi = std::max(hi, 0.0f);
+    if (hi == lo)
+        hi = lo + 1.0f;
+    QuantParams qp;
+    qp.scale = (static_cast<double>(hi) - lo) / 255.0;
+    // Zero-point such that real 'lo' maps to q=0.
+    const double zp = -lo / qp.scale;
+    qp.zeroPoint =
+        static_cast<std::int32_t>(std::clamp(std::nearbyint(zp), 0.0, 255.0));
+    return qp;
+}
+
+} // namespace aitax::tensor

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Affine quantization parameters and scalar (de)quantization helpers.
+ *
+ * Quantized models in the paper follow the TFLite scheme:
+ * real = scale * (q - zero_point).
+ */
+
+#ifndef AITAX_TENSOR_QUANTIZATION_H
+#define AITAX_TENSOR_QUANTIZATION_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aitax::tensor {
+
+/** Affine quantization parameters for a tensor. */
+struct QuantParams
+{
+    double scale = 1.0;
+    std::int32_t zeroPoint = 0;
+
+    bool operator==(const QuantParams &other) const = default;
+};
+
+/** Quantize one real value to uint8 with saturation. */
+std::uint8_t quantizeU8(float real, const QuantParams &qp);
+
+/** Quantize one real value to int8 with saturation. */
+std::int8_t quantizeS8(float real, const QuantParams &qp);
+
+/** Dequantize one uint8 value. */
+float dequantizeU8(std::uint8_t q, const QuantParams &qp);
+
+/** Dequantize one int8 value. */
+float dequantizeS8(std::int8_t q, const QuantParams &qp);
+
+/** Quantize a buffer of floats to uint8. */
+void quantizeBuffer(std::span<const float> in, const QuantParams &qp,
+                    std::span<std::uint8_t> out);
+
+/** Dequantize a buffer of uint8 to floats. */
+void dequantizeBuffer(std::span<const std::uint8_t> in,
+                      const QuantParams &qp, std::span<float> out);
+
+/**
+ * Choose quantization parameters that cover [lo, hi] with uint8.
+ * The range is widened to include 0 so zero is exactly representable.
+ */
+QuantParams chooseQuantParams(float lo, float hi);
+
+} // namespace aitax::tensor
+
+#endif // AITAX_TENSOR_QUANTIZATION_H

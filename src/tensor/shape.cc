@@ -1,0 +1,56 @@
+#include "tensor/shape.h"
+
+#include <cassert>
+
+namespace aitax::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims)
+    : dims_(dims)
+{
+    for (auto d : dims_)
+        assert(d >= 0);
+}
+
+Shape::Shape(std::vector<std::int64_t> dims)
+    : dims_(std::move(dims))
+{
+    for (auto d : dims_)
+        assert(d >= 0);
+}
+
+Shape
+Shape::nhwc(std::int64_t h, std::int64_t w, std::int64_t c)
+{
+    return Shape{1, h, w, c};
+}
+
+std::int64_t
+Shape::dim(std::size_t i) const
+{
+    assert(i < dims_.size());
+    return dims_[i];
+}
+
+std::int64_t
+Shape::elementCount() const
+{
+    std::int64_t n = 1;
+    for (auto d : dims_)
+        n *= d;
+    return n;
+}
+
+std::string
+Shape::toString() const
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            out += "x";
+        out += std::to_string(dims_[i]);
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace aitax::tensor

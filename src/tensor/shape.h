@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tensor shapes (NHWC convention for image tensors).
+ */
+
+#ifndef AITAX_TENSOR_SHAPE_H
+#define AITAX_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace aitax::tensor {
+
+/**
+ * An immutable-ish dimension list.
+ *
+ * Image tensors use NHWC layout: {batch, height, width, channels}.
+ */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<std::int64_t> dims);
+    explicit Shape(std::vector<std::int64_t> dims);
+
+    /** Convenience constructor for a batch-1 NHWC image tensor. */
+    static Shape nhwc(std::int64_t h, std::int64_t w, std::int64_t c);
+
+    std::size_t rank() const { return dims_.size(); }
+    std::int64_t dim(std::size_t i) const;
+    std::int64_t operator[](std::size_t i) const { return dim(i); }
+
+    /** Total element count; 1 for a scalar (rank 0). */
+    std::int64_t elementCount() const;
+
+    /** NHWC accessors; valid only for rank-4 shapes. */
+    std::int64_t batch() const { return dim(0); }
+    std::int64_t height() const { return dim(1); }
+    std::int64_t width() const { return dim(2); }
+    std::int64_t channels() const { return dim(3); }
+
+    bool operator==(const Shape &other) const = default;
+
+    const std::vector<std::int64_t> &dims() const { return dims_; }
+
+    /** e.g. "[1x224x224x3]". */
+    std::string toString() const;
+
+  private:
+    std::vector<std::int64_t> dims_;
+};
+
+} // namespace aitax::tensor
+
+#endif // AITAX_TENSOR_SHAPE_H

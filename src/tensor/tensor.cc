@@ -1,0 +1,47 @@
+#include "tensor/tensor.h"
+
+#include <cassert>
+
+namespace aitax::tensor {
+
+Tensor::Tensor(Shape shape, DType dtype)
+    : shape_(std::move(shape)), dtype_(dtype),
+      bytes(static_cast<std::size_t>(shape_.elementCount()) *
+                dtypeSize(dtype),
+            0)
+{
+}
+
+Tensor::Tensor(Shape shape, DType dtype, QuantParams qp)
+    : Tensor(std::move(shape), dtype)
+{
+    qp_ = qp;
+}
+
+void
+Tensor::fillFloat(float v)
+{
+    assert(dtype_ == DType::Float32);
+    for (auto &x : data<float>())
+        x = v;
+}
+
+float
+Tensor::realAt(std::int64_t flat_index) const
+{
+    assert(flat_index >= 0 && flat_index < elementCount());
+    const auto i = static_cast<std::size_t>(flat_index);
+    switch (dtype_) {
+      case DType::Float32:
+        return data<float>()[i];
+      case DType::UInt8:
+        return dequantizeU8(data<std::uint8_t>()[i], qp_);
+      case DType::Int8:
+        return dequantizeS8(data<std::int8_t>()[i], qp_);
+      default:
+        assert(false && "realAt: unsupported dtype");
+        return 0.0f;
+    }
+}
+
+} // namespace aitax::tensor

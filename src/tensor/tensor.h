@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A shaped, typed data buffer — the currency between pipeline stages.
+ */
+
+#ifndef AITAX_TENSOR_TENSOR_H
+#define AITAX_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/quantization.h"
+#include "tensor/shape.h"
+
+namespace aitax::tensor {
+
+/**
+ * Dense tensor with owned storage.
+ *
+ * Storage is a raw byte vector; typed views are obtained through
+ * data<T>(). Quantized tensors carry affine QuantParams.
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate a zero-initialized tensor. */
+    Tensor(Shape shape, DType dtype);
+
+    /** Allocate a zero-initialized quantized tensor. */
+    Tensor(Shape shape, DType dtype, QuantParams qp);
+
+    const Shape &shape() const { return shape_; }
+    DType dtype() const { return dtype_; }
+    const QuantParams &quantParams() const { return qp_; }
+    void setQuantParams(const QuantParams &qp) { qp_ = qp; }
+
+    std::int64_t elementCount() const { return shape_.elementCount(); }
+    std::size_t byteSize() const { return bytes.size(); }
+
+    std::uint8_t *rawData() { return bytes.data(); }
+    const std::uint8_t *rawData() const { return bytes.data(); }
+
+    /** Typed mutable view. T must match dtype size. */
+    template <typename T>
+    std::span<T>
+    data()
+    {
+        return {reinterpret_cast<T *>(bytes.data()),
+                bytes.size() / sizeof(T)};
+    }
+
+    /** Typed const view. */
+    template <typename T>
+    std::span<const T>
+    data() const
+    {
+        return {reinterpret_cast<const T *>(bytes.data()),
+                bytes.size() / sizeof(T)};
+    }
+
+    /** Fill a float tensor with a constant. */
+    void fillFloat(float v);
+
+    /**
+     * Element at flat index as a real value, dequantizing if needed.
+     * Supports Float32, UInt8 and Int8 tensors.
+     */
+    float realAt(std::int64_t flat_index) const;
+
+  private:
+    Shape shape_;
+    DType dtype_ = DType::Float32;
+    QuantParams qp_;
+    std::vector<std::uint8_t> bytes;
+};
+
+} // namespace aitax::tensor
+
+#endif // AITAX_TENSOR_TENSOR_H

@@ -1,0 +1,79 @@
+#include "trace/chrome_trace.h"
+
+#include <map>
+
+namespace aitax::trace {
+
+namespace {
+
+/** Escape a string for a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &tracer)
+{
+    os << "[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Stable thread ids per track, plus name metadata events.
+    std::map<std::string, int> tids;
+    int next_tid = 1;
+    for (const auto &track : tracer.trackNames()) {
+        tids[track] = next_tid++;
+        sep();
+        os << R"({"name":"thread_name","ph":"M","pid":1,"tid":)"
+           << tids[track] << R"(,"args":{"name":")"
+           << jsonEscape(track) << R"("}})";
+    }
+
+    for (const auto &track : tracer.trackNames()) {
+        const int tid = tids[track];
+        for (const auto &iv : tracer.intervals(track)) {
+            sep();
+            os << R"({"name":")" << jsonEscape(iv.label)
+               << R"(","ph":"X","pid":1,"tid":)" << tid << R"(,"ts":)"
+               << static_cast<double>(iv.begin) / 1e3 << R"(,"dur":)"
+               << static_cast<double>(iv.end - iv.begin) / 1e3 << "}";
+        }
+    }
+
+    for (const auto &event : tracer.events()) {
+        sep();
+        os << R"({"name":")" << jsonEscape(event.kind)
+           << R"(","ph":"i","s":"g","pid":1,"tid":0,"ts":)"
+           << static_cast<double>(event.when) / 1e3 << R"(,"args":{)"
+           << R"("detail":")" << jsonEscape(event.detail) << R"("}})";
+    }
+
+    os << "\n]\n";
+}
+
+} // namespace aitax::trace

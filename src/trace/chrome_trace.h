@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Chrome trace-event export.
+ *
+ * Writes the tracer's intervals and point events in the Trace Event
+ * JSON format, loadable in chrome://tracing or Perfetto — the closest
+ * open equivalent to browsing a Snapdragon Profiler capture.
+ */
+
+#ifndef AITAX_TRACE_CHROME_TRACE_H
+#define AITAX_TRACE_CHROME_TRACE_H
+
+#include <ostream>
+
+#include "trace/tracer.h"
+
+namespace aitax::trace {
+
+/**
+ * Write a complete-event ("ph":"X") JSON array for every interval,
+ * one "thread" per track, plus instant events for context switches
+ * and migrations. Timestamps are microseconds, as the format requires.
+ */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer);
+
+} // namespace aitax::trace
+
+#endif // AITAX_TRACE_CHROME_TRACE_H

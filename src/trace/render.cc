@@ -1,0 +1,98 @@
+#include "trace/render.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace aitax::trace {
+
+namespace {
+
+char
+densityGlyph(double u)
+{
+    static const char glyphs[] = " .:-=+*#%@";
+    const int levels = static_cast<int>(sizeof(glyphs)) - 2;
+    int idx = static_cast<int>(u * levels + 0.5);
+    idx = std::clamp(idx, 0, levels);
+    return glyphs[idx];
+}
+
+} // namespace
+
+void
+renderTimeline(std::ostream &os, const Tracer &tracer, sim::TimeNs t0,
+               sim::TimeNs t1, const RenderOptions &opts)
+{
+    os << "timeline " << sim::formatDuration(t1 - t0) << " ("
+       << opts.buckets << " buckets of "
+       << sim::formatDuration((t1 - t0) /
+                              static_cast<sim::DurationNs>(opts.buckets))
+       << ")\n";
+
+    std::size_t widest = 8;
+    for (const auto &name : tracer.trackNames())
+        widest = std::max(widest, name.size());
+
+    for (const auto &name : tracer.trackNames()) {
+        const auto util = tracer.utilization(name, t0, t1, opts.buckets);
+        os << "  ";
+        os << name;
+        for (std::size_t p = name.size(); p < widest; ++p)
+            os << ' ';
+        os << " |";
+        for (double u : util)
+            os << densityGlyph(u);
+        // Mean utilization for the row.
+        double mean = 0.0;
+        for (double u : util)
+            mean += u;
+        mean /= static_cast<double>(util.size());
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "| %5.1f%%", mean * 100.0);
+        os << buf << "\n";
+    }
+
+    if (opts.showCounters) {
+        for (const auto *counter_name : {"axi_bytes"}) {
+            const auto rate =
+                tracer.counterRate(counter_name, t0, t1, opts.buckets);
+            const double peak =
+                *std::max_element(rate.begin(), rate.end());
+            if (peak <= 0.0)
+                continue;
+            os << "  ";
+            std::string label = counter_name;
+            os << label;
+            for (std::size_t p = label.size(); p < widest; ++p)
+                os << ' ';
+            os << " |";
+            for (double r : rate)
+                os << densityGlyph(r / peak);
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "| peak %.1f MB/bucket",
+                          peak / 1e6);
+            os << buf << "\n";
+        }
+    }
+
+    if (opts.showEventCounts) {
+        os << "  context switches: "
+           << tracer.countEvents("context_switch")
+           << ", migrations: " << tracer.countEvents("migration")
+           << "\n";
+    }
+}
+
+void
+renderIntervalsCsv(std::ostream &os, const Tracer &tracer)
+{
+    os << "track,label,begin_ns,end_ns\n";
+    for (const auto &name : tracer.trackNames()) {
+        for (const auto &iv : tracer.intervals(name)) {
+            os << name << "," << iv.label << "," << iv.begin << ","
+               << iv.end << "\n";
+        }
+    }
+}
+
+} // namespace aitax::trace

@@ -1,0 +1,129 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aitax::trace {
+
+const std::vector<Interval> Tracer::emptyIntervals;
+const std::vector<CounterSample> Tracer::emptyCounters;
+
+void
+Tracer::recordInterval(const std::string &track, std::string label,
+                       sim::TimeNs begin, sim::TimeNs end)
+{
+    if (!enabled || end <= begin)
+        return;
+    tracks[track].push_back({std::move(label), begin, end});
+}
+
+void
+Tracer::recordEvent(std::string kind, std::string detail, sim::TimeNs when)
+{
+    if (!enabled)
+        return;
+    events_.push_back({std::move(kind), std::move(detail), when});
+}
+
+void
+Tracer::recordCounter(const std::string &counter, sim::TimeNs when,
+                      double value)
+{
+    if (!enabled)
+        return;
+    counters[counter].push_back({when, value});
+}
+
+void
+Tracer::clear()
+{
+    tracks.clear();
+    events_.clear();
+    counters.clear();
+}
+
+const std::vector<Interval> &
+Tracer::intervals(const std::string &track) const
+{
+    auto it = tracks.find(track);
+    return it == tracks.end() ? emptyIntervals : it->second;
+}
+
+const std::vector<CounterSample> &
+Tracer::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? emptyCounters : it->second;
+}
+
+std::vector<std::string>
+Tracer::trackNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(tracks.size());
+    for (const auto &[name, ivs] : tracks)
+        names.push_back(name);
+    return names; // std::map iterates sorted
+}
+
+std::int64_t
+Tracer::countEvents(const std::string &kind) const
+{
+    std::int64_t n = 0;
+    for (const auto &e : events_)
+        if (e.kind == kind)
+            ++n;
+    return n;
+}
+
+std::vector<double>
+Tracer::utilization(const std::string &track, sim::TimeNs t0,
+                    sim::TimeNs t1, std::size_t buckets) const
+{
+    assert(t1 > t0 && buckets > 0);
+    std::vector<double> out(buckets, 0.0);
+    const double span = static_cast<double>(t1 - t0);
+    const double bucket_ns = span / static_cast<double>(buckets);
+
+    for (const auto &iv : intervals(track)) {
+        const sim::TimeNs b = std::max(iv.begin, t0);
+        const sim::TimeNs e = std::min(iv.end, t1);
+        if (e <= b)
+            continue;
+        auto first = static_cast<std::size_t>((b - t0) / bucket_ns);
+        auto last = static_cast<std::size_t>((e - 1 - t0) / bucket_ns);
+        first = std::min(first, buckets - 1);
+        last = std::min(last, buckets - 1);
+        for (std::size_t k = first; k <= last; ++k) {
+            const double k0 = static_cast<double>(t0) + k * bucket_ns;
+            const double k1 = k0 + bucket_ns;
+            const double overlap = std::min<double>(e, k1) -
+                                   std::max<double>(b, k0);
+            if (overlap > 0)
+                out[k] += overlap / bucket_ns;
+        }
+    }
+    for (auto &u : out)
+        u = std::min(u, 1.0);
+    return out;
+}
+
+std::vector<double>
+Tracer::counterRate(const std::string &name, sim::TimeNs t0,
+                    sim::TimeNs t1, std::size_t buckets) const
+{
+    assert(t1 > t0 && buckets > 0);
+    std::vector<double> out(buckets, 0.0);
+    const double span = static_cast<double>(t1 - t0);
+    const double bucket_ns = span / static_cast<double>(buckets);
+    for (const auto &s : counter(name)) {
+        if (s.when < t0 || s.when >= t1)
+            continue;
+        auto k = static_cast<std::size_t>((s.when - t0) / bucket_ns);
+        k = std::min(k, buckets - 1);
+        out[k] += s.value;
+    }
+    return out;
+}
+
+} // namespace aitax::trace

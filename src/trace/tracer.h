@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Execution timeline tracer — our stand-in for the Snapdragon
+ * Profiler views in Fig 6 of the paper.
+ *
+ * Components record busy intervals on named tracks (CPU cores, GPU,
+ * cDSP), byte counters (AXI traffic) and point events (context
+ * switches, migrations). The trace can then be bucketed into
+ * utilization series and rendered as text.
+ */
+
+#ifndef AITAX_TRACE_TRACER_H
+#define AITAX_TRACE_TRACER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aitax::trace {
+
+/** A busy interval on a track. */
+struct Interval
+{
+    std::string label; ///< task/job name
+    sim::TimeNs begin = 0;
+    sim::TimeNs end = 0;
+};
+
+/** A timestamped point event. */
+struct PointEvent
+{
+    std::string kind; ///< e.g. "context_switch", "migration"
+    std::string detail;
+    sim::TimeNs when = 0;
+};
+
+/** A timestamped counter increment (e.g. bytes moved on AXI). */
+struct CounterSample
+{
+    sim::TimeNs when = 0;
+    double value = 0.0;
+};
+
+/**
+ * Collects intervals/events/counters during a simulation run.
+ */
+class Tracer
+{
+  public:
+    /** Enable/disable collection (disabled tracing is free). */
+    void setEnabled(bool on) { enabled = on; }
+    bool isEnabled() const { return enabled; }
+
+    void recordInterval(const std::string &track, std::string label,
+                        sim::TimeNs begin, sim::TimeNs end);
+    void recordEvent(std::string kind, std::string detail,
+                     sim::TimeNs when);
+    void recordCounter(const std::string &counter, sim::TimeNs when,
+                       double value);
+
+    void clear();
+
+    const std::vector<Interval> &intervals(const std::string &track) const;
+    const std::vector<PointEvent> &events() const { return events_; }
+    const std::vector<CounterSample> &
+    counter(const std::string &name) const;
+
+    /** All track names seen so far, sorted. */
+    std::vector<std::string> trackNames() const;
+
+    /** Count events of a given kind. */
+    std::int64_t countEvents(const std::string &kind) const;
+
+    /**
+     * Fraction of [t0, t1) each bucket of a track spends busy.
+     * @return one utilization value in [0,1] per bucket.
+     */
+    std::vector<double> utilization(const std::string &track,
+                                    sim::TimeNs t0, sim::TimeNs t1,
+                                    std::size_t buckets) const;
+
+    /** Sum of a counter per bucket over [t0, t1). */
+    std::vector<double> counterRate(const std::string &name,
+                                    sim::TimeNs t0, sim::TimeNs t1,
+                                    std::size_t buckets) const;
+
+  private:
+    bool enabled = true;
+    std::map<std::string, std::vector<Interval>> tracks;
+    std::vector<PointEvent> events_;
+    std::map<std::string, std::vector<CounterSample>> counters;
+
+    static const std::vector<Interval> emptyIntervals;
+    static const std::vector<CounterSample> emptyCounters;
+};
+
+} // namespace aitax::trace
+
+#endif // AITAX_TRACE_TRACER_H

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Unit tests for the application pipeline layer and the AI-tax
+ * accounting core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "app/background_load.h"
+#include "app/engine.h"
+#include "app/harness.h"
+#include "app/pipeline.h"
+#include "core/analyzer.h"
+#include "core/stage.h"
+#include "core/tax_report.h"
+#include "soc/chipsets.h"
+
+namespace aitax::app {
+namespace {
+
+using core::Stage;
+using core::StageLatencies;
+using core::TaxReport;
+using tensor::DType;
+
+core::TaxReport
+runPipeline(const char *model, DType dtype, FrameworkKind fw,
+            HarnessMode mode, int runs = 20, std::uint64_t seed = 7)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), seed);
+    PipelineConfig cfg;
+    cfg.model = models::findModel(model);
+    cfg.dtype = dtype;
+    cfg.framework = fw;
+    cfg.mode = mode;
+    Application app(sys, cfg);
+    TaxReport report;
+    app.scheduleRuns(runs, report);
+    sys.run();
+    return report;
+}
+
+// --- core: stage / report ------------------------------------------------
+
+TEST(Stage, NamesAndTaxMembership)
+{
+    EXPECT_EQ(core::stageName(Stage::DataCapture), "data-capture");
+    EXPECT_EQ(core::stageName(Stage::Inference), "inference");
+    EXPECT_TRUE(core::isTaxStage(Stage::PreProcessing));
+    EXPECT_FALSE(core::isTaxStage(Stage::Inference));
+}
+
+TEST(StageLatencies, SumsAndTax)
+{
+    StageLatencies lat;
+    lat[Stage::DataCapture] = 10;
+    lat[Stage::PreProcessing] = 20;
+    lat[Stage::Inference] = 100;
+    lat[Stage::PostProcessing] = 5;
+    EXPECT_EQ(lat.endToEnd(), 135);
+    EXPECT_EQ(lat.aiTax(), 35);
+}
+
+TEST(TaxReport, AggregatesRuns)
+{
+    TaxReport r("cfg");
+    StageLatencies lat;
+    lat[Stage::DataCapture] = sim::msToNs(10);
+    lat[Stage::Inference] = sim::msToNs(30);
+    r.add(lat);
+    lat[Stage::DataCapture] = sim::msToNs(20);
+    r.add(lat);
+    EXPECT_EQ(r.runs(), 2u);
+    EXPECT_NEAR(r.stageMeanMs(Stage::DataCapture), 15.0, 1e-9);
+    EXPECT_NEAR(r.endToEndMeanMs(), 45.0, 1e-9);
+    EXPECT_NEAR(r.aiTaxMeanMs(), 15.0, 1e-9);
+    EXPECT_NEAR(r.aiTaxFraction(), 15.0 / 45.0, 1e-9);
+    EXPECT_NEAR(r.stageRelativeToInference(Stage::DataCapture),
+                0.5, 1e-9);
+}
+
+TEST(TaxReport, RenderMentionsStages)
+{
+    TaxReport r("label");
+    StageLatencies lat;
+    lat[Stage::Inference] = sim::msToNs(5);
+    r.add(lat);
+    std::ostringstream os;
+    r.render(os);
+    EXPECT_NE(os.str().find("pre-processing"), std::string::npos);
+    EXPECT_NE(os.str().find("AI tax"), std::string::npos);
+    EXPECT_NE(os.str().find("label"), std::string::npos);
+}
+
+TEST(TaxReport, CsvHasOneRowPerRun)
+{
+    TaxReport r("csv");
+    StageLatencies lat;
+    lat[Stage::DataCapture] = sim::msToNs(1);
+    lat[Stage::Inference] = sim::msToNs(4);
+    r.add(lat);
+    lat[Stage::Inference] = sim::msToNs(6);
+    r.add(lat);
+    std::ostringstream os;
+    r.renderCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("run,data-capture_ms"), std::string::npos);
+    EXPECT_NE(out.find("0,1,"), std::string::npos);
+    // Two data rows + header.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+// --- core: analyzer -----------------------------------------------------
+
+TEST(Analyzer, AdviseFrameworkPicksFastest)
+{
+    TaxReport a("slow");
+    TaxReport b("fast");
+    StageLatencies lat;
+    lat[Stage::Inference] = sim::msToNs(100);
+    a.add(lat);
+    lat[Stage::Inference] = sim::msToNs(25);
+    b.add(lat);
+    const auto choice =
+        core::adviseFramework({{"slow", &a}, {"fast", &b}});
+    EXPECT_EQ(choice.framework, "fast");
+    EXPECT_NEAR(choice.e2eMeanMs, 25.0, 1e-9);
+    EXPECT_NEAR(choice.speedupVsWorst, 4.0, 1e-9);
+}
+
+TEST(Analyzer, OffloadShareSeriesDecreases)
+{
+    std::vector<soc::FastRpcBreakdown> calls(5);
+    calls[0].sessionOpenNs = sim::msToNs(15);
+    for (auto &c : calls) {
+        c.userToKernelNs = sim::usToNs(30);
+        c.dspExecNs = sim::msToNs(10);
+    }
+    const auto series = core::offloadShareSeries(calls);
+    ASSERT_EQ(series.size(), 5u);
+    EXPECT_GT(series[0], 0.5);
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_LT(series[i], series[i - 1]);
+}
+
+TEST(Analyzer, HarnessGapPct)
+{
+    TaxReport bench("b");
+    TaxReport app_r("a");
+    StageLatencies lat;
+    lat[Stage::Inference] = sim::msToNs(100);
+    bench.add(lat);
+    lat[Stage::DataCapture] = sim::msToNs(50);
+    app_r.add(lat);
+    EXPECT_NEAR(core::harnessGapPct(bench, app_r), 50.0, 1e-9);
+}
+
+// --- harness profiles -----------------------------------------------------
+
+TEST(Harness, ModeNames)
+{
+    EXPECT_EQ(harnessModeName(HarnessMode::CliBenchmark),
+              "cli-benchmark");
+    EXPECT_EQ(harnessModeName(HarnessMode::AndroidApp), "android-app");
+}
+
+TEST(Harness, ProfilesOrderedByRealism)
+{
+    const auto cli = HarnessProfile::forMode(HarnessMode::CliBenchmark);
+    const auto bench_app =
+        HarnessProfile::forMode(HarnessMode::BenchmarkApp);
+    const auto app = HarnessProfile::forMode(HarnessMode::AndroidApp);
+    EXPECT_FALSE(cli.usesCamera);
+    EXPECT_FALSE(cli.interference);
+    EXPECT_TRUE(bench_app.interference);
+    EXPECT_TRUE(app.usesCamera);
+    EXPECT_TRUE(app.fullPipeline);
+    EXPECT_LT(cli.computeNoiseSigma, bench_app.computeNoiseSigma);
+    EXPECT_LT(bench_app.computeNoiseSigma, app.computeNoiseSigma);
+    EXPECT_GT(app.managedRuntimeFactor, 1.0);
+}
+
+// --- engine ------------------------------------------------------------
+
+TEST(Engine, FrameworkNames)
+{
+    EXPECT_EQ(frameworkName(FrameworkKind::TfliteCpu), "tflite-cpu");
+    EXPECT_EQ(frameworkName(FrameworkKind::SnpeDsp), "snpe-dsp");
+}
+
+TEST(Engine, WrapsTfliteAndSnpe)
+{
+    const auto *info = models::findModel("mobilenet_v1");
+    InferenceEngine tfl(*info, DType::UInt8,
+                        FrameworkKind::TfliteHexagon);
+    EXPECT_TRUE(tfl.plan().usesAccelerator());
+    InferenceEngine snpe(*info, DType::UInt8, FrameworkKind::SnpeDsp);
+    EXPECT_TRUE(snpe.plan().usesAccelerator());
+    EXPECT_GT(tfl.initNs(), 0);
+    EXPECT_GT(snpe.initNs(), 0);
+}
+
+// --- pipeline -----------------------------------------------------------
+
+TEST(Pipeline, AllStagesPositiveInAppMode)
+{
+    const auto r =
+        runPipeline("mobilenet_v1", DType::UInt8,
+                    FrameworkKind::TfliteCpu, HarnessMode::AndroidApp);
+    EXPECT_EQ(r.runs(), 20u);
+    for (Stage s : core::kAllStages)
+        EXPECT_GT(r.stageMeanMs(s), 0.0) << core::stageName(s);
+}
+
+TEST(Pipeline, BenchmarkPreProcessingNegligible)
+{
+    const auto r =
+        runPipeline("mobilenet_v1", DType::Float32,
+                    FrameworkKind::TfliteCpu, HarnessMode::CliBenchmark);
+    EXPECT_LT(r.stageMeanMs(Stage::PreProcessing), 0.2);
+    EXPECT_EQ(r.stageMeanMs(Stage::PostProcessing), 0.0);
+}
+
+TEST(Pipeline, AppSlowerThanBenchmark)
+{
+    const auto bench =
+        runPipeline("mobilenet_v1", DType::UInt8,
+                    FrameworkKind::TfliteCpu, HarnessMode::CliBenchmark);
+    const auto app =
+        runPipeline("mobilenet_v1", DType::UInt8,
+                    FrameworkKind::TfliteCpu, HarnessMode::AndroidApp);
+    EXPECT_GT(core::harnessGapPct(bench, app), 30.0);
+}
+
+TEST(Pipeline, LabelEncodesConfiguration)
+{
+    const auto r =
+        runPipeline("mobilenet_v1", DType::UInt8,
+                    FrameworkKind::TfliteCpu, HarnessMode::AndroidApp, 3);
+    EXPECT_NE(r.label().find("mobilenet_v1"), std::string::npos);
+    EXPECT_NE(r.label().find("uint8"), std::string::npos);
+    EXPECT_NE(r.label().find("android-app"), std::string::npos);
+}
+
+TEST(Pipeline, DeterministicForSameSeed)
+{
+    const auto a = runPipeline("mobilenet_v1", DType::UInt8,
+                               FrameworkKind::TfliteCpu,
+                               HarnessMode::AndroidApp, 5, 11);
+    const auto b = runPipeline("mobilenet_v1", DType::UInt8,
+                               FrameworkKind::TfliteCpu,
+                               HarnessMode::AndroidApp, 5, 11);
+    EXPECT_DOUBLE_EQ(a.endToEndMeanMs(), b.endToEndMeanMs());
+}
+
+TEST(Pipeline, SeedChangesAppModeResults)
+{
+    const auto a = runPipeline("mobilenet_v1", DType::UInt8,
+                               FrameworkKind::TfliteCpu,
+                               HarnessMode::AndroidApp, 5, 11);
+    const auto b = runPipeline("mobilenet_v1", DType::UInt8,
+                               FrameworkKind::TfliteCpu,
+                               HarnessMode::AndroidApp, 5, 12);
+    EXPECT_NE(a.endToEndMeanMs(), b.endToEndMeanMs());
+}
+
+TEST(Pipeline, DspFrameworkLogsRpcCalls)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), 7);
+    PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = DType::UInt8;
+    cfg.framework = FrameworkKind::TfliteHexagon;
+    cfg.mode = HarnessMode::CliBenchmark;
+    Application app(sys, cfg);
+    TaxReport report;
+    app.scheduleRuns(10, report);
+    sys.run();
+    EXPECT_EQ(app.rpcLog().size(), 10u);
+    EXPECT_GT(app.rpcLog()[0].sessionOpenNs, 0);
+    EXPECT_EQ(app.rpcLog()[1].sessionOpenNs, 0);
+}
+
+TEST(Pipeline, BertUsesTokenizationNotCamera)
+{
+    const auto r =
+        runPipeline("mobile_bert", DType::Float32,
+                    FrameworkKind::TfliteCpu, HarnessMode::AndroidApp, 5);
+    EXPECT_GT(r.stageMeanMs(Stage::PreProcessing), 0.0);
+    // Text arrival is far cheaper than camera frame waits.
+    EXPECT_LT(r.stageMeanMs(Stage::DataCapture), 5.0);
+}
+
+TEST(Pipeline, PosenetRotationMakesPreProcessingHeavier)
+{
+    const auto pose =
+        runPipeline("posenet", DType::Float32, FrameworkKind::TfliteCpu,
+                    HarnessMode::AndroidApp, 10);
+    const auto mobilenet =
+        runPipeline("mobilenet_v1", DType::Float32,
+                    FrameworkKind::TfliteCpu, HarnessMode::AndroidApp,
+                    10);
+    // Same input resolution, but PoseNet adds a capture-resolution
+    // rotation pass.
+    EXPECT_GT(pose.stageMeanMs(Stage::PreProcessing),
+              mobilenet.stageMeanMs(Stage::PreProcessing) * 1.1);
+}
+
+TEST(Pipeline, SegmentationPostProcessingSignificant)
+{
+    const auto seg =
+        runPipeline("deeplab_v3", DType::Float32,
+                    FrameworkKind::TfliteCpu, HarnessMode::AndroidApp, 5);
+    const auto cls =
+        runPipeline("mobilenet_v1", DType::Float32,
+                    FrameworkKind::TfliteCpu, HarnessMode::AndroidApp, 5);
+    EXPECT_GT(seg.stageMeanMs(Stage::PostProcessing),
+              10.0 * cls.stageMeanMs(Stage::PostProcessing));
+}
+
+TEST(Pipeline, ModelInitReportsColdStartCost)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845());
+    PipelineConfig cfg;
+    cfg.model = models::findModel("inception_v4");
+    cfg.dtype = DType::Float32;
+    cfg.framework = FrameworkKind::TfliteCpu;
+    cfg.mode = HarnessMode::CliBenchmark;
+    Application app(sys, cfg);
+    EXPECT_GT(sim::nsToMs(app.modelInitNs()), 50.0); // 171 MB of weights
+}
+
+TEST(Pipeline, StreamingCaptureShrinksCaptureStage)
+{
+    auto run_mode = [&](bool streaming) {
+        soc::SocSystem sys(soc::makeSnapdragon845(), 7);
+        PipelineConfig cfg;
+        cfg.model = models::findModel("mobilenet_v1");
+        cfg.dtype = DType::UInt8;
+        cfg.framework = FrameworkKind::TfliteHexagon;
+        cfg.mode = HarnessMode::AndroidApp;
+        cfg.streamingCapture = streaming;
+        Application app(sys, cfg);
+        TaxReport report;
+        app.scheduleRuns(40, report);
+        sys.run();
+        return report;
+    };
+    const auto on_demand = run_mode(false);
+    const auto streaming = run_mode(true);
+    // The pipeline is slower than the sensor, so a buffered frame is
+    // almost always waiting: capture collapses to dequeue + copy.
+    EXPECT_LT(streaming.stageMeanMs(Stage::DataCapture),
+              on_demand.stageMeanMs(Stage::DataCapture) / 4.0);
+    EXPECT_LT(streaming.endToEndMeanMs(), on_demand.endToEndMeanMs());
+    // Other stages are unaffected.
+    EXPECT_NEAR(streaming.stageMeanMs(Stage::PreProcessing),
+                on_demand.stageMeanMs(Stage::PreProcessing),
+                on_demand.stageMeanMs(Stage::PreProcessing) * 0.15);
+}
+
+TEST(Pipeline, StreamingCapturePacedBySensorWhenFaster)
+{
+    // A pipeline faster than the sensor cannot exceed the frame rate:
+    // suppress interference and use the fastest backend.
+    soc::SocSystem sys(soc::makeSnapdragon845(), 7);
+    PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = DType::UInt8;
+    cfg.framework = FrameworkKind::SnpeDsp;
+    cfg.mode = HarnessMode::AndroidApp;
+    cfg.streamingCapture = true;
+    cfg.preprocessOnDsp = true;
+    cfg.suppressInterference = true;
+    cfg.camera.fps = 120.0; // fast sensor: frames every 8.3 ms
+    Application app(sys, cfg);
+    TaxReport report;
+    sim::TimeNs done = 0;
+    app.scheduleRuns(60, report, [&](sim::TimeNs t) { done = t; });
+    sys.run();
+    // Effective period must be at least the sensor period.
+    const double period_ms = sim::nsToMs(done) / 60.0;
+    EXPECT_GE(period_ms, 8.3);
+}
+
+// --- background load -------------------------------------------------------
+
+TEST(BackgroundLoad, RunsInferencesUntilHorizon)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845());
+    BackgroundLoadConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = DType::UInt8;
+    cfg.framework = FrameworkKind::TfliteCpu;
+    BackgroundInferenceLoop loop(sys, cfg);
+    loop.start(sim::msToNs(200.0));
+    sys.run();
+    EXPECT_GT(loop.completedInferences(), 3);
+}
+
+TEST(BackgroundLoad, StopEndsLoop)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845());
+    BackgroundLoadConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = DType::UInt8;
+    cfg.framework = FrameworkKind::TfliteCpu;
+    BackgroundInferenceLoop loop(sys, cfg);
+    loop.start(sim::secToNs(10.0));
+    sys.simulator().scheduleIn(sim::msToNs(50.0),
+                               [&] { loop.stop(); });
+    sys.run();
+    const auto n = loop.completedInferences();
+    EXPECT_GT(n, 0);
+    EXPECT_LT(n, 10);
+}
+
+} // namespace
+} // namespace aitax::app

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Calibration locks: absolute latency anchors on the SD845 preset.
+ *
+ * DESIGN.md section 6 lists the paper-derived anchors the simulator is
+ * calibrated against. These tests pin them with tolerance bands so
+ * that future changes to cost models, drivers or the scheduler cannot
+ * silently drift the reproduction away from the paper's numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/pipeline.h"
+#include "soc/chipsets.h"
+
+namespace aitax {
+namespace {
+
+using app::FrameworkKind;
+using app::HarnessMode;
+using core::Stage;
+using tensor::DType;
+
+double
+inferenceMs(const char *model, DType dtype, FrameworkKind fw,
+            HarnessMode mode = HarnessMode::CliBenchmark,
+            int threads = 4)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), 7);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel(model);
+    cfg.dtype = dtype;
+    cfg.framework = fw;
+    cfg.mode = mode;
+    cfg.threads = threads;
+    app::Application application(sys, cfg);
+    core::TaxReport report;
+    application.scheduleRuns(50, report);
+    sys.run();
+    return report.stageMeanMs(Stage::Inference);
+}
+
+/** Paper anchor: Inception v3 fp32 CPU benchmark ~= 250 ms (Fig 3). */
+TEST(Calibration, InceptionV3Fp32CpuBenchmark)
+{
+    const double ms = inferenceMs("inception_v3", DType::Float32,
+                                  FrameworkKind::TfliteCpu);
+    EXPECT_GT(ms, 210.0);
+    EXPECT_LT(ms, 290.0);
+}
+
+/** Paper anchor: Inception v3 fp32 inside an app ~= 350 ms E2E;
+ *  we require the app E2E to exceed the benchmark by tens of ms. */
+TEST(Calibration, InceptionV3AppEndToEndAboveBenchmark)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), 7);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel("inception_v3");
+    cfg.dtype = DType::Float32;
+    cfg.framework = FrameworkKind::TfliteCpu;
+    cfg.mode = HarnessMode::AndroidApp;
+    app::Application application(sys, cfg);
+    core::TaxReport report;
+    application.scheduleRuns(30, report);
+    sys.run();
+    EXPECT_GT(report.endToEndMeanMs(), 275.0);
+    EXPECT_LT(report.endToEndMeanMs(), 400.0);
+}
+
+/** MobileNet v1 int8 CPU-4T: low-teens milliseconds. */
+TEST(Calibration, MobileNetInt8Cpu)
+{
+    const double ms = inferenceMs("mobilenet_v1", DType::UInt8,
+                                  FrameworkKind::TfliteCpu);
+    EXPECT_GT(ms, 8.0);
+    EXPECT_LT(ms, 25.0);
+}
+
+/** MobileNet v1 int8 on the DSP via SNPE: ~10 ms, faster than CPU. */
+TEST(Calibration, MobileNetInt8SnpeDsp)
+{
+    const double ms = inferenceMs("mobilenet_v1", DType::UInt8,
+                                  FrameworkKind::SnpeDsp);
+    EXPECT_GT(ms, 6.0);
+    EXPECT_LT(ms, 16.0);
+}
+
+/** Fig 5 anchor: NNAPI int8 EfficientNet-Lite0 ~7x CPU-1T. */
+TEST(Calibration, EfficientNetNnapiSevenFold)
+{
+    const double nnapi = inferenceMs("efficientnet_lite0", DType::UInt8,
+                                     FrameworkKind::TfliteNnapi);
+    const double cpu1 =
+        inferenceMs("efficientnet_lite0", DType::UInt8,
+                    FrameworkKind::TfliteCpu,
+                    HarnessMode::CliBenchmark, /*threads=*/1);
+    const double ratio = nnapi / cpu1;
+    EXPECT_GT(ratio, 5.0);
+    EXPECT_LT(ratio, 9.0);
+}
+
+/** DSP cold start: session open ~15 ms dominates the first call. */
+TEST(Calibration, FastRpcColdStart)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), 7);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = DType::UInt8;
+    cfg.framework = FrameworkKind::TfliteHexagon;
+    cfg.mode = HarnessMode::CliBenchmark;
+    app::Application application(sys, cfg);
+    core::TaxReport report;
+    application.scheduleRuns(20, report);
+    sys.run();
+    const auto &log = application.rpcLog();
+    const double first = sim::nsToMs(log.front().totalNs());
+    const double steady = sim::nsToMs(log.back().totalNs());
+    EXPECT_GT(first, steady + 10.0);
+    EXPECT_LT(first, steady + 25.0);
+}
+
+/** Fig 11 anchor: app-mode deviation reaches tens of percent. */
+TEST(Calibration, AppModeVariabilityBand)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), 7);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = DType::Float32;
+    cfg.framework = FrameworkKind::TfliteCpu;
+    cfg.mode = HarnessMode::AndroidApp;
+    app::Application application(sys, cfg);
+    core::TaxReport report;
+    application.scheduleRuns(200, report);
+    sys.run();
+    const double dev = report.endToEnd().maxDeviationFromMedianPct();
+    EXPECT_GT(dev, 15.0);
+    EXPECT_LT(dev, 70.0);
+}
+
+/** Key paper claim: capture+pre ~= 2x inference for MobileNet int8. */
+TEST(Calibration, QuantizedMobileNetTaxRatio)
+{
+    soc::SocSystem sys(soc::makeSnapdragon845(), 7);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = DType::UInt8;
+    cfg.framework = FrameworkKind::TfliteCpu;
+    cfg.mode = HarnessMode::AndroidApp;
+    app::Application application(sys, cfg);
+    core::TaxReport report;
+    application.scheduleRuns(100, report);
+    sys.run();
+    const double ratio = (report.stageMeanMs(Stage::DataCapture) +
+                          report.stageMeanMs(Stage::PreProcessing)) /
+                         report.stageMeanMs(Stage::Inference);
+    EXPECT_GT(ratio, 1.4);
+    EXPECT_LT(ratio, 2.7);
+}
+
+} // namespace
+} // namespace aitax

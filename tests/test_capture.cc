@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the data-capture models: camera pacing and the
+ * benchmark utility's random input generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "capture/camera.h"
+#include "capture/random_source.h"
+
+namespace aitax::capture {
+namespace {
+
+using tensor::DType;
+
+// --- camera ------------------------------------------------------------
+
+TEST(Camera, FramePeriodFromFps)
+{
+    CameraConfig cfg;
+    cfg.fps = 30.0;
+    CameraModel cam(cfg);
+    EXPECT_NEAR(sim::nsToMs(cam.framePeriodNs()), 33.33, 0.01);
+}
+
+TEST(Camera, FrameBytesAreNv21)
+{
+    CameraConfig cfg;
+    cfg.width = 640;
+    cfg.height = 480;
+    CameraModel cam(cfg);
+    EXPECT_DOUBLE_EQ(cam.frameBytes(), 640.0 * 480.0 * 1.5);
+}
+
+TEST(Camera, PhaseLockedWaitCoversRestOfPeriod)
+{
+    CameraConfig cfg;
+    cfg.fps = 30.0;
+    cfg.jitterMeanNs = 0;
+    cfg.phaseLocked = true;
+    CameraModel cam(cfg);
+    sim::RandomStream rng(1);
+    // At t=0, the next frame is a full period away.
+    EXPECT_EQ(cam.waitForFrameNs(0, rng), cam.framePeriodNs());
+    // Mid-period, only the remainder.
+    const auto period = cam.framePeriodNs();
+    EXPECT_EQ(cam.waitForFrameNs(period / 2, rng),
+              period - period / 2);
+}
+
+TEST(Camera, FreeRunningWaitIsUniformOverPeriod)
+{
+    CameraConfig cfg;
+    cfg.fps = 30.0;
+    cfg.jitterMeanNs = 0;
+    CameraModel cam(cfg);
+    sim::RandomStream rng(1);
+    double sum = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const auto w = cam.waitForFrameNs(0, rng);
+        EXPECT_GT(w, 0);
+        EXPECT_LE(w, cam.framePeriodNs());
+        sum += static_cast<double>(w);
+    }
+    // Mean of a uniform wait is half the frame period.
+    EXPECT_NEAR(sum / n,
+                static_cast<double>(cam.framePeriodNs()) / 2.0,
+                static_cast<double>(cam.framePeriodNs()) * 0.05);
+}
+
+TEST(Camera, JitterIsNonNegative)
+{
+    CameraConfig cfg;
+    CameraModel cam(cfg);
+    sim::RandomStream rng(7);
+    for (int i = 0; i < 100; ++i) {
+        const auto w = cam.waitForFrameNs(i * 1'000'000, rng);
+        EXPECT_GT(w, 0);
+    }
+}
+
+TEST(Camera, GlueWorkScalesWithFrameSize)
+{
+    CameraConfig small;
+    small.width = 320;
+    small.height = 240;
+    CameraConfig big;
+    big.width = 1280;
+    big.height = 720;
+    EXPECT_GT(CameraModel(big).frameGlueWork().flops,
+              CameraModel(small).frameGlueWork().flops);
+}
+
+TEST(Camera, CaptureFrameIsValidNv21)
+{
+    CameraConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    CameraModel cam(cfg);
+    const auto frame = cam.captureFrame(0);
+    EXPECT_EQ(frame.format(), imaging::PixelFormat::YuvNv21);
+    EXPECT_EQ(frame.width(), 64);
+    EXPECT_EQ(frame.byteSize(), 64u * 48u * 3u / 2u);
+}
+
+// --- random source -------------------------------------------------------
+
+TEST(RandomSource, LibcppFloatsFasterThanInts)
+{
+    // Section IV-A: libc++ generates real numbers significantly faster
+    // than integers.
+    RandomInputSource src(StdlibFlavor::Libcpp);
+    const auto f = src.generationWork(1000, DType::Float32);
+    const auto i = src.generationWork(1000, DType::UInt8);
+    EXPECT_LT(f.flops, i.flops);
+}
+
+TEST(RandomSource, LibstdcxxShowsOppositeBehaviour)
+{
+    // "Using a different standard library (libstdc++), we observed the
+    // exact opposite behavior."
+    RandomInputSource src(StdlibFlavor::Libstdcxx);
+    const auto f = src.generationWork(1000, DType::Float32);
+    const auto i = src.generationWork(1000, DType::UInt8);
+    EXPECT_GT(f.flops, i.flops);
+}
+
+TEST(RandomSource, WorkScalesLinearlyWithElements)
+{
+    RandomInputSource src;
+    const auto a = src.generationWork(1000, DType::Float32);
+    const auto b = src.generationWork(2000, DType::Float32);
+    EXPECT_NEAR(b.flops / a.flops, 2.0, 1e-9);
+}
+
+TEST(RandomSource, FillsFloatTensorInRange)
+{
+    RandomInputSource src;
+    tensor::Tensor t(tensor::Shape({1000}), DType::Float32);
+    sim::RandomStream rng(3);
+    src.fill(t, rng);
+    bool nonzero = false;
+    for (float v : t.data<float>()) {
+        EXPECT_GE(v, -1.0f);
+        EXPECT_LE(v, 1.0f);
+        nonzero |= (v != 0.0f);
+    }
+    EXPECT_TRUE(nonzero);
+}
+
+TEST(RandomSource, FillsQuantizedTensor)
+{
+    RandomInputSource src;
+    tensor::Tensor t(tensor::Shape({1000}), DType::UInt8);
+    sim::RandomStream rng(3);
+    src.fill(t, rng);
+    bool varied = false;
+    const auto d = t.data<std::uint8_t>();
+    for (std::size_t i = 1; i < d.size(); ++i)
+        varied |= (d[i] != d[0]);
+    EXPECT_TRUE(varied);
+}
+
+TEST(RandomSource, FlavorNames)
+{
+    EXPECT_EQ(stdlibFlavorName(StdlibFlavor::Libcpp), "libc++");
+    EXPECT_EQ(stdlibFlavorName(StdlibFlavor::Libstdcxx), "libstdc++");
+}
+
+} // namespace
+} // namespace aitax::capture

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the vendor driver capability tables — the encoded
+ * "not all frameworks are created equal" findings of Section IV-B.
+ */
+
+#include <gtest/gtest.h>
+
+#include "drivers/driver.h"
+#include "drivers/instrumentation.h"
+#include "models/zoo.h"
+
+namespace aitax::drivers {
+namespace {
+
+using graph::Op;
+using graph::OpKind;
+using tensor::DType;
+using tensor::Shape;
+
+Op
+conv(std::int32_t kh, std::int32_t kw)
+{
+    Op op;
+    op.kind = OpKind::Conv2D;
+    op.inputs = {Shape::nhwc(16, 16, 8)};
+    op.output = Shape::nhwc(16, 16, 8);
+    op.conv = {kh, kw, 1, 1, true, 1};
+    return op;
+}
+
+Op
+dwconv(std::int32_t k)
+{
+    Op op;
+    op.kind = OpKind::DepthwiseConv2D;
+    op.inputs = {Shape::nhwc(16, 16, 8)};
+    op.output = Shape::nhwc(16, 16, 8);
+    op.conv = {k, k, 1, 1, true, 1};
+    return op;
+}
+
+Op
+simpleOp(OpKind kind)
+{
+    Op op;
+    op.kind = kind;
+    op.inputs = {Shape({1, 16})};
+    op.output = Shape({1, 16});
+    return op;
+}
+
+TEST(TfliteCpu, SupportsEverything)
+{
+    const Driver &d = tfliteCpuDriver();
+    EXPECT_EQ(d.target(), Target::CpuThreads);
+    EXPECT_FALSE(d.isAccelerated());
+    for (OpKind k : {OpKind::Conv2D, OpKind::EmbeddingLookup,
+                     OpKind::LayerNorm, OpKind::Gelu, OpKind::MatMul}) {
+        EXPECT_TRUE(d.supportsOp(simpleOp(k), DType::Float32));
+        EXPECT_TRUE(d.supportsOp(simpleOp(k), DType::UInt8));
+    }
+    EXPECT_DOUBLE_EQ(d.efficiency(conv(3, 3), DType::Float32), 1.0);
+}
+
+TEST(GpuDelegate, FloatOnly)
+{
+    const Driver &d = tfliteGpuDelegateDriver();
+    EXPECT_EQ(d.target(), Target::Gpu);
+    EXPECT_TRUE(d.isAccelerated());
+    EXPECT_TRUE(d.supportsOp(conv(3, 3), DType::Float32));
+    EXPECT_FALSE(d.supportsOp(conv(3, 3), DType::UInt8));
+}
+
+TEST(GpuDelegate, NoTransformerOps)
+{
+    const Driver &d = tfliteGpuDelegateDriver();
+    EXPECT_FALSE(
+        d.supportsOp(simpleOp(OpKind::EmbeddingLookup), DType::Float32));
+    EXPECT_FALSE(
+        d.supportsOp(simpleOp(OpKind::LayerNorm), DType::Float32));
+}
+
+TEST(GpuDelegate, DepthwiseLessEfficient)
+{
+    const Driver &d = tfliteGpuDelegateDriver();
+    EXPECT_LT(d.efficiency(dwconv(3), DType::Float32),
+              d.efficiency(conv(3, 3), DType::Float32));
+}
+
+TEST(HexagonDelegate, QuantizedOnly)
+{
+    const Driver &d = tfliteHexagonDelegateDriver();
+    EXPECT_EQ(d.target(), Target::Dsp);
+    EXPECT_TRUE(d.supportsOp(conv(3, 3), DType::UInt8));
+    EXPECT_FALSE(d.supportsOp(conv(3, 3), DType::Float32));
+}
+
+TEST(NnapiDsp, LaggingInt8DepthwiseCoverage)
+{
+    // The Fig 5 root cause: 5x5 INT8 depthwise convolutions (as in
+    // EfficientNet-Lite0) are not supported; 3x3 ones are.
+    const Driver &d = nnapiVendorDspDriver();
+    EXPECT_TRUE(d.supportsOp(dwconv(3), DType::UInt8));
+    EXPECT_FALSE(d.supportsOp(dwconv(5), DType::UInt8));
+    EXPECT_FALSE(d.supportsOp(dwconv(3), DType::Float32));
+}
+
+TEST(NnapiDsp, RejectsEfficientNetButAcceptsMobileNet)
+{
+    const Driver &d = nnapiVendorDspDriver();
+    const auto mobilenet =
+        models::buildGraph("mobilenet_v1", DType::UInt8);
+    EXPECT_TRUE(d.supportsAll(mobilenet.ops(), DType::UInt8));
+    const auto efficientnet =
+        models::buildGraph("efficientnet_lite0", DType::UInt8);
+    EXPECT_FALSE(d.supportsAll(efficientnet.ops(), DType::UInt8));
+}
+
+TEST(NnapiGpu, NoRectangularKernels)
+{
+    // Inception's 1x7/7x1 factorizations fall back to the CPU, which
+    // is why the paper sees Inception only partially offloaded.
+    const Driver &d = nnapiVendorGpuDriver();
+    EXPECT_TRUE(d.supportsOp(conv(3, 3), DType::Float32));
+    EXPECT_FALSE(d.supportsOp(conv(1, 7), DType::Float32));
+    EXPECT_FALSE(d.supportsOp(conv(7, 1), DType::Float32));
+}
+
+TEST(NnapiReference, SlowSingleThreadedFallback)
+{
+    const Driver &d = nnapiCpuReferenceDriver();
+    EXPECT_EQ(d.target(), Target::CpuSingleThreadReference);
+    EXPECT_TRUE(d.supportsOp(simpleOp(OpKind::Gelu), DType::UInt8));
+    EXPECT_LT(d.efficiency(conv(3, 3), DType::UInt8), 0.3);
+}
+
+TEST(SnpeDsp, TunedKernelsBeatOpenSourceDelegates)
+{
+    const Driver &snpe = snpeDspDriver();
+    const Driver &hexagon = tfliteHexagonDelegateDriver();
+    const Driver &nnapi = nnapiVendorDspDriver();
+    for (const Op &op : {conv(3, 3), dwconv(3)}) {
+        EXPECT_GE(snpe.efficiency(op, DType::UInt8),
+                  hexagon.efficiency(op, DType::UInt8));
+        EXPECT_GT(snpe.efficiency(op, DType::UInt8),
+                  nnapi.efficiency(op, DType::UInt8));
+    }
+}
+
+TEST(SnpeDsp, SupportsFiveByFiveDepthwise)
+{
+    EXPECT_TRUE(snpeDspDriver().supportsOp(dwconv(5), DType::UInt8));
+}
+
+TEST(AllDrivers, EfficienciesInUnitRange)
+{
+    const Driver *drivers[] = {
+        &tfliteCpuDriver(),          &tfliteGpuDelegateDriver(),
+        &tfliteHexagonDelegateDriver(), &nnapiVendorDspDriver(),
+        &nnapiVendorGpuDriver(),     &nnapiCpuReferenceDriver(),
+        &snpeDspDriver(),
+    };
+    for (const Driver *d : drivers) {
+        for (DType dt : {DType::Float32, DType::UInt8}) {
+            for (const Op &op : {conv(3, 3), dwconv(3),
+                                 simpleOp(OpKind::Relu)}) {
+                if (!d->supportsOp(op, dt))
+                    continue;
+                const double e = d->efficiency(op, dt);
+                EXPECT_GT(e, 0.0) << d->name();
+                EXPECT_LE(e, 1.0) << d->name();
+            }
+        }
+        EXPECT_GE(d->perOpOverheadNs(), 0);
+        EXPECT_FALSE(d->name().empty());
+    }
+}
+
+TEST(NnapiDsp, HighestPerOpOverhead)
+{
+    // The NNAPI HAL adds scheduling cost per operation relative to the
+    // direct delegate path.
+    EXPECT_GT(nnapiVendorDspDriver().perOpOverheadNs(),
+              tfliteHexagonDelegateDriver().perOpOverheadNs());
+}
+
+// --- instrumentation (probe effect, Section III-D) ---------------------
+
+TEST(Instrumentation, DisabledIsExactlyNeutral)
+{
+    Instrumentation instr;
+    sim::RandomStream rng(1);
+    EXPECT_DOUBLE_EQ(instr.acceleratedSlowdown(rng), 1.0);
+    EXPECT_DOUBLE_EQ(instr.cpuSlowdown(), 1.0);
+}
+
+TEST(Instrumentation, EnabledAddsFourToSevenPercent)
+{
+    Instrumentation instr;
+    instr.enable(true);
+    sim::RandomStream rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double s = instr.acceleratedSlowdown(rng);
+        EXPECT_GE(s, 1.04);
+        EXPECT_LE(s, 1.07);
+    }
+    EXPECT_DOUBLE_EQ(instr.cpuSlowdown(), 1.0);
+}
+
+} // namespace
+} // namespace aitax::drivers

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Unit tests for the graph IR: op cost arithmetic, builder shape
+ * inference and graph validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "graph/op.h"
+#include "graph/serialize.h"
+#include "sim/random.h"
+
+namespace aitax::graph {
+namespace {
+
+using tensor::DType;
+using tensor::Shape;
+
+// --- Op cost arithmetic ----------------------------------------------
+
+TEST(OpCost, Conv2dMacs)
+{
+    Op op;
+    op.kind = OpKind::Conv2D;
+    op.inputs = {Shape::nhwc(112, 112, 32)};
+    op.output = Shape::nhwc(112, 112, 64);
+    op.conv = {3, 3, 1, 1, true, 1};
+    // out elems (112*112*64) * k*k*inC (9*32)
+    EXPECT_EQ(op.macs(), 112LL * 112 * 64 * 9 * 32);
+    EXPECT_EQ(op.paramCount(), 3LL * 3 * 32 * 64 + 64);
+}
+
+TEST(OpCost, DepthwiseConvMacs)
+{
+    Op op;
+    op.kind = OpKind::DepthwiseConv2D;
+    op.inputs = {Shape::nhwc(56, 56, 128)};
+    op.output = Shape::nhwc(56, 56, 128);
+    op.conv = {3, 3, 1, 1, true, 1};
+    EXPECT_EQ(op.macs(), 56LL * 56 * 128 * 9);
+    EXPECT_EQ(op.paramCount(), 9LL * 128 + 128);
+}
+
+TEST(OpCost, FullyConnected)
+{
+    Op op;
+    op.kind = OpKind::FullyConnected;
+    op.inputs = {Shape({1, 1024})};
+    op.output = Shape({1, 1000});
+    EXPECT_EQ(op.macs(), 1024LL * 1000);
+    EXPECT_EQ(op.paramCount(), 1024LL * 1000 + 1000);
+}
+
+TEST(OpCost, MatMul)
+{
+    Op op;
+    op.kind = OpKind::MatMul;
+    op.matmul = {2, 128, 64, 256, true};
+    op.output = Shape({2, 128, 256});
+    EXPECT_EQ(op.macs(), 2LL * 128 * 64 * 256);
+    EXPECT_EQ(op.paramCount(), 64LL * 256);
+}
+
+TEST(OpCost, MatMulActivationOnlyHasNoParams)
+{
+    Op op;
+    op.kind = OpKind::MatMul;
+    op.matmul = {1, 128, 128, 128, false};
+    EXPECT_EQ(op.paramCount(), 0);
+    EXPECT_GT(op.macs(), 0);
+}
+
+TEST(OpCost, ElementwiseHasNoMacs)
+{
+    Op op;
+    op.kind = OpKind::Relu;
+    op.inputs = {Shape({1, 100})};
+    op.output = Shape({1, 100});
+    EXPECT_EQ(op.macs(), 0);
+    EXPECT_EQ(op.flops(), 100);
+    EXPECT_EQ(op.paramCount(), 0);
+}
+
+TEST(OpCost, PoolFlopsScaleWithWindow)
+{
+    Op op;
+    op.kind = OpKind::MaxPool2D;
+    op.inputs = {Shape::nhwc(8, 8, 16)};
+    op.output = Shape::nhwc(4, 4, 16);
+    op.conv = {3, 3, 2, 2, false, 1};
+    EXPECT_EQ(op.flops(), 4LL * 4 * 16 * 9);
+}
+
+TEST(OpCost, ActivationBytes)
+{
+    Op op;
+    op.kind = OpKind::Relu;
+    op.inputs = {Shape({1, 10})};
+    op.output = Shape({1, 10});
+    EXPECT_EQ(op.activationBytes(4), 80); // (10 + 10) * 4
+    EXPECT_EQ(op.activationBytes(1), 20);
+}
+
+TEST(OpCost, EmbeddingParamsFromTableShape)
+{
+    Op op;
+    op.kind = OpKind::EmbeddingLookup;
+    op.inputs = {Shape({1, 128}), Shape({30522, 512})};
+    op.output = Shape({1, 128, 512});
+    EXPECT_EQ(op.paramCount(), 30522LL * 512);
+}
+
+TEST(OpCost, KindNames)
+{
+    EXPECT_EQ(opKindName(OpKind::Conv2D), "Conv2D");
+    EXPECT_EQ(opKindName(OpKind::Softmax), "Softmax");
+    EXPECT_TRUE(isMacHeavy(OpKind::Conv2D));
+    EXPECT_TRUE(isMacHeavy(OpKind::MatMul));
+    EXPECT_FALSE(isMacHeavy(OpKind::Relu));
+}
+
+// --- Builder shape inference -----------------------------------------
+
+TEST(Builder, ConvSamePaddingShape)
+{
+    GraphBuilder b("t", Shape::nhwc(224, 224, 3), DType::Float32);
+    b.conv2d(32, 3, 2, true);
+    EXPECT_EQ(b.current(), Shape::nhwc(112, 112, 32));
+}
+
+TEST(Builder, ConvValidPaddingShape)
+{
+    GraphBuilder b("t", Shape::nhwc(299, 299, 3), DType::Float32);
+    b.conv2d(32, 3, 2, false);
+    EXPECT_EQ(b.current(), Shape::nhwc(149, 149, 32));
+}
+
+TEST(Builder, RectKernelShape)
+{
+    GraphBuilder b("t", Shape::nhwc(17, 17, 64), DType::Float32);
+    b.conv2dRect(96, 1, 7, 1, true);
+    EXPECT_EQ(b.current(), Shape::nhwc(17, 17, 96));
+}
+
+TEST(Builder, DepthwisePreservesChannels)
+{
+    GraphBuilder b("t", Shape::nhwc(112, 112, 32), DType::Float32);
+    b.dwconv2d(3, 2);
+    EXPECT_EQ(b.current(), Shape::nhwc(56, 56, 32));
+}
+
+TEST(Builder, PoolShapes)
+{
+    GraphBuilder b("t", Shape::nhwc(112, 112, 64), DType::Float32);
+    b.maxPool(3, 2, false);
+    EXPECT_EQ(b.current(), Shape::nhwc(55, 55, 64));
+    b.globalAvgPool();
+    EXPECT_EQ(b.current(), Shape::nhwc(1, 1, 64));
+}
+
+TEST(Builder, TransposeConvUpsamples)
+{
+    GraphBuilder b("t", Shape::nhwc(14, 14, 64), DType::Float32);
+    b.transposeConv2d(32, 3, 2);
+    EXPECT_EQ(b.current(), Shape::nhwc(28, 28, 32));
+}
+
+TEST(Builder, ConcatWidensChannels)
+{
+    GraphBuilder b("t", Shape::nhwc(8, 8, 16), DType::Float32);
+    b.concatChannels(48);
+    EXPECT_EQ(b.current(), Shape::nhwc(8, 8, 64));
+}
+
+TEST(Builder, ResidualAddKeepsShape)
+{
+    GraphBuilder b("t", Shape::nhwc(8, 8, 16), DType::Float32);
+    b.residualAdd();
+    EXPECT_EQ(b.current(), Shape::nhwc(8, 8, 16));
+}
+
+TEST(Builder, FullyConnectedAndReshape)
+{
+    GraphBuilder b("t", Shape::nhwc(1, 1, 1024), DType::Float32);
+    b.reshape(Shape({1, 1024}));
+    b.fullyConnected(1000);
+    EXPECT_EQ(b.current(), Shape({1, 1000}));
+}
+
+TEST(Builder, ResizeBilinear)
+{
+    GraphBuilder b("t", Shape::nhwc(65, 65, 21), DType::Float32);
+    b.resizeBilinear(513, 513);
+    EXPECT_EQ(b.current(), Shape::nhwc(513, 513, 21));
+}
+
+TEST(Builder, SetCurrentRewindsForBranches)
+{
+    GraphBuilder b("t", Shape::nhwc(32, 32, 8), DType::Float32);
+    const Shape in = b.current();
+    b.conv2d(16, 1, 1);
+    b.setCurrent(in);
+    b.conv2d(24, 3, 1);
+    EXPECT_EQ(b.current(), Shape::nhwc(32, 32, 24));
+    Graph g = b.build();
+    EXPECT_EQ(g.opCount(), 2u);
+}
+
+TEST(Builder, EmbeddingShape)
+{
+    GraphBuilder b("t", Shape({1, 128}), DType::Float32);
+    b.embedding(30522, 512, 128);
+    EXPECT_EQ(b.current(), Shape({1, 128, 512}));
+}
+
+TEST(Builder, AutoNamesAreUnique)
+{
+    GraphBuilder b("t", Shape::nhwc(8, 8, 4), DType::Float32);
+    b.relu().relu().relu();
+    Graph g = b.build();
+    EXPECT_NE(g.ops()[0].name, g.ops()[1].name);
+    EXPECT_NE(g.ops()[1].name, g.ops()[2].name);
+}
+
+// --- Graph aggregates & validation ------------------------------------
+
+TEST(Graph, Totals)
+{
+    GraphBuilder b("t", Shape::nhwc(8, 8, 3), DType::Float32);
+    b.conv2d(4, 3, 1).relu();
+    Graph g = b.build();
+    EXPECT_EQ(g.totalMacs(), 8LL * 8 * 4 * 9 * 3);
+    EXPECT_EQ(g.totalParams(), 3LL * 3 * 3 * 4 + 4);
+    EXPECT_EQ(g.paramBytes(), g.totalParams() * 4);
+    EXPECT_GT(g.totalFlops(), 0);
+    EXPECT_GT(g.activationBytes(), 0);
+}
+
+TEST(Graph, ParamBytesTrackDtype)
+{
+    GraphBuilder b1("t", Shape::nhwc(8, 8, 3), DType::Float32);
+    b1.conv2d(4, 3, 1);
+    GraphBuilder b2("t", Shape::nhwc(8, 8, 3), DType::UInt8);
+    b2.conv2d(4, 3, 1);
+    Graph g1 = b1.build();
+    Graph g2 = b2.build();
+    EXPECT_EQ(g1.paramBytes(), 4 * g2.paramBytes());
+}
+
+TEST(Graph, ValidatePassesOnWellFormed)
+{
+    GraphBuilder b("t", Shape::nhwc(8, 8, 3), DType::Float32);
+    b.conv2d(4, 3, 1).relu().softmax();
+    EXPECT_EQ(b.build().validate(), "");
+}
+
+TEST(Graph, ValidateRejectsEmpty)
+{
+    Graph g("empty", Shape::nhwc(8, 8, 3), DType::Float32);
+    EXPECT_NE(g.validate(), "");
+}
+
+TEST(Graph, ValidateRejectsBadConv)
+{
+    Graph g("bad", Shape::nhwc(8, 8, 3), DType::Float32);
+    Op op;
+    op.kind = OpKind::Conv2D;
+    op.name = "broken";
+    op.inputs = {Shape::nhwc(8, 8, 3)};
+    op.output = Shape::nhwc(8, 8, 4);
+    op.conv.kernelH = 0; // invalid
+    g.addOp(op);
+    EXPECT_NE(g.validate().find("broken"), std::string::npos);
+}
+
+TEST(Graph, OutputShapeIsLastOp)
+{
+    GraphBuilder b("t", Shape::nhwc(8, 8, 3), DType::Float32);
+    b.conv2d(4, 3, 2);
+    Graph g = b.build();
+    EXPECT_EQ(g.outputShape(), Shape::nhwc(4, 4, 4));
+}
+
+// --- serialization -----------------------------------------------------
+
+TEST(Serialize, RoundTripSmallGraph)
+{
+    GraphBuilder b("tiny", Shape::nhwc(8, 8, 3), DType::UInt8);
+    b.conv2d(4, 3, 2, false, "stem").relu6("act");
+    b.conv2dRect(8, 1, 7, 1, true, "wide");
+    b.matmul(1, 4, 8, 16, true, "proj");
+    const Graph g = b.build();
+
+    const std::string text = serializeGraph(g);
+    Graph parsed;
+    std::string error;
+    ASSERT_TRUE(parseGraph(text, parsed, error)) << error;
+
+    EXPECT_EQ(parsed.name(), g.name());
+    EXPECT_EQ(parsed.dtype(), g.dtype());
+    EXPECT_EQ(parsed.inputShape(), g.inputShape());
+    ASSERT_EQ(parsed.opCount(), g.opCount());
+    EXPECT_EQ(parsed.totalMacs(), g.totalMacs());
+    EXPECT_EQ(parsed.totalParams(), g.totalParams());
+    EXPECT_EQ(parsed.activationBytes(), g.activationBytes());
+    for (std::size_t i = 0; i < g.opCount(); ++i) {
+        EXPECT_EQ(parsed.ops()[i].kind, g.ops()[i].kind);
+        EXPECT_EQ(parsed.ops()[i].name, g.ops()[i].name);
+        EXPECT_EQ(parsed.ops()[i].output, g.ops()[i].output);
+    }
+}
+
+TEST(Serialize, RejectsMissingHeader)
+{
+    Graph g;
+    std::string error;
+    EXPECT_FALSE(parseGraph("op Relu name=x out=4\nend\n", g, error));
+    EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(Serialize, RejectsUnknownKind)
+{
+    Graph g;
+    std::string error;
+    const std::string text =
+        "graph t dtype=fp32 input=1x4\nop Frobnicate name=x out=1x4\nend\n";
+    EXPECT_FALSE(parseGraph(text, g, error));
+    EXPECT_NE(error.find("Frobnicate"), std::string::npos);
+    EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(Serialize, RejectsMissingEnd)
+{
+    Graph g;
+    std::string error;
+    EXPECT_FALSE(parseGraph("graph t dtype=fp32 input=1x4\n", g, error));
+    EXPECT_NE(error.find("end"), std::string::npos);
+}
+
+TEST(Serialize, IgnoresCommentsAndBlankLines)
+{
+    Graph g;
+    std::string error;
+    const std::string text = "# a comment\n\n"
+                             "graph t dtype=int8 input=1x4\n"
+                             "op Relu name=r in=1x4 out=1x4\n"
+                             "end\n";
+    ASSERT_TRUE(parseGraph(text, g, error)) << error;
+    EXPECT_EQ(g.opCount(), 1u);
+    EXPECT_EQ(g.dtype(), DType::Int8);
+}
+
+TEST(Serialize, FuzzedInputNeverCrashes)
+{
+    // Random byte soup must be rejected gracefully, never parsed.
+    tensor::Shape dummy;
+    sim::RandomStream rng(1234, "fuzz");
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string text;
+        const auto len = rng.uniformInt(0, 200);
+        for (std::int64_t i = 0; i < len; ++i)
+            text += static_cast<char>(rng.uniformInt(32, 126));
+        Graph g;
+        std::string error;
+        const bool ok = parseGraph(text, g, error);
+        if (!ok) {
+            EXPECT_FALSE(error.empty());
+        }
+    }
+}
+
+TEST(Serialize, MutatedValidTextFailsCleanly)
+{
+    GraphBuilder b("tiny", Shape::nhwc(8, 8, 3), DType::Float32);
+    b.conv2d(4, 3, 1).relu();
+    const std::string good = serializeGraph(b.build());
+    sim::RandomStream rng(77, "mutate");
+    for (int trial = 0; trial < 100; ++trial) {
+        std::string text = good;
+        const auto pos = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(text.size()) - 1));
+        text[pos] = static_cast<char>(rng.uniformInt(33, 126));
+        Graph g;
+        std::string error;
+        // Either it still parses (benign mutation) or it fails with a
+        // diagnostic; both are fine as long as nothing crashes.
+        if (!parseGraph(text, g, error)) {
+            EXPECT_NE(error.find("line"), std::string::npos);
+        }
+    }
+}
+
+TEST(Serialize, BadShapeDiagnostic)
+{
+    Graph g;
+    std::string error;
+    const std::string text = "graph t dtype=fp32 input=1xhello\nend\n";
+    EXPECT_FALSE(parseGraph(text, g, error));
+    EXPECT_NE(error.find("shape"), std::string::npos);
+}
+
+} // namespace
+} // namespace aitax::graph

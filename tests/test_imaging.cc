@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Unit tests for the real pre-processing pixel algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/convert.h"
+#include "imaging/crop.h"
+#include "imaging/image.h"
+#include "imaging/letterbox.h"
+#include "imaging/normalize.h"
+#include "imaging/resize.h"
+#include "imaging/rotate.h"
+#include "imaging/yuv.h"
+
+namespace aitax::imaging {
+namespace {
+
+Image
+solidArgb(std::int32_t w, std::int32_t h, std::uint8_t r, std::uint8_t g,
+          std::uint8_t b)
+{
+    Image img(PixelFormat::Argb8888, w, h);
+    for (std::int32_t y = 0; y < h; ++y)
+        for (std::int32_t x = 0; x < w; ++x)
+            img.setArgb(x, y, 0xff, r, g, b);
+    return img;
+}
+
+// --- Image basics ----------------------------------------------------
+
+TEST(Image, ByteSizes)
+{
+    EXPECT_EQ(imageByteSize(PixelFormat::YuvNv21, 4, 4), 24u);
+    EXPECT_EQ(imageByteSize(PixelFormat::Argb8888, 4, 4), 64u);
+    EXPECT_EQ(imageByteSize(PixelFormat::RgbF32, 4, 4), 192u);
+}
+
+TEST(Image, ArgbAccessorsRoundTrip)
+{
+    Image img(PixelFormat::Argb8888, 3, 2);
+    img.setArgb(2, 1, 0xff, 10, 20, 30);
+    EXPECT_EQ(img.redAt(2, 1), 10);
+    EXPECT_EQ(img.greenAt(2, 1), 20);
+    EXPECT_EQ(img.blueAt(2, 1), 30);
+    EXPECT_EQ(img.argbAt(2, 1), 0xff0a141eu);
+}
+
+TEST(Image, RgbFloatAccessors)
+{
+    Image img(PixelFormat::RgbF32, 2, 2);
+    img.setRgbF(1, 0, 0.5f, -0.25f, 1.0f);
+    EXPECT_FLOAT_EQ(img.rAt(1, 0), 0.5f);
+    EXPECT_FLOAT_EQ(img.gAt(1, 0), -0.25f);
+    EXPECT_FLOAT_EQ(img.bAt(1, 0), 1.0f);
+}
+
+TEST(Image, FormatNames)
+{
+    EXPECT_EQ(pixelFormatName(PixelFormat::YuvNv21), "YUV_NV21");
+    EXPECT_EQ(pixelFormatName(PixelFormat::Argb8888), "ARGB_8888");
+}
+
+// --- NV21 conversion --------------------------------------------------
+
+TEST(Yuv, GrayPixelConverts)
+{
+    // Y=128, U=V=0 (stored as 128) is mid-gray.
+    Image yuv(PixelFormat::YuvNv21, 2, 2);
+    for (std::size_t i = 0; i < 4; ++i)
+        yuv.data()[i] = 128;
+    yuv.data()[4] = 128; // V
+    yuv.data()[5] = 128; // U
+    const Image rgb = nv21ToArgb(yuv);
+    const int r = rgb.redAt(0, 0);
+    const int g = rgb.greenAt(0, 0);
+    const int b = rgb.blueAt(0, 0);
+    EXPECT_NEAR(r, 130, 3);
+    EXPECT_EQ(r, g);
+    EXPECT_EQ(g, b);
+}
+
+TEST(Yuv, BlackAndWhiteExtremes)
+{
+    Image yuv(PixelFormat::YuvNv21, 2, 2);
+    yuv.data()[0] = 16;  // video black
+    yuv.data()[1] = 235; // video white
+    yuv.data()[2] = 16;
+    yuv.data()[3] = 235;
+    yuv.data()[4] = 128;
+    yuv.data()[5] = 128;
+    const Image rgb = nv21ToArgb(yuv);
+    EXPECT_LE(rgb.redAt(0, 0), 2);
+    EXPECT_GE(rgb.redAt(1, 0), 250);
+}
+
+TEST(Yuv, RedChromaRaisesRed)
+{
+    Image yuv(PixelFormat::YuvNv21, 2, 2);
+    for (std::size_t i = 0; i < 4; ++i)
+        yuv.data()[i] = 128;
+    yuv.data()[4] = 200; // V > 128 pushes red
+    yuv.data()[5] = 128;
+    const Image rgb = nv21ToArgb(yuv);
+    EXPECT_GT(rgb.redAt(0, 0), rgb.blueAt(0, 0));
+    EXPECT_GT(rgb.redAt(0, 0), rgb.greenAt(0, 0));
+}
+
+TEST(Yuv, OutputDimensionsMatch)
+{
+    const Image yuv = makeTestFrameNv21(64, 48, 1);
+    const Image rgb = nv21ToArgb(yuv);
+    EXPECT_EQ(rgb.width(), 64);
+    EXPECT_EQ(rgb.height(), 48);
+    EXPECT_EQ(rgb.format(), PixelFormat::Argb8888);
+}
+
+TEST(Yuv, TestFramesVaryWithSeed)
+{
+    const Image a = makeTestFrameNv21(32, 32, 1);
+    const Image b = makeTestFrameNv21(32, 32, 2);
+    bool differ = false;
+    for (std::size_t i = 0; i < a.byteSize(); ++i)
+        differ |= (a.data()[i] != b.data()[i]);
+    EXPECT_TRUE(differ);
+}
+
+TEST(Yuv, CostScalesWithPixels)
+{
+    const auto small = nv21ToArgbCost(64, 64);
+    const auto large = nv21ToArgbCost(128, 128);
+    EXPECT_NEAR(large.flops / small.flops, 4.0, 1e-9);
+    EXPECT_NEAR(large.bytes / small.bytes, 4.0, 1e-9);
+}
+
+TEST(Yuv, RgbToNv21RoundTripPreservesColors)
+{
+    // A 2x2-blocky image survives the chroma subsample round trip.
+    Image src(PixelFormat::Argb8888, 4, 4);
+    const std::uint8_t colors[4][3] = {
+        {200, 40, 40}, {40, 200, 40}, {40, 40, 200}, {180, 180, 60}};
+    for (std::int32_t by = 0; by < 2; ++by) {
+        for (std::int32_t bx = 0; bx < 2; ++bx) {
+            const auto &c = colors[by * 2 + bx];
+            for (int dy = 0; dy < 2; ++dy)
+                for (int dx = 0; dx < 2; ++dx)
+                    src.setArgb(bx * 2 + dx, by * 2 + dy, 0xff, c[0],
+                                c[1], c[2]);
+        }
+    }
+    const Image yuv = argbToNv21(src);
+    const Image back = nv21ToArgb(yuv);
+    for (std::int32_t y = 0; y < 4; ++y) {
+        for (std::int32_t x = 0; x < 4; ++x) {
+            EXPECT_NEAR(back.redAt(x, y), src.redAt(x, y), 12);
+            EXPECT_NEAR(back.greenAt(x, y), src.greenAt(x, y), 12);
+            EXPECT_NEAR(back.blueAt(x, y), src.blueAt(x, y), 12);
+        }
+    }
+}
+
+TEST(Yuv, RgbToNv21ProducesStudioSwingLuma)
+{
+    const Image white = solidArgb(4, 4, 255, 255, 255);
+    const Image yuv = argbToNv21(white);
+    EXPECT_EQ(yuv.data()[0], 235); // video white
+    const Image black = solidArgb(4, 4, 0, 0, 0);
+    EXPECT_EQ(argbToNv21(black).data()[0], 16); // video black
+}
+
+// --- Resize -----------------------------------------------------------
+
+TEST(Resize, IdentityPreservesSolidColor)
+{
+    const Image src = solidArgb(16, 16, 40, 80, 120);
+    const Image out = resizeBilinear(src, 16, 16);
+    EXPECT_EQ(out.redAt(8, 8), 40);
+    EXPECT_EQ(out.greenAt(8, 8), 80);
+    EXPECT_EQ(out.blueAt(8, 8), 120);
+}
+
+TEST(Resize, DownscaleAveragesGradient)
+{
+    // Horizontal ramp 0..255; downscale by 2: interior stays a ramp.
+    Image src(PixelFormat::Argb8888, 256, 2);
+    for (std::int32_t y = 0; y < 2; ++y)
+        for (std::int32_t x = 0; x < 256; ++x)
+            src.setArgb(x, y, 0xff, static_cast<std::uint8_t>(x),
+                        static_cast<std::uint8_t>(x),
+                        static_cast<std::uint8_t>(x));
+    const Image out = resizeBilinear(src, 128, 1);
+    for (std::int32_t x = 1; x < 127; ++x) {
+        EXPECT_NEAR(out.redAt(x, 0), 2 * x, 2) << x;
+    }
+}
+
+TEST(Resize, UpscaleBounded)
+{
+    const Image src = solidArgb(4, 4, 200, 100, 50);
+    const Image out = resizeBilinear(src, 13, 7);
+    EXPECT_EQ(out.width(), 13);
+    EXPECT_EQ(out.height(), 7);
+    for (std::int32_t y = 0; y < 7; ++y)
+        for (std::int32_t x = 0; x < 13; ++x)
+            EXPECT_EQ(out.redAt(x, y), 200);
+}
+
+TEST(Resize, CostQuadraticInOutputEdge)
+{
+    // The paper: bilinear run-time scales quadratically with output
+    // image size.
+    const auto c224 = resizeBilinearCost(224, 224);
+    const auto c448 = resizeBilinearCost(448, 448);
+    EXPECT_NEAR(c448.flops / c224.flops, 4.0, 1e-9);
+}
+
+// --- Crop --------------------------------------------------------------
+
+TEST(Crop, ExtractsCenterWindow)
+{
+    Image src(PixelFormat::Argb8888, 8, 8);
+    for (std::int32_t y = 0; y < 8; ++y)
+        for (std::int32_t x = 0; x < 8; ++x)
+            src.setArgb(x, y, 0xff,
+                        static_cast<std::uint8_t>(x * 10 + y), 0, 0);
+    const Image out = centerCrop(src, 4, 4);
+    EXPECT_EQ(out.width(), 4);
+    // (0,0) of the crop is (2,2) of the source.
+    EXPECT_EQ(out.redAt(0, 0), 2 * 10 + 2);
+    EXPECT_EQ(out.redAt(3, 3), 5 * 10 + 5);
+}
+
+TEST(Crop, FullSizeCropIsCopy)
+{
+    const Image src = solidArgb(6, 6, 1, 2, 3);
+    const Image out = centerCrop(src, 6, 6);
+    EXPECT_EQ(out.blueAt(5, 5), 3);
+}
+
+TEST(Crop, FractionUsesShortEdge)
+{
+    const Image src = solidArgb(100, 60, 9, 9, 9);
+    const Image out = centerCropFraction(src, 0.875);
+    EXPECT_EQ(out.width(), 52); // floor(60 * 0.875)
+    EXPECT_EQ(out.height(), 52);
+}
+
+// --- Normalize ---------------------------------------------------------
+
+TEST(Normalize, MapsToZeroMeanRange)
+{
+    const Image src = solidArgb(4, 4, 0, 127, 255);
+    const Image out =
+        normalizeToFloat(src, NormParams{127.5f, 127.5f});
+    EXPECT_NEAR(out.rAt(0, 0), -1.0f, 1e-5);
+    EXPECT_NEAR(out.gAt(0, 0), 0.0f, 0.005f);
+    EXPECT_NEAR(out.bAt(0, 0), 1.0f, 1e-5);
+}
+
+TEST(Normalize, MeasureStatsOnKnownImage)
+{
+    Image src(PixelFormat::Argb8888, 2, 1);
+    src.setArgb(0, 0, 0xff, 100, 100, 100);
+    src.setArgb(1, 0, 0xff, 200, 200, 200);
+    const NormParams p = measureStats(src);
+    EXPECT_NEAR(p.mean, 150.0f, 1e-3);
+    EXPECT_NEAR(p.stddev, 50.0f, 1e-3);
+}
+
+TEST(Normalize, NormalizedImageHasUnitStats)
+{
+    const Image yuv = makeTestFrameNv21(64, 64, 3);
+    const Image rgb = nv21ToArgb(yuv);
+    const NormParams measured = measureStats(rgb);
+    const Image out = normalizeToFloat(rgb, measured);
+    // Re-measure on the float image.
+    double sum = 0.0;
+    double sq = 0.0;
+    const double n = 64.0 * 64.0 * 3.0;
+    for (std::int32_t y = 0; y < 64; ++y) {
+        for (std::int32_t x = 0; x < 64; ++x) {
+            for (float c : {out.rAt(x, y), out.gAt(x, y),
+                            out.bAt(x, y)}) {
+                sum += c;
+                sq += c * c;
+            }
+        }
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Normalize, CostLinearInPixels)
+{
+    const auto a = normalizeCost(100, 100);
+    const auto b = normalizeCost(200, 100);
+    EXPECT_NEAR(b.flops / a.flops, 2.0, 1e-9);
+}
+
+// --- Rotate ------------------------------------------------------------
+
+TEST(Rotate, Deg90MovesCorner)
+{
+    Image src(PixelFormat::Argb8888, 3, 2);
+    src.setArgb(0, 0, 0xff, 255, 0, 0); // top-left marked
+    const Image out = rotate(src, Rotation::Deg90);
+    EXPECT_EQ(out.width(), 2);
+    EXPECT_EQ(out.height(), 3);
+    // Clockwise: top-left -> top-right.
+    EXPECT_EQ(out.redAt(1, 0), 255);
+}
+
+TEST(Rotate, Deg180IsPointReflection)
+{
+    Image src(PixelFormat::Argb8888, 4, 2);
+    src.setArgb(1, 0, 0xff, 77, 0, 0);
+    const Image out = rotate(src, Rotation::Deg180);
+    EXPECT_EQ(out.redAt(2, 1), 77);
+}
+
+TEST(Rotate, FourQuartersIsIdentity)
+{
+    const Image src = [&] {
+        Image img(PixelFormat::Argb8888, 5, 3);
+        for (std::int32_t y = 0; y < 3; ++y)
+            for (std::int32_t x = 0; x < 5; ++x)
+                img.setArgb(x, y, 0xff,
+                            static_cast<std::uint8_t>(x * 16 + y), 0, 0);
+        return img;
+    }();
+    Image cur = src;
+    for (int i = 0; i < 4; ++i)
+        cur = rotate(cur, Rotation::Deg90);
+    for (std::int32_t y = 0; y < 3; ++y)
+        for (std::int32_t x = 0; x < 5; ++x)
+            EXPECT_EQ(cur.redAt(x, y), src.redAt(x, y));
+}
+
+TEST(Rotate, Deg270IsInverseOfDeg90)
+{
+    const Image src = solidArgb(4, 6, 5, 6, 7);
+    const Image out = rotate(rotate(src, Rotation::Deg90),
+                             Rotation::Deg270);
+    EXPECT_EQ(out.width(), 4);
+    EXPECT_EQ(out.height(), 6);
+}
+
+TEST(Rotate, CostQuadraticInImageSize)
+{
+    const auto a = rotateCost(100, 100);
+    const auto b = rotateCost(200, 200);
+    EXPECT_NEAR(b.flops / a.flops, 4.0, 1e-9);
+}
+
+// --- Convert -----------------------------------------------------------
+
+TEST(Convert, FloatTensorMatchesImage)
+{
+    Image img(PixelFormat::RgbF32, 2, 2);
+    img.setRgbF(0, 0, 0.1f, 0.2f, 0.3f);
+    img.setRgbF(1, 1, -0.5f, 0.0f, 0.5f);
+    const auto t = toFloatTensor(img);
+    EXPECT_EQ(t.shape(), tensor::Shape::nhwc(2, 2, 3));
+    EXPECT_FLOAT_EQ(t.data<float>()[0], 0.1f);
+    EXPECT_FLOAT_EQ(t.data<float>()[9], -0.5f);
+}
+
+TEST(Convert, QuantizedTensorRoundTrips)
+{
+    Image img(PixelFormat::RgbF32, 1, 1);
+    img.setRgbF(0, 0, -0.5f, 0.0f, 0.5f);
+    const auto qp = tensor::chooseQuantParams(-1.0f, 1.0f);
+    const auto t = toQuantizedTensor(img, qp);
+    EXPECT_EQ(t.dtype(), tensor::DType::UInt8);
+    EXPECT_NEAR(t.realAt(0), -0.5f, qp.scale);
+    EXPECT_NEAR(t.realAt(1), 0.0f, qp.scale);
+    EXPECT_NEAR(t.realAt(2), 0.5f, qp.scale);
+}
+
+TEST(Convert, QuantizedConversionCostsMore)
+{
+    const auto q = typeConvertCost(224, 224, true);
+    const auto f = typeConvertCost(224, 224, false);
+    EXPECT_GT(q.flops, f.flops);
+}
+
+// --- Letterbox ---------------------------------------------------------
+
+TEST(Letterbox, WideImagePadsTopAndBottom)
+{
+    const Image src = solidArgb(200, 100, 50, 60, 70);
+    LetterboxLayout layout;
+    const Image out = letterbox(src, 100, 100, 0, &layout);
+    EXPECT_EQ(out.width(), 100);
+    EXPECT_EQ(out.height(), 100);
+    EXPECT_EQ(layout.contentW, 100);
+    EXPECT_EQ(layout.contentH, 50);
+    EXPECT_EQ(layout.offsetY, 25);
+    EXPECT_EQ(layout.offsetX, 0);
+    // Center is content, top row is padding.
+    EXPECT_EQ(out.redAt(50, 50), 50);
+    EXPECT_EQ(out.redAt(50, 0), 0);
+    EXPECT_EQ(out.redAt(50, 99), 0);
+}
+
+TEST(Letterbox, TallImagePadsSides)
+{
+    const Image src = solidArgb(50, 100, 9, 9, 9);
+    LetterboxLayout layout;
+    const Image out = letterbox(src, 100, 100, 128, &layout);
+    EXPECT_EQ(layout.contentH, 100);
+    EXPECT_EQ(layout.contentW, 50);
+    EXPECT_EQ(layout.offsetX, 25);
+    EXPECT_EQ(out.redAt(0, 50), 128);  // left padding
+    EXPECT_EQ(out.redAt(50, 50), 9);   // content
+    EXPECT_EQ(out.redAt(99, 50), 128); // right padding
+}
+
+TEST(Letterbox, SameAspectHasNoPadding)
+{
+    const Image src = solidArgb(64, 64, 3, 4, 5);
+    LetterboxLayout layout;
+    const Image out = letterbox(src, 32, 32, 0, &layout);
+    EXPECT_EQ(layout.offsetX, 0);
+    EXPECT_EQ(layout.offsetY, 0);
+    EXPECT_EQ(layout.contentW, 32);
+    EXPECT_EQ(out.greenAt(16, 16), 4);
+}
+
+TEST(Letterbox, LayoutMapsBackToSource)
+{
+    const Image src = solidArgb(200, 100, 1, 1, 1);
+    LetterboxLayout layout;
+    letterbox(src, 100, 100, 0, &layout);
+    double sx = 0.0;
+    double sy = 0.0;
+    // Output center maps to source center.
+    layout.toSource(50.0, 50.0, sx, sy);
+    EXPECT_NEAR(sx, 100.0, 1.0);
+    EXPECT_NEAR(sy, 50.0, 1.0);
+}
+
+TEST(Letterbox, CostExceedsPlainResize)
+{
+    EXPECT_GT(letterboxCost(300, 300).flops,
+              resizeBilinearCost(300, 300).flops);
+}
+
+// --- Grayscale -----------------------------------------------------------
+
+TEST(Grayscale, LumaWeights)
+{
+    Image src(PixelFormat::Argb8888, 3, 1);
+    src.setArgb(0, 0, 0xff, 255, 0, 0); // red -> ~76
+    src.setArgb(1, 0, 0xff, 0, 255, 0); // green -> ~150
+    src.setArgb(2, 0, 0xff, 0, 0, 255); // blue -> ~29
+    const Image out = toGrayscale(src);
+    EXPECT_NEAR(out.redAt(0, 0), 76, 2);
+    EXPECT_NEAR(out.redAt(1, 0), 150, 2);
+    EXPECT_NEAR(out.redAt(2, 0), 29, 2);
+    // Channels are equal after conversion.
+    EXPECT_EQ(out.redAt(0, 0), out.greenAt(0, 0));
+    EXPECT_EQ(out.greenAt(0, 0), out.blueAt(0, 0));
+}
+
+TEST(Grayscale, WhiteStaysWhite)
+{
+    const Image src = solidArgb(2, 2, 255, 255, 255);
+    const Image out = toGrayscale(src);
+    EXPECT_EQ(out.redAt(1, 1), 255);
+}
+
+} // namespace
+} // namespace aitax::imaging

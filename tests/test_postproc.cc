@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Unit tests for the post-processing algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "postproc/bbox.h"
+#include "postproc/keypoints.h"
+#include "postproc/logits.h"
+#include "postproc/mask.h"
+#include "postproc/multipose.h"
+#include "postproc/tokenizer.h"
+#include "postproc/topk.h"
+
+namespace aitax::postproc {
+namespace {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+// --- topK --------------------------------------------------------------
+
+TEST(TopK, ReturnsDescendingScores)
+{
+    const std::vector<float> scores = {0.1f, 0.9f, 0.3f, 0.7f, 0.5f};
+    const auto top = topK(std::span<const float>(scores), 3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].index, 1);
+    EXPECT_EQ(top[1].index, 3);
+    EXPECT_EQ(top[2].index, 4);
+}
+
+TEST(TopK, TiesBreakByLowerIndex)
+{
+    const std::vector<float> scores = {0.5f, 0.9f, 0.9f, 0.1f};
+    const auto top = topK(std::span<const float>(scores), 2);
+    EXPECT_EQ(top[0].index, 1);
+    EXPECT_EQ(top[1].index, 2);
+}
+
+TEST(TopK, KLargerThanNReturnsAll)
+{
+    const std::vector<float> scores = {0.2f, 0.8f};
+    const auto top = topK(std::span<const float>(scores), 10);
+    EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopK, ZeroKReturnsEmpty)
+{
+    const std::vector<float> scores = {0.2f, 0.8f};
+    EXPECT_TRUE(topK(std::span<const float>(scores), 0).empty());
+}
+
+TEST(TopK, QuantizedTensorDequantizesScores)
+{
+    const tensor::QuantParams qp{1.0 / 255.0, 0};
+    Tensor t(Shape({4}), DType::UInt8, qp);
+    t.data<std::uint8_t>()[0] = 10;
+    t.data<std::uint8_t>()[1] = 250;
+    t.data<std::uint8_t>()[2] = 100;
+    t.data<std::uint8_t>()[3] = 200;
+    const auto top = topK(t, 2);
+    EXPECT_EQ(top[0].index, 1);
+    EXPECT_EQ(top[1].index, 3);
+    EXPECT_NEAR(top[0].score, 250.0 / 255.0, 1e-5);
+}
+
+TEST(TopK, FloatTensorPath)
+{
+    Tensor t(Shape({3}), DType::Float32);
+    t.data<float>()[0] = 0.3f;
+    t.data<float>()[1] = 0.1f;
+    t.data<float>()[2] = 0.6f;
+    const auto top = topK(t, 1);
+    EXPECT_EQ(top[0].index, 2);
+}
+
+TEST(TopK, CostGrowsWithN)
+{
+    EXPECT_GT(topKCost(10'000, 5).flops, topKCost(1'000, 5).flops);
+    EXPECT_GT(dequantizeCost(1'000).flops, 0.0);
+}
+
+// --- mask flattening -----------------------------------------------------
+
+TEST(Mask, ArgmaxPerPixel)
+{
+    Tensor logits(Shape::nhwc(2, 2, 3), DType::Float32);
+    auto d = logits.data<float>();
+    // Pixel (0,0): class 2 wins; (1,0): class 0; (0,1): class 1;
+    // (1,1): class 2.
+    const float vals[] = {0.1f, 0.2f, 0.9f, /**/ 0.8f, 0.1f, 0.1f,
+                          0.2f, 0.7f, 0.1f, /**/ 0.1f, 0.2f, 0.3f};
+    for (std::size_t i = 0; i < 12; ++i)
+        d[i] = vals[i];
+    const LabelMask mask = flattenMask(logits);
+    EXPECT_EQ(mask.at(0, 0), 2);
+    EXPECT_EQ(mask.at(1, 0), 0);
+    EXPECT_EQ(mask.at(0, 1), 1);
+    EXPECT_EQ(mask.at(1, 1), 2);
+}
+
+TEST(Mask, HistogramCounts)
+{
+    Tensor logits(Shape::nhwc(1, 4, 2), DType::Float32);
+    auto d = logits.data<float>();
+    // Classes: 1, 1, 0, 1.
+    const float vals[] = {0.0f, 1.0f, 0.0f, 1.0f,
+                          1.0f, 0.0f, 0.0f, 1.0f};
+    for (std::size_t i = 0; i < 8; ++i)
+        d[i] = vals[i];
+    const auto hist = labelHistogram(flattenMask(logits), 2);
+    EXPECT_EQ(hist[0], 1);
+    EXPECT_EQ(hist[1], 3);
+}
+
+TEST(Mask, QuantizedLogits)
+{
+    const tensor::QuantParams qp{1.0, 0};
+    Tensor logits(Shape::nhwc(1, 1, 3), DType::UInt8, qp);
+    logits.data<std::uint8_t>()[0] = 3;
+    logits.data<std::uint8_t>()[1] = 200;
+    logits.data<std::uint8_t>()[2] = 50;
+    EXPECT_EQ(flattenMask(logits).at(0, 0), 1);
+}
+
+TEST(Mask, CostScalesWithClasses)
+{
+    EXPECT_GT(flattenMaskCost(513, 513, 21).flops,
+              flattenMaskCost(513, 513, 2).flops);
+}
+
+// --- keypoints -----------------------------------------------------------
+
+TEST(Keypoints, DecodesPeakWithOffset)
+{
+    constexpr int parts = 2;
+    Tensor heat(Shape::nhwc(4, 4, parts), DType::Float32);
+    Tensor offs(Shape::nhwc(4, 4, 2 * parts), DType::Float32);
+    // Part 0 peak at (y=1, x=2) with offset (dy=3, dx=-2).
+    heat.data<float>()[(1 * 4 + 2) * parts + 0] = 0.9f;
+    offs.data<float>()[(1 * 4 + 2) * (2 * parts) + 0] = 3.0f;
+    offs.data<float>()[(1 * 4 + 2) * (2 * parts) + parts + 0] = -2.0f;
+    // Part 1 peak at (y=3, x=0), zero offset.
+    heat.data<float>()[(3 * 4 + 0) * parts + 1] = 0.8f;
+
+    const auto kps = decodeKeypoints(heat, offs, 16);
+    ASSERT_EQ(kps.size(), 2u);
+    EXPECT_FLOAT_EQ(kps[0].y, 1 * 16 + 3.0f);
+    EXPECT_FLOAT_EQ(kps[0].x, 2 * 16 - 2.0f);
+    EXPECT_FLOAT_EQ(kps[0].score, 0.9f);
+    EXPECT_FLOAT_EQ(kps[1].y, 3 * 16.0f);
+    EXPECT_FLOAT_EQ(kps[1].x, 0.0f);
+}
+
+TEST(Keypoints, PoseScoreIsMean)
+{
+    std::vector<Keypoint> kps = {{0, 0, 0, 0.8f}, {1, 0, 0, 0.4f}};
+    EXPECT_NEAR(poseScore(kps), 0.6f, 1e-6);
+    EXPECT_FLOAT_EQ(poseScore({}), 0.0f);
+}
+
+TEST(Keypoints, CostScalesWithParts)
+{
+    EXPECT_GT(decodeKeypointsCost(14, 14, 17).flops,
+              decodeKeypointsCost(14, 14, 1).flops);
+}
+
+// --- bbox ------------------------------------------------------------
+
+TEST(Bbox, IouKnownValues)
+{
+    const Box a{0.0f, 0.0f, 1.0f, 1.0f};
+    const Box b{0.0f, 0.5f, 1.0f, 1.5f};
+    EXPECT_NEAR(iou(a, b), 0.5f / 1.5f, 1e-6);
+    EXPECT_FLOAT_EQ(iou(a, a), 1.0f);
+    const Box far{5.0f, 5.0f, 6.0f, 6.0f};
+    EXPECT_FLOAT_EQ(iou(a, far), 0.0f);
+}
+
+TEST(Bbox, AnchorGridSize)
+{
+    const auto anchors = makeAnchorGrid(10, 10, 6);
+    EXPECT_EQ(anchors.size(), 600u);
+    for (const auto &a : anchors) {
+        EXPECT_GT(a.cx, 0.0f);
+        EXPECT_LT(a.cx, 1.0f);
+        EXPECT_GT(a.h, 0.0f);
+    }
+}
+
+TEST(Bbox, ZeroDeltasDecodeToAnchors)
+{
+    const auto anchors = makeAnchorGrid(2, 2, 1);
+    std::vector<float> deltas(anchors.size() * 4, 0.0f);
+    std::vector<float> scores(anchors.size() * 2, 0.0f);
+    // Anchor 0 detects class 1 strongly.
+    scores[0 * 2 + 1] = 0.9f;
+    const auto dets =
+        decodeDetections(anchors, deltas, scores, 2, 0.5f);
+    ASSERT_EQ(dets.size(), 1u);
+    const auto &d = dets[0];
+    EXPECT_EQ(d.classIndex, 1);
+    EXPECT_NEAR((d.box.xmin + d.box.xmax) / 2, anchors[0].cx, 1e-5);
+    EXPECT_NEAR(d.box.ymax - d.box.ymin, anchors[0].h, 1e-5);
+}
+
+TEST(Bbox, ThresholdDropsWeakDetections)
+{
+    const auto anchors = makeAnchorGrid(2, 2, 1);
+    std::vector<float> deltas(anchors.size() * 4, 0.0f);
+    std::vector<float> scores(anchors.size() * 2, 0.3f);
+    EXPECT_TRUE(
+        decodeDetections(anchors, deltas, scores, 2, 0.5f).empty());
+}
+
+TEST(Bbox, NmsSuppressesOverlaps)
+{
+    std::vector<Detection> dets;
+    dets.push_back({{0.0f, 0.0f, 1.0f, 1.0f}, 1, 0.9f});
+    dets.push_back({{0.01f, 0.01f, 1.0f, 1.0f}, 1, 0.8f}); // overlap
+    dets.push_back({{0.0f, 0.0f, 0.2f, 0.2f}, 1, 0.7f});   // distinct
+    const auto kept = nonMaxSuppression(dets, 0.5f, 10);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_FLOAT_EQ(kept[0].score, 0.9f);
+    EXPECT_FLOAT_EQ(kept[1].score, 0.7f);
+}
+
+TEST(Bbox, NmsKeepsDifferentClasses)
+{
+    std::vector<Detection> dets;
+    dets.push_back({{0.0f, 0.0f, 1.0f, 1.0f}, 1, 0.9f});
+    dets.push_back({{0.0f, 0.0f, 1.0f, 1.0f}, 2, 0.8f});
+    EXPECT_EQ(nonMaxSuppression(dets, 0.5f, 10).size(), 2u);
+}
+
+TEST(Bbox, NmsRespectsMaxOut)
+{
+    std::vector<Detection> dets;
+    for (int i = 0; i < 10; ++i) {
+        const float off = static_cast<float>(i) * 0.09f;
+        dets.push_back(
+            {{off, off, off + 0.05f, off + 0.05f}, 1, 0.5f});
+    }
+    EXPECT_EQ(nonMaxSuppression(dets, 0.5f, 3).size(), 3u);
+}
+
+// --- multi-person pose ------------------------------------------------------
+
+namespace multipose_helpers {
+
+/** Paint a person: confident keypoints on a vertical line at column x,
+ *  with consistent displacement fields along the skeleton. */
+void
+paintPerson(tensor::Tensor &heat, tensor::Tensor &offs,
+            tensor::Tensor &disp_fwd, tensor::Tensor &disp_bwd,
+            std::int64_t col, float score)
+{
+    (void)offs; // zero offsets: keypoints sit exactly on cell centers
+    const auto &s = heat.shape();
+    const std::int64_t w = s.width();
+    auto hm = heat.data<float>();
+    // Part p sits at row p (identity layout for easy checking).
+    for (int p = 0; p < kPoseParts; ++p)
+        hm[static_cast<std::size_t>((p * w + col) * kPoseParts + p)] =
+            score;
+    const auto &edges = poseSkeleton();
+    const auto edge_count = static_cast<std::int64_t>(edges.size());
+    auto fwd = disp_fwd.data<float>();
+    auto bwd = disp_bwd.data<float>();
+    const std::int64_t dch = 2 * edge_count;
+    for (std::int64_t k = 0; k < edge_count; ++k) {
+        const auto &e = edges[static_cast<std::size_t>(k)];
+        // From parent cell (row parent, col) the child lies at
+        // (row child, col): dy = (child - parent) * stride in pixels.
+        const std::int64_t pbase =
+            ((e.parent * w) + col) * dch;
+        fwd[static_cast<std::size_t>(pbase + k)] =
+            static_cast<float>((e.child - e.parent) * 16);
+        fwd[static_cast<std::size_t>(pbase + edge_count + k)] = 0.0f;
+        const std::int64_t cbase = ((e.child * w) + col) * dch;
+        bwd[static_cast<std::size_t>(cbase + k)] =
+            static_cast<float>((e.parent - e.child) * 16);
+        bwd[static_cast<std::size_t>(cbase + edge_count + k)] = 0.0f;
+    }
+}
+
+} // namespace multipose_helpers
+
+TEST(Multipose, SkeletonIsATreeOverAllParts)
+{
+    const auto &edges = poseSkeleton();
+    EXPECT_EQ(edges.size(), 16u); // 17 nodes, 16 edges
+    std::vector<int> seen(kPoseParts, 0);
+    seen[0] = 1; // root
+    for (const auto &e : edges) {
+        EXPECT_GE(e.parent, 0);
+        EXPECT_LT(e.child, kPoseParts);
+        EXPECT_TRUE(seen[static_cast<std::size_t>(e.parent)])
+            << "edges must be listed parent-first";
+        seen[static_cast<std::size_t>(e.child)] += 1;
+    }
+    for (int p = 0; p < kPoseParts; ++p)
+        EXPECT_EQ(seen[static_cast<std::size_t>(p)], 1) << p;
+}
+
+TEST(Multipose, FindLocalMaximaPicksPeaks)
+{
+    tensor::Tensor heat(tensor::Shape::nhwc(8, 8, kPoseParts),
+                        tensor::DType::Float32);
+    auto d = heat.data<float>();
+    auto at = [&](std::int64_t y, std::int64_t x, int p) -> float & {
+        return d[static_cast<std::size_t>((y * 8 + x) * kPoseParts + p)];
+    };
+    at(2, 2, 0) = 0.9f;
+    at(2, 3, 0) = 0.5f; // shoulder of the peak, not a max
+    at(6, 6, 0) = 0.7f;
+    at(4, 4, 3) = 0.8f;
+    const auto maxima = findLocalMaxima(heat, 0.4f, 1);
+    ASSERT_EQ(maxima.size(), 3u);
+    EXPECT_FLOAT_EQ(maxima[0].score, 0.9f);
+    EXPECT_EQ(maxima[0].part, 0);
+    EXPECT_EQ(maxima[0].y, 2);
+    EXPECT_EQ(maxima[0].x, 2);
+    EXPECT_FLOAT_EQ(maxima[1].score, 0.8f);
+    EXPECT_EQ(maxima[1].part, 3);
+}
+
+TEST(Multipose, ThresholdFiltersWeakPeaks)
+{
+    tensor::Tensor heat(tensor::Shape::nhwc(4, 4, kPoseParts),
+                        tensor::DType::Float32);
+    heat.data<float>()[0] = 0.3f;
+    EXPECT_TRUE(findLocalMaxima(heat, 0.5f, 1).empty());
+    EXPECT_EQ(findLocalMaxima(heat, 0.2f, 1).size(), 1u);
+}
+
+TEST(Multipose, DecodesTwoSeparatePeople)
+{
+    using multipose_helpers::paintPerson;
+    const auto shape_h = tensor::Shape::nhwc(17, 24, kPoseParts);
+    tensor::Tensor heat(shape_h, tensor::DType::Float32);
+    tensor::Tensor offs(tensor::Shape::nhwc(17, 24, 2 * kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor fwd(tensor::Shape::nhwc(17, 24, 32),
+                       tensor::DType::Float32);
+    tensor::Tensor bwd(tensor::Shape::nhwc(17, 24, 32),
+                       tensor::DType::Float32);
+    paintPerson(heat, offs, fwd, bwd, 4, 0.9f);
+    paintPerson(heat, offs, fwd, bwd, 18, 0.8f);
+
+    const auto poses =
+        decodeMultiplePoses(heat, offs, fwd, bwd, 16, 5, 0.3f, 20.0f);
+    ASSERT_EQ(poses.size(), 2u);
+    EXPECT_GT(poses[0].score, poses[1].score);
+    // First person around column 4*16, second around 18*16.
+    EXPECT_NEAR(poses[0].keypoints[0].x, 4 * 16.0f, 1.0f);
+    EXPECT_NEAR(poses[1].keypoints[0].x, 18 * 16.0f, 1.0f);
+    // Every part decoded at its painted row.
+    for (int p = 0; p < kPoseParts; ++p) {
+        EXPECT_NEAR(poses[0].keypoints[static_cast<std::size_t>(p)].y,
+                    p * 16.0f, 1.0f)
+            << p;
+    }
+}
+
+TEST(Multipose, NmsSuppressesDuplicateRoots)
+{
+    using multipose_helpers::paintPerson;
+    tensor::Tensor heat(tensor::Shape::nhwc(17, 24, kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor offs(tensor::Shape::nhwc(17, 24, 2 * kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor fwd(tensor::Shape::nhwc(17, 24, 32),
+                       tensor::DType::Float32);
+    tensor::Tensor bwd(tensor::Shape::nhwc(17, 24, 32),
+                       tensor::DType::Float32);
+    paintPerson(heat, offs, fwd, bwd, 10, 0.9f);
+    // One person produces 17 strong candidates (one per part), but
+    // they all map onto the same decoded skeleton.
+    const auto poses =
+        decodeMultiplePoses(heat, offs, fwd, bwd, 16, 5, 0.3f, 20.0f);
+    EXPECT_EQ(poses.size(), 1u);
+}
+
+TEST(Multipose, MaxPosesCapsOutput)
+{
+    using multipose_helpers::paintPerson;
+    tensor::Tensor heat(tensor::Shape::nhwc(17, 40, kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor offs(tensor::Shape::nhwc(17, 40, 2 * kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor fwd(tensor::Shape::nhwc(17, 40, 32),
+                       tensor::DType::Float32);
+    tensor::Tensor bwd(tensor::Shape::nhwc(17, 40, 32),
+                       tensor::DType::Float32);
+    paintPerson(heat, offs, fwd, bwd, 2, 0.9f);
+    paintPerson(heat, offs, fwd, bwd, 16, 0.8f);
+    paintPerson(heat, offs, fwd, bwd, 30, 0.7f);
+    const auto poses =
+        decodeMultiplePoses(heat, offs, fwd, bwd, 16, 2, 0.3f, 20.0f);
+    EXPECT_EQ(poses.size(), 2u);
+    EXPECT_NEAR(poses[0].keypoints[0].x, 2 * 16.0f, 1.0f);
+    EXPECT_NEAR(poses[1].keypoints[0].x, 16 * 16.0f, 1.0f);
+}
+
+TEST(Multipose, CostScalesWithGridAndPoses)
+{
+    EXPECT_GT(decodeMultiplePosesCost(28, 28, 5).flops,
+              decodeMultiplePosesCost(14, 14, 5).flops);
+    EXPECT_GT(decodeMultiplePosesCost(14, 14, 10).flops,
+              decodeMultiplePosesCost(14, 14, 1).flops);
+}
+
+// --- tokenizer -----------------------------------------------------------
+
+TEST(Tokenizer, WrapsWithClsAndSep)
+{
+    WordpieceTokenizer tok;
+    const auto ids = tok.tokenize("the", 8);
+    ASSERT_EQ(ids.size(), 8u);
+    EXPECT_EQ(ids[0], tok.clsId());
+    EXPECT_EQ(tok.tokenText(ids[1]), "the");
+    EXPECT_EQ(ids[2], tok.sepId());
+    for (std::size_t i = 3; i < 8; ++i)
+        EXPECT_EQ(ids[i], tok.padId());
+}
+
+TEST(Tokenizer, LowercasesInput)
+{
+    WordpieceTokenizer tok;
+    const auto ids = tok.tokenize("THE", 8);
+    EXPECT_EQ(tok.tokenText(ids[1]), "the");
+}
+
+TEST(Tokenizer, SplitsUnknownWordIntoPieces)
+{
+    WordpieceTokenizer tok;
+    // "work" is in vocab; "working" should split "work" + "##ing".
+    const auto ids = tok.tokenize("working", 8);
+    EXPECT_EQ(tok.tokenText(ids[1]), "work");
+    EXPECT_EQ(tok.tokenText(ids[2]), "##ing");
+}
+
+TEST(Tokenizer, PunctuationSeparates)
+{
+    WordpieceTokenizer tok;
+    const auto ids = tok.tokenize("the.", 8);
+    EXPECT_EQ(tok.tokenText(ids[1]), "the");
+    EXPECT_EQ(tok.tokenText(ids[2]), ".");
+}
+
+TEST(Tokenizer, TruncatesAtMaxLen)
+{
+    WordpieceTokenizer tok;
+    const auto ids =
+        tok.tokenize("the the the the the the the the the the", 6);
+    EXPECT_EQ(ids.size(), 6u);
+    EXPECT_EQ(ids.back(), tok.sepId());
+}
+
+TEST(Tokenizer, CustomVocabulary)
+{
+    WordpieceTokenizer tok(
+        {"[PAD]", "[UNK]", "[CLS]", "[SEP]", "hello"});
+    const auto ids = tok.tokenize("hello stranger", 6);
+    EXPECT_EQ(tok.tokenText(ids[1]), "hello");
+    EXPECT_EQ(ids[2], tok.unkId());
+}
+
+TEST(Tokenizer, CostGrowsWithText)
+{
+    EXPECT_GT(WordpieceTokenizer::tokenizeCost(1'000).flops,
+              WordpieceTokenizer::tokenizeCost(10).flops);
+}
+
+// --- logits ----------------------------------------------------------
+
+TEST(Logits, SoftmaxSumsToOne)
+{
+    const std::vector<float> in = {1.0f, 2.0f, 3.0f};
+    const auto out = softmax(std::span<const float>(in));
+    double sum = 0.0;
+    for (float v : out)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    EXPECT_GT(out[2], out[1]);
+    EXPECT_GT(out[1], out[0]);
+}
+
+TEST(Logits, SoftmaxHandlesLargeValues)
+{
+    const std::vector<float> in = {1000.0f, 1001.0f};
+    const auto out = softmax(std::span<const float>(in));
+    EXPECT_FALSE(std::isnan(out[0]));
+    EXPECT_NEAR(out[0] + out[1], 1.0, 1e-6);
+}
+
+TEST(Logits, BestSpanPicksArgmaxPair)
+{
+    std::vector<float> start(10, 0.0f);
+    std::vector<float> end(10, 0.0f);
+    start[3] = 5.0f;
+    end[6] = 4.0f;
+    const auto span = bestSpan(start, end, 8);
+    EXPECT_EQ(span.start, 3);
+    EXPECT_EQ(span.end, 6);
+    EXPECT_FLOAT_EQ(span.score, 9.0f);
+}
+
+TEST(Logits, BestSpanRespectsMaxSpan)
+{
+    std::vector<float> start(10, 0.0f);
+    std::vector<float> end(10, 0.0f);
+    start[0] = 5.0f;
+    end[9] = 5.0f; // would be best but is 10 tokens away
+    end[2] = 1.0f;
+    const auto span = bestSpan(start, end, 4);
+    EXPECT_EQ(span.start, 0);
+    EXPECT_EQ(span.end, 2);
+}
+
+TEST(Logits, BestSpanStartBeforeEnd)
+{
+    std::vector<float> start(5, 0.0f);
+    std::vector<float> end(5, 0.0f);
+    start[4] = 9.0f;
+    end[0] = 9.0f;
+    const auto span = bestSpan(start, end, 5);
+    EXPECT_LE(span.start, span.end);
+}
+
+} // namespace
+} // namespace aitax::postproc

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "sim/work.h"
+
+namespace aitax::sim {
+namespace {
+
+// --- time ------------------------------------------------------------
+
+TEST(Time, Conversions)
+{
+    EXPECT_EQ(msToNs(1.0), 1'000'000);
+    EXPECT_EQ(usToNs(1.0), 1'000);
+    EXPECT_EQ(secToNs(1.0), 1'000'000'000);
+    EXPECT_DOUBLE_EQ(nsToMs(2'500'000), 2.5);
+    EXPECT_DOUBLE_EQ(nsToUs(1'500), 1.5);
+}
+
+TEST(Time, FormatPicksUnit)
+{
+    EXPECT_EQ(formatDuration(500), "500 ns");
+    EXPECT_EQ(formatDuration(1'500), "1.500 us");
+    EXPECT_EQ(formatDuration(2'340'000), "2.340 ms");
+    EXPECT_EQ(formatDuration(3'000'000'000), "3.000 s");
+}
+
+TEST(Time, FormatNegative)
+{
+    EXPECT_EQ(formatDuration(-2'000'000), "-2.000 ms");
+}
+
+// --- RandomStream ----------------------------------------------------
+
+TEST(RandomStream, DeterministicForSameSeed)
+{
+    RandomStream a(42, "s");
+    RandomStream b(42, "s");
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(RandomStream, DifferentStreamNamesDiffer)
+{
+    RandomStream a(42, "alpha");
+    RandomStream b(42, "beta");
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.nextU64() == b.nextU64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RandomStream, DoubleInUnitInterval)
+{
+    RandomStream r(7);
+    for (int i = 0; i < 10'000; ++i) {
+        const double x = r.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(RandomStream, UniformRespectsBounds)
+{
+    RandomStream r(7);
+    for (int i = 0; i < 1'000; ++i) {
+        const double x = r.uniform(-3.0, 5.0);
+        EXPECT_GE(x, -3.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(RandomStream, UniformIntInclusive)
+{
+    RandomStream r(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10'000; ++i) {
+        const auto x = r.uniformInt(2, 5);
+        EXPECT_GE(x, 2);
+        EXPECT_LE(x, 5);
+        saw_lo |= (x == 2);
+        saw_hi |= (x == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomStream, GaussianMoments)
+{
+    RandomStream r(13);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.gaussian();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RandomStream, LognormalMedianNearOne)
+{
+    RandomStream r(17);
+    std::vector<double> xs;
+    for (int i = 0; i < 10'001; ++i)
+        xs.push_back(r.lognormalFactor(0.3));
+    std::sort(xs.begin(), xs.end());
+    EXPECT_NEAR(xs[xs.size() / 2], 1.0, 0.05);
+    for (double x : xs)
+        EXPECT_GT(x, 0.0);
+}
+
+TEST(RandomStream, LognormalZeroSigmaIsExactlyOne)
+{
+    RandomStream r(17);
+    EXPECT_DOUBLE_EQ(r.lognormalFactor(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(r.lognormalFactor(-1.0), 1.0);
+}
+
+TEST(RandomStream, BernoulliFrequency)
+{
+    RandomStream r(19);
+    int hits = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(RandomStream, ExponentialMean)
+{
+    RandomStream r(23);
+    double sum = 0.0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RandomStream, ForkIsDeterministicAndIndependent)
+{
+    RandomStream a(31);
+    RandomStream b(31);
+    RandomStream fa = a.fork("child");
+    RandomStream fb = b.fork("child");
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(fa.nextU64(), fb.nextU64());
+}
+
+// --- Work ------------------------------------------------------------
+
+TEST(Work, Arithmetic)
+{
+    Work a{10.0, 20.0};
+    Work b{1.0, 2.0};
+    Work c = a + b;
+    EXPECT_DOUBLE_EQ(c.flops, 11.0);
+    EXPECT_DOUBLE_EQ(c.bytes, 22.0);
+    Work d = b * 3.0;
+    EXPECT_DOUBLE_EQ(d.flops, 3.0);
+    EXPECT_DOUBLE_EQ(d.bytes, 6.0);
+}
+
+// --- EventQueue ------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesAreFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(100, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(10, [&] { fired = true; });
+    q.schedule(20, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.size(), 1u);
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.cancel(9999);
+    q.cancel(0);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.nextTime(), 20);
+}
+
+TEST(EventQueue, ScheduleDuringRun)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(15, [&] { order.push_back(2); });
+    });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RandomizedOrderingProperty)
+{
+    RandomStream rng(99);
+    EventQueue q;
+    std::vector<TimeNs> fired;
+    for (int i = 0; i < 500; ++i) {
+        const TimeNs when = rng.uniformInt(0, 1000);
+        q.schedule(when, [&fired, when] { fired.push_back(when); });
+    }
+    while (!q.empty())
+        q.popAndRun();
+    ASSERT_EQ(fired.size(), 500u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(EventQueue, RandomCancellationsNeverFire)
+{
+    RandomStream rng(7);
+    EventQueue q;
+    int fired = 0;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i)
+        ids.push_back(
+            q.schedule(rng.uniformInt(0, 100), [&] { ++fired; }));
+    int cancelled = 0;
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+        q.cancel(ids[i]);
+        ++cancelled;
+    }
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(fired, 200 - cancelled);
+}
+
+// --- Simulator -------------------------------------------------------
+
+TEST(Simulator, ClockAdvances)
+{
+    Simulator sim;
+    TimeNs seen = -1;
+    sim.scheduleIn(100, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 100);
+    EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, NowIsEventTimestampInsideCallback)
+{
+    // Regression test: the clock must be advanced before the event
+    // body runs, or every callback observes the previous event's time.
+    Simulator sim;
+    std::vector<TimeNs> seen;
+    sim.scheduleIn(10, [&] { seen.push_back(sim.now()); });
+    sim.scheduleIn(25, [&] { seen.push_back(sim.now()); });
+    sim.run();
+    EXPECT_EQ(seen, (std::vector<TimeNs>{10, 25}));
+}
+
+TEST(Simulator, RelativeSchedulingChains)
+{
+    Simulator sim;
+    TimeNs done = 0;
+    sim.scheduleIn(10, [&] {
+        sim.scheduleIn(5, [&] { done = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(done, 15);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow)
+{
+    Simulator sim;
+    TimeNs seen = -1;
+    sim.scheduleIn(10, [&] {
+        sim.scheduleIn(-50, [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, 10);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int fired = 0;
+    for (TimeNs t : {10, 20, 30, 40})
+        sim.scheduleAt(t, [&] { ++fired; });
+    sim.runUntil(25);
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(sim.idle());
+    sim.run();
+    EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulator, RunUntilConditionStops)
+{
+    Simulator sim;
+    int fired = 0;
+    for (TimeNs t : {10, 20, 30, 40})
+        sim.scheduleAt(t, [&] { ++fired; });
+    sim.runUntilCondition([&] { return fired >= 3; });
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, CancelledEventDoesNotFire)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.scheduleIn(10, [&] { fired = true; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EventCountTracks)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.scheduleIn(i, [] {});
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 7u);
+}
+
+} // namespace
+} // namespace aitax::sim

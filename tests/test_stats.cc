@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the statistics module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/accumulator.h"
+#include "stats/distribution.h"
+#include "stats/table.h"
+
+namespace aitax::stats {
+namespace {
+
+// --- Accumulator -----------------------------------------------------
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 4.0); // population
+    EXPECT_NEAR(a.sampleVariance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.add(3.5);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombined)
+{
+    Accumulator all;
+    Accumulator a;
+    Accumulator b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0 + i * 0.1;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a;
+    a.add(1.0);
+    a.add(3.0);
+    Accumulator empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    Accumulator c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Accumulator, CoefficientOfVariation)
+{
+    Accumulator a;
+    for (double x : {9.0, 10.0, 11.0})
+        a.add(x);
+    EXPECT_NEAR(a.cv(), 1.0 / 10.0, 1e-12);
+}
+
+TEST(Accumulator, Reset)
+{
+    Accumulator a;
+    a.add(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    a.add(2.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+// --- Distribution ----------------------------------------------------
+
+TEST(Distribution, PercentilesOnKnownData)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100.0), 100.0);
+    EXPECT_NEAR(d.median(), 50.5, 1e-9);
+    EXPECT_NEAR(d.percentile(25.0), 25.75, 1e-9);
+    EXPECT_NEAR(d.p95(), 95.05, 1e-9);
+}
+
+TEST(Distribution, SingleSamplePercentiles)
+{
+    Distribution d;
+    d.add(7.0);
+    EXPECT_DOUBLE_EQ(d.median(), 7.0);
+    EXPECT_DOUBLE_EQ(d.p99(), 7.0);
+}
+
+TEST(Distribution, EmptyIsSafe)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.median(), 0.0);
+    EXPECT_DOUBLE_EQ(d.mad(), 0.0);
+    EXPECT_DOUBLE_EQ(d.maxDeviationFromMedianPct(), 0.0);
+    EXPECT_TRUE(d.histogram(4).empty());
+}
+
+TEST(Distribution, MedianAbsoluteDeviation)
+{
+    Distribution d;
+    for (double x : {1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0})
+        d.add(x);
+    // median = 2, |x - 2| = {1,1,0,0,2,4,7}, median of that = 1.
+    EXPECT_DOUBLE_EQ(d.mad(), 1.0);
+}
+
+TEST(Distribution, MaxDeviationFromMedian)
+{
+    Distribution d;
+    for (double x : {10.0, 10.0, 10.0, 13.0})
+        d.add(x);
+    // median 10, worst |13-10|/10 = 30%.
+    EXPECT_NEAR(d.maxDeviationFromMedianPct(), 30.0, 1e-9);
+}
+
+TEST(Distribution, HistogramCountsAllSamples)
+{
+    Distribution d;
+    for (int i = 0; i < 100; ++i)
+        d.add(static_cast<double>(i % 10));
+    const auto bins = d.histogram(5);
+    ASSERT_EQ(bins.size(), 5u);
+    std::size_t total = 0;
+    for (const auto &b : bins) {
+        EXPECT_LT(b.lo, b.hi);
+        total += b.count;
+    }
+    EXPECT_EQ(total, 100u);
+}
+
+TEST(Distribution, HistogramDegenerateRange)
+{
+    Distribution d;
+    d.add(5.0);
+    d.add(5.0);
+    const auto bins = d.histogram(3);
+    ASSERT_EQ(bins.size(), 3u);
+    std::size_t total = 0;
+    for (const auto &b : bins)
+        total += b.count;
+    EXPECT_EQ(total, 2u);
+}
+
+TEST(Distribution, MeanConfidenceInterval)
+{
+    Distribution d;
+    for (int i = 0; i < 100; ++i)
+        d.add(10.0 + (i % 2 ? 1.0 : -1.0)); // mean 10, s ~= 1.005
+    const double ci = d.meanConfidence95();
+    EXPECT_NEAR(ci, 1.96 * d.stddev() / 10.0, 1e-12);
+    EXPECT_GT(ci, 0.15);
+    EXPECT_LT(ci, 0.25);
+    Distribution single;
+    single.add(5.0);
+    EXPECT_DOUBLE_EQ(single.meanConfidence95(), 0.0);
+}
+
+TEST(Distribution, ConfidenceShrinksWithSamples)
+{
+    Distribution small;
+    Distribution large;
+    for (int i = 0; i < 10; ++i)
+        small.add(i % 3);
+    for (int i = 0; i < 1000; ++i)
+        large.add(i % 3);
+    EXPECT_LT(large.meanConfidence95(), small.meanConfidence95());
+}
+
+TEST(Distribution, IqrAndCv)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.add(static_cast<double>(i));
+    EXPECT_NEAR(d.iqr(), 49.5, 1e-9);
+    EXPECT_GT(d.cv(), 0.0);
+}
+
+TEST(Distribution, AddAfterQueryInvalidatesCache)
+{
+    Distribution d;
+    d.add(1.0);
+    d.add(3.0);
+    EXPECT_DOUBLE_EQ(d.median(), 2.0);
+    d.add(100.0);
+    EXPECT_DOUBLE_EQ(d.median(), 3.0);
+}
+
+TEST(Distribution, SummaryMentionsCount)
+{
+    Distribution d;
+    d.add(1.0);
+    d.add(2.0);
+    EXPECT_NE(d.summary().find("n=2"), std::string::npos);
+}
+
+// --- Table -----------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.render(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
+    EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t({"a", "b"});
+    t.addRow({"plain", "has,comma"});
+    t.addRow({"has\"quote", "x"});
+    std::ostringstream os;
+    t.renderCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndColumns)
+{
+    Table t({"x", "y", "z"});
+    EXPECT_EQ(t.columns(), 3u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+} // namespace
+} // namespace aitax::stats

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for tensors, shapes and quantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/quantization.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace aitax::tensor {
+namespace {
+
+// --- DType -----------------------------------------------------------
+
+TEST(DType, Sizes)
+{
+    EXPECT_EQ(dtypeSize(DType::Float32), 4u);
+    EXPECT_EQ(dtypeSize(DType::Float16), 2u);
+    EXPECT_EQ(dtypeSize(DType::Int8), 1u);
+    EXPECT_EQ(dtypeSize(DType::UInt8), 1u);
+    EXPECT_EQ(dtypeSize(DType::Int32), 4u);
+    EXPECT_EQ(dtypeSize(DType::Int64), 8u);
+}
+
+TEST(DType, Predicates)
+{
+    EXPECT_TRUE(isQuantized(DType::Int8));
+    EXPECT_TRUE(isQuantized(DType::UInt8));
+    EXPECT_FALSE(isQuantized(DType::Float32));
+    EXPECT_TRUE(isFloat(DType::Float32));
+    EXPECT_TRUE(isFloat(DType::Float16));
+    EXPECT_FALSE(isFloat(DType::Int32));
+}
+
+TEST(DType, Names)
+{
+    EXPECT_EQ(dtypeName(DType::Float32), "fp32");
+    EXPECT_EQ(dtypeName(DType::UInt8), "uint8");
+}
+
+// --- Shape -----------------------------------------------------------
+
+TEST(Shape, ElementCount)
+{
+    EXPECT_EQ(Shape({2, 3, 4}).elementCount(), 24);
+    EXPECT_EQ(Shape{}.elementCount(), 1); // scalar
+    EXPECT_EQ(Shape({5}).elementCount(), 5);
+}
+
+TEST(Shape, NhwcAccessors)
+{
+    const Shape s = Shape::nhwc(224, 112, 3);
+    EXPECT_EQ(s.rank(), 4u);
+    EXPECT_EQ(s.batch(), 1);
+    EXPECT_EQ(s.height(), 224);
+    EXPECT_EQ(s.width(), 112);
+    EXPECT_EQ(s.channels(), 3);
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+    EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ(Shape({1, 224, 224, 3}).toString(), "[1x224x224x3]");
+    EXPECT_EQ(Shape{}.toString(), "[]");
+}
+
+// --- Quantization ----------------------------------------------------
+
+TEST(Quantization, ScalarRoundTrip)
+{
+    const QuantParams qp{1.0 / 128.0, 128};
+    for (float v : {-0.99f, -0.5f, 0.0f, 0.25f, 0.99f}) {
+        const auto q = quantizeU8(v, qp);
+        EXPECT_NEAR(dequantizeU8(q, qp), v, qp.scale / 2 + 1e-6);
+    }
+}
+
+TEST(Quantization, Saturates)
+{
+    const QuantParams qp{1.0 / 128.0, 128};
+    EXPECT_EQ(quantizeU8(100.0f, qp), 255);
+    EXPECT_EQ(quantizeU8(-100.0f, qp), 0);
+    EXPECT_EQ(quantizeS8(100.0f, qp), 127);
+}
+
+TEST(Quantization, ZeroIsExactAtZeroPoint)
+{
+    const QuantParams qp{0.05, 17};
+    EXPECT_EQ(quantizeU8(0.0f, qp), 17);
+    EXPECT_FLOAT_EQ(dequantizeU8(17, qp), 0.0f);
+}
+
+TEST(Quantization, ChooseParamsCoversRange)
+{
+    const QuantParams qp = chooseQuantParams(-1.0f, 1.0f);
+    EXPECT_NEAR(qp.scale, 2.0 / 255.0, 1e-9);
+    // -1 should land near 0, +1 near 255.
+    EXPECT_LE(quantizeU8(-1.0f, qp), 1);
+    EXPECT_GE(quantizeU8(1.0f, qp), 254);
+}
+
+TEST(Quantization, ChooseParamsWidensToIncludeZero)
+{
+    const QuantParams qp = chooseQuantParams(0.5f, 2.0f);
+    // Range must include 0, so dequantized 0-code is <= 0.
+    EXPECT_LE(dequantizeU8(0, qp), 0.0f + 1e-6);
+}
+
+TEST(Quantization, ChooseParamsDegenerate)
+{
+    const QuantParams qp = chooseQuantParams(0.0f, 0.0f);
+    EXPECT_GT(qp.scale, 0.0);
+}
+
+TEST(Quantization, BufferRoundTrip)
+{
+    const QuantParams qp = chooseQuantParams(-2.0f, 2.0f);
+    std::vector<float> in = {-1.9f, -0.3f, 0.0f, 0.7f, 1.9f};
+    std::vector<std::uint8_t> q(in.size());
+    std::vector<float> out(in.size());
+    quantizeBuffer(in, qp, q);
+    dequantizeBuffer(q, qp, out);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_NEAR(out[i], in[i], qp.scale);
+}
+
+/** Quantization error must be bounded by scale/2 across the range. */
+class QuantSweep : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(QuantSweep, ErrorBounded)
+{
+    const QuantParams qp = chooseQuantParams(-4.0f, 4.0f);
+    const float v = GetParam();
+    const float rt = dequantizeU8(quantizeU8(v, qp), qp);
+    EXPECT_NEAR(rt, v, qp.scale / 2 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, QuantSweep,
+                         ::testing::Values(-3.9f, -2.5f, -1.0f, -0.1f,
+                                           0.0f, 0.1f, 0.5f, 1.5f, 2.7f,
+                                           3.9f));
+
+// --- Tensor ----------------------------------------------------------
+
+TEST(Tensor, AllocatesZeroed)
+{
+    Tensor t(Shape({2, 3}), DType::Float32);
+    EXPECT_EQ(t.byteSize(), 24u);
+    for (float v : t.data<float>())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FillFloat)
+{
+    Tensor t(Shape({4}), DType::Float32);
+    t.fillFloat(2.5f);
+    for (float v : t.data<float>())
+        EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, RealAtFloat)
+{
+    Tensor t(Shape({3}), DType::Float32);
+    t.data<float>()[1] = 7.0f;
+    EXPECT_FLOAT_EQ(t.realAt(1), 7.0f);
+}
+
+TEST(Tensor, RealAtQuantized)
+{
+    const QuantParams qp{0.5, 10};
+    Tensor t(Shape({3}), DType::UInt8, qp);
+    t.data<std::uint8_t>()[2] = 14; // (14 - 10) * 0.5 = 2.0
+    EXPECT_FLOAT_EQ(t.realAt(2), 2.0f);
+}
+
+TEST(Tensor, QuantParamsStored)
+{
+    const QuantParams qp{0.25, 3};
+    Tensor t(Shape({1}), DType::Int8, qp);
+    EXPECT_EQ(t.quantParams(), qp);
+}
+
+TEST(Tensor, ElementCountMatchesShape)
+{
+    Tensor t(Shape::nhwc(8, 8, 3), DType::UInt8);
+    EXPECT_EQ(t.elementCount(), 192);
+    EXPECT_EQ(t.byteSize(), 192u);
+}
+
+} // namespace
+} // namespace aitax::tensor

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the execution tracer and timeline renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/chrome_trace.h"
+#include "trace/render.h"
+#include "trace/tracer.h"
+
+namespace aitax::trace {
+namespace {
+
+TEST(Tracer, RecordsIntervals)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "task", 100, 200);
+    t.recordInterval("cpu0", "task2", 300, 400);
+    t.recordInterval("cpu1", "other", 0, 50);
+    EXPECT_EQ(t.intervals("cpu0").size(), 2u);
+    EXPECT_EQ(t.intervals("cpu1").size(), 1u);
+    EXPECT_TRUE(t.intervals("gpu").empty());
+}
+
+TEST(Tracer, DropsEmptyIntervals)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "x", 100, 100);
+    t.recordInterval("cpu0", "y", 100, 90);
+    EXPECT_TRUE(t.intervals("cpu0").empty());
+}
+
+TEST(Tracer, DisabledCollectsNothing)
+{
+    Tracer t;
+    t.setEnabled(false);
+    t.recordInterval("cpu0", "x", 0, 10);
+    t.recordEvent("migration", "x", 5);
+    t.recordCounter("axi_bytes", 5, 100.0);
+    EXPECT_TRUE(t.intervals("cpu0").empty());
+    EXPECT_TRUE(t.events().empty());
+    EXPECT_TRUE(t.counter("axi_bytes").empty());
+}
+
+TEST(Tracer, TrackNamesSorted)
+{
+    Tracer t;
+    t.recordInterval("zeta", "x", 0, 1);
+    t.recordInterval("alpha", "x", 0, 1);
+    const auto names = t.trackNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(Tracer, CountEvents)
+{
+    Tracer t;
+    t.recordEvent("migration", "a", 1);
+    t.recordEvent("migration", "b", 2);
+    t.recordEvent("context_switch", "c", 3);
+    EXPECT_EQ(t.countEvents("migration"), 2);
+    EXPECT_EQ(t.countEvents("context_switch"), 1);
+    EXPECT_EQ(t.countEvents("nothing"), 0);
+}
+
+TEST(Tracer, UtilizationFullyBusy)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "x", 0, 1000);
+    const auto u = t.utilization("cpu0", 0, 1000, 4);
+    ASSERT_EQ(u.size(), 4u);
+    for (double v : u)
+        EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(Tracer, UtilizationHalfBusy)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "x", 0, 500);
+    const auto u = t.utilization("cpu0", 0, 1000, 2);
+    EXPECT_NEAR(u[0], 1.0, 1e-9);
+    EXPECT_NEAR(u[1], 0.0, 1e-9);
+}
+
+TEST(Tracer, UtilizationPartialBucketOverlap)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "x", 250, 750);
+    const auto u = t.utilization("cpu0", 0, 1000, 2);
+    EXPECT_NEAR(u[0], 0.5, 1e-9);
+    EXPECT_NEAR(u[1], 0.5, 1e-9);
+}
+
+TEST(Tracer, UtilizationClampsOverlappingIntervals)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "a", 0, 1000);
+    t.recordInterval("cpu0", "b", 0, 1000);
+    const auto u = t.utilization("cpu0", 0, 1000, 2);
+    for (double v : u)
+        EXPECT_LE(v, 1.0);
+}
+
+TEST(Tracer, CounterRateBuckets)
+{
+    Tracer t;
+    t.recordCounter("axi_bytes", 100, 10.0);
+    t.recordCounter("axi_bytes", 150, 5.0);
+    t.recordCounter("axi_bytes", 900, 7.0);
+    const auto r = t.counterRate("axi_bytes", 0, 1000, 2);
+    EXPECT_DOUBLE_EQ(r[0], 15.0);
+    EXPECT_DOUBLE_EQ(r[1], 7.0);
+}
+
+TEST(Tracer, CounterIgnoresOutOfWindow)
+{
+    Tracer t;
+    t.recordCounter("axi_bytes", 2000, 99.0);
+    const auto r = t.counterRate("axi_bytes", 0, 1000, 2);
+    EXPECT_DOUBLE_EQ(r[0] + r[1], 0.0);
+}
+
+TEST(Tracer, ClearResets)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "x", 0, 10);
+    t.recordEvent("migration", "x", 1);
+    t.clear();
+    EXPECT_TRUE(t.intervals("cpu0").empty());
+    EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Render, TimelineShowsTracksAndCounts)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "x", 0, 500'000);
+    t.recordInterval("cDSP", "job", 250'000, 750'000);
+    t.recordEvent("context_switch", "x", 100);
+    t.recordEvent("migration", "x", 200);
+    std::ostringstream os;
+    renderTimeline(os, t, 0, 1'000'000, {.buckets = 10});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cpu0"), std::string::npos);
+    EXPECT_NE(out.find("cDSP"), std::string::npos);
+    EXPECT_NE(out.find("context switches: 1"), std::string::npos);
+    EXPECT_NE(out.find("migrations: 1"), std::string::npos);
+}
+
+TEST(Render, TimelineShowsCounterRow)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "x", 0, 100);
+    t.recordCounter("axi_bytes", 50, 1e6);
+    std::ostringstream os;
+    renderTimeline(os, t, 0, 100, {.buckets = 4});
+    EXPECT_NE(os.str().find("axi_bytes"), std::string::npos);
+}
+
+TEST(Render, OptionsCanSuppressCountersAndEvents)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "x", 0, 100);
+    t.recordCounter("axi_bytes", 50, 1e6);
+    t.recordEvent("migration", "x", 10);
+    std::ostringstream os;
+    RenderOptions opts;
+    opts.buckets = 4;
+    opts.showCounters = false;
+    opts.showEventCounts = false;
+    renderTimeline(os, t, 0, 100, opts);
+    EXPECT_EQ(os.str().find("axi_bytes"), std::string::npos);
+    EXPECT_EQ(os.str().find("migrations"), std::string::npos);
+}
+
+TEST(Render, CsvListsIntervals)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "taskA", 1, 2);
+    std::ostringstream os;
+    renderIntervalsCsv(os, t);
+    EXPECT_NE(os.str().find("cpu0,taskA,1,2"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmitsValidEventArray)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "taskA", 1000, 3000);
+    t.recordEvent("migration", "taskA", 1500);
+    std::ostringstream os;
+    writeChromeTrace(os, t);
+    const std::string out = os.str();
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out[out.size() - 2], ']');
+    EXPECT_NE(out.find("\"name\":\"taskA\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"dur\":2"), std::string::npos); // 2 us
+    EXPECT_NE(out.find("\"migration\""), std::string::npos);
+    EXPECT_NE(out.find("thread_name"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesSpecialCharacters)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "with\"quote", 0, 10);
+    std::ostringstream os;
+    writeChromeTrace(os, t);
+    EXPECT_NE(os.str().find("with\\\"quote"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyTracerProducesEmptyArray)
+{
+    Tracer t;
+    std::ostringstream os;
+    writeChromeTrace(os, t);
+    EXPECT_NE(os.str().find("["), std::string::npos);
+    EXPECT_NE(os.str().find("]"), std::string::npos);
+}
+
+} // namespace
+} // namespace aitax::trace

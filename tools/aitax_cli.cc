@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Command-line experiment driver — the repository's equivalent of the
+ * TFLite benchmark utility, except it measures the *whole* pipeline.
+ *
+ * Usage:
+ *   aitax_cli [options]
+ *     --model <id>           (default mobilenet_v1; "list" to list)
+ *     --dtype fp32|int8      (default fp32)
+ *     --framework cpu|gpu|hexagon|nnapi|snpe   (default cpu)
+ *     --mode cli|bench-app|app                 (default app)
+ *     --soc "<name>"         (default "Snapdragon 845")
+ *     --runs <n>             (default 500)
+ *     --threads <n>          (default 4)
+ *     --seed <n>             (default 7)
+ *     --instrument           enable driver instrumentation
+ *     --pre-on-dsp           offload pre-processing to the DSP
+ *     --streaming            buffered (streaming) camera capture
+ *     --timeline             print the profiler-style timeline
+ *     --energy               print per-domain energy
+ *     --chrome-trace <file>  write a chrome://tracing JSON capture
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "app/pipeline.h"
+#include "soc/chipsets.h"
+#include <fstream>
+
+#include "trace/chrome_trace.h"
+#include "trace/render.h"
+
+namespace {
+
+using namespace aitax;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--model ID] [--dtype fp32|int8] "
+                 "[--framework cpu|gpu|hexagon|nnapi|snpe] "
+                 "[--mode cli|bench-app|app] [--soc NAME] [--runs N] "
+                 "[--threads N] [--seed N] [--instrument] "
+                 "[--pre-on-dsp] [--streaming] [--timeline] [--energy] [--chrome-trace FILE]\n",
+                 argv0);
+    std::exit(2);
+}
+
+void
+listModels()
+{
+    for (const auto &m : models::allModels())
+        std::printf("%-20s %s (%s)\n", m.id.c_str(),
+                    m.displayName.c_str(),
+                    std::string(models::taskName(m.task)).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model = "mobilenet_v1";
+    std::string dtype = "fp32";
+    std::string framework = "cpu";
+    std::string mode = "app";
+    std::string soc_name = "Snapdragon 845";
+    int runs = 500;
+    int threads = 4;
+    std::uint64_t seed = 7;
+    bool instrument = false;
+    bool pre_on_dsp = false;
+    bool streaming = false;
+    bool timeline = false;
+    bool energy = false;
+    std::string chrome_trace_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--model")
+            model = next();
+        else if (arg == "--dtype")
+            dtype = next();
+        else if (arg == "--framework")
+            framework = next();
+        else if (arg == "--mode")
+            mode = next();
+        else if (arg == "--soc")
+            soc_name = next();
+        else if (arg == "--runs")
+            runs = std::atoi(next());
+        else if (arg == "--threads")
+            threads = std::atoi(next());
+        else if (arg == "--seed")
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--instrument")
+            instrument = true;
+        else if (arg == "--pre-on-dsp")
+            pre_on_dsp = true;
+        else if (arg == "--streaming")
+            streaming = true;
+        else if (arg == "--timeline")
+            timeline = true;
+        else if (arg == "--chrome-trace")
+            chrome_trace_path = next();
+        else if (arg == "--energy")
+            energy = true;
+        else
+            usage(argv[0]);
+    }
+
+    if (model == "list") {
+        listModels();
+        return 0;
+    }
+    const auto *info = models::findModel(model);
+    if (info == nullptr) {
+        std::fprintf(stderr, "unknown model '%s'; try --model list\n",
+                     model.c_str());
+        return 2;
+    }
+    if (runs <= 0 || threads <= 0)
+        usage(argv[0]);
+
+    app::PipelineConfig cfg;
+    cfg.model = info;
+    cfg.threads = threads;
+    cfg.instrumentationEnabled = instrument;
+    cfg.preprocessOnDsp = pre_on_dsp;
+    cfg.streamingCapture = streaming;
+
+    if (dtype == "fp32")
+        cfg.dtype = tensor::DType::Float32;
+    else if (dtype == "int8" || dtype == "uint8")
+        cfg.dtype = tensor::DType::UInt8;
+    else
+        usage(argv[0]);
+
+    if (framework == "cpu")
+        cfg.framework = app::FrameworkKind::TfliteCpu;
+    else if (framework == "gpu")
+        cfg.framework = app::FrameworkKind::TfliteGpu;
+    else if (framework == "hexagon")
+        cfg.framework = app::FrameworkKind::TfliteHexagon;
+    else if (framework == "nnapi")
+        cfg.framework = app::FrameworkKind::TfliteNnapi;
+    else if (framework == "snpe")
+        cfg.framework = app::FrameworkKind::SnpeDsp;
+    else
+        usage(argv[0]);
+
+    if (mode == "cli")
+        cfg.mode = app::HarnessMode::CliBenchmark;
+    else if (mode == "bench-app")
+        cfg.mode = app::HarnessMode::BenchmarkApp;
+    else if (mode == "app")
+        cfg.mode = app::HarnessMode::AndroidApp;
+    else
+        usage(argv[0]);
+
+    soc::SocSystem sys(soc::platformByName(soc_name), seed);
+    app::Application application(sys, cfg);
+
+    std::printf("platform: %s (%s), model init %.2f ms, plan: %s\n\n",
+                sys.config().name.c_str(), sys.config().socName.c_str(),
+                sim::nsToMs(application.modelInitNs()),
+                application.engine().plan().summary().c_str());
+
+    core::TaxReport report;
+    sim::TimeNs done = 0;
+    application.scheduleRuns(runs, report,
+                             [&](sim::TimeNs t) { done = t; });
+    sys.run();
+
+    report.render(std::cout);
+
+    if (!application.rpcLog().empty()) {
+        const auto &first = application.rpcLog().front();
+        std::printf("\nDSP offload: %zu FastRPC calls, cold start "
+                    "%.2f ms (session open %.2f ms)\n",
+                    application.rpcLog().size(),
+                    sim::nsToMs(first.totalNs()),
+                    sim::nsToMs(first.sessionOpenNs));
+    }
+
+    if (energy) {
+        std::printf("\nenergy: total %.2f mJ (%.3f mJ/inference)\n",
+                    sys.energy().totalMj(),
+                    sys.energy().totalMj() / runs);
+        for (auto d : soc::kAllPowerDomains) {
+            std::printf("  %-10s %.2f mJ\n",
+                        std::string(soc::powerDomainName(d)).c_str(),
+                        sys.energy().domainMj(d));
+        }
+    }
+
+    if (!chrome_trace_path.empty()) {
+        std::ofstream out(chrome_trace_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         chrome_trace_path.c_str());
+            return 1;
+        }
+        trace::writeChromeTrace(out, sys.tracer());
+        std::printf("\nwrote chrome trace to %s\n",
+                    chrome_trace_path.c_str());
+    }
+
+    if (timeline && done > 0) {
+        std::printf("\n");
+        trace::RenderOptions opts;
+        opts.buckets = 72;
+        trace::renderTimeline(std::cout, sys.tracer(), 0, done, opts);
+    }
+    return 0;
+}
