@@ -118,7 +118,8 @@ std::string
 serializeGraph(const Graph &g)
 {
     std::ostringstream os;
-    os << "graph " << g.name() << " dtype=" << tensor::dtypeName(g.dtype())
+    os << "graph " << g.name() << " v=" << kGraphFormatVersion
+       << " dtype=" << tensor::dtypeName(g.dtype())
        << " input=" << shapeToken(g.inputShape()) << "\n";
     for (const auto &op : g.ops()) {
         assert(op.name.find(' ') == std::string::npos);
@@ -185,7 +186,21 @@ parseGraph(const std::string &text, Graph &out, std::string &error)
                 std::string value;
                 if (!splitKv(tokens[i], key, value))
                     return fail("bad token '" + tokens[i] + "'");
-                if (key == "dtype") {
+                if (key == "v") {
+                    if (value.empty())
+                        return fail("bad version ''");
+                    int version = 0;
+                    for (char c : value) {
+                        if (c < '0' || c > '9' || version > 1000)
+                            return fail("bad version '" + value + "'");
+                        version = version * 10 + (c - '0');
+                    }
+                    if (version < 1 || version > kGraphFormatVersion)
+                        return fail(
+                            "unsupported format version " + value +
+                            " (this reader supports <= " +
+                            std::to_string(kGraphFormatVersion) + ")");
+                } else if (key == "dtype") {
                     const auto it = dtypes.find(value);
                     if (it == dtypes.end())
                         return fail("unknown dtype '" + value + "'");

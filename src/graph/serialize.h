@@ -5,11 +5,16 @@
  * A line-oriented, diff-friendly format so zoo models can be dumped,
  * inspected and reloaded without rebuilding them from code:
  *
- *   graph mobilenet_v1 dtype=fp32 input=1x224x224x3
+ *   graph mobilenet_v1 v=1 dtype=fp32 input=1x224x224x3
  *   op Conv2D name=stem in=1x224x224x3 out=1x112x112x32 \
  *      k=3x3 s=2 pad=same
  *   ...
  *   end
+ *
+ * The optional `v=` header key carries the format version. Files
+ * without it predate versioning and are read as version 1; files from
+ * a newer writer (v > kGraphFormatVersion) are rejected cleanly
+ * rather than misread.
  */
 
 #ifndef AITAX_GRAPH_SERIALIZE_H
@@ -20,6 +25,9 @@
 #include "graph/graph.h"
 
 namespace aitax::graph {
+
+/** Current text-format version emitted by serializeGraph(). */
+constexpr int kGraphFormatVersion = 1;
 
 /** Render a graph in the text format. */
 std::string serializeGraph(const Graph &g);

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Golden-trace regression harness.
+ *
+ * Serializes the per-stage tax breakdown of a scenario run
+ * (core::TaxReport plus offload/energy witnesses) to a flat JSON
+ * snapshot under tests/golden/. Snapshots are written with full
+ * round-trip precision ("%.17g"), so a record pass on an unchanged
+ * simulator regenerates every file bit-identically; the compare pass
+ * applies per-metric relative tolerances so a legitimate cross-toolchain
+ * wobble passes while a real cost change (>= a few percent) fails.
+ */
+
+#ifndef AITAX_VERIFY_GOLDEN_H
+#define AITAX_VERIFY_GOLDEN_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "verify/scenario.h"
+
+namespace aitax::verify {
+
+/** Flat snapshot: a scenario label plus named scalar metrics. */
+struct GoldenSnapshot
+{
+    std::string scenario;
+    /** std::map: deterministic serialization order. */
+    std::map<std::string, double> metrics;
+};
+
+/** Distill a scenario result into its golden metrics. */
+GoldenSnapshot snapshot(const Scenario &s, const ScenarioResult &result);
+
+/** Serialize; stable key order, round-trip-exact doubles. */
+std::string toJson(const GoldenSnapshot &g);
+
+/**
+ * Parse a snapshot previously produced by toJson.
+ * @return true on success; on failure @p error carries a diagnostic.
+ */
+bool fromJson(const std::string &text, GoldenSnapshot &out,
+              std::string &error);
+
+/** One metric that fell outside tolerance. */
+struct GoldenDiff
+{
+    std::string metric;
+    double expected = 0.0;
+    double actual = 0.0;
+    /** |actual - expected| / max(|expected|, floor). */
+    double relError = 0.0;
+};
+
+/** Comparison tolerances. */
+struct CompareOptions
+{
+    /** Default relative tolerance per metric. */
+    double relTol = 0.02;
+    /** Absolute floor below which differences are ignored. */
+    double absFloor = 1e-6;
+    /** Per-metric overrides (exact metric name -> relative tolerance). */
+    std::map<std::string, double> perMetricTol;
+};
+
+/**
+ * Compare @p actual against @p expected.
+ * Missing or extra metrics are reported as diffs (relError = infinity).
+ */
+std::vector<GoldenDiff> compare(const GoldenSnapshot &expected,
+                                const GoldenSnapshot &actual,
+                                const CompareOptions &opts = {});
+
+/** Golden file name for a scenario (label + ".json"). */
+std::string goldenFileName(const Scenario &s);
+
+/** Write @p g to @p path. @return false on I/O failure. */
+bool writeGoldenFile(const std::string &path, const GoldenSnapshot &g);
+
+/** Read a snapshot from @p path. */
+bool readGoldenFile(const std::string &path, GoldenSnapshot &out,
+                    std::string &error);
+
+/**
+ * The committed golden scenario set: fixed seeds spanning all four
+ * Table II chipsets, eight-plus Table I models, every harness mode and
+ * every framework path (CPU, GPU, Hexagon, NNAPI, SNPE), with and
+ * without background load.
+ */
+const std::vector<Scenario> &goldenScenarios();
+
+} // namespace aitax::verify
+
+#endif // AITAX_VERIFY_GOLDEN_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Metamorphic invariant checks: relations derived from the paper's
+ * figures that must hold for *every* simulated configuration, not just
+ * the ones unit tests pin. Each check returns a CheckResult; the
+ * scenario driver composes them into an InvariantReport with a replay
+ * hint, so a violation found by fuzzing is reproducible from its seed.
+ */
+
+#ifndef AITAX_VERIFY_INVARIANTS_H
+#define AITAX_VERIFY_INVARIANTS_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "verify/scenario.h"
+
+namespace aitax::verify {
+
+/** Outcome of one invariant check. */
+struct CheckResult
+{
+    std::string name;
+    bool passed = true;
+    /** Populated on failure: what was observed vs expected. */
+    std::string detail;
+};
+
+/** Collection of check outcomes for one scenario (or suite). */
+class InvariantReport
+{
+  public:
+    void add(CheckResult r) { results_.push_back(std::move(r)); }
+
+    const std::vector<CheckResult> &results() const { return results_; }
+
+    bool allPassed() const;
+    std::size_t failures() const;
+
+    /** One line per check; failures carry their detail. */
+    void render(std::ostream &os) const;
+
+  private:
+    std::vector<CheckResult> results_;
+};
+
+// --- individual metamorphic invariants (paper-derived rules) -----------
+
+/**
+ * I1 (Fig 3): stage accounting is sane — every stage latency is
+ * non-negative, each run's end-to-end latency equals the sum of its
+ * stages, and end-to-end always dominates inference alone.
+ */
+CheckResult checkStageSanity(const core::TaxReport &r);
+
+/** I2 (Sec IV): AI tax fraction lies in (0, 1) whenever tax exists. */
+CheckResult checkTaxFraction(const core::TaxReport &r);
+
+/**
+ * I3 (Sec IV-A): identical seeds yield bit-identical event traces.
+ * Pass the chrome-trace JSON of two runs of the same scenario.
+ */
+CheckResult checkTraceDeterminism(const std::string &trace_a,
+                                  const std::string &trace_b);
+
+/**
+ * I4 (Fig 9/10): adding background load never reduces mean end-to-end
+ * latency. @p slack_pct tolerates measurement noise on loosely-coupled
+ * resources (a loaded DSP does not slow a CPU-only pipeline).
+ */
+CheckResult checkBackgroundMonotonic(const core::TaxReport &unloaded,
+                                     const core::TaxReport &loaded,
+                                     double slack_pct = 2.0);
+
+/**
+ * I5: thermal throttling never raises frequency — the speed factor is
+ * in (0, 1] and is non-increasing as heat accumulates.
+ */
+CheckResult checkThermalMonotonic(const soc::SocConfig &platform);
+
+/**
+ * I6 (Fig 7/8): FastRPC cost grows linearly in call count — warm-call
+ * overhead is stationary, so the first half of the call log accounts
+ * for ~half the total warm overhead, and only the first call pays the
+ * session open.
+ */
+CheckResult checkFastRpcLinearity(
+    const std::vector<soc::FastRpcBreakdown> &calls,
+    double tolerance_pct = 30.0);
+
+/**
+ * I7 (Fig 11): suppressing background interference never makes the
+ * pipeline slower.
+ */
+CheckResult checkInterferenceSuppression(
+    const core::TaxReport &with_interference,
+    const core::TaxReport &suppressed, double slack_pct = 2.0);
+
+// --- the composed scenario verifier ------------------------------------
+
+/**
+ * Run @p s (plus the derived variants the relational checks need) and
+ * evaluate every applicable invariant.
+ *
+ * Derived runs: an identical-seed re-run (I3), a background-load
+ * contrast (I4: against a zero-load variant when s carries load, or
+ * a loaded variant otherwise), and the thermal model probe (I5).
+ * I6 applies when the scenario offloads through FastRPC.
+ */
+InvariantReport verifyScenario(const Scenario &s);
+
+} // namespace aitax::verify
+
+#endif // AITAX_VERIFY_INVARIANTS_H

@@ -1,0 +1,186 @@
+#include "verify/scenario.h"
+
+#include <cassert>
+#include <memory>
+#include <sstream>
+
+#include "app/background_load.h"
+#include "soc/chipsets.h"
+#include "trace/chrome_trace.h"
+
+namespace aitax::verify {
+
+namespace {
+
+/** "Snapdragon 845" -> "sd845" (filesystem-safe platform tag). */
+std::string
+socTag(const std::string &soc_name)
+{
+    std::string digits;
+    for (char c : soc_name)
+        if (c >= '0' && c <= '9')
+            digits += c;
+    return digits.empty() ? std::string("soc") : "sd" + digits;
+}
+
+} // namespace
+
+std::string
+Scenario::label() const
+{
+    std::ostringstream os;
+    os << modelId << "_" << socTag(socName) << "_"
+       << tensor::dtypeName(dtype) << "_" << app::frameworkName(framework)
+       << "_" << app::harnessModeName(mode) << "_r" << runs;
+    if (dspLoadProcesses > 0)
+        os << "_dsp" << dspLoadProcesses;
+    if (cpuLoadProcesses > 0)
+        os << "_cpu" << cpuLoadProcesses;
+    os << "_s" << seed;
+    std::string out = os.str();
+    for (char &c : out)
+        if (c == '-')
+            c = '_';
+    return out;
+}
+
+std::string
+Scenario::describe() const
+{
+    std::ostringstream os;
+    os << modelId << " on " << socName << ", "
+       << tensor::dtypeName(dtype) << "/" << app::frameworkName(framework)
+       << ", mode=" << app::harnessModeName(mode) << ", runs=" << runs
+       << ", bg(dsp=" << dspLoadProcesses << ",cpu=" << cpuLoadProcesses
+       << "), seed=" << seed;
+    return os.str();
+}
+
+bool
+scenarioValid(const Scenario &s)
+{
+    const auto *m = models::findModel(s.modelId);
+    if (m == nullptr || s.runs <= 0)
+        return false;
+    if (tensor::isQuantized(s.dtype) && !m->cpuInt8)
+        return false;
+    if (s.framework == app::FrameworkKind::TfliteNnapi &&
+        !m->supports(true, s.dtype))
+        return false;
+    // SNPE has no transformer kernels.
+    if (s.framework == app::FrameworkKind::SnpeDsp &&
+        m->task == models::Task::LanguageProcessing)
+        return false;
+    // The Hexagon delegate only ingests quantized graphs.
+    if (s.framework == app::FrameworkKind::TfliteHexagon &&
+        !tensor::isQuantized(s.dtype))
+        return false;
+    return true;
+}
+
+Scenario
+sampleScenario(sim::RandomStream &rng)
+{
+    static const app::FrameworkKind kFrameworks[] = {
+        app::FrameworkKind::TfliteCpu,     app::FrameworkKind::TfliteGpu,
+        app::FrameworkKind::TfliteHexagon, app::FrameworkKind::TfliteNnapi,
+        app::FrameworkKind::SnpeDsp,
+    };
+    static const app::HarnessMode kModes[] = {
+        app::HarnessMode::CliBenchmark,
+        app::HarnessMode::BenchmarkApp,
+        app::HarnessMode::AndroidApp,
+    };
+
+    const auto &zoo = models::allModels();
+    const auto platforms = soc::allPlatforms();
+
+    for (;;) {
+        Scenario s;
+        s.modelId = zoo[static_cast<std::size_t>(rng.uniformInt(
+                            0, static_cast<std::int64_t>(zoo.size()) - 1))]
+                        .id;
+        s.socName =
+            platforms[static_cast<std::size_t>(rng.uniformInt(
+                          0,
+                          static_cast<std::int64_t>(platforms.size()) - 1))]
+                .socName;
+        s.dtype = rng.bernoulli(0.5) ? tensor::DType::Float32
+                                     : tensor::DType::UInt8;
+        s.framework = kFrameworks[rng.uniformInt(0, 4)];
+        s.mode = kModes[rng.uniformInt(0, 2)];
+        s.runs = static_cast<int>(rng.uniformInt(4, 12));
+        s.dspLoadProcesses = static_cast<int>(rng.uniformInt(0, 2));
+        s.cpuLoadProcesses = static_cast<int>(rng.uniformInt(0, 2));
+        s.seed = rng.nextU64() >> 1;
+        if (scenarioValid(s))
+            return s;
+    }
+}
+
+Scenario
+fuzzScenario(std::uint64_t master_seed, int index)
+{
+    sim::RandomStream rng(master_seed,
+                          "verify-fuzz-" + std::to_string(index));
+    return sampleScenario(rng);
+}
+
+std::string
+replayCommand(std::uint64_t master_seed, int index)
+{
+    std::ostringstream os;
+    os << "aitax_cli verify --seed " << master_seed << " --replay "
+       << index;
+    return os.str();
+}
+
+ScenarioResult
+runScenario(const Scenario &s)
+{
+    assert(scenarioValid(s));
+    soc::SocSystem sys(soc::platformByName(s.socName), s.seed);
+
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel(s.modelId);
+    cfg.dtype = s.dtype;
+    cfg.framework = s.framework;
+    cfg.mode = s.mode;
+    app::Application application(sys, cfg);
+
+    std::vector<std::unique_ptr<app::BackgroundInferenceLoop>> loops;
+    auto add_loops = [&](int count, app::FrameworkKind fw, int base_pid) {
+        for (int i = 0; i < count; ++i) {
+            app::BackgroundLoadConfig bg;
+            bg.model = models::findModel("mobilenet_v1");
+            bg.dtype = tensor::DType::UInt8;
+            bg.framework = fw;
+            bg.processId = base_pid + i;
+            loops.push_back(
+                std::make_unique<app::BackgroundInferenceLoop>(sys, bg));
+            loops.back()->start(sim::secToNs(60.0));
+        }
+    };
+    add_loops(s.dspLoadProcesses, app::FrameworkKind::TfliteHexagon, 100);
+    add_loops(s.cpuLoadProcesses, app::FrameworkKind::TfliteCpu, 200);
+
+    ScenarioResult out;
+    application.scheduleRuns(s.runs, out.report, [&](sim::TimeNs) {
+        for (auto &loop : loops)
+            loop->stop();
+    });
+    out.endTimeNs = sys.run();
+
+    out.rpcLog = application.rpcLog();
+    out.energyMj = sys.energy().totalMj();
+    out.thermalSpeedFactor = sys.thermal().speedFactor();
+    for (const auto &loop : loops)
+        out.backgroundInferences += loop->completedInferences();
+
+    std::ostringstream trace;
+    trace::writeChromeTrace(trace, sys.tracer());
+    out.chromeTraceJson = trace.str();
+    return out;
+}
+
+} // namespace aitax::verify

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Seeded scenario sampling for the verification subsystem.
+ *
+ * A Scenario is one fully-specified experiment: a (model x chipset x
+ * framework x harness mode x background load) point with its own root
+ * seed. Scenarios are sampled deterministically from a master seed, so
+ * any failing configuration found by the fuzzer can be replayed
+ * bit-exactly from the (master seed, index) pair it prints.
+ */
+
+#ifndef AITAX_VERIFY_SCENARIO_H
+#define AITAX_VERIFY_SCENARIO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/pipeline.h"
+#include "core/tax_report.h"
+#include "sim/random.h"
+#include "soc/fastrpc.h"
+
+namespace aitax::verify {
+
+/** One fully-specified verification experiment. */
+struct Scenario
+{
+    std::string modelId = "mobilenet_v1";
+    std::string socName = "Snapdragon 845";
+    tensor::DType dtype = tensor::DType::Float32;
+    app::FrameworkKind framework = app::FrameworkKind::TfliteCpu;
+    app::HarnessMode mode = app::HarnessMode::AndroidApp;
+    /** Pipeline iterations to schedule. */
+    int runs = 10;
+    /** Background inference processes contending for the DSP. */
+    int dspLoadProcesses = 0;
+    /** Background inference processes contending for the CPU. */
+    int cpuLoadProcesses = 0;
+    /** Root seed of the simulated system. */
+    std::uint64_t seed = 1;
+
+    /** Filesystem-safe identifier (also the golden file stem). */
+    std::string label() const;
+
+    /** One human-readable description line. */
+    std::string describe() const;
+};
+
+/**
+ * True if the combination is runnable: the model must support the
+ * requested format/framework (Table I support matrix) and the SNPE
+ * path has no transformer kernels.
+ */
+bool scenarioValid(const Scenario &s);
+
+/**
+ * Sample a random valid scenario (rejection sampling over the zoo,
+ * the Table II chipsets, frameworks, harness modes and background
+ * load levels).
+ */
+Scenario sampleScenario(sim::RandomStream &rng);
+
+/**
+ * The deterministic fuzz scenario @p index for @p master_seed.
+ * fuzzScenario(s, i) is a pure function — the replay contract.
+ */
+Scenario fuzzScenario(std::uint64_t master_seed, int index);
+
+/** The replay command for fuzz scenario @p index of @p master_seed. */
+std::string replayCommand(std::uint64_t master_seed, int index);
+
+/** Everything a scenario run produces that checks may need. */
+struct ScenarioResult
+{
+    core::TaxReport report;
+    std::vector<soc::FastRpcBreakdown> rpcLog;
+    /** Full chrome://tracing JSON of the run (determinism witness). */
+    std::string chromeTraceJson;
+    /** Simulated time at quiescence. */
+    sim::TimeNs endTimeNs = 0;
+    /** Total energy over the run. */
+    double energyMj = 0.0;
+    /** Thermal clock multiplier at the end of the run, in (0, 1]. */
+    double thermalSpeedFactor = 1.0;
+    /** Background inferences completed across all load processes. */
+    std::int64_t backgroundInferences = 0;
+};
+
+/**
+ * Execute one scenario: build the platform, run the pipeline with any
+ * configured background load, and collect the report plus witnesses.
+ */
+ScenarioResult runScenario(const Scenario &s);
+
+} // namespace aitax::verify
+
+#endif // AITAX_VERIFY_SCENARIO_H

@@ -401,5 +401,91 @@ TEST(Serialize, BadShapeDiagnostic)
     EXPECT_NE(error.find("shape"), std::string::npos);
 }
 
+// --- negative paths: truncation, bad magic, version skew ---------------
+
+TEST(Serialize, EveryTruncationPrefixIsRejected)
+{
+    // A partially-written file (interrupted dump, short read) must
+    // never parse: the trailing 'end' marker is the integrity check.
+    GraphBuilder b("tiny", Shape::nhwc(8, 8, 3), DType::UInt8);
+    b.conv2d(4, 3, 2, false, "stem").relu6("act");
+    b.matmul(1, 4, 8, 16, true, "proj");
+    const std::string good = serializeGraph(b.build());
+
+    Graph g;
+    std::string error;
+    ASSERT_TRUE(parseGraph(good, g, error)) << error;
+    for (std::size_t len = 0; len + 1 < good.size(); ++len) {
+        Graph junk;
+        EXPECT_FALSE(parseGraph(good.substr(0, len), junk, error))
+            << "prefix of " << len << " bytes parsed";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(Serialize, BadMagicIsRejectedWithDiagnostic)
+{
+    // First keyword is the format's magic; anything else — a typo,
+    // another text format, or binary junk — fails on line 1.
+    Graph g;
+    std::string error;
+    for (const char *text :
+         {"grahp t dtype=fp32 input=1x4\nend\n",
+          "GRAPH t dtype=fp32 input=1x4\nend\n",
+          "{\"graph\": \"t\"}\n",
+          "\x7f" "ELF\x02\x01\x01\n",
+          "PK\x03\x04 zipfile\n"}) {
+        EXPECT_FALSE(parseGraph(text, g, error)) << text;
+        EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    }
+}
+
+TEST(Serialize, WriterStampsCurrentFormatVersion)
+{
+    GraphBuilder b("t", Shape::nhwc(4, 4, 3), DType::Float32);
+    b.relu();
+    const std::string text = serializeGraph(b.build());
+    EXPECT_NE(text.find(" v=1 "), std::string::npos) << text;
+    Graph g;
+    std::string error;
+    EXPECT_TRUE(parseGraph(text, g, error)) << error;
+}
+
+TEST(Serialize, UnversionedHeaderReadsAsVersionOne)
+{
+    // Files written before the version key existed must keep loading.
+    Graph g;
+    std::string error;
+    const std::string text = "graph t dtype=fp32 input=1x4\n"
+                             "op Relu name=r in=1x4 out=1x4\nend\n";
+    ASSERT_TRUE(parseGraph(text, g, error)) << error;
+    EXPECT_EQ(g.opCount(), 1u);
+}
+
+TEST(Serialize, FutureVersionIsRejectedNotMisread)
+{
+    Graph g;
+    std::string error;
+    const std::string text =
+        "graph t v=2 dtype=fp32 input=1x4\n"
+        "op Relu name=r in=1x4 out=1x4\nend\n";
+    EXPECT_FALSE(parseGraph(text, g, error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+    EXPECT_NE(error.find("2"), std::string::npos) << error;
+}
+
+TEST(Serialize, MalformedVersionValuesAreRejected)
+{
+    Graph g;
+    std::string error;
+    for (const char *v : {"v=", "v=0", "v=abc", "v=1.5", "v=-1",
+                          "v=99999999999999999999"}) {
+        const std::string text = std::string("graph t ") + v +
+                                 " dtype=fp32 input=1x4\nend\n";
+        EXPECT_FALSE(parseGraph(text, g, error)) << v;
+        EXPECT_NE(error.find("version"), std::string::npos) << error;
+    }
+}
+
 } // namespace
 } // namespace aitax::graph

@@ -408,6 +408,93 @@ TEST(Multipose, MaxPosesCapsOutput)
     EXPECT_NEAR(poses[1].keypoints[0].x, 16 * 16.0f, 1.0f);
 }
 
+TEST(Multipose, EmptyHeatmapsDecodeToNoPoses)
+{
+    // All-zero network output (e.g. an empty frame): no candidates,
+    // no poses, no crash.
+    tensor::Tensor heat(tensor::Shape::nhwc(9, 9, kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor offs(tensor::Shape::nhwc(9, 9, 2 * kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor fwd(tensor::Shape::nhwc(9, 9, 32),
+                       tensor::DType::Float32);
+    tensor::Tensor bwd(tensor::Shape::nhwc(9, 9, 32),
+                       tensor::DType::Float32);
+    EXPECT_TRUE(findLocalMaxima(heat, 0.3f, 1).empty());
+    EXPECT_TRUE(
+        decodeMultiplePoses(heat, offs, fwd, bwd, 16, 5, 0.3f, 20.0f)
+            .empty());
+}
+
+TEST(Multipose, LoneCandidateStillYieldsAFullSkeleton)
+{
+    // Only the nose fires. The zero displacement fields collapse the
+    // remaining parts onto nearby cells, but the decoder must still
+    // emit one pose with all 17 keypoints populated.
+    tensor::Tensor heat(tensor::Shape::nhwc(8, 8, kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor offs(tensor::Shape::nhwc(8, 8, 2 * kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor fwd(tensor::Shape::nhwc(8, 8, 32),
+                       tensor::DType::Float32);
+    tensor::Tensor bwd(tensor::Shape::nhwc(8, 8, 32),
+                       tensor::DType::Float32);
+    heat.data<float>()[(3 * 8 + 3) * kPoseParts + 0] = 0.8f;
+
+    const auto poses =
+        decodeMultiplePoses(heat, offs, fwd, bwd, 16, 5, 0.3f, 20.0f);
+    ASSERT_EQ(poses.size(), 1u);
+    ASSERT_EQ(poses[0].keypoints.size(),
+              static_cast<std::size_t>(kPoseParts));
+    EXPECT_NEAR(poses[0].keypoints[0].y, 3 * 16.0f, 1e-3f);
+    EXPECT_NEAR(poses[0].keypoints[0].x, 3 * 16.0f, 1e-3f);
+    // Only the root contributes score; the mean reflects that.
+    EXPECT_NEAR(poses[0].score, 0.8f / kPoseParts, 1e-4f);
+}
+
+TEST(Multipose, MaxPosesZeroReturnsNothing)
+{
+    using multipose_helpers::paintPerson;
+    tensor::Tensor heat(tensor::Shape::nhwc(17, 24, kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor offs(tensor::Shape::nhwc(17, 24, 2 * kPoseParts),
+                        tensor::DType::Float32);
+    tensor::Tensor fwd(tensor::Shape::nhwc(17, 24, 32),
+                       tensor::DType::Float32);
+    tensor::Tensor bwd(tensor::Shape::nhwc(17, 24, 32),
+                       tensor::DType::Float32);
+    paintPerson(heat, offs, fwd, bwd, 10, 0.9f);
+    EXPECT_TRUE(
+        decodeMultiplePoses(heat, offs, fwd, bwd, 16, 0, 0.3f, 20.0f)
+            .empty());
+}
+
+TEST(Multipose, SingleCellGridIsItsOwnMaximum)
+{
+    // Degenerate 1x1 feature map: the neighbourhood scan must not
+    // walk off the grid, and the lone cell is trivially maximal.
+    tensor::Tensor heat(tensor::Shape::nhwc(1, 1, kPoseParts),
+                        tensor::DType::Float32);
+    heat.data<float>()[5] = 0.7f;
+    const auto maxima = findLocalMaxima(heat, 0.3f, 1);
+    ASSERT_EQ(maxima.size(), 1u);
+    EXPECT_EQ(maxima[0].part, 5);
+    EXPECT_EQ(maxima[0].y, 0);
+    EXPECT_EQ(maxima[0].x, 0);
+}
+
+TEST(Multipose, RadiusLargerThanGridKeepsOnlyGlobalMax)
+{
+    tensor::Tensor heat(tensor::Shape::nhwc(8, 8, kPoseParts),
+                        tensor::DType::Float32);
+    auto d = heat.data<float>();
+    d[(2 * 8 + 2) * kPoseParts + 0] = 0.9f;
+    d[(6 * 8 + 6) * kPoseParts + 0] = 0.7f;
+    const auto maxima = findLocalMaxima(heat, 0.3f, 100);
+    ASSERT_EQ(maxima.size(), 1u);
+    EXPECT_FLOAT_EQ(maxima[0].score, 0.9f);
+}
+
 TEST(Multipose, CostScalesWithGridAndPoses)
 {
     EXPECT_GT(decodeMultiplePosesCost(28, 28, 5).flops,
@@ -470,6 +557,75 @@ TEST(Tokenizer, CustomVocabulary)
     const auto ids = tok.tokenize("hello stranger", 6);
     EXPECT_EQ(tok.tokenText(ids[1]), "hello");
     EXPECT_EQ(ids[2], tok.unkId());
+}
+
+TEST(Tokenizer, EmptyInputIsJustClsSepAndPadding)
+{
+    WordpieceTokenizer tok;
+    const auto ids = tok.tokenize("", 8);
+    ASSERT_EQ(ids.size(), 8u);
+    EXPECT_EQ(ids[0], tok.clsId());
+    EXPECT_EQ(ids[1], tok.sepId());
+    for (std::size_t i = 2; i < 8; ++i)
+        EXPECT_EQ(ids[i], tok.padId());
+}
+
+TEST(Tokenizer, WhitespaceOnlyInputHasNoPieces)
+{
+    WordpieceTokenizer tok;
+    const auto ids = tok.tokenize("  \t\n  ", 8);
+    ASSERT_EQ(ids.size(), 8u);
+    EXPECT_EQ(ids[0], tok.clsId());
+    EXPECT_EQ(ids[1], tok.sepId());
+    EXPECT_EQ(ids[2], tok.padId());
+}
+
+TEST(Tokenizer, MinimumLengthHoldsOnlyClsAndSep)
+{
+    WordpieceTokenizer tok;
+    const auto ids = tok.tokenize("the quick fox", 2);
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], tok.clsId());
+    EXPECT_EQ(ids[1], tok.sepId());
+}
+
+TEST(Tokenizer, ExactlyFullSequenceHasNoPadding)
+{
+    WordpieceTokenizer tok;
+    // Two pieces + CLS + SEP fill max_len = 4 exactly.
+    const auto ids = tok.tokenize("the day", 4);
+    ASSERT_EQ(ids.size(), 4u);
+    EXPECT_EQ(ids[0], tok.clsId());
+    EXPECT_EQ(tok.tokenText(ids[1]), "the");
+    EXPECT_EQ(tok.tokenText(ids[2]), "day");
+    EXPECT_EQ(ids.back(), tok.sepId());
+}
+
+TEST(Tokenizer, MaxLengthSequenceStaysSepTerminated)
+{
+    // Mobile BERT's 384-token window fed far more text than fits:
+    // truncate, keep [SEP] last, and leave no padding behind.
+    WordpieceTokenizer tok;
+    std::string text;
+    for (int i = 0; i < 500; ++i)
+        text += "work ";
+    const auto ids = tok.tokenize(text, 384);
+    ASSERT_EQ(ids.size(), 384u);
+    EXPECT_EQ(ids[0], tok.clsId());
+    EXPECT_EQ(ids.back(), tok.sepId());
+    for (std::int32_t id : ids)
+        EXPECT_NE(id, tok.padId());
+}
+
+TEST(Tokenizer, UndecomposableWordFallsBackToUnk)
+{
+    WordpieceTokenizer tok;
+    // 'x' matches as a first piece, but no "##y.." continuation
+    // exists, so the remainder collapses to [UNK].
+    const auto ids = tok.tokenize("xyz", 8);
+    EXPECT_EQ(tok.tokenText(ids[1]), "x");
+    EXPECT_EQ(ids[2], tok.unkId());
+    EXPECT_EQ(ids[3], tok.sepId());
 }
 
 TEST(Tokenizer, CostGrowsWithText)

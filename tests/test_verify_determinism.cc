@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Determinism tier: identical seeds must yield *byte-identical*
+ * chrome-trace output on every Table II chipset — the property that
+ * makes golden snapshots and seed replay trustworthy. Any ordering
+ * leak (unordered-map iteration, uninitialized field, pointer-keyed
+ * container) shows up here as a trace divergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "app/background_load.h"
+#include "app/pipeline.h"
+#include "soc/chipsets.h"
+#include "trace/chrome_trace.h"
+#include "verify/invariants.h"
+
+namespace aitax::verify {
+namespace {
+
+using app::FrameworkKind;
+using app::HarnessMode;
+using tensor::DType;
+
+/** Run the full pipeline and return the chrome-trace bytes. */
+std::string
+traceBytes(const soc::SocConfig &platform, FrameworkKind fw, DType dtype,
+           std::uint64_t seed, int bg_processes)
+{
+    soc::SocSystem sys(platform, seed);
+    app::PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = dtype;
+    cfg.framework = fw;
+    cfg.mode = HarnessMode::AndroidApp;
+    cfg.instrumentationEnabled = true;
+    app::Application application(sys, cfg);
+
+    std::vector<std::unique_ptr<app::BackgroundInferenceLoop>> loops;
+    for (int i = 0; i < bg_processes; ++i) {
+        app::BackgroundLoadConfig bg;
+        bg.model = models::findModel("mobilenet_v1");
+        bg.dtype = DType::UInt8;
+        bg.framework = FrameworkKind::TfliteHexagon;
+        bg.processId = 100 + i;
+        loops.push_back(
+            std::make_unique<app::BackgroundInferenceLoop>(sys, bg));
+        loops.back()->start(sim::secToNs(30.0));
+    }
+
+    core::TaxReport report;
+    application.scheduleRuns(8, report, [&](sim::TimeNs) {
+        for (auto &loop : loops)
+            loop->stop();
+    });
+    sys.run();
+
+    std::ostringstream os;
+    trace::writeChromeTrace(os, sys.tracer());
+    return os.str();
+}
+
+class ChipsetDeterminism : public ::testing::TestWithParam<int>
+{
+  protected:
+    soc::SocConfig
+    platform() const
+    {
+        return soc::allPlatforms()[static_cast<std::size_t>(GetParam())];
+    }
+};
+
+TEST_P(ChipsetDeterminism, CpuPipelineTraceIsByteIdentical)
+{
+    const auto a =
+        traceBytes(platform(), FrameworkKind::TfliteCpu, DType::Float32,
+                   31, 0);
+    const auto b =
+        traceBytes(platform(), FrameworkKind::TfliteCpu, DType::Float32,
+                   31, 0);
+    const auto check = checkTraceDeterminism(a, b);
+    EXPECT_TRUE(check.passed)
+        << platform().socName << ": " << check.detail;
+    EXPECT_FALSE(a.empty());
+}
+
+TEST_P(ChipsetDeterminism, OffloadedContendedTraceIsByteIdentical)
+{
+    // The hardest case: FastRPC offload plus multi-tenant DSP
+    // contention exercises the scheduler, channel and accelerator
+    // queue orderings.
+    const auto a = traceBytes(platform(), FrameworkKind::TfliteHexagon,
+                              DType::UInt8, 47, 2);
+    const auto b = traceBytes(platform(), FrameworkKind::TfliteHexagon,
+                              DType::UInt8, 47, 2);
+    const auto check = checkTraceDeterminism(a, b);
+    EXPECT_TRUE(check.passed)
+        << platform().socName << ": " << check.detail;
+}
+
+TEST_P(ChipsetDeterminism, DifferentSeedsDiverge)
+{
+    // The converse: seeds must actually matter, or the noise models
+    // are dead and the variability results (Fig 11) are vacuous.
+    const auto a =
+        traceBytes(platform(), FrameworkKind::TfliteCpu, DType::Float32,
+                   31, 0);
+    const auto b =
+        traceBytes(platform(), FrameworkKind::TfliteCpu, DType::Float32,
+                   32, 0);
+    EXPECT_NE(a, b) << platform().socName;
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, ChipsetDeterminism,
+                         ::testing::Range(0, 4), [](const auto &info) {
+                             std::string soc =
+                                 soc::allPlatforms()
+                                     [static_cast<std::size_t>(
+                                          info.param)]
+                                         .socName;
+                             std::string digits;
+                             for (char c : soc)
+                                 if (c >= '0' && c <= '9')
+                                     digits += c;
+                             return "sd" + digits;
+                         });
+
+TEST(Determinism, ScenarioRunnerIsDeterministicForFuzzedConfigs)
+{
+    // End-to-end over the fuzzer itself: ten random scenarios, each
+    // replayed, must reproduce their traces bit-exactly.
+    for (int i = 0; i < 10; ++i) {
+        const Scenario s = fuzzScenario(321, i);
+        const auto a = runScenario(s);
+        const auto b = runScenario(s);
+        const auto check =
+            checkTraceDeterminism(a.chromeTraceJson, b.chromeTraceJson);
+        EXPECT_TRUE(check.passed) << s.describe() << ": " << check.detail;
+        EXPECT_EQ(a.report.endToEndMeanMs(), b.report.endToEndMeanMs());
+        EXPECT_EQ(a.energyMj, b.energyMj);
+        EXPECT_EQ(a.endTimeNs, b.endTimeNs);
+    }
+}
+
+} // namespace
+} // namespace aitax::verify

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Metamorphic invariant tier: the paper-derived relations of
+ * src/verify/invariants.h checked across all four Table II chipsets
+ * and ten of the eleven Table I models, plus direct unit coverage of
+ * each checker (including that they *fail* on doctored inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "soc/chipsets.h"
+#include "verify/invariants.h"
+
+namespace aitax::verify {
+namespace {
+
+using app::FrameworkKind;
+using app::HarnessMode;
+using tensor::DType;
+
+const char *const kModels[] = {
+    "mobilenet_v1", "squeezenet",  "efficientnet_lite0", "alexnet",
+    "inception_v3", "inception_v4", "deeplab_v3", "ssd_mobilenet_v2",
+    "posenet",      "mobile_bert",
+};
+
+/**
+ * Deterministically choose a valid framework/dtype/mode for a
+ * (model, chipset) pair, rotating so the sweep exercises every path.
+ */
+Scenario
+sweepScenario(int model_idx, int chipset_idx)
+{
+    static const std::pair<FrameworkKind, DType> kPaths[] = {
+        {FrameworkKind::TfliteCpu, DType::Float32},
+        {FrameworkKind::TfliteHexagon, DType::UInt8},
+        {FrameworkKind::SnpeDsp, DType::UInt8},
+        {FrameworkKind::TfliteGpu, DType::Float32},
+        {FrameworkKind::TfliteNnapi, DType::Float32},
+    };
+    static const HarnessMode kModes[] = {
+        HarnessMode::CliBenchmark,
+        HarnessMode::BenchmarkApp,
+        HarnessMode::AndroidApp,
+    };
+
+    Scenario s;
+    s.modelId = kModels[model_idx];
+    s.socName = soc::allPlatforms()[static_cast<std::size_t>(chipset_idx)]
+                    .socName;
+    s.mode = kModes[(model_idx + chipset_idx) % 3];
+    s.runs = 5;
+    s.seed = 1000 + static_cast<std::uint64_t>(model_idx * 10 +
+                                               chipset_idx);
+    for (int probe = 0; probe < 5; ++probe) {
+        const auto &[fw, dtype] =
+            kPaths[(model_idx + chipset_idx + probe) % 5];
+        s.framework = fw;
+        s.dtype = dtype;
+        if (scenarioValid(s))
+            return s;
+    }
+    // Every model supports the CPU fp32 path.
+    s.framework = FrameworkKind::TfliteCpu;
+    s.dtype = DType::Float32;
+    EXPECT_TRUE(scenarioValid(s));
+    return s;
+}
+
+class InvariantSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(InvariantSweep, AllInvariantsHold)
+{
+    const auto [model_idx, chipset_idx] = GetParam();
+    const Scenario s = sweepScenario(model_idx, chipset_idx);
+    const InvariantReport report = verifyScenario(s);
+    EXPECT_GE(report.results().size(), 5u);
+    if (!report.allPassed()) {
+        std::ostringstream os;
+        report.render(os);
+        FAIL() << s.describe() << "\n" << os.str();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsByChipsets, InvariantSweep,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 4)),
+    [](const auto &info) {
+        const int model_idx = std::get<0>(info.param);
+        const int chipset_idx = std::get<1>(info.param);
+        std::string soc = soc::allPlatforms()[static_cast<std::size_t>(
+                              chipset_idx)]
+                              .socName;
+        std::string digits;
+        for (char c : soc)
+            if (c >= '0' && c <= '9')
+                digits += c;
+        return std::string(kModels[model_idx]) + "_sd" + digits;
+    });
+
+// --- background-load invariant exercised with real contention ----------
+
+TEST(Invariants, BackgroundDspLoadSlowsDspPipeline)
+{
+    Scenario quiet;
+    quiet.modelId = "mobilenet_v1";
+    quiet.dtype = DType::UInt8;
+    quiet.framework = FrameworkKind::TfliteHexagon;
+    quiet.mode = HarnessMode::AndroidApp;
+    quiet.runs = 8;
+    quiet.seed = 21;
+
+    Scenario loaded = quiet;
+    loaded.dspLoadProcesses = 2;
+
+    const auto base = runScenario(quiet);
+    const auto contended = runScenario(loaded);
+    EXPECT_GT(contended.backgroundInferences, 0);
+    const auto check =
+        checkBackgroundMonotonic(base.report, contended.report);
+    EXPECT_TRUE(check.passed) << check.detail;
+    // The contention is not marginal: the DSP stalls the pipeline.
+    EXPECT_GT(contended.report.endToEndMeanMs(),
+              base.report.endToEndMeanMs());
+}
+
+TEST(Invariants, BackgroundCheckRejectsFabricatedSpeedup)
+{
+    core::StageLatencies fast;
+    fast[core::Stage::Inference] = sim::msToNs(5.0);
+    core::StageLatencies slow;
+    slow[core::Stage::Inference] = sim::msToNs(10.0);
+
+    core::TaxReport unloaded;
+    unloaded.add(slow);
+    core::TaxReport loaded;
+    loaded.add(fast);
+    // "Adding load halved the latency" must be flagged.
+    EXPECT_FALSE(checkBackgroundMonotonic(unloaded, loaded).passed);
+    EXPECT_TRUE(checkBackgroundMonotonic(loaded, unloaded).passed);
+}
+
+// --- interference suppression ------------------------------------------
+
+TEST(Invariants, SuppressingInterferenceNeverSlower)
+{
+    auto run_mode = [&](bool suppress) {
+        soc::SocSystem sys(soc::makeSnapdragon845(), 17);
+        app::PipelineConfig cfg;
+        cfg.model = models::findModel("mobilenet_v1");
+        cfg.dtype = DType::Float32;
+        cfg.framework = FrameworkKind::TfliteCpu;
+        cfg.mode = HarnessMode::AndroidApp;
+        cfg.suppressInterference = suppress;
+        app::Application application(sys, cfg);
+        core::TaxReport report;
+        application.scheduleRuns(10, report);
+        sys.run();
+        return report;
+    };
+    const auto noisy = run_mode(false);
+    const auto quiet = run_mode(true);
+    const auto check = checkInterferenceSuppression(noisy, quiet);
+    EXPECT_TRUE(check.passed) << check.detail;
+}
+
+// --- thermal monotonicity ----------------------------------------------
+
+TEST(Invariants, ThermalMonotonicOnEveryChipset)
+{
+    for (const auto &platform : soc::allPlatforms()) {
+        const auto check = checkThermalMonotonic(platform);
+        EXPECT_TRUE(check.passed)
+            << platform.socName << ": " << check.detail;
+    }
+}
+
+// --- FastRPC linearity --------------------------------------------------
+
+TEST(Invariants, FastRpcWarmOverheadIsStationary)
+{
+    Scenario s;
+    s.modelId = "mobilenet_v1";
+    s.dtype = DType::UInt8;
+    s.framework = FrameworkKind::SnpeDsp;
+    s.mode = HarnessMode::CliBenchmark;
+    s.runs = 24;
+    s.seed = 5;
+    const auto result = runScenario(s);
+    ASSERT_GE(result.rpcLog.size(), 6u);
+    const auto check = checkFastRpcLinearity(result.rpcLog);
+    EXPECT_TRUE(check.passed) << check.detail;
+    // Only the first call pays the session open (Fig 8 cold start).
+    EXPECT_GT(result.rpcLog.front().sessionOpenNs, 0);
+}
+
+TEST(Invariants, FastRpcCheckRejectsDoctoredLog)
+{
+    Scenario s;
+    s.modelId = "mobilenet_v1";
+    s.dtype = DType::UInt8;
+    s.framework = FrameworkKind::SnpeDsp;
+    s.mode = HarnessMode::CliBenchmark;
+    s.runs = 12;
+    s.seed = 5;
+    auto log = runScenario(s).rpcLog;
+    ASSERT_GE(log.size(), 6u);
+    // Grossly inflate the tail: growth is now super-linear.
+    for (std::size_t i = log.size() / 2; i < log.size(); ++i)
+        log[i].queueWaitNs += sim::msToNs(500.0);
+    EXPECT_FALSE(checkFastRpcLinearity(log).passed);
+    // A warm call re-paying the session open is also flagged.
+    auto reopened = runScenario(s).rpcLog;
+    reopened.back().sessionOpenNs = sim::msToNs(15.0);
+    EXPECT_FALSE(checkFastRpcLinearity(reopened).passed);
+}
+
+// --- trace determinism checker -----------------------------------------
+
+TEST(Invariants, TraceCheckerReportsFirstDivergence)
+{
+    EXPECT_TRUE(checkTraceDeterminism("abcdef", "abcdef").passed);
+    const auto diff = checkTraceDeterminism("abcdef", "abcXef");
+    EXPECT_FALSE(diff.passed);
+    EXPECT_NE(diff.detail.find("byte 3"), std::string::npos)
+        << diff.detail;
+}
+
+// --- stage sanity on a hand-built report --------------------------------
+
+TEST(Invariants, StageSanityCatchesBrokenAccounting)
+{
+    core::StageLatencies run;
+    run[core::Stage::DataCapture] = sim::msToNs(1.0);
+    run[core::Stage::Inference] = sim::msToNs(4.0);
+    core::TaxReport good;
+    good.add(run);
+    EXPECT_TRUE(checkStageSanity(good).passed);
+    EXPECT_TRUE(checkTaxFraction(good).passed);
+
+    core::TaxReport empty;
+    EXPECT_FALSE(checkStageSanity(empty).passed);
+
+    // All-inference runs have zero tax — an accounting bug in any
+    // harness mode (even benchmarks pay capture/prep time).
+    core::StageLatencies inference_only;
+    inference_only[core::Stage::Inference] = sim::msToNs(4.0);
+    core::TaxReport no_tax;
+    no_tax.add(inference_only);
+    EXPECT_FALSE(checkTaxFraction(no_tax).passed);
+}
+
+} // namespace
+} // namespace aitax::verify

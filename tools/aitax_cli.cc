@@ -19,12 +19,21 @@
  *     --timeline             print the profiler-style timeline
  *     --energy               print per-domain energy
  *     --chrome-trace <file>  write a chrome://tracing JSON capture
+ *
+ * Verification subcommand:
+ *   aitax_cli verify [options]
+ *     --update               rewrite golden snapshots (record mode)
+ *     --golden-dir <dir>     snapshot directory (default: tests/golden)
+ *     --fuzz <n>             seeded random scenarios to verify (default 5)
+ *     --replay <index>       re-run one fuzz scenario verbosely
+ *     --seed <n>             master fuzz seed (default 2021)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "app/pipeline.h"
@@ -33,6 +42,12 @@
 
 #include "trace/chrome_trace.h"
 #include "trace/render.h"
+#include "verify/golden.h"
+#include "verify/invariants.h"
+
+#ifndef AITAX_GOLDEN_DIR
+#define AITAX_GOLDEN_DIR "tests/golden"
+#endif
 
 namespace {
 
@@ -60,11 +75,144 @@ listModels()
                     std::string(models::taskName(m.task)).c_str());
 }
 
+[[noreturn]] void
+verifyUsage()
+{
+    std::fprintf(stderr,
+                 "usage: aitax_cli verify [--update] [--golden-dir DIR] "
+                 "[--fuzz N] [--replay INDEX] [--seed N]\n");
+    std::exit(2);
+}
+
+/** Golden pass: compare (or rewrite) every committed snapshot. */
+int
+runGoldenPass(const std::string &golden_dir, bool update)
+{
+    int failures = 0;
+    for (const auto &scenario : verify::goldenScenarios()) {
+        const std::string path =
+            golden_dir + "/" + verify::goldenFileName(scenario);
+        const auto result = verify::runScenario(scenario);
+        const auto actual = verify::snapshot(scenario, result);
+
+        if (update) {
+            if (!verify::writeGoldenFile(path, actual)) {
+                std::fprintf(stderr, "FAIL cannot write %s\n",
+                             path.c_str());
+                ++failures;
+                continue;
+            }
+            std::printf("wrote %s\n", path.c_str());
+            continue;
+        }
+
+        verify::GoldenSnapshot expected;
+        std::string error;
+        if (!verify::readGoldenFile(path, expected, error)) {
+            std::fprintf(stderr, "FAIL %s: %s (run with --update?)\n",
+                         scenario.label().c_str(), error.c_str());
+            ++failures;
+            continue;
+        }
+        const auto diffs = verify::compare(expected, actual);
+        if (diffs.empty()) {
+            std::printf("ok   %s\n", scenario.label().c_str());
+            continue;
+        }
+        ++failures;
+        std::fprintf(stderr, "FAIL %s\n", scenario.label().c_str());
+        for (const auto &d : diffs)
+            std::fprintf(stderr,
+                         "     %-28s expected %.6g got %.6g "
+                         "(rel err %.2f%%)\n",
+                         d.metric.c_str(), d.expected, d.actual,
+                         d.relError * 100.0);
+    }
+    return failures;
+}
+
+/** Fuzz pass: invariant-check seeded random scenarios. */
+int
+runFuzzPass(std::uint64_t master_seed, int count, int replay_index)
+{
+    int failures = 0;
+    const int begin = replay_index >= 0 ? replay_index : 0;
+    const int end = replay_index >= 0 ? replay_index + 1 : count;
+    for (int i = begin; i < end; ++i) {
+        const auto scenario = verify::fuzzScenario(master_seed, i);
+        const auto report = verify::verifyScenario(scenario);
+        const bool verbose = replay_index >= 0 || !report.allPassed();
+        std::printf("%s fuzz[%d] %s\n",
+                    report.allPassed() ? "ok  " : "FAIL", i,
+                    scenario.describe().c_str());
+        if (verbose) {
+            std::ostringstream os;
+            report.render(os);
+            std::fputs(os.str().c_str(), stdout);
+        }
+        if (!report.allPassed()) {
+            ++failures;
+            std::fprintf(stderr, "     replay: %s\n",
+                         verify::replayCommand(master_seed, i).c_str());
+        }
+    }
+    return failures;
+}
+
+int
+verifyMain(int argc, char **argv)
+{
+    bool update = false;
+    std::string golden_dir = AITAX_GOLDEN_DIR;
+    int fuzz_count = 5;
+    int replay_index = -1;
+    std::uint64_t master_seed = 2021;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                verifyUsage();
+            return argv[++i];
+        };
+        if (arg == "--update")
+            update = true;
+        else if (arg == "--golden-dir")
+            golden_dir = next();
+        else if (arg == "--fuzz")
+            fuzz_count = std::atoi(next());
+        else if (arg == "--replay")
+            replay_index = std::atoi(next());
+        else if (arg == "--seed")
+            master_seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else
+            verifyUsage();
+    }
+    if (fuzz_count < 0 || (replay_index >= 0 && update))
+        verifyUsage();
+
+    int failures = 0;
+    if (replay_index < 0)
+        failures += runGoldenPass(golden_dir, update);
+    if (!update)
+        failures += runFuzzPass(master_seed, fuzz_count, replay_index);
+
+    if (failures > 0) {
+        std::fprintf(stderr, "\nverify: %d failure(s)\n", failures);
+        return 1;
+    }
+    std::printf("\nverify: all checks passed\n");
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "verify") == 0)
+        return verifyMain(argc, argv);
+
     std::string model = "mobilenet_v1";
     std::string dtype = "fp32";
     std::string framework = "cpu";
