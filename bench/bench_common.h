@@ -5,6 +5,11 @@
  * Each bench binary regenerates one table or figure from the paper:
  * it runs the simulated experiment and prints the same rows/series the
  * paper reports, plus the expected qualitative shape.
+ *
+ * Harnesses sweep independent configurations, so the batch entry
+ * point (runSpecs) executes them on the shared sweep pool; results
+ * come back in submission order, so tables are byte-identical for
+ * --jobs 1 and --jobs N (see docs/PERFORMANCE.md).
  */
 
 #ifndef AITAX_BENCH_BENCH_COMMON_H
@@ -14,11 +19,13 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "app/pipeline.h"
 #include "core/analyzer.h"
 #include "soc/chipsets.h"
 #include "stats/table.h"
+#include "sweep/sweep_runner.h"
 
 namespace aitax::bench {
 
@@ -40,23 +47,94 @@ struct RunSpec
     std::string soc = "Snapdragon 845";
 };
 
+/**
+ * A RunSpec with its string lookups resolved: model pointer, platform
+ * config and pipeline config are computed once per scenario instead of
+ * once per runSpec call inside a harness inner loop.
+ */
+struct ResolvedSpec
+{
+    const RunSpec *spec = nullptr;
+    soc::SocConfig platform;
+    app::PipelineConfig cfg;
+};
+
+/** Resolve lookups once; @p spec must outlive the result. */
+inline ResolvedSpec
+resolveSpec(const RunSpec &spec)
+{
+    ResolvedSpec r;
+    r.spec = &spec;
+    r.platform = soc::platformByName(spec.soc);
+    r.cfg.model = models::findModel(spec.model);
+    r.cfg.dtype = spec.dtype;
+    r.cfg.framework = spec.framework;
+    r.cfg.mode = spec.mode;
+    r.cfg.threads = spec.threads;
+    r.cfg.instrumentationEnabled = spec.instrumentation;
+    return r;
+}
+
+/** Execute one resolved configuration on a fresh simulated SoC. */
+inline core::TaxReport
+runResolved(const ResolvedSpec &resolved)
+{
+    soc::SocSystem sys(resolved.platform, resolved.spec->seed);
+    app::Application application(sys, resolved.cfg);
+    core::TaxReport report;
+    application.scheduleRuns(resolved.spec->runs, report);
+    sys.run();
+    return report;
+}
+
 /** Execute one configuration on a fresh simulated SoC. */
 inline core::TaxReport
 runSpec(const RunSpec &spec)
 {
-    soc::SocSystem sys(soc::platformByName(spec.soc), spec.seed);
-    app::PipelineConfig cfg;
-    cfg.model = models::findModel(spec.model);
-    cfg.dtype = spec.dtype;
-    cfg.framework = spec.framework;
-    cfg.mode = spec.mode;
-    cfg.threads = spec.threads;
-    cfg.instrumentationEnabled = spec.instrumentation;
-    app::Application application(sys, cfg);
-    core::TaxReport report;
-    application.scheduleRuns(spec.runs, report);
-    sys.run();
-    return report;
+    return runResolved(resolveSpec(spec));
+}
+
+/** The harness-wide worker count (set by initBench / --jobs). */
+inline int &
+jobsSlot()
+{
+    static int jobs = 0; // 0: resolve lazily via effectiveJobs
+    return jobs;
+}
+
+inline int
+benchJobs()
+{
+    return sweep::effectiveJobs(jobsSlot());
+}
+
+/**
+ * Parse harness-wide flags (--jobs N) out of argv. Call first thing
+ * in main(); unrecognized arguments are preserved.
+ */
+inline void
+initBench(int &argc, char **argv)
+{
+    jobsSlot() = sweep::consumeJobsFlag(argc, argv);
+}
+
+/**
+ * Run a batch of independent configurations on the sweep pool.
+ * Results are in submission order regardless of the worker count.
+ */
+inline std::vector<core::TaxReport>
+runSpecs(const std::vector<RunSpec> &specs)
+{
+    // Resolve each scenario exactly once, up front and serially.
+    std::vector<ResolvedSpec> resolved;
+    resolved.reserve(specs.size());
+    for (const auto &s : specs)
+        resolved.push_back(resolveSpec(s));
+
+    sweep::SweepRunner runner(benchJobs());
+    return runner.map<core::TaxReport>(
+        resolved.size(),
+        [&](std::size_t i) { return runResolved(resolved[i]); });
 }
 
 /** Print a section heading with the paper reference. */

@@ -42,8 +42,9 @@ printDistribution(const char *title, const stats::Distribution &d)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::heading(
         "Fig 11: run-to-run latency distribution, benchmark vs app "
         "(MobileNet v1, CPU)",
@@ -60,10 +61,12 @@ main()
     spec.dtype = tensor::DType::Float32;
     spec.framework = app::FrameworkKind::TfliteCpu;
 
-    spec.mode = app::HarnessMode::CliBenchmark;
-    const auto bench_report = bench::runSpec(spec);
-    spec.mode = app::HarnessMode::AndroidApp;
-    const auto app_report = bench::runSpec(spec);
+    std::vector<bench::RunSpec> specs(2, spec);
+    specs[0].mode = app::HarnessMode::CliBenchmark;
+    specs[1].mode = app::HarnessMode::AndroidApp;
+    const auto reports = bench::runSpecs(specs);
+    const auto &bench_report = reports[0];
+    const auto &app_report = reports[1];
 
     printDistribution("TFLite benchmark utility (E2E ms)",
                       bench_report.endToEnd());

@@ -10,10 +10,11 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace aitax;
     using app::HarnessMode;
+    bench::initBench(argc, argv);
     bench::heading(
         "Fig 3: CLI benchmark vs benchmark app vs real application "
         "(CPU, end-to-end ms)",
@@ -43,17 +44,27 @@ main()
                         "Benchmark app (ms)", "Android app (ms)",
                         "App vs CLI"});
 
+    // Three harness modes per model, all independent: run the whole
+    // matrix on the sweep pool and read results back in order.
+    std::vector<bench::RunSpec> specs;
     for (const auto &e : entries) {
-        bench::RunSpec spec;
-        spec.model = e.model;
-        spec.dtype = e.dtype;
+        for (auto mode : {HarnessMode::CliBenchmark,
+                          HarnessMode::BenchmarkApp,
+                          HarnessMode::AndroidApp}) {
+            bench::RunSpec spec;
+            spec.model = e.model;
+            spec.dtype = e.dtype;
+            spec.mode = mode;
+            specs.push_back(spec);
+        }
+    }
+    const auto reports = bench::runSpecs(specs);
 
-        spec.mode = HarnessMode::CliBenchmark;
-        const auto cli = bench::runSpec(spec);
-        spec.mode = HarnessMode::BenchmarkApp;
-        const auto bench_app = bench::runSpec(spec);
-        spec.mode = HarnessMode::AndroidApp;
-        const auto android = bench::runSpec(spec);
+    for (std::size_t i = 0; i < std::size(entries); ++i) {
+        const auto &e = entries[i];
+        const auto &cli = reports[3 * i];
+        const auto &bench_app = reports[3 * i + 1];
+        const auto &android = reports[3 * i + 2];
 
         table.addRow(
             {e.model, std::string(tensor::dtypeName(e.dtype)),

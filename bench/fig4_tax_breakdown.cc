@@ -10,10 +10,11 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace aitax;
     using core::Stage;
+    bench::initBench(argc, argv);
     bench::heading(
         "Fig 4a/4b: capture + pre-processing vs inference, benchmark "
         "vs application (NNAPI-class pipelines on the SD845)",
@@ -49,14 +50,24 @@ main()
                             "capture/inf", "pre/inf",
                             "(cap+pre)/inf"});
 
+    const app::HarnessMode modes[] = {app::HarnessMode::CliBenchmark,
+                                      app::HarnessMode::AndroidApp};
+    std::vector<bench::RunSpec> specs;
     for (const auto &e : entries) {
-        for (auto mode : {app::HarnessMode::CliBenchmark,
-                          app::HarnessMode::AndroidApp}) {
+        for (auto mode : modes) {
             bench::RunSpec spec;
             spec.model = e.model;
             spec.dtype = e.dtype;
             spec.mode = mode;
-            const auto r = bench::runSpec(spec);
+            specs.push_back(spec);
+        }
+    }
+    const auto reports = bench::runSpecs(specs);
+
+    std::size_t next = 0;
+    for (const auto &e : entries) {
+        for (auto mode : modes) {
+            const auto &r = reports[next++];
             const std::string harness(app::harnessModeName(mode));
             abs_table.addRow(
                 {e.model, std::string(tensor::dtypeName(e.dtype)),

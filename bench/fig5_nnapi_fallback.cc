@@ -9,11 +9,12 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace aitax;
     using app::FrameworkKind;
     using core::Stage;
+    bench::initBench(argc, argv);
     bench::heading(
         "Fig 5: EfficientNet-Lite0 INT8 across device targets",
         "Fig 5 (performance degradation of TFLite's quantized "
@@ -37,23 +38,26 @@ main()
         {"SNPE DSP", FrameworkKind::SnpeDsp, 4},
     };
 
-    stats::Table table({"Target", "inference (ms)", "E2E (ms)",
-                        "vs CPU-1T"});
-    double cpu1 = 0.0;
-    std::vector<std::pair<std::string, double>> results;
+    // (The table is assembled after the sweep, once CPU-1T is known.)
+    std::vector<bench::RunSpec> specs;
     for (const auto &t : targets) {
         bench::RunSpec spec;
         spec.model = "efficientnet_lite0";
         spec.dtype = tensor::DType::UInt8;
         spec.framework = t.fw;
         spec.threads = t.threads;
-        const auto r = bench::runSpec(spec);
-        const double inf = r.stageMeanMs(Stage::Inference);
+        specs.push_back(spec);
+    }
+    const auto reports = bench::runSpecs(specs);
+
+    double cpu1 = 0.0;
+    std::vector<std::pair<std::string, double>> results;
+    for (std::size_t i = 0; i < std::size(targets); ++i) {
+        const auto &t = targets[i];
+        const double inf = reports[i].stageMeanMs(Stage::Inference);
         if (std::string(t.name) == "CPU (1 thread)")
             cpu1 = inf;
         results.emplace_back(t.name, inf);
-        table.addRow({t.name, bench::fmtMs(inf),
-                      bench::fmtMs(r.endToEndMeanMs()), ""});
     }
     // Second pass now that the CPU-1T reference is known.
     stats::Table final_table({"Target", "inference (ms)", "vs CPU-1T"});

@@ -10,10 +10,11 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace aitax;
     using core::Stage;
+    bench::initBench(argc, argv);
     bench::heading(
         "Framework comparison: TFLite-CPU vs NNAPI-DSP vs SNPE-DSP "
         "(quantized models, CLI benchmark)",
@@ -30,18 +31,26 @@ main()
 
     stats::Table table({"Model", "CPU-4T (ms)", "NNAPI-DSP (ms)",
                         "SNPE-DSP (ms)", "NNAPI vs CPU", "best"});
+    std::vector<bench::RunSpec> specs;
     for (const char *model : models_under_test) {
         bench::RunSpec spec;
         spec.model = model;
         spec.dtype = tensor::DType::UInt8;
         spec.runs = 200;
+        for (auto fw : {app::FrameworkKind::TfliteCpu,
+                        app::FrameworkKind::TfliteNnapi,
+                        app::FrameworkKind::SnpeDsp}) {
+            spec.framework = fw;
+            specs.push_back(spec);
+        }
+    }
+    const auto reports = bench::runSpecs(specs);
 
-        spec.framework = app::FrameworkKind::TfliteCpu;
-        const auto cpu = bench::runSpec(spec);
-        spec.framework = app::FrameworkKind::TfliteNnapi;
-        const auto nnapi = bench::runSpec(spec);
-        spec.framework = app::FrameworkKind::SnpeDsp;
-        const auto snpe = bench::runSpec(spec);
+    for (std::size_t i = 0; i < std::size(models_under_test); ++i) {
+        const char *model = models_under_test[i];
+        const auto &cpu = reports[3 * i];
+        const auto &nnapi = reports[3 * i + 1];
+        const auto &snpe = reports[3 * i + 2];
 
         const auto choice = core::adviseFramework(
             {{"tflite-cpu", &cpu}, {"nnapi", &nnapi}, {"snpe", &snpe}});

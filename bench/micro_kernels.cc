@@ -15,11 +15,13 @@
 #include "imaging/resize.h"
 #include "imaging/rotate.h"
 #include "imaging/yuv.h"
+#include "models/zoo.h"
 #include "postproc/bbox.h"
 #include "postproc/mask.h"
 #include "postproc/multipose.h"
 #include "postproc/tokenizer.h"
 #include "postproc/topk.h"
+#include "sim/event_queue.h"
 #include "sim/random.h"
 
 namespace {
@@ -215,6 +217,85 @@ BM_Tokenize(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Tokenize);
+
+// --- simulator hot paths ---------------------------------------------
+// The event queue and model-graph construction dominate sweep setup
+// and event dispatch; these isolate the claims in docs/PERFORMANCE.md.
+
+void
+BM_EventQueueSchedulePop(benchmark::State &state)
+{
+    const auto n = static_cast<int>(state.range(0));
+    sim::RandomStream rng(11);
+    std::vector<sim::TimeNs> when(static_cast<std::size_t>(n));
+    for (auto &w : when)
+        w = rng.uniformInt(0, 1'000'000);
+    std::int64_t sink = 0;
+    for (auto _ : state) {
+        sim::EventQueue q;
+        for (int i = 0; i < n; ++i)
+            q.schedule(when[static_cast<std::size_t>(i)],
+                       [&sink] { ++sink; });
+        while (!q.empty())
+            q.popAndRun();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueSchedulePop)->Arg(1'000)->Arg(100'000);
+
+void
+BM_EventQueueScheduleCancel(benchmark::State &state)
+{
+    const auto n = static_cast<int>(state.range(0));
+    sim::RandomStream rng(12);
+    std::vector<sim::TimeNs> when(static_cast<std::size_t>(n));
+    for (auto &w : when)
+        w = rng.uniformInt(0, 1'000'000);
+    std::int64_t sink = 0;
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::vector<sim::EventId> ids;
+        ids.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+            ids.push_back(q.schedule(when[static_cast<std::size_t>(i)],
+                                     [&sink] { ++sink; }));
+        // Cancel every other event, then drain the survivors.
+        for (std::size_t i = 0; i < ids.size(); i += 2)
+            q.cancel(ids[i]);
+        while (!q.empty())
+            q.popAndRun();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleCancel)->Arg(1'000)->Arg(100'000);
+
+void
+BM_GraphBuildUncached(benchmark::State &state)
+{
+    const auto *info = models::findModel("inception_v3");
+    for (auto _ : state) {
+        const auto g =
+            models::buildGraph(*info, tensor::DType::Float32);
+        benchmark::DoNotOptimize(g.opCount());
+    }
+}
+BENCHMARK(BM_GraphBuildUncached);
+
+void
+BM_GraphCached(benchmark::State &state)
+{
+    const auto *info = models::findModel("inception_v3");
+    // First call builds; steady state is a shared_ptr copy.
+    (void)models::cachedGraph(*info, tensor::DType::Float32);
+    for (auto _ : state) {
+        const auto g =
+            models::cachedGraph(*info, tensor::DType::Float32);
+        benchmark::DoNotOptimize(g->opCount());
+    }
+}
+BENCHMARK(BM_GraphCached);
 
 } // namespace
 

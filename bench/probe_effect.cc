@@ -10,10 +10,11 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace aitax;
     using core::Stage;
+    bench::initBench(argc, argv);
     bench::heading(
         "Probe effect of driver instrumentation",
         "Section III-D (Probe Effect)",
@@ -42,6 +43,7 @@ main()
     stats::Table table({"Backend", "inference off (ms)",
                         "inference on (ms)", "slowdown",
                         "pre-proc off (ms)", "pre-proc on (ms)"});
+    std::vector<bench::RunSpec> specs;
     for (const auto &c : cases) {
         bench::RunSpec spec;
         spec.model = "mobilenet_v1";
@@ -50,9 +52,16 @@ main()
         spec.mode = app::HarnessMode::AndroidApp;
         spec.runs = 200;
         spec.instrumentation = false;
-        const auto off = bench::runSpec(spec);
+        specs.push_back(spec);
         spec.instrumentation = true;
-        const auto on = bench::runSpec(spec);
+        specs.push_back(spec);
+    }
+    const auto reports = bench::runSpecs(specs);
+
+    for (std::size_t i = 0; i < std::size(cases); ++i) {
+        const auto &c = cases[i];
+        const auto &off = reports[2 * i];
+        const auto &on = reports[2 * i + 1];
         table.addRow(
             {c.name, bench::fmtMs(off.stageMeanMs(Stage::Inference)),
              bench::fmtMs(on.stageMeanMs(Stage::Inference)),

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Sweep-throughput benchmark: the repo's wall-clock perf trajectory.
+ *
+ * Runs a fixed scenario matrix (models x frameworks x harness modes x
+ * chipsets x seeds) twice — serially and on the work-stealing sweep
+ * pool — and emits a machine-readable BENCH_sweep.json with
+ * scenarios/sec, p50 per-scenario wall time and the parallel speedup.
+ * Later PRs regress against these numbers (see docs/PERFORMANCE.md).
+ *
+ * Usage: sweep_throughput [--quick] [--scenarios N] [--runs N]
+ *                         [--jobs N] [--out FILE]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace aitax;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Valid (model, dtype, framework) points; modes/socs/seeds cycle. */
+struct Combo
+{
+    const char *model;
+    tensor::DType dtype;
+    app::FrameworkKind fw;
+};
+
+std::vector<bench::RunSpec>
+buildMatrix(int scenarios, int runs)
+{
+    static const Combo kCombos[] = {
+        {"mobilenet_v1", tensor::DType::Float32,
+         app::FrameworkKind::TfliteCpu},
+        {"mobilenet_v1", tensor::DType::UInt8,
+         app::FrameworkKind::TfliteHexagon},
+        {"efficientnet_lite0", tensor::DType::UInt8,
+         app::FrameworkKind::TfliteNnapi},
+        {"squeezenet", tensor::DType::Float32,
+         app::FrameworkKind::TfliteCpu},
+        {"inception_v3", tensor::DType::Float32,
+         app::FrameworkKind::TfliteGpu},
+        {"mobilenet_v1", tensor::DType::UInt8,
+         app::FrameworkKind::SnpeDsp},
+        {"posenet", tensor::DType::Float32,
+         app::FrameworkKind::TfliteCpu},
+        {"ssd_mobilenet_v2", tensor::DType::UInt8,
+         app::FrameworkKind::TfliteNnapi},
+    };
+    static const app::HarnessMode kModes[] = {
+        app::HarnessMode::CliBenchmark,
+        app::HarnessMode::BenchmarkApp,
+        app::HarnessMode::AndroidApp,
+    };
+    static const char *kSocs[] = {
+        "Snapdragon 835",
+        "Snapdragon 845",
+        "Snapdragon 855",
+        "Snapdragon 865",
+    };
+
+    std::vector<bench::RunSpec> specs;
+    specs.reserve(static_cast<std::size_t>(scenarios));
+    for (int i = 0; i < scenarios; ++i) {
+        const Combo &c = kCombos[static_cast<std::size_t>(i) %
+                                 std::size(kCombos)];
+        bench::RunSpec spec;
+        spec.model = c.model;
+        spec.dtype = c.dtype;
+        spec.framework = c.fw;
+        spec.mode = kModes[static_cast<std::size_t>(i / 2) %
+                           std::size(kModes)];
+        spec.soc = kSocs[static_cast<std::size_t>(i / 3) %
+                         std::size(kSocs)];
+        spec.runs = runs;
+        spec.seed = 1000 + static_cast<std::uint64_t>(i);
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+/** Order-independent fingerprint that both passes must reproduce. */
+double
+checksum(const std::vector<core::TaxReport> &reports)
+{
+    double sum = 0.0;
+    for (const auto &r : reports)
+        sum += r.endToEndMeanMs();
+    return sum;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int scenarios = 64;
+    int runs = 100;
+    int jobs = 0;
+    std::string out_path = "BENCH_sweep.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            scenarios = 16;
+            runs = 30;
+        } else if (arg == "--scenarios") {
+            scenarios = std::atoi(next());
+        } else if (arg == "--runs") {
+            runs = std::atoi(next());
+        } else if (arg == "--jobs") {
+            jobs = std::atoi(next());
+        } else if (arg == "--out") {
+            out_path = next();
+        } else {
+            std::fprintf(stderr,
+                         "usage: sweep_throughput [--quick] "
+                         "[--scenarios N] [--runs N] [--jobs N] "
+                         "[--out FILE]\n");
+            return 2;
+        }
+    }
+    if (scenarios <= 0 || runs <= 0)
+        return 2;
+    jobs = sweep::effectiveJobs(jobs);
+
+    const auto specs = buildMatrix(scenarios, runs);
+    std::vector<bench::ResolvedSpec> resolved;
+    resolved.reserve(specs.size());
+    for (const auto &s : specs)
+        resolved.push_back(bench::resolveSpec(s));
+
+    // Warm the process-wide graph cache outside the timed region so
+    // both passes see the same steady-state cost per scenario.
+    for (const auto &r : resolved)
+        (void)models::cachedGraph(*r.cfg.model, r.cfg.dtype);
+
+    std::printf("sweep_throughput: %d scenarios x %d runs, --jobs %d\n",
+                scenarios, runs, jobs);
+
+    // --- serial pass (also collects per-scenario wall times) --------
+    std::vector<double> scenario_ms(specs.size());
+    const auto serial_start = Clock::now();
+    std::vector<core::TaxReport> serial_reports;
+    serial_reports.reserve(specs.size());
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+        const auto t0 = Clock::now();
+        serial_reports.push_back(bench::runResolved(resolved[i]));
+        scenario_ms[i] = secondsSince(t0) * 1e3;
+    }
+    const double serial_s = secondsSince(serial_start);
+
+    // --- parallel pass ----------------------------------------------
+    sweep::SweepRunner runner(jobs);
+    const auto parallel_start = Clock::now();
+    const auto parallel_reports = runner.map<core::TaxReport>(
+        resolved.size(),
+        [&](std::size_t i) { return bench::runResolved(resolved[i]); });
+    const double parallel_s = secondsSince(parallel_start);
+
+    const double serial_sum = checksum(serial_reports);
+    const double parallel_sum = checksum(parallel_reports);
+    const bool checksum_match = serial_sum == parallel_sum;
+
+    std::sort(scenario_ms.begin(), scenario_ms.end());
+    const double p50 = scenario_ms[scenario_ms.size() / 2];
+    const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    const double per_sec =
+        parallel_s > 0.0 ? static_cast<double>(scenarios) / parallel_s
+                         : 0.0;
+
+    std::printf("  serial   %.3f s  (p50 scenario %.2f ms)\n", serial_s,
+                p50);
+    std::printf("  parallel %.3f s  (%.2f scenarios/s, speedup "
+                "%.2fx)\n",
+                parallel_s, per_sec, speedup);
+    std::printf("  determinism: serial/parallel checksums %s\n",
+                checksum_match ? "match" : "MISMATCH");
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    out << "{\n"
+        << "  \"scenarios\": " << scenarios << ",\n"
+        << "  \"runs_per_scenario\": " << runs << ",\n"
+        << "  \"jobs\": " << jobs << ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", serial_s);
+    out << "  \"serial_s\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", parallel_s);
+    out << "  \"parallel_s\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.3f", speedup);
+    out << "  \"speedup\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.3f", per_sec);
+    out << "  \"scenarios_per_sec\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.3f", p50);
+    out << "  \"p50_scenario_ms\": " << buf << ",\n";
+    out << "  \"checksum_match\": "
+        << (checksum_match ? "true" : "false") << "\n"
+        << "}\n";
+    out.close();
+    std::printf("  wrote %s\n", out_path.c_str());
+
+    return checksum_match ? 0 : 1;
+}

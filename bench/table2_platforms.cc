@@ -9,9 +9,10 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace aitax;
+    bench::initBench(argc, argv);
     bench::heading(
         "Table II: platforms",
         "Table II (systems used to conduct the study)",
@@ -22,19 +23,28 @@ main()
                         "MobileNet-int8 SNPE-DSP (ms)",
                         "MobileNet-fp32 CPU-4T (ms)"});
 
-    for (const auto &platform : soc::allPlatforms()) {
+    const auto platforms = soc::allPlatforms();
+    std::vector<bench::RunSpec> specs;
+    for (const auto &platform : platforms) {
         bench::RunSpec dsp_spec;
         dsp_spec.model = "mobilenet_v1";
         dsp_spec.dtype = tensor::DType::UInt8;
         dsp_spec.framework = app::FrameworkKind::SnpeDsp;
         dsp_spec.soc = platform.socName;
         dsp_spec.runs = 100;
-        const auto dsp_report = bench::runSpec(dsp_spec);
+        specs.push_back(dsp_spec);
 
         bench::RunSpec cpu_spec = dsp_spec;
         cpu_spec.dtype = tensor::DType::Float32;
         cpu_spec.framework = app::FrameworkKind::TfliteCpu;
-        const auto cpu_report = bench::runSpec(cpu_spec);
+        specs.push_back(cpu_spec);
+    }
+    const auto reports = bench::runSpecs(specs);
+
+    for (std::size_t i = 0; i < platforms.size(); ++i) {
+        const auto &platform = platforms[i];
+        const auto &dsp_report = reports[2 * i];
+        const auto &cpu_report = reports[2 * i + 1];
 
         table.addRow(
             {platform.name, platform.socName,

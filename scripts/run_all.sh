@@ -1,8 +1,13 @@
 #!/bin/sh
 # Regenerate every reproduced table/figure and the test evidence.
 # Usage: scripts/run_all.sh [build-dir]
+# Scenario sweeps inside each harness run on AITAX_JOBS workers
+# (default: all cores); results are byte-identical for any job count.
 set -e
 BUILD="${1:-build}"
+
+AITAX_JOBS="${AITAX_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+export AITAX_JOBS
 
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
@@ -12,7 +17,16 @@ ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
 : > bench_output.txt
 for b in "$BUILD"/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
+    case "$(basename "$b")" in
+        # Host-time measurement binaries run separately below.
+        micro_kernels|sweep_throughput) continue ;;
+    esac
     echo "##### $(basename "$b")" >> bench_output.txt
     "$b" >> bench_output.txt 2>&1
 done
-echo "wrote test_output.txt and bench_output.txt"
+
+# Sweep-throughput perf trajectory: records BENCH_sweep.json.
+if [ -x "$BUILD"/bench/sweep_throughput ]; then
+    "$BUILD"/bench/sweep_throughput --quick --out BENCH_sweep.json
+fi
+echo "wrote test_output.txt, bench_output.txt and BENCH_sweep.json"

@@ -26,7 +26,9 @@ InferenceEngine::InferenceEngine(const models::ModelInfo &info,
                                  int threads)
     : kind_(kind)
 {
-    auto g = models::buildGraph(info, dtype);
+    // Shared immutable graph: every engine for this (model, dtype)
+    // points at one cached instance instead of rebuilding it.
+    auto g = models::cachedGraph(info, dtype);
     if (kind == FrameworkKind::SnpeDsp) {
         snpe_ = std::make_unique<runtime::snpe::Network>(
             std::move(g), dtype, runtime::snpe::RuntimeTarget::Dsp);

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "models/builders.h"
 
@@ -200,6 +201,66 @@ buildGraph(std::string_view id, tensor::DType dtype)
         std::abort();
     }
     return buildGraph(*info, dtype);
+}
+
+namespace {
+
+/** One cache cell per (model row, dtype); built at most once. */
+struct CacheCell
+{
+    std::once_flag once;
+    std::shared_ptr<const graph::Graph> graph;
+};
+
+constexpr std::size_t kDtypeSlots = 6; // matches tensor::DType values
+
+std::size_t
+modelIndex(std::string_view id)
+{
+    const auto &zoo = allModels();
+    for (std::size_t i = 0; i < zoo.size(); ++i)
+        if (zoo[i].id == id)
+            return i;
+    std::fprintf(stderr, "unknown model id: %.*s\n",
+                 static_cast<int>(id.size()), id.data());
+    std::abort();
+}
+
+CacheCell &
+cacheCell(std::size_t model_idx, tensor::DType dtype)
+{
+    // Fixed-size arena: cells never move, so returned pointers stay
+    // valid and call_once coordination works across threads.
+    static const std::size_t n_models = allModels().size();
+    static CacheCell *cells = new CacheCell[n_models * kDtypeSlots];
+    const auto dtype_idx = static_cast<std::size_t>(dtype);
+    assert(model_idx < n_models && dtype_idx < kDtypeSlots);
+    return cells[model_idx * kDtypeSlots + dtype_idx];
+}
+
+} // namespace
+
+std::shared_ptr<const graph::Graph>
+cachedGraph(const ModelInfo &info, tensor::DType dtype)
+{
+    CacheCell &cell = cacheCell(modelIndex(info.id), dtype);
+    std::call_once(cell.once, [&] {
+        cell.graph = std::make_shared<const graph::Graph>(
+            buildGraph(info, dtype));
+    });
+    return cell.graph;
+}
+
+std::shared_ptr<const graph::Graph>
+cachedGraph(std::string_view id, tensor::DType dtype)
+{
+    const ModelInfo *info = findModel(id);
+    if (info == nullptr) {
+        std::fprintf(stderr, "unknown model id: %.*s\n",
+                     static_cast<int>(id.size()), id.data());
+        std::abort();
+    }
+    return cachedGraph(*info, dtype);
 }
 
 } // namespace aitax::models

@@ -6,6 +6,7 @@
 #ifndef AITAX_MODELS_ZOO_H
 #define AITAX_MODELS_ZOO_H
 
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -30,6 +31,22 @@ graph::Graph buildGraph(const ModelInfo &info, tensor::DType dtype);
 
 /** Convenience overload; aborts on unknown id. */
 graph::Graph buildGraph(std::string_view id, tensor::DType dtype);
+
+/**
+ * Process-wide immutable graph cache.
+ *
+ * Each (model, dtype) graph is built exactly once (std::call_once) and
+ * then shared read-only by every engine, partitioner and sweep worker;
+ * repeated calls — from any thread — return the same pointer. Sweeps
+ * that previously rebuilt all Table I graphs op-by-op per scenario
+ * amortize construction to one build per process.
+ */
+std::shared_ptr<const graph::Graph> cachedGraph(const ModelInfo &info,
+                                                tensor::DType dtype);
+
+/** Cache lookup by id; aborts on unknown id. */
+std::shared_ptr<const graph::Graph> cachedGraph(std::string_view id,
+                                                tensor::DType dtype);
 
 } // namespace aitax::models
 

@@ -11,6 +11,8 @@
 #ifndef AITAX_RUNTIME_SNPE_H
 #define AITAX_RUNTIME_SNPE_H
 
+#include <memory>
+
 #include "graph/graph.h"
 #include "runtime/execute.h"
 #include "runtime/plan.h"
@@ -31,7 +33,12 @@ enum class RuntimeTarget
 class Network
 {
   public:
+    /** Owning constructor: wraps @p g for this network alone. */
     Network(graph::Graph g, tensor::DType dtype,
+            RuntimeTarget target = RuntimeTarget::Dsp);
+
+    /** Shared-graph constructor (see models::cachedGraph). */
+    Network(std::shared_ptr<const graph::Graph> g, tensor::DType dtype,
             RuntimeTarget target = RuntimeTarget::Dsp);
 
     const ExecutionPlan &plan() const { return plan_; }
@@ -45,7 +52,7 @@ class Network
                       ExecOptions exec_opts) const;
 
   private:
-    graph::Graph graph_;
+    std::shared_ptr<const graph::Graph> graph_;
     tensor::DType dtype_;
     RuntimeTarget target_;
     ExecutionPlan plan_;

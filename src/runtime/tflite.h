@@ -11,6 +11,7 @@
 #ifndef AITAX_RUNTIME_TFLITE_H
 #define AITAX_RUNTIME_TFLITE_H
 
+#include <memory>
 #include <string>
 
 #include "graph/graph.h"
@@ -49,10 +50,19 @@ struct InterpreterOptions
 class Interpreter
 {
   public:
+    /** Owning constructor: wraps @p g for this interpreter alone. */
     Interpreter(graph::Graph g, tensor::DType dtype,
                 InterpreterOptions options);
 
-    const graph::Graph &graph() const { return graph_; }
+    /**
+     * Shared-graph constructor: the interpreter only reads the graph,
+     * so concurrent scenarios can all point at one immutable instance
+     * (see models::cachedGraph) instead of rebuilding it.
+     */
+    Interpreter(std::shared_ptr<const graph::Graph> g,
+                tensor::DType dtype, InterpreterOptions options);
+
+    const graph::Graph &graph() const { return *graph_; }
     tensor::DType dtype() const { return dtype_; }
     const InterpreterOptions &options() const { return opts; }
     const ExecutionPlan &plan() const { return plan_; }
@@ -69,7 +79,7 @@ class Interpreter
                       ExecOptions exec_opts) const;
 
   private:
-    graph::Graph graph_;
+    std::shared_ptr<const graph::Graph> graph_;
     tensor::DType dtype_;
     InterpreterOptions opts;
     ExecutionPlan plan_;

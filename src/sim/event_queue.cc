@@ -1,64 +1,173 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace aitax::sim {
 
-EventId
-EventQueue::schedule(TimeNs when, std::function<void()> fn)
+namespace {
+
+constexpr std::uint64_t kSlotMask = 0xffffffffull;
+
+std::uint32_t
+slotOf(EventId id)
 {
-    const EventId id = nextId++;
-    heap.push(Entry{when, nextSeq++, id, std::move(fn)});
+    return static_cast<std::uint32_t>(id & kSlotMask);
+}
+
+std::uint32_t
+genOf(EventId id)
+{
+    return static_cast<std::uint32_t>(id >> 32);
+}
+
+} // namespace
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (!freeSlots.empty()) {
+        const std::uint32_t slot = freeSlots.back();
+        freeSlots.pop_back();
+        return slot;
+    }
+    slots.emplace_back();
+    return static_cast<std::uint32_t>(slots.size() - 1);
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Slot &s = slots[slot];
+    s.live = false;
+    s.fn.reset();
+    // Advance the generation so outstanding ids for this slot go
+    // stale; never hand out generation 0 so EventId 0 stays invalid.
+    if (++s.gen == 0)
+        s.gen = 1;
+    freeSlots.push_back(slot);
+}
+
+EventId
+EventQueue::schedule(TimeNs when, EventFn fn)
+{
+    const std::uint32_t slot = allocSlot();
+    Slot &s = slots[slot];
+    s.fn = std::move(fn);
+    s.live = true;
+    heap.push_back(HeapEntry{when, nextSeq++, slot, s.gen});
+    siftUp(heap.size() - 1);
     ++liveCount;
-    return id;
+    return (static_cast<EventId>(s.gen) << 32) | slot;
 }
 
 void
 EventQueue::cancel(EventId id)
 {
-    if (id == 0 || id >= nextId)
+    const std::uint32_t slot = slotOf(id);
+    if (slot >= slots.size())
         return;
-    // Lazily discarded when it reaches the heap top.
-    if (cancelled.insert(id).second && liveCount > 0)
-        --liveCount;
-}
-
-bool
-EventQueue::isCancelled(EventId id) const
-{
-    return cancelled.count(id) > 0;
+    Slot &s = slots[slot];
+    if (!s.live || s.gen != genOf(id))
+        return; // already fired, cancelled, or slot reused
+    freeSlot(slot);
+    --liveCount;
+    // The heap entry is dropped lazily; bound the garbage so a
+    // cancel-heavy workload cannot grow the heap past O(live).
+    if (liveCount == 0)
+        heap.clear();
+    else if (heap.size() > 2 * liveCount + 64)
+        compact();
 }
 
 void
-EventQueue::dropCancelledHead()
+EventQueue::siftUp(std::size_t i)
 {
-    while (!heap.empty() && isCancelled(heap.top().id)) {
-        cancelled.erase(heap.top().id);
-        heap.pop();
+    HeapEntry e = heap[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / kArity;
+        if (!before(e, heap[parent]))
+            break;
+        heap[i] = heap[parent];
+        i = parent;
     }
+    heap[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap.size();
+    HeapEntry e = heap[i];
+    for (;;) {
+        const std::size_t first = i * kArity + 1;
+        if (first >= n)
+            break;
+        const std::size_t last = std::min(first + kArity, n);
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < last; ++c)
+            if (before(heap[c], heap[best]))
+                best = c;
+        if (!before(heap[best], e))
+            break;
+        heap[i] = heap[best];
+        i = best;
+    }
+    heap[i] = e;
+}
+
+void
+EventQueue::popHeapTop()
+{
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+}
+
+void
+EventQueue::dropStaleHead()
+{
+    while (!heap.empty() && stale(heap.front()))
+        popHeapTop();
+}
+
+void
+EventQueue::compact()
+{
+    const auto is_stale = [this](const HeapEntry &e) { return stale(e); };
+    heap.erase(std::remove_if(heap.begin(), heap.end(), is_stale),
+               heap.end());
+    if (heap.empty())
+        return;
+    // Implicit heaps rebuild bottom-up in O(n).
+    for (std::size_t i = heap.size() / kArity + 1; i-- > 0;)
+        siftDown(i);
 }
 
 TimeNs
 EventQueue::nextTime() const
 {
     auto *self = const_cast<EventQueue *>(this);
-    self->dropCancelledHead();
+    self->dropStaleHead();
     assert(!heap.empty());
-    return heap.top().when;
+    return heap.front().when;
 }
 
 TimeNs
 EventQueue::popAndRun()
 {
-    dropCancelledHead();
+    dropStaleHead();
     assert(!heap.empty());
-    // Move the callback out before popping: the callback may schedule
-    // new events, which mutates the heap.
-    Entry top = std::move(const_cast<Entry &>(heap.top()));
-    heap.pop();
+    const HeapEntry top = heap.front();
+    // Move the callback out and retire the entry before invoking: the
+    // callback may schedule new events, which mutates heap and slots.
+    EventFn fn = std::move(slots[top.slot].fn);
+    freeSlot(top.slot);
+    popHeapTop();
     --liveCount;
-    top.fn();
+    fn();
     return top.when;
 }
 

@@ -1,22 +1,34 @@
 /**
  * @file
  * Priority event queue for the discrete-event simulator.
+ *
+ * Hot-path layout: the heap holds small POD entries (timestamp, FIFO
+ * sequence, slot reference) in an implicit d-ary heap, while callbacks
+ * live in a slot arena recycled through a free list. Cancellation is
+ * generation-counted — an EventId encodes (slot, generation), so a
+ * cancel is O(1), a cancel of an already-fired (or doubly-cancelled)
+ * event is a true no-op, and bookkeeping is bounded by the number of
+ * pending entries rather than growing with the lifetime of the queue.
  */
 
 #ifndef AITAX_SIM_EVENT_QUEUE_H
 #define AITAX_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 
 namespace aitax::sim {
 
-/** Handle used to cancel a scheduled event. */
+/**
+ * Handle used to cancel a scheduled event.
+ *
+ * Encodes (generation << 32 | slot); 0 is never a valid id. Ids are
+ * unique per live event — once an event fires or is cancelled its
+ * slot's generation advances, so stale handles are rejected.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -29,7 +41,7 @@ class EventQueue
 {
   public:
     /** Schedule @p fn to fire at absolute time @p when. */
-    EventId schedule(TimeNs when, std::function<void()> fn);
+    EventId schedule(TimeNs when, EventFn fn);
 
     /** Cancel a pending event. Cancelling a fired event is a no-op. */
     void cancel(EventId id);
@@ -49,31 +61,67 @@ class EventQueue
      */
     TimeNs popAndRun();
 
+    // --- bookkeeping introspection (tests, leak accounting) ----------
+
+    /** Callback slots ever allocated = peak concurrent pending events. */
+    std::size_t slotCapacity() const { return slots.size(); }
+
+    /**
+     * Heap entries currently stored, including lazily-dropped stale
+     * ones. Compaction keeps this O(size()).
+     */
+    std::size_t heapEntries() const { return heap.size(); }
+
   private:
-    struct Entry
+    /** POD heap node; callbacks live in the slot arena. */
+    struct HeapEntry
     {
         TimeNs when;
         std::uint64_t seq;
-        EventId id;
-        std::function<void()> fn;
-
-        bool
-        operator>(const Entry &other) const
-        {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
-        }
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-    std::unordered_set<EventId> cancelled;
+    struct Slot
+    {
+        EventFn fn;
+        std::uint32_t gen = 1;
+        bool live = false;
+    };
+
+    /** Heap arity; 4-ary trades deeper fanout for fewer cache lines. */
+    static constexpr std::size_t kArity = 4;
+
+    std::vector<HeapEntry> heap;
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> freeSlots;
     std::uint64_t nextSeq = 0;
-    EventId nextId = 1;
     std::size_t liveCount = 0;
 
-    bool isCancelled(EventId id) const;
-    void dropCancelledHead();
+    static bool
+    before(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    /** True if the entry refers to a fired/cancelled/reused slot. */
+    bool
+    stale(const HeapEntry &e) const
+    {
+        const Slot &s = slots[e.slot];
+        return !s.live || s.gen != e.gen;
+    }
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    void popHeapTop();
+    void dropStaleHead();
+    /** Rebuild the heap without stale entries when they dominate. */
+    void compact();
 };
 
 } // namespace aitax::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Small-buffer move-only callable for simulator events.
+ *
+ * The discrete-event hot path schedules millions of `void()` callbacks
+ * per sweep. `std::function` only inline-stores tiny callables (one or
+ * two pointers on mainstream ABIs), so the typical simulator lambda —
+ * a `this` pointer plus a couple of captured ints or a moved-in
+ * continuation — pays one heap allocation per event. EventFn widens the
+ * inline buffer so every callback the simulator actually creates stays
+ * in situ; oversized callables degrade gracefully to the heap.
+ */
+
+#ifndef AITAX_SIM_INLINE_FUNCTION_H
+#define AITAX_SIM_INLINE_FUNCTION_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aitax::sim {
+
+/**
+ * Move-only `void()` callable with a wide small-buffer optimization.
+ *
+ * Invariants: invoking an empty EventFn is undefined (the event queue
+ * never stores empty callbacks); relocation is a move-construct plus
+ * destroy of the source, so captured state moves exactly once.
+ */
+class EventFn
+{
+  public:
+    /** Inline storage; sized for a capture of ~6 pointers. */
+    static constexpr std::size_t kInlineSize = 48;
+
+    EventFn() noexcept = default;
+
+    template <typename F>
+        requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                 std::is_invocable_r_v<void, std::remove_cvref_t<F> &>)
+    EventFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::remove_cvref_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf))
+                Fn *(new Fn(std::forward<F>(f)));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    EventFn(EventFn &&other) noexcept { moveFrom(other); }
+
+    EventFn &
+    operator=(EventFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    void
+    operator()()
+    {
+        ops->invoke(buf);
+    }
+
+    /** Destroy the held callable, leaving the EventFn empty. */
+    void
+    reset() noexcept
+    {
+        if (ops != nullptr) {
+            ops->destroy(buf);
+            ops = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *dst, void *src) noexcept {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) noexcept {
+            std::launder(reinterpret_cast<Fn *>(p))->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**std::launder(reinterpret_cast<Fn **>(p)))(); },
+        [](void *dst, void *src) noexcept {
+            ::new (dst)
+                Fn *(*std::launder(reinterpret_cast<Fn **>(src)));
+        },
+        [](void *p) noexcept {
+            delete *std::launder(reinterpret_cast<Fn **>(p));
+        },
+    };
+
+    void
+    moveFrom(EventFn &other) noexcept
+    {
+        if (other.ops != nullptr) {
+            other.ops->relocate(buf, other.buf);
+            ops = other.ops;
+            other.ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf[kInlineSize];
+    const Ops *ops = nullptr;
+};
+
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_INLINE_FUNCTION_H

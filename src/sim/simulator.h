@@ -39,7 +39,7 @@ class Simulator
 
     /** Schedule @p fn to run @p delay ns from now. Negative clamps to 0. */
     EventId
-    scheduleIn(DurationNs delay, std::function<void()> fn)
+    scheduleIn(DurationNs delay, EventFn fn)
     {
         if (delay < 0)
             delay = 0;
@@ -48,7 +48,7 @@ class Simulator
 
     /** Schedule @p fn at absolute time @p when (>= now). */
     EventId
-    scheduleAt(TimeNs when, std::function<void()> fn)
+    scheduleAt(TimeNs when, EventFn fn)
     {
         if (when < nowNs)
             when = nowNs;

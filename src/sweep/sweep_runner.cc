@@ -1,0 +1,141 @@
+#include "sweep/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string_view>
+#include <thread>
+
+namespace aitax::sweep {
+
+int
+effectiveJobs(int requested)
+{
+    if (requested >= 1)
+        return requested;
+    if (const char *env = std::getenv("AITAX_JOBS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int
+consumeJobsFlag(int &argc, char **argv)
+{
+    int requested = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) != "--jobs")
+            continue;
+        if (i + 1 < argc)
+            requested = std::atoi(argv[i + 1]);
+        const int removed = (i + 1 < argc) ? 2 : 1;
+        for (int j = i; j + removed < argc; ++j)
+            argv[j] = argv[j + removed];
+        argc -= removed;
+        break;
+    }
+    return effectiveJobs(requested);
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(effectiveJobs(jobs)) {}
+
+namespace {
+
+/** One worker's run of job indices; mutex-guarded for stealing. */
+struct WorkDeque
+{
+    std::mutex m;
+    std::deque<std::size_t> d;
+};
+
+} // namespace
+
+void
+SweepRunner::forEach(std::size_t count,
+                     const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    const auto workers = static_cast<std::size_t>(jobs_);
+    if (workers <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    const std::size_t n_workers = std::min(workers, count);
+    std::vector<WorkDeque> deques(n_workers);
+    // Contiguous blocks: neighbouring scenarios often share cached
+    // graphs, and block handoff keeps steals coarse-grained.
+    for (std::size_t i = 0; i < count; ++i)
+        deques[i * n_workers / count].d.push_back(i);
+
+    std::atomic<bool> stop{false};
+    std::exception_ptr first_error;
+    std::mutex error_m;
+
+    auto worker = [&](std::size_t self) {
+        for (;;) {
+            if (stop.load(std::memory_order_relaxed))
+                return;
+            std::size_t index = 0;
+            bool found = false;
+            {
+                std::lock_guard<std::mutex> lock(deques[self].m);
+                if (!deques[self].d.empty()) {
+                    index = deques[self].d.front();
+                    deques[self].d.pop_front();
+                    found = true;
+                }
+            }
+            if (!found) {
+                // Steal from the back of the fullest victim.
+                std::size_t victim = n_workers;
+                std::size_t victim_size = 0;
+                for (std::size_t v = 0; v < n_workers; ++v) {
+                    if (v == self)
+                        continue;
+                    std::lock_guard<std::mutex> lock(deques[v].m);
+                    if (deques[v].d.size() > victim_size) {
+                        victim_size = deques[v].d.size();
+                        victim = v;
+                    }
+                }
+                if (victim == n_workers)
+                    return; // every deque empty: sweep drained
+                std::lock_guard<std::mutex> lock(deques[victim].m);
+                if (deques[victim].d.empty())
+                    continue; // lost the race; rescan
+                index = deques[victim].d.back();
+                deques[victim].d.pop_back();
+            }
+            try {
+                fn(index);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_m);
+                if (!first_error)
+                    first_error = std::current_exception();
+                stop.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w)
+        threads.emplace_back(worker, w);
+    for (auto &t : threads)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace aitax::sweep

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -276,6 +277,77 @@ TEST(EventQueue, RandomCancellationsNeverFire)
     while (!q.empty())
         q.popAndRun();
     EXPECT_EQ(fired, 200 - cancelled);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoopAcrossSlotReuse)
+{
+    EventQueue q;
+    int fired = 0;
+    const EventId stale = q.schedule(10, [&] { ++fired; });
+    q.popAndRun();
+    // The freed slot is recycled by the next schedule with a bumped
+    // generation; the stale id must not cancel the new occupant.
+    q.schedule(20, [&] { ++fired; });
+    q.cancel(stale);
+    EXPECT_EQ(q.size(), 1u);
+    q.popAndRun();
+    EXPECT_EQ(fired, 2);
+    q.cancel(stale);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, BookkeepingStaysBoundedOverMillionEvents)
+{
+    // Regression: the queue once kept every cancelled id in a tombstone
+    // set forever, so a cancel of an already-fired event leaked for the
+    // lifetime of the queue. Bookkeeping must track the *pending*
+    // population, not the total event count.
+    EventQueue q;
+    constexpr int kEvents = 1'000'000;
+    std::int64_t fired = 0;
+    std::vector<EventId> retired;
+    TimeNs t = 0;
+    for (int i = 0; i < kEvents; ++i) {
+        const EventId id = q.schedule(++t, [&] { ++fired; });
+        if (i % 2 == 0)
+            q.cancel(id);
+        else
+            q.popAndRun();
+        retired.push_back(id);
+        // The historic leak path: cancelling ids that already fired or
+        // were already cancelled must not grow any bookkeeping.
+        if (i % 7 == 0)
+            q.cancel(retired[retired.size() / 2]);
+        if (retired.size() > 64)
+            retired.erase(retired.begin(), retired.begin() + 32);
+    }
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(fired, kEvents / 2);
+    // Peak concurrent pending population was ~1, so the slot arena and
+    // heap storage must be tiny after a million schedule/retire cycles.
+    EXPECT_LE(q.slotCapacity(), 16u);
+    EXPECT_LE(q.heapEntries(), 2 * q.size() + 64);
+}
+
+TEST(EventQueue, CancelHeavyLoadCompactsHeap)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100'000; ++i)
+        ids.push_back(q.schedule(i, [] {}));
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        if (i % 100 != 0)
+            q.cancel(ids[i]);
+    EXPECT_EQ(q.size(), 1000u);
+    // Lazily-dropped stale entries are compacted away once they
+    // dominate; storage stays O(live).
+    EXPECT_LE(q.heapEntries(), 2 * q.size() + 64);
+    TimeNs last = -1;
+    while (!q.empty()) {
+        const TimeNs now = q.popAndRun();
+        EXPECT_GT(now, last);
+        last = now;
+    }
 }
 
 // --- Simulator -------------------------------------------------------

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Sweep-engine tests: work-stealing pool semantics, the shared
+ * model-graph cache, and the determinism contract — the golden suite
+ * and a fuzz batch must be byte-identical at --jobs 1 and --jobs 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.h"
+#include "models/zoo.h"
+#include "sweep/sweep_runner.h"
+#include "verify/golden.h"
+#include "verify/scenario.h"
+
+namespace {
+
+using namespace aitax;
+
+// --- SweepRunner -----------------------------------------------------
+
+TEST(SweepRunner, MapPreservesSubmissionOrder)
+{
+    sweep::SweepRunner runner(8);
+    const auto out =
+        runner.map<std::size_t>(257, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepRunner, ForEachVisitsEveryIndexExactlyOnce)
+{
+    sweep::SweepRunner runner(8);
+    std::vector<std::atomic<int>> hits(1024);
+    runner.forEach(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(SweepRunner, FirstExceptionPropagatesToCaller)
+{
+    sweep::SweepRunner runner(4);
+    EXPECT_THROW(runner.forEach(100,
+                                [](std::size_t i) {
+                                    if (i == 37)
+                                        throw std::runtime_error("boom");
+                                }),
+                 std::runtime_error);
+}
+
+TEST(SweepRunner, SingleJobRunsInlineOnCallingThread)
+{
+    sweep::SweepRunner runner(1);
+    const auto caller = std::this_thread::get_id();
+    runner.forEach(4, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(SweepRunner, MoreJobsThanWorkIsFine)
+{
+    sweep::SweepRunner runner(16);
+    const auto out =
+        runner.map<int>(3, [](std::size_t i) { return static_cast<int>(i); });
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SweepRunner, EffectiveJobsResolution)
+{
+    EXPECT_EQ(sweep::effectiveJobs(3), 3);
+    EXPECT_EQ(sweep::effectiveJobs(1), 1);
+    EXPECT_GE(sweep::effectiveJobs(0), 1);
+    EXPECT_GE(sweep::effectiveJobs(-5), 1);
+}
+
+// --- shared model-graph cache ----------------------------------------
+
+TEST(GraphCache, PointerIdenticalAcrossThreads)
+{
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const graph::Graph>> seen(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&seen, t] {
+            seen[static_cast<std::size_t>(t)] = models::cachedGraph(
+                "inception_v3", tensor::DType::Float32);
+        });
+    for (auto &th : threads)
+        th.join();
+    ASSERT_NE(seen[0], nullptr);
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[static_cast<std::size_t>(t)].get(), seen[0].get());
+}
+
+TEST(GraphCache, DistinctCellsPerModelAndDtype)
+{
+    const auto a =
+        models::cachedGraph("mobilenet_v1", tensor::DType::Float32);
+    const auto b =
+        models::cachedGraph("mobilenet_v1", tensor::DType::UInt8);
+    const auto c =
+        models::cachedGraph("squeezenet", tensor::DType::Float32);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(
+        a.get(),
+        models::cachedGraph("mobilenet_v1", tensor::DType::Float32).get());
+}
+
+TEST(GraphCache, MatchesUncachedBuild)
+{
+    const auto cached =
+        models::cachedGraph("mobilenet_v1", tensor::DType::Float32);
+    const auto built =
+        models::buildGraph("mobilenet_v1", tensor::DType::Float32);
+    EXPECT_EQ(cached->opCount(), built.opCount());
+}
+
+// --- determinism contract --------------------------------------------
+// Parallelism is across simulations, never inside one: any --jobs
+// count must reproduce the serial output byte for byte.
+
+std::vector<std::string>
+goldenJsonAtJobs(int jobs)
+{
+    const auto &scenarios = verify::goldenScenarios();
+    sweep::SweepRunner runner(jobs);
+    return runner.map<std::string>(
+        scenarios.size(), [&](std::size_t i) {
+            const auto &s = scenarios[i];
+            return verify::toJson(
+                verify::snapshot(s, verify::runScenario(s)));
+        });
+}
+
+TEST(SweepDeterminism, GoldenSuiteByteIdenticalAcrossJobCounts)
+{
+    const auto serial = goldenJsonAtJobs(1);
+    const auto parallel = goldenJsonAtJobs(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i])
+            << verify::goldenScenarios()[i].label();
+}
+
+std::vector<std::string>
+fuzzTracesAtJobs(int jobs, int count)
+{
+    sweep::SweepRunner runner(jobs);
+    return runner.map<std::string>(
+        static_cast<std::size_t>(count), [&](std::size_t i) {
+            const auto s =
+                verify::fuzzScenario(20260807, static_cast<int>(i));
+            return verify::runScenario(s).chromeTraceJson;
+        });
+}
+
+TEST(SweepDeterminism, FuzzBatchTracesByteIdenticalAcrossJobCounts)
+{
+    const auto serial = fuzzTracesAtJobs(1, 32);
+    const auto parallel = fuzzTracesAtJobs(8, 32);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "fuzz index " << i;
+}
+
+} // namespace

@@ -27,6 +27,8 @@
  *     --fuzz <n>             seeded random scenarios to verify (default 5)
  *     --replay <index>       re-run one fuzz scenario verbosely
  *     --seed <n>             master fuzz seed (default 2021)
+ *     --jobs <n>             parallel scenario workers (default: all
+ *                            cores; output is identical to --jobs 1)
  */
 
 #include <cstdio>
@@ -40,6 +42,7 @@
 #include "soc/chipsets.h"
 #include <fstream>
 
+#include "sweep/sweep_runner.h"
 #include "trace/chrome_trace.h"
 #include "trace/render.h"
 #include "verify/golden.h"
@@ -80,20 +83,32 @@ verifyUsage()
 {
     std::fprintf(stderr,
                  "usage: aitax_cli verify [--update] [--golden-dir DIR] "
-                 "[--fuzz N] [--replay INDEX] [--seed N]\n");
+                 "[--fuzz N] [--replay INDEX] [--seed N] [--jobs N]\n");
     std::exit(2);
 }
 
 /** Golden pass: compare (or rewrite) every committed snapshot. */
 int
-runGoldenPass(const std::string &golden_dir, bool update)
+runGoldenPass(const std::string &golden_dir, bool update, int jobs)
 {
+    const auto &scenarios = verify::goldenScenarios();
+
+    // Scenarios are independent simulations: run them on the sweep
+    // pool, then compare/report serially in submission order so the
+    // output (and any rewritten files) are identical to --jobs 1.
+    sweep::SweepRunner runner(jobs);
+    const auto snapshots = runner.map<verify::GoldenSnapshot>(
+        scenarios.size(), [&](std::size_t i) {
+            return verify::snapshot(scenarios[i],
+                                    verify::runScenario(scenarios[i]));
+        });
+
     int failures = 0;
-    for (const auto &scenario : verify::goldenScenarios()) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const auto &scenario = scenarios[i];
+        const auto &actual = snapshots[i];
         const std::string path =
             golden_dir + "/" + verify::goldenFileName(scenario);
-        const auto result = verify::runScenario(scenario);
-        const auto actual = verify::snapshot(scenario, result);
 
         if (update) {
             if (!verify::writeGoldenFile(path, actual)) {
@@ -133,14 +148,32 @@ runGoldenPass(const std::string &golden_dir, bool update)
 
 /** Fuzz pass: invariant-check seeded random scenarios. */
 int
-runFuzzPass(std::uint64_t master_seed, int count, int replay_index)
+runFuzzPass(std::uint64_t master_seed, int count, int replay_index,
+            int jobs)
 {
-    int failures = 0;
     const int begin = replay_index >= 0 ? replay_index : 0;
     const int end = replay_index >= 0 ? replay_index + 1 : count;
-    for (int i = begin; i < end; ++i) {
-        const auto scenario = verify::fuzzScenario(master_seed, i);
-        const auto report = verify::verifyScenario(scenario);
+    const auto n = static_cast<std::size_t>(end - begin);
+
+    struct FuzzOutcome
+    {
+        verify::Scenario scenario;
+        verify::InvariantReport report;
+    };
+    sweep::SweepRunner runner(jobs);
+    const auto outcomes = runner.map<FuzzOutcome>(n, [&](std::size_t k) {
+        const int i = begin + static_cast<int>(k);
+        FuzzOutcome out;
+        out.scenario = verify::fuzzScenario(master_seed, i);
+        out.report = verify::verifyScenario(out.scenario);
+        return out;
+    });
+
+    int failures = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const int i = begin + static_cast<int>(k);
+        const auto &scenario = outcomes[k].scenario;
+        const auto &report = outcomes[k].report;
         const bool verbose = replay_index >= 0 || !report.allPassed();
         std::printf("%s fuzz[%d] %s\n",
                     report.allPassed() ? "ok  " : "FAIL", i,
@@ -167,6 +200,7 @@ verifyMain(int argc, char **argv)
     int fuzz_count = 5;
     int replay_index = -1;
     std::uint64_t master_seed = 2021;
+    int jobs = 0; // 0: default via sweep::effectiveJobs
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -185,6 +219,8 @@ verifyMain(int argc, char **argv)
             replay_index = std::atoi(next());
         else if (arg == "--seed")
             master_seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--jobs")
+            jobs = std::atoi(next());
         else
             verifyUsage();
     }
@@ -193,9 +229,10 @@ verifyMain(int argc, char **argv)
 
     int failures = 0;
     if (replay_index < 0)
-        failures += runGoldenPass(golden_dir, update);
+        failures += runGoldenPass(golden_dir, update, jobs);
     if (!update)
-        failures += runFuzzPass(master_seed, fuzz_count, replay_index);
+        failures += runFuzzPass(master_seed, fuzz_count, replay_index,
+                                jobs);
 
     if (failures > 0) {
         std::fprintf(stderr, "\nverify: %d failure(s)\n", failures);
