@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
 #include "imaging/convert.h"
 #include "imaging/crop.h"
 #include "imaging/letterbox.h"
@@ -23,6 +27,8 @@
 #include "postproc/topk.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
+#include "trace/chrome_trace.h"
+#include "trace/tracer.h"
 
 namespace {
 
@@ -296,6 +302,171 @@ BM_GraphCached(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GraphCached);
+
+// --- tracer hot paths ------------------------------------------------
+// The tracer is on the simulator's event dispatch path (scheduler,
+// accelerators, drivers record through it), so its record and
+// serialize costs are the simulator's own probe effect. See
+// docs/PERFORMANCE.md "Tracing hot path".
+
+struct TraceOp
+{
+    std::size_t track;
+    std::size_t label;
+    sim::TimeNs begin;
+    sim::TimeNs end;
+};
+
+std::vector<TraceOp>
+makeTraceOps(std::size_t n, std::size_t tracks, std::size_t labels)
+{
+    sim::RandomStream rng(21);
+    std::vector<TraceOp> ops;
+    ops.reserve(n);
+    sim::TimeNs now = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        TraceOp op;
+        op.track = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(tracks) - 1));
+        op.label = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(labels) - 1));
+        op.begin = now;
+        op.end = now + 1 + rng.uniformInt(0, 999);
+        now += 500;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+void
+BM_TracerRecordInterned(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto ops = makeTraceOps(n, 8, 16);
+    trace::Tracer t;
+    std::vector<trace::TrackId> tracks;
+    for (int i = 0; i < 8; ++i)
+        tracks.push_back(t.internTrack("core" + std::to_string(i)));
+    std::vector<trace::LabelId> labels;
+    for (int i = 0; i < 16; ++i)
+        labels.push_back(t.internLabel("job_" + std::to_string(i)));
+    for (auto _ : state) {
+        t.clear(); // keeps ids and capacity: steady-state record
+        for (const auto &op : ops)
+            t.recordInterval(tracks[op.track], labels[op.label],
+                             op.begin, op.end);
+        benchmark::DoNotOptimize(t.intervalCount());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TracerRecordInterned)->Arg(1'000'000);
+
+void
+BM_TracerRecordStringApi(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto ops = makeTraceOps(n, 8, 16);
+    std::vector<std::string> tracks, labels;
+    for (int i = 0; i < 8; ++i)
+        tracks.push_back("core" + std::to_string(i));
+    for (int i = 0; i < 16; ++i)
+        labels.push_back("job_" + std::to_string(i));
+    trace::Tracer t;
+    for (auto _ : state) {
+        t.clear();
+        for (const auto &op : ops)
+            t.recordInterval(tracks[op.track], labels[op.label],
+                             op.begin, op.end);
+        benchmark::DoNotOptimize(t.intervalCount());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TracerRecordStringApi)->Arg(1'000'000);
+
+void
+BM_TracerRecordLegacyBaseline(benchmark::State &state)
+{
+    // Replica of the pre-interning storage: string-keyed ordered map
+    // of AoS vectors with a std::string label per record. This is the
+    // baseline the >=3x record-path claim is measured against.
+    struct LegacyInterval
+    {
+        std::string label;
+        sim::TimeNs begin;
+        sim::TimeNs end;
+    };
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto ops = makeTraceOps(n, 8, 16);
+    std::vector<std::string> tracks, labels;
+    for (int i = 0; i < 8; ++i)
+        tracks.push_back("core" + std::to_string(i));
+    for (int i = 0; i < 16; ++i)
+        labels.push_back("job_" + std::to_string(i));
+    for (auto _ : state) {
+        std::map<std::string, std::vector<LegacyInterval>> store;
+        for (const auto &op : ops)
+            store[tracks[op.track]].push_back(
+                {labels[op.label], op.begin, op.end});
+        benchmark::DoNotOptimize(store.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TracerRecordLegacyBaseline)->Arg(1'000'000);
+
+void
+BM_ChromeTraceSerialize(benchmark::State &state)
+{
+    // Escape-heavy labels: every record needs \" and \\ rewriting
+    // plus a control character, the worst case for appendEscaped.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto ops = makeTraceOps(n, 8, 16);
+    trace::Tracer t;
+    std::vector<trace::TrackId> tracks;
+    for (int i = 0; i < 8; ++i)
+        tracks.push_back(t.internTrack("core" + std::to_string(i)));
+    std::vector<trace::LabelId> labels;
+    for (int i = 0; i < 16; ++i)
+        labels.push_back(t.internLabel("job\"q\\\t" +
+                                       std::to_string(i)));
+    for (const auto &op : ops)
+        t.recordInterval(tracks[op.track], labels[op.label], op.begin,
+                         op.end);
+    for (auto _ : state) {
+        const auto json = trace::chromeTraceString(t);
+        benchmark::DoNotOptimize(json.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ChromeTraceSerialize)->Arg(100'000);
+
+void
+BM_TracerUtilization(benchmark::State &state)
+{
+    const std::size_t n = 10'000;
+    const auto buckets = static_cast<std::size_t>(state.range(0));
+    const auto ops = makeTraceOps(n, 1, 16);
+    trace::Tracer t;
+    const trace::TrackId track = t.internTrack("core0");
+    std::vector<trace::LabelId> labels;
+    for (int i = 0; i < 16; ++i)
+        labels.push_back(t.internLabel("job_" + std::to_string(i)));
+    sim::TimeNs t1 = 0;
+    for (const auto &op : ops) {
+        t.recordInterval(track, labels[op.label], op.begin, op.end);
+        t1 = std::max(t1, op.end);
+    }
+    for (auto _ : state) {
+        const auto u = t.utilization("core0", 0, t1, buckets);
+        benchmark::DoNotOptimize(u.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TracerUtilization)->Arg(256);
 
 } // namespace
 

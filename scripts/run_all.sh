@@ -26,7 +26,9 @@ for b in "$BUILD"/bench/*; do
 done
 
 # Sweep-throughput perf trajectory: records BENCH_sweep.json.
+# (probe_effect above records BENCH_trace.json, the tracer trajectory.)
 if [ -x "$BUILD"/bench/sweep_throughput ]; then
     "$BUILD"/bench/sweep_throughput --quick --out BENCH_sweep.json
 fi
-echo "wrote test_output.txt, bench_output.txt and BENCH_sweep.json"
+echo "wrote test_output.txt, bench_output.txt, BENCH_sweep.json" \
+     "and BENCH_trace.json"

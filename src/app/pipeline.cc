@@ -47,8 +47,13 @@ Application::Application(soc::SocSystem &sys, PipelineConfig cfg_in)
     if (prof.interference && !cfg.suppressInterference) {
         interference = std::make_unique<soc::InterferenceGenerator>(
             sys.simulator(), sys.scheduler(), prof.interferenceCfg,
-            rng.fork("interference"));
+            rng.fork("interference"), &sys.tracer());
     }
+    pipelineTaskName_ = cfg.model->id + "_pipeline";
+    inferLabel_ = cfg.model->id + "_infer";
+    fastcvJobName_ = cfg.model->id + "_fastcv_pre";
+    pipelineLabel_ = sys.tracer().internLabel(pipelineTaskName_);
+    fastcvLabel_ = sys.tracer().internLabel(fastcvJobName_);
 }
 
 std::int64_t
@@ -191,7 +196,8 @@ Application::appendPreProcessing(Task &task, double noise)
         for (const auto &w : items)
             total += w;
         soc::AccelJob job;
-        job.name = cfg.model->id + "_fastcv_pre";
+        job.name = fastcvJobName_;
+        job.label = fastcvLabel_;
         // Vision kernels vectorize well on HVX but not perfectly.
         job.ops = total.flops * noise / 0.8;
         job.bytes = total.bytes;
@@ -296,7 +302,8 @@ Application::startFrame(
     int index, int total, core::TaxReport *report,
     std::shared_ptr<std::function<void(sim::TimeNs)>> on_done)
 {
-    auto task = std::make_shared<Task>(cfg.model->id + "_pipeline");
+    auto task = std::make_shared<Task>(pipelineTaskName_);
+    task->setTraceLabel(pipelineLabel_);
     auto times = std::make_shared<std::array<sim::TimeNs, 5>>();
 
     const double noise =
@@ -314,7 +321,7 @@ Application::startFrame(
     exec.noiseSigma = prof.computeNoiseSigma;
     exec.instrumentation = &instr;
     exec.rpcLog = &rpcLog_;
-    exec.label = cfg.model->id + "_infer";
+    exec.label = inferLabel_;
     engine_.appendInvoke(sys, *task, exec);
 
     task->marker([times](sim::TimeNs t) { (*times)[3] = t; });

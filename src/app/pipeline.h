@@ -101,6 +101,12 @@ class Application
     std::vector<soc::FastRpcBreakdown> rpcLog_;
     std::unique_ptr<soc::InterferenceGenerator> interference;
     sim::RandomStream rng;
+    /** Per-frame names/labels built once instead of per startFrame. */
+    std::string pipelineTaskName_;
+    std::string inferLabel_;
+    std::string fastcvJobName_;
+    trace::LabelId pipelineLabel_;
+    trace::LabelId fastcvLabel_;
     /** Streaming-capture state: arrival phase and last consumed frame. */
     sim::TimeNs streamPhaseNs = 0;
     std::int64_t lastConsumedFrame = -1;

@@ -61,7 +61,7 @@ isConvNetOp(OpKind k)
 class TfliteCpuDriver final : public Driver
 {
   public:
-    std::string name() const override { return "tflite-cpu"; }
+    std::string_view name() const override { return "tflite-cpu"; }
     Target target() const override { return Target::CpuThreads; }
 
     bool
@@ -85,7 +85,7 @@ class TfliteCpuDriver final : public Driver
 class TfliteGpuDelegateDriver final : public Driver
 {
   public:
-    std::string name() const override { return "tflite-gpu-delegate"; }
+    std::string_view name() const override { return "tflite-gpu-delegate"; }
     Target target() const override { return Target::Gpu; }
 
     bool
@@ -114,7 +114,7 @@ class TfliteGpuDelegateDriver final : public Driver
 class TfliteHexagonDelegateDriver final : public Driver
 {
   public:
-    std::string
+    std::string_view
     name() const override
     {
         return "tflite-hexagon-delegate";
@@ -146,7 +146,7 @@ class TfliteHexagonDelegateDriver final : public Driver
 class NnapiVendorDspDriver final : public Driver
 {
   public:
-    std::string name() const override { return "nnapi-vendor-dsp"; }
+    std::string_view name() const override { return "nnapi-vendor-dsp"; }
     Target target() const override { return Target::Dsp; }
 
     bool
@@ -184,7 +184,7 @@ class NnapiVendorDspDriver final : public Driver
 class NnapiVendorGpuDriver final : public Driver
 {
   public:
-    std::string name() const override { return "nnapi-vendor-gpu"; }
+    std::string_view name() const override { return "nnapi-vendor-gpu"; }
     Target target() const override { return Target::Gpu; }
 
     bool
@@ -220,7 +220,7 @@ class NnapiVendorGpuDriver final : public Driver
 class NnapiCpuReferenceDriver final : public Driver
 {
   public:
-    std::string name() const override { return "nnapi-cpu-reference"; }
+    std::string_view name() const override { return "nnapi-cpu-reference"; }
 
     Target
     target() const override
@@ -250,7 +250,7 @@ class NnapiCpuReferenceDriver final : public Driver
 class SnpeDspDriver final : public Driver
 {
   public:
-    std::string name() const override { return "snpe-dsp"; }
+    std::string_view name() const override { return "snpe-dsp"; }
     Target target() const override { return Target::Dsp; }
 
     bool

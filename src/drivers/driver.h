@@ -14,7 +14,7 @@
 #define AITAX_DRIVERS_DRIVER_H
 
 #include <memory>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/op.h"
@@ -40,7 +40,8 @@ class Driver
   public:
     virtual ~Driver() = default;
 
-    virtual std::string name() const = 0;
+    /** Stable backend name; viewing static storage, never allocates. */
+    virtual std::string_view name() const = 0;
     virtual Target target() const = 0;
 
     /** True if the backend executes off the CPU. */

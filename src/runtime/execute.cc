@@ -124,7 +124,9 @@ appendPlanExecution(soc::SocSystem &sys, Task &task,
 
           case Target::Gpu: {
             AccelJob job;
-            job.name = opts.label + "@" + part.driver->name();
+            job.name = opts.label;
+            job.name += '@';
+            job.name += part.driver->name();
             job.ops = part.deviceOps * noise * instr_accel;
             job.bytes = part.bytes;
             job.format = accelFormatFor(plan.dtype, *part.driver);
@@ -138,7 +140,9 @@ appendPlanExecution(soc::SocSystem &sys, Task &task,
 
           case Target::Dsp: {
             AccelJob job;
-            job.name = opts.label + "@" + part.driver->name();
+            job.name = opts.label;
+            job.name += '@';
+            job.name += part.driver->name();
             job.ops = part.deviceOps * noise * instr_accel;
             job.bytes = part.bytes;
             job.format = accelFormatFor(plan.dtype, *part.driver);

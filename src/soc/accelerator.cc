@@ -12,6 +12,8 @@ Accelerator::Accelerator(sim::Simulator &sim, AcceleratorConfig cfg,
     : sim(sim), cfg(std::move(cfg)), tracer(tracer), energy(energy),
       fabric(fabric)
 {
+    track_ = tracer.internTrack(this->cfg.name);
+    axi_ = tracer.internCounter("axi_bytes");
 }
 
 double
@@ -54,6 +56,8 @@ Accelerator::execDuration(double ops, double bytes,
 void
 Accelerator::submit(AccelJob job)
 {
+    if (tracer.isEnabled() && !job.label.valid())
+        job.label = tracer.internLabel(job.name);
     queue.push_back(std::move(job));
     if (!busy_)
         startNext();
@@ -76,9 +80,10 @@ Accelerator::startNext()
     const sim::TimeNs start = sim.now();
 
     sim.scheduleIn(duration, [this, job = std::move(job), start] {
-        tracer.recordInterval(cfg.name, job.name, start, sim.now());
+        if (job.label.valid())
+            tracer.recordInterval(track_, job.label, start, sim.now());
         if (job.bytes > 0)
-            tracer.recordCounter("axi_bytes", sim.now(), job.bytes);
+            tracer.recordCounter(axi_, sim.now(), job.bytes);
         if (energy) {
             const PowerDomain domain =
                 cfg.kind == AcceleratorKind::Gpu ? PowerDomain::Gpu

@@ -29,6 +29,11 @@ namespace aitax::soc {
 struct AccelJob
 {
     std::string name;
+    /**
+     * Interned trace label for @ref name. Submitters on a hot path
+     * (pipelines) pre-resolve it; left invalid, submit() interns once.
+     */
+    trace::LabelId label;
     double ops = 0.0;
     double bytes = 0.0;
     tensor::DType format = tensor::DType::Float32;
@@ -75,6 +80,8 @@ class Accelerator
     std::deque<AccelJob> queue;
     bool busy_ = false;
     std::int64_t completed = 0;
+    trace::TrackId track_;
+    trace::CounterId axi_;
 
     double opsPerSec(tensor::DType format) const;
     void startNext();

@@ -20,9 +20,13 @@ FastRpcBreakdown::totalNs() const
 }
 
 FastRpcChannel::FastRpcChannel(sim::Simulator &sim, FastRpcConfig cfg,
-                               Accelerator &dsp)
-    : sim(sim), cfg(cfg), dsp(dsp)
+                               Accelerator &dsp, trace::Tracer *tracer)
+    : sim(sim), cfg(cfg), dsp(dsp), tracer(tracer)
 {
+    if (this->tracer && this->cfg.traceStages) {
+        track_ = this->tracer->internTrack("FastRPC");
+        callLabel_ = this->tracer->internLabel("fastrpc_call");
+    }
 }
 
 bool
@@ -60,6 +64,12 @@ FastRpcChannel::call(std::int32_t process_id, double payload_bytes,
 
     breakdown->kernelSignalNs = cfg.kernelSignalNs;
     pre += cfg.kernelSignalNs;
+
+    // Opt-in channel instrumentation: one interval per call covering
+    // the CPU-side stages (session open + copy + flush + signal).
+    if (tracer && cfg.traceStages)
+        tracer->recordInterval(track_, callLabel_, sim.now(),
+                               sim.now() + pre);
 
     // After the CPU-side stages, the job lands in the DSP queue.
     sim.scheduleIn(pre, [this, breakdown, job = std::move(job),

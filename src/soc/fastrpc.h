@@ -45,8 +45,12 @@ struct FastRpcBreakdown
 class FastRpcChannel
 {
   public:
+    /**
+     * @param tracer optional; with cfg.traceStages set, each call
+     * records a "FastRPC" interval covering the CPU-side stages.
+     */
     FastRpcChannel(sim::Simulator &sim, FastRpcConfig cfg,
-                   Accelerator &dsp);
+                   Accelerator &dsp, trace::Tracer *tracer = nullptr);
 
     FastRpcChannel(const FastRpcChannel &) = delete;
     FastRpcChannel &operator=(const FastRpcChannel &) = delete;
@@ -75,6 +79,9 @@ class FastRpcChannel
     sim::Simulator &sim;
     FastRpcConfig cfg;
     Accelerator &dsp;
+    trace::Tracer *tracer;
+    trace::TrackId track_;
+    trace::LabelId callLabel_;
     std::set<std::int32_t> sessions;
     std::int64_t completed = 0;
 };

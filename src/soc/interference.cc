@@ -7,17 +7,24 @@ namespace aitax::soc {
 InterferenceGenerator::InterferenceGenerator(sim::Simulator &sim,
                                              OsScheduler &sched,
                                              InterferenceConfig cfg,
-                                             sim::RandomStream rng)
+                                             sim::RandomStream rng,
+                                             trace::Tracer *tracer)
     : sim(sim), sched(sched), cfg(cfg), rng(std::move(rng))
 {
+    if (tracer) {
+        uiLabel_ = tracer->internLabel("ui_frame");
+        daemonLabel_ = tracer->internLabel("system_daemon");
+    }
 }
 
 void
-InterferenceGenerator::submitTask(const char *name, double mean_ops,
-                                  bool background)
+InterferenceGenerator::submitTask(const char *name, trace::LabelId label,
+                                  double mean_ops, bool background)
 {
     const double ops = mean_ops * rng.lognormalFactor(cfg.jitterSigma);
     auto task = std::make_shared<Task>(name, background);
+    if (label.valid())
+        task->setTraceLabel(label);
     task->compute({ops, ops * 2.0}, WorkClass::Scalar);
     sched.submit(std::move(task));
     ++injected;
@@ -33,7 +40,8 @@ InterferenceGenerator::start(sim::TimeNs horizon)
     for (sim::TimeNs t = cfg.uiPeriodNs; t < horizon;
          t += cfg.uiPeriodNs) {
         sim.scheduleAt(t, [this] {
-            submitTask("ui_frame", cfg.uiOps, /*background=*/false);
+            submitTask("ui_frame", uiLabel_, cfg.uiOps,
+                       /*background=*/false);
         });
     }
 
@@ -47,7 +55,7 @@ InterferenceGenerator::start(sim::TimeNs horizon)
             if (t >= horizon)
                 break;
             sim.scheduleAt(t, [this] {
-                submitTask("system_daemon", cfg.daemonOps,
+                submitTask("system_daemon", daemonLabel_, cfg.daemonOps,
                            /*background=*/true);
             });
         }

@@ -42,9 +42,13 @@ struct InterferenceConfig
 class InterferenceGenerator
 {
   public:
+    /**
+     * @param tracer optional; when given, the fixed task names are
+     * interned once so injected tasks trace without re-interning.
+     */
     InterferenceGenerator(sim::Simulator &sim, OsScheduler &sched,
-                          InterferenceConfig cfg,
-                          sim::RandomStream rng);
+                          InterferenceConfig cfg, sim::RandomStream rng,
+                          trace::Tracer *tracer = nullptr);
 
     /** Schedule interference task arrivals up to @p horizon. */
     void start(sim::TimeNs horizon);
@@ -57,8 +61,11 @@ class InterferenceGenerator
     InterferenceConfig cfg;
     sim::RandomStream rng;
     std::int64_t injected = 0;
+    trace::LabelId uiLabel_;
+    trace::LabelId daemonLabel_;
 
-    void submitTask(const char *name, double mean_ops, bool background);
+    void submitTask(const char *name, trace::LabelId label,
+                    double mean_ops, bool background);
 };
 
 } // namespace aitax::soc

@@ -16,8 +16,13 @@ OsScheduler::OsScheduler(sim::Simulator &sim, const CpuClusterConfig &cfg,
 {
     assert(!cfg.cores.empty());
     cores.reserve(cfg.cores.size());
-    for (const auto &core_cfg : cfg.cores)
-        cores.push_back(Core{core_cfg, nullptr, 0, 0, 0});
+    for (const auto &core_cfg : cfg.cores) {
+        cores.push_back(Core{core_cfg, nullptr, 0, 0, 0,
+                             tracer.internTrack(core_cfg.name)});
+    }
+    migrationKind_ = tracer.internEventKind("migration");
+    ctxSwitchKind_ = tracer.internEventKind("context_switch");
+    axiCounter_ = tracer.internCounter("axi_bytes");
 }
 
 std::size_t
@@ -102,7 +107,9 @@ OsScheduler::dispatch(int core_idx, std::shared_ptr<Task> task)
         task->lastCore() >= 0 && task->lastCore() != core_idx;
     if (migrated) {
         ++migrations_;
-        tracer.recordEvent("migration", task->name(), sim.now());
+        if (tracer.isEnabled())
+            tracer.recordEvent(migrationKind_, task->traceLabel(tracer),
+                               sim.now());
     }
     task->setLastCore(core_idx);
     task->setState(TaskState::Running);
@@ -125,8 +132,10 @@ OsScheduler::leaveCore(int core_idx)
 {
     Core &core = cores[static_cast<std::size_t>(core_idx)];
     assert(core.running);
-    tracer.recordInterval(core.cfg.name, core.running->name(),
-                          core.runStart, sim.now());
+    if (tracer.isEnabled())
+        tracer.recordInterval(core.track,
+                              core.running->traceLabel(tracer),
+                              core.runStart, sim.now());
     core.running = nullptr;
     core.pendingEvent = 0;
     if (dvfs)
@@ -261,7 +270,9 @@ OsScheduler::startCompute(int core_idx, ComputeStep &step)
             return;
         }
         ++ctxSwitches;
-        tracer.recordEvent("context_switch", task->name(), sim.now());
+        if (tracer.isEnabled())
+            tracer.recordEvent(ctxSwitchKind_,
+                               task->traceLabel(tracer), sim.now());
         leaveCore(core_idx);
         task->setState(TaskState::Ready);
         runQueue.push_back(task);
@@ -287,7 +298,7 @@ OsScheduler::finishComputeSlice(int core_idx, sim::TimeNs started,
                   : 1.0;
     const double bytes = st.work.bytes * st.remaining * frac_of_remaining;
     if (bytes > 0)
-        tracer.recordCounter("axi_bytes", sim.now(), bytes);
+        tracer.recordCounter(axiCounter_, sim.now(), bytes);
 
     if (energy) {
         const PowerDomain domain = core.cfg.big

@@ -69,6 +69,7 @@ class OsScheduler
         sim::EventId pendingEvent = 0;
         sim::TimeNs runStart = 0;
         sim::TimeNs sliceEnd = 0;
+        trace::TrackId track; ///< interned at construction
     };
 
     sim::Simulator &sim;
@@ -81,6 +82,9 @@ class OsScheduler
     std::vector<Core> cores;
     std::deque<std::shared_ptr<Task>> runQueue;
     sim::RandomStream balanceRng;
+    trace::EventKindId migrationKind_;
+    trace::EventKindId ctxSwitchKind_;
+    trace::CounterId axiCounter_;
     std::int64_t ctxSwitches = 0;
     std::int64_t migrations_ = 0;
 

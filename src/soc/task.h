@@ -21,6 +21,7 @@
 #include "sim/time.h"
 #include "sim/work.h"
 #include "soc/soc_config.h"
+#include "trace/tracer.h"
 
 namespace aitax::soc {
 
@@ -83,6 +84,20 @@ class Task
 
     const std::string &name() const { return name_; }
 
+    /**
+     * Interned label for this task's name, resolved lazily on first
+     * use and cached so steady-state trace records skip the interner.
+     * Pipelines that reuse task names pre-seed it via setTraceLabel().
+     */
+    trace::LabelId
+    traceLabel(trace::Tracer &tracer) const
+    {
+        if (!traceLabel_.valid())
+            traceLabel_ = tracer.internLabel(name_);
+        return traceLabel_;
+    }
+    void setTraceLabel(trace::LabelId label) { traceLabel_ = label; }
+
     /** Background tasks never get priority pick of big cores. */
     bool isBackground() const { return background_; }
 
@@ -111,6 +126,7 @@ class Task
 
   private:
     std::string name_;
+    mutable trace::LabelId traceLabel_;
     bool background_ = false;
     TaskState state_ = TaskState::Created;
     int lastCore_ = -1;

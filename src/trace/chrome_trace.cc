@@ -1,17 +1,21 @@
 #include "trace/chrome_trace.h"
 
-#include <map>
+#include <cstdio>
+#include <string_view>
 
 namespace aitax::trace {
 
 namespace {
 
-/** Escape a string for a JSON literal. */
-std::string
-jsonEscape(const std::string &s)
+/**
+ * Append a string escaped for a JSON literal. Escapes the two
+ * mandatory characters plus every control character < 0x20 (named
+ * escapes where JSON has them, \u00XX otherwise) — a raw control
+ * character in a task label must not produce invalid JSON.
+ */
+void
+appendEscaped(std::string &out, std::string_view s)
 {
-    std::string out;
-    out.reserve(s.size());
     for (char c : s) {
         switch (c) {
           case '"':
@@ -23,57 +27,117 @@ jsonEscape(const std::string &s)
           case '\n':
             out += "\\n";
             break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
           default:
-            out += c;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
         }
     }
-    return out;
+}
+
+/**
+ * Append a nanosecond timestamp as microseconds, formatted exactly as
+ * the legacy `os << double` did (defaultfloat, precision 6 == %g).
+ */
+void
+appendUs(std::string &out, sim::TimeNs ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g",
+                  static_cast<double>(ns) / 1e3);
+    out += buf;
+}
+
+void
+appendInt(std::string &out, long long v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    out += buf;
 }
 
 } // namespace
 
-void
-writeChromeTrace(std::ostream &os, const Tracer &tracer)
+std::string
+chromeTraceString(const Tracer &tracer)
 {
-    os << "[\n";
+    std::string out;
+    out += "[\n";
     bool first = true;
     auto sep = [&] {
         if (!first)
-            os << ",\n";
+            out += ",\n";
         first = false;
     };
 
-    // Stable thread ids per track, plus name metadata events.
-    std::map<std::string, int> tids;
-    int next_tid = 1;
-    for (const auto &track : tracer.trackNames()) {
-        tids[track] = next_tid++;
+    // Stable thread ids per track (1..N in sorted-name order, matching
+    // the std::map iteration the legacy writer relied on), plus name
+    // metadata events.
+    const std::vector<TrackId> tracks = tracer.sortedNonEmptyTracks();
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
         sep();
-        os << R"({"name":"thread_name","ph":"M","pid":1,"tid":)"
-           << tids[track] << R"(,"args":{"name":")"
-           << jsonEscape(track) << R"("}})";
+        out += R"({"name":"thread_name","ph":"M","pid":1,"tid":)";
+        appendInt(out, static_cast<long long>(i + 1));
+        out += R"(,"args":{"name":")";
+        appendEscaped(out, tracer.trackName(tracks[i]));
+        out += R"("}})";
     }
 
-    for (const auto &track : tracer.trackNames()) {
-        const int tid = tids[track];
-        for (const auto &iv : tracer.intervals(track)) {
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        const Tracer::TrackStore &t = tracer.track(tracks[i]);
+        for (std::size_t j = 0; j < t.size(); ++j) {
             sep();
-            os << R"({"name":")" << jsonEscape(iv.label)
-               << R"(","ph":"X","pid":1,"tid":)" << tid << R"(,"ts":)"
-               << static_cast<double>(iv.begin) / 1e3 << R"(,"dur":)"
-               << static_cast<double>(iv.end - iv.begin) / 1e3 << "}";
+            out += R"({"name":")";
+            appendEscaped(out, tracer.labelName(t.labels[j]));
+            out += R"(","ph":"X","pid":1,"tid":)";
+            appendInt(out, static_cast<long long>(i + 1));
+            out += R"(,"ts":)";
+            appendUs(out, t.begins[j]);
+            out += R"(,"dur":)";
+            appendUs(out, t.ends[j] - t.begins[j]);
+            out += "}";
         }
     }
 
-    for (const auto &event : tracer.events()) {
+    const Tracer::EventStore &ev = tracer.eventStore();
+    for (std::size_t j = 0; j < ev.size(); ++j) {
         sep();
-        os << R"({"name":")" << jsonEscape(event.kind)
-           << R"(","ph":"i","s":"g","pid":1,"tid":0,"ts":)"
-           << static_cast<double>(event.when) / 1e3 << R"(,"args":{)"
-           << R"("detail":")" << jsonEscape(event.detail) << R"("}})";
+        out += R"({"name":")";
+        appendEscaped(out, tracer.eventKindName(ev.kinds[j]));
+        out += R"(","ph":"i","s":"g","pid":1,"tid":0,"ts":)";
+        appendUs(out, ev.whens[j]);
+        out += R"(,"args":{"detail":")";
+        appendEscaped(out, tracer.labelName(ev.details[j]));
+        out += R"("}})";
     }
 
-    os << "\n]\n";
+    out += "\n]\n";
+    return out;
+}
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &tracer)
+{
+    const std::string s = chromeTraceString(tracer);
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
 } // namespace aitax::trace

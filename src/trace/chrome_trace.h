@@ -5,22 +5,31 @@
  * Writes the tracer's intervals and point events in the Trace Event
  * JSON format, loadable in chrome://tracing or Perfetto — the closest
  * open equivalent to browsing a Snapdragon Profiler capture.
+ *
+ * Serialization streams the columnar store into one output buffer —
+ * no per-field temporaries — and is byte-identical to the legacy
+ * string-concatenating writer (the golden traces depend on that).
  */
 
 #ifndef AITAX_TRACE_CHROME_TRACE_H
 #define AITAX_TRACE_CHROME_TRACE_H
 
 #include <ostream>
+#include <string>
 
 #include "trace/tracer.h"
 
 namespace aitax::trace {
 
 /**
- * Write a complete-event ("ph":"X") JSON array for every interval,
- * one "thread" per track, plus instant events for context switches
- * and migrations. Timestamps are microseconds, as the format requires.
+ * Serialize a complete-event ("ph":"X") JSON array for every
+ * interval, one "thread" per track, plus instant events for context
+ * switches and migrations. Timestamps are microseconds, as the format
+ * requires.
  */
+std::string chromeTraceString(const Tracer &tracer);
+
+/** Stream the same JSON to an ostream. */
 void writeChromeTrace(std::ostream &os, const Tracer &tracer);
 
 } // namespace aitax::trace

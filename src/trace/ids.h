@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Interned identifiers for the tracing hot path.
+ *
+ * Components resolve strings (track names, task labels, event kinds,
+ * counter names) to small integer ids once — at construction — and
+ * record with ids from then on. The id-based record overloads are the
+ * zero-allocation steady-state path (see docs/PERFORMANCE.md,
+ * "Tracing hot path").
+ *
+ * Each id type is a distinct struct so a TrackId cannot be passed
+ * where a LabelId is expected. Ids are only meaningful for the Tracer
+ * that interned them.
+ */
+
+#ifndef AITAX_TRACE_IDS_H
+#define AITAX_TRACE_IDS_H
+
+#include <cstdint>
+
+namespace aitax::trace {
+
+/** Sentinel for "not interned yet". */
+inline constexpr std::uint32_t kInvalidTraceId = 0xffffffffu;
+
+/** A named timeline (CPU core, GPU, cDSP). */
+struct TrackId
+{
+    std::uint32_t value = kInvalidTraceId;
+    bool valid() const { return value != kInvalidTraceId; }
+    friend bool operator==(TrackId a, TrackId b) = default;
+};
+
+/** An interval label or point-event detail (task/job name). */
+struct LabelId
+{
+    std::uint32_t value = kInvalidTraceId;
+    bool valid() const { return value != kInvalidTraceId; }
+    friend bool operator==(LabelId a, LabelId b) = default;
+};
+
+/** A point-event kind ("context_switch", "migration"). */
+struct EventKindId
+{
+    std::uint32_t value = kInvalidTraceId;
+    bool valid() const { return value != kInvalidTraceId; }
+    friend bool operator==(EventKindId a, EventKindId b) = default;
+};
+
+/** A counter name ("axi_bytes"). */
+struct CounterId
+{
+    std::uint32_t value = kInvalidTraceId;
+    bool valid() const { return value != kInvalidTraceId; }
+    friend bool operator==(CounterId a, CounterId b) = default;
+};
+
+} // namespace aitax::trace
+
+#endif // AITAX_TRACE_IDS_H

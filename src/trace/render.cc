@@ -29,11 +29,13 @@ renderTimeline(std::ostream &os, const Tracer &tracer, sim::TimeNs t0,
                               static_cast<sim::DurationNs>(opts.buckets))
        << ")\n";
 
+    const auto tracks = tracer.sortedNonEmptyTracks();
     std::size_t widest = 8;
-    for (const auto &name : tracer.trackNames())
-        widest = std::max(widest, name.size());
+    for (TrackId id : tracks)
+        widest = std::max(widest, tracer.trackName(id).size());
 
-    for (const auto &name : tracer.trackNames()) {
+    for (TrackId id : tracks) {
+        const std::string &name = tracer.trackName(id);
         const auto util = tracer.utilization(name, t0, t1, opts.buckets);
         os << "  ";
         os << name;
@@ -87,10 +89,12 @@ void
 renderIntervalsCsv(std::ostream &os, const Tracer &tracer)
 {
     os << "track,label,begin_ns,end_ns\n";
-    for (const auto &name : tracer.trackNames()) {
-        for (const auto &iv : tracer.intervals(name)) {
-            os << name << "," << iv.label << "," << iv.begin << ","
-               << iv.end << "\n";
+    for (TrackId id : tracer.sortedNonEmptyTracks()) {
+        const std::string &name = tracer.trackName(id);
+        const Tracer::TrackStore &t = tracer.track(id);
+        for (std::size_t j = 0; j < t.size(); ++j) {
+            os << name << "," << tracer.labelName(t.labels[j]) << ","
+               << t.begins[j] << "," << t.ends[j] << "\n";
         }
     }
 }

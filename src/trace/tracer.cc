@@ -5,123 +5,267 @@
 
 namespace aitax::trace {
 
-const std::vector<Interval> Tracer::emptyIntervals;
-const std::vector<CounterSample> Tracer::emptyCounters;
-
-void
-Tracer::recordInterval(const std::string &track, std::string label,
-                       sim::TimeNs begin, sim::TimeNs end)
+std::uint32_t
+Tracer::intern(InternMap &map, std::vector<std::string> &names,
+               std::string_view name)
 {
-    if (!enabled || end <= begin)
-        return;
-    tracks[track].push_back({std::move(label), begin, end});
+    if (auto it = map.find(name); it != map.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(names.size());
+    names.emplace_back(name);
+    map.emplace(names.back(), id);
+    return id;
 }
 
-void
-Tracer::recordEvent(std::string kind, std::string detail, sim::TimeNs when)
+std::uint32_t
+Tracer::find(const InternMap &map, std::string_view name)
 {
-    if (!enabled)
-        return;
-    events_.push_back({std::move(kind), std::move(detail), when});
+    const auto it = map.find(name);
+    return it == map.end() ? kInvalidTraceId : it->second;
 }
 
-void
-Tracer::recordCounter(const std::string &counter, sim::TimeNs when,
-                      double value)
+TrackId
+Tracer::internTrack(std::string_view name)
 {
-    if (!enabled)
-        return;
-    counters[counter].push_back({when, value});
+    const std::uint32_t id = intern(trackIds_, trackNames_, name);
+    if (id == tracks_.size()) {
+        tracks_.emplace_back();
+        // Keep tracksByName_ sorted; interning is construction-time
+        // rare, so an ordered insert is fine.
+        const auto pos = std::lower_bound(
+            tracksByName_.begin(), tracksByName_.end(), name,
+            [this](TrackId t, std::string_view n) {
+                return trackNames_[t.value] < n;
+            });
+        tracksByName_.insert(pos, TrackId{id});
+    }
+    return TrackId{id};
+}
+
+LabelId
+Tracer::internLabel(std::string_view name)
+{
+    return LabelId{intern(labelIds_, labelNames_, name)};
+}
+
+EventKindId
+Tracer::internEventKind(std::string_view kind)
+{
+    const std::uint32_t id = intern(kindIds_, kindNames_, kind);
+    if (id == kindCounts_.size())
+        kindCounts_.push_back(0);
+    return EventKindId{id};
+}
+
+CounterId
+Tracer::internCounter(std::string_view name)
+{
+    const std::uint32_t id = intern(counterIds_, counterNames_, name);
+    if (id == counters_.size())
+        counters_.emplace_back();
+    return CounterId{id};
+}
+
+TrackId
+Tracer::findTrack(std::string_view name) const
+{
+    return TrackId{find(trackIds_, name)};
+}
+
+CounterId
+Tracer::findCounter(std::string_view name) const
+{
+    return CounterId{find(counterIds_, name)};
+}
+
+EventKindId
+Tracer::findEventKind(std::string_view kind) const
+{
+    return EventKindId{find(kindIds_, kind)};
 }
 
 void
 Tracer::clear()
 {
-    tracks.clear();
-    events_.clear();
-    counters.clear();
+    for (auto &t : tracks_) {
+        t.labels.clear();
+        t.begins.clear();
+        t.ends.clear();
+    }
+    events_.kinds.clear();
+    events_.details.clear();
+    events_.whens.clear();
+    std::fill(kindCounts_.begin(), kindCounts_.end(), 0);
+    for (auto &c : counters_) {
+        c.whens.clear();
+        c.values.clear();
+    }
 }
 
-const std::vector<Interval> &
-Tracer::intervals(const std::string &track) const
+std::vector<TrackId>
+Tracer::sortedNonEmptyTracks() const
 {
-    auto it = tracks.find(track);
-    return it == tracks.end() ? emptyIntervals : it->second;
+    std::vector<TrackId> out;
+    out.reserve(tracksByName_.size());
+    for (TrackId id : tracksByName_)
+        if (!tracks_[id.value].empty())
+            out.push_back(id);
+    return out;
 }
 
-const std::vector<CounterSample> &
-Tracer::counter(const std::string &name) const
+std::size_t
+Tracer::intervalCount() const
 {
-    auto it = counters.find(name);
-    return it == counters.end() ? emptyCounters : it->second;
+    std::size_t n = 0;
+    for (const auto &t : tracks_)
+        n += t.size();
+    return n;
+}
+
+std::size_t
+Tracer::counterSampleCount() const
+{
+    std::size_t n = 0;
+    for (const auto &c : counters_)
+        n += c.size();
+    return n;
+}
+
+std::vector<Interval>
+Tracer::intervals(std::string_view track) const
+{
+    std::vector<Interval> out;
+    const TrackId id = findTrack(track);
+    if (!id.valid())
+        return out;
+    const TrackStore &t = tracks_[id.value];
+    out.reserve(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        out.push_back(
+            {labelNames_[t.labels[i].value], t.begins[i], t.ends[i]});
+    return out;
+}
+
+std::vector<PointEvent>
+Tracer::events() const
+{
+    std::vector<PointEvent> out;
+    out.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i)
+        out.push_back({kindNames_[events_.kinds[i].value],
+                       labelNames_[events_.details[i].value],
+                       events_.whens[i]});
+    return out;
+}
+
+std::vector<CounterSample>
+Tracer::counter(std::string_view name) const
+{
+    std::vector<CounterSample> out;
+    const CounterId id = findCounter(name);
+    if (!id.valid())
+        return out;
+    const CounterStore &c = counters_[id.value];
+    out.reserve(c.size());
+    for (std::size_t i = 0; i < c.size(); ++i)
+        out.push_back({c.whens[i], c.values[i]});
+    return out;
 }
 
 std::vector<std::string>
 Tracer::trackNames() const
 {
     std::vector<std::string> names;
-    names.reserve(tracks.size());
-    for (const auto &[name, ivs] : tracks)
-        names.push_back(name);
-    return names; // std::map iterates sorted
+    const auto ids = sortedNonEmptyTracks();
+    names.reserve(ids.size());
+    for (TrackId id : ids)
+        names.push_back(trackNames_[id.value]);
+    return names;
 }
 
 std::int64_t
-Tracer::countEvents(const std::string &kind) const
+Tracer::countEvents(std::string_view kind) const
 {
-    std::int64_t n = 0;
-    for (const auto &e : events_)
-        if (e.kind == kind)
-            ++n;
-    return n;
+    const EventKindId id = findEventKind(kind);
+    return id.valid() ? kindCounts_[id.value] : 0;
 }
 
 std::vector<double>
-Tracer::utilization(const std::string &track, sim::TimeNs t0,
+Tracer::utilization(std::string_view track, sim::TimeNs t0,
                     sim::TimeNs t1, std::size_t buckets) const
 {
     assert(t1 > t0 && buckets > 0);
     std::vector<double> out(buckets, 0.0);
+    const TrackId id = findTrack(track);
+    if (!id.valid())
+        return out;
+    const TrackStore &ts = tracks_[id.value];
+
     const double span = static_cast<double>(t1 - t0);
     const double bucket_ns = span / static_cast<double>(buckets);
+    const double t0d = static_cast<double>(t0);
 
-    for (const auto &iv : intervals(track)) {
-        const sim::TimeNs b = std::max(iv.begin, t0);
-        const sim::TimeNs e = std::min(iv.end, t1);
+    // Partial coverage of an interval's first/last bucket is added
+    // directly; the fully covered buckets between them contribute
+    // exactly 1.0 each, accumulated as a difference array and resolved
+    // with one prefix-sum pass. O(1) per interval instead of the old
+    // O(buckets-spanned) inner overlap loop.
+    std::vector<double> full(buckets + 1, 0.0);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        const sim::TimeNs b = std::max(ts.begins[i], t0);
+        const sim::TimeNs e = std::min(ts.ends[i], t1);
         if (e <= b)
             continue;
-        auto first = static_cast<std::size_t>((b - t0) / bucket_ns);
-        auto last = static_cast<std::size_t>((e - 1 - t0) / bucket_ns);
+        auto first = static_cast<std::size_t>(
+            static_cast<double>(b - t0) / bucket_ns);
+        auto last = static_cast<std::size_t>(
+            static_cast<double>(e - 1 - t0) / bucket_ns);
         first = std::min(first, buckets - 1);
         last = std::min(last, buckets - 1);
-        for (std::size_t k = first; k <= last; ++k) {
-            const double k0 = static_cast<double>(t0) + k * bucket_ns;
-            const double k1 = k0 + bucket_ns;
-            const double overlap = std::min<double>(e, k1) -
-                                   std::max<double>(b, k0);
-            if (overlap > 0)
-                out[k] += overlap / bucket_ns;
+        if (first == last) {
+            out[first] += static_cast<double>(e - b) / bucket_ns;
+            continue;
+        }
+        const double first_end =
+            t0d + static_cast<double>(first + 1) * bucket_ns;
+        out[first] += (first_end - static_cast<double>(b)) / bucket_ns;
+        const double last_begin =
+            t0d + static_cast<double>(last) * bucket_ns;
+        out[last] += (static_cast<double>(e) - last_begin) / bucket_ns;
+        if (last > first + 1) {
+            full[first + 1] += 1.0;
+            full[last] -= 1.0;
         }
     }
-    for (auto &u : out)
-        u = std::min(u, 1.0);
+    double covered = 0.0;
+    for (std::size_t k = 0; k < buckets; ++k) {
+        covered += full[k];
+        out[k] = std::min(out[k] + covered, 1.0);
+    }
     return out;
 }
 
 std::vector<double>
-Tracer::counterRate(const std::string &name, sim::TimeNs t0,
+Tracer::counterRate(std::string_view name, sim::TimeNs t0,
                     sim::TimeNs t1, std::size_t buckets) const
 {
     assert(t1 > t0 && buckets > 0);
     std::vector<double> out(buckets, 0.0);
+    const CounterId id = findCounter(name);
+    if (!id.valid())
+        return out;
+    const CounterStore &c = counters_[id.value];
+
     const double span = static_cast<double>(t1 - t0);
     const double bucket_ns = span / static_cast<double>(buckets);
-    for (const auto &s : counter(name)) {
-        if (s.when < t0 || s.when >= t1)
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const sim::TimeNs when = c.whens[i];
+        if (when < t0 || when >= t1)
             continue;
-        auto k = static_cast<std::size_t>((s.when - t0) / bucket_ns);
+        auto k = static_cast<std::size_t>(
+            static_cast<double>(when - t0) / bucket_ns);
         k = std::min(k, buckets - 1);
-        out[k] += s.value;
+        out[k] += c.values[i];
     }
     return out;
 }

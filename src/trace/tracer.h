@@ -7,21 +7,31 @@
  * cDSP), byte counters (AXI traffic) and point events (context
  * switches, migrations). The trace can then be bucketed into
  * utilization series and rendered as text.
+ *
+ * Storage is interned and columnar: strings are resolved to ids once
+ * (components do this at construction), and the steady-state record
+ * path is three array appends — no string compares, no per-event
+ * allocations once capacity has grown. The string-based record
+ * overloads remain as thin wrappers over the interner, so the probe
+ * effect of our own instrumentation stays negligible (Section III-D
+ * is about exactly this failure mode).
  */
 
 #ifndef AITAX_TRACE_TRACER_H
 #define AITAX_TRACE_TRACER_H
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
+#include "trace/ids.h"
 
 namespace aitax::trace {
 
-/** A busy interval on a track. */
+/** A busy interval on a track (materialized legacy view). */
 struct Interval
 {
     std::string label; ///< task/job name
@@ -29,7 +39,7 @@ struct Interval
     sim::TimeNs end = 0;
 };
 
-/** A timestamped point event. */
+/** A timestamped point event (materialized legacy view). */
 struct PointEvent
 {
     std::string kind; ///< e.g. "context_switch", "migration"
@@ -50,51 +60,233 @@ struct CounterSample
 class Tracer
 {
   public:
+    /** Columnar (SoA) interval storage for one track. */
+    struct TrackStore
+    {
+        std::vector<LabelId> labels;
+        std::vector<sim::TimeNs> begins;
+        std::vector<sim::TimeNs> ends;
+        std::size_t size() const { return begins.size(); }
+        bool empty() const { return begins.empty(); }
+    };
+
+    /** Columnar point-event storage. */
+    struct EventStore
+    {
+        std::vector<EventKindId> kinds;
+        std::vector<LabelId> details;
+        std::vector<sim::TimeNs> whens;
+        std::size_t size() const { return whens.size(); }
+        bool empty() const { return whens.empty(); }
+    };
+
+    /** Columnar counter-sample storage for one counter. */
+    struct CounterStore
+    {
+        std::vector<sim::TimeNs> whens;
+        std::vector<double> values;
+        std::size_t size() const { return whens.size(); }
+        bool empty() const { return whens.empty(); }
+    };
+
     /** Enable/disable collection (disabled tracing is free). */
     void setEnabled(bool on) { enabled = on; }
     bool isEnabled() const { return enabled; }
 
-    void recordInterval(const std::string &track, std::string label,
-                        sim::TimeNs begin, sim::TimeNs end);
-    void recordEvent(std::string kind, std::string detail,
-                     sim::TimeNs when);
-    void recordCounter(const std::string &counter, sim::TimeNs when,
-                       double value);
+    // --- Interning ---------------------------------------------------
+    // Resolve a string to an id, creating it on first sight. Interning
+    // works regardless of the enabled flag so components can resolve
+    // ids at construction; steady-state re-interning of a known string
+    // is a hash lookup with no allocation.
 
+    TrackId internTrack(std::string_view name);
+    LabelId internLabel(std::string_view name);
+    EventKindId internEventKind(std::string_view kind);
+    CounterId internCounter(std::string_view name);
+
+    /** Lookup without creating; invalid id if never interned. */
+    TrackId findTrack(std::string_view name) const;
+    CounterId findCounter(std::string_view name) const;
+    EventKindId findEventKind(std::string_view kind) const;
+
+    // --- Zero-allocation record path ---------------------------------
+    // Steady state (capacity grown) performs no heap allocation and no
+    // string compares; asserted by tests/test_trace_alloc.cc.
+
+    void
+    recordInterval(TrackId track, LabelId label, sim::TimeNs begin,
+                   sim::TimeNs end)
+    {
+        if (!enabled || end <= begin)
+            return;
+        TrackStore &t = tracks_[track.value];
+        t.labels.push_back(label);
+        t.begins.push_back(begin);
+        t.ends.push_back(end);
+    }
+
+    void
+    recordEvent(EventKindId kind, LabelId detail, sim::TimeNs when)
+    {
+        if (!enabled)
+            return;
+        events_.kinds.push_back(kind);
+        events_.details.push_back(detail);
+        events_.whens.push_back(when);
+        ++kindCounts_[kind.value];
+    }
+
+    void
+    recordCounter(CounterId counter, sim::TimeNs when, double value)
+    {
+        if (!enabled)
+            return;
+        CounterStore &c = counters_[counter.value];
+        c.whens.push_back(when);
+        c.values.push_back(value);
+    }
+
+    // --- Legacy string record API (thin wrappers over interning) -----
+
+    void
+    recordInterval(std::string_view track, std::string_view label,
+                   sim::TimeNs begin, sim::TimeNs end)
+    {
+        if (!enabled || end <= begin)
+            return;
+        recordInterval(internTrack(track), internLabel(label), begin,
+                       end);
+    }
+
+    void
+    recordEvent(std::string_view kind, std::string_view detail,
+                sim::TimeNs when)
+    {
+        if (!enabled)
+            return;
+        recordEvent(internEventKind(kind), internLabel(detail), when);
+    }
+
+    void
+    recordCounter(std::string_view counter, sim::TimeNs when,
+                  double value)
+    {
+        if (!enabled)
+            return;
+        recordCounter(internCounter(counter), when, value);
+    }
+
+    /**
+     * Drop all recorded data but keep interned ids valid and retain
+     * vector capacity, so a cleared tracer records without
+     * reallocating.
+     */
     void clear();
 
-    const std::vector<Interval> &intervals(const std::string &track) const;
-    const std::vector<PointEvent> &events() const { return events_; }
-    const std::vector<CounterSample> &
-    counter(const std::string &name) const;
+    // --- Columnar read API (writers, renderers, benchmarks) ----------
 
-    /** All track names seen so far, sorted. */
+    std::size_t trackCount() const { return tracks_.size(); }
+    const TrackStore &track(TrackId id) const { return tracks_[id.value]; }
+    const std::string &trackName(TrackId id) const
+    {
+        return trackNames_[id.value];
+    }
+    /** Ids of tracks with >= 1 interval, sorted by track name. */
+    std::vector<TrackId> sortedNonEmptyTracks() const;
+
+    const EventStore &eventStore() const { return events_; }
+    const std::string &labelName(LabelId id) const
+    {
+        return labelNames_[id.value];
+    }
+    const std::string &eventKindName(EventKindId id) const
+    {
+        return kindNames_[id.value];
+    }
+    const CounterStore &counterStore(CounterId id) const
+    {
+        return counters_[id.value];
+    }
+    const std::string &counterName(CounterId id) const
+    {
+        return counterNames_[id.value];
+    }
+
+    /** Totals across all tracks/counters (diagnostics, benchmarks). */
+    std::size_t intervalCount() const;
+    std::size_t eventCount() const { return events_.size(); }
+    std::size_t counterSampleCount() const;
+
+    // --- Legacy read API (materializing; test/render convenience) ----
+
+    /** Intervals of a track with labels resolved; empty if unknown. */
+    std::vector<Interval> intervals(std::string_view track) const;
+    /** All point events with kind/detail resolved. */
+    std::vector<PointEvent> events() const;
+    /** Samples of a counter; empty if unknown. */
+    std::vector<CounterSample> counter(std::string_view name) const;
+
+    /** Names of all tracks with recorded intervals, sorted. */
     std::vector<std::string> trackNames() const;
 
-    /** Count events of a given kind. */
-    std::int64_t countEvents(const std::string &kind) const;
+    /** Count events of a given kind (maintained at record time). */
+    std::int64_t countEvents(std::string_view kind) const;
 
     /**
      * Fraction of [t0, t1) each bucket of a track spends busy.
+     * Full-bucket coverage is accumulated in closed form (O(1) per
+     * interval plus one prefix-sum pass), not per-bucket overlap.
      * @return one utilization value in [0,1] per bucket.
      */
-    std::vector<double> utilization(const std::string &track,
+    std::vector<double> utilization(std::string_view track,
                                     sim::TimeNs t0, sim::TimeNs t1,
                                     std::size_t buckets) const;
 
     /** Sum of a counter per bucket over [t0, t1). */
-    std::vector<double> counterRate(const std::string &name,
+    std::vector<double> counterRate(std::string_view name,
                                     sim::TimeNs t0, sim::TimeNs t1,
                                     std::size_t buckets) const;
 
   private:
-    bool enabled = true;
-    std::map<std::string, std::vector<Interval>> tracks;
-    std::vector<PointEvent> events_;
-    std::map<std::string, std::vector<CounterSample>> counters;
+    /** Heterogeneous string_view lookup into string-keyed maps. */
+    struct SvHash
+    {
+        using is_transparent = void;
+        std::size_t
+        operator()(std::string_view s) const noexcept
+        {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+    using InternMap =
+        std::unordered_map<std::string, std::uint32_t, SvHash,
+                           std::equal_to<>>;
 
-    static const std::vector<Interval> emptyIntervals;
-    static const std::vector<CounterSample> emptyCounters;
+    static std::uint32_t intern(InternMap &map,
+                                std::vector<std::string> &names,
+                                std::string_view name);
+    static std::uint32_t find(const InternMap &map,
+                              std::string_view name);
+
+    bool enabled = true;
+
+    std::vector<TrackStore> tracks_;
+    std::vector<std::string> trackNames_;
+    /** All track ids, kept sorted by name (updated on intern). */
+    std::vector<TrackId> tracksByName_;
+    InternMap trackIds_;
+
+    std::vector<std::string> labelNames_;
+    InternMap labelIds_;
+
+    EventStore events_;
+    std::vector<std::string> kindNames_;
+    std::vector<std::int64_t> kindCounts_;
+    InternMap kindIds_;
+
+    std::vector<CounterStore> counters_;
+    std::vector<std::string> counterNames_;
+    InternMap counterIds_;
 };
 
 } // namespace aitax::trace

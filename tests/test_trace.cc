@@ -220,5 +220,127 @@ TEST(ChromeTrace, EmptyTracerProducesEmptyArray)
     EXPECT_NE(os.str().find("]"), std::string::npos);
 }
 
+TEST(ChromeTrace, EscapesControlCharacters)
+{
+    // Raw \t, \r and other sub-0x20 bytes in a label used to pass
+    // through unescaped, emitting invalid JSON.
+    Tracer t;
+    t.recordInterval("cpu0", "tab\there", 0, 10);
+    t.recordInterval("cpu0", "cr\rlf\n", 20, 30);
+    t.recordInterval("cpu0", std::string("ctl\x01\x1f"), 40, 50);
+    const std::string out = chromeTraceString(t);
+    EXPECT_NE(out.find("tab\\there"), std::string::npos);
+    EXPECT_NE(out.find("cr\\rlf\\n"), std::string::npos);
+    EXPECT_NE(out.find("ctl\\u0001\\u001f"), std::string::npos);
+    // No raw control characters survive anywhere in the document.
+    for (char c : out)
+        EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 &&
+                     c != '\n')
+            << "raw control char in output: " << static_cast<int>(c);
+}
+
+TEST(ChromeTrace, StringAndStreamWritersAgree)
+{
+    Tracer t;
+    t.recordInterval("cpu0", "x", 1234, 5678901);
+    t.recordEvent("migration", "x", 42);
+    std::ostringstream os;
+    writeChromeTrace(os, t);
+    EXPECT_EQ(os.str(), chromeTraceString(t));
+}
+
+TEST(TracerIntern, SameNameSameId)
+{
+    Tracer t;
+    const TrackId a = t.internTrack("cpu0");
+    const TrackId b = t.internTrack("cpu0");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(t.internTrack("cpu1"), a);
+    EXPECT_EQ(t.internLabel("x"), t.internLabel("x"));
+    EXPECT_EQ(t.internEventKind("migration"),
+              t.internEventKind("migration"));
+    EXPECT_EQ(t.internCounter("axi_bytes"),
+              t.internCounter("axi_bytes"));
+}
+
+TEST(TracerIntern, FindDoesNotCreate)
+{
+    Tracer t;
+    EXPECT_FALSE(t.findTrack("cpu0").valid());
+    const TrackId id = t.internTrack("cpu0");
+    EXPECT_TRUE(t.findTrack("cpu0").valid());
+    EXPECT_EQ(t.findTrack("cpu0"), id);
+    EXPECT_FALSE(t.findCounter("axi_bytes").valid());
+    EXPECT_FALSE(t.findEventKind("migration").valid());
+}
+
+TEST(TracerIntern, EmptyTracksHiddenFromReaders)
+{
+    // Components intern their tracks at construction; a track that
+    // never records must not appear in trackNames() or the chrome
+    // trace (goldens predate construction-time interning).
+    Tracer t;
+    t.internTrack("idle-core");
+    t.recordInterval("cpu0", "x", 0, 10);
+    const auto names = t.trackNames();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "cpu0");
+    EXPECT_EQ(chromeTraceString(t).find("idle-core"),
+              std::string::npos);
+    EXPECT_TRUE(t.sortedNonEmptyTracks().size() == 1);
+}
+
+TEST(TracerIntern, IdOverloadsRecord)
+{
+    Tracer t;
+    const TrackId track = t.internTrack("cpu0");
+    const LabelId label = t.internLabel("job");
+    const EventKindId kind = t.internEventKind("migration");
+    const CounterId ctr = t.internCounter("axi_bytes");
+
+    t.recordInterval(track, label, 100, 200);
+    t.recordEvent(kind, label, 150);
+    t.recordCounter(ctr, 150, 64.0);
+
+    const auto ivs = t.intervals("cpu0");
+    ASSERT_EQ(ivs.size(), 1u);
+    EXPECT_EQ(ivs[0].label, "job");
+    EXPECT_EQ(t.countEvents("migration"), 1);
+    EXPECT_EQ(t.counter("axi_bytes").size(), 1u);
+}
+
+TEST(TracerIntern, IdOverloadsHonorDisabledAndEmpty)
+{
+    Tracer t;
+    const TrackId track = t.internTrack("cpu0");
+    const LabelId label = t.internLabel("job");
+    t.recordInterval(track, label, 100, 100); // empty -> dropped
+    t.setEnabled(false);
+    t.recordInterval(track, label, 100, 200);
+    t.recordEvent(t.internEventKind("m"), label, 5);
+    t.recordCounter(t.internCounter("c"), 5, 1.0);
+    EXPECT_EQ(t.intervalCount(), 0u);
+    EXPECT_EQ(t.eventCount(), 0u);
+    EXPECT_EQ(t.counterSampleCount(), 0u);
+}
+
+TEST(TracerIntern, ClearKeepsIdsValid)
+{
+    Tracer t;
+    const TrackId track = t.internTrack("cpu0");
+    const LabelId label = t.internLabel("job");
+    t.recordInterval(track, label, 0, 10);
+    t.recordEvent("migration", "job", 5);
+    t.clear();
+    EXPECT_EQ(t.intervalCount(), 0u);
+    EXPECT_EQ(t.countEvents("migration"), 0);
+    // Ids interned before clear() still record correctly after.
+    t.recordInterval(track, label, 20, 30);
+    const auto ivs = t.intervals("cpu0");
+    ASSERT_EQ(ivs.size(), 1u);
+    EXPECT_EQ(ivs[0].begin, 20);
+    EXPECT_EQ(t.findTrack("cpu0"), track);
+}
+
 } // namespace
 } // namespace aitax::trace

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Equivalence tests for the interned/columnar tracer.
+ *
+ * The tracer overhaul must be invisible to every consumer: the
+ * streaming chrome-trace writer has to match the legacy
+ * string-concatenating ostream writer byte for byte (the golden
+ * traces were recorded with it), and a scenario recorded through the
+ * id-based overloads has to produce identical serialized output and
+ * identical utilization/counterRate/countEvents analytics as the same
+ * scenario recorded through the legacy string API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/chrome_trace.h"
+#include "trace/tracer.h"
+
+namespace aitax::trace {
+namespace {
+
+/**
+ * Verbatim replica of the pre-overhaul writeChromeTrace (ostream <<
+ * double formatting and all), kept here as the byte-format oracle.
+ */
+std::string
+legacyJsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+legacyWriteChromeTrace(std::ostream &os, const Tracer &tracer)
+{
+    os << "[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    std::map<std::string, int> tids;
+    int next_tid = 1;
+    for (const auto &track : tracer.trackNames()) {
+        tids[track] = next_tid++;
+        sep();
+        os << R"({"name":"thread_name","ph":"M","pid":1,"tid":)"
+           << tids[track] << R"(,"args":{"name":")"
+           << legacyJsonEscape(track) << R"("}})";
+    }
+
+    for (const auto &track : tracer.trackNames()) {
+        const int tid = tids[track];
+        for (const auto &iv : tracer.intervals(track)) {
+            sep();
+            os << R"({"name":")" << legacyJsonEscape(iv.label)
+               << R"(","ph":"X","pid":1,"tid":)" << tid << R"(,"ts":)"
+               << static_cast<double>(iv.begin) / 1e3 << R"(,"dur":)"
+               << static_cast<double>(iv.end - iv.begin) / 1e3 << "}";
+        }
+    }
+
+    for (const auto &event : tracer.events()) {
+        sep();
+        os << R"({"name":")" << legacyJsonEscape(event.kind)
+           << R"(","ph":"i","s":"g","pid":1,"tid":0,"ts":)"
+           << static_cast<double>(event.when) / 1e3 << R"(,"args":{)"
+           << R"("detail":")" << legacyJsonEscape(event.detail)
+           << R"("}})";
+    }
+
+    os << "\n]\n";
+}
+
+/** Tiny deterministic LCG so the scenario covers awkward timestamps. */
+struct Lcg
+{
+    std::uint64_t s = 0x9E3779B97F4A7C15ull;
+    std::uint64_t
+    next()
+    {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return s >> 16;
+    }
+};
+
+struct Op
+{
+    int track;
+    int label;
+    sim::TimeNs begin;
+    sim::TimeNs end;
+    int kind;       // -1 = no event
+    double counter; // <= 0 = no counter sample
+};
+
+std::vector<Op>
+makeScenario()
+{
+    const int kTracks = 6, kLabels = 12, kKinds = 2;
+    Lcg rng;
+    std::vector<Op> ops;
+    sim::TimeNs now = 0;
+    for (int i = 0; i < 4000; ++i) {
+        Op op;
+        op.track = static_cast<int>(rng.next() % kTracks);
+        op.label = static_cast<int>(rng.next() % kLabels);
+        // Sub-microsecond offsets exercise the %g fractional cases.
+        now += static_cast<sim::TimeNs>(rng.next() % 9973);
+        op.begin = now;
+        op.end = now + 1 + static_cast<sim::TimeNs>(rng.next() % 74321);
+        op.kind = (i % 7 == 0)
+                      ? static_cast<int>(rng.next() % kKinds)
+                      : -1;
+        op.counter = (i % 5 == 0)
+                         ? static_cast<double>(rng.next() % 100000)
+                         : 0.0;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+std::string
+trackName(int i)
+{
+    return "core" + std::to_string(i);
+}
+
+std::string
+labelName(int i)
+{
+    // Mix in escape-needing labels.
+    if (i % 4 == 0)
+        return "job\"q\\" + std::to_string(i);
+    return "job_" + std::to_string(i);
+}
+
+const char *
+kindName(int i)
+{
+    return i == 0 ? "context_switch" : "migration";
+}
+
+void
+recordViaStringApi(Tracer &t, const std::vector<Op> &ops)
+{
+    for (const Op &op : ops) {
+        t.recordInterval(trackName(op.track), labelName(op.label),
+                         op.begin, op.end);
+        if (op.kind >= 0)
+            t.recordEvent(kindName(op.kind), labelName(op.label),
+                          op.begin);
+        if (op.counter > 0)
+            t.recordCounter("axi_bytes", op.begin, op.counter);
+    }
+}
+
+void
+recordViaIdApi(Tracer &t, const std::vector<Op> &ops)
+{
+    std::vector<TrackId> tracks;
+    for (int i = 0; i < 6; ++i)
+        tracks.push_back(t.internTrack(trackName(i)));
+    std::vector<LabelId> labels;
+    for (int i = 0; i < 12; ++i)
+        labels.push_back(t.internLabel(labelName(i)));
+    const EventKindId kinds[2] = {t.internEventKind(kindName(0)),
+                                  t.internEventKind(kindName(1))};
+    const CounterId axi = t.internCounter("axi_bytes");
+
+    for (const Op &op : ops) {
+        t.recordInterval(tracks[static_cast<std::size_t>(op.track)],
+                         labels[static_cast<std::size_t>(op.label)],
+                         op.begin, op.end);
+        if (op.kind >= 0)
+            t.recordEvent(kinds[op.kind],
+                          labels[static_cast<std::size_t>(op.label)],
+                          op.begin);
+        if (op.counter > 0)
+            t.recordCounter(axi, op.begin, op.counter);
+    }
+}
+
+TEST(TraceEquiv, StreamingWriterMatchesLegacyBytes)
+{
+    Tracer t;
+    recordViaStringApi(t, makeScenario());
+    std::ostringstream legacy;
+    legacyWriteChromeTrace(legacy, t);
+    EXPECT_EQ(legacy.str(), chromeTraceString(t));
+}
+
+TEST(TraceEquiv, IdApiMatchesStringApiBytes)
+{
+    const auto ops = makeScenario();
+    Tracer via_string;
+    recordViaStringApi(via_string, ops);
+    Tracer via_id;
+    recordViaIdApi(via_id, ops);
+    EXPECT_EQ(chromeTraceString(via_string), chromeTraceString(via_id));
+}
+
+TEST(TraceEquiv, IdApiMatchesStringApiAnalytics)
+{
+    const auto ops = makeScenario();
+    Tracer via_string;
+    recordViaStringApi(via_string, ops);
+    Tracer via_id;
+    recordViaIdApi(via_id, ops);
+
+    sim::TimeNs t1 = 0;
+    for (const Op &op : ops)
+        t1 = std::max(t1, op.end);
+
+    for (int i = 0; i < 6; ++i) {
+        const std::string track = trackName(i);
+        const auto ua = via_string.utilization(track, 0, t1, 97);
+        const auto ub = via_id.utilization(track, 0, t1, 97);
+        ASSERT_EQ(ua.size(), ub.size());
+        for (std::size_t k = 0; k < ua.size(); ++k)
+            EXPECT_DOUBLE_EQ(ua[k], ub[k]) << track << " bucket " << k;
+    }
+    const auto ra = via_string.counterRate("axi_bytes", 0, t1, 64);
+    const auto rb = via_id.counterRate("axi_bytes", 0, t1, 64);
+    for (std::size_t k = 0; k < ra.size(); ++k)
+        EXPECT_DOUBLE_EQ(ra[k], rb[k]);
+
+    EXPECT_EQ(via_string.countEvents("context_switch"),
+              via_id.countEvents("context_switch"));
+    EXPECT_EQ(via_string.countEvents("migration"),
+              via_id.countEvents("migration"));
+    EXPECT_EQ(via_string.intervalCount(), via_id.intervalCount());
+    EXPECT_EQ(via_string.eventCount(), via_id.eventCount());
+}
+
+TEST(TraceEquiv, UtilizationMatchesBruteForceOverlap)
+{
+    // The closed-form bucket coverage must agree with the old
+    // per-bucket overlap loop to within FP noise.
+    const auto ops = makeScenario();
+    Tracer t;
+    recordViaStringApi(t, ops);
+
+    sim::TimeNs t1 = 0;
+    for (const Op &op : ops)
+        t1 = std::max(t1, op.end);
+
+    const std::size_t buckets = 53;
+    const double bucket_ns =
+        static_cast<double>(t1) / static_cast<double>(buckets);
+    for (int i = 0; i < 6; ++i) {
+        const std::string track = trackName(i);
+        std::vector<double> expect(buckets, 0.0);
+        for (const auto &iv : t.intervals(track)) {
+            for (std::size_t k = 0; k < buckets; ++k) {
+                const double b0 =
+                    static_cast<double>(k) * bucket_ns;
+                const double b1 = b0 + bucket_ns;
+                const double lo =
+                    std::max(b0, static_cast<double>(iv.begin));
+                const double hi =
+                    std::min(b1, static_cast<double>(iv.end));
+                if (hi > lo)
+                    expect[k] += (hi - lo) / bucket_ns;
+            }
+        }
+        const auto got = t.utilization(track, 0, t1, buckets);
+        for (std::size_t k = 0; k < buckets; ++k)
+            EXPECT_NEAR(got[k], std::min(expect[k], 1.0), 1e-6)
+                << track << " bucket " << k;
+    }
+}
+
+} // namespace
+} // namespace aitax::trace
