@@ -1,0 +1,117 @@
+#include "lint/baseline.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace aitax::lint {
+
+Baseline
+Baseline::parse(const std::string &text)
+{
+    Baseline b;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        while (!line.empty() &&
+               (line.back() == ' ' || line.back() == '\t' ||
+                line.back() == '\r'))
+            line.pop_back();
+        if (line.empty())
+            continue;
+        // file:line:rule — split on the *last* two colons so paths
+        // with colons would still parse.
+        const std::size_t c2 = line.rfind(':');
+        if (c2 == std::string::npos || c2 == 0)
+            continue;
+        const std::size_t c1 = line.rfind(':', c2 - 1);
+        if (c1 == std::string::npos)
+            continue;
+        BaselineEntry e;
+        e.file = line.substr(0, c1);
+        e.line = std::atoi(line.substr(c1 + 1, c2 - c1 - 1).c_str());
+        e.rule = line.substr(c2 + 1);
+        if (!e.file.empty() && e.line > 0 && !e.rule.empty())
+            b.entries_.push_back(std::move(e));
+    }
+    std::stable_sort(b.entries_.begin(), b.entries_.end());
+    b.entries_.erase(
+        std::unique(b.entries_.begin(), b.entries_.end()),
+        b.entries_.end());
+    return b;
+}
+
+Baseline
+Baseline::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Baseline{};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+std::string
+Baseline::render() const
+{
+    std::ostringstream os;
+    os << "# aitax-lint baseline: pre-existing findings tolerated by "
+          "--strict.\n"
+       << "# One `file:line:rule` per line. Regenerate with "
+          "`aitax_lint --fix-baseline`;\n"
+       << "# entries whose violation no longer exists make --strict "
+          "fail as stale,\n"
+       << "# so this file only ever shrinks.\n";
+    for (const BaselineEntry &e : entries_)
+        os << e.file << ':' << e.line << ':' << e.rule << '\n';
+    return os.str();
+}
+
+Baseline
+Baseline::fromFindings(const std::vector<Finding> &findings)
+{
+    Baseline b;
+    b.entries_.reserve(findings.size());
+    for (const Finding &f : findings)
+        b.entries_.push_back({f.file, f.line, f.rule});
+    std::stable_sort(b.entries_.begin(), b.entries_.end());
+    b.entries_.erase(
+        std::unique(b.entries_.begin(), b.entries_.end()),
+        b.entries_.end());
+    return b;
+}
+
+bool
+Baseline::contains(const Finding &f) const
+{
+    const BaselineEntry probe{f.file, f.line, f.rule};
+    return std::binary_search(entries_.begin(), entries_.end(), probe);
+}
+
+std::vector<BaselineEntry>
+Baseline::apply(const std::vector<Finding> &findings,
+                std::vector<Finding> &fresh) const
+{
+    std::vector<bool> hit(entries_.size(), false);
+    for (const Finding &f : findings) {
+        const BaselineEntry probe{f.file, f.line, f.rule};
+        const auto it = std::lower_bound(entries_.begin(),
+                                         entries_.end(), probe);
+        if (it != entries_.end() && *it == probe)
+            hit[static_cast<std::size_t>(it - entries_.begin())] = true;
+        else
+            fresh.push_back(f);
+    }
+    std::vector<BaselineEntry> stale;
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (!hit[i])
+            stale.push_back(entries_[i]);
+    return stale;
+}
+
+} // namespace aitax::lint

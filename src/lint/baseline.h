@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Committed-baseline support for incremental lint adoption.
+ *
+ * A baseline records pre-existing findings as `file:line:rule` lines
+ * so a new rule can land without a flag day: old debt is suppressed
+ * but inventoried, while any new finding fails `--strict`. Entries
+ * whose violation disappears (fixed code, moved line) become *stale*
+ * and also fail `--strict`, which forces the baseline to shrink
+ * monotonically instead of rotting.
+ */
+
+#ifndef AITAX_LINT_BASELINE_H
+#define AITAX_LINT_BASELINE_H
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace aitax::lint {
+
+/** One baseline entry. */
+struct BaselineEntry
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+
+    friend bool
+    operator<(const BaselineEntry &a, const BaselineEntry &b)
+    {
+        if (a.file != b.file)
+            return a.file < b.file;
+        if (a.line != b.line)
+            return a.line < b.line;
+        return a.rule < b.rule;
+    }
+    friend bool
+    operator==(const BaselineEntry &a, const BaselineEntry &b)
+    {
+        return a.file == b.file && a.line == b.line && a.rule == b.rule;
+    }
+};
+
+class Baseline
+{
+  public:
+    /** Parse `file:line:rule` lines; '#' comments and blanks skipped. */
+    static Baseline parse(const std::string &text);
+
+    /** Load from disk; missing file yields an empty baseline. */
+    static Baseline load(const std::string &path);
+
+    /** Serialize sorted entries with a self-describing header. */
+    std::string render() const;
+
+    /** Build a baseline covering exactly @p findings. */
+    static Baseline fromFindings(const std::vector<Finding> &findings);
+
+    bool contains(const Finding &f) const;
+
+    /**
+     * Split @p findings against the baseline.
+     * @param fresh receives findings not covered by the baseline.
+     * @return stale entries: baseline lines matching no finding.
+     */
+    std::vector<BaselineEntry>
+    apply(const std::vector<Finding> &findings,
+          std::vector<Finding> &fresh) const;
+
+    std::size_t size() const { return entries_.size(); }
+    const std::vector<BaselineEntry> &entries() const { return entries_; }
+
+  private:
+    std::vector<BaselineEntry> entries_; ///< kept sorted + unique
+};
+
+} // namespace aitax::lint
+
+#endif // AITAX_LINT_BASELINE_H

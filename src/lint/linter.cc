@@ -1,0 +1,208 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace aitax::lint {
+
+namespace {
+
+/** Parsed suppression state for one file. */
+struct Suppressions
+{
+    /** rule -> set of lines it is allowed on. */
+    std::map<std::string, std::set<int>> lines;
+    /** rules allowed for the whole file. */
+    std::set<std::string> fileWide;
+
+    bool
+    covers(const Finding &f) const
+    {
+        if (fileWide.count(f.rule))
+            return true;
+        auto it = lines.find(f.rule);
+        return it != lines.end() && it->second.count(f.line) > 0;
+    }
+};
+
+/** Split a comma-separated rule list. */
+std::vector<std::string>
+splitRules(std::string_view list)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : list) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/**
+ * Extract `aitax-lint: allow(...)` / `allow-file(...)` markers from a
+ * comment token. A marker covers the comment's starting line and the
+ * line after it.
+ */
+void
+parseMarkers(const Token &comment, Suppressions &sup)
+{
+    static constexpr std::string_view kTag = "aitax-lint:";
+    std::string_view text = comment.text;
+    std::size_t at = text.find(kTag);
+    while (at != std::string_view::npos) {
+        std::string_view rest = text.substr(at + kTag.size());
+        const std::size_t ws = rest.find_first_not_of(" \t");
+        if (ws != std::string_view::npos) {
+            rest.remove_prefix(ws);
+            const bool fileWide = rest.substr(0, 10) == "allow-file";
+            const bool lineWise = !fileWide && rest.substr(0, 5) == "allow";
+            if (fileWide || lineWise) {
+                const std::size_t open = rest.find('(');
+                const std::size_t close = rest.find(')', open + 1);
+                if (open != std::string_view::npos &&
+                    close != std::string_view::npos) {
+                    for (const std::string &r : splitRules(
+                             rest.substr(open + 1, close - open - 1))) {
+                        if (fileWide) {
+                            sup.fileWide.insert(r);
+                        } else {
+                            sup.lines[r].insert(comment.line);
+                            sup.lines[r].insert(comment.line + 1);
+                        }
+                    }
+                }
+            }
+        }
+        at = text.find(kTag, at + kTag.size());
+    }
+}
+
+bool
+hasSuffix(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+} // namespace
+
+LintResult
+lintSource(std::string_view virtualPath, std::string_view content,
+           const std::vector<std::string> &ruleFilter)
+{
+    FileContext ctx;
+    ctx.path = std::string(virtualPath);
+    ctx.isHeader = hasSuffix(ctx.path, ".h");
+
+    Suppressions sup;
+    for (Token &t : tokenize(content)) {
+        switch (t.kind) {
+          case TokKind::Comment:
+            parseMarkers(t, sup);
+            break;
+          case TokKind::Preproc:
+            ctx.preproc.push_back(t);
+            ctx.code.push_back(std::move(t));
+            break;
+          default:
+            ctx.code.push_back(std::move(t));
+            break;
+        }
+    }
+    // Preproc tokens sit in `code` too so rules see one stream, but
+    // identifier scans skip them by kind.
+
+    std::vector<Finding> raw;
+    for (const Rule &r : allRules()) {
+        if (!ruleFilter.empty() &&
+            std::find(ruleFilter.begin(), ruleFilter.end(),
+                      std::string(r.id)) == ruleFilter.end())
+            continue;
+        r.check(ctx, raw);
+    }
+
+    LintResult res;
+    res.filesScanned = 1;
+    for (Finding &f : raw) {
+        if (sup.covers(f))
+            ++res.suppressed;
+        else
+            res.findings.push_back(std::move(f));
+    }
+    std::stable_sort(res.findings.begin(), res.findings.end());
+    return res;
+}
+
+LintResult
+lintFile(const std::string &diskPath, std::string_view virtualPath,
+         const std::vector<std::string> &ruleFilter)
+{
+    std::ifstream in(diskPath, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return lintSource(virtualPath, buf.str(), ruleFilter);
+}
+
+LintResult
+lintTree(const std::string &root,
+         const std::vector<std::string> &ruleFilter)
+{
+    namespace fs = std::filesystem;
+    static const std::vector<std::string_view> kSubdirs = {
+        "src", "tools", "bench"};
+
+    std::vector<std::string> rel; // repo-relative, '/' separators
+    for (std::string_view sub : kSubdirs) {
+        const fs::path dir = fs::path(root) / sub;
+        if (!fs::exists(dir))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string p = entry.path().generic_string();
+            if (hasSuffix(p, ".h") || hasSuffix(p, ".cc"))
+                rel.push_back(
+                    fs::relative(entry.path(), root).generic_string());
+        }
+    }
+    // Directory iteration order is unspecified; the linter holds
+    // itself to the same ordered-output rule it enforces.
+    std::stable_sort(rel.begin(), rel.end());
+
+    LintResult res;
+    for (const std::string &r : rel) {
+        LintResult one =
+            lintFile((fs::path(root) / r).string(), r, ruleFilter);
+        res.suppressed += one.suppressed;
+        res.filesScanned += 1;
+        for (Finding &f : one.findings)
+            res.findings.push_back(std::move(f));
+    }
+    std::stable_sort(res.findings.begin(), res.findings.end());
+    return res;
+}
+
+std::string
+formatFinding(const Finding &f, bool withHint)
+{
+    std::ostringstream os;
+    os << f.file << ':' << f.line << ": [" << f.rule << "] "
+       << f.message;
+    if (withHint && !f.hint.empty())
+        os << "\n    hint: " << f.hint;
+    return os.str();
+}
+
+} // namespace aitax::lint

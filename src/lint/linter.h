@@ -1,0 +1,68 @@
+/**
+ * @file
+ * aitax-lint driver: tokenizes source, runs the rule registry, and
+ * applies inline suppressions.
+ *
+ * Suppressions:
+ *   `// aitax-lint: allow(rule-a, rule-b)` — suppresses those rules
+ *   on the comment's own line and on the following line (so the
+ *   annotation can trail the offending code or sit just above it).
+ *   `// aitax-lint: allow-file(rule-a)` — suppresses a rule for the
+ *   whole file. Always pair either form with a written rationale.
+ *
+ * Everything here is deterministic by construction: directory walks
+ * are sorted, findings are sorted by (file, line, rule), and the tool
+ * itself is linted by the same rules it enforces.
+ */
+
+#ifndef AITAX_LINT_LINTER_H
+#define AITAX_LINT_LINTER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace aitax::lint {
+
+/** Result of linting one file or tree. */
+struct LintResult
+{
+    std::vector<Finding> findings;   ///< sorted, unsuppressed
+    std::size_t suppressed = 0;      ///< count removed by allow()
+    std::size_t filesScanned = 0;
+};
+
+/**
+ * Lint one in-memory source buffer as if it lived at @p virtualPath
+ * (repo-relative, '/' separators). Path scoping of the rules keys off
+ * @p virtualPath, which lets tests lint fixtures under any path.
+ *
+ * @param ruleFilter if non-empty, only these rule ids run.
+ */
+LintResult lintSource(std::string_view virtualPath,
+                      std::string_view content,
+                      const std::vector<std::string> &ruleFilter = {});
+
+/**
+ * Lint an on-disk file. @p diskPath is read; findings are reported
+ * against @p virtualPath.
+ */
+LintResult lintFile(const std::string &diskPath,
+                    std::string_view virtualPath,
+                    const std::vector<std::string> &ruleFilter = {});
+
+/**
+ * Lint the repo tree rooted at @p root: every .h/.cc file under
+ * src/, tools/ and bench/, in sorted path order.
+ */
+LintResult lintTree(const std::string &root,
+                    const std::vector<std::string> &ruleFilter = {});
+
+/** Render a finding as `file:line: [rule] message` + hint line. */
+std::string formatFinding(const Finding &f, bool withHint = true);
+
+} // namespace aitax::lint
+
+#endif // AITAX_LINT_LINTER_H

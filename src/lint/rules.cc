@@ -1,0 +1,486 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+
+namespace aitax::lint {
+
+bool
+FileContext::startsWith(std::string_view prefix) const
+{
+    return path.size() >= prefix.size() &&
+           std::string_view(path).substr(0, prefix.size()) == prefix;
+}
+
+bool
+FileContext::startsWithAny(
+    const std::vector<std::string_view> &prefixes) const
+{
+    for (std::string_view p : prefixes)
+        if (startsWith(p))
+            return true;
+    return false;
+}
+
+namespace {
+
+void
+emit(std::vector<Finding> &out, const FileContext &f, int line,
+     std::string_view rule, std::string message, std::string hint)
+{
+    // One finding per (line, rule): several matches on a line are one
+    // violation to fix.
+    for (const Finding &prev : out)
+        if (prev.line == line && prev.rule == rule)
+            return;
+    out.push_back({f.path, line, std::string(rule), std::move(message),
+                   std::move(hint)});
+}
+
+bool
+isIdent(const Token &t, std::string_view name)
+{
+    return t.kind == TokKind::Identifier && t.text == name;
+}
+
+/** True if code[i] is identifier @p name qualified as `std::name`
+ *  (or unqualified when @p requireStd is false). */
+bool
+matchesScoped(const std::vector<Token> &code, std::size_t i,
+              std::string_view name, bool requireStd)
+{
+    if (!isIdent(code[i], name))
+        return false;
+    if (!requireStd)
+        return true;
+    return i >= 2 && code[i - 1].kind == TokKind::Punct &&
+           code[i - 1].text == "::" && isIdent(code[i - 2], "std");
+}
+
+/** True if the token after code[i] is the punctuator @p p. */
+bool
+nextIs(const std::vector<Token> &code, std::size_t i, std::string_view p)
+{
+    return i + 1 < code.size() && code[i + 1].kind == TokKind::Punct &&
+           code[i + 1].text == p;
+}
+
+// --- wall-clock --------------------------------------------------------
+
+const std::vector<std::string_view> kWallClockAllowed = {
+    "src/sweep/",
+    "bench/",
+};
+
+void
+checkWallClock(const FileContext &f, std::vector<Finding> &out)
+{
+    if (f.startsWithAny(kWallClockAllowed))
+        return;
+    static const std::set<std::string_view> banned = {
+        "system_clock",   "steady_clock", "high_resolution_clock",
+        "gettimeofday",   "clock_gettime", "timespec_get",
+        "ftime",          "localtime",     "gmtime",
+    };
+    const auto &code = f.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code[i];
+        if (t.kind != TokKind::Identifier)
+            continue;
+        const bool call_only = t.text == "time" || t.text == "clock";
+        if (banned.count(t.text) || (call_only && nextIs(code, i, "("))) {
+            emit(out, f, t.line, "wall-clock",
+                 "wall-clock read `" + t.text +
+                     "` outside src/sweep//bench/",
+                 "simulation code must use virtual time (sim::TimeNs / "
+                 "Simulator::now()); wall time is run-to-run "
+                 "nondeterministic");
+        }
+    }
+}
+
+// --- raw-random --------------------------------------------------------
+
+void
+checkRawRandom(const FileContext &f, std::vector<Finding> &out)
+{
+    if (f.startsWith("src/sim/random."))
+        return;
+    static const std::set<std::string_view> banned = {
+        "rand",          "srand",      "rand_r",
+        "drand48",       "random_device",
+        "mt19937",       "mt19937_64", "default_random_engine",
+        "minstd_rand",   "minstd_rand0",
+        "uniform_int_distribution",  "uniform_real_distribution",
+        "normal_distribution",       "bernoulli_distribution",
+        "poisson_distribution",      "exponential_distribution",
+    };
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        const Token &t = f.code[i];
+        if (t.kind != TokKind::Identifier || !banned.count(t.text))
+            continue;
+        // `rand` must be a call to count (avoid e.g. a field named rand).
+        if (t.text == "rand" && !nextIs(f.code, i, "("))
+            continue;
+        emit(out, f, t.line, "raw-random",
+             "unseeded/non-reproducible RNG `" + t.text +
+                 "` outside src/sim/random",
+             "draw from sim::RandomStream (seeded, bit-reproducible "
+             "across stdlibs); std distributions are not "
+             "implementation-stable");
+    }
+}
+
+// --- unordered-container -----------------------------------------------
+
+void
+checkUnordered(const FileContext &f, std::vector<Finding> &out)
+{
+    if (!f.startsWith("src/"))
+        return;
+    static const std::set<std::string_view> banned = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset",
+    };
+    for (const Token &t : f.code) {
+        if (t.kind != TokKind::Identifier || !banned.count(t.text))
+            continue;
+        emit(out, f, t.line, "unordered-container",
+             "`std::" + t.text + "` in simulator/report code",
+             "iteration order is hash/libc-dependent and can leak into "
+             "traces, tax reports or serialized output; use std::map, "
+             "a sorted vector, or suppress with a proven "
+             "never-iterated rationale");
+    }
+}
+
+// --- raw-new-delete ----------------------------------------------------
+
+const std::vector<std::string_view> kHotPaths = {
+    "src/sim/",
+    "src/soc/",
+};
+
+void
+checkNewDelete(const FileContext &f, std::vector<Finding> &out)
+{
+    if (!f.startsWithAny(kHotPaths))
+        return;
+    const auto &code = f.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code[i];
+        if (t.kind != TokKind::Identifier)
+            continue;
+        if (t.text != "new" && t.text != "delete")
+            continue;
+        // `= delete;` declarations are not deallocation (but `= new T`
+        // is very much an allocation).
+        if (t.text == "delete" && i > 0 &&
+            code[i - 1].kind == TokKind::Punct && code[i - 1].text == "=")
+            continue;
+        emit(out, f, t.line, "raw-new-delete",
+             "raw `" + t.text + "` on a simulator hot path",
+             "per-event allocations dominate sim cost; use value "
+             "members, arenas/free lists (see EventQueue slots) or "
+             "sim::EventFn's inline buffer");
+    }
+}
+
+// --- std-function ------------------------------------------------------
+
+void
+checkStdFunction(const FileContext &f, std::vector<Finding> &out)
+{
+    if (!f.startsWithAny(kHotPaths))
+        return;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        if (!matchesScoped(f.code, i, "function", true))
+            continue;
+        emit(out, f, f.code[i].line, "std-function",
+             "`std::function` on a simulator hot path",
+             "std::function heap-allocates typical simulator captures; "
+             "use sim::EventFn (src/sim/inline_function.h) for "
+             "callbacks scheduled per event");
+    }
+}
+
+// --- unstable-sort -----------------------------------------------------
+
+void
+checkUnstableSort(const FileContext &f, std::vector<Finding> &out)
+{
+    if (!f.startsWith("src/"))
+        return;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        if (!matchesScoped(f.code, i, "sort", true))
+            continue;
+        emit(out, f, f.code[i].line, "unstable-sort",
+             "`std::sort` on simulation-ordered data",
+             "equal keys come back in unspecified order; use "
+             "std::stable_sort, or suppress with a comparator proven "
+             "to be a total order over the element (full tie-break "
+             "chain)");
+    }
+}
+
+// --- float-accum -------------------------------------------------------
+
+const std::vector<std::string_view> kReportPaths = {
+    "src/core/", "src/stats/", "src/trace/", "src/verify/",
+    "src/graph/",
+};
+
+void
+checkFloatAccum(const FileContext &f, std::vector<Finding> &out)
+{
+    if (!f.startsWithAny(kReportPaths))
+        return;
+    const auto &code = f.code;
+    // Pass 1: identifiers declared with single-precision type.
+    std::set<std::string> floats;
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+        if (isIdent(code[i], "float") &&
+            code[i + 1].kind == TokKind::Identifier)
+            floats.insert(code[i + 1].text);
+    }
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+        const Token &t = code[i];
+        // Pass 2a: `x += ...` where x was declared float.
+        if (t.kind == TokKind::Identifier && floats.count(t.text) &&
+            code[i + 1].kind == TokKind::Punct &&
+            code[i + 1].text == "+" && i + 2 < code.size() &&
+            code[i + 2].kind == TokKind::Punct &&
+            code[i + 2].text == "=") {
+            emit(out, f, t.line, "float-accum",
+                 "single-precision accumulation into `" + t.text + "`",
+                 "report fields must accumulate in double (or "
+                 "stats::Distribution) with a fixed reduction order; "
+                 "float sums reorder visibly across refactors");
+        }
+        // Pass 2b: nondeterministic-order reductions.
+        if (matchesScoped(code, i, "reduce", true) ||
+            matchesScoped(code, i, "transform_reduce", true) ||
+            (isIdent(t, "execution") && i >= 2 &&
+             code[i - 1].text == "::" && isIdent(code[i - 2], "std"))) {
+            emit(out, f, t.line, "float-accum",
+                 "unordered reduction (`std::reduce`/std::execution) "
+                 "in report code",
+                 "reduction order must be fixed for byte-identical "
+                 "reports; use std::accumulate or an explicit loop");
+        }
+    }
+}
+
+// --- header-guard ------------------------------------------------------
+
+std::string
+canonicalGuard(std::string_view path)
+{
+    std::string_view p = path;
+    if (p.substr(0, 4) == "src/")
+        p.remove_prefix(4);
+    std::string guard = "AITAX_";
+    for (char c : p) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            guard.push_back(static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c))));
+        else
+            guard.push_back('_');
+    }
+    // "..._H_H" would result from ".h"; trim the extension part.
+    if (guard.size() >= 2 && guard.substr(guard.size() - 2) == "_H")
+        return guard;
+    return guard + "_H";
+}
+
+/** First whitespace-delimited word of a directive body. */
+std::string
+directiveWord(std::string_view text, std::string_view *rest = nullptr)
+{
+    std::size_t b = text.find_first_not_of(" \t");
+    if (b == std::string_view::npos)
+        return "";
+    std::size_t e = b;
+    while (e < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[e])))
+        ++e;
+    if (rest != nullptr)
+        *rest = text.substr(e);
+    return std::string(text.substr(b, e - b));
+}
+
+void
+checkHeaderGuard(const FileContext &f, std::vector<Finding> &out)
+{
+    if (!f.isHeader)
+        return;
+    const auto &pp = f.preproc;
+    for (const Token &t : pp)
+        if (directiveWord(t.text) == "pragma" &&
+            t.text.find("once") != std::string::npos)
+            return;
+    if (pp.size() < 2) {
+        emit(out, f, 1, "header-guard",
+             "header has no include guard",
+             "add `#ifndef " + canonicalGuard(f.path) + "` / `#define` "
+             "or `#pragma once`");
+        return;
+    }
+    std::string_view rest0;
+    std::string_view rest1;
+    const std::string w0 = directiveWord(pp[0].text, &rest0);
+    const std::string w1 = directiveWord(pp[1].text, &rest1);
+    if (w0 != "ifndef" || w1 != "define") {
+        emit(out, f, pp[0].line, "header-guard",
+             "header does not open with an include guard",
+             "the first two directives must be `#ifndef` + `#define` "
+             "of the guard macro (or use `#pragma once`)");
+        return;
+    }
+    const std::string m0 = directiveWord(rest0);
+    const std::string m1 = directiveWord(rest1);
+    const std::string want = canonicalGuard(f.path);
+    if (m0 != m1) {
+        emit(out, f, pp[1].line, "header-guard",
+             "include-guard `#ifndef " + m0 + "` does not match "
+             "`#define " + m1 + "`",
+             "both must name " + want);
+    } else if (m0 != want) {
+        emit(out, f, pp[0].line, "header-guard",
+             "include-guard macro `" + m0 + "` is not canonical",
+             "expected `" + want + "` (AITAX_ + path, uppercased)");
+    }
+}
+
+// --- include-hygiene ---------------------------------------------------
+
+/** First-level project module dirs: includes of these must be quoted. */
+const std::set<std::string_view> kModules = {
+    "app",    "capture", "core",  "drivers", "graph",  "imaging",
+    "lint",   "models",  "postproc", "runtime", "sim", "soc",
+    "stats",  "sweep",   "tensor", "trace",   "verify", "bench",
+};
+
+const std::set<std::string_view> kDeprecatedCHeaders = {
+    "assert.h", "ctype.h",  "errno.h",  "float.h",  "limits.h",
+    "locale.h", "math.h",   "setjmp.h", "signal.h", "stdarg.h",
+    "stddef.h", "stdint.h", "stdio.h",  "stdlib.h", "string.h",
+    "time.h",
+};
+
+void
+checkIncludeHygiene(const FileContext &f, std::vector<Finding> &out)
+{
+    std::set<std::string> seen;
+    for (const Token &t : f.preproc) {
+        std::string_view rest;
+        if (directiveWord(t.text, &rest) != "include")
+            continue;
+        const std::size_t b = rest.find_first_not_of(" \t");
+        if (b == std::string_view::npos)
+            continue;
+        const char open = rest[b];
+        if (open != '<' && open != '"')
+            continue; // computed include; out of scope
+        const char close = open == '<' ? '>' : '"';
+        const std::size_t e = rest.find(close, b + 1);
+        if (e == std::string_view::npos)
+            continue;
+        const std::string target(rest.substr(b + 1, e - b - 1));
+
+        if (!seen.insert(target).second) {
+            emit(out, f, t.line, "include-hygiene",
+                 "duplicate include of `" + target + "`",
+                 "remove the repeated #include");
+            continue;
+        }
+        if (open == '<' && kDeprecatedCHeaders.count(target)) {
+            emit(out, f, t.line, "include-hygiene",
+                 "deprecated C header `<" + target + "`>",
+                 "use the <c...> C++ header instead");
+            continue;
+        }
+        const std::size_t slash = target.find('/');
+        if (open == '<' && slash != std::string::npos &&
+            kModules.count(target.substr(0, slash))) {
+            emit(out, f, t.line, "include-hygiene",
+                 "project header `" + target +
+                     "` included with angle brackets",
+                 "use `#include \"" + target + "\"` for in-repo "
+                 "headers");
+        }
+    }
+}
+
+const std::vector<Rule> kRules = {
+    {"float-accum",
+     "no float accumulation / unordered reductions in report fields",
+     "single-precision or reduction-order-dependent sums change "
+     "byte-for-byte when code is reordered, breaking golden traces",
+     checkFloatAccum},
+    {"header-guard",
+     "headers carry a canonical AITAX_* include guard or #pragma once",
+     "duplicate/mismatched guards cause ODR surprises and silently "
+     "skipped declarations",
+     checkHeaderGuard},
+    {"include-hygiene",
+     "no duplicate includes, no deprecated C headers, quoted project "
+     "includes",
+     "keeps the include graph predictable so tooling (and this "
+     "linter) can reason about what each TU sees",
+     checkIncludeHygiene},
+    {"raw-new-delete",
+     "no raw new/delete in src/sim// src/soc/ hot paths",
+     "per-event heap traffic is the probe-effect tax the paper warns "
+     "about; arenas and inline buffers keep the hot path "
+     "allocation-free",
+     checkNewDelete},
+    {"raw-random",
+     "no rand()/std::random_device/std distributions outside "
+     "src/sim/random",
+     "unseeded or implementation-defined RNG breaks replay from a "
+     "root seed (the paper hit libc++ vs libstdc++ divergence)",
+     checkRawRandom},
+    {"std-function",
+     "no std::function in src/sim// src/soc/ hot paths",
+     "std::function heap-allocates typical captures; sim::EventFn "
+     "keeps per-event callbacks in situ",
+     checkStdFunction},
+    {"unordered-container",
+     "no std::unordered_* in src/ without a never-iterated rationale",
+     "hash-map iteration order is libc- and size-dependent; iterating "
+     "one into a trace/report/serializer makes output "
+     "implementation-defined",
+     checkUnordered},
+    {"unstable-sort",
+     "std::sort needs a total order or stable_sort",
+     "equal-key order from std::sort is unspecified; ties leak "
+     "nondeterminism into rendered reports",
+     checkUnstableSort},
+    {"wall-clock",
+     "no wall-clock reads outside src/sweep/ and bench/",
+     "wall time varies run to run; simulated latencies must come from "
+     "virtual time so traces replay bit-identically",
+     checkWallClock},
+};
+
+} // namespace
+
+const std::vector<Rule> &
+allRules()
+{
+    return kRules;
+}
+
+const Rule *
+findRule(std::string_view id)
+{
+    for (const Rule &r : kRules)
+        if (r.id == id)
+            return &r;
+    return nullptr;
+}
+
+} // namespace aitax::lint

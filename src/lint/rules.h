@@ -1,0 +1,76 @@
+/**
+ * @file
+ * aitax-lint rule registry.
+ *
+ * Each rule turns one of the repo's determinism/hygiene conventions
+ * into a machine-checked invariant (see docs/LINTING.md for the full
+ * rationale of every rule). Rules are pure functions over a tokenized
+ * file; suppression (`// aitax-lint: allow(<rule>)`) and baselining
+ * are applied by the Linter on top of raw rule output.
+ */
+
+#ifndef AITAX_LINT_RULES_H
+#define AITAX_LINT_RULES_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace aitax::lint {
+
+/** One rule violation at a specific source location. */
+struct Finding
+{
+    std::string file; ///< repo-relative path, '/' separators
+    int line = 0;
+    std::string rule;
+    std::string message;
+    std::string hint; ///< suggested fix
+
+    /** Ordering for deterministic reports: (file, line, rule). */
+    friend bool
+    operator<(const Finding &a, const Finding &b)
+    {
+        if (a.file != b.file)
+            return a.file < b.file;
+        if (a.line != b.line)
+            return a.line < b.line;
+        return a.rule < b.rule;
+    }
+};
+
+/** A tokenized file presented to rules. */
+struct FileContext
+{
+    std::string path;          ///< repo-relative, '/' separators
+    std::vector<Token> code;   ///< comment tokens stripped
+    std::vector<Token> preproc; ///< preprocessor directives only
+    bool isHeader = false;
+
+    /** True if path starts with @p prefix. */
+    bool startsWith(std::string_view prefix) const;
+    /** True if path starts with any prefix in @p prefixes. */
+    bool
+    startsWithAny(const std::vector<std::string_view> &prefixes) const;
+};
+
+/** A named, documented lint rule. */
+struct Rule
+{
+    std::string_view id;        ///< stable kebab-case id
+    std::string_view summary;   ///< one-line description
+    std::string_view rationale; ///< why this preserves determinism
+    void (*check)(const FileContext &, std::vector<Finding> &);
+};
+
+/** All registered rules, sorted by id. */
+const std::vector<Rule> &allRules();
+
+/** Look up a rule by id; nullptr if unknown. */
+const Rule *findRule(std::string_view id);
+
+} // namespace aitax::lint
+
+#endif // AITAX_LINT_RULES_H

@@ -1,0 +1,254 @@
+#include "lint/token.h"
+
+#include <cctype>
+
+namespace aitax::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Cursor over the source buffer with line tracking. */
+struct Cursor
+{
+    std::string_view src;
+    std::size_t pos = 0;
+    int line = 1;
+
+    bool done() const { return pos >= src.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+    }
+    char
+    advance()
+    {
+        const char c = src[pos++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+};
+
+/** Consume a quoted literal body, honouring backslash escapes. */
+void
+skipQuoted(Cursor &c, char quote)
+{
+    while (!c.done()) {
+        const char ch = c.advance();
+        if (ch == '\\' && !c.done()) {
+            c.advance();
+            continue;
+        }
+        if (ch == quote)
+            return;
+    }
+}
+
+/** Consume a raw string body: `R"delim( ... )delim"`. The opening
+ *  `R"` has already been consumed. */
+void
+skipRawString(Cursor &c)
+{
+    std::string delim;
+    while (!c.done() && c.peek() != '(' && delim.size() < 16)
+        delim.push_back(c.advance());
+    if (!c.done())
+        c.advance(); // '('
+    const std::string close = ")" + delim + "\"";
+    while (!c.done()) {
+        if (c.src.compare(c.pos, close.size(), close) == 0) {
+            for (std::size_t i = 0; i < close.size(); ++i)
+                c.advance();
+            return;
+        }
+        c.advance();
+    }
+}
+
+bool
+isRawStringPrefix(std::string_view ident)
+{
+    return ident == "R" || ident == "u8R" || ident == "uR" ||
+           ident == "UR" || ident == "LR";
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(std::string_view src)
+{
+    std::vector<Token> out;
+    Cursor c{src};
+    bool atLineStart = true;
+
+    while (!c.done()) {
+        const char ch = c.peek();
+
+        if (ch == '\n' || std::isspace(static_cast<unsigned char>(ch))) {
+            if (ch == '\n')
+                atLineStart = true;
+            c.advance();
+            continue;
+        }
+
+        const int startLine = c.line;
+        const std::size_t start = c.pos;
+
+        // Preprocessor directive: '#' first on its line; join
+        // backslash continuations into one token.
+        if (ch == '#' && atLineStart) {
+            c.advance(); // '#'
+            std::string text;
+            while (!c.done()) {
+                const char d = c.peek();
+                if (d == '\\' && c.peek(1) == '\n') {
+                    c.advance();
+                    c.advance();
+                    text.push_back(' ');
+                    continue;
+                }
+                if (d == '\n')
+                    break;
+                text.push_back(c.advance());
+            }
+            out.push_back({TokKind::Preproc, std::move(text), startLine});
+            continue;
+        }
+        atLineStart = false;
+
+        // Comments.
+        if (ch == '/' && c.peek(1) == '/') {
+            c.advance();
+            c.advance();
+            const std::size_t body = c.pos;
+            while (!c.done() && c.peek() != '\n')
+                c.advance();
+            out.push_back({TokKind::Comment,
+                           std::string(src.substr(body, c.pos - body)),
+                           startLine});
+            continue;
+        }
+        if (ch == '/' && c.peek(1) == '*') {
+            c.advance();
+            c.advance();
+            const std::size_t body = c.pos;
+            std::size_t bodyEnd = src.size();
+            while (!c.done()) {
+                if (c.peek() == '*' && c.peek(1) == '/') {
+                    bodyEnd = c.pos;
+                    c.advance();
+                    c.advance();
+                    break;
+                }
+                c.advance();
+            }
+            out.push_back({TokKind::Comment,
+                           std::string(src.substr(body, bodyEnd - body)),
+                           startLine});
+            continue;
+        }
+
+        // String / char literals (prefix-less).
+        if (ch == '"') {
+            c.advance();
+            skipQuoted(c, '"');
+            out.push_back({TokKind::String,
+                           std::string(src.substr(start, c.pos - start)),
+                           startLine});
+            continue;
+        }
+        if (ch == '\'') {
+            c.advance();
+            skipQuoted(c, '\'');
+            out.push_back({TokKind::CharLit,
+                           std::string(src.substr(start, c.pos - start)),
+                           startLine});
+            continue;
+        }
+
+        // Numbers (handles digit separators and suffixes; a leading
+        // '.' digit form like `.5` lexes as Punct + Number, which is
+        // fine for our rules).
+        if (std::isdigit(static_cast<unsigned char>(ch))) {
+            while (!c.done()) {
+                const char d = c.peek();
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '.' || d == '\'') {
+                    c.advance();
+                    continue;
+                }
+                // Exponent signs: 1e+9, 0x1p-3.
+                if ((d == '+' || d == '-') && c.pos > start) {
+                    const char prev = src[c.pos - 1];
+                    if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                        prev == 'P') {
+                        c.advance();
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.push_back({TokKind::Number,
+                           std::string(src.substr(start, c.pos - start)),
+                           startLine});
+            continue;
+        }
+
+        // Identifiers; raw/encoded string prefixes fold into the
+        // literal that follows them.
+        if (isIdentStart(ch)) {
+            while (!c.done() && isIdentChar(c.peek()))
+                c.advance();
+            std::string_view ident = src.substr(start, c.pos - start);
+            if (c.peek() == '"') {
+                c.advance(); // opening quote
+                if (isRawStringPrefix(ident))
+                    skipRawString(c);
+                else
+                    skipQuoted(c, '"'); // u8"...", L"..."
+                out.push_back(
+                    {TokKind::String,
+                     std::string(src.substr(start, c.pos - start)),
+                     startLine});
+                continue;
+            }
+            out.push_back({TokKind::Identifier, std::string(ident),
+                           startLine});
+            continue;
+        }
+
+        // Punctuation; merge `::` so scope patterns are two tokens.
+        c.advance();
+        if (ch == ':' && c.peek() == ':') {
+            c.advance();
+            out.push_back({TokKind::Punct, "::", startLine});
+            continue;
+        }
+        out.push_back({TokKind::Punct, std::string(1, ch), startLine});
+    }
+
+    return out;
+}
+
+int
+lineCount(std::string_view src)
+{
+    int n = 1;
+    for (char c : src)
+        if (c == '\n')
+            ++n;
+    return n;
+}
+
+} // namespace aitax::lint

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for aitax-lint.
+ *
+ * This is not a compiler front end: it only needs to classify source
+ * text well enough to tell identifiers apart from comments, string
+ * literals and preprocessor directives, so that determinism rules can
+ * match identifier patterns without false positives from prose. It
+ * understands line/block comments, (raw) string and char literals,
+ * digit separators, `::` as a single punctuator, and backslash-
+ * continued preprocessor lines.
+ */
+
+#ifndef AITAX_LINT_TOKEN_H
+#define AITAX_LINT_TOKEN_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aitax::lint {
+
+enum class TokKind
+{
+    Identifier, ///< identifiers and keywords
+    Number,     ///< numeric literal (incl. digit separators, suffixes)
+    String,     ///< string literal, including raw strings
+    CharLit,    ///< character literal
+    Punct,      ///< punctuation; `::` is one token
+    Comment,    ///< `// ...` or `/* ... */`, text without delimiters
+    Preproc,    ///< whole directive, text after `#`, continuations joined
+};
+
+/** One lexed token. @p text views into the source buffer except for
+ *  Preproc tokens with continuations, which own joined storage. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line; ///< 1-based line where the token starts
+};
+
+/**
+ * Tokenize @p src. Never fails: unterminated literals/comments are
+ * closed at end of input so the linter degrades gracefully on
+ * malformed files instead of aborting a CI run.
+ */
+std::vector<Token> tokenize(std::string_view src);
+
+/** Number of lines in @p src (1 + count of '\n'). */
+int lineCount(std::string_view src);
+
+} // namespace aitax::lint
+
+#endif // AITAX_LINT_TOKEN_H

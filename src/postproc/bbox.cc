@@ -101,10 +101,13 @@ std::vector<Detection>
 nonMaxSuppression(std::vector<Detection> dets, float iou_threshold,
                   std::int32_t max_out)
 {
-    std::sort(dets.begin(), dets.end(),
-              [](const Detection &a, const Detection &b) {
-                  return a.score > b.score;
-              });
+    // Equal scores must keep their pre-NMS (anchor) order or the kept
+    // set — and so the rendered detections — would be
+    // implementation-defined.
+    std::stable_sort(dets.begin(), dets.end(),
+                     [](const Detection &a, const Detection &b) {
+                         return a.score > b.score;
+                     });
 
     std::vector<Detection> kept;
     for (const auto &cand : dets) {

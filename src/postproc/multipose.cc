@@ -140,6 +140,9 @@ findLocalMaxima(const tensor::Tensor &heatmaps, float threshold,
             }
         }
     }
+    // Total order: the comparator tie-breaks through every field
+    // (score, part, y, x), so equal-score candidates still sort
+    // deterministically. aitax-lint: allow(unstable-sort)
     std::sort(out.begin(), out.end(),
               [](const PartCandidate &a, const PartCandidate &b) {
                   if (a.score != b.score)

@@ -73,17 +73,49 @@ WordpieceTokenizer::WordpieceTokenizer(
 void
 WordpieceTokenizer::buildIndex()
 {
+    index.reserve(vocab_.size());
     for (std::size_t i = 0; i < vocab_.size(); ++i)
-        index[vocab_[i]] = static_cast<std::int32_t>(i);
+        index.emplace_back(vocab_[i], static_cast<std::int32_t>(i));
+    // Sort by piece; stable sort keeps duplicates in id order so the
+    // dedup below retains the *last* id, matching the historical
+    // `map[piece] = id` overwrite semantics for repeated vocab words.
+    std::stable_sort(index.begin(), index.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < index.size(); ++i) {
+        if (i + 1 < index.size() && index[i + 1].first == index[i].first)
+            continue; // duplicate piece: keep the last occurrence
+        if (out != i)
+            index[out] = std::move(index[i]);
+        ++out;
+    }
+    index.resize(out);
+
     auto find_or = [&](const char *tok) {
-        auto it = index.find(tok);
-        assert(it != index.end() && "special token missing from vocab");
-        return it->second;
+        const std::int32_t id = lookup(tok);
+        assert(id >= 0 && "special token missing from vocab");
+        return id;
     };
     pad = find_or("[PAD]");
     unk = find_or("[UNK]");
     cls = find_or("[CLS]");
     sep = find_or("[SEP]");
+}
+
+std::int32_t
+WordpieceTokenizer::lookup(std::string_view piece) const
+{
+    const auto it = std::lower_bound(
+        index.begin(), index.end(), piece,
+        [](const std::pair<std::string, std::int32_t> &e,
+           std::string_view key) {
+            return std::string_view(e.first) < key;
+        });
+    if (it != index.end() && it->first == piece)
+        return it->second;
+    return -1;
 }
 
 void
@@ -101,9 +133,9 @@ WordpieceTokenizer::appendWordPieces(std::string_view word,
             std::string piece = w.substr(start, end - start);
             if (!first)
                 piece = "##" + piece;
-            auto it = index.find(piece);
-            if (it != index.end()) {
-                match = it->second;
+            const std::int32_t id = lookup(piece);
+            if (id >= 0) {
+                match = id;
                 break;
             }
             --end;
@@ -168,7 +200,7 @@ sim::Work
 WordpieceTokenizer::tokenizeCost(std::int64_t text_len)
 {
     const double n = static_cast<double>(text_len);
-    // Hash probes over candidate substrings dominate.
+    // Index probes over candidate substrings dominate.
     return {n * 40.0, n * 24.0};
 }
 

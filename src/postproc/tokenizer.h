@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/work.h"
@@ -58,13 +58,18 @@ class WordpieceTokenizer
 
   private:
     std::vector<std::string> vocab_;
-    std::unordered_map<std::string, std::int32_t> index;
+    /** (piece, id), sorted by piece for binary-search lookup. A plain
+     *  sorted vector keeps vocabulary order deterministic end to end
+     *  (no hash-order anywhere near the id stream). */
+    std::vector<std::pair<std::string, std::int32_t>> index;
     std::int32_t cls = 0;
     std::int32_t sep = 0;
     std::int32_t pad = 0;
     std::int32_t unk = 0;
 
     void buildIndex();
+    /** Id for @p piece, or -1 if not in the vocabulary. */
+    std::int32_t lookup(std::string_view piece) const;
     void appendWordPieces(std::string_view word,
                           std::vector<std::int32_t> &out) const;
 };

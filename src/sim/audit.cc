@@ -1,0 +1,35 @@
+#include "sim/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aitax::sim {
+
+namespace {
+
+void
+defaultHandler(const char *what, const char *detail)
+{
+    std::fprintf(stderr, "aitax audit failure: %s: %s\n", what, detail);
+    std::abort();
+}
+
+std::atomic<AuditHandler> g_handler{&defaultHandler};
+
+} // namespace
+
+AuditHandler
+setAuditHandler(AuditHandler h)
+{
+    if (h == nullptr)
+        h = &defaultHandler;
+    return g_handler.exchange(h, std::memory_order_acq_rel);
+}
+
+void
+auditFail(const char *what, const char *detail)
+{
+    g_handler.load(std::memory_order_acquire)(what, detail);
+}
+
+} // namespace aitax::sim

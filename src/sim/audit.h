@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Runtime determinism auditors — the dynamic companion to aitax-lint.
+ *
+ * Two sentinels back the "parallelism across simulations, never
+ * inside one" contract at runtime:
+ *
+ *  - The EventQueue *tie auditor* (always on, two integer compares
+ *    per pop) verifies that events leave the queue in strictly
+ *    increasing (timestamp, seq) order, i.e. that every
+ *    same-timestamp tie really is fixed by the seq tie-break. A
+ *    violation means a seq collision or heap corruption — exactly the
+ *    class of bug that would surface as a flaky golden diff.
+ *
+ *  - OwnershipSentinel asserts single-thread ownership of a
+ *    Simulator/Tracer: the first audited touch binds the owning
+ *    thread, any touch from another thread fires the audit handler.
+ *    The per-touch atomic check is compiled into Simulator/Tracer
+ *    only under AITAX_RUNTIME_AUDITS (on by default in Debug builds
+ *    and in the sanitizer CI jobs) so release hot paths stay free.
+ *
+ * Violations route through a process-wide handler that defaults to
+ * abort(); tests install a recording handler to prove the sentinels
+ * fire (tests/test_audits.cc).
+ */
+
+#ifndef AITAX_SIM_AUDIT_H
+#define AITAX_SIM_AUDIT_H
+
+#include <atomic>
+#include <thread>
+
+/**
+ * AITAX_RUNTIME_AUDITS compiles thread-ownership checks into the
+ * Simulator/Tracer hot paths (one relaxed atomic compare per audited
+ * call). Debug and sanitizer CI builds turn it on; release builds
+ * leave the hot path untouched.
+ */
+#if AITAX_RUNTIME_AUDITS
+#define AITAX_AUDIT_OWNER(sentinel, what) (sentinel).check(what)
+#else
+#define AITAX_AUDIT_OWNER(sentinel, what) ((void)0)
+#endif
+
+namespace aitax::sim {
+
+/** Callback invoked on an audit violation. @p what names the
+ *  sentinel, @p detail describes the violation. Must not return if
+ *  the violation should stop the run (the default handler aborts). */
+using AuditHandler = void (*)(const char *what, const char *detail);
+
+/** Install @p h as the process-wide handler. @return the previous
+ *  handler. Passing nullptr restores the default (stderr + abort). */
+AuditHandler setAuditHandler(AuditHandler h);
+
+/** Report a violation to the current handler. */
+void auditFail(const char *what, const char *detail);
+
+/**
+ * Asserts that all audited touches of an object come from one thread.
+ *
+ * Ownership binds lazily on the first check() rather than at
+ * construction, so an object may be built on one thread and handed to
+ * a sweep worker before use — the worker then becomes the owner.
+ */
+class OwnershipSentinel
+{
+  public:
+    /** Verify the calling thread owns this object (binding first). */
+    void
+    check(const char *what) const
+    {
+        const std::thread::id self = std::this_thread::get_id();
+        std::thread::id owner = owner_.load(std::memory_order_relaxed);
+        if (owner == std::thread::id()) {
+            // First audited touch: claim ownership. compare_exchange
+            // rather than store so two racing first touches cannot
+            // both claim.
+            if (owner_.compare_exchange_strong(
+                    owner, self, std::memory_order_relaxed))
+                return;
+        }
+        if (owner != self && owner != std::thread::id())
+            auditFail(what,
+                      "touched from a thread that does not own it "
+                      "(each simulation world belongs to exactly one "
+                      "sweep worker)");
+    }
+
+    /** Release ownership for a deliberate handoff; the next audited
+     *  touch rebinds. */
+    void
+    release()
+    {
+        owner_.store(std::thread::id(), std::memory_order_relaxed);
+    }
+
+    /** True if some thread has claimed this object. */
+    bool
+    bound() const
+    {
+        return owner_.load(std::memory_order_relaxed) !=
+               std::thread::id();
+    }
+
+  private:
+    mutable std::atomic<std::thread::id> owner_{std::thread::id()};
+};
+
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_AUDIT_H

@@ -161,6 +161,20 @@ EventQueue::popAndRun()
     dropStaleHead();
     assert(!heap.empty());
     const HeapEntry top = heap.front();
+    // Tie auditor: pops must leave in strictly increasing (when, seq)
+    // order — the seq tie-break is what makes same-timestamp ties
+    // deterministic, so a non-increasing pop means a seq collision or
+    // a corrupted heap. Two integer compares; always on.
+    if (poppedAny &&
+        (top.when < lastPoppedWhen ||
+         (top.when == lastPoppedWhen && top.seq <= lastPoppedSeq)))
+        auditFail("EventQueue tie auditor",
+                  "event popped out of (timestamp, seq) order: a "
+                  "same-timestamp tie is not fixed by the seq "
+                  "tie-break");
+    poppedAny = true;
+    lastPoppedWhen = top.when;
+    lastPoppedSeq = top.seq;
     // Move the callback out and retire the entry before invoking: the
     // callback may schedule new events, which mutates heap and slots.
     EventFn fn = std::move(slots[top.slot].fn);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/audit.h"
 #include "sim/inline_function.h"
 #include "sim/time.h"
 
@@ -72,6 +73,14 @@ class EventQueue
      */
     std::size_t heapEntries() const { return heap.size(); }
 
+    /**
+     * Test-only: force the next scheduled event's FIFO sequence
+     * number. Exists so tests/test_audits.cc can fabricate a seq
+     * collision and prove the tie auditor fires; never call it from
+     * production code.
+     */
+    void debugSetNextSeq(std::uint64_t seq) { nextSeq = seq; }
+
   private:
     /** POD heap node; callbacks live in the slot arena. */
     struct HeapEntry
@@ -97,6 +106,10 @@ class EventQueue
     std::vector<std::uint32_t> freeSlots;
     std::uint64_t nextSeq = 0;
     std::size_t liveCount = 0;
+    // Tie-auditor state: last popped (when, seq); see popAndRun().
+    TimeNs lastPoppedWhen = 0;
+    std::uint64_t lastPoppedSeq = 0;
+    bool poppedAny = false;
 
     static bool
     before(const HeapEntry &a, const HeapEntry &b)

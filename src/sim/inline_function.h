@@ -42,14 +42,19 @@ class EventFn
                  std::is_invocable_r_v<void, std::remove_cvref_t<F> &>)
     EventFn(F &&f) // NOLINT: implicit by design, mirrors std::function
     {
+        // EventFn *is* the sanctioned owner of placement-new here:
+        // the whole point of this class is keeping the hot path free
+        // of the heap, and the oversized-callable fallback is the one
+        // deliberate allocation.
         using Fn = std::remove_cvref_t<F>;
         if constexpr (sizeof(Fn) <= kInlineSize &&
                       alignof(Fn) <= alignof(std::max_align_t)) {
+            // aitax-lint: allow(raw-new-delete)
             ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
             ops = &inlineOps<Fn>;
         } else {
-            ::new (static_cast<void *>(buf))
-                Fn *(new Fn(std::forward<F>(f)));
+            ::new (static_cast<void *>(buf))  // aitax-lint: allow(raw-new-delete)
+                Fn *(new Fn(std::forward<F>(f))); // aitax-lint: allow(raw-new-delete)
             ops = &heapOps<Fn>;
         }
     }
@@ -103,7 +108,7 @@ class EventFn
         [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
         [](void *dst, void *src) noexcept {
             Fn *s = std::launder(reinterpret_cast<Fn *>(src));
-            ::new (dst) Fn(std::move(*s));
+            ::new (dst) Fn(std::move(*s)); // aitax-lint: allow(raw-new-delete)
             s->~Fn();
         },
         [](void *p) noexcept {
@@ -115,11 +120,11 @@ class EventFn
     static constexpr Ops heapOps = {
         [](void *p) { (**std::launder(reinterpret_cast<Fn **>(p)))(); },
         [](void *dst, void *src) noexcept {
-            ::new (dst)
+            ::new (dst) // aitax-lint: allow(raw-new-delete)
                 Fn *(*std::launder(reinterpret_cast<Fn **>(src)));
         },
         [](void *p) noexcept {
-            delete *std::launder(reinterpret_cast<Fn **>(p));
+            delete *std::launder(reinterpret_cast<Fn **>(p)); // aitax-lint: allow(raw-new-delete)
         },
     };
 

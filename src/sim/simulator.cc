@@ -5,6 +5,7 @@ namespace aitax::sim {
 TimeNs
 Simulator::run()
 {
+    AITAX_AUDIT_OWNER(owner_, "Simulator");
     while (!queue.empty()) {
         // Advance the clock before the event body runs so that now()
         // observed inside callbacks is the event's own timestamp.
@@ -18,6 +19,7 @@ Simulator::run()
 TimeNs
 Simulator::runUntil(TimeNs deadline)
 {
+    AITAX_AUDIT_OWNER(owner_, "Simulator");
     while (!queue.empty() && queue.nextTime() <= deadline) {
         nowNs = queue.nextTime();
         queue.popAndRun();
@@ -33,6 +35,7 @@ Simulator::runUntil(TimeNs deadline)
 TimeNs
 Simulator::runUntilCondition(const std::function<bool()> &done)
 {
+    AITAX_AUDIT_OWNER(owner_, "Simulator");
     while (!queue.empty() && !done()) {
         nowNs = queue.nextTime();
         queue.popAndRun();

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/audit.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -41,6 +42,7 @@ class Simulator
     EventId
     scheduleIn(DurationNs delay, EventFn fn)
     {
+        AITAX_AUDIT_OWNER(owner_, "Simulator");
         if (delay < 0)
             delay = 0;
         return queue.schedule(nowNs + delay, std::move(fn));
@@ -50,13 +52,19 @@ class Simulator
     EventId
     scheduleAt(TimeNs when, EventFn fn)
     {
+        AITAX_AUDIT_OWNER(owner_, "Simulator");
         if (when < nowNs)
             when = nowNs;
         return queue.schedule(when, std::move(fn));
     }
 
     /** Cancel a previously scheduled event. */
-    void cancel(EventId id) { queue.cancel(id); }
+    void
+    cancel(EventId id)
+    {
+        AITAX_AUDIT_OWNER(owner_, "Simulator");
+        queue.cancel(id);
+    }
 
     /** True if no events are pending. */
     bool idle() const { return queue.empty(); }
@@ -84,10 +92,19 @@ class Simulator
     /** Number of events executed so far (for tests/diagnostics). */
     std::uint64_t eventsExecuted() const { return executed; }
 
+    /**
+     * Release thread ownership (audited builds): the next audited
+     * touch rebinds the simulator to its new owning thread. Only for
+     * deliberate handoffs between construction and use.
+     */
+    void auditReleaseOwner() { owner_.release(); }
+
   private:
     EventQueue queue;
     TimeNs nowNs = 0;
     std::uint64_t executed = 0;
+    /** Thread-ownership sentinel; checks compiled in audited builds. */
+    OwnershipSentinel owner_;
 };
 
 } // namespace aitax::sim

@@ -29,6 +29,8 @@ Distribution::sortedSamples() const
 {
     if (!sortedValid) {
         sorted = samples;
+        // Plain doubles under operator< — a total order (latency
+        // samples are finite). aitax-lint: allow(unstable-sort)
         std::sort(sorted.begin(), sorted.end());
         sortedValid = true;
     }
@@ -76,6 +78,7 @@ Distribution::mad() const
     dev.reserve(samples.size());
     for (double x : samples)
         dev.push_back(std::abs(x - med));
+    // Plain doubles; see sortedSamples(). aitax-lint: allow(unstable-sort)
     std::sort(dev.begin(), dev.end());
     const std::size_t n = dev.size();
     if (n % 2 == 1)

@@ -27,6 +27,7 @@ Tracer::find(const InternMap &map, std::string_view name)
 TrackId
 Tracer::internTrack(std::string_view name)
 {
+    AITAX_AUDIT_OWNER(owner_, "Tracer");
     const std::uint32_t id = intern(trackIds_, trackNames_, name);
     if (id == tracks_.size()) {
         tracks_.emplace_back();
@@ -45,12 +46,14 @@ Tracer::internTrack(std::string_view name)
 LabelId
 Tracer::internLabel(std::string_view name)
 {
+    AITAX_AUDIT_OWNER(owner_, "Tracer");
     return LabelId{intern(labelIds_, labelNames_, name)};
 }
 
 EventKindId
 Tracer::internEventKind(std::string_view kind)
 {
+    AITAX_AUDIT_OWNER(owner_, "Tracer");
     const std::uint32_t id = intern(kindIds_, kindNames_, kind);
     if (id == kindCounts_.size())
         kindCounts_.push_back(0);
@@ -60,6 +63,7 @@ Tracer::internEventKind(std::string_view kind)
 CounterId
 Tracer::internCounter(std::string_view name)
 {
+    AITAX_AUDIT_OWNER(owner_, "Tracer");
     const std::uint32_t id = intern(counterIds_, counterNames_, name);
     if (id == counters_.size())
         counters_.emplace_back();

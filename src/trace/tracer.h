@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/audit.h"
 #include "sim/time.h"
 #include "trace/ids.h"
 
@@ -117,6 +118,7 @@ class Tracer
     recordInterval(TrackId track, LabelId label, sim::TimeNs begin,
                    sim::TimeNs end)
     {
+        AITAX_AUDIT_OWNER(owner_, "Tracer");
         if (!enabled || end <= begin)
             return;
         TrackStore &t = tracks_[track.value];
@@ -128,6 +130,7 @@ class Tracer
     void
     recordEvent(EventKindId kind, LabelId detail, sim::TimeNs when)
     {
+        AITAX_AUDIT_OWNER(owner_, "Tracer");
         if (!enabled)
             return;
         events_.kinds.push_back(kind);
@@ -139,6 +142,7 @@ class Tracer
     void
     recordCounter(CounterId counter, sim::TimeNs when, double value)
     {
+        AITAX_AUDIT_OWNER(owner_, "Tracer");
         if (!enabled)
             return;
         CounterStore &c = counters_[counter.value];
@@ -182,6 +186,13 @@ class Tracer
      * reallocating.
      */
     void clear();
+
+    /**
+     * Release thread ownership (audited builds): the next audited
+     * record/intern rebinds the tracer to its new owning thread. Only
+     * for deliberate handoffs between construction and use.
+     */
+    void auditReleaseOwner() { owner_.release(); }
 
     // --- Columnar read API (writers, renderers, benchmarks) ----------
 
@@ -258,7 +269,10 @@ class Tracer
             return std::hash<std::string_view>{}(s);
         }
     };
-    using InternMap =
+    // The interner is lookup-only: nothing ever iterates it, so its
+    // hash order cannot reach a trace or report. All ordered reads go
+    // through the dense name vectors / tracksByName_ (sorted).
+    using InternMap = // aitax-lint: allow(unordered-container)
         std::unordered_map<std::string, std::uint32_t, SvHash,
                            std::equal_to<>>;
 
@@ -269,6 +283,9 @@ class Tracer
                               std::string_view name);
 
     bool enabled = true;
+
+    /** Thread-ownership sentinel; checks compiled in audited builds. */
+    sim::OwnershipSentinel owner_;
 
     std::vector<TrackStore> tracks_;
     std::vector<std::string> trackNames_;

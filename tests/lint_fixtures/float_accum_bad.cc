@@ -1,0 +1,14 @@
+// Fixture: single-precision accumulation + unordered reductions in
+// (pretend) report code.
+#include <numeric>
+#include <vector>
+
+double
+summarize(const std::vector<double> &xs)
+{
+    float total = 0.0F;
+    for (double x : xs)
+        total += static_cast<float>(x); // flagged: float accumulator
+    double r = std::reduce(xs.begin(), xs.end()); // flagged: unordered
+    return total + r;
+}

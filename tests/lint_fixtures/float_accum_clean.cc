@@ -1,0 +1,17 @@
+// Fixture: double accumulation with a fixed order; must NOT trip
+// float-accum.
+#include <numeric>
+#include <vector>
+
+double
+summarize(const std::vector<double> &xs)
+{
+    double total = 0.0;
+    for (double x : xs)
+        total += x;
+    // std::accumulate is left-to-right: order is fixed.
+    double r = std::accumulate(xs.begin(), xs.end(), 0.0);
+    // float values are fine when they are not accumulators.
+    float scale = 2.0F;
+    return (total + r) * scale;
+}

@@ -1,0 +1,10 @@
+// Fixture: canonical guard for virtual path src/soc/fix.h.
+#ifndef AITAX_SOC_FIX_H
+#define AITAX_SOC_FIX_H
+
+struct Guarded
+{
+    int v;
+};
+
+#endif

@@ -1,0 +1,10 @@
+// Fixture: #ifndef and #define name different macros.
+#ifndef AITAX_SOC_FIX_H
+#define AITAX_SOC_FIXX_H
+
+struct Mismatched
+{
+    int v;
+};
+
+#endif

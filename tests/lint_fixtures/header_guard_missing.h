@@ -1,0 +1,6 @@
+// Fixture: header with no guard at all (flagged at line 1).
+
+struct Unguarded
+{
+    int v;
+};

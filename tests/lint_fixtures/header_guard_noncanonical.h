@@ -1,0 +1,10 @@
+// Fixture: consistent guard, but not the canonical AITAX_* name.
+#ifndef FIX_H_INCLUDED
+#define FIX_H_INCLUDED
+
+struct NonCanonical
+{
+    int v;
+};
+
+#endif

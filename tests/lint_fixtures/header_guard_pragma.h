@@ -1,0 +1,7 @@
+// Fixture: #pragma once is an accepted guard.
+#pragma once
+
+struct PragmaGuarded
+{
+    int v;
+};

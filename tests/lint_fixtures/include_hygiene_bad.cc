@@ -1,0 +1,12 @@
+// Fixture: one of each include-hygiene violation.
+#include <vector>
+#include <stdlib.h>          // flagged: deprecated C header
+#include <sim/simulator.h>   // flagged: project header in <>
+#include <vector>            // flagged: duplicate include
+
+int
+size()
+{
+    std::vector<int> v;
+    return static_cast<int>(v.size());
+}

@@ -1,0 +1,13 @@
+// Fixture: tidy includes; must NOT trip include-hygiene.
+#include "sim/simulator.h"
+
+#include <cstdlib>
+#include <vector>
+
+int
+size()
+{
+    std::vector<int> v;
+    (void)std::getenv("HOME");
+    return static_cast<int>(v.size());
+}

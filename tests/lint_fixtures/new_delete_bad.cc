@@ -1,0 +1,16 @@
+// Fixture: raw allocation on a (pretend) sim hot path.
+struct Node
+{
+    int v;
+};
+
+int
+churn()
+{
+    Node *n = new Node{1};    // flagged
+    int v = n->v;
+    delete n;                 // flagged
+    int *arr = new int[8];    // flagged
+    delete[] arr;             // flagged
+    return v;
+}

@@ -1,0 +1,24 @@
+// Fixture: value semantics and deleted special members; must NOT
+// trip raw-new-delete (`= delete` is not deallocation).
+#include <vector>
+
+class Pool
+{
+  public:
+    Pool() = default;
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    int
+    take()
+    {
+        if (free_.empty())
+            free_.push_back(0);
+        const int v = free_.back();
+        free_.pop_back();
+        return v;
+    }
+
+  private:
+    std::vector<int> free_; // "a new slot" in prose is fine
+};

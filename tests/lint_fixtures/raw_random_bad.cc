@@ -1,0 +1,13 @@
+// Fixture: non-reproducible randomness the rule must catch.
+#include <cstdlib>
+#include <random>
+
+int
+noisy()
+{
+    std::random_device rd;                        // flagged
+    std::mt19937 gen(rd());                       // flagged
+    std::uniform_int_distribution<int> d(0, 9);   // flagged
+    srand(42);                                    // flagged
+    return d(gen) + rand();                       // flagged (rand)
+}

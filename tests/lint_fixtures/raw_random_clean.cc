@@ -1,0 +1,10 @@
+// Fixture: seeded RandomStream use that must NOT trip raw-random.
+#include "sim/random.h"
+
+double
+jitter(aitax::sim::RandomStream &rng)
+{
+    // rand in prose, operand as an identifier, no calls.
+    int operand = 1;
+    return rng.uniform(0.0, 1.0) + operand;
+}

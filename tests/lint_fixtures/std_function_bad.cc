@@ -1,0 +1,13 @@
+// Fixture: std::function on a (pretend) sim hot path.
+#include <functional>
+
+struct Timer
+{
+    std::function<void()> onFire; // flagged
+};
+
+void
+arm(Timer &t, std::function<void()> fn) // flagged
+{
+    t.onFire = std::move(fn);
+}

@@ -1,0 +1,16 @@
+// Fixture: EventFn instead of std::function; must NOT trip
+// std-function. The word `function` alone (prose, member names) is
+// not a match either.
+#include "sim/inline_function.h"
+
+struct Timer
+{
+    aitax::sim::EventFn onFire;
+};
+
+void
+arm(Timer &t, aitax::sim::EventFn fn)
+{
+    // this function assigns a callback
+    t.onFire = std::move(fn);
+}

@@ -1,0 +1,14 @@
+// Fixture: file-scoped suppression covers every occurrence of the
+// named rule, but no other rule.
+// aitax-lint: allow-file(wall-clock)
+#include <chrono>
+#include <cstdlib>
+
+long
+stamps()
+{
+    auto a = std::chrono::steady_clock::now(); // suppressed (file scope)
+    auto b = std::chrono::system_clock::now(); // suppressed (file scope)
+    srand(7);                                  // raw-random still fires
+    return (a.time_since_epoch() + b.time_since_epoch()).count();
+}

@@ -1,0 +1,15 @@
+// Fixture: line-scoped suppressions. The marker covers its own line
+// and the next line only.
+#include <chrono>
+
+long
+mixed()
+{
+    // aitax-lint: allow(wall-clock)
+    auto a = std::chrono::steady_clock::now(); // suppressed
+    auto b = std::chrono::steady_clock::now(); // NOT suppressed
+    auto c = std::chrono::steady_clock::now(); // aitax-lint: allow(wall-clock)
+    // aitax-lint: allow(raw-random) -- wrong rule, does not cover next line
+    auto d = std::chrono::steady_clock::now(); // NOT suppressed
+    return (a - b + (c - d)).count();
+}

@@ -1,0 +1,14 @@
+// Fixture: unordered containers in report-feeding code.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int
+tally()
+{
+    std::unordered_map<std::string, int> counts;  // flagged
+    std::unordered_set<int> seen;                 // flagged
+    counts["x"] = 1;
+    seen.insert(1);
+    return static_cast<int>(counts.size() + seen.size());
+}

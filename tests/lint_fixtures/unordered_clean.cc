@@ -1,0 +1,14 @@
+// Fixture: ordered containers; must NOT trip unordered-container.
+#include <map>
+#include <set>
+#include <string>
+
+int
+tally()
+{
+    std::map<std::string, int> counts;
+    std::set<int> seen;
+    counts["x"] = 1;
+    seen.insert(1);
+    return static_cast<int>(counts.size() + seen.size());
+}

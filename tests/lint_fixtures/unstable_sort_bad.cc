@@ -1,0 +1,18 @@
+// Fixture: std::sort without a total order.
+#include <algorithm>
+#include <vector>
+
+struct Sample
+{
+    double score;
+    int id;
+};
+
+void
+rank(std::vector<Sample> &v)
+{
+    std::sort(v.begin(), v.end(), // flagged
+              [](const Sample &a, const Sample &b) {
+                  return a.score > b.score; // ties unordered!
+              });
+}

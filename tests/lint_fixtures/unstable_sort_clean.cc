@@ -1,0 +1,31 @@
+// Fixture: stable_sort (and a non-std sort identifier); must NOT
+// trip unstable-sort.
+#include <algorithm>
+#include <vector>
+
+struct Sample
+{
+    double score;
+    int id;
+};
+
+void
+rank(std::vector<Sample> &v)
+{
+    std::stable_sort(v.begin(), v.end(),
+                     [](const Sample &a, const Sample &b) {
+                         return a.score > b.score;
+                     });
+}
+
+// A member/free function merely named `sort` is not std::sort.
+struct Bucket
+{
+    void sort();
+};
+
+void
+bucketSort(Bucket &b)
+{
+    b.sort();
+}

@@ -1,0 +1,18 @@
+// Fixture: every form of wall-clock read the rule must catch.
+// Not compiled; linted by tests/test_lint.cc under src/soc/.
+#include <chrono>
+#include <ctime>
+
+long
+sampleLatency()
+{
+    auto a = std::chrono::steady_clock::now();    // flagged
+    auto b = std::chrono::system_clock::now();    // flagged
+    auto c = std::chrono::high_resolution_clock::now(); // flagged
+    std::time_t t = time(nullptr);                // flagged
+    std::clock_t k = clock();                     // flagged
+    struct timespec ts;
+    clock_gettime(0, &ts);                        // flagged
+    (void)a; (void)b; (void)c; (void)t; (void)k;
+    return ts.tv_nsec;
+}

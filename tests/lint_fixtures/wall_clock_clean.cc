@@ -1,0 +1,16 @@
+// Fixture: virtual-time code that must NOT trip the wall-clock rule,
+// including identifiers that merely contain banned substrings and
+// banned names inside comments/strings.
+#include "sim/simulator.h"
+
+// steady_clock::now() in a comment is fine.
+aitax::sim::TimeNs
+virtualNow(const aitax::sim::Simulator &sim)
+{
+    const char *msg = "no system_clock here, honest";
+    (void)msg;
+    int timeout = 3;        // `timeout(` would be a different call
+    int clockrate = 19'200; // contains "clock" but is not clock()
+    (void)timeout;
+    return sim.now() + clockrate * 0;
+}
