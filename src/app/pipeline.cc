@@ -3,6 +3,7 @@
 #include <array>
 #include <cassert>
 
+#include "faults/injector.h"
 #include "imaging/convert.h"
 #include "imaging/crop.h"
 #include "imaging/normalize.h"
@@ -85,19 +86,32 @@ Application::appendCapture(Task &task, double noise)
                                       std::function<void()> resume) {
                 const auto period = self->camera_.framePeriodNs();
                 const sim::TimeNs now = system->simulator().now();
-                const std::int64_t latest =
-                    (now - self->streamPhaseNs) / period;
+                // Newest frame the sensor has delivered by `now`, or
+                // -1 before the first arrival. The naive
+                // (now - phase) / period truncates toward zero, so a
+                // consume *before* the phase offset would claim frame
+                // 0 already exists — branch explicitly instead.
+                std::int64_t latest = -1;
+                if (now >= self->streamPhaseNs)
+                    latest = (now - self->streamPhaseNs) / period;
                 sim::DurationNs wait;
-                if (latest > self->lastConsumedFrame && latest >= 0) {
+                if (latest > self->lastConsumedFrame) {
                     // A fresh frame is already buffered.
                     self->lastConsumedFrame = latest;
+                    self->frameLog_.push_back(
+                        {latest,
+                         self->streamPhaseNs + latest * period, now});
                     wait = sim::usToNs(200.0); // dequeue latency
                 } else {
-                    // Outran the sensor: wait for the next arrival.
+                    // Outran the sensor (or its first frame): wait
+                    // for the next arrival.
                     const std::int64_t next =
                         self->lastConsumedFrame + 1;
                     self->lastConsumedFrame = next;
-                    wait = self->streamPhaseNs + next * period - now;
+                    const sim::TimeNs ready =
+                        self->streamPhaseNs + next * period;
+                    self->frameLog_.push_back({next, ready, ready});
+                    wait = ready - now;
                 }
                 system->simulator().scheduleIn(wait, resume);
             });
@@ -205,11 +219,52 @@ Application::appendPreProcessing(Task &task, double noise)
         const std::int32_t pid = cfg.processId;
         const double payload = camera_.frameBytes();
         soc::SocSystem *system = &sys;
-        task.block([system, job = std::move(job), pid,
-                    payload](Task &,
-                             std::function<void()> resume) mutable {
-            job.onDone = [resume](sim::TimeNs) { resume(); };
-            system->fastrpc().call(pid, payload, std::move(job), {});
+        // CPU cost of the same chain if the offload fails for good
+        // (managed-runtime execution, like the non-offloaded path).
+        const double cpu_ops =
+            total.flops * prof.managedRuntimeFactor * noise;
+        const double cpu_bytes = total.bytes;
+        Application *self = this;
+        task.block([system, self, job = std::move(job), pid, payload,
+                    cpu_ops,
+                    cpu_bytes](Task &,
+                               std::function<void()> resume) mutable {
+            system->fastrpc().call(
+                pid, payload, std::move(job),
+                [system, self, cpu_ops, cpu_bytes,
+                 resume](const soc::FastRpcBreakdown &breakdown) {
+                    // Retry overhead of the vision offload is this
+                    // frame's degraded time (not in rpcLog_, which
+                    // holds inference calls only).
+                    self->frameDegradedNs_ += breakdown.retryNs;
+                    if (!breakdown.failed) {
+                        resume();
+                        return;
+                    }
+                    // Permanent failure: run the chain on the CPU.
+                    faults::FaultInjector *faults = system->faults();
+                    const sim::TimeNs began =
+                        system->simulator().now();
+                    if (faults)
+                        faults->recordFallback(faults::ChainLink::Dsp,
+                                               faults::ChainLink::Cpu,
+                                               began);
+                    auto worker = std::make_shared<Task>(
+                        self->fastcvJobName_ + "_fallback_cpu");
+                    worker->compute({cpu_ops, cpu_bytes},
+                                    WorkClass::Scalar);
+                    worker->setOnComplete(
+                        [system, self, faults, began,
+                         resume](sim::TimeNs end) {
+                            const sim::DurationNs elapsed =
+                                end - began;
+                            if (faults)
+                                faults->recordDegradedExec(elapsed);
+                            self->frameDegradedNs_ += elapsed;
+                            resume();
+                        });
+                    system->scheduler().submit(std::move(worker));
+                });
         });
         return;
     }
@@ -305,6 +360,7 @@ Application::startFrame(
     auto task = std::make_shared<Task>(pipelineTaskName_);
     task->setTraceLabel(pipelineLabel_);
     auto times = std::make_shared<std::array<sim::TimeNs, 5>>();
+    const std::size_t rpc_base = rpcLog_.size();
 
     const double noise =
         rng.lognormalFactor(prof.computeNoiseSigma);
@@ -321,6 +377,7 @@ Application::startFrame(
     exec.noiseSigma = prof.computeNoiseSigma;
     exec.instrumentation = &instr;
     exec.rpcLog = &rpcLog_;
+    exec.degradedNs = &frameDegradedNs_;
     exec.label = inferLabel_;
     engine_.appendInvoke(sys, *task, exec);
 
@@ -328,14 +385,25 @@ Application::startFrame(
     appendPostProcessing(*task, noise);
     task->marker([times](sim::TimeNs t) { (*times)[4] = t; });
 
-    task->setOnComplete([this, index, total, report, on_done,
-                         times](sim::TimeNs end) {
+    task->setOnComplete([this, index, total, report, on_done, times,
+                         rpc_base](sim::TimeNs end) {
         StageLatencies lat;
         lat[Stage::DataCapture] = (*times)[1] - (*times)[0];
         lat[Stage::PreProcessing] = (*times)[2] - (*times)[1];
         lat[Stage::Inference] = (*times)[3] - (*times)[2];
         lat[Stage::PostProcessing] = (*times)[4] - (*times)[3];
         report->add(lat);
+        if (sys.faults() != nullptr) {
+            // Degraded-mode attribution for this frame: retry
+            // overhead on its FastRPC calls plus any time spent on
+            // fallback devices. Included in the stage walls above —
+            // this is a column of the tax, not an extra stage.
+            sim::DurationNs degraded = frameDegradedNs_;
+            for (std::size_t i = rpc_base; i < rpcLog_.size(); ++i)
+                degraded += rpcLog_[i].retryNs;
+            report->addDegraded(sim::nsToMs(degraded));
+            frameDegradedNs_ = 0;
+        }
         if (index + 1 < total) {
             startFrame(index + 1, total, report, on_done);
         } else if (*on_done) {

@@ -61,6 +61,19 @@ struct PipelineConfig
 };
 
 /**
+ * Witness record for one streaming-capture frame consumption: the
+ * frame's sensor arrival time and when the app dequeued it. The
+ * verify tier checks causality (consumedAt >= readyAt) — the app
+ * must never consume a frame the sensor has not produced yet.
+ */
+struct FrameConsume
+{
+    std::int64_t frame = 0;
+    sim::TimeNs readyAt = 0;
+    sim::TimeNs consumedAt = 0;
+};
+
+/**
  * One application instance bound to a simulated SoC.
  */
 class Application
@@ -90,6 +103,12 @@ class Application
         return rpcLog_;
     }
 
+    /** Streaming-capture consumption witnesses (empty when off). */
+    const std::vector<FrameConsume> &frameLog() const
+    {
+        return frameLog_;
+    }
+
   private:
     soc::SocSystem &sys;
     PipelineConfig cfg;
@@ -110,6 +129,9 @@ class Application
     /** Streaming-capture state: arrival phase and last consumed frame. */
     sim::TimeNs streamPhaseNs = 0;
     std::int64_t lastConsumedFrame = -1;
+    std::vector<FrameConsume> frameLog_;
+    /** Degraded-mode time accrued by the in-flight frame. */
+    sim::DurationNs frameDegradedNs_ = 0;
 
     void startFrame(int index, int total, core::TaxReport *report,
                     std::shared_ptr<std::function<void(sim::TimeNs)>>

@@ -112,6 +112,18 @@ TaxReport::render(std::ostream &os) const
                   stats::Table::num(tax.median()),
                   stats::Table::num(tax.p95()),
                   stats::Table::pct(aiTaxFraction() * 100.0), "-"});
+    // Degraded-mode column appears only for fault-injected runs, so
+    // plain reports render exactly as before.
+    if (degraded_.count() > 0) {
+        table.addRow(
+            {"degraded mode", stats::Table::num(degraded_.mean()),
+             stats::Table::num(degraded_.median()),
+             stats::Table::num(degraded_.p95()),
+             stats::Table::pct(total > 0
+                                   ? degraded_.mean() / total * 100.0
+                                   : 0.0),
+             "-"});
+    }
     table.render(os);
 }
 

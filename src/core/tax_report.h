@@ -48,6 +48,14 @@ class TaxReport
     /** Record one run. */
     void add(const StageLatencies &run);
 
+    /**
+     * Record one run's degraded-mode overhead (retry/backoff time and
+     * fallback-device execution, in ms). Only recorded under fault
+     * injection; the time is *contained* in the stage walls, so this
+     * is an attribution column, not an additional stage.
+     */
+    void addDegraded(double ms) { degraded_.add(ms); }
+
     std::size_t runs() const { return e2e.count(); }
 
     /** Distribution of a stage's latency in milliseconds. */
@@ -58,6 +66,12 @@ class TaxReport
 
     /** Distribution of per-run AI tax in milliseconds. */
     const stats::Distribution &aiTax() const { return tax; }
+
+    /** Per-run degraded-mode overhead (ms); empty without faults. */
+    const stats::Distribution &degradedMode() const
+    {
+        return degraded_;
+    }
 
     /** Mean stage latency in milliseconds. */
     double stageMeanMs(Stage s) const;
@@ -82,6 +96,7 @@ class TaxReport
     std::array<stats::Distribution, kAllStages.size()> stages;
     stats::Distribution e2e;
     stats::Distribution tax;
+    stats::Distribution degraded_;
 };
 
 } // namespace aitax::core

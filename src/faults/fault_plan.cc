@@ -1,0 +1,172 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace aitax::faults {
+
+const char *
+chainLinkName(ChainLink link)
+{
+    switch (link) {
+      case ChainLink::Dsp:
+        return "dsp";
+      case ChainLink::Gpu:
+        return "gpu";
+      case ChainLink::Cpu:
+        return "cpu";
+    }
+    return "?";
+}
+
+FaultConfig
+FaultConfig::fuzzDefaults()
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.sessionLossProb = 0.04;
+    cfg.transientFailureProb = 0.08;
+    cfg.maxAttempts = 3;
+    cfg.hangProb = 0.03;
+    cfg.thermalEmergencies = 1;
+    return cfg;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    char buf[256];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "faults: enabled=%d session-loss=%.6g transient=%.6g "
+                  "max-attempts=%d detect-us=%.6g backoff-us=%.6g\n",
+                  cfg.enabled ? 1 : 0, cfg.sessionLossProb,
+                  cfg.transientFailureProb, cfg.maxAttempts,
+                  sim::nsToUs(cfg.transientDetectNs),
+                  sim::nsToUs(cfg.retryBackoffBaseNs));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "        hang=%.6g stall-ms=%.6g watchdog-ms=%.6g "
+                  "thermal=%d thermal-heat=%.6g\n",
+                  cfg.hangProb, sim::nsToMs(cfg.hangStallNs),
+                  sim::nsToMs(cfg.watchdogTimeoutNs),
+                  cfg.thermalEmergencies, cfg.thermalEmergencyHeat);
+    out += buf;
+    for (sim::TimeNs t : thermalEmergencyAtNs) {
+        std::snprintf(buf, sizeof(buf),
+                      "        thermal-emergency at %lld ns\n",
+                      static_cast<long long>(t));
+        out += buf;
+    }
+    return out;
+}
+
+FaultPlan
+makeFaultPlan(const FaultConfig &cfg, sim::RandomStream &rng)
+{
+    FaultPlan plan;
+    plan.cfg = cfg;
+    if (!cfg.enabled)
+        return plan;
+    sim::TimeNs t = 0;
+    for (int i = 0; i < cfg.thermalEmergencies; ++i) {
+        const double gap = rng.exponential(
+            static_cast<double>(cfg.thermalEmergencyGapNs));
+        t += std::max<sim::DurationNs>(
+            1, static_cast<sim::DurationNs>(std::llround(gap)));
+        plan.thermalEmergencyAtNs.push_back(t);
+    }
+    return plan;
+}
+
+namespace {
+
+bool
+parseNumber(std::string_view value, double *out)
+{
+    // strtod needs a NUL-terminated buffer; specs are short.
+    char buf[64];
+    if (value.empty() || value.size() >= sizeof(buf))
+        return false;
+    value.copy(buf, value.size());
+    buf[value.size()] = '\0';
+    char *end = nullptr;
+    const double parsed = std::strtod(buf, &end);
+    if (end != buf + value.size() || !std::isfinite(parsed))
+        return false;
+    *out = parsed;
+    return true;
+}
+
+bool
+applyKey(std::string_view key, double value, FaultConfig *cfg)
+{
+    const bool is_prob = value >= 0.0 && value <= 1.0;
+    if (key == "session-loss" && is_prob)
+        cfg->sessionLossProb = value;
+    else if (key == "transient" && is_prob)
+        cfg->transientFailureProb = value;
+    else if (key == "hang" && is_prob)
+        cfg->hangProb = value;
+    else if (key == "max-attempts" && value >= 1.0)
+        cfg->maxAttempts = static_cast<int>(value);
+    else if (key == "detect-us" && value >= 0.0)
+        cfg->transientDetectNs = sim::usToNs(value);
+    else if (key == "backoff-us" && value >= 0.0)
+        cfg->retryBackoffBaseNs = sim::usToNs(value);
+    else if (key == "stall-ms" && value > 0.0)
+        cfg->hangStallNs = sim::msToNs(value);
+    else if (key == "watchdog-ms" && value > 0.0)
+        cfg->watchdogTimeoutNs = sim::msToNs(value);
+    else if (key == "thermal" && value >= 0.0)
+        cfg->thermalEmergencies = static_cast<int>(value);
+    else if (key == "thermal-gap-ms" && value > 0.0)
+        cfg->thermalEmergencyGapNs = sim::msToNs(value);
+    else if (key == "thermal-heat" && value >= 0.0)
+        cfg->thermalEmergencyHeat = value;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
+parseFaultSpec(std::string_view spec, FaultConfig *out,
+               std::string *error)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    if (spec == "default" || spec == "fuzz") {
+        *out = FaultConfig::fuzzDefaults();
+        return true;
+    }
+    while (!spec.empty()) {
+        const std::size_t comma = spec.find(',');
+        std::string_view token = spec.substr(0, comma);
+        spec = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : spec.substr(comma + 1);
+        const std::size_t eq = token.find('=');
+        double value = 0.0;
+        if (eq == std::string_view::npos || eq == 0 ||
+            !parseNumber(token.substr(eq + 1), &value)) {
+            if (error)
+                *error = "bad fault spec token '" + std::string(token) +
+                         "' (want key=value)";
+            return false;
+        }
+        if (!applyKey(token.substr(0, eq), value, &cfg)) {
+            if (error)
+                *error = "unknown fault key or out-of-range value '" +
+                         std::string(token) + "'";
+            return false;
+        }
+    }
+    *out = cfg;
+    return true;
+}
+
+} // namespace aitax::faults

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Seeded fault plans for degraded-mode experiments.
+ *
+ * The paper measures the happy path; real deployments also pay the
+ * tax of DSP session loss (re-paid Fig 8 cold start), transient
+ * FastRPC failures, accelerator hangs and thermal emergencies. A
+ * FaultPlan describes which of those to inject and is derived
+ * entirely from the scenario RNG (`rng.fork("faults")`), so a fixed
+ * (seed, config) pair replays the exact same fault schedule and a
+ * disabled plan leaves the simulation byte-identical.
+ */
+
+#ifndef AITAX_FAULTS_FAULT_PLAN_H
+#define AITAX_FAULTS_FAULT_PLAN_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace aitax::faults {
+
+/**
+ * Position in the NNAPI-style degradation chain. Graceful
+ * degradation only ever moves to a higher rank (DSP -> GPU -> CPU);
+ * the fallback-monotonicity invariant checks exactly that.
+ */
+enum class ChainLink : int
+{
+    Dsp = 0,
+    Gpu = 1,
+    Cpu = 2,
+};
+
+const char *chainLinkName(ChainLink link);
+
+/** What to inject, and how hard. All probabilities are per decision. */
+struct FaultConfig
+{
+    /** Master switch; a disabled config never arms an injector. */
+    bool enabled = false;
+
+    /** Per-call probability the process's DSP session was lost. */
+    double sessionLossProb = 0.0;
+
+    /** Per-attempt probability a FastRPC call fails transiently. */
+    double transientFailureProb = 0.0;
+    /** Attempts (initial + retries) before a call fails permanently. */
+    int maxAttempts = 3;
+    /** Simulated time to detect a transient failure. */
+    sim::DurationNs transientDetectNs = sim::usToNs(80.0);
+    /** First retry backoff; doubles per subsequent retry. */
+    sim::DurationNs retryBackoffBaseNs = sim::usToNs(200.0);
+
+    /** Per-job probability the accelerator busy-hangs. */
+    double hangProb = 0.0;
+    /** Mean injected stall (actual draw is uniform in [0.5x, 1.5x]). */
+    sim::DurationNs hangStallNs = sim::msToNs(2.0);
+    /** Stalls reaching this bound are killed by the watchdog. */
+    sim::DurationNs watchdogTimeoutNs = sim::msToNs(2.4);
+
+    /** Number of thermal-emergency throttle events to schedule. */
+    int thermalEmergencies = 0;
+    /** Mean gap between scheduled emergencies (exponential). */
+    sim::DurationNs thermalEmergencyGapNs = sim::msToNs(150.0);
+    /** Heat added per emergency (heat units; threshold is ~2.0). */
+    double thermalEmergencyHeat = 4.0;
+
+    /** Moderate everything-on mix used by `verify --faults` fuzzing. */
+    static FaultConfig fuzzDefaults();
+};
+
+/** A concrete, fully drawn schedule: config + emergency times. */
+struct FaultPlan
+{
+    FaultConfig cfg;
+    /** Absolute injection times for thermal emergencies. */
+    std::vector<sim::TimeNs> thermalEmergencyAtNs;
+
+    /** Stable multi-line rendering (plan-determinism tests, CLI). */
+    std::string describe() const;
+};
+
+/** Draw the schedule for @p cfg from @p rng (consumed in fixed order). */
+FaultPlan makeFaultPlan(const FaultConfig &cfg, sim::RandomStream &rng);
+
+/**
+ * Parse a `--faults` spec into a config.
+ *
+ * "default" (or "fuzz") selects fuzzDefaults(); otherwise a
+ * comma-separated `key=value` list, e.g.
+ * `session-loss=0.05,transient=0.1,max-attempts=4,hang=0.02,
+ *  stall-ms=2,watchdog-ms=2.4,thermal=2,thermal-heat=4`.
+ * On success sets `out` (with enabled=true) and returns true; on
+ * failure returns false and writes a message to @p error.
+ */
+bool parseFaultSpec(std::string_view spec, FaultConfig *out,
+                    std::string *error);
+
+} // namespace aitax::faults
+
+#endif // AITAX_FAULTS_FAULT_PLAN_H

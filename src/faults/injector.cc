@@ -1,0 +1,138 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace aitax::faults {
+
+std::string
+FaultStats::summary() const
+{
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%lld session losses, %lld transient failures, %lld watchdog "
+        "kills, %lld retries (%.3f ms overhead), %lld permanent "
+        "failures, %zu fallbacks (%.3f ms degraded exec), %lld "
+        "thermal emergencies",
+        static_cast<long long>(sessionLosses),
+        static_cast<long long>(transientFailures),
+        static_cast<long long>(watchdogKills),
+        static_cast<long long>(retries), sim::nsToMs(retryOverheadNs),
+        static_cast<long long>(permanentFailures), fallbacks.size(),
+        sim::nsToMs(degradedExecNs),
+        static_cast<long long>(thermalEmergencies));
+    return buf;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, sim::RandomStream rng,
+                             trace::Tracer *tracer)
+    : plan_(std::move(plan)), rng_(rng), tracer_(tracer)
+{
+    if (tracer_) {
+        kSessionLoss_ = tracer_->internEventKind("fault_session_loss");
+        kTransient_ = tracer_->internEventKind("fault_rpc_transient");
+        kWatchdog_ = tracer_->internEventKind("fault_watchdog_kill");
+        kRetry_ = tracer_->internEventKind("rpc_retry");
+        kPermanent_ = tracer_->internEventKind("fault_rpc_permanent");
+        kThermal_ =
+            tracer_->internEventKind("fault_thermal_emergency");
+        kFallback_ = tracer_->internEventKind("degraded_fallback");
+        for (int i = 0; i < 3; ++i)
+            linkLabels_[i] = tracer_->internLabel(
+                chainLinkName(static_cast<ChainLink>(i)));
+    }
+}
+
+void
+FaultInjector::emit(trace::EventKindId kind, trace::LabelId detail,
+                    sim::TimeNs when)
+{
+    if (tracer_)
+        tracer_->recordEvent(kind, detail, when);
+}
+
+bool
+FaultInjector::drawSessionLoss()
+{
+    return rng_.bernoulli(plan_.cfg.sessionLossProb);
+}
+
+bool
+FaultInjector::drawTransientFailure()
+{
+    return rng_.bernoulli(plan_.cfg.transientFailureProb);
+}
+
+sim::DurationNs
+FaultInjector::drawHangStall()
+{
+    if (!rng_.bernoulli(plan_.cfg.hangProb))
+        return 0;
+    const double stall =
+        rng_.uniform(0.5, 1.5) *
+        static_cast<double>(plan_.cfg.hangStallNs);
+    return std::max<sim::DurationNs>(
+        1, static_cast<sim::DurationNs>(stall));
+}
+
+void
+FaultInjector::recordSessionLoss(sim::TimeNs when)
+{
+    ++stats_.sessionLosses;
+    emit(kSessionLoss_, linkLabels_[0], when);
+}
+
+void
+FaultInjector::recordTransient(sim::TimeNs when)
+{
+    ++stats_.transientFailures;
+    emit(kTransient_, linkLabels_[0], when);
+}
+
+void
+FaultInjector::recordWatchdogKill(sim::TimeNs when)
+{
+    ++stats_.watchdogKills;
+    emit(kWatchdog_, linkLabels_[0], when);
+}
+
+void
+FaultInjector::recordRetry(sim::TimeNs when, sim::DurationNs overhead)
+{
+    ++stats_.retries;
+    stats_.retryOverheadNs += overhead;
+    emit(kRetry_, linkLabels_[0], when);
+}
+
+void
+FaultInjector::recordPermanentFailure(sim::TimeNs when,
+                                      sim::DurationNs overhead)
+{
+    ++stats_.permanentFailures;
+    stats_.retryOverheadNs += overhead;
+    emit(kPermanent_, linkLabels_[0], when);
+}
+
+void
+FaultInjector::recordThermalEmergency(sim::TimeNs when)
+{
+    ++stats_.thermalEmergencies;
+    emit(kThermal_, linkLabels_[0], when);
+}
+
+void
+FaultInjector::recordFallback(ChainLink from, ChainLink to,
+                              sim::TimeNs when)
+{
+    stats_.fallbacks.push_back({from, to, when});
+    emit(kFallback_, linkLabels_[static_cast<int>(to)], when);
+}
+
+void
+FaultInjector::recordDegradedExec(sim::DurationNs elapsed)
+{
+    stats_.degradedExecNs += elapsed;
+}
+
+} // namespace aitax::faults

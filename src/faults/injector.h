@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Runtime side of fault injection: the injector owns the fault RNG
+ * stream, answers "does this call/job fail?" in deterministic event
+ * order, and keeps the degraded-mode ledger (FaultStats) that feeds
+ * the tax report's retry-overhead column and the trace's fault
+ * events.
+ *
+ * One injector is armed per SocSystem (never shared across
+ * simulations), so sweeps stay byte-identical at any --jobs count.
+ */
+
+#ifndef AITAX_FAULTS_INJECTOR_H
+#define AITAX_FAULTS_INJECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "sim/random.h"
+#include "sim/time.h"
+#include "trace/tracer.h"
+
+namespace aitax::faults {
+
+/** One graceful-degradation transition along the chain. */
+struct FallbackEvent
+{
+    ChainLink from = ChainLink::Dsp;
+    ChainLink to = ChainLink::Cpu;
+    sim::TimeNs when = 0;
+};
+
+/** Ledger of everything injected and what recovering from it cost. */
+struct FaultStats
+{
+    std::int64_t sessionLosses = 0;
+    std::int64_t transientFailures = 0;
+    std::int64_t watchdogKills = 0;
+    std::int64_t retries = 0;
+    std::int64_t permanentFailures = 0;
+    std::int64_t thermalEmergencies = 0;
+    /** Wasted attempts, failure detection and backoff waits. */
+    sim::DurationNs retryOverheadNs = 0;
+    /** Time spent executing work on a fallback device. */
+    sim::DurationNs degradedExecNs = 0;
+    std::vector<FallbackEvent> fallbacks;
+
+    /** One-line human summary for the CLI. */
+    std::string summary() const;
+};
+
+/**
+ * Deterministic fault oracle + ledger for one simulated system.
+ *
+ * Draw methods consume the fault RNG stream and must be called in
+ * simulation-event order (single-threaded per scenario, so they
+ * are). Record methods update stats and emit trace point events;
+ * event kinds are interned at construction, i.e. only when a plan is
+ * actually armed — unfaulted traces stay byte-identical.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultPlan plan, sim::RandomStream rng,
+                  trace::Tracer *tracer);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    const FaultPlan &plan() const { return plan_; }
+    const FaultConfig &config() const { return plan_.cfg; }
+    const FaultStats &stats() const { return stats_; }
+
+    // --- Draws ------------------------------------------------------
+    bool drawSessionLoss();
+    bool drawTransientFailure();
+    /** 0 = no hang; otherwise the stall injected into this job. */
+    sim::DurationNs drawHangStall();
+
+    // --- Ledger -----------------------------------------------------
+    void recordSessionLoss(sim::TimeNs when);
+    void recordTransient(sim::TimeNs when);
+    void recordWatchdogKill(sim::TimeNs when);
+    void recordRetry(sim::TimeNs when, sim::DurationNs overhead);
+    void recordPermanentFailure(sim::TimeNs when,
+                                sim::DurationNs overhead);
+    void recordThermalEmergency(sim::TimeNs when);
+    void recordFallback(ChainLink from, ChainLink to, sim::TimeNs when);
+    void recordDegradedExec(sim::DurationNs elapsed);
+
+  private:
+    FaultPlan plan_;
+    sim::RandomStream rng_;
+    trace::Tracer *tracer_;
+    FaultStats stats_;
+
+    trace::EventKindId kSessionLoss_;
+    trace::EventKindId kTransient_;
+    trace::EventKindId kWatchdog_;
+    trace::EventKindId kRetry_;
+    trace::EventKindId kPermanent_;
+    trace::EventKindId kThermal_;
+    trace::EventKindId kFallback_;
+    trace::LabelId linkLabels_[3];
+
+    void emit(trace::EventKindId kind, trace::LabelId detail,
+              sim::TimeNs when);
+};
+
+} // namespace aitax::faults
+
+#endif // AITAX_FAULTS_INJECTOR_H

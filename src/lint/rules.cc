@@ -358,9 +358,10 @@ checkHeaderGuard(const FileContext &f, std::vector<Finding> &out)
 
 /** First-level project module dirs: includes of these must be quoted. */
 const std::set<std::string_view> kModules = {
-    "app",    "capture", "core",  "drivers", "graph",  "imaging",
-    "lint",   "models",  "postproc", "runtime", "sim", "soc",
-    "stats",  "sweep",   "tensor", "trace",   "verify", "bench",
+    "app",    "capture", "core",  "drivers", "faults", "graph",
+    "imaging", "lint",  "models",  "postproc", "runtime", "sim",
+    "soc",    "stats",  "sweep",   "tensor", "trace",   "verify",
+    "bench",
 };
 
 const std::set<std::string_view> kDeprecatedCHeaders = {

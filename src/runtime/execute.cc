@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "faults/injector.h"
+
 namespace aitax::runtime {
 
 using drivers::Target;
@@ -32,6 +34,63 @@ accelFormatFor(tensor::DType dtype, const drivers::Driver &driver)
         return tensor::DType::Float16;
     }
     return dtype;
+}
+
+/**
+ * Degraded-mode execution after a permanent DSP offload failure:
+ * walk the NNAPI-style chain (GPU first, CPU last resort) and run
+ * the partition's work there. The elapsed fallback time is charged
+ * to the fault ledger and, when the caller asked, to its
+ * degraded-time accumulator.
+ */
+void
+runDegradedFallback(soc::SocSystem *system, double ops, double bytes,
+                    tensor::DType format, WorkClass cls,
+                    const std::string &label,
+                    sim::DurationNs *degraded_ns,
+                    std::function<void()> resume)
+{
+    const sim::TimeNs began = system->simulator().now();
+    faults::FaultInjector *faults = system->faults();
+    auto account = [system, faults, began, degraded_ns, resume] {
+        const sim::DurationNs elapsed =
+            system->simulator().now() - began;
+        if (faults)
+            faults->recordDegradedExec(elapsed);
+        if (degraded_ns)
+            *degraded_ns += elapsed;
+        resume();
+    };
+    for (Target next : degradationChainAfter(Target::Dsp)) {
+        if (next == Target::Gpu) {
+            if (!system->gpu().supportsFormat(format))
+                continue;
+            if (faults)
+                faults->recordFallback(faults::ChainLink::Dsp,
+                                       faults::ChainLink::Gpu, began);
+            AccelJob job;
+            job.name = label + "@fallback_gpu";
+            job.ops = ops;
+            job.bytes = bytes;
+            job.format = format;
+            job.onDone = [account](const soc::AccelCompletion &) {
+                account();
+            };
+            system->gpu().submit(std::move(job));
+            return;
+        }
+        if (faults)
+            faults->recordFallback(faults::ChainLink::Dsp,
+                                   faults::ChainLink::Cpu, began);
+        auto worker =
+            std::make_shared<Task>(label + "_fallback_cpu");
+        worker->compute({ops, bytes}, cls);
+        worker->setOnComplete(
+            [account](sim::TimeNs) { account(); });
+        system->scheduler().submit(std::move(worker));
+        return;
+    }
+    resume(); // chain exhausted; nothing left to degrade to
 }
 
 } // namespace
@@ -132,7 +191,9 @@ appendPlanExecution(soc::SocSystem &sys, Task &task,
             job.format = accelFormatFor(plan.dtype, *part.driver);
             task.block([system, job = std::move(job)](
                            Task &, std::function<void()> resume) mutable {
-                job.onDone = [resume](sim::TimeNs) { resume(); };
+                job.onDone = [resume](const soc::AccelCompletion &) {
+                    resume();
+                };
                 system->gpu().submit(std::move(job));
             });
             break;
@@ -154,7 +215,10 @@ appendPlanExecution(soc::SocSystem &sys, Task &task,
                 task.block([system, job = std::move(job)](
                                Task &,
                                std::function<void()> resume) mutable {
-                    job.onDone = [resume](sim::TimeNs) { resume(); };
+                    job.onDone =
+                        [resume](const soc::AccelCompletion &) {
+                            resume();
+                        };
                     system->dsp().submit(std::move(job));
                 });
                 break;
@@ -162,16 +226,34 @@ appendPlanExecution(soc::SocSystem &sys, Task &task,
             const std::int32_t pid = opts.processId;
             const double payload = part.inputBytes;
             auto *rpc_log = opts.rpcLog;
+            auto *degraded_ns = opts.degradedNs;
+            // Keep what a fallback needs; the job itself is consumed
+            // by the call.
+            const double fb_ops = job.ops;
+            const double fb_bytes = job.bytes;
+            const tensor::DType fb_format = job.format;
+            const std::string fb_label = opts.label;
             task.block([system, job = std::move(job), pid, payload,
-                        rpc_log](Task &,
-                                 std::function<void()> resume) mutable {
+                        rpc_log, degraded_ns, fb_ops, fb_bytes,
+                        fb_format, fb_label,
+                        cls](Task &,
+                             std::function<void()> resume) mutable {
                 system->fastrpc().call(
                     pid, payload, std::move(job),
-                    [resume, rpc_log](
+                    [system, resume, rpc_log, degraded_ns, fb_ops,
+                     fb_bytes, fb_format, fb_label, cls](
                         const soc::FastRpcBreakdown &breakdown) {
                         if (rpc_log)
                             rpc_log->push_back(breakdown);
-                        resume();
+                        if (!breakdown.failed) {
+                            resume();
+                            return;
+                        }
+                        // Permanent offload failure: degrade along
+                        // the chain instead of dropping the frame.
+                        runDegradedFallback(system, fb_ops, fb_bytes,
+                                            fb_format, cls, fb_label,
+                                            degraded_ns, resume);
                     });
             });
             break;

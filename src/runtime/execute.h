@@ -36,6 +36,12 @@ struct ExecOptions
     const drivers::Instrumentation *instrumentation = nullptr;
     /** If set, FastRPC breakdowns are appended here (Fig 7/8 data). */
     std::vector<soc::FastRpcBreakdown> *rpcLog = nullptr;
+    /**
+     * If set, simulated time spent executing on a fallback device
+     * after a permanent offload failure is accumulated here (the
+     * caller's degraded-mode tax attribution).
+     */
+    sim::DurationNs *degradedNs = nullptr;
     /** Label used for worker tasks and trace intervals. */
     std::string label = "inference";
 };

@@ -43,6 +43,11 @@ Compilation::Compilation(const graph::Graph &g, tensor::DType dtype,
     }
     compileNs_ = cost;
 
+    // The degraded-mode recompilation target: everything on the CPU
+    // reference implementation, which supports all ops by contract.
+    fallbackPlan_ = buildPlan(g, dtype, {},
+                              drivers::nnapiCpuReferenceDriver());
+
     // Burst executions keep the driver's execution context alive
     // between invocations, amortizing the per-operation scheduling
     // overhead.

@@ -53,10 +53,18 @@ class Compilation
     /** One-time compilation cost (partitioning + driver compile). */
     sim::DurationNs compileNs() const { return compileNs_; }
 
+    /**
+     * All-CPU-reference plan used when the accelerated plan is
+     * abandoned at runtime (e.g. repeated DSP session loss): NNAPI's
+     * last-resort recompilation target, always valid.
+     */
+    const ExecutionPlan &fallbackPlan() const { return fallbackPlan_; }
+
   private:
     ExecutionPreference pref;
     ExecutionPlan plan_;
     ExecutionPlan burstPlan_;
+    ExecutionPlan fallbackPlan_;
     sim::DurationNs compileNs_ = 0;
 };
 

@@ -48,6 +48,19 @@ ExecutionPlan::summary() const
     return buf;
 }
 
+std::vector<drivers::Target>
+degradationChainAfter(drivers::Target failed)
+{
+    switch (failed) {
+      case drivers::Target::Dsp:
+        return {drivers::Target::Gpu, drivers::Target::CpuThreads};
+      case drivers::Target::Gpu:
+        return {drivers::Target::CpuThreads};
+      default:
+        return {};
+    }
+}
+
 double
 deviceOpsFor(const Op &op, const Driver &driver, DType dtype)
 {

@@ -75,6 +75,15 @@ ExecutionPlan buildPlan(const graph::Graph &g, tensor::DType dtype,
 double deviceOpsFor(const graph::Op &op, const drivers::Driver &driver,
                     tensor::DType dtype);
 
+/**
+ * NNAPI-style graceful-degradation order: the devices to try, in
+ * order, after work permanently fails on @p failed. DSP work falls to
+ * the GPU then the CPU; GPU work falls to the CPU; CPU work has
+ * nowhere left to go (empty chain).
+ */
+std::vector<drivers::Target> degradationChainAfter(
+    drivers::Target failed);
+
 } // namespace aitax::runtime
 
 #endif // AITAX_RUNTIME_PLAN_H

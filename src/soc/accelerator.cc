@@ -3,8 +3,49 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace aitax::soc {
+
+namespace {
+
+/**
+ * Reject impossible rate configs at construction. An assert is not
+ * enough: under NDEBUG a zero rate flows into a division and the
+ * resulting inf/NaN cast to DurationNs is undefined behaviour, so
+ * misconfigured chipsets must fail loudly in every build mode.
+ */
+void
+validateAcceleratorConfig(const AcceleratorConfig &cfg)
+{
+    const bool any_rate = cfg.f32OpsPerSec > 0.0 ||
+                          cfg.f16OpsPerSec > 0.0 ||
+                          cfg.i8OpsPerSec > 0.0;
+    if (!any_rate) {
+        std::fprintf(stderr,
+                     "aitax: accelerator '%s' has no positive ops "
+                     "rate for any format\n",
+                     cfg.name.c_str());
+        std::abort();
+    }
+    if (!(cfg.memBytesPerSec > 0.0)) {
+        std::fprintf(stderr,
+                     "aitax: accelerator '%s' has non-positive "
+                     "memBytesPerSec (%g)\n",
+                     cfg.name.c_str(), cfg.memBytesPerSec);
+        std::abort();
+    }
+    if (cfg.perJobOverheadNs < 0) {
+        std::fprintf(stderr,
+                     "aitax: accelerator '%s' has negative "
+                     "perJobOverheadNs\n",
+                     cfg.name.c_str());
+        std::abort();
+    }
+}
+
+} // namespace
 
 Accelerator::Accelerator(sim::Simulator &sim, AcceleratorConfig cfg,
                          trace::Tracer &tracer, EnergyMeter *energy,
@@ -12,6 +53,7 @@ Accelerator::Accelerator(sim::Simulator &sim, AcceleratorConfig cfg,
     : sim(sim), cfg(std::move(cfg)), tracer(tracer), energy(energy),
       fabric(fabric)
 {
+    validateAcceleratorConfig(this->cfg);
     track_ = tracer.internTrack(this->cfg.name);
     axi_ = tracer.internCounter("axi_bytes");
 }
@@ -75,28 +117,62 @@ Accelerator::startNext()
     AccelJob job = std::move(queue.front());
     queue.pop_front();
 
-    const sim::DurationNs duration =
+    sim::DurationNs duration =
         execDuration(job.ops, job.bytes, job.format);
     const sim::TimeNs start = sim.now();
 
-    sim.scheduleIn(duration, [this, job = std::move(job), start] {
-        if (job.label.valid())
-            tracer.recordInterval(track_, job.label, start, sim.now());
-        if (job.bytes > 0)
-            tracer.recordCounter(axi_, sim.now(), job.bytes);
-        if (energy) {
-            const PowerDomain domain =
-                cfg.kind == AcceleratorKind::Gpu ? PowerDomain::Gpu
-                                                 : PowerDomain::Dsp;
-            energy->addDynamic(domain, job.ops);
-            energy->addStatic(domain, sim.now() - start);
+    // Injected busy-hang: the job stalls on the device. Stalls that
+    // reach the watchdog timeout are killed at the timeout instead of
+    // completing; shorter ones simply finish late.
+    bool killed = false;
+    if (faults_ != nullptr) {
+        const sim::DurationNs stall = faults_->drawHangStall();
+        if (stall > 0) {
+            const sim::DurationNs wd =
+                faults_->config().watchdogTimeoutNs;
+            if (wd > 0 && stall >= wd) {
+                killed = true;
+                duration = wd;
+            } else {
+                duration += stall;
+            }
         }
-        ++completed;
+    }
+
+    sim.scheduleIn(duration, [this, job = std::move(job), start,
+                              killed] {
+        const sim::TimeNs now = sim.now();
+        if (job.label.valid())
+            tracer.recordInterval(track_, job.label, start, now);
+        const PowerDomain domain = cfg.kind == AcceleratorKind::Gpu
+                                       ? PowerDomain::Gpu
+                                       : PowerDomain::Dsp;
+        if (killed) {
+            if (faults_)
+                faults_->recordWatchdogKill(now);
+            // A hung job leaks static power but produced no work.
+            if (energy)
+                energy->addStatic(domain, now - start);
+        } else {
+            if (job.bytes > 0)
+                tracer.recordCounter(axi_, now, job.bytes);
+            if (energy) {
+                energy->addDynamic(domain, job.ops);
+                energy->addStatic(domain, now - start);
+            }
+            ++completed;
+        }
         busy_ = false;
         if (fabric)
             fabric->onClientChange(-1);
-        if (job.onDone)
-            job.onDone(sim.now());
+        if (job.onDone) {
+            AccelCompletion completion;
+            completion.startedAt = start;
+            completion.finishedAt = now;
+            completion.execNs = killed ? 0 : now - start;
+            completion.failed = killed;
+            job.onDone(completion);
+        }
         startNext();
     });
 }

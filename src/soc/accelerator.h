@@ -16,6 +16,7 @@
 #include <functional>
 #include <string>
 
+#include "faults/injector.h"
 #include "sim/simulator.h"
 #include "soc/energy.h"
 #include "soc/memory.h"
@@ -24,6 +25,22 @@
 #include "trace/tracer.h"
 
 namespace aitax::soc {
+
+/**
+ * What actually happened to a job, reported to its completion
+ * callback. Offload accounting (FastRPC queue wait vs execution) is
+ * derived from these observed times, never from durations estimated
+ * at enqueue time — fabric derate can change while a job is queued.
+ */
+struct AccelCompletion
+{
+    sim::TimeNs startedAt = 0;
+    sim::TimeNs finishedAt = 0;
+    /** Busy time actually spent executing (0 for a watchdog kill). */
+    sim::DurationNs execNs = 0;
+    /** True when the watchdog killed a hung job before completion. */
+    bool failed = false;
+};
 
 /** A unit of accelerator work. */
 struct AccelJob
@@ -37,8 +54,9 @@ struct AccelJob
     double ops = 0.0;
     double bytes = 0.0;
     tensor::DType format = tensor::DType::Float32;
-    /** Called at completion time. */
-    std::function<void(sim::TimeNs)> onDone;
+    /** Called at completion (or watchdog-kill) time. */
+    // aitax-lint: allow(std-function) -- public callback seam; cold path
+    std::function<void(const AccelCompletion &)> onDone;
 };
 
 /**
@@ -67,6 +85,16 @@ class Accelerator
     /** Enqueue a job; onDone fires when it completes. */
     void submit(AccelJob job);
 
+    /**
+     * Attach a fault injector: each dispatched job may draw an
+     * injected busy-hang stall; stalls reaching the watchdog timeout
+     * kill the job (completion.failed). Null detaches.
+     */
+    void setFaultInjector(faults::FaultInjector *injector)
+    {
+        faults_ = injector;
+    }
+
     bool busy() const { return busy_; }
     std::size_t queueDepth() const { return queue.size(); }
     std::int64_t jobsCompleted() const { return completed; }
@@ -77,6 +105,7 @@ class Accelerator
     trace::Tracer &tracer;
     EnergyMeter *energy;
     MemoryFabric *fabric;
+    faults::FaultInjector *faults_ = nullptr;
     std::deque<AccelJob> queue;
     bool busy_ = false;
     std::int64_t completed = 0;

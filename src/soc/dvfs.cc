@@ -57,6 +57,11 @@ DvfsGovernor::reset()
     little.f = cfg.minFactor;
     big.lastUpdate = sim.now();
     little.lastUpdate = sim.now();
+    // A mid-run reset must also forget the busy census: a stale
+    // count left the governor pinned ramping toward 1.0 (or firing
+    // the negative-count assert) forever after.
+    big.busyCores = 0;
+    little.busyCores = 0;
 }
 
 } // namespace aitax::soc

@@ -1,8 +1,12 @@
 #include "soc/fastrpc.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <utility>
 
 namespace aitax::soc {
 
@@ -10,7 +14,7 @@ sim::DurationNs
 FastRpcBreakdown::overheadNs() const
 {
     return sessionOpenNs + userToKernelNs + cacheFlushNs +
-           kernelSignalNs + queueWaitNs + returnPathNs;
+           kernelSignalNs + queueWaitNs + retryNs + returnPathNs;
 }
 
 sim::DurationNs
@@ -19,10 +23,57 @@ FastRpcBreakdown::totalNs() const
     return overheadNs() + dspExecNs;
 }
 
+/**
+ * State of one logical call, shared by its (possibly several)
+ * attempts. The original job parameters are kept here so a retry can
+ * resubmit an identical AccelJob after a transient failure or
+ * watchdog kill consumed the previous one.
+ */
+struct FastRpcChannel::CallState
+{
+    std::shared_ptr<FastRpcBreakdown> breakdown;
+    std::string jobName;
+    trace::LabelId jobLabel;
+    double ops = 0.0;
+    double bytes = 0.0;
+    tensor::DType format = tensor::DType::Float32;
+    // aitax-lint: allow(std-function) -- per-call seam, not per-event
+    std::function<void(const AccelCompletion &)> innerDone;
+    // aitax-lint: allow(std-function) -- per-call seam, not per-event
+    std::function<void(const FastRpcBreakdown &)> onDone;
+    int attempt = 1;
+    AccelCompletion completion;
+};
+
+namespace {
+
+/** Fail loudly on configs that would divide by zero under NDEBUG. */
+void
+validateFastRpcConfig(const FastRpcConfig &cfg)
+{
+    if (!(cfg.cacheFlushBytesPerSec > 0.0)) {
+        std::fprintf(stderr,
+                     "aitax: FastRPC config has non-positive "
+                     "cacheFlushBytesPerSec (%g)\n",
+                     cfg.cacheFlushBytesPerSec);
+        std::abort();
+    }
+    if (cfg.sessionOpenNs < 0 || cfg.userToKernelNs < 0 ||
+        cfg.kernelSignalNs < 0 || cfg.returnPathNs < 0) {
+        std::fprintf(stderr,
+                     "aitax: FastRPC config has a negative stage "
+                     "duration\n");
+        std::abort();
+    }
+}
+
+} // namespace
+
 FastRpcChannel::FastRpcChannel(sim::Simulator &sim, FastRpcConfig cfg,
                                Accelerator &dsp, trace::Tracer *tracer)
     : sim(sim), cfg(cfg), dsp(dsp), tracer(tracer)
 {
+    validateFastRpcConfig(this->cfg);
     if (this->tracer && this->cfg.traceStages) {
         track_ = this->tracer->internTrack("FastRPC");
         callLabel_ = this->tracer->internLabel("fastrpc_call");
@@ -44,9 +95,18 @@ FastRpcChannel::closeSession(std::int32_t process_id)
 void
 FastRpcChannel::call(std::int32_t process_id, double payload_bytes,
                      AccelJob job,
-                     std::function<void(const FastRpcBreakdown &)> on_done)
+                     // aitax-lint: allow(std-function) -- see header
+                     std::function<void(const FastRpcBreakdown &)>
+                         on_done)
 {
     auto breakdown = std::make_shared<FastRpcBreakdown>();
+
+    // Injected session loss: the DSP subsystem restarted since the
+    // last call, so every process re-pays the Fig 8 cold start.
+    if (faults_ != nullptr && faults_->drawSessionLoss()) {
+        dropAllSessions();
+        faults_->recordSessionLoss(sim.now());
+    }
 
     sim::DurationNs pre = 0;
     if (!sessionOpen(process_id)) {
@@ -71,31 +131,107 @@ FastRpcChannel::call(std::int32_t process_id, double payload_bytes,
         tracer->recordInterval(track_, callLabel_, sim.now(),
                                sim.now() + pre);
 
-    // After the CPU-side stages, the job lands in the DSP queue.
-    sim.scheduleIn(pre, [this, breakdown, job = std::move(job),
-                         on_done = std::move(on_done)]() mutable {
-        const sim::TimeNs enqueued = sim.now();
-        const sim::DurationNs exec =
-            dsp.execDuration(job.ops, job.bytes, job.format);
+    auto state = std::make_shared<CallState>();
+    state->breakdown = std::move(breakdown);
+    state->jobName = std::move(job.name);
+    state->jobLabel = job.label;
+    state->ops = job.ops;
+    state->bytes = job.bytes;
+    state->format = job.format;
+    state->innerDone = std::move(job.onDone);
+    state->onDone = std::move(on_done);
 
-        auto inner_done = std::move(job.onDone);
-        job.onDone = [this, breakdown, enqueued, exec,
-                      inner_done = std::move(inner_done),
-                      on_done =
-                          std::move(on_done)](sim::TimeNs done_at) {
-            breakdown->dspExecNs = exec;
-            breakdown->queueWaitNs = (done_at - enqueued) - exec;
-            breakdown->returnPathNs = cfg.returnPathNs;
-            sim.scheduleIn(cfg.returnPathNs,
-                           [this, breakdown, inner_done, on_done] {
-                               ++completed;
-                               if (inner_done)
-                                   inner_done(sim.now());
-                               if (on_done)
-                                   on_done(*breakdown);
-                           });
-        };
-        dsp.submit(std::move(job));
+    // After the CPU-side stages, the job lands in the DSP queue.
+    sim.scheduleIn(pre, [this, state = std::move(state)]() mutable {
+        startAttempt(std::move(state));
+    });
+}
+
+void
+FastRpcChannel::startAttempt(std::shared_ptr<CallState> state)
+{
+    const sim::TimeNs enqueued = sim.now();
+
+    // Injected transient failure: the attempt dies in the driver and
+    // is detected after a fixed delay without ever occupying the DSP.
+    if (faults_ != nullptr && faults_->drawTransientFailure()) {
+        faults_->recordTransient(enqueued);
+        const sim::DurationNs detect =
+            faults_->config().transientDetectNs;
+        sim.scheduleIn(detect,
+                       [this, state = std::move(state), detect]() mutable {
+                           retryOrFail(std::move(state), detect);
+                       });
+        return;
+    }
+
+    AccelJob attempt;
+    attempt.name = state->jobName;
+    attempt.label = state->jobLabel;
+    attempt.ops = state->ops;
+    attempt.bytes = state->bytes;
+    attempt.format = state->format;
+    attempt.onDone = [this, state,
+                      enqueued](const AccelCompletion &completion) {
+        if (completion.failed) {
+            // Watchdog kill: the whole attempt (queue wait included)
+            // was wasted.
+            retryOrFail(state, completion.finishedAt - enqueued);
+            return;
+        }
+        // The accounting fix: derive queue wait and execution from
+        // the *observed* dispatch/completion times rather than a
+        // duration estimated at enqueue time — fabric derate may
+        // have changed while the job sat in the queue.
+        state->breakdown->queueWaitNs =
+            completion.startedAt - enqueued;
+        state->breakdown->dspExecNs = completion.execNs;
+        state->completion = completion;
+        finishCall(std::move(state));
+    };
+    dsp.submit(std::move(attempt));
+}
+
+void
+FastRpcChannel::retryOrFail(std::shared_ptr<CallState> state,
+                            sim::DurationNs wasted)
+{
+    assert(faults_ != nullptr && "retry path requires an injector");
+    state->breakdown->retryNs += wasted;
+    const faults::FaultConfig &fcfg = faults_->config();
+    if (state->attempt >= fcfg.maxAttempts) {
+        state->breakdown->failed = true;
+        faults_->recordPermanentFailure(sim.now(), wasted);
+        finishCall(std::move(state));
+        return;
+    }
+    // Exponential backoff in simulated time, capped to keep the
+    // shift well-defined for absurd max-attempts settings.
+    const int exponent = std::min(state->attempt - 1, 16);
+    const sim::DurationNs backoff = fcfg.retryBackoffBaseNs
+                                    << exponent;
+    state->breakdown->retryNs += backoff;
+    ++state->breakdown->retries;
+    ++state->attempt;
+    faults_->recordRetry(sim.now(), wasted + backoff);
+    sim.scheduleIn(backoff, [this, state = std::move(state)]() mutable {
+        startAttempt(std::move(state));
+    });
+}
+
+void
+FastRpcChannel::finishCall(std::shared_ptr<CallState> state)
+{
+    state->breakdown->returnPathNs = cfg.returnPathNs;
+    sim.scheduleIn(cfg.returnPathNs, [this,
+                                      state = std::move(state)] {
+        ++completed;
+        // A permanently failed call never ran; only the error is
+        // propagated back to the caller, which handles degradation.
+        if (!state->breakdown->failed && state->innerDone)
+            state->innerDone(state->completion);
+        if (state->onDone)
+            state->onDone(*state->breakdown);
     });
 }
 

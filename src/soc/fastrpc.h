@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "faults/injector.h"
 #include "sim/simulator.h"
 #include "soc/accelerator.h"
 #include "soc/soc_config.h"
@@ -33,6 +35,12 @@ struct FastRpcBreakdown
     sim::DurationNs queueWaitNs = 0;
     sim::DurationNs dspExecNs = 0;
     sim::DurationNs returnPathNs = 0;
+    /** Wasted attempts + backoff waits under injected faults. */
+    sim::DurationNs retryNs = 0;
+    /** Retries taken (0 on the happy path). */
+    std::int32_t retries = 0;
+    /** True when the call failed permanently after all attempts. */
+    bool failed = false;
 
     /** Offload overhead: everything except the DSP execution itself. */
     sim::DurationNs overheadNs() const;
@@ -58,6 +66,16 @@ class FastRpcChannel
     /**
      * Issue a remote call.
      *
+     * On the happy path the breakdown reports the Fig 7 stages with
+     * queue wait and execution derived from the accelerator's
+     * *observed* dispatch/completion times. Under an armed fault
+     * injector a call may additionally lose its session (re-paying
+     * session open), fail transiently and retry with exponential
+     * backoff in simulated time (accumulated in retryNs), or — after
+     * maxAttempts — complete with failed=true, in which case the
+     * job's own onDone is never invoked and the caller is expected
+     * to degrade along the fallback chain.
+     *
      * @param process_id calling process (first call pays session open).
      * @param payload_bytes bytes flushed/transferred for arguments.
      * @param job the DSP work to run remotely.
@@ -65,6 +83,7 @@ class FastRpcChannel
      */
     void call(std::int32_t process_id, double payload_bytes,
               AccelJob job,
+              // aitax-lint: allow(std-function) -- public callback seam
               std::function<void(const FastRpcBreakdown &)> on_done);
 
     /** True once a process has an open DSP session. */
@@ -73,17 +92,35 @@ class FastRpcChannel
     /** Drop a process's session (app restart / model reload). */
     void closeSession(std::int32_t process_id);
 
+    /** Drop every session (injected subsystem restart). */
+    void dropAllSessions() { sessions.clear(); }
+
+    /** Attach a fault injector (session loss + transient failures). */
+    void setFaultInjector(faults::FaultInjector *injector)
+    {
+        faults_ = injector;
+    }
+
     std::int64_t callsCompleted() const { return completed; }
 
   private:
+    /** Per-call state shared across retry attempts. */
+    struct CallState;
+
     sim::Simulator &sim;
     FastRpcConfig cfg;
     Accelerator &dsp;
     trace::Tracer *tracer;
+    faults::FaultInjector *faults_ = nullptr;
     trace::TrackId track_;
     trace::LabelId callLabel_;
     std::set<std::int32_t> sessions;
     std::int64_t completed = 0;
+
+    void startAttempt(std::shared_ptr<CallState> state);
+    void retryOrFail(std::shared_ptr<CallState> state,
+                     sim::DurationNs wasted);
+    void finishCall(std::shared_ptr<CallState> state);
 };
 
 } // namespace aitax::soc

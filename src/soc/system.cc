@@ -13,4 +13,24 @@ SocSystem::SocSystem(SocConfig cfg_in, std::uint64_t seed)
 {
 }
 
+void
+SocSystem::armFaults(const faults::FaultConfig &fault_cfg)
+{
+    if (!fault_cfg.enabled)
+        return;
+    sim::RandomStream stream = rng_.fork("faults");
+    faults::FaultPlan plan = faults::makeFaultPlan(fault_cfg, stream);
+    faults_ = std::make_unique<faults::FaultInjector>(
+        std::move(plan), stream, &tracer_);
+    dsp_.setFaultInjector(faults_.get());
+    rpc_.setFaultInjector(faults_.get());
+    for (sim::TimeNs when : faults_->plan().thermalEmergencyAtNs) {
+        const double heat = faults_->config().thermalEmergencyHeat;
+        sim_.scheduleAt(when, [this, heat] {
+            thermal_.triggerEmergency(heat);
+            faults_->recordThermalEmergency(sim_.now());
+        });
+    }
+}
+
 } // namespace aitax::soc

@@ -8,7 +8,10 @@
 #define AITAX_SOC_SYSTEM_H
 
 #include <cstdint>
+#include <memory>
 
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "soc/accelerator.h"
@@ -51,6 +54,19 @@ class SocSystem
     FastRpcChannel &fastrpc() { return rpc_; }
     sim::RandomStream &rng() { return rng_; }
 
+    /**
+     * Arm fault injection for this run. The plan is drawn from
+     * `rng().fork("faults")`, so a fixed (seed, config) pair replays
+     * the same schedule; a disabled config is a no-op and leaves the
+     * simulation byte-identical to a never-armed one. Call before
+     * scheduling workload — arming forks the RNG and schedules the
+     * plan's thermal emergencies.
+     */
+    void armFaults(const faults::FaultConfig &fault_cfg);
+
+    /** The armed injector, or nullptr when faults are disabled. */
+    faults::FaultInjector *faults() { return faults_.get(); }
+
     /** Run the simulation until all events drain; returns end time. */
     sim::TimeNs run() { return sim_.run(); }
 
@@ -67,6 +83,7 @@ class SocSystem
     Accelerator dsp_;
     FastRpcChannel rpc_;
     sim::RandomStream rng_;
+    std::unique_ptr<faults::FaultInjector> faults_;
 };
 
 } // namespace aitax::soc

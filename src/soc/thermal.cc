@@ -31,6 +31,14 @@ ThermalModel::addHeat(double busy_sec)
     heat += busy_sec * cfg.heatPerBusySec;
 }
 
+void
+ThermalModel::triggerEmergency(double heat_spike)
+{
+    cfg.enabled = true;
+    cool();
+    heat += heat_spike;
+}
+
 double
 ThermalModel::heatLevel()
 {

@@ -37,6 +37,14 @@ class ThermalModel
      */
     double speedFactor();
 
+    /**
+     * Fault-injection hook: an external thermal emergency (charging,
+     * sunlight, camera ISP load) dumps @p heat_spike heat units into
+     * the model immediately. Force-enables the model so throttling
+     * takes effect even on presets that run with thermal disabled.
+     */
+    void triggerEmergency(double heat_spike);
+
     /** Reset to cold. */
     void reset();
 

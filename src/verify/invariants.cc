@@ -215,6 +215,113 @@ checkInterferenceSuppression(const core::TaxReport &with_interference,
     return pass(name);
 }
 
+CheckResult
+checkRpcBreakdownSanity(const std::vector<soc::FastRpcBreakdown> &calls)
+{
+    const char *name = "rpc-breakdown-sanity";
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+        const auto &c = calls[i];
+        const struct
+        {
+            const char *field;
+            sim::DurationNs v;
+        } stages[] = {
+            {"sessionOpenNs", c.sessionOpenNs},
+            {"userToKernelNs", c.userToKernelNs},
+            {"cacheFlushNs", c.cacheFlushNs},
+            {"kernelSignalNs", c.kernelSignalNs},
+            {"queueWaitNs", c.queueWaitNs},
+            {"dspExecNs", c.dspExecNs},
+            {"returnPathNs", c.returnPathNs},
+            {"retryNs", c.retryNs},
+        };
+        sim::DurationNs sum = 0;
+        for (const auto &st : stages) {
+            if (st.v < 0)
+                return fail(name, "call " + std::to_string(i) + ": " +
+                                      st.field + " = " +
+                                      std::to_string(st.v) + " < 0");
+            sum += st.v;
+        }
+        if (sum != c.totalNs())
+            return fail(name, "call " + std::to_string(i) +
+                                  ": stage sum " + std::to_string(sum) +
+                                  " ns != total " +
+                                  std::to_string(c.totalNs()) + " ns");
+        if (c.retries < 0)
+            return fail(name, "call " + std::to_string(i) +
+                                  ": negative retry count");
+        if (c.retries == 0 && c.retryNs > 0)
+            return fail(name, "call " + std::to_string(i) +
+                                  ": retry time without retries");
+    }
+    return pass(name);
+}
+
+CheckResult
+checkFrameCausality(const std::vector<app::FrameConsume> &frames)
+{
+    const char *name = "frame-causality";
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        const auto &f = frames[i];
+        if (f.consumedAt < f.readyAt)
+            return fail(name,
+                        "frame " + std::to_string(f.frame) +
+                            " consumed at " + std::to_string(f.consumedAt) +
+                            " ns before its arrival at " +
+                            std::to_string(f.readyAt) + " ns");
+        if (i > 0 && f.frame <= frames[i - 1].frame)
+            return fail(name, "frame index not strictly increasing at "
+                              "witness " +
+                                  std::to_string(i));
+    }
+    return pass(name);
+}
+
+CheckResult
+checkFallbackMonotonic(const faults::FaultStats &stats)
+{
+    const char *name = "fallback-chain-monotonic";
+    for (const auto &fb : stats.fallbacks) {
+        if (static_cast<int>(fb.to) <= static_cast<int>(fb.from))
+            return fail(name,
+                        std::string("fallback climbs the chain: ") +
+                            faults::chainLinkName(fb.from) + " -> " +
+                            faults::chainLinkName(fb.to));
+    }
+    return pass(name);
+}
+
+CheckResult
+checkDegradedAccounting(const core::TaxReport &r, bool faulted)
+{
+    const char *name = "degraded-mode-accounting";
+    const auto &d = r.degradedMode();
+    if (!faulted) {
+        if (d.count() != 0)
+            return fail(name, "unfaulted report carries " +
+                                  std::to_string(d.count()) +
+                                  " degraded samples");
+        return pass(name);
+    }
+    if (d.count() != r.runs())
+        return fail(name, "expected one degraded sample per run, got " +
+                              std::to_string(d.count()) + " for " +
+                              std::to_string(r.runs()) + " runs");
+    const auto &e2e = r.endToEnd().raw();
+    for (std::size_t i = 0; i < d.raw().size(); ++i) {
+        if (d.raw()[i] < 0.0)
+            return fail(name, "run " + std::to_string(i) +
+                                  ": negative degraded time");
+        if (d.raw()[i] > e2e[i] + 1e-9)
+            return fail(name, "run " + std::to_string(i) +
+                                  ": degraded time " + fmt(d.raw()[i]) +
+                                  " ms exceeds e2e " + fmt(e2e[i]) +
+                                  " ms");
+    }
+    return pass(name);
+}
+
 InvariantReport
 verifyScenario(const Scenario &s)
 {
@@ -224,34 +331,53 @@ verifyScenario(const Scenario &s)
     report.add(checkStageSanity(base.report));
     report.add(checkTaxFraction(base.report));
 
-    // I3: identical seed, identical trace.
+    // I3: identical seed, identical trace. Holds with faults armed
+    // too — the fault schedule is part of the seeded state.
     const ScenarioResult rerun = runScenario(s);
     report.add(
         checkTraceDeterminism(base.chromeTraceJson, rerun.chromeTraceJson));
 
-    // I4: contrast against the other side of the load axis.
-    Scenario contrast = s;
-    const bool has_load = s.dspLoadProcesses > 0 || s.cpuLoadProcesses > 0;
-    if (has_load) {
-        contrast.dspLoadProcesses = 0;
-        contrast.cpuLoadProcesses = 0;
-        const ScenarioResult unloaded = runScenario(contrast);
-        report.add(
-            checkBackgroundMonotonic(unloaded.report, base.report));
-    } else {
-        contrast.dspLoadProcesses = 2;
-        contrast.cpuLoadProcesses = 1;
-        const ScenarioResult loaded = runScenario(contrast);
-        report.add(checkBackgroundMonotonic(base.report, loaded.report));
+    // I4: contrast against the other side of the load axis. Skipped
+    // under faults: the injected schedule differs across variants, so
+    // the monotonicity premise does not hold.
+    if (!s.faults) {
+        Scenario contrast = s;
+        const bool has_load =
+            s.dspLoadProcesses > 0 || s.cpuLoadProcesses > 0;
+        if (has_load) {
+            contrast.dspLoadProcesses = 0;
+            contrast.cpuLoadProcesses = 0;
+            const ScenarioResult unloaded = runScenario(contrast);
+            report.add(
+                checkBackgroundMonotonic(unloaded.report, base.report));
+        } else {
+            contrast.dspLoadProcesses = 2;
+            contrast.cpuLoadProcesses = 1;
+            const ScenarioResult loaded = runScenario(contrast);
+            report.add(
+                checkBackgroundMonotonic(base.report, loaded.report));
+        }
     }
 
     // I5: thermal model of this scenario's platform.
     report.add(
         checkThermalMonotonic(soc::platformByName(s.socName)));
 
-    // I6: FastRPC linearity whenever the scenario offloaded.
-    if (!base.rpcLog.empty())
+    // I6: FastRPC linearity whenever the scenario offloaded. Retries
+    // and session losses make warm overhead non-stationary, so the
+    // check only applies without faults.
+    if (!s.faults && !base.rpcLog.empty())
         report.add(checkFastRpcLinearity(base.rpcLog));
+
+    // I8/I9: per-call and per-frame sanity (trivially pass when the
+    // scenario produced no offloads / no streaming witnesses).
+    report.add(checkRpcBreakdownSanity(base.rpcLog));
+    report.add(checkFrameCausality(base.frameLog));
+
+    // Fault-specific invariants.
+    if (s.faults)
+        report.add(checkFallbackMonotonic(base.faultStats));
+    report.add(checkDegradedAccounting(base.report, s.faults));
 
     // Scenario-level sanity on the witnesses themselves.
     CheckResult wit{"witness-sanity", true, ""};

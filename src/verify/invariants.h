@@ -97,6 +97,38 @@ CheckResult checkInterferenceSuppression(
     const core::TaxReport &with_interference,
     const core::TaxReport &suppressed, double slack_pct = 2.0);
 
+/**
+ * I8 (Fig 7): every FastRPC breakdown is internally consistent — all
+ * stages (including queue wait and retry overhead) are non-negative
+ * and sum exactly to the call's total. Catches the queue-wait
+ * misattribution class of bug, where an estimate-based accounting can
+ * go negative under fabric contention.
+ */
+CheckResult checkRpcBreakdownSanity(
+    const std::vector<soc::FastRpcBreakdown> &calls);
+
+/**
+ * I9: streaming-capture causality — no frame is consumed before the
+ * sensor produced it (consumedAt >= readyAt for every witness).
+ */
+CheckResult checkFrameCausality(
+    const std::vector<app::FrameConsume> &frames);
+
+/**
+ * I10: graceful degradation only moves *down* the NNAPI preference
+ * chain (DSP -> GPU -> CPU); a fallback that climbs back up would be
+ * a scheduling bug.
+ */
+CheckResult checkFallbackMonotonic(const faults::FaultStats &stats);
+
+/**
+ * Degraded-mode accounting: without faults the report's degraded
+ * column must be empty; with faults armed it carries one non-negative
+ * sample per run, each no larger than that run's end-to-end wall.
+ */
+CheckResult checkDegradedAccounting(const core::TaxReport &r,
+                                    bool faulted);
+
 // --- the composed scenario verifier ------------------------------------
 
 /**
@@ -107,6 +139,13 @@ CheckResult checkInterferenceSuppression(
  * contrast (I4: against a zero-load variant when s carries load, or
  * a loaded variant otherwise), and the thermal model probe (I5).
  * I6 applies when the scenario offloads through FastRPC.
+ *
+ * Under fault injection (s.faults) the relational checks whose
+ * premises faults break are skipped: I4's load contrast (a fault
+ * schedule is not comparable across load levels) and I6's linearity
+ * (retries make warm-call overhead non-stationary). Determinism (I3),
+ * breakdown sanity (I8), frame causality (I9), fallback monotonicity
+ * (I10) and degraded-mode accounting are enforced instead.
  */
 InvariantReport verifyScenario(const Scenario &s);
 

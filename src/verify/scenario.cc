@@ -36,6 +36,10 @@ Scenario::label() const
         os << "_dsp" << dspLoadProcesses;
     if (cpuLoadProcesses > 0)
         os << "_cpu" << cpuLoadProcesses;
+    if (streaming)
+        os << "_stream";
+    if (faults)
+        os << "_flt";
     os << "_s" << seed;
     std::string out = os.str();
     for (char &c : out)
@@ -52,7 +56,12 @@ Scenario::describe() const
        << tensor::dtypeName(dtype) << "/" << app::frameworkName(framework)
        << ", mode=" << app::harnessModeName(mode) << ", runs=" << runs
        << ", bg(dsp=" << dspLoadProcesses << ",cpu=" << cpuLoadProcesses
-       << "), seed=" << seed;
+       << ")";
+    if (streaming)
+        os << ", streaming";
+    if (faults)
+        os << ", faults";
+    os << ", seed=" << seed;
     return os.str();
 }
 
@@ -112,6 +121,7 @@ sampleScenario(sim::RandomStream &rng)
         s.runs = static_cast<int>(rng.uniformInt(4, 12));
         s.dspLoadProcesses = static_cast<int>(rng.uniformInt(0, 2));
         s.cpuLoadProcesses = static_cast<int>(rng.uniformInt(0, 2));
+        s.streaming = rng.bernoulli(0.25);
         s.seed = rng.nextU64() >> 1;
         if (scenarioValid(s))
             return s;
@@ -140,12 +150,17 @@ runScenario(const Scenario &s)
 {
     assert(scenarioValid(s));
     soc::SocSystem sys(soc::platformByName(s.socName), s.seed);
+    // Arm faults before any component forks the system RNG, so the
+    // fault schedule is a pure function of (platform, seed).
+    if (s.faults)
+        sys.armFaults(faults::FaultConfig::fuzzDefaults());
 
     app::PipelineConfig cfg;
     cfg.model = models::findModel(s.modelId);
     cfg.dtype = s.dtype;
     cfg.framework = s.framework;
     cfg.mode = s.mode;
+    cfg.streamingCapture = s.streaming;
     app::Application application(sys, cfg);
 
     std::vector<std::unique_ptr<app::BackgroundInferenceLoop>> loops;
@@ -172,6 +187,9 @@ runScenario(const Scenario &s)
     out.endTimeNs = sys.run();
 
     out.rpcLog = application.rpcLog();
+    out.frameLog = application.frameLog();
+    if (sys.faults() != nullptr)
+        out.faultStats = sys.faults()->stats();
     out.energyMj = sys.energy().totalMj();
     out.thermalSpeedFactor = sys.thermal().speedFactor();
     for (const auto &loop : loops)

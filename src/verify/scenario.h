@@ -18,6 +18,7 @@
 
 #include "app/pipeline.h"
 #include "core/tax_report.h"
+#include "faults/injector.h"
 #include "sim/random.h"
 #include "soc/fastrpc.h"
 
@@ -37,6 +38,14 @@ struct Scenario
     int dspLoadProcesses = 0;
     /** Background inference processes contending for the CPU. */
     int cpuLoadProcesses = 0;
+    /** Streaming camera capture (depth-1 buffer) instead of on-demand. */
+    bool streaming = false;
+    /**
+     * Arm the seeded fault injector (FaultConfig::fuzzDefaults()).
+     * Never sampled — only `aitax_cli verify --faults` sets it, so the
+     * plain fuzz corpus and the goldens are untouched.
+     */
+    bool faults = false;
     /** Root seed of the simulated system. */
     std::uint64_t seed = 1;
 
@@ -85,6 +94,10 @@ struct ScenarioResult
     double thermalSpeedFactor = 1.0;
     /** Background inferences completed across all load processes. */
     std::int64_t backgroundInferences = 0;
+    /** Streaming-capture consumption witnesses (empty when off). */
+    std::vector<app::FrameConsume> frameLog;
+    /** Fault-injection tallies (all zero when faults are unarmed). */
+    faults::FaultStats faultStats;
 };
 
 /**

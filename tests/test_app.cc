@@ -386,6 +386,43 @@ TEST(Pipeline, StreamingCapturePacedBySensorWhenFaster)
     EXPECT_GE(period_ms, 8.3);
 }
 
+TEST(Pipeline, StreamingNeverConsumesAFrameBeforeItArrives)
+{
+    // Regression: with a slow sensor the stream's random phase puts
+    // frame 0's arrival long after the first consume attempt. The old
+    // truncating arithmetic ((now - phase) / period rounds toward
+    // zero) claimed frame 0 was already "latest" and dequeued it
+    // before the sensor ever produced it. The pipeline must instead
+    // wait for the arrival edge.
+    soc::SocSystem sys(soc::makeSnapdragon845(), 11);
+    PipelineConfig cfg;
+    cfg.model = models::findModel("mobilenet_v1");
+    cfg.dtype = DType::UInt8;
+    cfg.framework = FrameworkKind::TfliteHexagon;
+    cfg.mode = HarnessMode::AndroidApp;
+    cfg.streamingCapture = true;
+    cfg.camera.fps = 0.2; // 5 s frame period: phase >> first consume
+    Application app(sys, cfg);
+    TaxReport report;
+    app.scheduleRuns(3, report);
+    sys.run();
+    const auto &log = app.frameLog();
+    ASSERT_EQ(log.size(), 3u);
+    for (const auto &f : log) {
+        EXPECT_GE(f.consumedAt, f.readyAt)
+            << "frame " << f.frame << " consumed before arrival";
+        EXPECT_GE(f.readyAt, 0);
+    }
+    // The first consume attempt happens within model-load + warmup
+    // time, far inside the 5 s period, so the app must block until
+    // the stream's first frame and take it the instant it lands.
+    EXPECT_EQ(log[0].frame, 0);
+    EXPECT_EQ(log[0].consumedAt, log[0].readyAt);
+    // Frames are consumed in order.
+    EXPECT_EQ(log[1].frame, 1);
+    EXPECT_EQ(log[2].frame, 2);
+}
+
 // --- background load -------------------------------------------------------
 
 TEST(BackgroundLoad, RunsInferencesUntilHorizon)

@@ -375,6 +375,42 @@ TEST(Nnapi, CompileCostGrowsWithPartitions)
     EXPECT_GT(many.compileNs(), one.compileNs());
 }
 
+// --- graceful degradation ---------------------------------------------
+
+TEST(Degradation, ChainStepsDownAndTerminates)
+{
+    using drivers::Target;
+    // DSP work falls to the GPU, then to optimized CPU kernels.
+    const auto from_dsp = degradationChainAfter(Target::Dsp);
+    ASSERT_EQ(from_dsp.size(), 2u);
+    EXPECT_EQ(from_dsp[0], Target::Gpu);
+    EXPECT_EQ(from_dsp[1], Target::CpuThreads);
+    // GPU work has only the CPU left.
+    const auto from_gpu = degradationChainAfter(Target::Gpu);
+    ASSERT_EQ(from_gpu.size(), 1u);
+    EXPECT_EQ(from_gpu[0], Target::CpuThreads);
+    // CPU work has nowhere to go: the chain must terminate.
+    EXPECT_TRUE(degradationChainAfter(Target::CpuThreads).empty());
+    EXPECT_TRUE(
+        degradationChainAfter(Target::CpuSingleThreadReference).empty());
+}
+
+TEST(Nnapi, FallbackPlanIsAllCpuReference)
+{
+    // The last-resort recompilation target must never itself depend
+    // on an accelerator, whatever the primary plan looked like.
+    nnapi::Compilation comp(
+        models::buildGraph("mobilenet_v1", DType::UInt8), DType::UInt8);
+    EXPECT_TRUE(comp.plan().usesAccelerator());
+    const auto &fb = comp.fallbackPlan();
+    EXPECT_FALSE(fb.usesAccelerator());
+    ASSERT_EQ(fb.partitions.size(), 1u);
+    EXPECT_EQ(fb.partitions[0].driver->target(),
+              drivers::Target::CpuSingleThreadReference);
+    EXPECT_EQ(fb.partitions[0].opCount,
+              models::buildGraph("mobilenet_v1", DType::UInt8).opCount());
+}
+
 // --- SNPE -------------------------------------------------------------
 
 TEST(Snpe, DspTargetFullyAccelerated)

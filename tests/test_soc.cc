@@ -117,6 +117,21 @@ TEST(Thermal, HeatsAndThrottles)
     EXPECT_NEAR(t.speedFactor(), 0.7, 1e-9); // clamped
 }
 
+TEST(Thermal, EmergencyEnablesAndThrottles)
+{
+    sim::Simulator sim;
+    ThermalConfig cfg; // enabled = false, like most presets
+    cfg.throttleThreshold = 2.0;
+    cfg.throttledFactor = 0.7;
+    ThermalModel t(cfg, sim);
+    t.addHeat(100.0);
+    EXPECT_DOUBLE_EQ(t.speedFactor(), 1.0); // disabled: no effect
+    // An injected emergency force-enables the model and throttles
+    // even platforms whose preset keeps thermal off.
+    t.triggerEmergency(100.0);
+    EXPECT_NEAR(t.speedFactor(), 0.7, 1e-9);
+}
+
 TEST(Thermal, CoolsOverTime)
 {
     sim::Simulator sim;
@@ -366,7 +381,9 @@ TEST(Accelerator, FifoQueueing)
         job.name = "j" + std::to_string(i);
         job.ops = 110e6; // ~1.08 ms each
         job.format = DType::UInt8;
-        job.onDone = [&](sim::TimeNs t) { completions.push_back(t); };
+        job.onDone = [&](const AccelCompletion &c) {
+            completions.push_back(c.finishedAt);
+        };
         dsp.submit(std::move(job));
     }
     EXPECT_EQ(dsp.queueDepth(), 2u);
@@ -450,6 +467,160 @@ TEST(FastRpc, CacheFlushScalesWithPayload)
     call(16e6); // 2 ms
     EXPECT_NEAR(sim::nsToMs(log[0].cacheFlushNs), 1.0, 0.01);
     EXPECT_NEAR(sim::nsToMs(log[1].cacheFlushNs), 2.0, 0.01);
+}
+
+/**
+ * Regression for the offload-tax misattribution bug: queue wait used
+ * to be derived as (elapsed - exec estimate), with the estimate taken
+ * at *enqueue* time. Under fabric contention the estimate embeds the
+ * derate of the moment the job is queued; if contention clears before
+ * the job dispatches, the actual execution is faster than estimated
+ * and the residual "queue wait" goes negative. The fixed accounting
+ * uses the accelerator's observed dispatch/completion times.
+ *
+ * Timeline (all values exact):
+ *   t=0      GPU job G dispatches alone (800 KB @ 10 GB/s = 80 us) and
+ *            DSP job A dispatches (1e8 ops @ 1e12 ops/s = 100 us,
+ *            ops-bound so the derate does not matter).
+ *   t=0      rpc.call(B) starts its CPU stages (30 + 20 = 50 us).
+ *   t=50us   B lands in the DSP queue behind A. Clients active: G, A
+ *            -> derate 1/(1 + 2.0 * 1) = 1/3; the old estimate for the
+ *            memory-bound B was 1 MB / (10 GB/s / 3) = 300 us.
+ *   t=80us   G finishes; the fabric clears.
+ *   t=100us  A finishes, B dispatches alone: actual exec 100 us.
+ *   t=200us  B finishes. Old accounting: queueWait = (200 - 50)
+ *            - 300 = -150 us. Fixed: queueWait = 100 - 50 = 50 us.
+ */
+TEST(FastRpc, QueueWaitNonNegativeUnderFabricContention)
+{
+    sim::Simulator sim;
+    trace::Tracer tracer;
+    MemoryFabricConfig fabric_cfg;
+    fabric_cfg.contentionEnabled = true;
+    fabric_cfg.deratePerClient = 2.0;
+    fabric_cfg.minFactor = 0.1;
+    MemoryFabric fabric(fabric_cfg);
+
+    AcceleratorConfig gpu_cfg;
+    gpu_cfg.name = "gpu";
+    gpu_cfg.kind = AcceleratorKind::Gpu;
+    gpu_cfg.f32OpsPerSec = 1e12;
+    gpu_cfg.memBytesPerSec = 10e9;
+    gpu_cfg.perJobOverheadNs = 0;
+    Accelerator gpu(sim, gpu_cfg, tracer, nullptr, &fabric);
+
+    AcceleratorConfig dsp_cfg;
+    dsp_cfg.name = "dsp";
+    dsp_cfg.i8OpsPerSec = 1e12;
+    dsp_cfg.memBytesPerSec = 10e9;
+    dsp_cfg.perJobOverheadNs = 0;
+    Accelerator dsp(sim, dsp_cfg, tracer, nullptr, &fabric);
+
+    FastRpcConfig rpc_cfg;
+    rpc_cfg.sessionOpenNs = 0;
+    rpc_cfg.userToKernelNs = sim::usToNs(30.0);
+    rpc_cfg.kernelSignalNs = sim::usToNs(20.0);
+    FastRpcChannel rpc(sim, rpc_cfg, dsp);
+
+    AccelJob g;
+    g.name = "G";
+    g.ops = 10.0;
+    g.bytes = 800e3;
+    g.format = DType::Float32;
+    gpu.submit(std::move(g));
+
+    AccelJob a;
+    a.name = "A";
+    a.ops = 1e8;
+    a.format = DType::UInt8;
+    dsp.submit(std::move(a));
+
+    AccelJob b;
+    b.name = "B";
+    b.ops = 1.0;
+    b.bytes = 1e6;
+    b.format = DType::UInt8;
+    std::vector<FastRpcBreakdown> log;
+    rpc.call(1, 0.0, std::move(b),
+             [&](const FastRpcBreakdown &bd) { log.push_back(bd); });
+    sim.run();
+
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_GE(log[0].queueWaitNs, 0);
+    EXPECT_EQ(log[0].queueWaitNs, sim::usToNs(50.0));
+    EXPECT_EQ(log[0].dspExecNs, sim::usToNs(100.0));
+    EXPECT_EQ(log[0].totalNs(),
+              log[0].overheadNs() + log[0].dspExecNs);
+}
+
+TEST(FastRpc, DropAllSessionsForcesReopen)
+{
+    sim::Simulator sim;
+    trace::Tracer tracer;
+    Accelerator dsp(sim, testConfig().dsp, tracer);
+    FastRpcChannel rpc(sim, testConfig().fastrpc, dsp);
+    std::vector<FastRpcBreakdown> log;
+    auto call = [&] {
+        AccelJob job;
+        job.ops = 1e6;
+        job.format = DType::UInt8;
+        rpc.call(1, 1e3, std::move(job),
+                 [&](const FastRpcBreakdown &b) { log.push_back(b); });
+        sim.run();
+    };
+    call();
+    rpc.dropAllSessions(); // injected DSP subsystem restart
+    EXPECT_FALSE(rpc.sessionOpen(1));
+    call();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_GT(log[0].sessionOpenNs, 0);
+    EXPECT_GT(log[1].sessionOpenNs, 0); // cold start re-paid (Fig 8)
+}
+
+// Misconfigured rate parameters must abort in every build mode: under
+// NDEBUG a zero rate reaches a division and the inf -> int64 cast is
+// undefined behaviour, so construction fails loudly instead.
+
+TEST(AcceleratorDeathTest, RejectsConfigWithNoComputeRate)
+{
+    auto cfg = testConfig().dsp;
+    cfg.f32OpsPerSec = 0.0;
+    cfg.f16OpsPerSec = 0.0;
+    cfg.i8OpsPerSec = 0.0;
+    EXPECT_DEATH(
+        {
+            sim::Simulator sim;
+            trace::Tracer tracer;
+            Accelerator dsp(sim, cfg, tracer);
+        },
+        "no positive ops rate");
+}
+
+TEST(AcceleratorDeathTest, RejectsNonPositiveMemoryBandwidth)
+{
+    auto cfg = testConfig().dsp;
+    cfg.memBytesPerSec = 0.0;
+    EXPECT_DEATH(
+        {
+            sim::Simulator sim;
+            trace::Tracer tracer;
+            Accelerator dsp(sim, cfg, tracer);
+        },
+        "non-positive memBytesPerSec");
+}
+
+TEST(FastRpcDeathTest, RejectsNonPositiveCacheFlushRate)
+{
+    auto cfg = testConfig();
+    cfg.fastrpc.cacheFlushBytesPerSec = 0.0;
+    EXPECT_DEATH(
+        {
+            sim::Simulator sim;
+            trace::Tracer tracer;
+            Accelerator dsp(sim, cfg.dsp, tracer);
+            FastRpcChannel rpc(sim, cfg.fastrpc, dsp);
+        },
+        "non-positive cacheFlushBytesPerSec");
 }
 
 TEST(FastRpc, QueueWaitWhenDspBusy)
@@ -751,6 +922,28 @@ TEST(Dvfs, TiersAreIndependent)
     sim.run();
     EXPECT_GT(gov.factor(true), 0.9);
     EXPECT_NEAR(gov.factor(false), 0.5, 1e-6);
+}
+
+TEST(Dvfs, ResetClearsBusyCounters)
+{
+    sim::Simulator sim;
+    DvfsConfig cfg;
+    cfg.enabled = true;
+    cfg.minFactor = 0.5;
+    cfg.rampUpTauNs = sim::msToNs(5.0);
+    DvfsGovernor gov(cfg, sim);
+    gov.onBusyChange(true, +1);
+    // Regression: reset() used to leave busyCores stale, so a freshly
+    // reset governor kept ramping toward 1.0 as if still loaded.
+    gov.reset();
+    sim.scheduleIn(sim::msToNs(50.0), [] {});
+    sim.run();
+    EXPECT_NEAR(gov.factor(true), 0.5, 1e-6);
+    // Busy accounting still works after the reset.
+    gov.onBusyChange(true, +1);
+    sim.scheduleIn(sim::msToNs(50.0), [] {});
+    sim.run();
+    EXPECT_GT(gov.factor(true), 0.95);
 }
 
 TEST(Dvfs, GovernorSlowsColdStartInScheduler)

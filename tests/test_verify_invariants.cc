@@ -256,5 +256,104 @@ TEST(Invariants, StageSanityCatchesBrokenAccounting)
     EXPECT_FALSE(checkTaxFraction(no_tax).passed);
 }
 
+// --- fault-era checkers on hand-built witnesses -------------------------
+
+TEST(Invariants, RpcBreakdownSanityRejectsDoctoredCalls)
+{
+    Scenario s;
+    s.modelId = "mobilenet_v1";
+    s.dtype = DType::UInt8;
+    s.framework = FrameworkKind::SnpeDsp;
+    s.mode = HarnessMode::CliBenchmark;
+    s.runs = 6;
+    s.seed = 17;
+    const auto log = runScenario(s).rpcLog;
+    ASSERT_FALSE(log.empty());
+    EXPECT_TRUE(checkRpcBreakdownSanity(log).passed);
+
+    // The misattribution bug's signature: a negative queue wait.
+    auto negative = log;
+    negative[0].queueWaitNs = -sim::usToNs(150.0);
+    const auto neg = checkRpcBreakdownSanity(negative);
+    EXPECT_FALSE(neg.passed);
+    EXPECT_NE(neg.detail.find("queueWaitNs"), std::string::npos)
+        << neg.detail;
+
+    // Retry overhead can only appear alongside a retry count.
+    auto phantom = log;
+    phantom.back().retryNs = sim::msToNs(1.0);
+    phantom.back().retries = 0;
+    EXPECT_FALSE(checkRpcBreakdownSanity(phantom).passed);
+
+    auto bad_count = log;
+    bad_count[0].retries = -1;
+    EXPECT_FALSE(checkRpcBreakdownSanity(bad_count).passed);
+}
+
+TEST(Invariants, FrameCausalityRejectsTimeTravel)
+{
+    std::vector<app::FrameConsume> ok = {
+        {0, sim::msToNs(5.0), sim::msToNs(5.0)},
+        {1, sim::msToNs(13.0), sim::msToNs(14.0)},
+    };
+    EXPECT_TRUE(checkFrameCausality(ok).passed);
+    EXPECT_TRUE(checkFrameCausality({}).passed);
+
+    // Frame consumed before the sensor produced it.
+    std::vector<app::FrameConsume> early = ok;
+    early[0].consumedAt = early[0].readyAt - 1;
+    EXPECT_FALSE(checkFrameCausality(early).passed);
+
+    // Frame indices must move strictly forward.
+    std::vector<app::FrameConsume> repeat = ok;
+    repeat[1].frame = 0;
+    EXPECT_FALSE(checkFrameCausality(repeat).passed);
+}
+
+TEST(Invariants, FallbackMonotonicRejectsClimbing)
+{
+    faults::FaultStats down;
+    down.fallbacks = {{faults::ChainLink::Dsp, faults::ChainLink::Gpu, 0},
+                      {faults::ChainLink::Gpu, faults::ChainLink::Cpu, 1}};
+    EXPECT_TRUE(checkFallbackMonotonic(down).passed);
+
+    faults::FaultStats up;
+    up.fallbacks = {{faults::ChainLink::Gpu, faults::ChainLink::Dsp, 0}};
+    const auto r = checkFallbackMonotonic(up);
+    EXPECT_FALSE(r.passed);
+    EXPECT_NE(r.detail.find("climbs"), std::string::npos) << r.detail;
+}
+
+TEST(Invariants, DegradedAccountingChecksBothArms)
+{
+    core::StageLatencies run;
+    run[core::Stage::DataCapture] = sim::msToNs(1.0);
+    run[core::Stage::Inference] = sim::msToNs(4.0);
+
+    // Unfaulted: any degraded sample is a leak.
+    core::TaxReport clean;
+    clean.add(run);
+    EXPECT_TRUE(checkDegradedAccounting(clean, false).passed);
+    core::TaxReport leaking;
+    leaking.add(run);
+    leaking.addDegraded(0.5);
+    EXPECT_FALSE(checkDegradedAccounting(leaking, false).passed);
+
+    // Faulted: exactly one sample per run, bounded by that run's wall.
+    core::TaxReport faulted;
+    faulted.add(run);
+    faulted.addDegraded(2.0);
+    EXPECT_TRUE(checkDegradedAccounting(faulted, true).passed);
+
+    core::TaxReport missing;
+    missing.add(run);
+    EXPECT_FALSE(checkDegradedAccounting(missing, true).passed);
+
+    core::TaxReport oversized;
+    oversized.add(run);
+    oversized.addDegraded(50.0); // exceeds the 5 ms end-to-end wall
+    EXPECT_FALSE(checkDegradedAccounting(oversized, true).passed);
+}
+
 } // namespace
 } // namespace aitax::verify

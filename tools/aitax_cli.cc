@@ -19,6 +19,9 @@
  *     --timeline             print the profiler-style timeline
  *     --energy               print per-domain energy
  *     --chrome-trace <file>  write a chrome://tracing JSON capture
+ *     --faults <spec>        arm the seeded fault injector; <spec> is
+ *                            "default", "fuzz", or "key=value,..."
+ *                            (see faults/fault_plan.h)
  *
  * Verification subcommand:
  *   aitax_cli verify [options]
@@ -29,6 +32,8 @@
  *     --seed <n>             master fuzz seed (default 2021)
  *     --jobs <n>             parallel scenario workers (default: all
  *                            cores; output is identical to --jobs 1)
+ *     --faults               arm FaultConfig::fuzzDefaults() on every
+ *                            fuzz scenario (goldens still run clean)
  */
 
 #include <cstdio>
@@ -39,6 +44,7 @@
 #include <string>
 
 #include "app/pipeline.h"
+#include "faults/fault_plan.h"
 #include "soc/chipsets.h"
 #include <fstream>
 
@@ -64,7 +70,8 @@ usage(const char *argv0)
                  "[--framework cpu|gpu|hexagon|nnapi|snpe] "
                  "[--mode cli|bench-app|app] [--soc NAME] [--runs N] "
                  "[--threads N] [--seed N] [--instrument] "
-                 "[--pre-on-dsp] [--streaming] [--timeline] [--energy] [--chrome-trace FILE]\n",
+                 "[--pre-on-dsp] [--streaming] [--faults SPEC] "
+                 "[--timeline] [--energy] [--chrome-trace FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -83,7 +90,8 @@ verifyUsage()
 {
     std::fprintf(stderr,
                  "usage: aitax_cli verify [--update] [--golden-dir DIR] "
-                 "[--fuzz N] [--replay INDEX] [--seed N] [--jobs N]\n");
+                 "[--fuzz N] [--replay INDEX] [--seed N] [--jobs N] "
+                 "[--faults]\n");
     std::exit(2);
 }
 
@@ -149,7 +157,7 @@ runGoldenPass(const std::string &golden_dir, bool update, int jobs)
 /** Fuzz pass: invariant-check seeded random scenarios. */
 int
 runFuzzPass(std::uint64_t master_seed, int count, int replay_index,
-            int jobs)
+            int jobs, bool fault_fuzz)
 {
     const int begin = replay_index >= 0 ? replay_index : 0;
     const int end = replay_index >= 0 ? replay_index + 1 : count;
@@ -165,6 +173,9 @@ runFuzzPass(std::uint64_t master_seed, int count, int replay_index,
         const int i = begin + static_cast<int>(k);
         FuzzOutcome out;
         out.scenario = verify::fuzzScenario(master_seed, i);
+        // Orthogonal axis: the same corpus, fault-injected. Replay of
+        // a --faults failure needs --faults on the replay too.
+        out.scenario.faults = fault_fuzz;
         out.report = verify::verifyScenario(out.scenario);
         return out;
     });
@@ -201,6 +212,7 @@ verifyMain(int argc, char **argv)
     int replay_index = -1;
     std::uint64_t master_seed = 2021;
     int jobs = 0; // 0: default via sweep::effectiveJobs
+    bool fault_fuzz = false;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -221,6 +233,8 @@ verifyMain(int argc, char **argv)
             master_seed = static_cast<std::uint64_t>(std::atoll(next()));
         else if (arg == "--jobs")
             jobs = std::atoi(next());
+        else if (arg == "--faults")
+            fault_fuzz = true;
         else
             verifyUsage();
     }
@@ -232,7 +246,7 @@ verifyMain(int argc, char **argv)
         failures += runGoldenPass(golden_dir, update, jobs);
     if (!update)
         failures += runFuzzPass(master_seed, fuzz_count, replay_index,
-                                jobs);
+                                jobs, fault_fuzz);
 
     if (failures > 0) {
         std::fprintf(stderr, "\nverify: %d failure(s)\n", failures);
@@ -261,6 +275,7 @@ main(int argc, char **argv)
     bool instrument = false;
     bool pre_on_dsp = false;
     bool streaming = false;
+    std::string faults_spec;
     bool timeline = false;
     bool energy = false;
     std::string chrome_trace_path;
@@ -294,6 +309,8 @@ main(int argc, char **argv)
             pre_on_dsp = true;
         else if (arg == "--streaming")
             streaming = true;
+        else if (arg == "--faults")
+            faults_spec = next();
         else if (arg == "--timeline")
             timeline = true;
         else if (arg == "--chrome-trace")
@@ -354,6 +371,16 @@ main(int argc, char **argv)
         usage(argv[0]);
 
     soc::SocSystem sys(soc::platformByName(soc_name), seed);
+    if (!faults_spec.empty()) {
+        faults::FaultConfig fault_cfg;
+        std::string error;
+        if (!faults::parseFaultSpec(faults_spec, &fault_cfg, &error)) {
+            std::fprintf(stderr, "bad --faults spec '%s': %s\n",
+                         faults_spec.c_str(), error.c_str());
+            return 2;
+        }
+        sys.armFaults(fault_cfg);
+    }
     app::Application application(sys, cfg);
 
     std::printf("platform: %s (%s), model init %.2f ms, plan: %s\n\n",
@@ -376,6 +403,12 @@ main(int argc, char **argv)
                     application.rpcLog().size(),
                     sim::nsToMs(first.totalNs()),
                     sim::nsToMs(first.sessionOpenNs));
+    }
+
+    if (sys.faults() != nullptr) {
+        std::printf("\n%s\n  %s\n",
+                    sys.faults()->plan().describe().c_str(),
+                    sys.faults()->stats().summary().c_str());
     }
 
     if (energy) {
