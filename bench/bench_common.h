@@ -75,16 +75,30 @@ resolveSpec(const RunSpec &spec)
     return r;
 }
 
-/** Execute one resolved configuration on a fresh simulated SoC. */
+/**
+ * Execute one resolved configuration on a fresh simulated SoC with an
+ * explicit engine; optionally reports the number of simulation events
+ * executed (the events/sec denominator in BENCH_sweep.json).
+ */
 inline core::TaxReport
-runResolved(const ResolvedSpec &resolved)
+runResolved(const ResolvedSpec &resolved, sim::EngineMode engine,
+            std::uint64_t *events_out = nullptr)
 {
-    soc::SocSystem sys(resolved.platform, resolved.spec->seed);
+    soc::SocSystem sys(resolved.platform, resolved.spec->seed, engine);
     app::Application application(sys, resolved.cfg);
     core::TaxReport report;
     application.scheduleRuns(resolved.spec->runs, report);
     sys.run();
+    if (events_out != nullptr)
+        *events_out = sys.simulator().eventsExecuted();
     return report;
+}
+
+/** Execute one resolved configuration on a fresh simulated SoC. */
+inline core::TaxReport
+runResolved(const ResolvedSpec &resolved)
+{
+    return runResolved(resolved, sim::EngineMode::Fast);
 }
 
 /** Execute one configuration on a fresh simulated SoC. */

@@ -25,6 +25,7 @@
 #include "postproc/multipose.h"
 #include "postproc/tokenizer.h"
 #include "postproc/topk.h"
+#include "sim/engine_mode.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "trace/chrome_trace.h"
@@ -276,6 +277,82 @@ BM_EventQueueScheduleCancel(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleCancel)->Arg(1'000)->Arg(100'000);
+
+/**
+ * The Fast engine's target shape: a deep daemon backlog parks in the
+ * heap while a foreground chain of events — each scheduled from the
+ * previous one's callback, the chained-arrival pattern the
+ * interference sources use — ping-pongs through the one-slot front
+ * cache and the per-dispatch batch buffer. The Reference engine sifts
+ * the full heap on every operation. Arg 0 selects the engine
+ * (0 = Reference, 1 = Fast); items/sec is events/sec.
+ */
+void
+BM_EventQueueEngineChained(benchmark::State &state)
+{
+    const auto mode = state.range(0) == 0 ? sim::EngineMode::Reference
+                                          : sim::EngineMode::Fast;
+    const auto n = static_cast<int>(state.range(1));
+    std::int64_t fired = 0;
+    for (auto _ : state) {
+        sim::EventQueue q(mode);
+        for (int i = 0; i < 512; ++i)
+            q.schedule(1'000'000'000 + i, [] {});
+        struct Chain
+        {
+            sim::EventQueue &q;
+            sim::TimeNs t;
+            int left;
+            std::int64_t *fired;
+            void fire()
+            {
+                ++*fired;
+                if (--left > 0) {
+                    t += 10;
+                    q.schedule(t, [this] { fire(); });
+                }
+            }
+        } chain{q, 0, n, &fired};
+        q.schedule(0, [&chain] { chain.fire(); });
+        // Drain the foreground chain only; the backlog stays parked.
+        for (int i = 0; i < n; ++i)
+            q.popAndRun();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetLabel(mode == sim::EngineMode::Fast ? "fast" : "reference");
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueEngineChained)
+    ->Args({0, 100'000})
+    ->Args({1, 100'000});
+
+/** Bulk schedule+drain, both engines side by side (Arg 0 as above). */
+void
+BM_EventQueueEngineSchedulePop(benchmark::State &state)
+{
+    const auto mode = state.range(0) == 0 ? sim::EngineMode::Reference
+                                          : sim::EngineMode::Fast;
+    const auto n = static_cast<int>(state.range(1));
+    sim::RandomStream rng(13);
+    std::vector<sim::TimeNs> when(static_cast<std::size_t>(n));
+    for (auto &w : when)
+        w = rng.uniformInt(0, 1'000'000);
+    std::int64_t sink = 0;
+    for (auto _ : state) {
+        sim::EventQueue q(mode);
+        for (int i = 0; i < n; ++i)
+            q.schedule(when[static_cast<std::size_t>(i)],
+                       [&sink] { ++sink; });
+        while (!q.empty())
+            q.popAndRun();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetLabel(mode == sim::EngineMode::Fast ? "fast" : "reference");
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueEngineSchedulePop)
+    ->Args({0, 100'000})
+    ->Args({1, 100'000});
 
 void
 BM_GraphBuildUncached(benchmark::State &state)

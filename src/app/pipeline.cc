@@ -317,16 +317,22 @@ Application::appendPostProcessing(Task &task, double noise)
 }
 
 void
-Application::scheduleRuns(int n, core::TaxReport &report,
-                          std::function<void(sim::TimeNs)> on_done)
+Application::ensureReportLabel(core::TaxReport &report) const
 {
-    assert(n > 0);
     if (report.label().empty()) {
         report.setLabel(cfg.model->id + "/" +
                         std::string(tensor::dtypeName(cfg.dtype)) + "/" +
                         std::string(frameworkName(cfg.framework)) + "/" +
                         std::string(harnessModeName(cfg.mode)));
     }
+}
+
+void
+Application::scheduleInit(int n, core::TaxReport &report,
+                          soc::TimeFn on_init_done)
+{
+    assert(n > 0);
+    ensureReportLabel(report);
 
     if (interference) {
         // Generously sized horizon; leftover interference arrivals
@@ -337,19 +343,47 @@ Application::scheduleRuns(int n, core::TaxReport &report,
         interference->start(estimate);
     }
 
-    auto done =
-        std::make_shared<std::function<void(sim::TimeNs)>>(
-            std::move(on_done));
-
     // Model/framework initialization runs first, as CPU work.
     auto init = std::make_shared<Task>(cfg.model->id + "_init");
     init->compute(
         runtime::workForCpuNs(static_cast<double>(engine_.initNs())),
         WorkClass::Scalar);
-    init->setOnComplete([this, n, &report, done](sim::TimeNs) {
+    init->setOnComplete(std::move(on_init_done));
+    sys.scheduler().submit(std::move(init));
+}
+
+void
+Application::scheduleRuns(int n, core::TaxReport &report,
+                          std::function<void(sim::TimeNs)> on_done)
+{
+    auto done =
+        std::make_shared<std::function<void(sim::TimeNs)>>(
+            std::move(on_done));
+    scheduleInit(n, report, [this, n, &report, done](sim::TimeNs) {
         startFrame(0, n, &report, done);
     });
-    sys.scheduler().submit(std::move(init));
+}
+
+void
+Application::scheduleWarmup(int n, core::TaxReport &report)
+{
+    warmupComplete_ = false;
+    scheduleInit(n, report,
+                 [this](sim::TimeNs) { warmupComplete_ = true; });
+}
+
+void
+Application::scheduleFramesAfterWarmup(
+    int n, core::TaxReport &report,
+    std::function<void(sim::TimeNs)> on_done)
+{
+    assert(n > 0);
+    assert(warmupComplete_);
+    ensureReportLabel(report);
+    auto done =
+        std::make_shared<std::function<void(sim::TimeNs)>>(
+            std::move(on_done));
+    startFrame(0, n, &report, done);
 }
 
 void

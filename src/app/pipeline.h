@@ -97,6 +97,33 @@ class Application
     void scheduleRuns(int n, core::TaxReport &report,
                       std::function<void(sim::TimeNs)> on_done = {});
 
+    // --- Split warm-up API (warm-up prefix memoization) --------------
+    // scheduleWarmup() + drive to warmupComplete() + snapshot +
+    // scheduleFramesAfterWarmup() is event-for-event identical to a
+    // single scheduleRuns(): the only difference is that the init
+    // task's completion sets a flag instead of chaining straight into
+    // frame 0, and nothing observable happens in between — no RNG
+    // draws, no scheduling — so frame events get the same seq numbers
+    // either way.
+
+    /** Schedule interference + model init for an @p n-run session. */
+    void scheduleWarmup(int n, core::TaxReport &report);
+
+    /** True once the warm-up init task has completed. */
+    bool warmupComplete() const { return warmupComplete_; }
+
+    /**
+     * Adopt a restored warm-up snapshot (cache hit): the init task's
+     * effects are already in the system state, so mark the warm-up
+     * complete without scheduling anything.
+     */
+    void adoptRestoredWarmup() { warmupComplete_ = true; }
+
+    /** Schedule the @p n pipeline runs after warmupComplete(). */
+    void scheduleFramesAfterWarmup(
+        int n, core::TaxReport &report,
+        std::function<void(sim::TimeNs)> on_done = {});
+
     /** FastRPC breakdowns collected across runs (Fig 7/8 data). */
     const std::vector<soc::FastRpcBreakdown> &rpcLog() const
     {
@@ -132,7 +159,11 @@ class Application
     std::vector<FrameConsume> frameLog_;
     /** Degraded-mode time accrued by the in-flight frame. */
     sim::DurationNs frameDegradedNs_ = 0;
+    bool warmupComplete_ = false;
 
+    void ensureReportLabel(core::TaxReport &report) const;
+    void scheduleInit(int n, core::TaxReport &report,
+                      soc::TimeFn on_init_done);
     void startFrame(int index, int total, core::TaxReport *report,
                     std::shared_ptr<std::function<void(sim::TimeNs)>>
                         on_done);

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Engine selector for the discrete-event core.
+ *
+ * The simulator ships two interchangeable inner loops:
+ *
+ *  - Reference: the straightforward heap-only engine. Every schedule
+ *    is an immediate heap insert, every pop is nextTime() + popAndRun().
+ *    This is the behaviour all goldens were recorded against and the
+ *    baseline the differential harness (tests/test_differential.cc)
+ *    compares against.
+ *
+ *  - Fast: the optimized engine — a one-slot front cache for the
+ *    next-to-fire event, dispatch-scoped batched insertion (events
+ *    scheduled inside a callback buffer locally and flush into the
+ *    4-ary heap once per dispatch), a fused skip-ahead pop, and
+ *    chained interference arrivals over a reserved seq band instead of
+ *    pre-scheduling the whole horizon.
+ *
+ * Both engines execute events in identical (timestamp, seq) order, so
+ * traces, reports and RNG draw sequences are byte-identical. That
+ * equivalence is a tested contract, not an aspiration: `ctest -L
+ * verify` runs reference-vs-fast differential corpora on every change.
+ */
+
+#ifndef AITAX_SIM_ENGINE_MODE_H
+#define AITAX_SIM_ENGINE_MODE_H
+
+namespace aitax::sim {
+
+/** Which inner event-loop engine a Simulator runs. */
+enum class EngineMode
+{
+    /** Heap-only legacy engine; differential-test baseline. */
+    Reference,
+    /** Front-cached, batch-inserting engine (production default). */
+    Fast,
+};
+
+/** Short lowercase name ("reference" / "fast") for CLI and JSON. */
+inline const char *
+engineModeName(EngineMode mode)
+{
+    return mode == EngineMode::Reference ? "reference" : "fast";
+}
+
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_ENGINE_MODE_H

@@ -49,6 +49,58 @@ EventQueue::freeSlot(std::uint32_t slot)
     freeSlots.push_back(slot);
 }
 
+void
+EventQueue::insertEntry(const HeapEntry &e)
+{
+    if (!fast_) {
+        heap.push_back(e);
+        siftUp(heap.size() - 1);
+        return;
+    }
+    if (hasFront_) {
+        if (before(e, front_)) {
+            // Demote the cached front; the new entry is even earlier.
+            heap.push_back(front_);
+            siftUp(heap.size() - 1);
+            front_ = e;
+            return;
+        }
+    } else if (heap.empty() || before(e, heap.front())) {
+        // The heap top is its minimum (stale entries included), so an
+        // entry ordering before it orders before every heap entry —
+        // exactly the front-cache invariant.
+        front_ = e;
+        hasFront_ = true;
+        return;
+    }
+    heap.push_back(e);
+    siftUp(heap.size() - 1);
+}
+
+void
+EventQueue::admit(const HeapEntry &e)
+{
+    if (fast_ && inDispatch_) {
+        pending_.push_back(e);
+        return;
+    }
+    insertEntry(e);
+}
+
+void
+EventQueue::flushPending()
+{
+    if (pending_.empty())
+        return;
+    for (const HeapEntry &e : pending_) {
+        // A batched event may have been cancelled before the flush;
+        // its slot is already freed, so just drop the entry.
+        if (!stale(e))
+            insertEntry(e);
+    }
+    pending_.clear();
+}
+
 EventId
 EventQueue::schedule(TimeNs when, EventFn fn)
 {
@@ -56,8 +108,20 @@ EventQueue::schedule(TimeNs when, EventFn fn)
     Slot &s = slots[slot];
     s.fn = std::move(fn);
     s.live = true;
-    heap.push_back(HeapEntry{when, nextSeq++, slot, s.gen});
-    siftUp(heap.size() - 1);
+    admit(HeapEntry{when, nextSeq++, slot, s.gen});
+    ++liveCount;
+    return (static_cast<EventId>(s.gen) << 32) | slot;
+}
+
+EventId
+EventQueue::scheduleWithSeq(TimeNs when, std::uint64_t seq, EventFn fn)
+{
+    assert(seq < nextSeq && "seq must come from reserveSeqs()");
+    const std::uint32_t slot = allocSlot();
+    Slot &s = slots[slot];
+    s.fn = std::move(fn);
+    s.live = true;
+    admit(HeapEntry{when, seq, slot, s.gen});
     ++liveCount;
     return (static_cast<EventId>(s.gen) << 32) | slot;
 }
@@ -75,10 +139,13 @@ EventQueue::cancel(EventId id)
     --liveCount;
     // The heap entry is dropped lazily; bound the garbage so a
     // cancel-heavy workload cannot grow the heap past O(live).
-    if (liveCount == 0)
+    if (liveCount == 0) {
         heap.clear();
-    else if (heap.size() > 2 * liveCount + 64)
+        pending_.clear();
+        hasFront_ = false;
+    } else if (heap.size() > 2 * liveCount + 64) {
         compact();
+    }
 }
 
 void
@@ -150,17 +217,33 @@ TimeNs
 EventQueue::nextTime() const
 {
     auto *self = const_cast<EventQueue *>(this);
+    self->flushPending();
+    if (self->hasFront_ && self->stale(self->front_))
+        self->hasFront_ = false;
+    if (self->hasFront_)
+        return self->front_.when;
     self->dropStaleHead();
     assert(!heap.empty());
     return heap.front().when;
 }
 
-TimeNs
-EventQueue::popAndRun()
+EventQueue::HeapEntry
+EventQueue::takeNext()
 {
-    dropStaleHead();
-    assert(!heap.empty());
-    const HeapEntry top = heap.front();
+    flushPending();
+    if (hasFront_ && stale(front_))
+        hasFront_ = false;
+    HeapEntry top;
+    if (hasFront_) {
+        top = front_;
+        hasFront_ = false;
+        ++frontHits_;
+    } else {
+        dropStaleHead();
+        assert(!heap.empty());
+        top = heap.front();
+        popHeapTop();
+    }
     // Tie auditor: pops must leave in strictly increasing (when, seq)
     // order — the seq tie-break is what makes same-timestamp ties
     // deterministic, so a non-increasing pop means a seq collision or
@@ -175,13 +258,38 @@ EventQueue::popAndRun()
     poppedAny = true;
     lastPoppedWhen = top.when;
     lastPoppedSeq = top.seq;
+    return top;
+}
+
+TimeNs
+EventQueue::popAndRun()
+{
+    const HeapEntry top = takeNext();
     // Move the callback out and retire the entry before invoking: the
     // callback may schedule new events, which mutates heap and slots.
     EventFn fn = std::move(slots[top.slot].fn);
     freeSlot(top.slot);
-    popHeapTop();
     --liveCount;
+    inDispatch_ = true;
     fn();
+    inDispatch_ = false;
+    return top.when;
+}
+
+TimeNs
+EventQueue::runNext(TimeNs &now)
+{
+    const HeapEntry top = takeNext();
+    EventFn fn = std::move(slots[top.slot].fn);
+    freeSlot(top.slot);
+    --liveCount;
+    // Skip-ahead: the clock jumps straight to the event's timestamp
+    // before its body runs, so now() inside the callback is the
+    // event's own time.
+    now = top.when;
+    inDispatch_ = true;
+    fn();
+    inDispatch_ = false;
     return top.when;
 }
 

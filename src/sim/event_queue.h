@@ -9,6 +9,24 @@
  * cancel is O(1), a cancel of an already-fired (or doubly-cancelled)
  * event is a true no-op, and bookkeeping is bounded by the number of
  * pending entries rather than growing with the lifetime of the queue.
+ *
+ * The Fast engine (sim/engine_mode.h) adds two structures in front of
+ * the heap, both invisible to pop order:
+ *
+ *  - a one-slot *front cache* holding the single earliest entry. The
+ *    invariant is strict: when occupied, the cached entry orders
+ *    before every entry stored in the heap, so a pop can take it with
+ *    zero sift work. The dominant simulator pattern — an event
+ *    scheduling its own continuation at or near `now` — hits this
+ *    cache and never touches the heap at all.
+ *
+ *  - a *dispatch batch buffer*: events scheduled while a callback is
+ *    executing collect in a local vector and flush into the heap once
+ *    per dispatch. Sequence numbers are assigned at schedule() time,
+ *    so batching changes heap churn, never ordering.
+ *
+ * Both engines pop in identical (timestamp, seq) order; the
+ * differential tier proves it byte-for-byte.
  */
 
 #ifndef AITAX_SIM_EVENT_QUEUE_H
@@ -18,6 +36,7 @@
 #include <vector>
 
 #include "sim/audit.h"
+#include "sim/engine_mode.h"
 #include "sim/inline_function.h"
 #include "sim/time.h"
 
@@ -41,8 +60,44 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
+    explicit EventQueue(EngineMode mode = EngineMode::Fast)
+        : fast_(mode == EngineMode::Fast)
+    {
+    }
+
+    EngineMode
+    mode() const
+    {
+        return fast_ ? EngineMode::Fast : EngineMode::Reference;
+    }
+
     /** Schedule @p fn to fire at absolute time @p when. */
     EventId schedule(TimeNs when, EventFn fn);
+
+    /**
+     * Reserve @p n consecutive FIFO sequence numbers and return the
+     * first. A component that knows its future arrival times up front
+     * (the interference generator) reserves its band once, then feeds
+     * events in one at a time via scheduleWithSeq() — keeping the heap
+     * shallow while every event keeps the exact (when, seq) pair the
+     * Reference engine would have assigned by pre-scheduling them all.
+     */
+    std::uint64_t
+    reserveSeqs(std::uint64_t n)
+    {
+        const std::uint64_t base = nextSeq;
+        nextSeq += n;
+        return base;
+    }
+
+    /**
+     * Schedule @p fn at @p when with an explicit FIFO sequence number
+     * previously obtained from reserveSeqs(). Does not advance the
+     * seq counter. The caller owns the contract that reserved seqs are
+     * fed back in increasing order per timestamp (the tie auditor
+     * catches violations at pop time).
+     */
+    EventId scheduleWithSeq(TimeNs when, std::uint64_t seq, EventFn fn);
 
     /** Cancel a pending event. Cancelling a fired event is a no-op. */
     void cancel(EventId id);
@@ -62,6 +117,16 @@ class EventQueue
      */
     TimeNs popAndRun();
 
+    /**
+     * Fused skip-ahead pop for the Fast engine's inner loop: one stale
+     * sweep, one top read, and @p now is advanced to the event's
+     * timestamp *before* the callback runs (so now() observed inside
+     * the callback is the event's own time). Semantically identical to
+     * `now = nextTime(); popAndRun();` without the double head work.
+     * @return the timestamp the event fired at.
+     */
+    TimeNs runNext(TimeNs &now);
+
     // --- bookkeeping introspection (tests, leak accounting) ----------
 
     /** Callback slots ever allocated = peak concurrent pending events. */
@@ -69,9 +134,48 @@ class EventQueue
 
     /**
      * Heap entries currently stored, including lazily-dropped stale
-     * ones. Compaction keeps this O(size()).
+     * ones and entries parked in the front cache / dispatch batch.
+     * Compaction keeps this O(size()).
      */
-    std::size_t heapEntries() const { return heap.size(); }
+    std::size_t
+    heapEntries() const
+    {
+        return heap.size() + pending_.size() + (hasFront_ ? 1u : 0u);
+    }
+
+    /** Pops served by the front cache with zero heap work (Fast). */
+    std::uint64_t frontCacheHits() const { return frontHits_; }
+
+    /** Current seq watermark (next seq a schedule() would consume). */
+    std::uint64_t seqWatermark() const { return nextSeq; }
+
+    /**
+     * Tie-auditor ordering state plus the seq counter — everything
+     * needed to freeze the queue's ordering contract at a warm-up
+     * snapshot point and re-arm it on a fresh queue.
+     */
+    struct OrderState
+    {
+        std::uint64_t nextSeq = 0;
+        TimeNs lastPoppedWhen = 0;
+        std::uint64_t lastPoppedSeq = 0;
+        bool poppedAny = false;
+    };
+
+    OrderState
+    orderState() const
+    {
+        return {nextSeq, lastPoppedWhen, lastPoppedSeq, poppedAny};
+    }
+
+    void
+    setOrderState(const OrderState &s)
+    {
+        nextSeq = s.nextSeq;
+        lastPoppedWhen = s.lastPoppedWhen;
+        lastPoppedSeq = s.lastPoppedSeq;
+        poppedAny = s.poppedAny;
+    }
 
     /**
      * Test-only: force the next scheduled event's FIFO sequence
@@ -110,6 +214,16 @@ class EventQueue
     TimeNs lastPoppedWhen = 0;
     std::uint64_t lastPoppedSeq = 0;
     bool poppedAny = false;
+    // --- Fast-engine state -------------------------------------------
+    bool fast_ = true;
+    /** True while a popped callback is executing (batch window). */
+    bool inDispatch_ = false;
+    /** Front cache: earliest stored entry, bypassing the heap. */
+    HeapEntry front_{};
+    bool hasFront_ = false;
+    /** Events scheduled mid-dispatch, flushed once per dispatch. */
+    std::vector<HeapEntry> pending_;
+    std::uint64_t frontHits_ = 0;
 
     static bool
     before(const HeapEntry &a, const HeapEntry &b)
@@ -135,6 +249,14 @@ class EventQueue
     void dropStaleHead();
     /** Rebuild the heap without stale entries when they dominate. */
     void compact();
+    /** Route one new entry: batch buffer, front cache, or heap. */
+    void admit(const HeapEntry &e);
+    /** Place an entry into front cache or heap (invariant-preserving). */
+    void insertEntry(const HeapEntry &e);
+    /** Drain the dispatch batch into front cache / heap. */
+    void flushPending();
+    /** Remove and return the next live entry; audits (when, seq). */
+    HeapEntry takeNext();
 };
 
 } // namespace aitax::sim

@@ -6,9 +6,11 @@
  * per sweep. `std::function` only inline-stores tiny callables (one or
  * two pointers on mainstream ABIs), so the typical simulator lambda —
  * a `this` pointer plus a couple of captured ints or a moved-in
- * continuation — pays one heap allocation per event. EventFn widens the
- * inline buffer so every callback the simulator actually creates stays
- * in situ; oversized callables degrade gracefully to the heap.
+ * continuation — pays one heap allocation per event. InlineFunction
+ * widens the inline buffer so every callback the simulator actually
+ * creates stays in situ; oversized callables degrade gracefully to the
+ * heap. EventFn is the `void()` instantiation the event queue stores;
+ * task markers and completion hooks use the `void(TimeNs)` one.
  */
 
 #ifndef AITAX_SIM_INLINE_FUNCTION_H
@@ -22,30 +24,37 @@
 
 namespace aitax::sim {
 
+template <typename Signature>
+class InlineFunction; // primary template left undefined
+
 /**
- * Move-only `void()` callable with a wide small-buffer optimization.
+ * Move-only `R(Args...)` callable with a wide small-buffer
+ * optimization.
  *
- * Invariants: invoking an empty EventFn is undefined (the event queue
- * never stores empty callbacks); relocation is a move-construct plus
- * destroy of the source, so captured state moves exactly once.
+ * Invariants: invoking an empty InlineFunction is undefined (the event
+ * queue never stores empty callbacks); relocation is a move-construct
+ * plus destroy of the source, so captured state moves exactly once.
  */
-class EventFn
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)>
 {
   public:
     /** Inline storage; sized for a capture of ~6 pointers. */
     static constexpr std::size_t kInlineSize = 48;
 
-    EventFn() noexcept = default;
+    InlineFunction() noexcept = default;
 
     template <typename F>
-        requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
-                 std::is_invocable_r_v<void, std::remove_cvref_t<F> &>)
-    EventFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+        requires(!std::is_same_v<std::remove_cvref_t<F>,
+                                 InlineFunction> &&
+                 std::is_invocable_r_v<R, std::remove_cvref_t<F> &,
+                                       Args...>)
+    InlineFunction(F &&f) // NOLINT: implicit by design, mirrors std::function
     {
-        // EventFn *is* the sanctioned owner of placement-new here:
-        // the whole point of this class is keeping the hot path free
-        // of the heap, and the oversized-callable fallback is the one
-        // deliberate allocation.
+        // InlineFunction *is* the sanctioned owner of placement-new
+        // here: the whole point of this class is keeping the hot path
+        // free of the heap, and the oversized-callable fallback is the
+        // one deliberate allocation.
         using Fn = std::remove_cvref_t<F>;
         if constexpr (sizeof(Fn) <= kInlineSize &&
                       alignof(Fn) <= alignof(std::max_align_t)) {
@@ -59,10 +68,10 @@ class EventFn
         }
     }
 
-    EventFn(EventFn &&other) noexcept { moveFrom(other); }
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
 
-    EventFn &
-    operator=(EventFn &&other) noexcept
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
     {
         if (this != &other) {
             reset();
@@ -71,20 +80,20 @@ class EventFn
         return *this;
     }
 
-    EventFn(const EventFn &) = delete;
-    EventFn &operator=(const EventFn &) = delete;
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
 
-    ~EventFn() { reset(); }
+    ~InlineFunction() { reset(); }
 
     explicit operator bool() const noexcept { return ops != nullptr; }
 
-    void
-    operator()()
+    R
+    operator()(Args... args)
     {
-        ops->invoke(buf);
+        return ops->invoke(buf, std::forward<Args>(args)...);
     }
 
-    /** Destroy the held callable, leaving the EventFn empty. */
+    /** Destroy the held callable, leaving the InlineFunction empty. */
     void
     reset() noexcept
     {
@@ -97,7 +106,7 @@ class EventFn
   private:
     struct Ops
     {
-        void (*invoke)(void *);
+        R (*invoke)(void *, Args &&...);
         /** Move-construct dst from src, then destroy src. */
         void (*relocate)(void *dst, void *src) noexcept;
         void (*destroy)(void *) noexcept;
@@ -105,7 +114,10 @@ class EventFn
 
     template <typename Fn>
     static constexpr Ops inlineOps = {
-        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *p, Args &&...args) -> R {
+            return (*std::launder(reinterpret_cast<Fn *>(p)))(
+                std::forward<Args>(args)...);
+        },
         [](void *dst, void *src) noexcept {
             Fn *s = std::launder(reinterpret_cast<Fn *>(src));
             ::new (dst) Fn(std::move(*s)); // aitax-lint: allow(raw-new-delete)
@@ -118,7 +130,10 @@ class EventFn
 
     template <typename Fn>
     static constexpr Ops heapOps = {
-        [](void *p) { (**std::launder(reinterpret_cast<Fn **>(p)))(); },
+        [](void *p, Args &&...args) -> R {
+            return (**std::launder(reinterpret_cast<Fn **>(p)))(
+                std::forward<Args>(args)...);
+        },
         [](void *dst, void *src) noexcept {
             ::new (dst) // aitax-lint: allow(raw-new-delete)
                 Fn *(*std::launder(reinterpret_cast<Fn **>(src)));
@@ -129,7 +144,7 @@ class EventFn
     };
 
     void
-    moveFrom(EventFn &other) noexcept
+    moveFrom(InlineFunction &other) noexcept
     {
         if (other.ops != nullptr) {
             other.ops->relocate(buf, other.buf);
@@ -141,6 +156,9 @@ class EventFn
     alignas(std::max_align_t) unsigned char buf[kInlineSize];
     const Ops *ops = nullptr;
 };
+
+/** The event queue's callback type. */
+using EventFn = InlineFunction<void()>;
 
 } // namespace aitax::sim
 

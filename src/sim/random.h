@@ -10,6 +10,7 @@
 #ifndef AITAX_SIM_RANDOM_H
 #define AITAX_SIM_RANDOM_H
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -64,6 +65,27 @@ class RandomStream
 
     /** Fork a child stream, deterministically derived from this one. */
     RandomStream fork(std::string_view child_name);
+
+    /**
+     * Raw generator state, for warm-up prefix snapshots: capturing and
+     * re-applying the state replays the stream from exactly the same
+     * position, so a restored run draws the identical sequence an
+     * uninterrupted run would have.
+     */
+    using State = std::array<std::uint64_t, 4>;
+
+    State
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    void
+    setState(const State &s)
+    {
+        for (std::size_t i = 0; i < s.size(); ++i)
+            state_[i] = s[i];
+    }
 
   private:
     std::uint64_t state_[4];

@@ -6,6 +6,17 @@ TimeNs
 Simulator::run()
 {
     AITAX_AUDIT_OWNER(owner_, "Simulator");
+    if (mode() == EngineMode::Fast) {
+        // Fused skip-ahead loop: one head sweep per event, and the
+        // clock is advanced inside runNext() before the callback runs.
+        while (!queue.empty()) {
+            queue.runNext(nowNs);
+            ++executed;
+        }
+        return nowNs;
+    }
+    // Reference engine: the legacy two-step loop the goldens were
+    // recorded against and the differential tier compares with.
     while (!queue.empty()) {
         // Advance the clock before the event body runs so that now()
         // observed inside callbacks is the event's own timestamp.
@@ -29,18 +40,6 @@ Simulator::runUntil(TimeNs deadline)
         return nowNs;
     if (nowNs < deadline)
         nowNs = deadline;
-    return nowNs;
-}
-
-TimeNs
-Simulator::runUntilCondition(const std::function<bool()> &done)
-{
-    AITAX_AUDIT_OWNER(owner_, "Simulator");
-    while (!queue.empty() && !done()) {
-        nowNs = queue.nextTime();
-        queue.popAndRun();
-        ++executed;
-    }
     return nowNs;
 }
 

@@ -12,9 +12,10 @@
 #define AITAX_SIM_SIMULATOR_H
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "sim/audit.h"
+#include "sim/engine_mode.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -26,14 +27,24 @@ namespace aitax::sim {
  * Events fire in timestamp order (FIFO among ties); the clock never
  * moves backwards. The simulator is single-threaded by design —
  * determinism is a core requirement for reproducible experiments.
+ *
+ * Two engines share this interface (sim/engine_mode.h): the Reference
+ * heap-only loop and the Fast front-cached, batch-inserting loop. Both
+ * fire events in identical (timestamp, seq) order.
  */
 class Simulator
 {
   public:
-    Simulator() = default;
+    explicit Simulator(EngineMode mode = EngineMode::Fast)
+        : queue(mode)
+    {
+    }
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
+
+    /** Which inner event-loop engine this simulator runs. */
+    EngineMode mode() const { return queue.mode(); }
 
     /** Current virtual time. */
     TimeNs now() const { return nowNs; }
@@ -56,6 +67,25 @@ class Simulator
         if (when < nowNs)
             when = nowNs;
         return queue.schedule(when, std::move(fn));
+    }
+
+    /**
+     * Reserve @p n consecutive FIFO seq numbers for scheduleAtSeq().
+     * See EventQueue::reserveSeqs() for the intended use.
+     */
+    std::uint64_t reserveSeqs(std::uint64_t n)
+    {
+        return queue.reserveSeqs(n);
+    }
+
+    /** Schedule at @p when (>= now) with a reserved seq number. */
+    EventId
+    scheduleAtSeq(TimeNs when, std::uint64_t seq, EventFn fn)
+    {
+        AITAX_AUDIT_OWNER(owner_, "Simulator");
+        if (when < nowNs)
+            when = nowNs;
+        return queue.scheduleWithSeq(when, seq, std::move(fn));
     }
 
     /** Cancel a previously scheduled event. */
@@ -83,14 +113,63 @@ class Simulator
     TimeNs runUntil(TimeNs deadline);
 
     /**
-     * Run until @p done() returns true (checked after each event) or
+     * Run until @p done() returns true (checked between events) or
      * the queue drains.
      * @return the final virtual time.
      */
-    TimeNs runUntilCondition(const std::function<bool()> &done);
+    template <typename Pred>
+    TimeNs
+    runUntilCondition(Pred &&done)
+    {
+        AITAX_AUDIT_OWNER(owner_, "Simulator");
+        while (!queue.empty() && !done()) {
+            nowNs = queue.nextTime();
+            queue.popAndRun();
+            ++executed;
+        }
+        return nowNs;
+    }
 
     /** Number of events executed so far (for tests/diagnostics). */
     std::uint64_t eventsExecuted() const { return executed; }
+
+    /** Number of live (not cancelled) pending events. */
+    std::size_t pendingEvents() const { return queue.size(); }
+
+    /** Pops served by the queue's front cache (Fast engine only). */
+    std::uint64_t frontCacheHits() const { return queue.frontCacheHits(); }
+
+    /** Seq number the next schedule() will consume (snapshot keying). */
+    std::uint64_t seqWatermark() const { return queue.seqWatermark(); }
+
+    /**
+     * Clock + ordering state for warm-up prefix snapshots: everything
+     * the simulator itself must carry across a snapshot/restore so a
+     * resumed run pops, audits and numbers events exactly like the
+     * uninterrupted one. Pending event *contents* are deliberately not
+     * part of this — snapshot eligibility requires the queue to hold
+     * only re-creatable events (see soc::SocSystem::captureWarmup).
+     */
+    struct ClockState
+    {
+        TimeNs now = 0;
+        std::uint64_t executed = 0;
+        EventQueue::OrderState order;
+    };
+
+    ClockState
+    clockState() const
+    {
+        return {nowNs, executed, queue.orderState()};
+    }
+
+    void
+    setClockState(const ClockState &s)
+    {
+        nowNs = s.now;
+        executed = s.executed;
+        queue.setOrderState(s.order);
+    }
 
     /**
      * Release thread ownership (audited builds): the next audited

@@ -54,6 +54,31 @@ class DvfsGovernor
     /** Reset both tiers to the floor (cold clocks). */
     void reset();
 
+    /** Both tiers' governor state, for warm-up prefix snapshots. */
+    struct State
+    {
+        double bigF = 0.0;
+        double littleF = 0.0;
+        sim::TimeNs bigLastUpdate = 0;
+        sim::TimeNs littleLastUpdate = 0;
+        int bigBusyCores = 0;
+        int littleBusyCores = 0;
+    };
+
+    State
+    state() const
+    {
+        return {big.f,          little.f,        big.lastUpdate,
+                little.lastUpdate, big.busyCores, little.busyCores};
+    }
+
+    void
+    setState(const State &s)
+    {
+        big = {s.bigF, s.bigLastUpdate, s.bigBusyCores};
+        little = {s.littleF, s.littleLastUpdate, s.littleBusyCores};
+    }
+
   private:
     struct Tier
     {

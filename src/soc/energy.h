@@ -87,6 +87,12 @@ class EnergyMeter
 
     void reset();
 
+    /** Accumulated joules per domain, for warm-up prefix snapshots. */
+    using State = std::array<double, kAllPowerDomains.size()>;
+
+    State state() const { return joules; }
+    void setState(const State &s) { joules = s; }
+
   private:
     EnergyConfig cfg;
     std::array<double, kAllPowerDomains.size()> joules{};

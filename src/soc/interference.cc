@@ -31,10 +31,73 @@ InterferenceGenerator::submitTask(const char *name, trace::LabelId label,
 }
 
 void
+InterferenceGenerator::scheduleNextUiTick()
+{
+    if (uiNext_ >= uiCount_)
+        return;
+    const std::int64_t k = uiNext_++;
+    sim.scheduleAtSeq(
+        static_cast<sim::TimeNs>(k + 1) * cfg.uiPeriodNs,
+        uiSeqBase_ + static_cast<std::uint64_t>(k), [this] {
+            // Chain before submitting, matching the Reference seq
+            // assignment (the whole band precedes any fire-time work).
+            scheduleNextUiTick();
+            submitTask("ui_frame", uiLabel_, cfg.uiOps,
+                       /*background=*/false);
+        });
+}
+
+void
+InterferenceGenerator::scheduleNextDaemon()
+{
+    if (daemonNext_ >= daemonTimes_.size())
+        return;
+    const std::size_t j = daemonNext_++;
+    sim.scheduleAtSeq(daemonTimes_[j], daemonSeqBase_ + j, [this] {
+        scheduleNextDaemon();
+        submitTask("system_daemon", daemonLabel_, cfg.daemonOps,
+                   /*background=*/true);
+    });
+}
+
+void
 InterferenceGenerator::start(sim::TimeNs horizon)
 {
     if (!cfg.enabled)
         return;
+
+    if (sim.mode() == sim::EngineMode::Fast) {
+        // Chained arrivals over a reserved seq band: identical
+        // (when, seq) pairs to the Reference pre-scheduling below —
+        // UI ticks claim the band first, then daemons, exactly the
+        // order the Reference loop assigns seqs in. The daemon gap
+        // draws happen here, up front, in the same rng order too.
+        uiCount_ = 0;
+        for (sim::TimeNs t = cfg.uiPeriodNs; t < horizon;
+             t += cfg.uiPeriodNs)
+            ++uiCount_;
+        daemonTimes_.clear();
+        if (cfg.daemonRatePerSec > 0.0) {
+            const double mean_gap_ns = 1e9 / cfg.daemonRatePerSec;
+            sim::TimeNs t = 0;
+            while (true) {
+                t += static_cast<sim::DurationNs>(
+                    rng.exponential(mean_gap_ns));
+                if (t >= horizon)
+                    break;
+                daemonTimes_.push_back(t);
+            }
+        }
+        uiSeqBase_ = sim.reserveSeqs(
+            static_cast<std::uint64_t>(uiCount_) + daemonTimes_.size());
+        daemonSeqBase_ =
+            uiSeqBase_ + static_cast<std::uint64_t>(uiCount_);
+        uiNext_ = 0;
+        daemonNext_ = 0;
+        scheduleNextUiTick();
+        scheduleNextDaemon();
+        return;
+    }
 
     // UI ticks: fixed period, jittered work, foreground priority.
     for (sim::TimeNs t = cfg.uiPeriodNs; t < horizon;

@@ -7,12 +7,23 @@
  * injects that activity, producing the wide app-mode latency
  * distributions of Fig 11 (run-to-run variability) in contrast to the
  * tight benchmark-mode distributions.
+ *
+ * Scheduling strategy depends on the engine (sim/engine_mode.h). The
+ * Reference engine pre-schedules every arrival over the whole horizon
+ * — thousands of heap entries that keep the 4-ary heap deep for the
+ * entire run (profiling showed heap sift work at ~50% of sweep time).
+ * The Fast engine reserves the identical FIFO seq band up front, then
+ * feeds arrivals one at a time, each event chaining the next: the heap
+ * stays shallow while every arrival keeps the exact (when, seq) pair
+ * the Reference engine would have assigned, so pop order — and thus
+ * every trace byte and RNG draw — is unchanged.
  */
 
 #ifndef AITAX_SOC_INTERFERENCE_H
 #define AITAX_SOC_INTERFERENCE_H
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -63,9 +74,19 @@ class InterferenceGenerator
     std::int64_t injected = 0;
     trace::LabelId uiLabel_;
     trace::LabelId daemonLabel_;
+    // Chained-arrival state (Fast engine): each arrival schedules its
+    // successor with the next seq of the band reserved at start().
+    std::uint64_t uiSeqBase_ = 0;
+    std::int64_t uiNext_ = 0;
+    std::int64_t uiCount_ = 0;
+    std::uint64_t daemonSeqBase_ = 0;
+    std::size_t daemonNext_ = 0;
+    std::vector<sim::TimeNs> daemonTimes_;
 
     void submitTask(const char *name, trace::LabelId label,
                     double mean_ops, bool background);
+    void scheduleNextUiTick();
+    void scheduleNextDaemon();
 };
 
 } // namespace aitax::soc

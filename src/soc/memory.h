@@ -51,6 +51,14 @@ class MemoryFabric
 
     int activeClients() const { return clients; }
 
+    /** Warm-up prefix snapshot restore (capture requires 0 clients). */
+    void
+    setActiveClients(int n)
+    {
+        assert(n >= 0);
+        clients = n;
+    }
+
     /**
      * Effective-bandwidth factor seen by one active client, given the
      * other concurrently active clients: 1 / (1 + slope * others),

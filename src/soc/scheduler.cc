@@ -355,4 +355,36 @@ OsScheduler::balanceTarget(int core_idx, const Task &task)
     return -1;
 }
 
+OsScheduler::WarmupState
+OsScheduler::warmupState() const
+{
+    assert(idle());
+    WarmupState s;
+    s.balanceRng = balanceRng.state();
+    s.ctxSwitches = ctxSwitches;
+    s.migrations = migrations_;
+    s.coreTimes.reserve(cores.size());
+    for (const Core &c : cores)
+        s.coreTimes.emplace_back(c.runStart, c.sliceEnd);
+    return s;
+}
+
+void
+OsScheduler::setWarmupState(const WarmupState &s)
+{
+    assert(idle());
+    assert(s.coreTimes.size() == cores.size());
+    balanceRng.setState(s.balanceRng);
+    ctxSwitches = s.ctxSwitches;
+    migrations_ = s.migrations;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        // pendingEvent is pure bookkeeping (nothing ever cancels
+        // through it) and an idle core has no live slice event, so the
+        // restored core starts with none.
+        cores[i].pendingEvent = 0;
+        cores[i].runStart = s.coreTimes[i].first;
+        cores[i].sliceEnd = s.coreTimes[i].second;
+    }
+}
+
 } // namespace aitax::soc

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/random.h"
@@ -60,6 +61,28 @@ class OsScheduler
     /** Lifetime counters for tests and Fig 6 annotations. */
     std::int64_t contextSwitches() const { return ctxSwitches; }
     std::int64_t migrations() const { return migrations_; }
+
+    /** True when nothing is running or queued. */
+    bool idle() const { return runningCount() == 0 && runQueue.empty(); }
+
+    /**
+     * Scheduler state carried across a warm-up prefix snapshot: the
+     * load-balance RNG position (its draw sequence must continue where
+     * the warm-up left off), the lifetime counters, and per-core
+     * run/slice bookkeeping. Only valid while idle() — running tasks
+     * and pending slice events are not snapshotable.
+     */
+    struct WarmupState
+    {
+        sim::RandomStream::State balanceRng{};
+        std::int64_t ctxSwitches = 0;
+        std::int64_t migrations = 0;
+        /** Per-core (runStart, sliceEnd) pairs. */
+        std::vector<std::pair<sim::TimeNs, sim::TimeNs>> coreTimes;
+    };
+
+    WarmupState warmupState() const;
+    void setWarmupState(const WarmupState &s);
 
   private:
     struct Core

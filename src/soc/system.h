@@ -32,10 +32,36 @@ namespace aitax::soc {
  * Owns every hardware model; experiments construct a SocSystem per
  * run, submit tasks, then drive the simulator to quiescence.
  */
+/**
+ * Post-warm-up state of a quiescent SocSystem, for warm-up prefix
+ * memoization. Scenarios sharing a (chipset, model, delegate, ...)
+ * prefix capture this once and restore it onto fresh systems instead
+ * of re-simulating the warm-up. Event seqs are stored relative to the
+ * pre-warm-up seq watermark so a restored run whose fault plan
+ * reserved a different number of emergency seqs still numbers — and
+ * therefore pops — its post-warm-up events identically to a run that
+ * executed the warm-up itself. Not copyable (it embeds a full Tracer);
+ * shared across threads behind a shared_ptr<const WarmupSnapshot>.
+ */
+struct WarmupSnapshot
+{
+    sim::TimeNs endTimeNs = 0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t relNextSeq = 0;
+    std::uint64_t relLastPoppedSeq = 0;
+    sim::TimeNs lastPoppedWhen = 0;
+    OsScheduler::WarmupState sched;
+    ThermalModel::State thermal;
+    DvfsGovernor::State dvfs;
+    EnergyMeter::State energy{};
+    trace::Tracer tracer;
+};
+
 class SocSystem
 {
   public:
-    explicit SocSystem(SocConfig cfg, std::uint64_t seed = 1);
+    explicit SocSystem(SocConfig cfg, std::uint64_t seed = 1,
+                       sim::EngineMode engine = sim::EngineMode::Fast);
 
     SocSystem(const SocSystem &) = delete;
     SocSystem &operator=(const SocSystem &) = delete;
@@ -69,6 +95,29 @@ class SocSystem
 
     /** Run the simulation until all events drain; returns end time. */
     sim::TimeNs run() { return sim_.run(); }
+
+    /**
+     * Capture post-warm-up state into @p out for prefix memoization.
+     *
+     * @param seq_base the queue's seq watermark recorded before any
+     *        warm-up work was scheduled (i.e. right after armFaults);
+     *        snapshot seqs are stored relative to it.
+     * @return false when the current state is not memoizable — a task
+     *         still running or queued, an active fabric client, a
+     *         thermal emergency already fired, or pending events other
+     *         than the fault plan's unfired emergencies. Callers then
+     *         simply keep the non-memoized path; refusing capture is
+     *         never incorrect.
+     */
+    bool captureWarmup(WarmupSnapshot &out, std::uint64_t seq_base);
+
+    /**
+     * Re-apply a captured snapshot to this freshly constructed system
+     * (construct, armFaults if faulted, then restore — nothing else
+     * may have been scheduled). Only valid when every emergency in
+     * this run's fault plan fires after snap.endTimeNs.
+     */
+    void restoreWarmup(const WarmupSnapshot &snap);
 
   private:
     SocConfig cfg;

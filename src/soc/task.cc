@@ -24,7 +24,7 @@ Task::sleep(sim::DurationNs duration)
 }
 
 Task &
-Task::marker(std::function<void(sim::TimeNs)> fn)
+Task::marker(TimeFn fn)
 {
     steps.push_back(MarkerStep{std::move(fn)});
     return *this;
@@ -39,7 +39,7 @@ Task::block(
 }
 
 void
-Task::setOnComplete(std::function<void(sim::TimeNs)> fn)
+Task::setOnComplete(TimeFn fn)
 {
     onComplete = std::move(fn);
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <variant>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 #include "sim/work.h"
 #include "soc/soc_config.h"
@@ -42,10 +43,13 @@ struct SleepStep
     sim::DurationNs duration = 0;
 };
 
+/** Timestamped callback for markers and task completion. */
+using TimeFn = sim::InlineFunction<void(sim::TimeNs)>;
+
 /** Instantaneous timestamp callback (stage boundaries). */
 struct MarkerStep
 {
-    std::function<void(sim::TimeNs)> fn;
+    TimeFn fn;
 };
 
 /**
@@ -103,12 +107,12 @@ class Task
 
     Task &compute(sim::Work work, WorkClass cls);
     Task &sleep(sim::DurationNs duration);
-    Task &marker(std::function<void(sim::TimeNs)> fn);
+    Task &marker(TimeFn fn);
     Task &block(
         std::function<void(Task &, std::function<void()> resume)> start);
 
     /** Called (with completion time) when the last step finishes. */
-    void setOnComplete(std::function<void(sim::TimeNs)> fn);
+    void setOnComplete(TimeFn fn);
 
     // --- Scheduler interface -----------------------------------------
 
@@ -131,7 +135,7 @@ class Task
     TaskState state_ = TaskState::Created;
     int lastCore_ = -1;
     std::deque<TaskStep> steps;
-    std::function<void(sim::TimeNs)> onComplete;
+    TimeFn onComplete;
 };
 
 } // namespace aitax::soc

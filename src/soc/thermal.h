@@ -48,6 +48,28 @@ class ThermalModel
     /** Reset to cold. */
     void reset();
 
+    /**
+     * Raw model state for warm-up prefix snapshots. The enabled flag
+     * is part of the state because triggerEmergency() force-enables a
+     * disabled model — it is mutable at runtime, not pure config.
+     */
+    struct State
+    {
+        bool enabled = false;
+        double heat = 0.0;
+        sim::TimeNs lastUpdate = 0;
+    };
+
+    State state() const { return {cfg.enabled, heat, lastUpdate}; }
+
+    void
+    setState(const State &s)
+    {
+        cfg.enabled = s.enabled;
+        heat = s.heat;
+        lastUpdate = s.lastUpdate;
+    }
+
   private:
     ThermalConfig cfg;
     sim::Simulator &sim;

@@ -1,0 +1,75 @@
+#include "sweep/snapshot_cache.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace aitax::sweep {
+
+namespace {
+
+struct CacheState
+{
+    std::mutex mu;
+    // std::map, not unordered: iteration order never reaches outputs
+    // today, but a deterministic container costs nothing and keeps the
+    // aitax-lint unordered-container rule trivially satisfied.
+    std::map<std::string, std::shared_ptr<const void>> entries;
+    SnapshotCacheStats stats;
+};
+
+CacheState &
+cache()
+{
+    static CacheState state;
+    return state;
+}
+
+} // namespace
+
+std::shared_ptr<const void>
+snapshotCacheLookup(const std::string &key)
+{
+    CacheState &c = cache();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    const auto it = c.entries.find(key);
+    if (it == c.entries.end()) {
+        ++c.stats.misses;
+        return nullptr;
+    }
+    ++c.stats.hits;
+    return it->second;
+}
+
+std::shared_ptr<const void>
+snapshotCacheStore(const std::string &key,
+                   std::shared_ptr<const void> value)
+{
+    CacheState &c = cache();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    const auto [it, inserted] = c.entries.emplace(key, std::move(value));
+    if (inserted)
+        ++c.stats.stores;
+    else
+        ++c.stats.raceDiscards;
+    return it->second;
+}
+
+SnapshotCacheStats
+snapshotCacheStatsNow()
+{
+    CacheState &c = cache();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    return c.stats;
+}
+
+void
+snapshotCacheClearForTest()
+{
+    CacheState &c = cache();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    c.entries.clear();
+    c.stats = SnapshotCacheStats{};
+}
+
+} // namespace aitax::sweep

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Process-wide memo cache for warm-up prefix snapshots.
+ *
+ * Sweep scenarios that share a (chipset, model, delegate, ...) prefix
+ * re-simulate an identical warm-up before diverging; this cache lets
+ * the first run of each prefix publish its post-warm-up state so every
+ * later run skips straight to the divergent part. It follows the
+ * keying discipline of models::cachedGraph (PR 2): a canonical string
+ * key derived from every input that can influence the memoized value.
+ *
+ * The cache lives below the soc layer (aitax_sweep links only
+ * Threads), so values are type-erased shared_ptr<const void>; the
+ * typed snapshot struct and its capture/restore logic stay in
+ * soc::SocSystem, and the verify layer glues the two together.
+ *
+ * Concurrency model: lookup/store take a mutex; store is first-wins
+ * and returns the published value, so racing workers that both built a
+ * snapshot converge on one canonical copy. Nothing ever blocks waiting
+ * for another worker to finish building — a duplicate warm-up is
+ * cheaper than a cross-thread dependency, and determinism never
+ * depends on who wins (any correctly captured snapshot replays
+ * byte-identically).
+ */
+
+#ifndef AITAX_SWEEP_SNAPSHOT_CACHE_H
+#define AITAX_SWEEP_SNAPSHOT_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace aitax::sweep {
+
+/** Cumulative cache statistics (diagnostics and tests). */
+struct SnapshotCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    /** Stores that lost a first-wins race to another worker. */
+    std::uint64_t raceDiscards = 0;
+};
+
+/**
+ * Look up the snapshot published under @p key.
+ * @return the value, or nullptr on miss. Counts a hit or miss.
+ */
+std::shared_ptr<const void> snapshotCacheLookup(const std::string &key);
+
+/**
+ * Publish @p value under @p key (first wins).
+ * @return the canonical value for @p key — @p value if this call won,
+ *         the earlier winner otherwise.
+ */
+std::shared_ptr<const void>
+snapshotCacheStore(const std::string &key,
+                   std::shared_ptr<const void> value);
+
+/** Current statistics snapshot. */
+SnapshotCacheStats snapshotCacheStatsNow();
+
+/** Drop all entries and zero the stats (tests only). */
+void snapshotCacheClearForTest();
+
+} // namespace aitax::sweep
+
+#endif // AITAX_SWEEP_SNAPSHOT_CACHE_H

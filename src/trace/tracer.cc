@@ -106,6 +106,26 @@ Tracer::clear()
     }
 }
 
+void
+Tracer::cloneFrom(const Tracer &src)
+{
+    AITAX_AUDIT_OWNER(owner_, "Tracer");
+    enabled = src.enabled;
+    tracks_ = src.tracks_;
+    trackNames_ = src.trackNames_;
+    tracksByName_ = src.tracksByName_;
+    trackIds_ = src.trackIds_;
+    labelNames_ = src.labelNames_;
+    labelIds_ = src.labelIds_;
+    events_ = src.events_;
+    kindNames_ = src.kindNames_;
+    kindCounts_ = src.kindCounts_;
+    kindIds_ = src.kindIds_;
+    counters_ = src.counters_;
+    counterNames_ = src.counterNames_;
+    counterIds_ = src.counterIds_;
+}
+
 std::vector<TrackId>
 Tracer::sortedNonEmptyTracks() const
 {

@@ -188,6 +188,17 @@ class Tracer
     void clear();
 
     /**
+     * Replace this tracer's entire contents — interner tables, ids
+     * and recorded data — with a copy of @p src, so recording resumes
+     * exactly where @p src left off. Used by warm-up prefix snapshots:
+     * a restored run's trace must be byte-identical to one that
+     * executed the warm-up itself, which requires identical intern id
+     * assignment, not just identical events. Thread ownership is NOT
+     * copied; this tracer stays bound to its own thread.
+     */
+    void cloneFrom(const Tracer &src);
+
+    /**
      * Release thread ownership (audited builds): the next audited
      * record/intern rebinds the tracer to its new owning thread. Only
      * for deliberate handoffs between construction and use.

@@ -325,15 +325,21 @@ checkDegradedAccounting(const core::TaxReport &r, bool faulted)
 InvariantReport
 verifyScenario(const Scenario &s)
 {
+    return verifyScenario(s, sim::EngineMode::Fast);
+}
+
+InvariantReport
+verifyScenario(const Scenario &s, sim::EngineMode engine)
+{
     InvariantReport report;
 
-    const ScenarioResult base = runScenario(s);
+    const ScenarioResult base = runScenario(s, engine);
     report.add(checkStageSanity(base.report));
     report.add(checkTaxFraction(base.report));
 
     // I3: identical seed, identical trace. Holds with faults armed
     // too — the fault schedule is part of the seeded state.
-    const ScenarioResult rerun = runScenario(s);
+    const ScenarioResult rerun = runScenario(s, engine);
     report.add(
         checkTraceDeterminism(base.chromeTraceJson, rerun.chromeTraceJson));
 
@@ -347,13 +353,13 @@ verifyScenario(const Scenario &s)
         if (has_load) {
             contrast.dspLoadProcesses = 0;
             contrast.cpuLoadProcesses = 0;
-            const ScenarioResult unloaded = runScenario(contrast);
+            const ScenarioResult unloaded = runScenario(contrast, engine);
             report.add(
                 checkBackgroundMonotonic(unloaded.report, base.report));
         } else {
             contrast.dspLoadProcesses = 2;
             contrast.cpuLoadProcesses = 1;
-            const ScenarioResult loaded = runScenario(contrast);
+            const ScenarioResult loaded = runScenario(contrast, engine);
             report.add(
                 checkBackgroundMonotonic(base.report, loaded.report));
         }

@@ -149,6 +149,13 @@ CheckResult checkDegradedAccounting(const core::TaxReport &r,
  */
 InvariantReport verifyScenario(const Scenario &s);
 
+/**
+ * Same checks, pinned to one simulation engine. `aitax_cli verify
+ * --engine reference` uses this to diff a suspect fast-path replay
+ * against the reference event loop (see docs/PERFORMANCE.md).
+ */
+InvariantReport verifyScenario(const Scenario &s, sim::EngineMode engine);
+
 } // namespace aitax::verify
 
 #endif // AITAX_VERIFY_INVARIANTS_H

@@ -6,6 +6,7 @@
 
 #include "app/background_load.h"
 #include "soc/chipsets.h"
+#include "sweep/snapshot_cache.h"
 #include "trace/chrome_trace.h"
 
 namespace aitax::verify {
@@ -145,23 +146,141 @@ replayCommand(std::uint64_t master_seed, int index)
     return os.str();
 }
 
-ScenarioResult
-runScenario(const Scenario &s)
+SnapshotUse
+classifySnapshotUse(const Scenario &s)
 {
-    assert(scenarioValid(s));
-    soc::SocSystem sys(soc::platformByName(s.socName), s.seed);
-    // Arm faults before any component forks the system RNG, so the
-    // fault schedule is a pure function of (platform, seed).
-    if (s.faults)
-        sys.armFaults(faults::FaultConfig::fuzzDefaults());
+    if (s.mode != app::HarnessMode::CliBenchmark)
+        return SnapshotUse::IneligibleMode;
+    if (s.streaming)
+        return SnapshotUse::IneligibleStreaming;
+    if (s.dspLoadProcesses > 0 || s.cpuLoadProcesses > 0)
+        return SnapshotUse::IneligibleBackground;
+    return SnapshotUse::Eligible;
+}
 
+std::string
+snapshotKey(const Scenario &s)
+{
+    std::ostringstream os;
+    os << "warmup-v1|soc=" << s.socName << "|model=" << s.modelId
+       << "|dtype=" << tensor::dtypeName(s.dtype)
+       << "|fw=" << app::frameworkName(s.framework)
+       << "|mode=" << app::harnessModeName(s.mode)
+       << "|stream=" << (s.streaming ? 1 : 0)
+       << "|dspload=" << s.dspLoadProcesses
+       << "|cpuload=" << s.cpuLoadProcesses
+       << "|faults=" << (s.faults ? 1 : 0);
+    return os.str();
+}
+
+namespace {
+
+app::PipelineConfig
+pipelineConfigFor(const Scenario &s)
+{
     app::PipelineConfig cfg;
     cfg.model = models::findModel(s.modelId);
     cfg.dtype = s.dtype;
     cfg.framework = s.framework;
     cfg.mode = s.mode;
     cfg.streamingCapture = s.streaming;
-    app::Application application(sys, cfg);
+    return cfg;
+}
+
+/** Everything after quiescence: witnesses, meters, the trace. */
+void
+collectResult(soc::SocSystem &sys, app::Application &application,
+              ScenarioResult &out)
+{
+    out.rpcLog = application.rpcLog();
+    out.frameLog = application.frameLog();
+    if (sys.faults() != nullptr)
+        out.faultStats = sys.faults()->stats();
+    out.energyMj = sys.energy().totalMj();
+    out.thermalSpeedFactor = sys.thermal().speedFactor();
+    std::ostringstream trace;
+    trace::writeChromeTrace(trace, sys.tracer());
+    out.chromeTraceJson = trace.str();
+}
+
+/**
+ * True when @p snap can stand in for this system's own warm-up: every
+ * thermal emergency in the armed plan must fire strictly after the
+ * snapshot time, otherwise the emergency would have altered (or
+ * interleaved with) the warm-up this run is about to skip.
+ */
+bool
+snapshotUsable(const faults::FaultInjector *inj,
+               const soc::WarmupSnapshot &snap)
+{
+    if (inj == nullptr)
+        return true;
+    for (sim::TimeNs when : inj->plan().thermalEmergencyAtNs)
+        if (when <= snap.endTimeNs)
+            return false;
+    return true;
+}
+
+/**
+ * Fast-engine path for snapshot-eligible scenarios: restore a cached
+ * post-warm-up state when one exists and fits this run's fault plan,
+ * otherwise execute the warm-up via the split schedule API and publish
+ * the capture. Falls back to executing the warm-up (never to wrong
+ * results) whenever capture or reuse is not possible.
+ */
+ScenarioResult
+runScenarioMemoized(const Scenario &s)
+{
+    const std::string key = snapshotKey(s);
+    auto cached = std::static_pointer_cast<const soc::WarmupSnapshot>(
+        sweep::snapshotCacheLookup(key));
+
+    soc::SocSystem sys(soc::platformByName(s.socName), s.seed,
+                       sim::EngineMode::Fast);
+    if (s.faults)
+        sys.armFaults(faults::FaultConfig::fuzzDefaults());
+    // Seq watermark after fault arming, before any warm-up work: the
+    // base that snapshot seqs are stored (and restored) relative to.
+    const std::uint64_t seq_base = sys.simulator().seqWatermark();
+    app::Application application(sys, pipelineConfigFor(s));
+
+    ScenarioResult out;
+    if (cached && snapshotUsable(sys.faults(), *cached)) {
+        sys.restoreWarmup(*cached);
+        application.adoptRestoredWarmup();
+    } else {
+        application.scheduleWarmup(s.runs, out.report);
+        sys.simulator().runUntilCondition(
+            [&application] { return application.warmupComplete(); });
+        if (!cached) {
+            auto snap = std::make_shared<soc::WarmupSnapshot>();
+            if (sys.captureWarmup(*snap, seq_base))
+                sweep::snapshotCacheStore(key, std::move(snap));
+        }
+    }
+    application.scheduleFramesAfterWarmup(s.runs, out.report);
+    out.endTimeNs = sys.run();
+    collectResult(sys, application, out);
+    return out;
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const Scenario &s, sim::EngineMode engine)
+{
+    assert(scenarioValid(s));
+    if (engine == sim::EngineMode::Fast &&
+        classifySnapshotUse(s) == SnapshotUse::Eligible)
+        return runScenarioMemoized(s);
+
+    soc::SocSystem sys(soc::platformByName(s.socName), s.seed, engine);
+    // Arm faults before any component forks the system RNG, so the
+    // fault schedule is a pure function of (platform, seed).
+    if (s.faults)
+        sys.armFaults(faults::FaultConfig::fuzzDefaults());
+
+    app::Application application(sys, pipelineConfigFor(s));
 
     std::vector<std::unique_ptr<app::BackgroundInferenceLoop>> loops;
     auto add_loops = [&](int count, app::FrameworkKind fw, int base_pid) {
@@ -186,19 +305,16 @@ runScenario(const Scenario &s)
     });
     out.endTimeNs = sys.run();
 
-    out.rpcLog = application.rpcLog();
-    out.frameLog = application.frameLog();
-    if (sys.faults() != nullptr)
-        out.faultStats = sys.faults()->stats();
-    out.energyMj = sys.energy().totalMj();
-    out.thermalSpeedFactor = sys.thermal().speedFactor();
+    collectResult(sys, application, out);
     for (const auto &loop : loops)
         out.backgroundInferences += loop->completedInferences();
-
-    std::ostringstream trace;
-    trace::writeChromeTrace(trace, sys.tracer());
-    out.chromeTraceJson = trace.str();
     return out;
+}
+
+ScenarioResult
+runScenario(const Scenario &s)
+{
+    return runScenario(s, sim::EngineMode::Fast);
 }
 
 } // namespace aitax::verify

@@ -101,10 +101,47 @@ struct ScenarioResult
 };
 
 /**
+ * Whether a scenario may use the warm-up prefix snapshot cache, and if
+ * not, why. Only quiet CLI-benchmark runs qualify: interference and
+ * background load interleave with the warm-up, and streaming capture
+ * is excluded conservatively. Faulted runs stay eligible — the fault
+ * flag is part of the cache key, and a snapshot is only applied when
+ * every emergency in the run's own plan fires after the snapshot.
+ */
+enum class SnapshotUse
+{
+    Eligible,
+    IneligibleMode,       ///< harness mode schedules interference
+    IneligibleStreaming,  ///< streaming capture requested
+    IneligibleBackground, ///< DSP/CPU background load processes
+};
+
+SnapshotUse classifySnapshotUse(const Scenario &s);
+
+/**
+ * Canonical warm-up snapshot cache key (keying discipline of
+ * models::cachedGraph): every scenario field that can influence the
+ * post-warm-up state is in the key. The seed and run count are
+ * deliberately absent — the warm-up prefix is seed-independent (only
+ * the fixed-seed load-balance RNG draws before the first frame) and
+ * run-count-independent (init work does not depend on n) — which is
+ * exactly what makes the cache pay off across a fuzz corpus.
+ */
+std::string snapshotKey(const Scenario &s);
+
+/**
  * Execute one scenario: build the platform, run the pipeline with any
  * configured background load, and collect the report plus witnesses.
+ * Runs the Fast engine with warm-up memoization where eligible.
  */
 ScenarioResult runScenario(const Scenario &s);
+
+/**
+ * Engine-explicit variant, the differential-test hook: Reference runs
+ * the heap-only loop with no memoization; Fast runs the skip-ahead
+ * engine with the snapshot cache. Both produce byte-identical results.
+ */
+ScenarioResult runScenario(const Scenario &s, sim::EngineMode engine);
 
 } // namespace aitax::verify
 

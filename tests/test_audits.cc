@@ -14,12 +14,14 @@
 #include <gtest/gtest.h>
 
 #include "sim/audit.h"
+#include "sim/engine_mode.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "trace/tracer.h"
 
 namespace {
 
+using aitax::sim::EngineMode;
 using aitax::sim::EventQueue;
 using aitax::sim::OwnershipSentinel;
 using aitax::sim::setAuditHandler;
@@ -100,6 +102,47 @@ TEST(TieAuditor, FiresOnBackwardsSeqAcrossTimestamps)
     q.schedule(5, [] {});
     q.popAndRun(); // (5, seq 0) again -> strictly-increasing violated
     ASSERT_FALSE(g_violations.empty());
+}
+
+TEST(TieAuditor, FiresOnSeqCollisionScheduledDuringDispatch)
+{
+    // Fast engine: events scheduled inside a callback land in the
+    // per-dispatch batch buffer, not the heap. The auditor runs at pop
+    // time, after the buffer flushes — a forged collision must not
+    // hide behind the batching.
+    AuditRecorder rec;
+    EventQueue q(EngineMode::Fast);
+    q.schedule(5, [&q] {
+        q.debugSetNextSeq(0);
+        q.schedule(5, [] {}); // batched (5, seq 0) duplicate
+    });
+    q.popAndRun(); // (5, seq 0), legitimate
+    EXPECT_TRUE(g_violations.empty());
+    q.popAndRun(); // flushed duplicate (5, seq 0) -> must fire
+    ASSERT_EQ(g_violations.size(), 1U);
+    EXPECT_NE(g_violations[0].find("tie"), std::string::npos);
+}
+
+TEST(TieAuditor, TracksStateAcrossSkipAheadTimeJumps)
+{
+    // Fast engine: with a near-empty queue, pops are served from the
+    // one-slot front cache and the clock jumps straight between
+    // far-apart events without touching the heap. The audit watermark
+    // must ride along — a later event forged into the past has to
+    // fire even though no heap ordering was ever consulted.
+    AuditRecorder rec;
+    EventQueue q(EngineMode::Fast);
+    q.schedule(10, [] {});
+    q.schedule(1000000000, [] {}); // ~1s skip-ahead jump
+    q.popAndRun();
+    q.popAndRun();
+    EXPECT_TRUE(g_violations.empty());
+    EXPECT_GT(q.frontCacheHits(), 0U);
+    q.debugSetNextSeq(0);
+    q.schedule(10, [] {}); // in the past relative to the last pop
+    q.popAndRun();
+    ASSERT_EQ(g_violations.size(), 1U);
+    EXPECT_NE(g_violations[0].find("tie"), std::string::npos);
 }
 
 // --- OwnershipSentinel primitive ---------------------------------------

@@ -34,6 +34,11 @@
  *                            cores; output is identical to --jobs 1)
  *     --faults               arm FaultConfig::fuzzDefaults() on every
  *                            fuzz scenario (goldens still run clean)
+ *     --engine fast|reference
+ *                            pin the simulation engine (default fast).
+ *                            Replaying a suspect scenario under both
+ *                            engines diffs the fast path against the
+ *                            reference loop (docs/PERFORMANCE.md)
  */
 
 #include <cstdio>
@@ -91,13 +96,14 @@ verifyUsage()
     std::fprintf(stderr,
                  "usage: aitax_cli verify [--update] [--golden-dir DIR] "
                  "[--fuzz N] [--replay INDEX] [--seed N] [--jobs N] "
-                 "[--faults]\n");
+                 "[--faults] [--engine fast|reference]\n");
     std::exit(2);
 }
 
 /** Golden pass: compare (or rewrite) every committed snapshot. */
 int
-runGoldenPass(const std::string &golden_dir, bool update, int jobs)
+runGoldenPass(const std::string &golden_dir, bool update, int jobs,
+              sim::EngineMode engine)
 {
     const auto &scenarios = verify::goldenScenarios();
 
@@ -107,8 +113,8 @@ runGoldenPass(const std::string &golden_dir, bool update, int jobs)
     sweep::SweepRunner runner(jobs);
     const auto snapshots = runner.map<verify::GoldenSnapshot>(
         scenarios.size(), [&](std::size_t i) {
-            return verify::snapshot(scenarios[i],
-                                    verify::runScenario(scenarios[i]));
+            return verify::snapshot(
+                scenarios[i], verify::runScenario(scenarios[i], engine));
         });
 
     int failures = 0;
@@ -157,7 +163,7 @@ runGoldenPass(const std::string &golden_dir, bool update, int jobs)
 /** Fuzz pass: invariant-check seeded random scenarios. */
 int
 runFuzzPass(std::uint64_t master_seed, int count, int replay_index,
-            int jobs, bool fault_fuzz)
+            int jobs, bool fault_fuzz, sim::EngineMode engine)
 {
     const int begin = replay_index >= 0 ? replay_index : 0;
     const int end = replay_index >= 0 ? replay_index + 1 : count;
@@ -176,7 +182,7 @@ runFuzzPass(std::uint64_t master_seed, int count, int replay_index,
         // Orthogonal axis: the same corpus, fault-injected. Replay of
         // a --faults failure needs --faults on the replay too.
         out.scenario.faults = fault_fuzz;
-        out.report = verify::verifyScenario(out.scenario);
+        out.report = verify::verifyScenario(out.scenario, engine);
         return out;
     });
 
@@ -213,6 +219,7 @@ verifyMain(int argc, char **argv)
     std::uint64_t master_seed = 2021;
     int jobs = 0; // 0: default via sweep::effectiveJobs
     bool fault_fuzz = false;
+    sim::EngineMode engine = sim::EngineMode::Fast;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -235,7 +242,15 @@ verifyMain(int argc, char **argv)
             jobs = std::atoi(next());
         else if (arg == "--faults")
             fault_fuzz = true;
-        else
+        else if (arg == "--engine") {
+            const std::string which = next();
+            if (which == "fast")
+                engine = sim::EngineMode::Fast;
+            else if (which == "reference")
+                engine = sim::EngineMode::Reference;
+            else
+                verifyUsage();
+        } else
             verifyUsage();
     }
     if (fuzz_count < 0 || (replay_index >= 0 && update))
@@ -243,10 +258,10 @@ verifyMain(int argc, char **argv)
 
     int failures = 0;
     if (replay_index < 0)
-        failures += runGoldenPass(golden_dir, update, jobs);
+        failures += runGoldenPass(golden_dir, update, jobs, engine);
     if (!update)
         failures += runFuzzPass(master_seed, fuzz_count, replay_index,
-                                jobs, fault_fuzz);
+                                jobs, fault_fuzz, engine);
 
     if (failures > 0) {
         std::fprintf(stderr, "\nverify: %d failure(s)\n", failures);
