@@ -15,16 +15,20 @@
 #ifndef AITAX_BENCH_BENCH_COMMON_H
 #define AITAX_BENCH_BENCH_COMMON_H
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "app/pipeline.h"
 #include "core/analyzer.h"
+#include "sim/arena.h"
 #include "soc/chipsets.h"
 #include "stats/table.h"
+#include "sweep/snapshot_cache.h"
 #include "sweep/sweep_runner.h"
 
 namespace aitax::bench {
@@ -43,6 +47,8 @@ struct RunSpec
     int threads = 4;
     std::uint64_t seed = 7;
     bool instrumentation = false;
+    /** Streaming (buffered) camera capture instead of on-demand. */
+    bool streaming = false;
     /** SoC preset; default is the paper's primary platform. */
     std::string soc = "Snapdragon 845";
 };
@@ -72,25 +78,120 @@ resolveSpec(const RunSpec &spec)
     r.cfg.mode = spec.mode;
     r.cfg.threads = spec.threads;
     r.cfg.instrumentationEnabled = spec.instrumentation;
+    r.cfg.streamingCapture = spec.streaming;
     return r;
 }
 
+/** The calling thread's bench arena (mirrors verify::scenarioArena). */
+inline sim::Arena &
+benchArena()
+{
+    static thread_local sim::Arena arena;
+    return arena;
+}
+
+/** Per-run observability counters reported by runResolved. */
+struct RunMetrics
+{
+    /** Simulation events executed (the events/sec denominator). */
+    std::uint64_t events = 0;
+    /** Fast-engine front-cache hits (0 under Reference). */
+    std::uint64_t frontCacheHits = 0;
+    /** Wall seconds spent constructing the system + application. */
+    double setupSeconds = 0.0;
+};
+
 /**
- * Execute one resolved configuration on a fresh simulated SoC with an
- * explicit engine; optionally reports the number of simulation events
- * executed (the events/sec denominator in BENCH_sweep.json).
+ * Warm-up snapshot cache key for a bench spec: every field that can
+ * influence the post-warm-up state, in the keying discipline of
+ * verify::snapshotKey. Seed and run count are deliberately absent —
+ * the warm-up prefix is independent of both. The "bench-" prefix keeps
+ * these entries disjoint from the verify tier's.
+ */
+inline std::string
+benchWarmupKey(const ResolvedSpec &r)
+{
+    return std::string("bench-warmup-v1|soc=") + r.spec->soc +
+           "|model=" + r.spec->model +
+           "|dtype=" + std::string(tensor::dtypeName(r.cfg.dtype)) +
+           "|fw=" + std::string(app::frameworkName(r.cfg.framework)) +
+           "|mode=" + std::string(app::harnessModeName(r.cfg.mode)) +
+           "|threads=" + std::to_string(r.cfg.threads) +
+           "|instr=" + (r.cfg.instrumentationEnabled ? "1" : "0") +
+           "|stream=" + (r.cfg.streamingCapture ? "1" : "0");
+}
+
+/**
+ * Execute one resolved configuration with an explicit engine. All run
+ * state is bump-allocated from the thread's arena and recycled when
+ * the run ends. Fast-engine CLI-benchmark runs memoize their warm-up
+ * prefix through the process-wide snapshot cache, exactly like
+ * verify::runScenario — the differential tier proves the replay is
+ * byte-identical, and restoreWarmup re-establishes the executed-event
+ * count, so Fast and Reference event totals stay comparable.
+ */
+inline core::TaxReport
+runResolved(const ResolvedSpec &resolved, sim::EngineMode engine,
+            RunMetrics *metrics)
+{
+    sim::Arena &arena = benchArena();
+    sim::ArenaResetGuard guard(arena);
+    const auto setup_start = std::chrono::steady_clock::now();
+    soc::SocSystem &sys = *arena.create<soc::SocSystem>(
+        resolved.platform, resolved.spec->seed, engine, &arena);
+    const std::uint64_t seq_base = sys.simulator().seqWatermark();
+    app::Application &application =
+        *arena.create<app::Application>(sys, resolved.cfg);
+    if (metrics != nullptr)
+        metrics->setupSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - setup_start)
+                .count();
+
+    core::TaxReport report;
+    if (engine == sim::EngineMode::Fast &&
+        resolved.cfg.mode == app::HarnessMode::CliBenchmark) {
+        const std::string key = benchWarmupKey(resolved);
+        auto cached =
+            std::static_pointer_cast<const soc::WarmupSnapshot>(
+                sweep::snapshotCacheLookup(key));
+        if (cached != nullptr) {
+            sys.restoreWarmup(*cached);
+            application.adoptRestoredWarmup();
+        } else {
+            application.scheduleWarmup(resolved.spec->runs, report);
+            sys.simulator().runUntilCondition(
+                [&application] { return application.warmupComplete(); });
+            auto snap = std::make_shared<soc::WarmupSnapshot>();
+            if (sys.captureWarmup(*snap, seq_base))
+                sweep::snapshotCacheStore(key, std::move(snap));
+        }
+        application.scheduleFramesAfterWarmup(resolved.spec->runs,
+                                              report);
+    } else {
+        application.scheduleRuns(resolved.spec->runs, report);
+    }
+    sys.run();
+    if (metrics != nullptr) {
+        metrics->events = sys.simulator().eventsExecuted();
+        metrics->frontCacheHits = sys.simulator().frontCacheHits();
+    }
+    return report;
+}
+
+/**
+ * Engine-explicit variant that only reports the executed-event count
+ * (the pre-PR 7 signature, kept for harnesses that don't need the
+ * full RunMetrics).
  */
 inline core::TaxReport
 runResolved(const ResolvedSpec &resolved, sim::EngineMode engine,
             std::uint64_t *events_out = nullptr)
 {
-    soc::SocSystem sys(resolved.platform, resolved.spec->seed, engine);
-    app::Application application(sys, resolved.cfg);
-    core::TaxReport report;
-    application.scheduleRuns(resolved.spec->runs, report);
-    sys.run();
+    RunMetrics metrics;
+    core::TaxReport report = runResolved(resolved, engine, &metrics);
     if (events_out != nullptr)
-        *events_out = sys.simulator().eventsExecuted();
+        *events_out = metrics.events;
     return report;
 }
 

@@ -100,6 +100,10 @@ buildMatrix(int scenarios, int runs)
                            std::size(kModes)];
         spec.soc = kSocs[static_cast<std::size_t>(i / 3) %
                          std::size(kSocs)];
+        // Every fourth row uses streaming capture; where that lands on
+        // a CliBenchmark row it exercises the fork-stream snapshot
+        // path (warm-up memoized despite the post-warm-up divergence).
+        spec.streaming = (i % 4 == 0);
         spec.runs = runs;
         spec.seed = 1000 + static_cast<std::uint64_t>(i);
         specs.push_back(std::move(spec));
@@ -202,19 +206,25 @@ main(int argc, char **argv)
                 scenarios, runs, jobs);
 
     // --- serial pass, Fast engine (also collects per-scenario wall
-    // times and the events/sec denominator) --------------------------
+    // times, the events/sec denominator, setup time and the front-
+    // cache hit counter) ---------------------------------------------
+    sweep::snapshotCacheResetStats();
     std::vector<double> scenario_ms(specs.size());
     const auto serial_start = Clock::now();
     std::vector<core::TaxReport> serial_reports;
     serial_reports.reserve(specs.size());
     std::uint64_t total_events = 0;
+    std::uint64_t front_cache_hits = 0;
+    double setup_s = 0.0;
     for (std::size_t i = 0; i < resolved.size(); ++i) {
         const auto t0 = Clock::now();
-        std::uint64_t ev = 0;
+        bench::RunMetrics m;
         serial_reports.push_back(bench::runResolved(
-            resolved[i], sim::EngineMode::Fast, &ev));
+            resolved[i], sim::EngineMode::Fast, &m));
         scenario_ms[i] = secondsSince(t0) * 1e3;
-        total_events += ev;
+        total_events += m.events;
+        front_cache_hits += m.frontCacheHits;
+        setup_s += m.setupSeconds;
     }
     const double serial_s = secondsSince(serial_start);
 
@@ -302,10 +312,23 @@ main(int argc, char **argv)
                 "%.2fx)\n",
                 reference_s, events_per_sec(reference_s),
                 engine_speedup);
+    const double setup_fraction =
+        serial_s > 0.0 ? setup_s / serial_s : 0.0;
+    const sweep::SnapshotCacheStats cache_stats =
+        sweep::snapshotCacheStatsNow();
+
     std::printf("  determinism: serial/parallel checksums %s, "
                 "fast/reference engines %s\n",
                 checksum_match ? "match" : "MISMATCH",
                 engine_match ? "match" : "MISMATCH");
+    std::printf("  setup: %.1f%% of serial wall; front-cache hits "
+                "%llu; warm-up cache %llu hits / %llu misses / "
+                "%llu stores\n",
+                setup_fraction * 1e2,
+                static_cast<unsigned long long>(front_cache_hits),
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.misses),
+                static_cast<unsigned long long>(cache_stats.stores));
 
     // --- CI regression gate -----------------------------------------
     bool gate_ok = true;
@@ -333,6 +356,32 @@ main(int argc, char **argv)
                     "(floor %.2fx) -> %s\n",
                     engine_speedup, baseline, floor,
                     gate_ok ? "ok" : "REGRESSION");
+
+        // Warm-up memoization must actually engage: a matrix this
+        // size always repeats CLI-benchmark warm-up keys across the
+        // serial pass and the timed reps, so zero hits means the
+        // snapshot path silently stopped firing.
+        if (cache_stats.hits == 0) {
+            gate_ok = false;
+            std::printf("  gate: warm-up snapshot cache recorded zero "
+                        "hits -> REGRESSION\n");
+        }
+
+        // Setup-time regression (arena-backed construction): only
+        // enforced once the baseline records the metric. The ceiling
+        // is loose (2x + 2pp) because the fraction divides two small
+        // wall times and inherits both machines' noise.
+        const double setup_base =
+            baselineNumber(ss.str(), "setup_time_fraction");
+        if (setup_base >= 0.0) {
+            const double ceiling = setup_base * 2.0 + 0.02;
+            const bool setup_ok = setup_fraction <= ceiling;
+            std::printf("  gate: setup fraction %.3f vs baseline %.3f "
+                        "(ceiling %.3f) -> %s\n",
+                        setup_fraction, setup_base, ceiling,
+                        setup_ok ? "ok" : "REGRESSION");
+            gate_ok = gate_ok && setup_ok;
+        }
     }
 
     std::ofstream out(out_path);
@@ -370,6 +419,18 @@ main(int argc, char **argv)
     out << "    \"parallel\": " << buf << "\n  },\n";
     std::snprintf(buf, sizeof(buf), "%.3f", p50);
     out << "  \"p50_scenario_ms\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", setup_fraction);
+    out << "  \"setup_time_fraction\": " << buf << ",\n";
+    out << "  \"front_cache_hits\": " << front_cache_hits << ",\n";
+    // Warm-up snapshot cache counters across all passes (reset at the
+    // start of the serial pass): the serial pass stores, the timed
+    // reps hit.
+    out << "  \"snapshot_cache\": {\n"
+        << "    \"hits\": " << cache_stats.hits << ",\n"
+        << "    \"misses\": " << cache_stats.misses << ",\n"
+        << "    \"stores\": " << cache_stats.stores << ",\n"
+        << "    \"race_discards\": " << cache_stats.raceDiscards
+        << "\n  },\n";
     out << "  \"checksum_match\": "
         << (checksum_match ? "true" : "false") << ",\n";
     out << "  \"engine_checksum_match\": "

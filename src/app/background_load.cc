@@ -27,7 +27,8 @@ BackgroundInferenceLoop::next()
     if (stopped || sys.simulator().now() >= horizon_)
         return;
 
-    auto task = std::make_shared<soc::Task>(
+    auto task = soc::makeTask(
+        sys.arena(),
         "bg_" + cfg.model->id + "_p" + std::to_string(cfg.processId),
         /*background=*/true);
 

@@ -46,9 +46,17 @@ Application::Application(soc::SocSystem &sys, PipelineConfig cfg_in)
     streamPhaseNs = static_cast<sim::TimeNs>(rng.uniform(
         0.0, static_cast<double>(camera_.framePeriodNs())));
     if (prof.interference && !cfg.suppressInterference) {
-        interference = std::make_unique<soc::InterferenceGenerator>(
-            sys.simulator(), sys.scheduler(), prof.interferenceCfg,
-            rng.fork("interference"), &sys.tracer());
+        if (sys.arena() != nullptr) {
+            interference = sys.arena()->create<soc::InterferenceGenerator>(
+                sys.simulator(), sys.scheduler(), prof.interferenceCfg,
+                rng.fork("interference"), &sys.tracer(), sys.arena());
+        } else {
+            interferenceOwned_ =
+                std::make_unique<soc::InterferenceGenerator>(
+                    sys.simulator(), sys.scheduler(), prof.interferenceCfg,
+                    rng.fork("interference"), &sys.tracer());
+            interference = interferenceOwned_.get();
+        }
     }
     pipelineTaskName_ = cfg.model->id + "_pipeline";
     inferLabel_ = cfg.model->id + "_infer";
@@ -82,8 +90,7 @@ Application::appendCapture(Task &task, double noise)
             // streamPhaseNs + k*period; the app consumes the newest
             // one, waiting only if it outran the sensor.
             Application *self = this;
-            task.block([system, self](Task &,
-                                      std::function<void()> resume) {
+            task.block([system, self](Task &, soc::BlockResume resume) {
                 const auto period = self->camera_.framePeriodNs();
                 const sim::TimeNs now = system->simulator().now();
                 // Newest frame the sensor has delivered by `now`, or
@@ -123,8 +130,7 @@ Application::appendCapture(Task &task, double noise)
         // is paced by the sensor), then copy it out of the HAL buffer.
         const capture::CameraModel *cam = &camera_;
         auto *stream = &rng;
-        task.block([system, cam, stream](Task &,
-                                         std::function<void()> resume) {
+        task.block([system, cam, stream](Task &, soc::BlockResume resume) {
             const sim::DurationNs wait = cam->waitForFrameNs(
                 system->simulator().now(), *stream);
             system->simulator().scheduleIn(wait, resume);
@@ -227,8 +233,7 @@ Application::appendPreProcessing(Task &task, double noise)
         Application *self = this;
         task.block([system, self, job = std::move(job), pid, payload,
                     cpu_ops,
-                    cpu_bytes](Task &,
-                               std::function<void()> resume) mutable {
+                    cpu_bytes](Task &, soc::BlockResume resume) mutable {
             system->fastrpc().call(
                 pid, payload, std::move(job),
                 [system, self, cpu_ops, cpu_bytes,
@@ -249,7 +254,8 @@ Application::appendPreProcessing(Task &task, double noise)
                         faults->recordFallback(faults::ChainLink::Dsp,
                                                faults::ChainLink::Cpu,
                                                began);
-                    auto worker = std::make_shared<Task>(
+                    auto worker = soc::makeTask(
+                        system->arena(),
                         self->fastcvJobName_ + "_fallback_cpu");
                     worker->compute({cpu_ops, cpu_bytes},
                                     WorkClass::Scalar);
@@ -344,7 +350,7 @@ Application::scheduleInit(int n, core::TaxReport &report,
     }
 
     // Model/framework initialization runs first, as CPU work.
-    auto init = std::make_shared<Task>(cfg.model->id + "_init");
+    auto init = soc::makeTask(sys.arena(), cfg.model->id + "_init");
     init->compute(
         runtime::workForCpuNs(static_cast<double>(engine_.initNs())),
         WorkClass::Scalar);
@@ -391,9 +397,14 @@ Application::startFrame(
     int index, int total, core::TaxReport *report,
     std::shared_ptr<std::function<void(sim::TimeNs)>> on_done)
 {
-    auto task = std::make_shared<Task>(pipelineTaskName_);
+    auto task = soc::makeTask(sys.arena(), pipelineTaskName_);
     task->setTraceLabel(pipelineLabel_);
-    auto times = std::make_shared<std::array<sim::TimeNs, 5>>();
+    using TimesArray = std::array<sim::TimeNs, 5>;
+    auto times =
+        sys.arena() != nullptr
+            ? std::allocate_shared<TimesArray>(
+                  sim::ArenaAllocator<TimesArray>(sys.arena()))
+            : std::make_shared<TimesArray>();
     const std::size_t rpc_base = rpcLog_.size();
 
     const double noise =

@@ -145,7 +145,9 @@ class Application
     capture::CameraModel camera_;
     capture::RandomInputSource randomSource;
     std::vector<soc::FastRpcBreakdown> rpcLog_;
-    std::unique_ptr<soc::InterferenceGenerator> interference;
+    /** Mode's interference source; arena-resident when sys has one. */
+    soc::InterferenceGenerator *interference = nullptr;
+    std::unique_ptr<soc::InterferenceGenerator> interferenceOwned_;
     sim::RandomStream rng;
     /** Per-frame names/labels built once instead of per startFrame. */
     std::string pipelineTaskName_;

@@ -9,6 +9,7 @@ namespace aitax::runtime {
 
 using drivers::Target;
 using soc::AccelJob;
+using soc::BlockResume;
 using soc::Task;
 using soc::WorkClass;
 
@@ -47,8 +48,7 @@ void
 runDegradedFallback(soc::SocSystem *system, double ops, double bytes,
                     tensor::DType format, WorkClass cls,
                     const std::string &label,
-                    sim::DurationNs *degraded_ns,
-                    std::function<void()> resume)
+                    sim::DurationNs *degraded_ns, BlockResume resume)
 {
     const sim::TimeNs began = system->simulator().now();
     faults::FaultInjector *faults = system->faults();
@@ -83,7 +83,7 @@ runDegradedFallback(soc::SocSystem *system, double ops, double bytes,
             faults->recordFallback(faults::ChainLink::Dsp,
                                    faults::ChainLink::Cpu, began);
         auto worker =
-            std::make_shared<Task>(label + "_fallback_cpu");
+            soc::makeTask(system->arena(), label + "_fallback_cpu");
         worker->compute({ops, bytes}, cls);
         worker->setOnComplete(
             [account](sim::TimeNs) { account(); });
@@ -158,10 +158,11 @@ appendPlanExecution(soc::SocSystem &sys, Task &task,
             const bool background = opts.background;
             task.block([system, threads, per_thread_ops,
                         per_thread_bytes, cls, label, background](
-                           Task &, std::function<void()> resume) {
+                           Task &, BlockResume resume) {
                 auto remaining = std::make_shared<int>(threads);
                 for (int t = 0; t < threads; ++t) {
-                    auto worker = std::make_shared<Task>(
+                    auto worker = soc::makeTask(
+                        system->arena(),
                         label + "_w" + std::to_string(t), background);
                     worker->compute({per_thread_ops, per_thread_bytes},
                                     cls);
@@ -190,7 +191,7 @@ appendPlanExecution(soc::SocSystem &sys, Task &task,
             job.bytes = part.bytes;
             job.format = accelFormatFor(plan.dtype, *part.driver);
             task.block([system, job = std::move(job)](
-                           Task &, std::function<void()> resume) mutable {
+                           Task &, BlockResume resume) mutable {
                 job.onDone = [resume](const soc::AccelCompletion &) {
                     resume();
                 };
@@ -213,8 +214,7 @@ appendPlanExecution(soc::SocSystem &sys, Task &task,
                 // invocation is a direct enqueue — no kernel round
                 // trip, no coherency flush, no session.
                 task.block([system, job = std::move(job)](
-                               Task &,
-                               std::function<void()> resume) mutable {
+                               Task &, BlockResume resume) mutable {
                     job.onDone =
                         [resume](const soc::AccelCompletion &) {
                             resume();
@@ -236,8 +236,7 @@ appendPlanExecution(soc::SocSystem &sys, Task &task,
             task.block([system, job = std::move(job), pid, payload,
                         rpc_log, degraded_ns, fb_ops, fb_bytes,
                         fb_format, fb_label,
-                        cls](Task &,
-                             std::function<void()> resume) mutable {
+                        cls](Task &, BlockResume resume) mutable {
                 system->fastrpc().call(
                     pid, payload, std::move(job),
                     [system, resume, rpc_log, degraded_ns, fb_ops,

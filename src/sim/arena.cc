@@ -1,0 +1,103 @@
+#include "sim/arena.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aitax::sim {
+
+Arena::~Arena()
+{
+    // Finalizers are deliberately NOT run here: by contract every
+    // registered object was already destroyed via reset(). Destroying
+    // an arena with live finalizers is a bug in the caller.
+    assert(finalizers_ == nullptr);
+    freeBlocks();
+}
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    assert(align > 0 && (align & (align - 1)) == 0);
+    if (head_ != nullptr) {
+        auto base = reinterpret_cast<std::uintptr_t>(head_ + 1);
+        std::uintptr_t cursor = base + head_->used;
+        std::uintptr_t aligned = (cursor + (align - 1)) & ~(align - 1);
+        if (aligned + bytes <= base + head_->capacity) {
+            head_->used = (aligned - base) + bytes;
+            return reinterpret_cast<void *>(aligned);
+        }
+    }
+    // Spill: chain a fresh block big enough for this allocation at any
+    // alignment. reset() coalesces chains back to one block.
+    std::size_t grow = head_ != nullptr ? head_->capacity * 2 : kMinBlockBytes;
+    Block *b = newBlock(std::max(grow, bytes + align));
+    b->next = head_;
+    head_ = b;
+    return allocate(bytes, align);
+}
+
+void
+Arena::reset()
+{
+    for (Finalizer *f = finalizers_; f != nullptr; f = f->next)
+        f->fn(f->obj);
+    finalizers_ = nullptr;
+
+    highWater_ = std::max(highWater_, usedBytes());
+    if (head_ == nullptr)
+        return;
+    if (head_->next != nullptr || head_->capacity < highWater_) {
+        // 25% slack over the high-water mark absorbs per-run alignment
+        // waste so identical runs never re-trigger a coalesce.
+        std::size_t want = highWater_ + (highWater_ >> 2);
+        freeBlocks();
+        head_ = newBlock(std::max(want, kMinBlockBytes));
+    } else {
+        head_->used = 0;
+    }
+}
+
+std::size_t
+Arena::blockCount() const
+{
+    std::size_t n = 0;
+    for (const Block *b = head_; b != nullptr; b = b->next)
+        ++n;
+    return n;
+}
+
+std::size_t
+Arena::usedBytes() const
+{
+    std::size_t n = 0;
+    for (const Block *b = head_; b != nullptr; b = b->next)
+        n += b->used;
+    return n;
+}
+
+Arena::Block *
+Arena::newBlock(std::size_t payloadBytes)
+{
+    ++blockAllocs_;
+    // aitax-lint: allow(raw-new-delete) arena block backing store
+    void *mem = ::operator new(sizeof(Block) + payloadBytes);
+    auto *b = static_cast<Block *>(mem);
+    b->next = nullptr;
+    b->capacity = payloadBytes;
+    b->used = 0;
+    return b;
+}
+
+void
+Arena::freeBlocks()
+{
+    Block *b = head_;
+    while (b != nullptr) {
+        Block *next = b->next;
+        ::operator delete(b); // aitax-lint: allow(raw-new-delete)
+        b = next;
+    }
+    head_ = nullptr;
+}
+
+} // namespace aitax::sim

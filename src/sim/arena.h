@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Per-run bump allocator backing scenario state.
+ *
+ * A scenario run constructs a SocSystem, an Application, their tasks
+ * and the fault injector, then tears everything down again. With the
+ * event loop itself fast (PR 6), that churn is a visible fraction of
+ * short scenarios. An Arena turns it into one large block allocation
+ * plus placement construction: objects are bump-allocated, destructors
+ * registered by create<>() run in reverse order at reset(), and after
+ * the first reset the arena coalesces to a single block sized to its
+ * high-water mark so steady-state runs touch the heap zero times
+ * (asserted by tests/test_sim_alloc.cc).
+ *
+ * Ownership contract: everything allocated from an arena must be dead
+ * or destructor-registered before reset(). Sweep workers keep one
+ * thread_local arena and reuse it across scenarios — see
+ * src/verify/scenario.cc.
+ */
+
+#ifndef AITAX_SIM_ARENA_H
+#define AITAX_SIM_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aitax::sim {
+
+class Arena
+{
+  public:
+    Arena() = default;
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+    ~Arena();
+
+    /** Bump-allocate @p bytes with @p align; never freed individually. */
+    void *allocate(std::size_t bytes, std::size_t align);
+
+    /**
+     * Placement-construct a T in the arena. Non-trivially-destructible
+     * types get a finalizer that reset() runs in reverse creation
+     * order, so create SocSystem before Application before per-run
+     * helpers and teardown order matches stack order.
+     */
+    template <typename T, typename... Args>
+    T *
+    create(Args &&...args)
+    {
+        void *mem = allocate(sizeof(T), alignof(T));
+        // aitax-lint: allow(raw-new-delete) placement-new into the arena
+        T *obj = ::new (mem) T(std::forward<Args>(args)...);
+        if constexpr (!std::is_trivially_destructible_v<T>) {
+            auto *fin = static_cast<Finalizer *>(
+                allocate(sizeof(Finalizer), alignof(Finalizer)));
+            fin->fn = [](void *p) { static_cast<T *>(p)->~T(); };
+            fin->obj = obj;
+            fin->next = finalizers_;
+            finalizers_ = fin;
+        }
+        return obj;
+    }
+
+    /**
+     * Run finalizers (reverse order), then recycle memory. If the run
+     * spilled into multiple blocks — or had not yet allocated a block
+     * big enough — the blocks are replaced by a single block sized to
+     * the high-water mark, so subsequent equally-sized runs reuse one
+     * block with zero heap traffic.
+     */
+    void reset();
+
+    /** Blocks currently held (1 in steady state, 0 before first use). */
+    std::size_t blockCount() const;
+    /** Total heap block allocations over the arena's lifetime. */
+    std::uint64_t blockAllocs() const { return blockAllocs_; }
+    /** Bytes bump-allocated since the last reset. */
+    std::size_t usedBytes() const;
+    /** Largest usedBytes() observed at any reset so far. */
+    std::size_t highWaterBytes() const { return highWater_; }
+
+  private:
+    struct Block
+    {
+        Block *next;
+        std::size_t capacity; ///< payload bytes
+        std::size_t used;     ///< payload bytes consumed
+    };
+    struct Finalizer
+    {
+        void (*fn)(void *);
+        void *obj;
+        Finalizer *next;
+    };
+
+    static constexpr std::size_t kMinBlockBytes = std::size_t{256} << 10;
+
+    Block *newBlock(std::size_t payloadBytes);
+    void freeBlocks();
+
+    Block *head_ = nullptr; ///< current bump target; older blocks chained
+    Finalizer *finalizers_ = nullptr;
+    std::size_t highWater_ = 0;
+    std::uint64_t blockAllocs_ = 0;
+};
+
+/**
+ * Minimal std-allocator adapter over Arena. With a null arena it
+ * degrades to plain heap allocation, so containers (e.g. Task's step
+ * vector) work identically outside arena-backed runs. Deallocation
+ * into an arena is a no-op — memory returns at reset().
+ */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    ArenaAllocator() = default;
+    explicit ArenaAllocator(Arena *arena) : arena_(arena) {}
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other) : arena_(other.arena())
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (arena_ != nullptr)
+            return static_cast<T *>(
+                arena_->allocate(n * sizeof(T), alignof(T)));
+        // aitax-lint: allow(raw-new-delete) heap fallback when no arena
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        if (arena_ == nullptr)
+            ::operator delete(p); // aitax-lint: allow(raw-new-delete)
+    }
+
+    Arena *arena() const { return arena_; }
+
+    friend bool
+    operator==(const ArenaAllocator &a, const ArenaAllocator &b)
+    {
+        return a.arena_ == b.arena_;
+    }
+    friend bool
+    operator!=(const ArenaAllocator &a, const ArenaAllocator &b)
+    {
+        return a.arena_ != b.arena_;
+    }
+
+  private:
+    Arena *arena_ = nullptr;
+};
+
+/** Resets the arena when the scope unwinds (after the run's objects died). */
+class ArenaResetGuard
+{
+  public:
+    explicit ArenaResetGuard(Arena &arena) : arena_(arena) {}
+    ArenaResetGuard(const ArenaResetGuard &) = delete;
+    ArenaResetGuard &operator=(const ArenaResetGuard &) = delete;
+    ~ArenaResetGuard() { arena_.reset(); }
+
+  private:
+    Arena &arena_;
+};
+
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_ARENA_H

@@ -143,6 +143,15 @@ class InlineFunction<R(Args...)>
         },
     };
 
+    // GCC 12 flags `other.ops` as maybe-uninitialized when a
+    // vector<variant<...>> reallocation move-constructs elements into
+    // fresh storage (it conflates the uninitialized destination with
+    // the fully-constructed source). `ops` has a default member
+    // initializer, so every constructed InlineFunction has it set.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
     void
     moveFrom(InlineFunction &other) noexcept
     {
@@ -152,6 +161,9 @@ class InlineFunction<R(Args...)>
             other.ops = nullptr;
         }
     }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
     alignas(std::max_align_t) unsigned char buf[kInlineSize];
     const Ops *ops = nullptr;

@@ -51,7 +51,7 @@ Accelerator::Accelerator(sim::Simulator &sim, AcceleratorConfig cfg,
                          trace::Tracer &tracer, EnergyMeter *energy,
                          MemoryFabric *fabric)
     : sim(sim), cfg(std::move(cfg)), tracer(tracer), energy(energy),
-      fabric(fabric)
+      fabric(fabric), completions_(sim, 1)
 {
     validateAcceleratorConfig(this->cfg);
     track_ = tracer.internTrack(this->cfg.name);
@@ -139,8 +139,9 @@ Accelerator::startNext()
         }
     }
 
-    sim.scheduleIn(duration, [this, job = std::move(job), start,
-                              killed] {
+    completions_.push(0, sim.now() + duration, [this,
+                                                job = std::move(job),
+                                                start, killed] {
         const sim::TimeNs now = sim.now();
         if (job.label.valid())
             tracer.recordInterval(track_, job.label, start, now);

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "faults/injector.h"
+#include "sim/local_queue.h"
 #include "sim/simulator.h"
 #include "soc/energy.h"
 #include "soc/memory.h"
@@ -99,6 +100,12 @@ class Accelerator
     std::size_t queueDepth() const { return queue.size(); }
     std::int64_t jobsCompleted() const { return completed; }
 
+    /** Completion-event local queue (lazy heap feed) counters. */
+    const sim::LocalEventQueue &completionQueue() const
+    {
+        return completions_;
+    }
+
   private:
     sim::Simulator &sim;
     AcceleratorConfig cfg;
@@ -106,6 +113,13 @@ class Accelerator
     EnergyMeter *energy;
     MemoryFabric *fabric;
     faults::FaultInjector *faults_ = nullptr;
+    /**
+     * Completion events route through a single-stream LocalEventQueue:
+     * one completion in flight at a time (FIFO server), so exactly one
+     * entry is ever resident in the global heap, and the seq reserved
+     * at push time matches what a direct schedule() would have used.
+     */
+    sim::LocalEventQueue completions_;
     std::deque<AccelJob> queue;
     bool busy_ = false;
     std::int64_t completed = 0;

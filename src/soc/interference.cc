@@ -8,8 +8,10 @@ InterferenceGenerator::InterferenceGenerator(sim::Simulator &sim,
                                              OsScheduler &sched,
                                              InterferenceConfig cfg,
                                              sim::RandomStream rng,
-                                             trace::Tracer *tracer)
-    : sim(sim), sched(sched), cfg(cfg), rng(std::move(rng))
+                                             trace::Tracer *tracer,
+                                             sim::Arena *arena)
+    : sim(sim), sched(sched), cfg(cfg), rng(std::move(rng)),
+      arena_(arena), queue_(sim, kStreamCount)
 {
     if (tracer) {
         uiLabel_ = tracer->internLabel("ui_frame");
@@ -22,7 +24,7 @@ InterferenceGenerator::submitTask(const char *name, trace::LabelId label,
                                   double mean_ops, bool background)
 {
     const double ops = mean_ops * rng.lognormalFactor(cfg.jitterSigma);
-    auto task = std::make_shared<Task>(name, background);
+    auto task = makeTask(arena_, name, background);
     if (label.valid())
         task->setTraceLabel(label);
     task->compute({ops, ops * 2.0}, WorkClass::Scalar);
@@ -31,78 +33,22 @@ InterferenceGenerator::submitTask(const char *name, trace::LabelId label,
 }
 
 void
-InterferenceGenerator::scheduleNextUiTick()
-{
-    if (uiNext_ >= uiCount_)
-        return;
-    const std::int64_t k = uiNext_++;
-    sim.scheduleAtSeq(
-        static_cast<sim::TimeNs>(k + 1) * cfg.uiPeriodNs,
-        uiSeqBase_ + static_cast<std::uint64_t>(k), [this] {
-            // Chain before submitting, matching the Reference seq
-            // assignment (the whole band precedes any fire-time work).
-            scheduleNextUiTick();
-            submitTask("ui_frame", uiLabel_, cfg.uiOps,
-                       /*background=*/false);
-        });
-}
-
-void
-InterferenceGenerator::scheduleNextDaemon()
-{
-    if (daemonNext_ >= daemonTimes_.size())
-        return;
-    const std::size_t j = daemonNext_++;
-    sim.scheduleAtSeq(daemonTimes_[j], daemonSeqBase_ + j, [this] {
-        scheduleNextDaemon();
-        submitTask("system_daemon", daemonLabel_, cfg.daemonOps,
-                   /*background=*/true);
-    });
-}
-
-void
 InterferenceGenerator::start(sim::TimeNs horizon)
 {
     if (!cfg.enabled)
         return;
 
-    if (sim.mode() == sim::EngineMode::Fast) {
-        // Chained arrivals over a reserved seq band: identical
-        // (when, seq) pairs to the Reference pre-scheduling below —
-        // UI ticks claim the band first, then daemons, exactly the
-        // order the Reference loop assigns seqs in. The daemon gap
-        // draws happen here, up front, in the same rng order too.
-        uiCount_ = 0;
-        for (sim::TimeNs t = cfg.uiPeriodNs; t < horizon;
-             t += cfg.uiPeriodNs)
-            ++uiCount_;
-        daemonTimes_.clear();
-        if (cfg.daemonRatePerSec > 0.0) {
-            const double mean_gap_ns = 1e9 / cfg.daemonRatePerSec;
-            sim::TimeNs t = 0;
-            while (true) {
-                t += static_cast<sim::DurationNs>(
-                    rng.exponential(mean_gap_ns));
-                if (t >= horizon)
-                    break;
-                daemonTimes_.push_back(t);
-            }
-        }
-        uiSeqBase_ = sim.reserveSeqs(
-            static_cast<std::uint64_t>(uiCount_) + daemonTimes_.size());
-        daemonSeqBase_ =
-            uiSeqBase_ + static_cast<std::uint64_t>(uiCount_);
-        uiNext_ = 0;
-        daemonNext_ = 0;
-        scheduleNextUiTick();
-        scheduleNextDaemon();
-        return;
-    }
+    // One code path for both engines: every push reserves its seq in
+    // the order the Reference loop used to assign them (the whole UI
+    // band first, then daemons interleaved with their gap draws), so
+    // (when, seq) pairs — and the rng call sequence — are unchanged.
+    // In Reference mode the LocalEventQueue pre-schedules everything;
+    // in Fast mode it parks arrivals and keeps one entry resident.
 
     // UI ticks: fixed period, jittered work, foreground priority.
     for (sim::TimeNs t = cfg.uiPeriodNs; t < horizon;
          t += cfg.uiPeriodNs) {
-        sim.scheduleAt(t, [this] {
+        queue_.push(kUiStream, t, [this] {
             submitTask("ui_frame", uiLabel_, cfg.uiOps,
                        /*background=*/false);
         });
@@ -117,7 +63,7 @@ InterferenceGenerator::start(sim::TimeNs horizon)
                 rng.exponential(mean_gap_ns));
             if (t >= horizon)
                 break;
-            sim.scheduleAt(t, [this] {
+            queue_.push(kDaemonStream, t, [this] {
                 submitTask("system_daemon", daemonLabel_, cfg.daemonOps,
                            /*background=*/true);
             });

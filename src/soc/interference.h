@@ -8,23 +8,24 @@
  * distributions of Fig 11 (run-to-run variability) in contrast to the
  * tight benchmark-mode distributions.
  *
- * Scheduling strategy depends on the engine (sim/engine_mode.h). The
- * Reference engine pre-schedules every arrival over the whole horizon
- * — thousands of heap entries that keep the 4-ary heap deep for the
- * entire run (profiling showed heap sift work at ~50% of sweep time).
- * The Fast engine reserves the identical FIFO seq band up front, then
- * feeds arrivals one at a time, each event chaining the next: the heap
- * stays shallow while every arrival keeps the exact (when, seq) pair
- * the Reference engine would have assigned, so pop order — and thus
- * every trace byte and RNG draw — is unchanged.
+ * Arrivals flow through a sim::LocalEventQueue with one FIFO stream
+ * per source (UI ticks, daemons). The Reference engine pre-schedules
+ * every arrival into the global heap — thousands of entries that keep
+ * the 4-ary heap deep for the entire run (profiling showed heap sift
+ * work at ~50% of sweep time). The Fast engine parks arrivals locally
+ * and keeps only the component's earliest entry resident in the heap;
+ * every arrival still carries the exact (when, seq) pair the Reference
+ * engine would have assigned (seqs are reserved at push time), so pop
+ * order — and thus every trace byte and RNG draw — is unchanged.
  */
 
 #ifndef AITAX_SOC_INTERFERENCE_H
 #define AITAX_SOC_INTERFERENCE_H
 
 #include <cstdint>
-#include <vector>
 
+#include "sim/arena.h"
+#include "sim/local_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "soc/scheduler.h"
@@ -56,37 +57,39 @@ class InterferenceGenerator
     /**
      * @param tracer optional; when given, the fixed task names are
      * interned once so injected tasks trace without re-interning.
+     * @param arena optional per-run arena for injected tasks.
      */
     InterferenceGenerator(sim::Simulator &sim, OsScheduler &sched,
                           InterferenceConfig cfg, sim::RandomStream rng,
-                          trace::Tracer *tracer = nullptr);
+                          trace::Tracer *tracer = nullptr,
+                          sim::Arena *arena = nullptr);
 
     /** Schedule interference task arrivals up to @p horizon. */
     void start(sim::TimeNs horizon);
 
     std::int64_t tasksInjected() const { return injected; }
 
+    /** Arrival-queue counters (lazy-feed observability). */
+    const sim::LocalEventQueue &arrivalQueue() const { return queue_; }
+
   private:
+    /** LocalEventQueue stream per arrival source. */
+    static constexpr std::size_t kUiStream = 0;
+    static constexpr std::size_t kDaemonStream = 1;
+    static constexpr std::size_t kStreamCount = 2;
+
     sim::Simulator &sim;
     OsScheduler &sched;
     InterferenceConfig cfg;
     sim::RandomStream rng;
+    sim::Arena *arena_;
+    sim::LocalEventQueue queue_;
     std::int64_t injected = 0;
     trace::LabelId uiLabel_;
     trace::LabelId daemonLabel_;
-    // Chained-arrival state (Fast engine): each arrival schedules its
-    // successor with the next seq of the band reserved at start().
-    std::uint64_t uiSeqBase_ = 0;
-    std::int64_t uiNext_ = 0;
-    std::int64_t uiCount_ = 0;
-    std::uint64_t daemonSeqBase_ = 0;
-    std::size_t daemonNext_ = 0;
-    std::vector<sim::TimeNs> daemonTimes_;
 
     void submitTask(const char *name, trace::LabelId label,
                     double mean_ops, bool background);
-    void scheduleNextUiTick();
-    void scheduleNextDaemon();
 };
 
 } // namespace aitax::soc

@@ -44,6 +44,14 @@ OsScheduler::submit(std::shared_ptr<Task> task)
 }
 
 void
+OsScheduler::resumeBlocked(void *self, std::shared_ptr<Task> task)
+{
+    auto *sched = static_cast<OsScheduler *>(self);
+    sched->sim.scheduleIn(
+        0, [sched, task = std::move(task)] { sched->makeReady(task); });
+}
+
+void
 OsScheduler::makeReady(std::shared_ptr<Task> task)
 {
     if (task->state() == TaskState::Done)
@@ -184,12 +192,11 @@ OsScheduler::runFront(int core_idx)
             task->popStep();
             leaveCore(core_idx);
             task->setState(TaskState::Blocked);
-            // Resuming re-enters the scheduler via a fresh event so a
-            // synchronous resume inside start() cannot re-enter us.
-            auto resume = [this, task] {
-                sim.scheduleIn(0, [this, task] { makeReady(task); });
-            };
-            start(*task, resume);
+            // The resume token owns the task while it is blocked and
+            // re-enters the scheduler via a fresh event (resumeBlocked)
+            // so a synchronous resume inside start() cannot re-enter us.
+            start(*task, BlockResume(&OsScheduler::resumeBlocked, this,
+                                     task));
             tryDispatch();
             return;
         }

@@ -111,6 +111,9 @@ class OsScheduler
     std::int64_t ctxSwitches = 0;
     std::int64_t migrations_ = 0;
 
+    /** BlockResume thunk: schedules makeReady on a fresh event. */
+    static void resumeBlocked(void *self, std::shared_ptr<Task> task);
+
     void makeReady(std::shared_ptr<Task> task);
     void tryDispatch();
     int pickCore(const Task &task) const;

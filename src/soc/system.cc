@@ -3,14 +3,15 @@
 namespace aitax::soc {
 
 SocSystem::SocSystem(SocConfig cfg_in, std::uint64_t seed,
-                     sim::EngineMode engine)
+                     sim::EngineMode engine, sim::Arena *arena)
     : cfg(std::move(cfg_in)), sim_(engine), fabric_(cfg.fabric),
       dvfs_(cfg.dvfs, sim_), thermal_(cfg.thermal, sim_),
       sched_(sim_, cfg.cluster, thermal_, tracer_, &energy_, &dvfs_,
              &fabric_),
       gpu_(sim_, cfg.gpu, tracer_, &energy_, &fabric_),
       dsp_(sim_, cfg.dsp, tracer_, &energy_, &fabric_),
-      rpc_(sim_, cfg.fastrpc, dsp_, &tracer_), rng_(seed, "soc")
+      rpc_(sim_, cfg.fastrpc, dsp_, &tracer_), rng_(seed, "soc"),
+      arena_(arena)
 {
 }
 
@@ -21,10 +22,18 @@ SocSystem::armFaults(const faults::FaultConfig &fault_cfg)
         return;
     sim::RandomStream stream = rng_.fork("faults");
     faults::FaultPlan plan = faults::makeFaultPlan(fault_cfg, stream);
-    faults_ = std::make_unique<faults::FaultInjector>(
-        std::move(plan), stream, &tracer_);
-    dsp_.setFaultInjector(faults_.get());
-    rpc_.setFaultInjector(faults_.get());
+    if (arena_ != nullptr) {
+        // Arena-resident injector: destroyed by the arena's finalizer
+        // at reset, after this SocSystem is gone.
+        faults_ = arena_->create<faults::FaultInjector>(
+            std::move(plan), stream, &tracer_);
+    } else {
+        faultsOwned_ = std::make_unique<faults::FaultInjector>(
+            std::move(plan), stream, &tracer_);
+        faults_ = faultsOwned_.get();
+    }
+    dsp_.setFaultInjector(faults_);
+    rpc_.setFaultInjector(faults_);
     for (sim::TimeNs when : faults_->plan().thermalEmergencyAtNs) {
         const double heat = faults_->config().thermalEmergencyHeat;
         sim_.scheduleAt(when, [this, heat] {

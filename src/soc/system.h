@@ -12,6 +12,7 @@
 
 #include "faults/fault_plan.h"
 #include "faults/injector.h"
+#include "sim/arena.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "soc/accelerator.h"
@@ -60,8 +61,16 @@ struct WarmupSnapshot
 class SocSystem
 {
   public:
+    /**
+     * @param arena optional per-run arena. When set, the fault
+     *        injector and every task created through soc::makeTask /
+     *        the pipeline layer are bump-allocated from it; the caller
+     *        must destroy the SocSystem (and everything holding its
+     *        tasks) before resetting the arena.
+     */
     explicit SocSystem(SocConfig cfg, std::uint64_t seed = 1,
-                       sim::EngineMode engine = sim::EngineMode::Fast);
+                       sim::EngineMode engine = sim::EngineMode::Fast,
+                       sim::Arena *arena = nullptr);
 
     SocSystem(const SocSystem &) = delete;
     SocSystem &operator=(const SocSystem &) = delete;
@@ -91,7 +100,10 @@ class SocSystem
     void armFaults(const faults::FaultConfig &fault_cfg);
 
     /** The armed injector, or nullptr when faults are disabled. */
-    faults::FaultInjector *faults() { return faults_.get(); }
+    faults::FaultInjector *faults() { return faults_; }
+
+    /** The per-run arena, or nullptr for heap-backed runs. */
+    sim::Arena *arena() { return arena_; }
 
     /** Run the simulation until all events drain; returns end time. */
     sim::TimeNs run() { return sim_.run(); }
@@ -132,7 +144,11 @@ class SocSystem
     Accelerator dsp_;
     FastRpcChannel rpc_;
     sim::RandomStream rng_;
-    std::unique_ptr<faults::FaultInjector> faults_;
+    sim::Arena *arena_ = nullptr;
+    /** Armed injector; arena-resident when arena_ is set. */
+    faults::FaultInjector *faults_ = nullptr;
+    /** Heap ownership of faults_ when there is no arena. */
+    std::unique_ptr<faults::FaultInjector> faultsOwned_;
 };
 
 } // namespace aitax::soc

@@ -4,8 +4,9 @@
 
 namespace aitax::soc {
 
-Task::Task(std::string name, bool background)
-    : name_(std::move(name)), background_(background)
+Task::Task(std::string name, bool background, sim::Arena *arena)
+    : name_(std::move(name)), background_(background),
+      steps(sim::ArenaAllocator<TaskStep>(arena))
 {
 }
 
@@ -31,8 +32,7 @@ Task::marker(TimeFn fn)
 }
 
 Task &
-Task::block(
-    std::function<void(Task &, std::function<void()> resume)> start)
+Task::block(BlockFn start)
 {
     steps.push_back(BlockStep{std::move(start)});
     return *this;
@@ -47,24 +47,37 @@ Task::setOnComplete(TimeFn fn)
 TaskStep &
 Task::frontStep()
 {
-    assert(!steps.empty());
-    return steps.front();
+    assert(hasSteps());
+    return steps[front_];
 }
 
 void
 Task::popStep()
 {
-    assert(!steps.empty());
-    steps.pop_front();
+    assert(hasSteps());
+    // Grow-only storage: advance the cursor, but destroy the consumed
+    // step's captures now (as the old deque's pop_front did) so resume
+    // tokens and shared_ptrs don't outlive their step.
+    steps[front_].emplace<SleepStep>();
+    ++front_;
 }
 
 void
 Task::finish(sim::TimeNs now)
 {
-    assert(steps.empty());
+    assert(!hasSteps());
     state_ = TaskState::Done;
     if (onComplete)
         onComplete(now);
+}
+
+std::shared_ptr<Task>
+makeTask(sim::Arena *arena, std::string name, bool background)
+{
+    if (arena != nullptr)
+        return std::allocate_shared<Task>(sim::ArenaAllocator<Task>(arena),
+                                          std::move(name), background, arena);
+    return std::make_shared<Task>(std::move(name), background);
 }
 
 } // namespace aitax::soc

@@ -13,11 +13,12 @@
 #define AITAX_SOC_TASK_H
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <memory>
 #include <string>
 #include <variant>
+#include <vector>
 
+#include "sim/arena.h"
 #include "sim/inline_function.h"
 #include "sim/time.h"
 #include "sim/work.h"
@@ -53,12 +54,45 @@ struct MarkerStep
 };
 
 /**
+ * Copyable resume token handed to BlockStep starters.
+ *
+ * A blocked task is off the run queue and out of the core slot, so the
+ * resume token is the only owner keeping it alive — it therefore holds
+ * a shared_ptr to the task. It is deliberately copyable (unlike
+ * InlineFunction) because offload paths stash it in AccelJob::onDone
+ * and FastRPC completion callbacks, and allocation-free: a plain
+ * function pointer plus two words, no type erasure.
+ */
+class BlockResume
+{
+  public:
+    using Fn = void (*)(void *sched, std::shared_ptr<Task> task);
+
+    BlockResume() = default;
+    BlockResume(Fn fn, void *sched, std::shared_ptr<Task> task)
+        : fn_(fn), sched_(sched), task_(std::move(task))
+    {
+    }
+
+    explicit operator bool() const { return fn_ != nullptr; }
+    void operator()() const { fn_(sched_, task_); }
+
+  private:
+    Fn fn_ = nullptr;
+    void *sched_ = nullptr;
+    std::shared_ptr<Task> task_;
+};
+
+/** Starter callback for a blocking external call. */
+using BlockFn = sim::InlineFunction<void(Task &, BlockResume)>;
+
+/**
  * Blocking external call. The scheduler invokes @p start with a resume
- * callback; the task stays blocked until that callback runs.
+ * token; the task stays blocked until that token is invoked.
  */
 struct BlockStep
 {
-    std::function<void(Task &, std::function<void()> resume)> start;
+    BlockFn start;
 };
 
 using TaskStep =
@@ -84,7 +118,8 @@ enum class TaskState
 class Task
 {
   public:
-    explicit Task(std::string name, bool background = false);
+    explicit Task(std::string name, bool background = false,
+                  sim::Arena *arena = nullptr);
 
     const std::string &name() const { return name_; }
 
@@ -108,8 +143,7 @@ class Task
     Task &compute(sim::Work work, WorkClass cls);
     Task &sleep(sim::DurationNs duration);
     Task &marker(TimeFn fn);
-    Task &block(
-        std::function<void(Task &, std::function<void()> resume)> start);
+    Task &block(BlockFn start);
 
     /** Called (with completion time) when the last step finishes. */
     void setOnComplete(TimeFn fn);
@@ -122,7 +156,7 @@ class Task
     int lastCore() const { return lastCore_; }
     void setLastCore(int core) { lastCore_ = core; }
 
-    bool hasSteps() const { return !steps.empty(); }
+    bool hasSteps() const { return front_ < steps.size(); }
     TaskStep &frontStep();
     void popStep();
 
@@ -134,9 +168,25 @@ class Task
     bool background_ = false;
     TaskState state_ = TaskState::Created;
     int lastCore_ = -1;
-    std::deque<TaskStep> steps;
+    /**
+     * Step program: a grow-only vector with a consume cursor instead of
+     * a deque, so step storage is one contiguous allocation that can
+     * come from the per-run arena (popStep() just advances front_).
+     */
+    std::vector<TaskStep, sim::ArenaAllocator<TaskStep>> steps;
+    std::size_t front_ = 0;
     TimeFn onComplete;
 };
+
+/**
+ * Create a task on @p arena when one is supplied (allocate_shared, so
+ * control block and Task share one arena allocation freed by arena
+ * reset), falling back to the heap otherwise. All task shared_ptrs die
+ * with the owning SocSystem, which is destroyed before its arena is
+ * reset.
+ */
+std::shared_ptr<Task> makeTask(sim::Arena *arena, std::string name,
+                               bool background = false);
 
 } // namespace aitax::soc
 

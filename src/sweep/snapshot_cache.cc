@@ -64,6 +64,14 @@ snapshotCacheStatsNow()
 }
 
 void
+snapshotCacheResetStats()
+{
+    CacheState &c = cache();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    c.stats = SnapshotCacheStats{};
+}
+
+void
 snapshotCacheClearForTest()
 {
     CacheState &c = cache();

@@ -60,6 +60,13 @@ snapshotCacheStore(const std::string &key,
 /** Current statistics snapshot. */
 SnapshotCacheStats snapshotCacheStatsNow();
 
+/**
+ * Zero the counters, keeping the cached entries. Lets a tool report
+ * per-phase hit rates (aitax_cli --stats, sweep_throughput) without
+ * throwing away the snapshots themselves.
+ */
+void snapshotCacheResetStats();
+
 /** Drop all entries and zero the stats (tests only). */
 void snapshotCacheClearForTest();
 

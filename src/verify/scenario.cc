@@ -149,12 +149,13 @@ replayCommand(std::uint64_t master_seed, int index)
 SnapshotUse
 classifySnapshotUse(const Scenario &s)
 {
+    // Streaming and background-load runs are deliberately NOT excluded:
+    // their warm-up prefix is identical to the quiet one (loops start
+    // post-warm-up, stream phase is drawn at construction), and the key
+    // still separates them so unlike configurations never share an
+    // entry.
     if (s.mode != app::HarnessMode::CliBenchmark)
         return SnapshotUse::IneligibleMode;
-    if (s.streaming)
-        return SnapshotUse::IneligibleStreaming;
-    if (s.dspLoadProcesses > 0 || s.cpuLoadProcesses > 0)
-        return SnapshotUse::IneligibleBackground;
     return SnapshotUse::Eligible;
 }
 
@@ -162,7 +163,7 @@ std::string
 snapshotKey(const Scenario &s)
 {
     std::ostringstream os;
-    os << "warmup-v1|soc=" << s.socName << "|model=" << s.modelId
+    os << "warmup-v2|soc=" << s.socName << "|model=" << s.modelId
        << "|dtype=" << tensor::dtypeName(s.dtype)
        << "|fw=" << app::frameworkName(s.framework)
        << "|mode=" << app::harnessModeName(s.mode)
@@ -171,6 +172,13 @@ snapshotKey(const Scenario &s)
        << "|cpuload=" << s.cpuLoadProcesses
        << "|faults=" << (s.faults ? 1 : 0);
     return os.str();
+}
+
+sim::Arena &
+scenarioArena()
+{
+    static thread_local sim::Arena arena;
+    return arena;
 }
 
 namespace {
@@ -185,6 +193,33 @@ pipelineConfigFor(const Scenario &s)
     cfg.mode = s.mode;
     cfg.streamingCapture = s.streaming;
     return cfg;
+}
+
+/**
+ * Arena-construct the scenario's background inference loops (not
+ * started — the caller decides when, which is what keeps the warm-up
+ * prefix load-independent). Construction is inert: no RNG draws, no
+ * event scheduling, so building them before the warm-up changes
+ * nothing observable.
+ */
+std::vector<app::BackgroundInferenceLoop *>
+buildLoops(sim::Arena &arena, soc::SocSystem &sys, const Scenario &s)
+{
+    std::vector<app::BackgroundInferenceLoop *> loops;
+    auto add = [&](int count, app::FrameworkKind fw, int base_pid) {
+        for (int i = 0; i < count; ++i) {
+            app::BackgroundLoadConfig bg;
+            bg.model = models::findModel("mobilenet_v1");
+            bg.dtype = tensor::DType::UInt8;
+            bg.framework = fw;
+            bg.processId = base_pid + i;
+            loops.push_back(
+                arena.create<app::BackgroundInferenceLoop>(sys, bg));
+        }
+    };
+    add(s.dspLoadProcesses, app::FrameworkKind::TfliteHexagon, 100);
+    add(s.cpuLoadProcesses, app::FrameworkKind::TfliteCpu, 200);
+    return loops;
 }
 
 /** Everything after quiescence: witnesses, meters, the trace. */
@@ -226,23 +261,29 @@ snapshotUsable(const faults::FaultInjector *inj,
  * post-warm-up state when one exists and fits this run's fault plan,
  * otherwise execute the warm-up via the split schedule API and publish
  * the capture. Falls back to executing the warm-up (never to wrong
- * results) whenever capture or reuse is not possible.
+ * results) whenever capture or reuse is not possible. Background
+ * loops are constructed before the warm-up (inert) and started after
+ * it, exactly like the Reference CLI path, so a cache hit replays the
+ * same post-warm-up schedule a cache-free run would produce.
  */
 ScenarioResult
-runScenarioMemoized(const Scenario &s)
+runScenarioMemoized(const Scenario &s, sim::Arena &arena)
 {
     const std::string key = snapshotKey(s);
     auto cached = std::static_pointer_cast<const soc::WarmupSnapshot>(
         sweep::snapshotCacheLookup(key));
 
-    soc::SocSystem sys(soc::platformByName(s.socName), s.seed,
-                       sim::EngineMode::Fast);
+    soc::SocSystem &sys = *arena.create<soc::SocSystem>(
+        soc::platformByName(s.socName), s.seed, sim::EngineMode::Fast,
+        &arena);
     if (s.faults)
         sys.armFaults(faults::FaultConfig::fuzzDefaults());
     // Seq watermark after fault arming, before any warm-up work: the
     // base that snapshot seqs are stored (and restored) relative to.
     const std::uint64_t seq_base = sys.simulator().seqWatermark();
-    app::Application application(sys, pipelineConfigFor(s));
+    app::Application &application =
+        *arena.create<app::Application>(sys, pipelineConfigFor(s));
+    auto loops = buildLoops(arena, sys, s);
 
     ScenarioResult out;
     if (cached && snapshotUsable(sys.faults(), *cached)) {
@@ -258,9 +299,67 @@ runScenarioMemoized(const Scenario &s)
                 sweep::snapshotCacheStore(key, std::move(snap));
         }
     }
-    application.scheduleFramesAfterWarmup(s.runs, out.report);
+    for (auto *loop : loops)
+        loop->start(sys.simulator().now() + sim::secToNs(60.0));
+    application.scheduleFramesAfterWarmup(s.runs, out.report,
+                                          [&loops](sim::TimeNs) {
+                                              for (auto *loop : loops)
+                                                  loop->stop();
+                                          });
     out.endTimeNs = sys.run();
     collectResult(sys, application, out);
+    for (const auto *loop : loops)
+        out.backgroundInferences += loop->completedInferences();
+    return out;
+}
+
+/**
+ * Engine-explicit path without memoization. CLI-benchmark scenarios
+ * still run the split warm-up schedule (warm-up, then background-loop
+ * start, then frames) so that the Reference engine produces the exact
+ * event sequence the memoized Fast path replays — the byte-compare
+ * contract of the differential tier. App-mode scenarios keep the
+ * single-shot schedule: their interference interleaves with the
+ * warm-up by design.
+ */
+ScenarioResult
+runScenarioDirect(const Scenario &s, sim::EngineMode engine,
+                  sim::Arena &arena)
+{
+    soc::SocSystem &sys = *arena.create<soc::SocSystem>(
+        soc::platformByName(s.socName), s.seed, engine, &arena);
+    // Arm faults before any component forks the system RNG, so the
+    // fault schedule is a pure function of (platform, seed).
+    if (s.faults)
+        sys.armFaults(faults::FaultConfig::fuzzDefaults());
+
+    app::Application &application =
+        *arena.create<app::Application>(sys, pipelineConfigFor(s));
+    auto loops = buildLoops(arena, sys, s);
+
+    ScenarioResult out;
+    auto stop_loops = [&loops](sim::TimeNs) {
+        for (auto *loop : loops)
+            loop->stop();
+    };
+    if (s.mode == app::HarnessMode::CliBenchmark) {
+        application.scheduleWarmup(s.runs, out.report);
+        sys.simulator().runUntilCondition(
+            [&application] { return application.warmupComplete(); });
+        for (auto *loop : loops)
+            loop->start(sys.simulator().now() + sim::secToNs(60.0));
+        application.scheduleFramesAfterWarmup(s.runs, out.report,
+                                              stop_loops);
+    } else {
+        for (auto *loop : loops)
+            loop->start(sim::secToNs(60.0));
+        application.scheduleRuns(s.runs, out.report, stop_loops);
+    }
+    out.endTimeNs = sys.run();
+
+    collectResult(sys, application, out);
+    for (const auto *loop : loops)
+        out.backgroundInferences += loop->completedInferences();
     return out;
 }
 
@@ -270,45 +369,15 @@ ScenarioResult
 runScenario(const Scenario &s, sim::EngineMode engine)
 {
     assert(scenarioValid(s));
+    // All run state lives in the thread's arena; the guard resets it
+    // (running registered finalizers in reverse creation order) after
+    // the result — which holds no pointers into the arena — is out.
+    sim::Arena &arena = scenarioArena();
+    sim::ArenaResetGuard guard(arena);
     if (engine == sim::EngineMode::Fast &&
         classifySnapshotUse(s) == SnapshotUse::Eligible)
-        return runScenarioMemoized(s);
-
-    soc::SocSystem sys(soc::platformByName(s.socName), s.seed, engine);
-    // Arm faults before any component forks the system RNG, so the
-    // fault schedule is a pure function of (platform, seed).
-    if (s.faults)
-        sys.armFaults(faults::FaultConfig::fuzzDefaults());
-
-    app::Application application(sys, pipelineConfigFor(s));
-
-    std::vector<std::unique_ptr<app::BackgroundInferenceLoop>> loops;
-    auto add_loops = [&](int count, app::FrameworkKind fw, int base_pid) {
-        for (int i = 0; i < count; ++i) {
-            app::BackgroundLoadConfig bg;
-            bg.model = models::findModel("mobilenet_v1");
-            bg.dtype = tensor::DType::UInt8;
-            bg.framework = fw;
-            bg.processId = base_pid + i;
-            loops.push_back(
-                std::make_unique<app::BackgroundInferenceLoop>(sys, bg));
-            loops.back()->start(sim::secToNs(60.0));
-        }
-    };
-    add_loops(s.dspLoadProcesses, app::FrameworkKind::TfliteHexagon, 100);
-    add_loops(s.cpuLoadProcesses, app::FrameworkKind::TfliteCpu, 200);
-
-    ScenarioResult out;
-    application.scheduleRuns(s.runs, out.report, [&](sim::TimeNs) {
-        for (auto &loop : loops)
-            loop->stop();
-    });
-    out.endTimeNs = sys.run();
-
-    collectResult(sys, application, out);
-    for (const auto &loop : loops)
-        out.backgroundInferences += loop->completedInferences();
-    return out;
+        return runScenarioMemoized(s, arena);
+    return runScenarioDirect(s, engine, arena);
 }
 
 ScenarioResult

@@ -19,6 +19,7 @@
 #include "app/pipeline.h"
 #include "core/tax_report.h"
 #include "faults/injector.h"
+#include "sim/arena.h"
 #include "sim/random.h"
 #include "soc/fastrpc.h"
 
@@ -102,18 +103,21 @@ struct ScenarioResult
 
 /**
  * Whether a scenario may use the warm-up prefix snapshot cache, and if
- * not, why. Only quiet CLI-benchmark runs qualify: interference and
- * background load interleave with the warm-up, and streaming capture
- * is excluded conservatively. Faulted runs stay eligible — the fault
- * flag is part of the cache key, and a snapshot is only applied when
- * every emergency in the run's own plan fires after the snapshot.
+ * not, why. Every CLI-benchmark run qualifies — including streaming
+ * and background-load configurations: the warm-up prefix is quiet by
+ * construction (background loops start only after the warm-up
+ * completes, and streaming capture draws its arrival phase at
+ * application construction, not during warm-up events), so the prefix
+ * is a pure function of the cache key. The app-mode harnesses stay
+ * ineligible because their interference interleaves with the warm-up.
+ * Faulted runs stay eligible — the fault flag is part of the cache
+ * key, and a snapshot is only applied when every emergency in the
+ * run's own plan fires after the snapshot.
  */
 enum class SnapshotUse
 {
     Eligible,
-    IneligibleMode,       ///< harness mode schedules interference
-    IneligibleStreaming,  ///< streaming capture requested
-    IneligibleBackground, ///< DSP/CPU background load processes
+    IneligibleMode, ///< harness mode schedules warm-up interference
 };
 
 SnapshotUse classifySnapshotUse(const Scenario &s);
@@ -142,6 +146,16 @@ ScenarioResult runScenario(const Scenario &s);
  * engine with the snapshot cache. Both produce byte-identical results.
  */
 ScenarioResult runScenario(const Scenario &s, sim::EngineMode engine);
+
+/**
+ * The calling thread's scenario arena: runScenario() bump-allocates
+ * all per-run state (SocSystem, Application, tasks, background loops,
+ * the fault injector) from it and resets it as the run ends, so
+ * back-to-back runs on one thread — sweep workers, the fuzz loop —
+ * reuse a single coalesced block with zero heap traffic. Exposed for
+ * the allocation-regression test and --stats reporting.
+ */
+sim::Arena &scenarioArena();
 
 } // namespace aitax::verify
 

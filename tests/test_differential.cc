@@ -36,10 +36,12 @@ constexpr int kCorpusSize = 64;
  * The differential corpus: >= 64 fuzz-sampled scenarios, re-pinned so
  * the chipset axis cycles through every Table II platform (scenario
  * validity never depends on the chipset, so the re-pin is safe).
- * Every third scenario is additionally pinned to the quiet
- * CLI-benchmark shape — the snapshot-eligible class is rare under the
- * fuzz distribution (~3%), and the memoized restore path needs dense
- * differential coverage, not a lucky draw.
+ * Every third scenario is additionally pinned to the snapshot-eligible
+ * CLI-benchmark class — rare under the fuzz distribution (~3%), and
+ * the memoized restore path needs dense differential coverage, not a
+ * lucky draw. The pinned rows cycle through the three fork-stream
+ * sub-shapes (quiet, streaming capture, background-loaded) so every
+ * warm-up class the cache serves is byte-compared against Reference.
  */
 std::vector<Scenario>
 differentialCorpus(bool faults)
@@ -55,9 +57,23 @@ differentialCorpus(bool faults)
         s.faults = faults;
         if (i % 3 == 0) {
             s.mode = app::HarnessMode::CliBenchmark;
-            s.streaming = false;
-            s.dspLoadProcesses = 0;
-            s.cpuLoadProcesses = 0;
+            switch ((i / 3) % 3) {
+              case 0: // quiet warm-up
+                s.streaming = false;
+                s.dspLoadProcesses = 0;
+                s.cpuLoadProcesses = 0;
+                break;
+              case 1: // streaming capture
+                s.streaming = true;
+                s.dspLoadProcesses = 0;
+                s.cpuLoadProcesses = 0;
+                break;
+              default: // background-loaded
+                s.streaming = false;
+                s.dspLoadProcesses = 1;
+                s.cpuLoadProcesses = 1;
+                break;
+            }
         }
         out.push_back(s);
     }
@@ -297,6 +313,89 @@ TEST(SnapshotKey, PureFunctionOfScenario)
         EXPECT_EQ(snapshotKey(s), snapshotKey(s));
 }
 
+/**
+ * Fork-stream widening (PR 7): streaming-capture and background-loaded
+ * CLI runs are snapshot-eligible and must actually restore from a
+ * snapshot their quiet-warm-up twin never shares — each shape keys its
+ * own entry, and a hit replays byte-identically to cache-free
+ * Reference.
+ */
+TEST(Differential, ForkStreamShapesHitSnapshotCache)
+{
+    Scenario shapes[2];
+    shapes[0].mode = app::HarnessMode::CliBenchmark;
+    shapes[0].runs = 4;
+    shapes[0].streaming = true;
+    shapes[1].mode = app::HarnessMode::CliBenchmark;
+    shapes[1].runs = 4;
+    shapes[1].dspLoadProcesses = 1;
+    shapes[1].cpuLoadProcesses = 1;
+    shapes[1].seed = 7;
+
+    for (Scenario &s : shapes) {
+        sweep::snapshotCacheClearForTest();
+        ASSERT_TRUE(scenarioValid(s));
+        ASSERT_EQ(classifySnapshotUse(s), SnapshotUse::Eligible)
+            << s.describe();
+        const std::string ref =
+            resultBytes(runScenario(s, sim::EngineMode::Reference));
+        // First Fast run misses and publishes; the second restores.
+        EXPECT_EQ(ref, resultBytes(runScenario(s, sim::EngineMode::Fast)))
+            << "miss pass: " << s.describe();
+        EXPECT_EQ(ref, resultBytes(runScenario(s, sim::EngineMode::Fast)))
+            << "hit pass: " << s.describe();
+        const auto stats = sweep::snapshotCacheStatsNow();
+        EXPECT_EQ(stats.stores, 1u) << s.describe();
+        EXPECT_GE(stats.hits, 1u) << s.describe();
+    }
+    sweep::snapshotCacheClearForTest();
+}
+
+/**
+ * Back-to-back runs on one thread must settle into exactly one arena
+ * block with no further block allocations — the perf contract the
+ * sweep workers rely on (see sim::Arena and verify::scenarioArena).
+ */
+TEST(Differential, ArenaReusedAcrossBackToBackRuns)
+{
+    Scenario s;
+    s.mode = app::HarnessMode::CliBenchmark;
+    s.runs = 4;
+    ASSERT_TRUE(scenarioValid(s));
+    // Two priming runs establish the high-water mark and coalesce.
+    runScenario(s);
+    runScenario(s);
+    sim::Arena &arena = scenarioArena();
+    const std::uint64_t primed = arena.blockAllocs();
+    const std::string a = resultBytes(runScenario(s));
+    const std::string b = resultBytes(runScenario(s));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(arena.blockCount(), 1u);
+    EXPECT_EQ(arena.blockAllocs(), primed)
+        << "steady-state runs must not touch the heap for blocks";
+}
+
+/**
+ * Component-local queues under fault pressure: AndroidApp mode drives
+ * both interference streams and accelerator completions through
+ * LocalEventQueue, and faults add watchdog kills, retries and fallback
+ * rescheduling on top. The lazily-fed heap must preserve exact
+ * (when, seq) tie order through all of it.
+ */
+TEST(Differential, LocalQueueTieOrderingUnderFaults)
+{
+    for (int i = 0; i < 8; ++i) {
+        Scenario s = fuzzScenario(kMasterSeed ^ 0xF00Du, i);
+        s.mode = app::HarnessMode::AndroidApp;
+        s.faults = true;
+        s.dspLoadProcesses = 1;
+        ASSERT_TRUE(scenarioValid(s));
+        ASSERT_EQ(resultBytes(runScenario(s, sim::EngineMode::Reference)),
+                  resultBytes(runScenario(s, sim::EngineMode::Fast)))
+            << s.describe();
+    }
+}
+
 TEST(SnapshotCache, FirstWinsAndCountsRaces)
 {
     sweep::snapshotCacheClearForTest();
@@ -311,6 +410,33 @@ TEST(SnapshotCache, FirstWinsAndCountsRaces)
     EXPECT_EQ(stats.hits, 1u);
     EXPECT_EQ(stats.stores, 1u);
     EXPECT_EQ(stats.raceDiscards, 1u);
+    sweep::snapshotCacheClearForTest();
+}
+
+// snapshotCacheResetStats starts a fresh counting window (per-sweep
+// hit rates in aitax_cli --stats / sweep_throughput) without dropping
+// the entries themselves — resetting between runs must not force the
+// next run back through a warm-up miss.
+TEST(SnapshotCache, ResetStatsKeepsEntries)
+{
+    sweep::snapshotCacheClearForTest();
+    auto value = std::make_shared<const int>(7);
+    sweep::snapshotCacheStore("k", value);
+    EXPECT_EQ(sweep::snapshotCacheLookup("k"), value);
+    EXPECT_EQ(sweep::snapshotCacheLookup("absent"), nullptr);
+
+    sweep::snapshotCacheResetStats();
+    auto zeroed = sweep::snapshotCacheStatsNow();
+    EXPECT_EQ(zeroed.hits, 0u);
+    EXPECT_EQ(zeroed.misses, 0u);
+    EXPECT_EQ(zeroed.stores, 0u);
+    EXPECT_EQ(zeroed.raceDiscards, 0u);
+
+    // The entry survived: the next window records a hit, not a miss.
+    EXPECT_EQ(sweep::snapshotCacheLookup("k"), value);
+    const auto after = sweep::snapshotCacheStatsNow();
+    EXPECT_EQ(after.hits, 1u);
+    EXPECT_EQ(after.misses, 0u);
     sweep::snapshotCacheClearForTest();
 }
 

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Allocation contract of the simulation fast path.
+ *
+ * Overrides global operator new to count heap allocations (the
+ * technique of tests/test_trace_alloc.cc) and asserts the two perf
+ * guarantees PR 7 documents in docs/PERFORMANCE.md:
+ *
+ *  1. The steady-state event loop is allocation-free: once the event
+ *     queue's slot arena and the local queues' FIFO buffers have grown
+ *     to capacity, scheduling and firing inline-capture events touches
+ *     the heap zero times, in both engine modes.
+ *
+ *  2. A scenario run draws all of its run state from one arena block:
+ *     after a warm-up run has established the high-water mark and
+ *     reset() has coalesced, back-to-back identical runs keep exactly
+ *     one block and never allocate another.
+ *
+ * This lives in its own test binary so the operator new override
+ * cannot perturb other suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "sim/arena.h"
+#include "sim/local_queue.h"
+#include "sim/simulator.h"
+#include "verify/scenario.h"
+
+namespace {
+
+std::atomic<std::size_t> g_allocCount{0};
+std::atomic<bool> g_counting{false};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace aitax::sim {
+namespace {
+
+constexpr int kEvents = 50000;
+
+struct CountingScope
+{
+    CountingScope()
+    {
+        g_allocCount.store(0, std::memory_order_relaxed);
+        g_counting.store(true, std::memory_order_relaxed);
+    }
+    ~CountingScope() { g_counting.store(false, std::memory_order_relaxed); }
+    std::size_t
+    count() const
+    {
+        return g_allocCount.load(std::memory_order_relaxed);
+    }
+};
+
+/** Self-chaining tick: the canonical steady-state event-loop shape. */
+void
+runChain(Simulator &sim, int events)
+{
+    int remaining = events;
+    // The capture (two pointers) stays inside EventFn's inline buffer.
+    struct Chain
+    {
+        Simulator *sim;
+        int *remaining;
+        void
+        operator()() const
+        {
+            if (--*remaining > 0)
+                sim->scheduleIn(100, Chain{sim, remaining});
+        }
+    };
+    sim.scheduleIn(100, Chain{&sim, &remaining});
+    sim.run();
+    ASSERT_EQ(remaining, 0);
+}
+
+void
+expectSteadyStateAllocationFree(EngineMode mode)
+{
+    Simulator sim(mode);
+    // Warm-up pass: grows the event queue's slot arena to capacity.
+    runChain(sim, kEvents);
+
+    CountingScope scope;
+    runChain(sim, kEvents);
+    EXPECT_EQ(scope.count(), 0u)
+        << "steady-state event loop allocated on the heap";
+}
+
+TEST(SimAlloc, FastEventLoopSteadyStateIsAllocationFree)
+{
+    expectSteadyStateAllocationFree(EngineMode::Fast);
+}
+
+TEST(SimAlloc, ReferenceEventLoopSteadyStateIsAllocationFree)
+{
+    expectSteadyStateAllocationFree(EngineMode::Reference);
+}
+
+TEST(SimAlloc, LocalQueueSteadyStateIsAllocationFree)
+{
+    Simulator sim(EngineMode::Fast);
+    LocalEventQueue queue(sim, 2);
+
+    auto drive = [&](int events) {
+        int fired = 0;
+        struct Tick
+        {
+            int *fired;
+            void
+            operator()() const
+            {
+                ++*fired;
+            }
+        };
+        for (int i = 0; i < events; ++i)
+            queue.push(static_cast<std::size_t>(i % 2),
+                       sim.now() + 100 * (i + 1), Tick{&fired});
+        sim.run();
+        ASSERT_EQ(fired, events);
+    };
+
+    drive(1000); // warm-up: grows both stream buffers
+    CountingScope scope;
+    drive(1000);
+    EXPECT_EQ(scope.count(), 0u)
+        << "local-queue push/fire cycle allocated in steady state";
+}
+
+} // namespace
+} // namespace aitax::sim
+
+namespace aitax::verify {
+namespace {
+
+TEST(SimAlloc, ScenarioRunsReuseOneArenaBlock)
+{
+    Scenario s;
+    s.mode = app::HarnessMode::CliBenchmark;
+    s.runs = 4;
+    ASSERT_TRUE(scenarioValid(s));
+
+    // Warm-up runs: establish the high-water mark; the trailing reset
+    // coalesces any spill chain into a single right-sized block.
+    runScenario(s);
+    runScenario(s);
+
+    sim::Arena &arena = scenarioArena();
+    ASSERT_EQ(arena.blockCount(), 1u);
+    const std::uint64_t primed = arena.blockAllocs();
+    const std::size_t high_water = arena.highWaterBytes();
+
+    for (int i = 0; i < 3; ++i)
+        runScenario(s);
+
+    EXPECT_EQ(arena.blockCount(), 1u)
+        << "steady-state run spilled past one arena block";
+    EXPECT_EQ(arena.blockAllocs(), primed)
+        << "steady-state run allocated a fresh arena block";
+    EXPECT_EQ(arena.highWaterBytes(), high_water)
+        << "identical runs must not grow the high-water mark";
+}
+
+} // namespace
+} // namespace aitax::verify

@@ -18,6 +18,7 @@
  *     --streaming            buffered (streaming) camera capture
  *     --timeline             print the profiler-style timeline
  *     --energy               print per-domain energy
+ *     --stats                print simulator and warm-up-cache counters
  *     --chrome-trace <file>  write a chrome://tracing JSON capture
  *     --faults <spec>        arm the seeded fault injector; <spec> is
  *                            "default", "fuzz", or "key=value,..."
@@ -39,6 +40,9 @@
  *                            Replaying a suspect scenario under both
  *                            engines diffs the fast path against the
  *                            reference loop (docs/PERFORMANCE.md)
+ *     --stats                print warm-up snapshot-cache counters
+ *                            after the passes (cache efficacy across
+ *                            the golden + fuzz corpus)
  */
 
 #include <cstdio>
@@ -53,6 +57,7 @@
 #include "soc/chipsets.h"
 #include <fstream>
 
+#include "sweep/snapshot_cache.h"
 #include "sweep/sweep_runner.h"
 #include "trace/chrome_trace.h"
 #include "trace/render.h"
@@ -76,9 +81,23 @@ usage(const char *argv0)
                  "[--mode cli|bench-app|app] [--soc NAME] [--runs N] "
                  "[--threads N] [--seed N] [--instrument] "
                  "[--pre-on-dsp] [--streaming] [--faults SPEC] "
-                 "[--timeline] [--energy] [--chrome-trace FILE]\n",
+                 "[--timeline] [--energy] [--stats] "
+                 "[--chrome-trace FILE]\n",
                  argv0);
     std::exit(2);
+}
+
+/** Shared --stats footer: the process-wide warm-up snapshot cache. */
+void
+printSnapshotCacheStats()
+{
+    const sweep::SnapshotCacheStats s = sweep::snapshotCacheStatsNow();
+    std::printf("warm-up snapshot cache: %llu hits, %llu misses, "
+                "%llu stores, %llu race discards\n",
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.stores),
+                static_cast<unsigned long long>(s.raceDiscards));
 }
 
 void
@@ -96,7 +115,7 @@ verifyUsage()
     std::fprintf(stderr,
                  "usage: aitax_cli verify [--update] [--golden-dir DIR] "
                  "[--fuzz N] [--replay INDEX] [--seed N] [--jobs N] "
-                 "[--faults] [--engine fast|reference]\n");
+                 "[--faults] [--engine fast|reference] [--stats]\n");
     std::exit(2);
 }
 
@@ -219,6 +238,7 @@ verifyMain(int argc, char **argv)
     std::uint64_t master_seed = 2021;
     int jobs = 0; // 0: default via sweep::effectiveJobs
     bool fault_fuzz = false;
+    bool stats = false;
     sim::EngineMode engine = sim::EngineMode::Fast;
 
     for (int i = 2; i < argc; ++i) {
@@ -242,6 +262,8 @@ verifyMain(int argc, char **argv)
             jobs = std::atoi(next());
         else if (arg == "--faults")
             fault_fuzz = true;
+        else if (arg == "--stats")
+            stats = true;
         else if (arg == "--engine") {
             const std::string which = next();
             if (which == "fast")
@@ -256,12 +278,21 @@ verifyMain(int argc, char **argv)
     if (fuzz_count < 0 || (replay_index >= 0 && update))
         verifyUsage();
 
+    // Per-invocation counters: everything below this line is this
+    // verify run's own cache traffic.
+    sweep::snapshotCacheResetStats();
+
     int failures = 0;
     if (replay_index < 0)
         failures += runGoldenPass(golden_dir, update, jobs, engine);
     if (!update)
         failures += runFuzzPass(master_seed, fuzz_count, replay_index,
                                 jobs, fault_fuzz, engine);
+
+    if (stats) {
+        std::printf("\n");
+        printSnapshotCacheStats();
+    }
 
     if (failures > 0) {
         std::fprintf(stderr, "\nverify: %d failure(s)\n", failures);
@@ -293,6 +324,7 @@ main(int argc, char **argv)
     std::string faults_spec;
     bool timeline = false;
     bool energy = false;
+    bool stats = false;
     std::string chrome_trace_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -332,6 +364,8 @@ main(int argc, char **argv)
             chrome_trace_path = next();
         else if (arg == "--energy")
             energy = true;
+        else if (arg == "--stats")
+            stats = true;
         else
             usage(argv[0]);
     }
@@ -424,6 +458,16 @@ main(int argc, char **argv)
         std::printf("\n%s\n  %s\n",
                     sys.faults()->plan().describe().c_str(),
                     sys.faults()->stats().summary().c_str());
+    }
+
+    if (stats) {
+        std::printf("\nsimulator: %llu events executed, "
+                    "%llu front-cache hits\n",
+                    static_cast<unsigned long long>(
+                        sys.simulator().eventsExecuted()),
+                    static_cast<unsigned long long>(
+                        sys.simulator().frontCacheHits()));
+        printSnapshotCacheStats();
     }
 
     if (energy) {
