@@ -17,8 +17,18 @@
  * falls more than 10% below the baseline. The gate compares engine
  * ratios, not wall-clock, so it is stable across machine speeds.
  *
+ * After the in-process passes the harness re-runs the matrix as a
+ * multiprocess *campaign* (src/sweep/campaign.h) at --shards 1/2/4,
+ * re-exec'ing itself in a hidden `--serve` worker mode, and records
+ * the per-shard scaling rows plus the 4-vs-1 throughput ratio. The
+ * campaign aggregate must be byte-identical across every shard count
+ * (enforced unconditionally, like the checksum match); with --gate on
+ * a host with >= 4 cores the 4-shard campaign must also be > 1.5x the
+ * 1-shard throughput.
+ *
  * Usage: sweep_throughput [--quick] [--scenarios N] [--runs N]
  *                         [--jobs N] [--out FILE] [--gate FILE]
+ *        sweep_throughput --serve --scenarios N --runs N   (worker)
  */
 
 #include <algorithm>
@@ -31,9 +41,11 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "sweep/campaign.h"
 
 namespace {
 
@@ -146,11 +158,68 @@ baselineNumber(const std::string &json, const char *key)
     return std::strtod(json.c_str() + colon + 1, nullptr);
 }
 
+/**
+ * Hidden worker mode: serve matrix scenarios over the campaign's
+ * stdin/stdout protocol. The coordinator (the campaign passes below)
+ * re-execs this binary with --serve plus the matrix dimensions, so a
+ * worker builds the exact corpus the coordinator is sharding.
+ */
+int
+serveMain(int argc, char **argv)
+{
+    int scenarios = 64;
+    int runs = 100;
+    sweep::WorkerOptions opts;
+    opts.jobs = 1;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                std::exit(2);
+            return argv[++i];
+        };
+        if (arg == "--scenarios")
+            scenarios = std::atoi(next());
+        else if (arg == "--runs")
+            runs = std::atoi(next());
+        else if (arg == "--jobs")
+            opts.jobs = std::atoi(next());
+        else if (arg == "--exit-after")
+            opts.exitAfterRanges = std::atoi(next());
+        else
+            std::exit(2);
+    }
+    const auto specs = buildMatrix(scenarios, runs);
+    return sweep::runWorker(opts, [&specs](int index) {
+        const bench::ResolvedSpec r =
+            bench::resolveSpec(specs[static_cast<std::size_t>(index)]);
+        bench::RunMetrics m;
+        const core::TaxReport report =
+            bench::runResolved(r, sim::EngineMode::Fast, &m);
+        sweep::ScenarioOutcome o;
+        o.e2eMeanMs = report.endToEndMeanMs();
+        o.events = m.events;
+        return o;
+    });
+}
+
+/** One shard-count row of the campaign scaling curve. */
+struct CampaignRow
+{
+    int shards = 0;
+    double wall_s = std::numeric_limits<double>::infinity();
+    double events_per_sec = 0.0;
+    std::string report; ///< deterministic aggregate JSON
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--serve") == 0)
+        return serveMain(argc, argv);
+
     int scenarios = 64;
     int runs = 100;
     int jobs = 0;
@@ -167,7 +236,10 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--quick") {
-            scenarios = 16;
+            // 256 scenarios actually stretch the pool and the campaign
+            // sharding below (16 finished before work-stealing or the
+            // chunk dispatcher had anything to balance).
+            scenarios = 256;
             runs = 30;
         } else if (arg == "--scenarios") {
             scenarios = std::atoi(next());
@@ -317,6 +389,78 @@ main(int argc, char **argv)
     const sweep::SnapshotCacheStats cache_stats =
         sweep::snapshotCacheStatsNow();
 
+    // --- campaign passes: process-sharded fleet scaling -------------
+    // The same matrix as a multiprocess campaign at 1/2/4 worker
+    // shards (each worker --jobs 1, so the row isolates process-level
+    // scaling). The aggregate report must be byte-identical across
+    // every shard count — the determinism contract one level above the
+    // thread pool.
+    const std::string self_exe = sweep::selfExecutablePath(argv[0]);
+    constexpr int kCampaignShards[] = {1, 2, 4};
+    constexpr int kCampaignReps = 2;
+    std::vector<CampaignRow> campaign_rows;
+    bool campaign_match = true;
+    bool campaign_ran = true;
+    for (const int shards : kCampaignShards) {
+        sweep::CampaignConfig ccfg;
+        ccfg.scenarios = scenarios;
+        ccfg.chunk = 32;
+        ccfg.shards = shards;
+        ccfg.identity =
+            "corpus=bench scenarios=" + std::to_string(scenarios) +
+            " runs=" + std::to_string(runs) + " chunk=32 engine=fast";
+        ccfg.workerCmd = {self_exe,
+                          "--serve",
+                          "--scenarios",
+                          std::to_string(scenarios),
+                          "--runs",
+                          std::to_string(runs)};
+        CampaignRow row;
+        row.shards = shards;
+        std::uint64_t campaign_events = 0;
+        for (int rep = 0; rep < kCampaignReps && campaign_ran; ++rep) {
+            const sweep::CampaignSummary sum = sweep::runCampaign(ccfg);
+            if (sum.status != sweep::CampaignStatus::Ok) {
+                std::fprintf(stderr, "campaign (shards=%d): %s\n",
+                             shards, sum.error.c_str());
+                campaign_ran = false;
+                break;
+            }
+            const std::string report = sweep::campaignReportJson(
+                ccfg.identity, sum.aggregate);
+            if (row.report.empty())
+                row.report = report;
+            else if (row.report != report)
+                campaign_match = false;
+            row.wall_s = std::min(row.wall_s, sum.wallSeconds);
+            campaign_events = sum.aggregate.events;
+        }
+        if (!campaign_ran)
+            break;
+        row.events_per_sec =
+            row.wall_s > 0.0
+                ? static_cast<double>(campaign_events) / row.wall_s
+                : 0.0;
+        if (!campaign_rows.empty() &&
+            campaign_rows.front().report != row.report)
+            campaign_match = false;
+        campaign_rows.push_back(std::move(row));
+        std::printf("  campaign  shards=%d  %.3f s  (%.3g events/s)\n",
+                    shards, campaign_rows.back().wall_s,
+                    campaign_rows.back().events_per_sec);
+    }
+    campaign_match = campaign_match && campaign_ran;
+    const double shards4_speedup =
+        campaign_rows.size() == std::size(kCampaignShards) &&
+                campaign_rows.front().events_per_sec > 0.0
+            ? campaign_rows.back().events_per_sec /
+                  campaign_rows.front().events_per_sec
+            : 0.0;
+    std::printf("  campaign: aggregates %s across shard counts, "
+                "4-vs-1 shard speedup %.2fx\n",
+                campaign_match ? "byte-identical" : "MISMATCH",
+                shards4_speedup);
+
     std::printf("  determinism: serial/parallel checksums %s, "
                 "fast/reference engines %s\n",
                 checksum_match ? "match" : "MISMATCH",
@@ -382,6 +526,21 @@ main(int argc, char **argv)
                         setup_ok ? "ok" : "REGRESSION");
             gate_ok = gate_ok && setup_ok;
         }
+
+        // Campaign scaling: process sharding must actually buy
+        // throughput. Only enforced where the host has the cores to
+        // show it (CI runners do; a 1-core calibration box cannot).
+        if (std::thread::hardware_concurrency() >= 4) {
+            const bool scaling_ok = shards4_speedup > 1.5;
+            std::printf("  gate: campaign 4-vs-1 shard speedup %.2fx "
+                        "(floor 1.50x) -> %s\n",
+                        shards4_speedup,
+                        scaling_ok ? "ok" : "REGRESSION");
+            gate_ok = gate_ok && scaling_ok;
+        } else {
+            std::printf("  gate: campaign shard-scaling floor skipped "
+                        "(host has < 4 cores)\n");
+        }
     }
 
     std::ofstream out(out_path);
@@ -434,10 +593,30 @@ main(int argc, char **argv)
     out << "  \"checksum_match\": "
         << (checksum_match ? "true" : "false") << ",\n";
     out << "  \"engine_checksum_match\": "
-        << (engine_match ? "true" : "false") << "\n"
+        << (engine_match ? "true" : "false") << ",\n";
+    // Per-shard-count campaign rows: the fleet-scaling curve.
+    out << "  \"campaign\": {\n"
+        << "    \"chunk\": 32,\n"
+        << "    \"byte_identical_across_shards\": "
+        << (campaign_match ? "true" : "false") << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.3f", shards4_speedup);
+    out << "    \"shards4_speedup\": " << buf << ",\n"
+        << "    \"rows\": [\n";
+    for (std::size_t i = 0; i < campaign_rows.size(); ++i) {
+        const CampaignRow &row = campaign_rows[i];
+        std::snprintf(buf, sizeof(buf), "%.6f", row.wall_s);
+        out << "      {\"shards\": " << row.shards
+            << ", \"wall_s\": " << buf;
+        std::snprintf(buf, sizeof(buf), "%.1f", row.events_per_sec);
+        out << ", \"events_per_sec\": " << buf << "}"
+            << (i + 1 < campaign_rows.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  }\n"
         << "}\n";
     out.close();
     std::printf("  wrote %s\n", out_path.c_str());
 
-    return (checksum_match && engine_match && gate_ok) ? 0 : 1;
+    return (checksum_match && engine_match && campaign_match && gate_ok)
+               ? 0
+               : 1;
 }

@@ -4,7 +4,8 @@ namespace aitax::soc {
 
 SocSystem::SocSystem(SocConfig cfg_in, std::uint64_t seed,
                      sim::EngineMode engine, sim::Arena *arena)
-    : cfg(std::move(cfg_in)), sim_(engine), fabric_(cfg.fabric),
+    : cfg(std::move(cfg_in)), sim_(engine), tracer_(arena),
+      fabric_(cfg.fabric),
       dvfs_(cfg.dvfs, sim_), thermal_(cfg.thermal, sim_),
       sched_(sim_, cfg.cluster, thermal_, tracer_, &energy_, &dvfs_,
              &fabric_),

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fixed-memory mergeable distribution sketch for fleet-scale sweeps.
+ *
+ * stats::Distribution retains every sample, which is the right tool
+ * for one figure's worth of data but cannot aggregate a
+ * million-scenario campaign online. StreamingDistribution is the
+ * campaign-side companion: a log-bucketed histogram in the DDSketch
+ * family (geometric bucket boundaries with relative accuracy
+ * kRelativeAccuracy) plus exact count/sum/min/max moments, in a few
+ * tens of kilobytes regardless of how many samples are added.
+ *
+ * Merge semantics are the whole point: merging two sketches adds
+ * bucket counters element-wise, so quantiles, count, min and max are
+ * *exactly* merge-order independent (associative and commutative),
+ * which is what lets a campaign coordinator combine per-chunk partial
+ * aggregates in canonical chunk order and produce byte-identical
+ * output at any --shards x --jobs split, including kill-and-resume
+ * (serialize()/deserialize() round-trip the state losslessly;
+ * doubles travel as "%.17g"). Mean/stddev merge by summing moments,
+ * which is FP-commutative; the campaign keeps them byte-stable by
+ * always merging chunks in ascending chunk order.
+ *
+ * Error bound: for samples inside [kMinTrackable, kMaxTrackable],
+ * percentile(p) returns a value within kRelativeAccuracy (1%) of some
+ * sample whose rank is exact for the bucketed population — i.e. the
+ * quantile *value* has bounded relative error while the quantile
+ * *rank* is exact. tests/test_campaign.cc checks this against the
+ * sample-retaining Distribution on seeded data. Samples outside the
+ * trackable range clamp into the edge buckets (count/min/max stay
+ * exact; their quantile contribution saturates).
+ */
+
+#ifndef AITAX_STATS_STREAMING_DISTRIBUTION_H
+#define AITAX_STATS_STREAMING_DISTRIBUTION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aitax::stats {
+
+class StreamingDistribution
+{
+  public:
+    /** Guaranteed relative accuracy of percentile() values. */
+    static constexpr double kRelativeAccuracy = 0.01;
+    /** Trackable value range; outside values clamp to the edges. */
+    static constexpr double kMinTrackable = 1e-6;
+    static constexpr double kMaxTrackable = 1e12;
+
+    void add(double x);
+
+    /**
+     * Fold @p other into this sketch. Element-wise counter addition:
+     * exactly associative and commutative for count/min/max and every
+     * percentile; mean/stddev are commutative up to FP rounding (the
+     * campaign layer merges in canonical chunk order so aggregate
+     * reports stay byte-identical).
+     */
+    void merge(const StreamingDistribution &other);
+
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    double sum() const { return sum_; }
+    double mean() const;
+    /** Sample standard deviation (n-1 denominator), from moments. */
+    double stddev() const;
+    /** Coefficient of variation (stddev / mean); 0 if mean is 0. */
+    double cv() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Quantile with exact rank and <= kRelativeAccuracy value error.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+    double median() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    /**
+     * The paper's Fig 11 variability metric, approximated from the
+     * sketch: worst-case deviation of the observed extremes from the
+     * median, in percent of the median.
+     */
+    double maxDeviationFromMedianPct() const;
+
+    /**
+     * Lossless single-line text form ("sd1 ..."): exact counters plus
+     * "%.17g" moments, so deserialize(serialize()) reproduces the
+     * sketch bit-for-bit. Used by the campaign checkpoint manifest.
+     */
+    std::string serialize() const;
+
+    /**
+     * Parse a serialize() line. @return false (with @p error set when
+     * non-null) on malformed input; @p out is untouched on failure.
+     */
+    static bool deserialize(std::string_view text,
+                            StreamingDistribution &out,
+                            std::string *error = nullptr);
+
+    /**
+     * Exact state equality — counters and bit-identical moments. The
+     * determinism tests use this to prove merge-order independence.
+     */
+    bool identicalTo(const StreamingDistribution &other) const;
+
+    /** One-line summary, e.g. for logging. */
+    std::string summary() const;
+
+  private:
+    /** Dense bucket array, allocated on first add; empty until then. */
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+
+    void ensureBuckets();
+};
+
+} // namespace aitax::stats
+
+#endif // AITAX_STATS_STREAMING_DISTRIBUTION_H

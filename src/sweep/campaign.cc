@@ -1,0 +1,701 @@
+#include "sweep/campaign.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sweep/sweep_runner.h"
+
+namespace aitax::sweep {
+
+namespace {
+
+constexpr const char *kWorkerBanner = "aitax-sweep-worker-v1 ready";
+constexpr const char *kManifestMagic = "aitax-campaign-v1";
+
+/** Replacement workers spawned after crashes before giving up. */
+constexpr int kMaxRespawns = 8;
+
+std::string
+formatG17(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+int
+runWorker(const WorkerOptions &opts, const ScenarioFn &fn)
+{
+    std::printf("%s\n", kWorkerBanner);
+    std::fflush(stdout);
+
+    SweepRunner pool(opts.jobs);
+    SnapshotCacheStats last = snapshotCacheStatsNow();
+    int rangesSeen = 0;
+    char line[256];
+    while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+        if (std::strncmp(line, "quit", 4) == 0)
+            return 0;
+        int begin = 0;
+        int end = 0;
+        if (std::sscanf(line, "range %d %d", &begin, &end) != 2 ||
+            begin < 0 || end < begin) {
+            std::fprintf(stderr, "sweep-serve: bad command: %s", line);
+            return 2;
+        }
+        ++rangesSeen;
+        if (opts.exitAfterRanges >= 0 && rangesSeen >= opts.exitAfterRanges)
+            std::exit(7); // crash injection: drop the chunk on the floor
+
+        const auto n = static_cast<std::size_t>(end - begin);
+        const std::vector<ScenarioOutcome> results =
+            pool.map<ScenarioOutcome>(n, [&](std::size_t i) {
+                return fn(begin + static_cast<int>(i));
+            });
+        for (std::size_t i = 0; i < n; ++i)
+            std::printf("r %d %s %llu\n", begin + static_cast<int>(i),
+                        formatG17(results[i].e2eMeanMs).c_str(),
+                        static_cast<unsigned long long>(results[i].events));
+
+        const SnapshotCacheStats now = snapshotCacheStatsNow();
+        std::printf("done %d %d %llu %llu %llu %llu\n", begin, end,
+                    static_cast<unsigned long long>(now.hits - last.hits),
+                    static_cast<unsigned long long>(now.misses - last.misses),
+                    static_cast<unsigned long long>(now.stores - last.stores),
+                    static_cast<unsigned long long>(now.raceDiscards -
+                                                    last.raceDiscards));
+        last = now;
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Aggregate
+// ---------------------------------------------------------------------
+
+void
+CampaignAggregate::addScenario(const ScenarioOutcome &o)
+{
+    latencyMs.add(o.e2eMeanMs);
+    ++scenarios;
+    events += o.events;
+    checksumMs += o.e2eMeanMs;
+}
+
+void
+CampaignAggregate::merge(const CampaignAggregate &chunk)
+{
+    latencyMs.merge(chunk.latencyMs);
+    scenarios += chunk.scenarios;
+    events += chunk.events;
+    checksumMs += chunk.checksumMs;
+}
+
+std::string
+CampaignAggregate::serialize() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "ca1 n=%llu e=%llu k=%.17g | ",
+                  static_cast<unsigned long long>(scenarios),
+                  static_cast<unsigned long long>(events), checksumMs);
+    return std::string(buf) + latencyMs.serialize();
+}
+
+bool
+CampaignAggregate::deserialize(std::string_view text, CampaignAggregate &out,
+                               std::string *error)
+{
+    auto fail = [&](const char *why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    CampaignAggregate a;
+    unsigned long long n = 0;
+    unsigned long long e = 0;
+    int consumed = 0;
+    const std::string s(text);
+    if (std::sscanf(s.c_str(), "ca1 n=%llu e=%llu k=%lf | %n", &n, &e,
+                    &a.checksumMs, &consumed) != 3 ||
+        consumed == 0)
+        return fail("bad ca1 prefix");
+    a.scenarios = n;
+    a.events = e;
+    if (!stats::StreamingDistribution::deserialize(
+            s.c_str() + consumed, a.latencyMs, error))
+        return false;
+    if (a.latencyMs.count() != a.scenarios)
+        return fail("sketch count disagrees with n=");
+    out = std::move(a);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct WorkerProc
+{
+    pid_t pid = -1;
+    int inFd = -1;  ///< commands to the worker's stdin
+    int outFd = -1; ///< results from the worker's stdout
+    std::string buf;
+    bool sawBanner = false;
+    bool quitSent = false;
+    int chunkId = -1; ///< assigned chunk; -1 when idle
+    int nextExpected = -1;
+    int rangeEnd = -1;
+    CampaignAggregate partial;
+};
+
+struct Coordinator
+{
+    const CampaignConfig &cfg;
+    CampaignSummary &sum;
+    int chunkCount = 0;
+    /** Chunks awaiting dispatch, ascending; re-dispatches append. */
+    std::vector<int> pendingChunks;
+    std::size_t pendingHead = 0;
+    /** Completed partials not yet folded into the frontier. */
+    std::map<int, CampaignAggregate> completed;
+    int mergeFrontier = 0;
+    int completedCount = 0;
+    bool stopping = false;
+    int respawnsLeft = kMaxRespawns;
+    std::vector<WorkerProc> workers;
+    std::FILE *manifest = nullptr;
+    std::string failure;
+
+    explicit Coordinator(const CampaignConfig &c, CampaignSummary &s)
+        : cfg(c), sum(s)
+    {
+    }
+
+    int chunkBegin(int id) const { return id * cfg.chunk; }
+    int chunkEnd(int id) const
+    {
+        return std::min(cfg.scenarios, (id + 1) * cfg.chunk);
+    }
+
+    bool fail(const std::string &why)
+    {
+        if (failure.empty())
+            failure = why;
+        return false;
+    }
+
+    bool loadManifest();
+    bool openManifest(bool truncate);
+    void appendManifest(int id, const CampaignAggregate &partial);
+    void noteCompleted(int id, CampaignAggregate partial, bool fromResume);
+    void advanceFrontier();
+
+    bool spawnWorker(bool injectKill);
+    void sendCommand(WorkerProc &w, const std::string &cmd);
+    void assignNext(WorkerProc &w);
+    bool handleLine(WorkerProc &w, const std::string &line);
+    void reapWorker(WorkerProc &w);
+    bool eventLoop();
+};
+
+bool
+Coordinator::openManifest(bool truncate)
+{
+    if (cfg.checkpointPath.empty())
+        return true;
+    manifest =
+        std::fopen(cfg.checkpointPath.c_str(), truncate ? "w" : "a");
+    if (manifest == nullptr)
+        return fail("cannot open checkpoint manifest: " +
+                    cfg.checkpointPath);
+    if (truncate) {
+        std::fprintf(manifest, "%s %s\n", kManifestMagic,
+                     cfg.identity.c_str());
+        std::fflush(manifest);
+    }
+    return true;
+}
+
+bool
+Coordinator::loadManifest()
+{
+    std::FILE *f = std::fopen(cfg.checkpointPath.c_str(), "r");
+    if (f == nullptr) {
+        // Nothing to resume from: degrade to a fresh campaign.
+        std::fprintf(stderr,
+                     "campaign: --resume with no manifest at %s; "
+                     "starting fresh\n",
+                     cfg.checkpointPath.c_str());
+        return openManifest(/*truncate=*/true);
+    }
+    char line[8192];
+    if (std::fgets(line, sizeof(line), f) == nullptr) {
+        std::fclose(f);
+        return openManifest(/*truncate=*/true);
+    }
+    std::string header(line);
+    while (!header.empty() &&
+           (header.back() == '\n' || header.back() == '\r'))
+        header.pop_back();
+    const std::string expected =
+        std::string(kManifestMagic) + " " + cfg.identity;
+    if (header != expected) {
+        std::fclose(f);
+        return fail("checkpoint manifest belongs to a different "
+                    "campaign: \"" +
+                    header + "\" vs \"" + expected + "\"");
+    }
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        std::string text(line);
+        while (!text.empty() &&
+               (text.back() == '\n' || text.back() == '\r'))
+            text.pop_back();
+        if (text.empty())
+            continue;
+        int id = 0;
+        int consumed = 0;
+        if (std::sscanf(text.c_str(), "chunk %d %n", &id, &consumed) != 1 ||
+            consumed == 0 || id < 0 || id >= chunkCount) {
+            std::fclose(f);
+            return fail("malformed manifest line: " + text);
+        }
+        CampaignAggregate partial;
+        std::string err;
+        if (!CampaignAggregate::deserialize(text.c_str() + consumed,
+                                            partial, &err)) {
+            std::fclose(f);
+            return fail("malformed manifest chunk " + std::to_string(id) +
+                        ": " + err);
+        }
+        const int expectN = chunkEnd(id) - chunkBegin(id);
+        if (partial.scenarios != static_cast<std::uint64_t>(expectN)) {
+            std::fclose(f);
+            return fail("manifest chunk " + std::to_string(id) +
+                        " has wrong scenario count");
+        }
+        if (completed.find(id) == completed.end())
+            noteCompleted(id, std::move(partial), /*fromResume=*/true);
+    }
+    std::fclose(f);
+    return openManifest(/*truncate=*/false);
+}
+
+void
+Coordinator::appendManifest(int id, const CampaignAggregate &partial)
+{
+    if (manifest == nullptr)
+        return;
+    std::fprintf(manifest, "chunk %d %s\n", id,
+                 partial.serialize().c_str());
+    std::fflush(manifest);
+}
+
+void
+Coordinator::noteCompleted(int id, CampaignAggregate partial,
+                           bool fromResume)
+{
+    completed.emplace(id, std::move(partial));
+    ++completedCount;
+    if (fromResume)
+        ++sum.chunksResumed;
+    else {
+        ++sum.chunksRun;
+        if (cfg.stopAfterChunks >= 0 && sum.chunksRun >= cfg.stopAfterChunks)
+            stopping = true;
+    }
+    advanceFrontier();
+}
+
+void
+Coordinator::advanceFrontier()
+{
+    // Fold completed partials into the campaign aggregate strictly in
+    // ascending chunk order — the canonical merge order that makes the
+    // report independent of which worker finished first.
+    for (auto it = completed.find(mergeFrontier); it != completed.end();
+         it = completed.find(mergeFrontier)) {
+        sum.aggregate.merge(it->second);
+        completed.erase(it);
+        ++mergeFrontier;
+    }
+}
+
+bool
+Coordinator::spawnWorker(bool injectKill)
+{
+    int toChild[2];
+    int fromChild[2];
+    if (pipe(toChild) != 0)
+        return fail("pipe() failed");
+    if (pipe(fromChild) != 0) {
+        close(toChild[0]);
+        close(toChild[1]);
+        return fail("pipe() failed");
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+        close(toChild[0]);
+        close(toChild[1]);
+        close(fromChild[0]);
+        close(fromChild[1]);
+        return fail("fork() failed");
+    }
+    if (pid == 0) {
+        dup2(toChild[0], STDIN_FILENO);
+        dup2(fromChild[1], STDOUT_FILENO);
+        close(toChild[0]);
+        close(toChild[1]);
+        close(fromChild[0]);
+        close(fromChild[1]);
+        std::vector<std::string> argvS = cfg.workerCmd;
+        if (injectKill) {
+            argvS.push_back("--exit-after");
+            argvS.push_back(std::to_string(cfg.killWorkerAfterRanges));
+        }
+        std::vector<char *> argv;
+        argv.reserve(argvS.size() + 1);
+        for (std::string &a : argvS)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        execv(argv[0], argv.data());
+        std::fprintf(stderr, "campaign worker: execv(%s) failed: %s\n",
+                     argv[0], std::strerror(errno));
+        _exit(127);
+    }
+    close(toChild[0]);
+    close(fromChild[1]);
+    WorkerProc w;
+    w.pid = pid;
+    w.inFd = toChild[1];
+    w.outFd = fromChild[0];
+    workers.push_back(std::move(w));
+    return true;
+}
+
+void
+Coordinator::sendCommand(WorkerProc &w, const std::string &cmd)
+{
+    // EPIPE here means the worker already died; its EOF handler will
+    // reclaim the chunk, so a failed write is not itself an error.
+    std::size_t off = 0;
+    while (off < cmd.size()) {
+        const ssize_t n =
+            write(w.inFd, cmd.data() + off, cmd.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+Coordinator::assignNext(WorkerProc &w)
+{
+    if (w.quitSent)
+        return;
+    if (stopping || pendingHead >= pendingChunks.size()) {
+        sendCommand(w, "quit\n");
+        w.quitSent = true;
+        close(w.inFd);
+        w.inFd = -1;
+        return;
+    }
+    const int id = pendingChunks[pendingHead++];
+    w.chunkId = id;
+    w.partial = CampaignAggregate{};
+    w.nextExpected = chunkBegin(id);
+    w.rangeEnd = chunkEnd(id);
+    sendCommand(w, "range " + std::to_string(chunkBegin(id)) + " " +
+                       std::to_string(chunkEnd(id)) + "\n");
+}
+
+bool
+Coordinator::handleLine(WorkerProc &w, const std::string &line)
+{
+    if (!w.sawBanner) {
+        if (line != kWorkerBanner)
+            return fail("worker did not identify itself: \"" + line +
+                        "\"");
+        w.sawBanner = true;
+        assignNext(w);
+        return true;
+    }
+    if (line.compare(0, 2, "r ") == 0) {
+        int idx = 0;
+        double mean = 0.0;
+        unsigned long long events = 0;
+        if (std::sscanf(line.c_str(), "r %d %lf %llu", &idx, &mean,
+                        &events) != 3)
+            return fail("malformed result line: " + line);
+        if (w.chunkId < 0 || idx != w.nextExpected || idx >= w.rangeEnd)
+            return fail("result index " + std::to_string(idx) +
+                        " outside assigned range");
+        ScenarioOutcome o;
+        o.e2eMeanMs = mean;
+        o.events = events;
+        w.partial.addScenario(o);
+        ++w.nextExpected;
+        return true;
+    }
+    if (line.compare(0, 5, "done ") == 0) {
+        int begin = 0;
+        int end = 0;
+        unsigned long long h = 0;
+        unsigned long long m = 0;
+        unsigned long long s = 0;
+        unsigned long long d = 0;
+        if (std::sscanf(line.c_str(), "done %d %d %llu %llu %llu %llu",
+                        &begin, &end, &h, &m, &s, &d) != 6)
+            return fail("malformed done line: " + line);
+        if (w.chunkId < 0 || begin != chunkBegin(w.chunkId) ||
+            end != chunkEnd(w.chunkId) || w.nextExpected != end)
+            return fail("done line disagrees with assigned chunk");
+        sum.workerCache.hits += h;
+        sum.workerCache.misses += m;
+        sum.workerCache.stores += s;
+        sum.workerCache.raceDiscards += d;
+        const int id = w.chunkId;
+        w.chunkId = -1;
+        appendManifest(id, w.partial);
+        noteCompleted(id, std::move(w.partial), /*fromResume=*/false);
+        assignNext(w);
+        return true;
+    }
+    return fail("unrecognized worker line: " + line);
+}
+
+void
+Coordinator::reapWorker(WorkerProc &w)
+{
+    if (w.outFd >= 0) {
+        close(w.outFd);
+        w.outFd = -1;
+    }
+    if (w.inFd >= 0) {
+        close(w.inFd);
+        w.inFd = -1;
+    }
+    int status = 0;
+    waitpid(w.pid, &status, 0);
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+                       w.quitSent && w.chunkId < 0;
+    if (!clean) {
+        ++sum.workersLost;
+        if (w.chunkId >= 0) {
+            // The in-flight chunk died with the worker; any partial
+            // result lines are discarded and the whole chunk is
+            // re-dispatched, so re-execution stays chunk-atomic.
+            pendingChunks.push_back(w.chunkId);
+            ++sum.chunksRedispatched;
+            w.chunkId = -1;
+        }
+    }
+    w.pid = -1;
+}
+
+bool
+Coordinator::eventLoop()
+{
+    while (true) {
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> owner;
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            if (workers[i].pid >= 0 && workers[i].outFd >= 0) {
+                fds.push_back(pollfd{workers[i].outFd, POLLIN, 0});
+                owner.push_back(i);
+            }
+        }
+        if (fds.empty()) {
+            // No live workers. Done, interrupted, or crashed short.
+            if (completedCount == chunkCount || stopping)
+                return failure.empty();
+            if (pendingHead < pendingChunks.size() && respawnsLeft > 0 &&
+                failure.empty()) {
+                --respawnsLeft;
+                if (!spawnWorker(/*injectKill=*/false))
+                    return false;
+                continue;
+            }
+            return fail("campaign incomplete: all workers exited with " +
+                        std::to_string(chunkCount - completedCount) +
+                        " chunks unfinished");
+        }
+        const int rc = poll(fds.data(), fds.size(), -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return fail("poll() failed");
+        }
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            WorkerProc &w = workers[owner[i]];
+            char buf[4096];
+            const ssize_t n = read(w.outFd, buf, sizeof(buf));
+            if (n > 0) {
+                w.buf.append(buf, static_cast<std::size_t>(n));
+                std::size_t pos = 0;
+                std::size_t nl = 0;
+                while ((nl = w.buf.find('\n', pos)) !=
+                       std::string::npos) {
+                    if (!handleLine(w, w.buf.substr(pos, nl - pos)))
+                        return false;
+                    pos = nl + 1;
+                }
+                w.buf.erase(0, pos);
+            } else if (n == 0 || (n < 0 && errno != EINTR)) {
+                reapWorker(w);
+                if (!failure.empty())
+                    return false;
+            }
+        }
+    }
+}
+
+} // namespace
+
+CampaignSummary
+runCampaign(const CampaignConfig &cfg)
+{
+    CampaignSummary sum;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    if (cfg.scenarios < 0 || cfg.chunk <= 0 || cfg.shards <= 0 ||
+        cfg.workerCmd.empty()) {
+        sum.error = "invalid campaign config";
+        return sum;
+    }
+
+    // A dead worker's EPIPE must surface as a failed write(), not a
+    // process-killing signal; restore the caller's disposition after.
+    struct sigaction ign = {};
+    struct sigaction oldPipe = {};
+    ign.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &ign, &oldPipe);
+
+    Coordinator co(cfg, sum);
+    co.chunkCount =
+        cfg.chunk > 0 ? (cfg.scenarios + cfg.chunk - 1) / cfg.chunk : 0;
+    sum.chunksTotal = co.chunkCount;
+
+    bool ok = true;
+    if (cfg.resume && !cfg.checkpointPath.empty())
+        ok = co.loadManifest();
+    else
+        ok = co.openManifest(/*truncate=*/true);
+
+    if (ok) {
+        for (int id = 0; id < co.chunkCount; ++id)
+            if (co.completed.find(id) == co.completed.end() &&
+                id >= co.mergeFrontier)
+                co.pendingChunks.push_back(id);
+        const int want =
+            std::min(cfg.shards,
+                     std::max(1, static_cast<int>(
+                                     co.pendingChunks.size())));
+        for (int i = 0; ok && i < want; ++i)
+            ok = co.spawnWorker(
+                /*injectKill=*/i == 0 && cfg.killWorkerAfterRanges >= 0);
+    }
+    if (ok)
+        ok = co.eventLoop();
+
+    // Drain any workers still alive after a failure path.
+    for (WorkerProc &w : co.workers) {
+        if (w.pid >= 0)
+            co.reapWorker(w);
+    }
+    if (co.manifest != nullptr)
+        std::fclose(co.manifest);
+    sigaction(SIGPIPE, &oldPipe, nullptr);
+
+    // An interrupted campaign still reports the merged prefix: fold
+    // whatever completed beyond the frontier in ascending order.
+    for (auto &kv : co.completed)
+        sum.aggregate.merge(kv.second);
+    co.completed.clear();
+
+    const auto t1 = std::chrono::steady_clock::now();
+    sum.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    if (sum.wallSeconds > 0.0)
+        sum.eventsPerSec =
+            static_cast<double>(sum.aggregate.events) / sum.wallSeconds;
+
+    if (!ok || !co.failure.empty()) {
+        sum.status = CampaignStatus::Error;
+        sum.error = co.failure.empty() ? "campaign failed" : co.failure;
+    } else if (co.completedCount == co.chunkCount) {
+        sum.status = CampaignStatus::Ok;
+    } else {
+        sum.status = CampaignStatus::Interrupted;
+    }
+    return sum;
+}
+
+std::string
+campaignReportJson(const std::string &identity,
+                   const CampaignAggregate &agg)
+{
+    const stats::StreamingDistribution &d = agg.latencyMs;
+    std::string out;
+    out += "{\n";
+    out += "  \"campaign\": {\n";
+    out += "    \"identity\": \"" + identity + "\",\n";
+    out += "    \"scenarios\": " + std::to_string(agg.scenarios) + ",\n";
+    out += "    \"events\": " + std::to_string(agg.events) + ",\n";
+    out += "    \"checksum_ms\": " + formatG17(agg.checksumMs) + ",\n";
+    out += "    \"latency_ms\": {\n";
+    out += "      \"mean\": " + formatG17(d.mean()) + ",\n";
+    out += "      \"stddev\": " + formatG17(d.stddev()) + ",\n";
+    out += "      \"cv\": " + formatG17(d.cv()) + ",\n";
+    out += "      \"p50\": " + formatG17(d.median()) + ",\n";
+    out += "      \"p90\": " + formatG17(d.percentile(90.0)) + ",\n";
+    out += "      \"p95\": " + formatG17(d.p95()) + ",\n";
+    out += "      \"p99\": " + formatG17(d.p99()) + ",\n";
+    out += "      \"min\": " + formatG17(d.min()) + ",\n";
+    out += "      \"max\": " + formatG17(d.max()) + ",\n";
+    out += "      \"max_dev_from_median_pct\": " +
+           formatG17(d.maxDeviationFromMedianPct()) + "\n";
+    out += "    }\n";
+    out += "  }\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+selfExecutablePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0 != nullptr ? argv0 : "";
+}
+
+} // namespace aitax::sweep

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Fleet-scale sweep campaigns: multiprocess sharded scenario sweeps
+ * with streaming online aggregation and checkpoint/resume.
+ *
+ * A campaign runs a seeded scenario corpus of arbitrary size across
+ * --shards worker *processes* (each running its scenarios on the
+ * in-process SweepRunner pool with --jobs threads), one level above
+ * the thread pool: "parallelism across simulations, never inside one"
+ * extended across process boundaries.
+ *
+ * Topology and protocol (newline-delimited text over pipes):
+ *
+ *   coordinator --(stdin)--> worker:   "range <begin> <end>" | "quit"
+ *   worker --(stdout)--> coordinator:  "aitax-sweep-worker-v1 ready"
+ *                                      "r <index> <e2e_mean_ms> <events>"
+ *                                      "done <begin> <end> <cache h m s d>"
+ *
+ * The corpus is split into fixed-size chunks (the checkpoint and
+ * streaming granularity). Workers pull contiguous chunks dynamically;
+ * per-scenario result lines stream back in index order within each
+ * chunk and fold into a per-chunk partial aggregate (a mergeable
+ * stats::StreamingDistribution plus exact scalar tallies). Completed
+ * chunks append one line to the checkpoint manifest, and partials are
+ * merged into the campaign aggregate at a frontier that always
+ * advances in ascending chunk order.
+ *
+ * Determinism contract, one level up from SweepRunner: chunk
+ * boundaries depend only on (scenarios, chunk), never on the shard or
+ * job count, and the aggregate merge order is canonicalized by chunk
+ * index — so the final aggregate report is byte-identical at any
+ * --shards N x --jobs M split, across worker crashes (the coordinator
+ * re-dispatches lost chunks) and across kill-and-resume (partials are
+ * serialized losslessly in the manifest). Wall-clock timings, shard
+ * counts and snapshot-cache tallies are deliberately excluded from
+ * the deterministic report and surfaced in CampaignSummary instead.
+ */
+
+#ifndef AITAX_SWEEP_CAMPAIGN_H
+#define AITAX_SWEEP_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/streaming_distribution.h"
+#include "sweep/snapshot_cache.h"
+
+namespace aitax::sweep {
+
+/** One scenario's contribution to the campaign aggregate. */
+struct ScenarioOutcome
+{
+    /** End-to-end mean latency of the scenario's runs, in ms. */
+    double e2eMeanMs = 0.0;
+    /** Simulation events executed (the events/sec numerator). */
+    std::uint64_t events = 0;
+};
+
+/**
+ * Runs scenario @p index of the caller's corpus. Must be a pure
+ * function of the index (the corpus seed is bound by the caller), and
+ * safe to call from SweepRunner worker threads.
+ */
+using ScenarioFn = std::function<ScenarioOutcome(int index)>;
+
+struct WorkerOptions
+{
+    /** Threads for the worker's in-process SweepRunner pool. */
+    int jobs = 1;
+    /**
+     * Crash-injection hook for the resilience tests: the worker calls
+     * std::exit(7) upon *receiving* its Nth range command (1-based),
+     * losing the in-flight chunk. < 0 disables.
+     */
+    int exitAfterRanges = -1;
+};
+
+/**
+ * Serve sweep ranges over stdin/stdout until "quit" or EOF.
+ * @return process exit code (0 on a clean quit).
+ */
+int runWorker(const WorkerOptions &opts, const ScenarioFn &fn);
+
+/** Mergeable aggregate state of a campaign (or one chunk of it). */
+struct CampaignAggregate
+{
+    stats::StreamingDistribution latencyMs;
+    /** Scenarios folded in. */
+    std::uint64_t scenarios = 0;
+    /** Total simulation events across those scenarios. */
+    std::uint64_t events = 0;
+    /**
+     * Order-sensitive fingerprint: sum of per-scenario mean latencies
+     * accumulated in ascending scenario index order. Any split that
+     * reproduces the campaign byte-exactly reproduces this double
+     * bit-exactly.
+     */
+    double checksumMs = 0.0;
+
+    void addScenario(const ScenarioOutcome &o);
+    /** Fold @p chunk in; call in ascending chunk order. */
+    void merge(const CampaignAggregate &chunk);
+
+    /** Lossless one-line text form for the checkpoint manifest. */
+    std::string serialize() const;
+    static bool deserialize(std::string_view text, CampaignAggregate &out,
+                            std::string *error = nullptr);
+};
+
+struct CampaignConfig
+{
+    /** Corpus size: scenario indices [0, scenarios). */
+    int scenarios = 0;
+    /** Chunk size — checkpoint/streaming granularity. Chunk
+     *  boundaries are a pure function of (scenarios, chunk), never of
+     *  the shard count; changing it changes the aggregate's FP merge
+     *  order, so resumes validate it via the manifest header. */
+    int chunk = 32;
+    /** Worker processes. */
+    int shards = 1;
+    /**
+     * argv of one worker process (argv[0] = executable). The
+     * coordinator appends nothing; bake seed/jobs/engine flags in.
+     */
+    std::vector<std::string> workerCmd;
+    /**
+     * Campaign identity line, e.g. "corpus=fuzz seed=42 scenarios=256
+     * chunk=32 faults=0 engine=fast". Written to the manifest header
+     * and validated on resume: a checkpoint from a different campaign
+     * is an error, not silent corruption.
+     */
+    std::string identity;
+    /** Checkpoint manifest path; empty disables checkpointing. */
+    std::string checkpointPath;
+    /** Load completed chunks from the manifest before dispatching. */
+    bool resume = false;
+    /**
+     * Interruption-injection hook for the resume tests: after this
+     * many chunk completions in this session the coordinator stops
+     * dispatching, drains its workers and reports Interrupted. < 0
+     * disables.
+     */
+    int stopAfterChunks = -1;
+    /** Crash-injection: worker 0 is launched with this --exit-after
+     *  value appended to workerCmd. < 0 disables. */
+    int killWorkerAfterRanges = -1;
+};
+
+enum class CampaignStatus
+{
+    Ok,
+    Interrupted, ///< stopAfterChunks hit; manifest holds the progress
+    Error,
+};
+
+struct CampaignSummary
+{
+    CampaignStatus status = CampaignStatus::Error;
+    std::string error;
+
+    /** The deterministic aggregate (merged in chunk order). */
+    CampaignAggregate aggregate;
+
+    // Observability — never part of the deterministic report.
+    /** Snapshot-cache counters summed across all worker processes. */
+    SnapshotCacheStats workerCache;
+    double wallSeconds = 0.0;
+    /** Aggregate throughput: events / wallSeconds. */
+    double eventsPerSec = 0.0;
+    int chunksTotal = 0;
+    /** Chunks executed by workers this session. */
+    int chunksRun = 0;
+    /** Chunks restored from the manifest (--resume). */
+    int chunksResumed = 0;
+    /** Worker processes that died mid-campaign. */
+    int workersLost = 0;
+    /** Chunks that had to be re-dispatched after a worker loss. */
+    int chunksRedispatched = 0;
+};
+
+/**
+ * Drive a sharded campaign to completion (or checkpointed
+ * interruption). Blocks until every worker has exited.
+ */
+CampaignSummary runCampaign(const CampaignConfig &cfg);
+
+/**
+ * The deterministic campaign report: identity + aggregate only, every
+ * double as "%.17g". Byte-identical at any shard/job split and across
+ * kill/resume — the artifact the verify tier compares.
+ */
+std::string campaignReportJson(const std::string &identity,
+                               const CampaignAggregate &agg);
+
+/** /proc/self/exe (fallback: @p argv0) — workers re-exec this binary. */
+std::string selfExecutablePath(const char *argv0);
+
+} // namespace aitax::sweep
+
+#endif // AITAX_SWEEP_CAMPAIGN_H

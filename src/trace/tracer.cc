@@ -30,7 +30,7 @@ Tracer::internTrack(std::string_view name)
     AITAX_AUDIT_OWNER(owner_, "Tracer");
     const std::uint32_t id = intern(trackIds_, trackNames_, name);
     if (id == tracks_.size()) {
-        tracks_.emplace_back();
+        tracks_.emplace_back(arena_);
         // Keep tracksByName_ sorted; interning is construction-time
         // rare, so an ordered insert is fine.
         const auto pos = std::lower_bound(
@@ -66,7 +66,7 @@ Tracer::internCounter(std::string_view name)
     AITAX_AUDIT_OWNER(owner_, "Tracer");
     const std::uint32_t id = intern(counterIds_, counterNames_, name);
     if (id == counters_.size())
-        counters_.emplace_back();
+        counters_.emplace_back(arena_);
     return CounterId{id};
 }
 
@@ -111,7 +111,16 @@ Tracer::cloneFrom(const Tracer &src)
 {
     AITAX_AUDIT_OWNER(owner_, "Tracer");
     enabled = src.enabled;
-    tracks_ = src.tracks_;
+    // Stores are assigned element-wise so existing (and newly grown)
+    // entries keep THIS tracer's allocator: cloning an arena-backed
+    // tracer from a heap snapshot must land the data back in the
+    // arena, and a heap snapshot cloning from an arena-backed tracer
+    // must not capture arena pointers that die at the next reset.
+    while (tracks_.size() < src.tracks_.size())
+        tracks_.emplace_back(arena_);
+    tracks_.resize(src.tracks_.size());
+    for (std::size_t i = 0; i < tracks_.size(); ++i)
+        tracks_[i] = src.tracks_[i];
     trackNames_ = src.trackNames_;
     tracksByName_ = src.tracksByName_;
     trackIds_ = src.trackIds_;
@@ -121,7 +130,11 @@ Tracer::cloneFrom(const Tracer &src)
     kindNames_ = src.kindNames_;
     kindCounts_ = src.kindCounts_;
     kindIds_ = src.kindIds_;
-    counters_ = src.counters_;
+    while (counters_.size() < src.counters_.size())
+        counters_.emplace_back(arena_);
+    counters_.resize(src.counters_.size());
+    for (std::size_t i = 0; i < counters_.size(); ++i)
+        counters_[i] = src.counters_[i];
     counterNames_ = src.counterNames_;
     counterIds_ = src.counterIds_;
 }

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/arena.h"
 #include "sim/audit.h"
 #include "sim/time.h"
 #include "trace/ids.h"
@@ -57,16 +58,43 @@ struct CounterSample
 
 /**
  * Collects intervals/events/counters during a simulation run.
+ *
+ * Column growth is arena-routable: constructed with a sim::Arena the
+ * store columns bump-allocate from it (zero heap traffic even while
+ * capacity grows — asserted by tests/test_trace_alloc.cc), and with no
+ * arena they fall back to the heap. Copying a store always produces a
+ * heap-backed copy, and assignment keeps the destination's allocator,
+ * so warm-up snapshots (heap-owned, outliving every per-run arena)
+ * never capture a pointer into an arena about to be reset.
  */
 class Tracer
 {
   public:
+    /** Arena-routable column type (heap fallback on null arena). */
+    template <typename T>
+    using Column = std::vector<T, sim::ArenaAllocator<T>>;
+
     /** Columnar (SoA) interval storage for one track. */
     struct TrackStore
     {
-        std::vector<LabelId> labels;
-        std::vector<sim::TimeNs> begins;
-        std::vector<sim::TimeNs> ends;
+        Column<LabelId> labels;
+        Column<sim::TimeNs> begins;
+        Column<sim::TimeNs> ends;
+
+        TrackStore() = default;
+        explicit TrackStore(sim::Arena *arena)
+            : labels(sim::ArenaAllocator<LabelId>(arena)),
+              begins(sim::ArenaAllocator<sim::TimeNs>(arena)),
+              ends(sim::ArenaAllocator<sim::TimeNs>(arena))
+        {
+        }
+        /** Copies are heap-backed: they may outlive the source arena. */
+        TrackStore(const TrackStore &o) : TrackStore() { *this = o; }
+        /** Keeps this store's own allocator (POCCA is false). */
+        TrackStore &operator=(const TrackStore &) = default;
+        TrackStore(TrackStore &&) noexcept = default;
+        TrackStore &operator=(TrackStore &&) = default;
+
         std::size_t size() const { return begins.size(); }
         bool empty() const { return begins.empty(); }
     };
@@ -74,9 +102,22 @@ class Tracer
     /** Columnar point-event storage. */
     struct EventStore
     {
-        std::vector<EventKindId> kinds;
-        std::vector<LabelId> details;
-        std::vector<sim::TimeNs> whens;
+        Column<EventKindId> kinds;
+        Column<LabelId> details;
+        Column<sim::TimeNs> whens;
+
+        EventStore() = default;
+        explicit EventStore(sim::Arena *arena)
+            : kinds(sim::ArenaAllocator<EventKindId>(arena)),
+              details(sim::ArenaAllocator<LabelId>(arena)),
+              whens(sim::ArenaAllocator<sim::TimeNs>(arena))
+        {
+        }
+        EventStore(const EventStore &o) : EventStore() { *this = o; }
+        EventStore &operator=(const EventStore &) = default;
+        EventStore(EventStore &&) noexcept = default;
+        EventStore &operator=(EventStore &&) = default;
+
         std::size_t size() const { return whens.size(); }
         bool empty() const { return whens.empty(); }
     };
@@ -84,11 +125,29 @@ class Tracer
     /** Columnar counter-sample storage for one counter. */
     struct CounterStore
     {
-        std::vector<sim::TimeNs> whens;
-        std::vector<double> values;
+        Column<sim::TimeNs> whens;
+        Column<double> values;
+
+        CounterStore() = default;
+        explicit CounterStore(sim::Arena *arena)
+            : whens(sim::ArenaAllocator<sim::TimeNs>(arena)),
+              values(sim::ArenaAllocator<double>(arena))
+        {
+        }
+        CounterStore(const CounterStore &o) : CounterStore() { *this = o; }
+        CounterStore &operator=(const CounterStore &) = default;
+        CounterStore(CounterStore &&) noexcept = default;
+        CounterStore &operator=(CounterStore &&) = default;
+
         std::size_t size() const { return whens.size(); }
         bool empty() const { return whens.empty(); }
     };
+
+    /** @param arena backs column growth; nullptr = plain heap. */
+    explicit Tracer(sim::Arena *arena = nullptr)
+        : arena_(arena), events_(arena)
+    {
+    }
 
     /** Enable/disable collection (disabled tracing is free). */
     void setEnabled(bool on) { enabled = on; }
@@ -297,6 +356,9 @@ class Tracer
 
     /** Thread-ownership sentinel; checks compiled in audited builds. */
     sim::OwnershipSentinel owner_;
+
+    /** Backs column growth for every store; nullptr = heap. */
+    sim::Arena *arena_ = nullptr;
 
     std::vector<TrackStore> tracks_;
     std::vector<std::string> trackNames_;

@@ -233,6 +233,7 @@ collectResult(soc::SocSystem &sys, app::Application &application,
         out.faultStats = sys.faults()->stats();
     out.energyMj = sys.energy().totalMj();
     out.thermalSpeedFactor = sys.thermal().speedFactor();
+    out.eventsExecuted = sys.simulator().eventsExecuted();
     std::ostringstream trace;
     trace::writeChromeTrace(trace, sys.tracer());
     out.chromeTraceJson = trace.str();

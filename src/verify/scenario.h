@@ -99,6 +99,8 @@ struct ScenarioResult
     std::vector<app::FrameConsume> frameLog;
     /** Fault-injection tallies (all zero when faults are unarmed). */
     faults::FaultStats faultStats;
+    /** Simulation events executed — campaign throughput numerator. */
+    std::uint64_t eventsExecuted = 0;
 };
 
 /**

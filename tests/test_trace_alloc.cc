@@ -121,6 +121,63 @@ TEST(TraceAlloc, SteadyStateIdPathIsAllocationFree)
     EXPECT_EQ(t.intervalCount(), static_cast<std::size_t>(kEvents));
 }
 
+TEST(TraceAlloc, ArenaBackedColumnGrowthIsHeapFree)
+{
+    // An arena-backed tracer must keep even *cold* column growth off
+    // the heap: every reallocation while capacity grows from zero is
+    // served by the arena. Pre-size the arena (its own blocks come
+    // from operator new) with a throwaway burst, then reset — the
+    // arena coalesces to one block at its high-water mark, so the
+    // measured burst needs no new blocks.
+    sim::Arena arena;
+    {
+        Tracer warm(&arena);
+        recordBurst(warm, warm.internTrack("cpu0"),
+                    warm.internLabel("job"),
+                    warm.internEventKind("context_switch"),
+                    warm.internCounter("axi_bytes"));
+    }
+    arena.reset();
+
+    Tracer t(&arena);
+    const TrackId track = t.internTrack("cpu0");
+    const LabelId label = t.internLabel("job");
+    const EventKindId kind = t.internEventKind("context_switch");
+    const CounterId ctr = t.internCounter("axi_bytes");
+
+    CountingScope scope;
+    recordBurst(t, track, label, kind, ctr);
+    EXPECT_EQ(scope.count(), 0u)
+        << "arena-backed column growth touched the heap";
+    EXPECT_EQ(t.intervalCount(), static_cast<std::size_t>(kEvents));
+    EXPECT_GT(arena.usedBytes(), 0u);
+}
+
+TEST(TraceAlloc, CloneToHeapTracerLeavesArenaBehind)
+{
+    // A warm-up snapshot's tracer is heap-owned and outlives per-run
+    // arenas; cloneFrom must therefore deep-copy arena-backed columns
+    // into heap storage. Destroy the arena before reading the clone —
+    // a leaked arena pointer would show up under ASan here.
+    Tracer snapshot;
+    {
+        sim::Arena arena;
+        Tracer live(&arena);
+        recordBurst(live, live.internTrack("cpu0"),
+                    live.internLabel("job"),
+                    live.internEventKind("context_switch"),
+                    live.internCounter("axi_bytes"));
+        snapshot.cloneFrom(live);
+        arena.reset();
+    }
+    EXPECT_EQ(snapshot.intervalCount(),
+              static_cast<std::size_t>(kEvents));
+    EXPECT_EQ(snapshot.events().size(), static_cast<std::size_t>(kEvents));
+    const auto samples = snapshot.counter("axi_bytes");
+    ASSERT_EQ(samples.size(), static_cast<std::size_t>(kEvents));
+    EXPECT_EQ(samples.front().value, 64.0);
+}
+
 TEST(TraceAlloc, DisabledRecordingIsAllocationFree)
 {
     // Disabled tracing must be free even through the string API — the

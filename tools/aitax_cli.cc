@@ -43,6 +43,33 @@
  *     --stats                print warm-up snapshot-cache counters
  *                            after the passes (cache efficacy across
  *                            the golden + fuzz corpus)
+ *
+ * Fleet-scale campaign subcommands (docs/PERFORMANCE.md):
+ *   aitax_cli campaign [options]      coordinator: shard a seeded fuzz
+ *                                     corpus across worker processes
+ *     --scenarios <n>        corpus size (default 256)
+ *     --shards <n>           worker processes (default 1)
+ *     --jobs <n>             threads per worker (default 1)
+ *     --seed <n>             master corpus seed (default 2021)
+ *     --chunk <n>            scenarios per dispatch/checkpoint chunk
+ *                            (default 32; part of the campaign identity)
+ *     --faults               fault-inject every scenario
+ *     --engine fast|reference
+ *     --checkpoint <file>    resumable manifest of completed chunks
+ *     --resume               load completed chunks from --checkpoint
+ *     --out <file>           write the deterministic aggregate JSON
+ *                            (byte-identical at any shards x jobs
+ *                            split, including kill-and-resume)
+ *     --stats                print snapshot-cache counters summed
+ *                            across all worker processes
+ *     --gate <events/sec>    exit 1 if aggregate throughput is lower
+ *     --stop-after-chunks <n>  interrupt after n chunks (exit 3)
+ *     --kill-worker-after <n>  crash worker 0 on its nth range
+ *
+ *   aitax_cli sweep-serve [--seed N] [--jobs N] [--faults]
+ *             [--engine fast|reference] [--exit-after N]
+ *                                     worker: serve scenario ranges
+ *                                     over the stdin/stdout protocol
  */
 
 #include <cstdio>
@@ -57,6 +84,7 @@
 #include "soc/chipsets.h"
 #include <fstream>
 
+#include "sweep/campaign.h"
 #include "sweep/snapshot_cache.h"
 #include "sweep/sweep_runner.h"
 #include "trace/chrome_trace.h"
@@ -302,6 +330,208 @@ verifyMain(int argc, char **argv)
     return 0;
 }
 
+[[noreturn]] void
+campaignUsage()
+{
+    std::fprintf(stderr,
+                 "usage: aitax_cli campaign [--scenarios N] [--shards N] "
+                 "[--jobs N] [--seed N] [--chunk N] [--faults] "
+                 "[--engine fast|reference] [--checkpoint FILE] "
+                 "[--resume] [--out FILE] [--stats] [--gate EPS] "
+                 "[--stop-after-chunks N] [--kill-worker-after N]\n"
+                 "       aitax_cli sweep-serve [--seed N] [--jobs N] "
+                 "[--faults] [--engine fast|reference] [--exit-after N]\n");
+    std::exit(2);
+}
+
+/** The campaign corpus: one fuzz scenario, measured end to end. */
+sweep::ScenarioFn
+fuzzScenarioFn(std::uint64_t master_seed, bool faults,
+               sim::EngineMode engine)
+{
+    return [master_seed, faults, engine](int index) {
+        verify::Scenario s = verify::fuzzScenario(master_seed, index);
+        s.faults = faults;
+        const verify::ScenarioResult r = verify::runScenario(s, engine);
+        sweep::ScenarioOutcome out;
+        out.e2eMeanMs = r.report.endToEndMeanMs();
+        out.events = r.eventsExecuted;
+        return out;
+    };
+}
+
+/** Worker mode: serve scenario ranges over stdin/stdout. */
+int
+sweepServeMain(int argc, char **argv)
+{
+    std::uint64_t master_seed = 2021;
+    bool faults = false;
+    sim::EngineMode engine = sim::EngineMode::Fast;
+    sweep::WorkerOptions opts;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                campaignUsage();
+            return argv[++i];
+        };
+        if (arg == "--seed")
+            master_seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--jobs")
+            opts.jobs = std::atoi(next());
+        else if (arg == "--faults")
+            faults = true;
+        else if (arg == "--exit-after")
+            opts.exitAfterRanges = std::atoi(next());
+        else if (arg == "--engine") {
+            const std::string which = next();
+            if (which == "fast")
+                engine = sim::EngineMode::Fast;
+            else if (which == "reference")
+                engine = sim::EngineMode::Reference;
+            else
+                campaignUsage();
+        } else
+            campaignUsage();
+    }
+    if (opts.jobs <= 0)
+        opts.jobs = 1;
+    return sweep::runWorker(opts,
+                            fuzzScenarioFn(master_seed, faults, engine));
+}
+
+/** Coordinator mode: shard the corpus across worker processes. */
+int
+campaignMain(int argc, char **argv)
+{
+    sweep::CampaignConfig cfg;
+    cfg.scenarios = 256;
+    std::uint64_t master_seed = 2021;
+    int jobs = 1;
+    bool faults = false;
+    std::string engine = "fast";
+    std::string out_path;
+    bool stats = false;
+    double gate_eps = -1.0;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                campaignUsage();
+            return argv[++i];
+        };
+        if (arg == "--scenarios")
+            cfg.scenarios = std::atoi(next());
+        else if (arg == "--shards")
+            cfg.shards = std::atoi(next());
+        else if (arg == "--jobs")
+            jobs = std::atoi(next());
+        else if (arg == "--seed")
+            master_seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--chunk")
+            cfg.chunk = std::atoi(next());
+        else if (arg == "--faults")
+            faults = true;
+        else if (arg == "--engine") {
+            engine = next();
+            if (engine != "fast" && engine != "reference")
+                campaignUsage();
+        } else if (arg == "--checkpoint")
+            cfg.checkpointPath = next();
+        else if (arg == "--resume")
+            cfg.resume = true;
+        else if (arg == "--out")
+            out_path = next();
+        else if (arg == "--stats")
+            stats = true;
+        else if (arg == "--gate")
+            gate_eps = std::atof(next());
+        else if (arg == "--stop-after-chunks")
+            cfg.stopAfterChunks = std::atoi(next());
+        else if (arg == "--kill-worker-after")
+            cfg.killWorkerAfterRanges = std::atoi(next());
+        else
+            campaignUsage();
+    }
+    if (cfg.scenarios <= 0 || cfg.shards <= 0 || cfg.chunk <= 0 ||
+        jobs <= 0)
+        campaignUsage();
+
+    cfg.identity = "corpus=fuzz seed=" + std::to_string(master_seed) +
+                   " scenarios=" + std::to_string(cfg.scenarios) +
+                   " chunk=" + std::to_string(cfg.chunk) +
+                   " faults=" + (faults ? "1" : "0") +
+                   " engine=" + engine;
+    cfg.workerCmd = {sweep::selfExecutablePath(argv[0]),
+                     "sweep-serve",
+                     "--seed",
+                     std::to_string(master_seed),
+                     "--jobs",
+                     std::to_string(jobs),
+                     "--engine",
+                     engine};
+    if (faults)
+        cfg.workerCmd.push_back("--faults");
+
+    const sweep::CampaignSummary sum = sweep::runCampaign(cfg);
+
+    if (sum.status == sweep::CampaignStatus::Error) {
+        std::fprintf(stderr, "campaign: %s\n", sum.error.c_str());
+        return 1;
+    }
+
+    std::printf("campaign: %s\n", cfg.identity.c_str());
+    std::printf("  chunks: %d total, %d run, %d resumed, "
+                "%d re-dispatched, %d workers lost\n",
+                sum.chunksTotal, sum.chunksRun, sum.chunksResumed,
+                sum.chunksRedispatched, sum.workersLost);
+    std::printf("  throughput: %.0f events/sec "
+                "(%llu events in %.2f s, shards=%d jobs=%d)\n",
+                sum.eventsPerSec,
+                static_cast<unsigned long long>(sum.aggregate.events),
+                sum.wallSeconds, cfg.shards, jobs);
+    std::printf("  latency: %s\n",
+                sum.aggregate.latencyMs.summary().c_str());
+    if (stats) {
+        const sweep::SnapshotCacheStats &c = sum.workerCache;
+        std::printf("  worker snapshot cache (all processes): "
+                    "%llu hits, %llu misses, %llu stores, "
+                    "%llu race discards\n",
+                    static_cast<unsigned long long>(c.hits),
+                    static_cast<unsigned long long>(c.misses),
+                    static_cast<unsigned long long>(c.stores),
+                    static_cast<unsigned long long>(c.raceDiscards));
+    }
+
+    if (sum.status == sweep::CampaignStatus::Interrupted) {
+        std::printf("campaign: interrupted with %d/%d chunks done; "
+                    "finish with --resume\n",
+                    sum.chunksRun + sum.chunksResumed, sum.chunksTotal);
+        return 3;
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+            return 1;
+        }
+        out << sweep::campaignReportJson(cfg.identity, sum.aggregate);
+        std::printf("campaign: wrote %s\n", out_path.c_str());
+    }
+
+    if (gate_eps >= 0.0 && sum.eventsPerSec < gate_eps) {
+        std::fprintf(stderr,
+                     "campaign: GATE FAIL aggregate throughput "
+                     "%.0f events/sec < floor %.0f\n",
+                     sum.eventsPerSec, gate_eps);
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -309,6 +539,10 @@ main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "verify") == 0)
         return verifyMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "sweep-serve") == 0)
+        return sweepServeMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
+        return campaignMain(argc, argv);
 
     std::string model = "mobilenet_v1";
     std::string dtype = "fp32";
