@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Thread-safety annotation vocabulary for the whole repository.
+ *
+ * The macros expand to clang's thread-safety attributes (checked by
+ * `-Wthread-safety`, promoted to an error under AITAX_WERROR in the
+ * clang CI job) and to nothing on other compilers. They give the
+ * "parallelism across simulations, never inside one" contract a
+ * compiler-checked form: every mutex-guarded member says *which* mutex
+ * guards it, and aitax-lint's `guarded-mutex` rule requires the
+ * annotation on every class in src/sweep/ that declares a mutex.
+ *
+ * Because libstdc++'s std::mutex / std::lock_guard carry no
+ * capability attributes, the analysis cannot credit a std::lock_guard
+ * with holding anything. Code that wants checked locking uses the
+ * annotated core::Mutex / core::MutexLock wrappers below instead;
+ * they are zero-cost forwarding shims over std::mutex.
+ *
+ * This header is deliberately dependency-free vocabulary (macros plus
+ * two inline wrapper classes over <mutex>); tools/lint_layers.txt
+ * declares it `free`, usable from any layer.
+ */
+
+#ifndef AITAX_CORE_THREAD_ANNOTATIONS_H
+#define AITAX_CORE_THREAD_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define AITAX_THREAD_ATTR(x) __attribute__((x))
+#else
+#define AITAX_THREAD_ATTR(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define AITAX_CAPABILITY(name) AITAX_THREAD_ATTR(capability(name))
+/** RAII type that acquires a capability for its own lifetime. */
+#define AITAX_SCOPED_CAPABILITY AITAX_THREAD_ATTR(scoped_lockable)
+/** Data member readable/writable only while holding @p mu. */
+#define AITAX_GUARDED_BY(mu) AITAX_THREAD_ATTR(guarded_by(mu))
+/** Pointer member whose *pointee* is guarded by @p mu. */
+#define AITAX_PT_GUARDED_BY(mu) AITAX_THREAD_ATTR(pt_guarded_by(mu))
+/** Function that must be called with the capabilities already held. */
+#define AITAX_REQUIRES(...) \
+    AITAX_THREAD_ATTR(requires_capability(__VA_ARGS__))
+/** Function that acquires the capabilities and returns holding them. */
+#define AITAX_ACQUIRE(...) \
+    AITAX_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+/** Function that releases the capabilities. */
+#define AITAX_RELEASE(...) \
+    AITAX_THREAD_ATTR(release_capability(__VA_ARGS__))
+/** Function that must NOT be called while holding the capabilities. */
+#define AITAX_EXCLUDES(...) AITAX_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+/** Opt a function out of the analysis (rare; justify in a comment). */
+#define AITAX_NO_THREAD_SAFETY_ANALYSIS \
+    AITAX_THREAD_ATTR(no_thread_safety_analysis)
+
+namespace aitax::core {
+
+/**
+ * std::mutex with capability attributes so clang's thread-safety
+ * analysis can track lock/unlock through it.
+ */
+class AITAX_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() AITAX_ACQUIRE() { m_.lock(); }
+    void unlock() AITAX_RELEASE() { m_.unlock(); }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * Annotated scope lock: the analysis-visible equivalent of
+ * std::lock_guard<core::Mutex>.
+ */
+class AITAX_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) AITAX_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() AITAX_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+} // namespace aitax::core
+
+#endif // AITAX_CORE_THREAD_ANNOTATIONS_H

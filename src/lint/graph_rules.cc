@@ -1,0 +1,398 @@
+#include "lint/graph_rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "lint/taint.h"
+
+namespace aitax::lint {
+
+namespace {
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::vector<std::string>
+splitWords(std::string_view line)
+{
+    std::vector<std::string> words;
+    std::string cur;
+    for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty())
+                words.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        words.push_back(cur);
+    return words;
+}
+
+// --- layering ----------------------------------------------------------
+
+/** Include line in @p rec whose resolved edge points at @p target. */
+int
+edgeLine(const FileRecord &rec, int target)
+{
+    for (const IncludeEdge &e : rec.includes)
+        if (e.resolved == target)
+            return e.line;
+    return 1;
+}
+
+/** DFS cycle finder over resolved include edges. Cycle paths are
+ *  canonicalized (rotated to the smallest file index) and deduped, so
+ *  the report is independent of traversal entry points. */
+struct CycleFinder
+{
+    const RepoIndex &idx;
+    std::vector<Finding> &out;
+    std::vector<int> color; ///< 0 unvisited, 1 on stack, 2 done
+    std::vector<int> path;
+    std::set<std::string> reported;
+
+    CycleFinder(const RepoIndex &i, std::vector<Finding> &o)
+        : idx(i), out(o), color(i.files().size(), 0)
+    {
+    }
+
+    void
+    report(int backTo)
+    {
+        const auto &files = idx.files();
+        const auto pos = std::find(path.begin(), path.end(), backTo);
+        std::vector<int> cycle(pos, path.end());
+        const auto minIt = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), minIt, cycle.end());
+        std::ostringstream key;
+        for (int c : cycle)
+            key << c << ',';
+        if (!reported.insert(key.str()).second)
+            return;
+        std::ostringstream msg;
+        msg << "include cycle: ";
+        for (int c : cycle)
+            msg << files[static_cast<std::size_t>(c)].path << " -> ";
+        msg << files[static_cast<std::size_t>(cycle.front())].path;
+        const FileRecord &first =
+            files[static_cast<std::size_t>(cycle.front())];
+        Finding fd;
+        fd.file = first.path;
+        fd.line = edgeLine(first, cycle.size() > 1
+                                      ? cycle[1]
+                                      : cycle.front());
+        fd.rule = "layering";
+        fd.message = msg.str();
+        fd.hint = "break the cycle: move the shared declarations into "
+                  "a lower-layer header or forward-declare instead of "
+                  "including";
+        out.push_back(std::move(fd));
+    }
+
+    void
+    visit(int node)
+    {
+        color[static_cast<std::size_t>(node)] = 1;
+        path.push_back(node);
+        for (const IncludeEdge &e :
+             idx.files()[static_cast<std::size_t>(node)].includes) {
+            if (e.resolved < 0)
+                continue;
+            const int c = color[static_cast<std::size_t>(e.resolved)];
+            if (c == 1)
+                report(e.resolved);
+            else if (c == 0)
+                visit(e.resolved);
+        }
+        path.pop_back();
+        color[static_cast<std::size_t>(node)] = 2;
+    }
+};
+
+void
+reportCycles(const RepoIndex &idx, std::vector<Finding> &out)
+{
+    CycleFinder finder(idx, out);
+    for (std::size_t f = 0; f < idx.files().size(); ++f)
+        if (finder.color[f] == 0)
+            finder.visit(static_cast<int>(f));
+}
+
+void
+checkLayering(const RepoIndex &idx, const GraphOptions &opts,
+              std::vector<Finding> &out)
+{
+    const LayerContract contract =
+        opts.layersPath.empty() ? LayerContract{}
+                                : LayerContract::load(opts.layersPath);
+    const auto &files = idx.files();
+
+    if (contract.loaded) {
+        std::set<std::string> unlistedReported;
+        for (const FileRecord &rec : files) {
+            const std::string modA = RepoIndex::moduleOf(rec.path);
+            const bool freeSource = contract.isFree(rec.path);
+            for (const IncludeEdge &e : rec.includes) {
+                if (e.resolved < 0)
+                    continue;
+                const FileRecord &tgt =
+                    files[static_cast<std::size_t>(e.resolved)];
+                if (freeSource) {
+                    if (!contract.isFree(tgt.path)) {
+                        Finding fd;
+                        fd.file = rec.path;
+                        fd.line = e.line;
+                        fd.rule = "layering";
+                        fd.message =
+                            "`free` header includes in-repo header `" +
+                            tgt.path + "`";
+                        fd.hint =
+                            "free headers are dependency-free "
+                            "vocabulary usable from any layer; they "
+                            "may not pull in repo code";
+                        out.push_back(std::move(fd));
+                    }
+                    continue;
+                }
+                if (contract.isFree(tgt.path))
+                    continue;
+                const std::string modB = RepoIndex::moduleOf(tgt.path);
+                if (modA == modB)
+                    continue;
+                const auto la = contract.layerOf.find(modA);
+                const auto lb = contract.layerOf.find(modB);
+                if (la == contract.layerOf.end() ||
+                    lb == contract.layerOf.end()) {
+                    const std::string missing =
+                        la == contract.layerOf.end() ? modA : modB;
+                    if (unlistedReported.insert(missing).second) {
+                        Finding fd;
+                        fd.file = rec.path;
+                        fd.line = e.line;
+                        fd.rule = "layering";
+                        fd.message = "module `" + missing +
+                                     "` has no layer assignment";
+                        fd.hint = "add it to a `layer` line in the "
+                                  "contract file (tools/"
+                                  "lint_layers.txt)";
+                        out.push_back(std::move(fd));
+                    }
+                    continue;
+                }
+                if (la->second <= lb->second) {
+                    Finding fd;
+                    fd.file = rec.path;
+                    fd.line = e.line;
+                    fd.rule = "layering";
+                    fd.message =
+                        "illegal layer edge `" + modA + " -> " + modB +
+                        "`: " + rec.path + " (layer " +
+                        std::to_string(la->second) + ") includes " +
+                        tgt.path + " (layer " +
+                        std::to_string(lb->second) + ")";
+                    fd.hint =
+                        "modules may include strictly lower layers "
+                        "only; move the shared piece down a layer or "
+                        "invert the dependency";
+                    out.push_back(std::move(fd));
+                }
+            }
+        }
+    }
+    reportCycles(idx, out);
+}
+
+// --- taint -------------------------------------------------------------
+
+void
+checkTaintClock(const RepoIndex &idx, const GraphOptions &,
+                std::vector<Finding> &out)
+{
+    propagateTaint(idx, *findTaintSpec("taint-clock"), out);
+}
+
+void
+checkTaintRandom(const RepoIndex &idx, const GraphOptions &,
+                 std::vector<Finding> &out)
+{
+    propagateTaint(idx, *findTaintSpec("taint-random"), out);
+}
+
+// --- include-hygiene (self-contained headers) --------------------------
+
+/** Module directories that double as namespace names. */
+const std::set<std::string_view> kModuleNamespaces = {
+    "app",    "capture", "core",   "drivers",  "faults",  "graph",
+    "imaging", "lint",   "models", "postproc", "runtime", "sim",
+    "soc",    "stats",   "sweep",  "tensor",   "trace",   "verify",
+};
+
+void
+checkSelfContained(const RepoIndex &idx, const GraphOptions &,
+                   std::vector<Finding> &out)
+{
+    const auto &files = idx.files();
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        const FileRecord &rec = files[f];
+        if (!rec.ctx.isHeader)
+            continue;
+        std::set<std::string> flagged;
+        const auto &code = rec.ctx.code;
+        for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+            const Token &ns = code[i];
+            if (ns.kind != TokKind::Identifier ||
+                kModuleNamespaces.count(ns.text) == 0)
+                continue;
+            if (code[i + 1].kind != TokKind::Punct ||
+                code[i + 1].text != "::")
+                continue;
+            // Chain start only: `sim::...`, not `aitax::sim::...`
+            // resolved mid-chain twice.
+            if (i >= 1 && code[i - 1].kind == TokKind::Punct &&
+                code[i - 1].text == "::")
+                continue;
+            // Walk to the last identifier of the qualified chain.
+            std::size_t j = i + 2;
+            while (j + 1 < code.size() &&
+                   code[j].kind == TokKind::Identifier &&
+                   code[j + 1].kind == TokKind::Punct &&
+                   code[j + 1].text == "::")
+                j += 2;
+            if (j >= code.size() ||
+                code[j].kind != TokKind::Identifier)
+                continue;
+            const std::string &name = code[j].text;
+            if (flagged.count(name))
+                continue;
+            // Only names the repo actually declares somewhere: an
+            // unknown name is more likely a tokenizer blind spot
+            // than a missing include.
+            if (idx.declarersOf(name).empty())
+                continue;
+            if (idx.closureDeclares(static_cast<int>(f), name))
+                continue;
+            flagged.insert(name);
+            Finding fd;
+            fd.file = rec.path;
+            fd.line = code[j].line;
+            fd.rule = "include-hygiene";
+            fd.message = "header references `" + ns.text +
+                         "::" + name + "` but nothing in its include "
+                         "closure declares `" + name + "`";
+            fd.hint = "headers must be self-contained: add the "
+                      "#include that declares it (token-level check, "
+                      "low confidence; suppress with "
+                      "allow(include-hygiene) if spurious)";
+            fd.lowConfidence = true;
+            out.push_back(std::move(fd));
+        }
+    }
+}
+
+const std::vector<GraphRule> kGraphRules = {
+    {"include-hygiene",
+     "headers are self-contained within the repo include graph",
+     "a header that compiles only because every includer happens to "
+     "pull its dependencies first breaks under include reordering — "
+     "the exact freedom the layering contract relies on",
+     checkSelfContained},
+    {"layering",
+     "include edges obey tools/lint_layers.txt; no include cycles",
+     "the determinism argument is per-layer (sim below soc below "
+     "runtime...); an upward or cyclic include dissolves the "
+     "boundary the audits reason about",
+     checkLayering},
+    {"taint-clock",
+     "no transitive wall-clock reach from simulation code",
+     "a helper that reads wall time two modules away is as "
+     "nondeterministic as a direct read; only the call graph sees "
+     "the leak",
+     checkTaintClock},
+    {"taint-random",
+     "no transitive raw-RNG reach outside src/sim/random",
+     "replay from a root seed breaks the moment any transitive "
+     "callee draws from an unseeded generator",
+     checkTaintRandom},
+};
+
+} // namespace
+
+LayerContract
+LayerContract::parse(std::string_view text)
+{
+    LayerContract c;
+    c.loaded = true;
+    int level = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        std::string_view line =
+            text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                          : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string_view::npos)
+            line = line.substr(0, hash);
+        const std::vector<std::string> words = splitWords(line);
+        if (words.empty())
+            continue;
+        if (words[0] == "layer") {
+            ++level;
+            for (std::size_t i = 1; i < words.size(); ++i)
+                c.layerOf.emplace(words[i], level);
+        } else if (words[0] == "free") {
+            for (std::size_t i = 1; i < words.size(); ++i)
+                c.freePrefixes.push_back(words[i]);
+        }
+    }
+    return c;
+}
+
+LayerContract
+LayerContract::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+bool
+LayerContract::isFree(std::string_view path) const
+{
+    if (startsWith(path, "src/"))
+        path.remove_prefix(4);
+    for (const std::string &p : freePrefixes)
+        if (startsWith(path, p))
+            return true;
+    return false;
+}
+
+const std::vector<GraphRule> &
+allGraphRules()
+{
+    return kGraphRules;
+}
+
+const GraphRule *
+findGraphRule(std::string_view id)
+{
+    for (const GraphRule &r : kGraphRules)
+        if (r.id == id)
+            return &r;
+    return nullptr;
+}
+
+} // namespace aitax::lint

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cross-file (pass 2) rules over the RepoIndex.
+ *
+ * `layering` enforces the declared layer contract in
+ * tools/lint_layers.txt: modules may include only strictly lower
+ * layers (or themselves), `free` paths are dependency-free vocabulary
+ * usable from anywhere, and include cycles are reported with the full
+ * offending path. `taint-clock` / `taint-random` delegate to the
+ * propagation engine in taint.h. The graph-level half of
+ * `include-hygiene` flags headers that are not self-contained within
+ * the index (low confidence; emitted under --strict only).
+ *
+ * Contract file format (tools/lint_layers.txt), one directive per
+ * line, `#` comments:
+ *
+ *   layer <module> [<module>...]   # one line per layer, lowest first
+ *   free <repo-relative-prefix>    # usable from any layer
+ *
+ * All output is deterministic: the index is path-sorted, cycle paths
+ * are canonicalized before reporting, and findings get the global
+ * (file, line, rule) sort in the linter.
+ */
+
+#ifndef AITAX_LINT_GRAPH_RULES_H
+#define AITAX_LINT_GRAPH_RULES_H
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/index.h"
+
+namespace aitax::lint {
+
+/** Parsed layer contract. */
+struct LayerContract
+{
+    /** module -> 1-based layer (higher may include lower). */
+    std::map<std::string, int, std::less<>> layerOf;
+    /** repo-relative path prefixes usable from any layer. */
+    std::vector<std::string> freePrefixes;
+    bool loaded = false;
+
+    static LayerContract load(const std::string &path);
+    static LayerContract parse(std::string_view text);
+
+    /** True if @p path matches a `free` prefix. */
+    bool isFree(std::string_view path) const;
+};
+
+/** Options shared by all graph rules. */
+struct GraphOptions
+{
+    /** Layer contract path; "" or missing file disables `layering`
+     *  edge checks (cycle detection still runs). */
+    std::string layersPath;
+    bool strict = false;
+};
+
+/** A registered cross-file rule. */
+struct GraphRule
+{
+    std::string_view id;
+    std::string_view summary;
+    std::string_view rationale;
+    void (*check)(const RepoIndex &, const GraphOptions &,
+                  std::vector<Finding> &);
+};
+
+/** All registered graph rules, sorted by id. */
+const std::vector<GraphRule> &allGraphRules();
+
+/** Look up a graph rule by id; nullptr if unknown. */
+const GraphRule *findGraphRule(std::string_view id);
+
+} // namespace aitax::lint
+
+#endif // AITAX_LINT_GRAPH_RULES_H

@@ -1,0 +1,647 @@
+#include "lint/index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint/taint.h"
+
+namespace aitax::lint {
+
+namespace {
+
+bool
+hasSuffix(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/** Split a comma-separated rule list. */
+std::vector<std::string>
+splitRules(std::string_view list)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : list) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/**
+ * Extract `aitax-lint:` markers from a comment token.
+ * allow()/allow-file() feed the SuppressionSet; taint-barrier()
+ * entries are collected per line for attachment to function
+ * definitions (the marker's own line plus the two following lines,
+ * tolerating the repo's return-type-on-its-own-line style).
+ */
+void
+parseMarkers(const Token &comment, SuppressionSet &sup,
+             std::map<int, std::vector<std::string>> &barriers)
+{
+    static constexpr std::string_view kTag = "aitax-lint:";
+    std::string_view text = comment.text;
+    std::size_t at = text.find(kTag);
+    while (at != std::string_view::npos) {
+        std::string_view rest = text.substr(at + kTag.size());
+        const std::size_t ws = rest.find_first_not_of(" \t");
+        if (ws != std::string_view::npos) {
+            rest.remove_prefix(ws);
+            const bool fileWide = rest.substr(0, 10) == "allow-file";
+            const bool barrier = rest.substr(0, 13) == "taint-barrier";
+            const bool lineWise =
+                !fileWide && !barrier && rest.substr(0, 5) == "allow";
+            if (fileWide || lineWise || barrier) {
+                const std::size_t open = rest.find('(');
+                const std::size_t close = rest.find(')', open + 1);
+                if (open != std::string_view::npos &&
+                    close != std::string_view::npos) {
+                    for (const std::string &r : splitRules(
+                             rest.substr(open + 1, close - open - 1))) {
+                        if (fileWide) {
+                            sup.fileWide.insert(r);
+                        } else if (barrier) {
+                            barriers[comment.line].push_back(r);
+                        } else {
+                            sup.lines[r].insert(comment.line);
+                            sup.lines[r].insert(comment.line + 1);
+                        }
+                    }
+                }
+            }
+        }
+        at = text.find(kTag, at + kTag.size());
+    }
+}
+
+/** First whitespace-delimited word of a directive body. */
+std::string
+directiveWord(std::string_view text, std::string_view *rest = nullptr)
+{
+    std::size_t b = text.find_first_not_of(" \t");
+    if (b == std::string_view::npos)
+        return "";
+    std::size_t e = b;
+    while (e < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[e])))
+        ++e;
+    if (rest != nullptr)
+        *rest = text.substr(e);
+    return std::string(text.substr(b, e - b));
+}
+
+/** Keywords that can precede `(` without naming a call or function. */
+bool
+isNonCallKeyword(std::string_view s)
+{
+    static const std::set<std::string_view> kw = {
+        "if",       "for",     "while",    "switch",  "catch",
+        "return",   "sizeof",  "alignof",  "alignas", "decltype",
+        "throw",    "new",     "delete",   "case",    "static_assert",
+        "noexcept", "operator", "void",    "requires", "co_return",
+        "co_await", "co_yield", "typeid",  "defined",
+    };
+    return kw.count(s) > 0;
+}
+
+bool
+isPunct(const Token &t, std::string_view p)
+{
+    return t.kind == TokKind::Punct && t.text == p;
+}
+
+/**
+ * The code token stream with Preproc tokens filtered out, as
+ * (token, original position) — rules and the extractor both want a
+ * pure code view.
+ */
+std::vector<const Token *>
+codeView(const std::vector<Token> &code)
+{
+    std::vector<const Token *> v;
+    v.reserve(code.size());
+    for (const Token &t : code)
+        if (t.kind != TokKind::Preproc)
+            v.push_back(&t);
+    return v;
+}
+
+/** Index just past the `)` matching the `(` at @p open. */
+std::size_t
+skipParens(const std::vector<const Token *> &v, std::size_t open)
+{
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < v.size(); ++i) {
+        if (isPunct(*v[i], "("))
+            ++depth;
+        else if (isPunct(*v[i], ")") && --depth == 0)
+            return i + 1;
+    }
+    return i;
+}
+
+/** Index just past the `}` matching the `{` at @p open. */
+std::size_t
+skipBraces(const std::vector<const Token *> &v, std::size_t open)
+{
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < v.size(); ++i) {
+        if (isPunct(*v[i], "{"))
+            ++depth;
+        else if (isPunct(*v[i], "}") && --depth == 0)
+            return i + 1;
+    }
+    return i;
+}
+
+/**
+ * Decide whether the parenthesized declarator ending just before
+ * @p after opens a function body, and report where that body's `{`
+ * sits. Understands cv/ref qualifiers, noexcept(...), trailing
+ * return types, and constructor initializer lists.
+ */
+bool
+findBodyBrace(const std::vector<const Token *> &v, std::size_t after,
+              std::size_t &braceAt)
+{
+    std::size_t j = after;
+    bool sawColon = false;
+    while (j < v.size()) {
+        const Token &t = *v[j];
+        if (isPunct(t, "{")) {
+            braceAt = j;
+            return true;
+        }
+        if (sawColon) {
+            // Constructor initializer list: skip member(...)/{...}
+            // initializers and commas until the body brace.
+            if (isPunct(t, "(")) {
+                j = skipParens(v, j);
+                continue;
+            }
+            if (t.kind == TokKind::Identifier || isPunct(t, ",") ||
+                isPunct(t, "::") || isPunct(t, "<") || isPunct(t, ">")) {
+                ++j;
+                continue;
+            }
+            return false;
+        }
+        if (t.kind == TokKind::Identifier &&
+            (t.text == "const" || t.text == "noexcept" ||
+             t.text == "override" || t.text == "final" ||
+             t.text == "mutable" || t.text == "volatile" ||
+             t.text == "try" || t.text == "requires")) {
+            ++j;
+            if (j < v.size() && isPunct(*v[j], "("))
+                j = skipParens(v, j);
+            continue;
+        }
+        if (isPunct(t, "&") || isPunct(t, "&&")) {
+            ++j;
+            continue;
+        }
+        if (isPunct(t, ":")) {
+            sawColon = true;
+            ++j;
+            continue;
+        }
+        if (isPunct(t, "-") && j + 1 < v.size() && isPunct(*v[j + 1], ">")) {
+            // Trailing return type: consume type tokens.
+            j += 2;
+            while (j < v.size() &&
+                   (v[j]->kind == TokKind::Identifier ||
+                    isPunct(*v[j], "::") || isPunct(*v[j], "<") ||
+                    isPunct(*v[j], ">") || isPunct(*v[j], "*") ||
+                    isPunct(*v[j], "&")))
+                ++j;
+            continue;
+        }
+        return false;
+    }
+    return false;
+}
+
+/** Walk back over `Class ::` pairs to build a qualified name. */
+std::string
+qualifiedNameAt(const std::vector<const Token *> &v, std::size_t nameIdx)
+{
+    std::string q(v[nameIdx]->text);
+    std::size_t i = nameIdx;
+    while (i >= 2 && isPunct(*v[i - 1], "::") &&
+           v[i - 2]->kind == TokKind::Identifier) {
+        q = v[i - 2]->text + "::" + q;
+        i -= 2;
+    }
+    return q;
+}
+
+/**
+ * Record calls and taint seeds inside a body span [begin, end).
+ * A call is `name(` with name not a keyword; seeds are the banned
+ * identifier sets of each registered taint rule.
+ */
+void
+scanBody(const std::vector<const Token *> &v, std::size_t begin,
+         std::size_t end, FunctionDef &def)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        const Token &t = *v[i];
+        if (t.kind != TokKind::Identifier)
+            continue;
+        const bool calls = i + 1 < end && isPunct(*v[i + 1], "(");
+        if (calls && !isNonCallKeyword(t.text))
+            def.calls.push_back({t.text, t.line});
+        for (const TaintSpec &spec : taintSpecs()) {
+            if (def.seeds.count(std::string(spec.rule)))
+                continue;
+            const bool banned =
+                spec.banned->count(t.text) > 0 ||
+                (calls && spec.callOnlyNames->count(t.text) > 0);
+            if (banned)
+                def.seeds.emplace(std::string(spec.rule),
+                                  std::make_pair(t.text, t.line));
+        }
+    }
+}
+
+/**
+ * Extract function definitions (with their calls and seeds) and
+ * namespace-scope declared names from the pure-code token view.
+ */
+void
+extractFunctionsAndDeclares(
+    const std::vector<const Token *> &v,
+    const std::map<int, std::vector<std::string>> &barrierLines,
+    FileRecord &rec)
+{
+    std::set<std::string> declares;
+    std::size_t i = 0;
+    while (i < v.size()) {
+        const Token &t = *v[i];
+        if (t.kind != TokKind::Identifier) {
+            ++i;
+            continue;
+        }
+        // Type and alias declarations.
+        if (t.text == "class" || t.text == "struct" ||
+            t.text == "union" || t.text == "enum") {
+            std::size_t j = i + 1;
+            if (j < v.size() && v[j]->kind == TokKind::Identifier &&
+                v[j]->text == "class")
+                ++j; // enum class
+            // Skip attribute-style macros (`class AITAX_CAPABILITY("m")
+            // Name`, `struct alignas(64) Name`).
+            while (j + 1 < v.size() &&
+                   v[j]->kind == TokKind::Identifier &&
+                   isPunct(*v[j + 1], "("))
+                j = skipParens(v, j + 1);
+            if (j < v.size() && v[j]->kind == TokKind::Identifier &&
+                !isNonCallKeyword(v[j]->text))
+                declares.insert(v[j]->text);
+            i = j + 1;
+            continue;
+        }
+        if (t.text == "using" && i + 2 < v.size() &&
+            v[i + 1]->kind == TokKind::Identifier &&
+            isPunct(*v[i + 2], "=")) {
+            declares.insert(v[i + 1]->text);
+            i += 3;
+            continue;
+        }
+        if (t.text == "typedef") {
+            std::size_t j = i + 1;
+            std::string last;
+            while (j < v.size() && !isPunct(*v[j], ";")) {
+                if (v[j]->kind == TokKind::Identifier)
+                    last = v[j]->text;
+                ++j;
+            }
+            if (!last.empty())
+                declares.insert(last);
+            i = j + 1;
+            continue;
+        }
+        // Candidate function declarator: `name (`.
+        if (!isNonCallKeyword(t.text) && i + 1 < v.size() &&
+            isPunct(*v[i + 1], "(")) {
+            const std::size_t afterParams = skipParens(v, i + 1);
+            std::size_t braceAt = 0;
+            if (findBodyBrace(v, afterParams, braceAt)) {
+                FunctionDef def;
+                def.name = t.text;
+                def.qualified = qualifiedNameAt(v, i);
+                def.line = t.line;
+                // A marker covers its own line and the two after it
+                // (the repo style puts return types on their own line).
+                for (int probe = def.line; probe >= def.line - 2;
+                     --probe) {
+                    const auto it = barrierLines.find(probe);
+                    if (it == barrierLines.end())
+                        continue;
+                    for (const std::string &r : it->second)
+                        def.barriers.push_back(r);
+                }
+                std::stable_sort(def.barriers.begin(),
+                                 def.barriers.end());
+                const std::size_t bodyEnd = skipBraces(v, braceAt);
+                scanBody(v, braceAt + 1,
+                         bodyEnd > 0 ? bodyEnd - 1 : braceAt + 1, def);
+                declares.insert(def.name);
+                rec.functions.push_back(std::move(def));
+                i = bodyEnd;
+                continue;
+            }
+            // `name (params) ;` — a declaration still declares name.
+            if (afterParams < v.size() && isPunct(*v[afterParams], ";"))
+                declares.insert(t.text);
+            i = afterParams;
+            continue;
+        }
+        ++i;
+    }
+    rec.declares.assign(declares.begin(), declares.end());
+}
+
+} // namespace
+
+bool
+SuppressionSet::covers(const Finding &f) const
+{
+    if (fileWide.count(f.rule))
+        return true;
+    const auto it = lines.find(f.rule);
+    return it != lines.end() && it->second.count(f.line) > 0;
+}
+
+bool
+FunctionDef::isBarrierFor(std::string_view rule) const
+{
+    return std::find(barriers.begin(), barriers.end(), rule) !=
+           barriers.end();
+}
+
+FileRecord
+indexSource(std::string_view virtualPath, std::string_view content)
+{
+    FileRecord rec;
+    rec.path = std::string(virtualPath);
+    rec.ctx.path = rec.path;
+    rec.ctx.isHeader = hasSuffix(rec.path, ".h");
+
+    std::map<int, std::vector<std::string>> barrierLines;
+    for (Token &t : tokenize(content)) {
+        switch (t.kind) {
+          case TokKind::Comment:
+            parseMarkers(t, rec.sup, barrierLines);
+            break;
+          case TokKind::Preproc:
+            rec.ctx.preproc.push_back(t);
+            rec.ctx.code.push_back(std::move(t));
+            break;
+          default:
+            rec.ctx.code.push_back(std::move(t));
+            break;
+        }
+    }
+
+    for (const Token &t : rec.ctx.preproc) {
+        std::string_view rest;
+        if (directiveWord(t.text, &rest) == "include") {
+            const std::size_t b = rest.find_first_not_of(" \t");
+            if (b == std::string_view::npos)
+                continue;
+            const char open = rest[b];
+            if (open != '<' && open != '"')
+                continue;
+            const char close = open == '<' ? '>' : '"';
+            const std::size_t e = rest.find(close, b + 1);
+            if (e == std::string_view::npos)
+                continue;
+            IncludeEdge edge;
+            edge.target = std::string(rest.substr(b + 1, e - b - 1));
+            edge.line = t.line;
+            edge.angled = open == '<';
+            rec.includes.push_back(std::move(edge));
+        } else if (directiveWord(t.text) == "define") {
+            std::string_view rest2;
+            directiveWord(t.text, &rest2);
+            std::string name = directiveWord(rest2);
+            const std::size_t paren = name.find('(');
+            if (paren != std::string::npos)
+                name = name.substr(0, paren);
+            if (!name.empty()) {
+                rec.declares.push_back(name); // merged below
+            }
+        }
+    }
+
+    std::vector<std::string> macroNames = std::move(rec.declares);
+    rec.declares.clear();
+    const std::vector<const Token *> v = codeView(rec.ctx.code);
+    extractFunctionsAndDeclares(v, barrierLines, rec);
+    rec.declares.insert(rec.declares.end(), macroNames.begin(),
+                        macroNames.end());
+    std::stable_sort(rec.declares.begin(), rec.declares.end());
+    rec.declares.erase(
+        std::unique(rec.declares.begin(), rec.declares.end()),
+        rec.declares.end());
+    return rec;
+}
+
+int
+RepoIndex::fileIndexOf(std::string_view path) const
+{
+    const auto it = pathIndex_.find(path);
+    return it == pathIndex_.end() ? -1 : it->second;
+}
+
+std::string
+RepoIndex::moduleOf(std::string_view path)
+{
+    if (path.substr(0, 4) == "src/")
+        path.remove_prefix(4);
+    const std::size_t slash = path.find('/');
+    return std::string(slash == std::string_view::npos
+                           ? path
+                           : path.substr(0, slash));
+}
+
+const std::vector<RepoIndex::FuncRef> *
+RepoIndex::lookupFunctions(std::string_view name) const
+{
+    const auto it = functionsByName_.find(name);
+    return it == functionsByName_.end() ? nullptr : &it->second;
+}
+
+void
+RepoIndex::finalize()
+{
+    std::stable_sort(files_.begin(), files_.end(),
+                     [](const FileRecord &a, const FileRecord &b) {
+                         return a.path < b.path;
+                     });
+    pathIndex_.clear();
+    for (std::size_t i = 0; i < files_.size(); ++i)
+        pathIndex_.emplace(files_[i].path, static_cast<int>(i));
+
+    for (FileRecord &rec : files_) {
+        const std::string dir =
+            rec.path.find('/') == std::string::npos
+                ? std::string()
+                : rec.path.substr(0, rec.path.rfind('/') + 1);
+        for (IncludeEdge &edge : rec.includes) {
+            edge.resolved = fileIndexOf("src/" + edge.target);
+            if (edge.resolved < 0)
+                edge.resolved = fileIndexOf(edge.target);
+            if (edge.resolved < 0 && !dir.empty())
+                edge.resolved = fileIndexOf(dir + edge.target);
+        }
+    }
+
+    functionsByName_.clear();
+    for (std::size_t f = 0; f < files_.size(); ++f)
+        for (std::size_t g = 0; g < files_[f].functions.size(); ++g)
+            functionsByName_[files_[f].functions[g].name].push_back(
+                {static_cast<int>(f), static_cast<int>(g)});
+
+    closures_.assign(files_.size(), {});
+    closureReady_.assign(files_.size(), false);
+}
+
+RepoIndex
+RepoIndex::build(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    static const std::vector<std::string_view> kSubdirs = {
+        "src", "tools", "bench"};
+
+    std::vector<std::string> rel;
+    for (std::string_view sub : kSubdirs) {
+        const fs::path dir = fs::path(root) / sub;
+        if (!fs::exists(dir))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string p = entry.path().generic_string();
+            if (hasSuffix(p, ".h") || hasSuffix(p, ".cc"))
+                rel.push_back(
+                    fs::relative(entry.path(), root).generic_string());
+        }
+    }
+    // Directory iteration order is unspecified; sort for determinism.
+    std::stable_sort(rel.begin(), rel.end());
+
+    RepoIndex idx;
+    for (const std::string &r : rel) {
+        std::ifstream in((fs::path(root) / r).string(),
+                         std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        idx.files_.push_back(indexSource(r, buf.str()));
+    }
+    idx.finalize();
+    return idx;
+}
+
+RepoIndex
+RepoIndex::fromSources(
+    const std::vector<std::pair<std::string, std::string>> &sources)
+{
+    RepoIndex idx;
+    for (const auto &[path, content] : sources)
+        idx.files_.push_back(indexSource(path, content));
+    idx.finalize();
+    return idx;
+}
+
+const std::vector<int> &
+RepoIndex::includeClosure(int fileIdx) const
+{
+    auto &slot = closures_[static_cast<std::size_t>(fileIdx)];
+    if (closureReady_[static_cast<std::size_t>(fileIdx)])
+        return slot;
+    std::set<int> seen;
+    std::vector<int> stack = {fileIdx};
+    while (!stack.empty()) {
+        const int cur = stack.back();
+        stack.pop_back();
+        if (!seen.insert(cur).second)
+            continue;
+        for (const IncludeEdge &e :
+             files_[static_cast<std::size_t>(cur)].includes)
+            if (e.resolved >= 0)
+                stack.push_back(e.resolved);
+    }
+    slot.assign(seen.begin(), seen.end());
+    closureReady_[static_cast<std::size_t>(fileIdx)] = true;
+    return slot;
+}
+
+bool
+RepoIndex::closureDeclares(int fileIdx, std::string_view name) const
+{
+    for (int f : includeClosure(fileIdx)) {
+        const auto &d = files_[static_cast<std::size_t>(f)].declares;
+        if (std::binary_search(d.begin(), d.end(), name))
+            return true;
+    }
+    return false;
+}
+
+std::vector<int>
+RepoIndex::declarersOf(std::string_view name) const
+{
+    std::vector<int> out;
+    for (std::size_t f = 0; f < files_.size(); ++f) {
+        const auto &d = files_[f].declares;
+        if (std::binary_search(d.begin(), d.end(), name))
+            out.push_back(static_cast<int>(f));
+    }
+    return out;
+}
+
+std::string
+RepoIndex::dotGraph() const
+{
+    std::ostringstream os;
+    os << "digraph aitax_include_graph {\n";
+    os << "  rankdir=LR;\n";
+    os << "  node [shape=box, fontsize=9];\n";
+
+    // Module clusters, modules and member files both in sorted order
+    // (files_ is path-sorted, so grouping preserves that order).
+    std::map<std::string, std::vector<const FileRecord *>> byModule;
+    for (const FileRecord &rec : files_)
+        byModule[moduleOf(rec.path)].push_back(&rec);
+    for (const auto &[module, members] : byModule) {
+        os << "  subgraph \"cluster_" << module << "\" {\n";
+        os << "    label=\"" << module << "\";\n";
+        for (const FileRecord *rec : members)
+            os << "    \"" << rec->path << "\";\n";
+        os << "  }\n";
+    }
+    for (const FileRecord &rec : files_)
+        for (const IncludeEdge &e : rec.includes)
+            if (e.resolved >= 0)
+                os << "  \"" << rec.path << "\" -> \""
+                   << files_[static_cast<std::size_t>(e.resolved)].path
+                   << "\";\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace aitax::lint

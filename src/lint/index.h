@@ -1,0 +1,201 @@
+/**
+ * @file
+ * RepoIndex: the shared pass-1 product of whole-repo analysis.
+ *
+ * Pass 1 tokenizes every file exactly once and records, per file:
+ * the token stream (FileContext), the parsed suppression markers, the
+ * resolved in-repo include edges, a token-approximated set of
+ * function/method definitions with the calls inside each body, and
+ * the names the file declares at namespace scope. Pass 2 (graph
+ * rules, taint propagation — see graph_rules.h / taint.h) runs over
+ * this index instead of re-reading the tree.
+ *
+ * Everything is deterministic by construction: files are sorted by
+ * path before indexing, every lookup table is an ordered std::map,
+ * and derived artifacts (the DOT dump, include closures) are emitted
+ * in sorted order — the index obeys the same contract it exists to
+ * enforce.
+ *
+ * Approximations (documented in docs/LINTING.md): function
+ * definitions are recognized by the token shape `name (params) {`
+ * (qualified names joined over `::`), calls by `name (` inside a
+ * body, and call resolution is by unqualified name — deliberately an
+ * over-approximation, tuned by taint barriers and suppressions.
+ */
+
+#ifndef AITAX_LINT_INDEX_H
+#define AITAX_LINT_INDEX_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace aitax::lint {
+
+/** Parsed `aitax-lint: allow(...)` / `allow-file(...)` markers. */
+struct SuppressionSet
+{
+    /** rule -> set of lines it is allowed on. */
+    std::map<std::string, std::set<int>> lines;
+    /** rules allowed for the whole file. */
+    std::set<std::string> fileWide;
+
+    bool covers(const Finding &f) const;
+};
+
+/** One `#include` directive, resolved against the index. */
+struct IncludeEdge
+{
+    std::string target; ///< text between the delimiters
+    int line = 0;
+    bool angled = false;
+    int resolved = -1; ///< index of the in-repo file, -1 if external
+};
+
+/** One `name(` occurrence inside a function body. */
+struct CallSite
+{
+    std::string name; ///< unqualified callee name
+    int line = 0;
+};
+
+/** One token-approximated function/method definition. */
+struct FunctionDef
+{
+    std::string name;      ///< last identifier of the declarator
+    std::string qualified; ///< `Class::name` when spelled that way
+    int line = 0;
+    std::vector<CallSite> calls; ///< in body order
+    /**
+     * Taint rules this function is a declared barrier for
+     * (`// aitax-lint: taint-barrier(rule)` on the line immediately
+     * above or on the definition line itself). Sorted.
+     */
+    std::vector<std::string> barriers;
+    /**
+     * Determinism-relevant primitives the body touches directly,
+     * keyed by taint rule id ("taint-clock", "taint-random") ->
+     * (identifier, line) of the first occurrence.
+     */
+    std::map<std::string, std::pair<std::string, int>> seeds;
+
+    bool isBarrierFor(std::string_view rule) const;
+};
+
+/** Everything pass 1 learned about one file. */
+struct FileRecord
+{
+    std::string path; ///< repo-relative, '/' separators
+    FileContext ctx;
+    SuppressionSet sup;
+    std::vector<IncludeEdge> includes;
+    std::vector<FunctionDef> functions;
+    /** Names declared at namespace scope (classes, enums, usings,
+     *  typedefs, functions, macros). Sorted, unique. */
+    std::vector<std::string> declares;
+};
+
+class RepoIndex
+{
+  public:
+    /**
+     * Index the repo tree rooted at @p root: every .h/.cc under
+     * src/, tools/ and bench/, sorted by repo-relative path.
+     */
+    static RepoIndex build(const std::string &root);
+
+    /**
+     * Index in-memory sources: (repo-relative path, content) pairs.
+     * Input order is irrelevant; files are sorted by path first.
+     */
+    static RepoIndex fromSources(
+        const std::vector<std::pair<std::string, std::string>> &sources);
+
+    const std::vector<FileRecord> &files() const { return files_; }
+
+    /** @return index into files(), or -1 if @p path is not indexed. */
+    int fileIndexOf(std::string_view path) const;
+
+    /**
+     * Module key of a repo-relative path: first segment under src/
+     * ("sim" for src/sim/...), else the first segment itself
+     * ("tools", "bench").
+     */
+    static std::string moduleOf(std::string_view path);
+
+    /** A function's location in the index. */
+    struct FuncRef
+    {
+        int file = -1;
+        int fn = -1;
+
+        friend bool
+        operator<(const FuncRef &a, const FuncRef &b)
+        {
+            if (a.file != b.file)
+                return a.file < b.file;
+            return a.fn < b.fn;
+        }
+    };
+
+    /** All definitions sharing unqualified @p name (sorted), or
+     *  nullptr when the name defines nothing in the repo. */
+    const std::vector<FuncRef> *lookupFunctions(
+        std::string_view name) const;
+
+    const FunctionDef &
+    function(const FuncRef &ref) const
+    {
+        return files_[static_cast<std::size_t>(ref.file)]
+            .functions[static_cast<std::size_t>(ref.fn)];
+    }
+
+    /**
+     * Include closure of file @p fileIdx: sorted indices of every
+     * in-repo file transitively reachable over resolved includes,
+     * including @p fileIdx itself. Memoized.
+     */
+    const std::vector<int> &includeClosure(int fileIdx) const;
+
+    /** True if any file in @p fileIdx's include closure declares
+     *  @p name at namespace scope. */
+    bool closureDeclares(int fileIdx, std::string_view name) const;
+
+    /** Files (sorted indices) that declare @p name. Empty if none. */
+    std::vector<int> declarersOf(std::string_view name) const;
+
+    /**
+     * Deterministic DOT rendering of the in-repo include graph:
+     * module clusters and files sorted by name, edges in (file,
+     * include-line) order. Byte-identical across runs and machines.
+     */
+    std::string dotGraph() const;
+
+  private:
+    void finalize(); ///< sort, resolve includes, build lookup tables
+
+    std::vector<FileRecord> files_;
+    std::map<std::string, int, std::less<>> pathIndex_;
+    std::map<std::string, std::vector<FuncRef>, std::less<>>
+        functionsByName_;
+    mutable std::vector<std::vector<int>> closures_;
+    mutable std::vector<bool> closureReady_;
+};
+
+/**
+ * Build a FileRecord from one source buffer: tokenize, parse
+ * suppression markers, and extract includes / function definitions /
+ * declared names. Include edges are left unresolved (resolved = -1);
+ * RepoIndex::finalize links them.
+ */
+FileRecord indexSource(std::string_view virtualPath,
+                       std::string_view content);
+
+} // namespace aitax::lint
+
+#endif // AITAX_LINT_INDEX_H

@@ -1,99 +1,76 @@
 #include "lint/linter.h"
 
 #include <algorithm>
-#include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
+
+#include "lint/graph_rules.h"
 
 namespace aitax::lint {
 
 namespace {
 
-/** Parsed suppression state for one file. */
-struct Suppressions
+bool
+ruleSelected(const std::vector<std::string> &filter, std::string_view id)
 {
-    /** rule -> set of lines it is allowed on. */
-    std::map<std::string, std::set<int>> lines;
-    /** rules allowed for the whole file. */
-    std::set<std::string> fileWide;
-
-    bool
-    covers(const Finding &f) const
-    {
-        if (fileWide.count(f.rule))
-            return true;
-        auto it = lines.find(f.rule);
-        return it != lines.end() && it->second.count(f.line) > 0;
-    }
-};
-
-/** Split a comma-separated rule list. */
-std::vector<std::string>
-splitRules(std::string_view list)
-{
-    std::vector<std::string> out;
-    std::string cur;
-    for (char c : list) {
-        if (c == ',') {
-            if (!cur.empty())
-                out.push_back(cur);
-            cur.clear();
-        } else if (!std::isspace(static_cast<unsigned char>(c))) {
-            cur.push_back(c);
-        }
-    }
-    if (!cur.empty())
-        out.push_back(cur);
-    return out;
+    return filter.empty() ||
+           std::find(filter.begin(), filter.end(), std::string(id)) !=
+               filter.end();
 }
 
-/**
- * Extract `aitax-lint: allow(...)` / `allow-file(...)` markers from a
- * comment token. A marker covers the comment's starting line and the
- * line after it.
- */
+/** Apply strictness filtering and suppressions to raw findings. */
 void
-parseMarkers(const Token &comment, Suppressions &sup)
+settle(std::vector<Finding> raw, const RepoIndex *idx,
+       const SuppressionSet *singleSup, bool strict, LintResult &res)
 {
-    static constexpr std::string_view kTag = "aitax-lint:";
-    std::string_view text = comment.text;
-    std::size_t at = text.find(kTag);
-    while (at != std::string_view::npos) {
-        std::string_view rest = text.substr(at + kTag.size());
-        const std::size_t ws = rest.find_first_not_of(" \t");
-        if (ws != std::string_view::npos) {
-            rest.remove_prefix(ws);
-            const bool fileWide = rest.substr(0, 10) == "allow-file";
-            const bool lineWise = !fileWide && rest.substr(0, 5) == "allow";
-            if (fileWide || lineWise) {
-                const std::size_t open = rest.find('(');
-                const std::size_t close = rest.find(')', open + 1);
-                if (open != std::string_view::npos &&
-                    close != std::string_view::npos) {
-                    for (const std::string &r : splitRules(
-                             rest.substr(open + 1, close - open - 1))) {
-                        if (fileWide) {
-                            sup.fileWide.insert(r);
-                        } else {
-                            sup.lines[r].insert(comment.line);
-                            sup.lines[r].insert(comment.line + 1);
-                        }
-                    }
-                }
+    for (Finding &f : raw) {
+        if (f.lowConfidence && !strict)
+            continue;
+        const SuppressionSet *sup = singleSup;
+        if (sup == nullptr && idx != nullptr) {
+            const int at = idx->fileIndexOf(f.file);
+            if (at >= 0)
+                sup = &idx->files()[static_cast<std::size_t>(at)].sup;
+        }
+        if (sup != nullptr && sup->covers(f))
+            ++res.suppressed;
+        else
+            res.findings.push_back(std::move(f));
+    }
+    std::stable_sort(res.findings.begin(), res.findings.end());
+}
+
+void
+jsonEscape(std::ostringstream &os, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
             }
         }
-        at = text.find(kTag, at + kTag.size());
     }
-}
-
-bool
-hasSuffix(std::string_view s, std::string_view suffix)
-{
-    return s.size() >= suffix.size() &&
-           s.substr(s.size() - suffix.size()) == suffix;
 }
 
 } // namespace
@@ -102,46 +79,18 @@ LintResult
 lintSource(std::string_view virtualPath, std::string_view content,
            const std::vector<std::string> &ruleFilter)
 {
-    FileContext ctx;
-    ctx.path = std::string(virtualPath);
-    ctx.isHeader = hasSuffix(ctx.path, ".h");
-
-    Suppressions sup;
-    for (Token &t : tokenize(content)) {
-        switch (t.kind) {
-          case TokKind::Comment:
-            parseMarkers(t, sup);
-            break;
-          case TokKind::Preproc:
-            ctx.preproc.push_back(t);
-            ctx.code.push_back(std::move(t));
-            break;
-          default:
-            ctx.code.push_back(std::move(t));
-            break;
-        }
-    }
-    // Preproc tokens sit in `code` too so rules see one stream, but
-    // identifier scans skip them by kind.
+    const FileRecord rec = indexSource(virtualPath, content);
 
     std::vector<Finding> raw;
     for (const Rule &r : allRules()) {
-        if (!ruleFilter.empty() &&
-            std::find(ruleFilter.begin(), ruleFilter.end(),
-                      std::string(r.id)) == ruleFilter.end())
+        if (!ruleSelected(ruleFilter, r.id))
             continue;
-        r.check(ctx, raw);
+        r.check(rec.ctx, raw);
     }
 
     LintResult res;
     res.filesScanned = 1;
-    for (Finding &f : raw) {
-        if (sup.covers(f))
-            ++res.suppressed;
-        else
-            res.findings.push_back(std::move(f));
-    }
-    std::stable_sort(res.findings.begin(), res.findings.end());
+    settle(std::move(raw), nullptr, &rec.sup, /*strict=*/false, res);
     return res;
 }
 
@@ -156,42 +105,37 @@ lintFile(const std::string &diskPath, std::string_view virtualPath,
 }
 
 LintResult
-lintTree(const std::string &root,
-         const std::vector<std::string> &ruleFilter)
+lintRepo(const RepoIndex &idx, const LintOptions &opts)
 {
-    namespace fs = std::filesystem;
-    static const std::vector<std::string_view> kSubdirs = {
-        "src", "tools", "bench"};
+    std::vector<Finding> raw;
+    for (const FileRecord &rec : idx.files())
+        for (const Rule &r : allRules())
+            if (ruleSelected(opts.ruleFilter, r.id))
+                r.check(rec.ctx, raw);
 
-    std::vector<std::string> rel; // repo-relative, '/' separators
-    for (std::string_view sub : kSubdirs) {
-        const fs::path dir = fs::path(root) / sub;
-        if (!fs::exists(dir))
-            continue;
-        for (const auto &entry : fs::recursive_directory_iterator(dir)) {
-            if (!entry.is_regular_file())
-                continue;
-            const std::string p = entry.path().generic_string();
-            if (hasSuffix(p, ".h") || hasSuffix(p, ".cc"))
-                rel.push_back(
-                    fs::relative(entry.path(), root).generic_string());
-        }
-    }
-    // Directory iteration order is unspecified; the linter holds
-    // itself to the same ordered-output rule it enforces.
-    std::stable_sort(rel.begin(), rel.end());
+    GraphOptions gopts;
+    gopts.layersPath = opts.layersPath;
+    gopts.strict = opts.strict;
+    for (const GraphRule &r : allGraphRules())
+        if (ruleSelected(opts.ruleFilter, r.id))
+            r.check(idx, gopts, raw);
 
     LintResult res;
-    for (const std::string &r : rel) {
-        LintResult one =
-            lintFile((fs::path(root) / r).string(), r, ruleFilter);
-        res.suppressed += one.suppressed;
-        res.filesScanned += 1;
-        for (Finding &f : one.findings)
-            res.findings.push_back(std::move(f));
-    }
-    std::stable_sort(res.findings.begin(), res.findings.end());
+    res.filesScanned = idx.files().size();
+    settle(std::move(raw), &idx, nullptr, opts.strict, res);
     return res;
+}
+
+LintResult
+lintTree(const std::string &root, const LintOptions &opts)
+{
+    namespace fs = std::filesystem;
+    const RepoIndex idx = RepoIndex::build(root);
+    LintOptions effective = opts;
+    if (effective.layersPath.empty())
+        effective.layersPath =
+            (fs::path(root) / "tools" / "lint_layers.txt").string();
+    return lintRepo(idx, effective);
 }
 
 std::string
@@ -202,6 +146,51 @@ formatFinding(const Finding &f, bool withHint)
        << f.message;
     if (withHint && !f.hint.empty())
         os << "\n    hint: " << f.hint;
+    return os.str();
+}
+
+std::string
+renderJson(const std::vector<Finding> &fresh, std::size_t filesScanned,
+           std::size_t baselined, std::size_t suppressed,
+           const std::vector<BaselineEntry> &stale)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"aitax-lint-report/1\",\n";
+    os << "  \"files_scanned\": " << filesScanned << ",\n";
+    os << "  \"counts\": {\"findings\": " << fresh.size()
+       << ", \"baselined\": " << baselined
+       << ", \"suppressed\": " << suppressed
+       << ", \"stale_baseline\": " << stale.size() << "},\n";
+    os << "  \"findings\": [";
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        const Finding &f = fresh[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    {\"file\": \"";
+        jsonEscape(os, f.file);
+        os << "\", \"line\": " << f.line << ", \"rule\": \"";
+        jsonEscape(os, f.rule);
+        os << "\", \"confidence\": \""
+           << (f.lowConfidence ? "low" : "normal")
+           << "\", \"message\": \"";
+        jsonEscape(os, f.message);
+        os << "\", \"hint\": \"";
+        jsonEscape(os, f.hint);
+        os << "\"}";
+    }
+    os << (fresh.empty() ? "],\n" : "\n  ],\n");
+    os << "  \"stale_baseline\": [";
+    for (std::size_t i = 0; i < stale.size(); ++i) {
+        const BaselineEntry &e = stale[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    {\"file\": \"";
+        jsonEscape(os, e.file);
+        os << "\", \"line\": " << e.line << ", \"rule\": \"";
+        jsonEscape(os, e.rule);
+        os << "\"}";
+    }
+    os << (stale.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
     return os.str();
 }
 

@@ -5,6 +5,8 @@
 #include <set>
 #include <string>
 
+#include "lint/taint.h"
+
 namespace aitax::lint {
 
 bool
@@ -79,18 +81,16 @@ checkWallClock(const FileContext &f, std::vector<Finding> &out)
 {
     if (f.startsWithAny(kWallClockAllowed))
         return;
-    static const std::set<std::string_view> banned = {
-        "system_clock",   "steady_clock", "high_resolution_clock",
-        "gettimeofday",   "clock_gettime", "timespec_get",
-        "ftime",          "localtime",     "gmtime",
-    };
+    // Name tables shared with the taint-clock seeds (taint.h).
+    const auto &banned = wallClockBanned();
+    const auto &callOnly = wallClockCallOnly();
     const auto &code = f.code;
     for (std::size_t i = 0; i < code.size(); ++i) {
         const Token &t = code[i];
         if (t.kind != TokKind::Identifier)
             continue;
-        const bool call_only = t.text == "time" || t.text == "clock";
-        if (banned.count(t.text) || (call_only && nextIs(code, i, "("))) {
+        if (banned.count(t.text) ||
+            (callOnly.count(t.text) && nextIs(code, i, "("))) {
             emit(out, f, t.line, "wall-clock",
                  "wall-clock read `" + t.text +
                      "` outside src/sweep//bench/",
@@ -108,21 +108,16 @@ checkRawRandom(const FileContext &f, std::vector<Finding> &out)
 {
     if (f.startsWith("src/sim/random."))
         return;
-    static const std::set<std::string_view> banned = {
-        "rand",          "srand",      "rand_r",
-        "drand48",       "random_device",
-        "mt19937",       "mt19937_64", "default_random_engine",
-        "minstd_rand",   "minstd_rand0",
-        "uniform_int_distribution",  "uniform_real_distribution",
-        "normal_distribution",       "bernoulli_distribution",
-        "poisson_distribution",      "exponential_distribution",
-    };
+    // Name tables shared with the taint-random seeds (taint.h).
+    // `rand` is call-only so a field named rand does not count.
+    const auto &banned = rawRandomBanned();
+    const auto &callOnly = rawRandomCallOnly();
     for (std::size_t i = 0; i < f.code.size(); ++i) {
         const Token &t = f.code[i];
-        if (t.kind != TokKind::Identifier || !banned.count(t.text))
+        if (t.kind != TokKind::Identifier)
             continue;
-        // `rand` must be a call to count (avoid e.g. a field named rand).
-        if (t.text == "rand" && !nextIs(f.code, i, "("))
+        if (!banned.count(t.text) &&
+            !(callOnly.count(t.text) && nextIs(f.code, i, "(")))
             continue;
         emit(out, f, t.line, "raw-random",
              "unseeded/non-reproducible RNG `" + t.text +
@@ -203,6 +198,217 @@ checkStdFunction(const FileContext &f, std::vector<Finding> &out)
              "std::function heap-allocates typical simulator captures; "
              "use sim::EventFn (src/sim/inline_function.h) for "
              "callbacks scheduled per event");
+    }
+}
+
+// --- guarded-mutex -----------------------------------------------------
+
+/** Non-preproc view of the code stream. */
+std::vector<const Token *>
+pureCode(const std::vector<Token> &code)
+{
+    std::vector<const Token *> v;
+    v.reserve(code.size());
+    for (const Token &t : code)
+        if (t.kind != TokKind::Preproc)
+            v.push_back(&t);
+    return v;
+}
+
+bool
+viewPunct(const std::vector<const Token *> &v, std::size_t i,
+          std::string_view p)
+{
+    return i < v.size() && v[i]->kind == TokKind::Punct &&
+           v[i]->text == p;
+}
+
+/** Index just past the token matching the opener at @p open. */
+std::size_t
+viewSkip(const std::vector<const Token *> &v, std::size_t open,
+         std::string_view opener, std::string_view closer)
+{
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < v.size(); ++i) {
+        if (viewPunct(v, i, opener))
+            ++depth;
+        else if (viewPunct(v, i, closer) && --depth == 0)
+            return i + 1;
+    }
+    return i;
+}
+
+/** One data member of a class under inspection. */
+struct MemberInfo
+{
+    std::string name;
+    int line = 0;
+    bool isMutex = false;
+    bool isAtomic = false;
+    bool isConst = false;
+    bool annotated = false;
+};
+
+/** Classify one `...;` statement at class-body depth. */
+bool
+classifyMember(const std::vector<const Token *> &stmt, MemberInfo &m)
+{
+    static const std::set<std::string_view> kSkipLead = {
+        "using", "typedef", "friend",  "static", "enum",
+        "class", "struct",  "template", "operator", "union",
+    };
+    static const std::set<std::string_view> kMutexNames = {
+        "mutex", "Mutex", "shared_mutex", "recursive_mutex",
+    };
+    // Strip AITAX_* annotation macros (and their argument lists) so
+    // their parentheses do not read as a function declarator.
+    std::vector<const Token *> stripped;
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+        const Token &t = *stmt[i];
+        if (t.kind == TokKind::Identifier &&
+            t.text.rfind("AITAX_", 0) == 0) {
+            if (t.text == "AITAX_GUARDED_BY" ||
+                t.text == "AITAX_PT_GUARDED_BY")
+                m.annotated = true;
+            if (i + 1 < stmt.size() && viewPunct(stmt, i + 1, "(")) {
+                int depth = 0;
+                ++i;
+                for (; i < stmt.size(); ++i) {
+                    if (viewPunct(stmt, i, "("))
+                        ++depth;
+                    else if (viewPunct(stmt, i, ")") && --depth == 0)
+                        break;
+                }
+            }
+            continue;
+        }
+        stripped.push_back(stmt[i]);
+    }
+    if (stripped.empty())
+        return false;
+    if (stripped[0]->kind == TokKind::Identifier &&
+        kSkipLead.count(stripped[0]->text))
+        return false;
+    std::string lastIdent;
+    int lastLine = 0;
+    int angleDepth = 0;
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        const Token &t = *stripped[i];
+        if (t.kind == TokKind::Punct &&
+            (t.text == "=" || t.text == "{"))
+            break; // default member initializer
+        if (t.text == "(")
+            return false; // function declaration / paren declarator
+        if (t.kind == TokKind::Punct) {
+            if (t.text == "<")
+                ++angleDepth;
+            else if (t.text == ">")
+                --angleDepth;
+            continue;
+        }
+        if (t.kind != TokKind::Identifier)
+            continue;
+        if (kMutexNames.count(t.text))
+            m.isMutex = true;
+        else if (t.text == "atomic")
+            m.isAtomic = true;
+        else if ((t.text == "const" || t.text == "constexpr") &&
+                 angleDepth == 0)
+            // `const` inside template arguments (shared_ptr<const T>)
+            // does not make the member immutable.
+            m.isConst = true;
+        lastIdent = t.text;
+        lastLine = t.line;
+    }
+    if (lastIdent.empty())
+        return false;
+    m.name = lastIdent;
+    m.line = lastLine;
+    return true;
+}
+
+void
+checkGuardedMutex(const FileContext &f, std::vector<Finding> &out)
+{
+    if (!f.startsWith("src/sweep/"))
+        return;
+    const std::vector<const Token *> v = pureCode(f.code);
+    std::size_t i = 0;
+    while (i < v.size()) {
+        const Token &t = *v[i];
+        if (t.kind != TokKind::Identifier ||
+            (t.text != "class" && t.text != "struct")) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i + 1;
+        // Attribute-style macros between the keyword and the name.
+        while (j + 1 < v.size() && v[j]->kind == TokKind::Identifier &&
+               viewPunct(v, j + 1, "("))
+            j = viewSkip(v, j + 1, "(", ")");
+        if (j >= v.size() || v[j]->kind != TokKind::Identifier) {
+            i = j;
+            continue;
+        }
+        const std::string className(v[j]->text);
+        // Find the body `{` (or `;` for a forward declaration).
+        std::size_t k = j + 1;
+        while (k < v.size() && !viewPunct(v, k, "{") &&
+               !viewPunct(v, k, ";"))
+            ++k;
+        if (k >= v.size() || viewPunct(v, k, ";")) {
+            i = k + 1;
+            continue;
+        }
+        const std::size_t bodyEnd = viewSkip(v, k, "{", "}");
+        // Collect member statements at body depth; nested braces
+        // (inline methods, nested types) are skipped wholesale.
+        std::vector<MemberInfo> members;
+        std::vector<const Token *> stmt;
+        std::size_t p = k + 1;
+        while (p + 1 < bodyEnd) {
+            if (viewPunct(v, p, "{")) {
+                p = viewSkip(v, p, "{", "}");
+                stmt.clear();
+                continue;
+            }
+            if (viewPunct(v, p, ";")) {
+                MemberInfo m;
+                if (classifyMember(stmt, m))
+                    members.push_back(std::move(m));
+                stmt.clear();
+                ++p;
+                continue;
+            }
+            if (viewPunct(v, p, ":") && stmt.size() == 1 &&
+                stmt[0]->kind == TokKind::Identifier) {
+                stmt.clear(); // access specifier
+                ++p;
+                continue;
+            }
+            stmt.push_back(v[p]);
+            ++p;
+        }
+        bool hasMutex = false;
+        for (const MemberInfo &m : members)
+            hasMutex = hasMutex || m.isMutex;
+        if (hasMutex) {
+            for (const MemberInfo &m : members) {
+                if (m.isMutex || m.isAtomic || m.isConst || m.annotated)
+                    continue;
+                emit(out, f, m.line, "guarded-mutex",
+                     "member `" + m.name + "` of mutex-holding "
+                     "class `" + className + "` has no guard "
+                     "annotation",
+                     "say which mutex guards it: `AITAX_GUARDED_BY(" +
+                         std::string("<mutex>") + ")` from "
+                         "core/thread_annotations.h (use core::Mutex "
+                         "so clang -Wthread-safety checks it), or "
+                         "make it std::atomic/const if lock-free");
+            }
+        }
+        i = bodyEnd;
     }
 }
 
@@ -421,6 +627,12 @@ const std::vector<Rule> kRules = {
      "single-precision or reduction-order-dependent sums change "
      "byte-for-byte when code is reordered, breaking golden traces",
      checkFloatAccum},
+    {"guarded-mutex",
+     "mutex-holding classes in src/sweep/ annotate guarded state",
+     "the sweep tier is the only place threads touch shared state; "
+     "AITAX_GUARDED_BY makes the lock protocol explicit and lets "
+     "clang -Wthread-safety verify every access",
+     checkGuardedMutex},
     {"header-guard",
      "headers carry a canonical AITAX_* include guard or #pragma once",
      "duplicate/mismatched guards cause ODR surprises and silently "

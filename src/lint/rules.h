@@ -28,6 +28,12 @@ struct Finding
     std::string rule;
     std::string message;
     std::string hint; ///< suggested fix
+    /**
+     * Low-confidence findings come from heuristics with a known
+     * false-positive tail (e.g. the self-contained-header check);
+     * the linter emits them under --strict only.
+     */
+    bool lowConfidence = false;
 
     /** Ordering for deterministic reports: (file, line, rule). */
     friend bool

@@ -1,0 +1,270 @@
+#include "lint/taint.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "lint/index.h"
+
+namespace aitax::lint {
+
+namespace {
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+clockRestricted(std::string_view path)
+{
+    return !startsWith(path, "src/sweep/") && !startsWith(path, "bench/");
+}
+
+bool
+noImplicitBarrier(std::string_view)
+{
+    return false;
+}
+
+bool
+randomRestricted(std::string_view path)
+{
+    return !startsWith(path, "src/sim/random.");
+}
+
+bool
+randomImplicitBarrier(std::string_view path)
+{
+    return startsWith(path, "src/sim/random.");
+}
+
+/**
+ * bench/ and tools/ translation units are leaves: nothing links src/
+ * against them, so their functions may only taint callers in the same
+ * top-level directory.
+ */
+bool
+compatibleLink(std::string_view callerPath, std::string_view calleePath)
+{
+    for (std::string_view leaf : {"bench/", "tools/"})
+        if (startsWith(calleePath, leaf))
+            return startsWith(callerPath, leaf);
+    return true;
+}
+
+const std::vector<TaintSpec> &
+specs()
+{
+    static const std::vector<TaintSpec> kSpecs = {
+        {"taint-clock", "wall-clock read", &wallClockBanned(),
+         &wallClockCallOnly(), clockRestricted, noImplicitBarrier,
+         "no transitive wall-clock reach from simulation code",
+         "a helper that reads wall time two modules away is as "
+         "nondeterministic as a direct read; the call graph is the "
+         "only place the leak is visible",
+         "route timing through virtual time (sim::TimeNs / "
+         "Simulator::now()), or mark a reviewed observability-only "
+         "function with `// aitax-lint: taint-barrier(taint-clock)`"},
+        {"taint-random", "raw RNG use", &rawRandomBanned(),
+         &rawRandomCallOnly(), randomRestricted, randomImplicitBarrier,
+         "no transitive raw-RNG reach outside src/sim/random",
+         "replay from a root seed breaks the moment any transitive "
+         "callee draws from an unseeded or implementation-defined "
+         "generator",
+         "draw through sim::RandomStream, or mark a reviewed function "
+         "with `// aitax-lint: taint-barrier(taint-random)`"},
+    };
+    return kSpecs;
+}
+
+} // namespace
+
+const std::set<std::string_view> &
+wallClockBanned()
+{
+    static const std::set<std::string_view> kSet = {
+        "system_clock",   "steady_clock", "high_resolution_clock",
+        "gettimeofday",   "clock_gettime", "timespec_get",
+        "ftime",          "localtime",     "gmtime",
+    };
+    return kSet;
+}
+
+const std::set<std::string_view> &
+wallClockCallOnly()
+{
+    static const std::set<std::string_view> kSet = {"time", "clock"};
+    return kSet;
+}
+
+const std::set<std::string_view> &
+rawRandomBanned()
+{
+    static const std::set<std::string_view> kSet = {
+        "srand",         "rand_r",
+        "drand48",       "random_device",
+        "mt19937",       "mt19937_64", "default_random_engine",
+        "minstd_rand",   "minstd_rand0",
+        "uniform_int_distribution",  "uniform_real_distribution",
+        "normal_distribution",       "bernoulli_distribution",
+        "poisson_distribution",      "exponential_distribution",
+    };
+    return kSet;
+}
+
+const std::set<std::string_view> &
+rawRandomCallOnly()
+{
+    static const std::set<std::string_view> kSet = {"rand"};
+    return kSet;
+}
+
+const std::vector<TaintSpec> &
+taintSpecs()
+{
+    return specs();
+}
+
+const TaintSpec *
+findTaintSpec(std::string_view id)
+{
+    for (const TaintSpec &s : specs())
+        if (s.rule == id)
+            return &s;
+    return nullptr;
+}
+
+void
+propagateTaint(const RepoIndex &idx, const TaintSpec &spec,
+               std::vector<Finding> &out)
+{
+    using FuncRef = RepoIndex::FuncRef;
+    const std::string ruleId(spec.rule);
+    const auto &files = idx.files();
+
+    const auto pathOf = [&](const FuncRef &r) -> const std::string & {
+        return files[static_cast<std::size_t>(r.file)].path;
+    };
+    const auto isBarrier = [&](const FuncRef &r) {
+        return spec.implicitBarrier(pathOf(r)) ||
+               idx.function(r).isBarrierFor(spec.rule);
+    };
+
+    // Reverse call edges: callee name -> every function containing a
+    // call of that name. Built in (sorted file, body) order.
+    std::map<std::string, std::vector<FuncRef>, std::less<>> callersOf;
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        for (std::size_t g = 0; g < files[f].functions.size(); ++g) {
+            const FuncRef ref{static_cast<int>(f), static_cast<int>(g)};
+            std::set<std::string> seen;
+            for (const CallSite &c : files[f].functions[g].calls)
+                if (seen.insert(c.name).second)
+                    callersOf[c.name].push_back(ref);
+        }
+    }
+
+    // Fixed point: start from seeded roots, flow callee -> caller.
+    // nextHop records the callee through which taint arrived
+    // ({-1, -1} for roots) so findings can print the chain. The
+    // sorted worklist makes discovery order — and therefore the
+    // chains — deterministic.
+    std::map<FuncRef, FuncRef> nextHop;
+    std::set<FuncRef> work;
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        for (std::size_t g = 0; g < files[f].functions.size(); ++g) {
+            const FuncRef ref{static_cast<int>(f), static_cast<int>(g)};
+            if (files[f].functions[g].seeds.count(ruleId) == 0)
+                continue;
+            if (isBarrier(ref))
+                continue;
+            nextHop.emplace(ref, FuncRef{-1, -1});
+            work.insert(ref);
+        }
+    }
+    while (!work.empty()) {
+        const FuncRef cur = *work.begin();
+        work.erase(work.begin());
+        const auto it = callersOf.find(idx.function(cur).name);
+        if (it == callersOf.end())
+            continue;
+        for (const FuncRef &caller : it->second) {
+            if (nextHop.count(caller))
+                continue;
+            if (!compatibleLink(pathOf(caller), pathOf(cur)))
+                continue;
+            if (isBarrier(caller))
+                continue;
+            nextHop.emplace(caller, cur);
+            work.insert(caller);
+        }
+    }
+
+    const auto chainString = [&](FuncRef start) {
+        std::ostringstream os;
+        FuncRef cur = start;
+        for (int hop = 0; hop < 8; ++hop) {
+            const FunctionDef &fn = idx.function(cur);
+            os << '`' << fn.name << "` [" << pathOf(cur) << ':'
+               << fn.line << ']';
+            const FuncRef next = nextHop.at(cur);
+            if (next.file < 0) {
+                const auto seed = fn.seeds.find(ruleId);
+                if (seed != fn.seeds.end())
+                    os << " -> " << spec.sourceLabel << " `"
+                       << seed->second.first << "` [" << pathOf(cur)
+                       << ':' << seed->second.second << ']';
+                return os.str();
+            }
+            os << " -> ";
+            cur = next;
+        }
+        os << "...";
+        return os.str();
+    };
+
+    // Findings: cross-file call sites of tainted functions inside
+    // restricted, non-barrier callers.
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        const FileRecord &rec = files[f];
+        if (!spec.restricted(rec.path))
+            continue;
+        std::set<int> linesDone;
+        for (std::size_t g = 0; g < rec.functions.size(); ++g) {
+            const FunctionDef &fn = rec.functions[g];
+            if (spec.implicitBarrier(rec.path) ||
+                fn.isBarrierFor(spec.rule))
+                continue;
+            for (const CallSite &c : fn.calls) {
+                if (linesDone.count(c.line))
+                    continue;
+                const auto *targets = idx.lookupFunctions(c.name);
+                if (targets == nullptr)
+                    continue;
+                for (const FuncRef &t : *targets) {
+                    if (t.file == static_cast<int>(f))
+                        continue; // same-file chains are local news
+                    if (!compatibleLink(rec.path, pathOf(t)))
+                        continue;
+                    if (!nextHop.count(t))
+                        continue;
+                    Finding fd;
+                    fd.file = rec.path;
+                    fd.line = c.line;
+                    fd.rule = ruleId;
+                    fd.message = "call to `" + c.name + "` reaches " +
+                                 std::string(spec.sourceLabel) +
+                                 ": " + chainString(t);
+                    fd.hint = std::string(spec.hint);
+                    out.push_back(std::move(fd));
+                    linesDone.insert(c.line);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace aitax::lint

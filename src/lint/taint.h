@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cross-TU taint propagation for the determinism rules.
+ *
+ * The file-local `wall-clock` and `raw-random` rules catch direct
+ * touches of nondeterministic primitives. The taint rules
+ * (`taint-clock`, `taint-random`) close the transitive gap: a
+ * sanctioned-module helper that reaches `steady_clock` three calls
+ * deep still fires at the call site inside restricted code, with the
+ * full call chain spelled out in the finding message.
+ *
+ * Semantics (deliberate over-approximation, see docs/LINTING.md):
+ *  - A function is a taint *root* if its body touches a banned
+ *    primitive directly.
+ *  - Taint flows from callee to caller over the token-approximated
+ *    call graph (calls resolve by unqualified name — every same-name
+ *    definition is a candidate).
+ *  - `// aitax-lint: taint-barrier(<rule>)` on or just above a
+ *    definition stops propagation through that function: the marker
+ *    asserts the function's nondeterminism has been reviewed and does
+ *    not leak into simulation-visible state. src/sim/random.* is an
+ *    implicit barrier for taint-random (it IS the sanctioned RNG).
+ *  - Findings fire only at *cross-file* call sites in restricted
+ *    files (same-file chains are already visible to the file-local
+ *    rules and the reader).
+ *  - Functions defined under bench/ or tools/ taint only callers in
+ *    the same top-level directory: nothing links src/ against those
+ *    translation units, so a same-name collision with a bench helper
+ *    must not taint simulator code.
+ *
+ * Ordinary `allow(...)` suppressions and the shrink-only baseline
+ * apply to taint findings exactly as to file-local ones.
+ */
+
+#ifndef AITAX_LINT_TAINT_H
+#define AITAX_LINT_TAINT_H
+
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace aitax::lint {
+
+class RepoIndex;
+
+/** One transitively-propagated determinism rule. */
+struct TaintSpec
+{
+    std::string_view rule;        ///< finding id ("taint-clock")
+    std::string_view sourceLabel; ///< "wall-clock read" etc.
+    /** Identifiers that seed taint wherever they appear. */
+    const std::set<std::string_view> *banned;
+    /** Identifiers that seed taint only when called (`name(`). */
+    const std::set<std::string_view> *callOnlyNames;
+    /** True if findings may fire in this file. */
+    bool (*restricted)(std::string_view path);
+    /** True if functions defined here never carry taint. */
+    bool (*implicitBarrier)(std::string_view path);
+    std::string_view summary;
+    std::string_view rationale;
+    std::string_view hint;
+};
+
+/** All taint rules, sorted by id. */
+const std::vector<TaintSpec> &taintSpecs();
+
+/** Look up a taint rule by id; nullptr if unknown. */
+const TaintSpec *findTaintSpec(std::string_view id);
+
+/**
+ * Run taint propagation for @p spec over the index and append raw
+ * findings (suppressions/baseline are applied by the caller).
+ * Deterministic: fixed-point is computed over sorted worklists and
+ * findings follow file/body order before the final global sort.
+ */
+void propagateTaint(const RepoIndex &idx, const TaintSpec &spec,
+                    std::vector<Finding> &out);
+
+// Shared banned-name tables (single source of truth for the
+// file-local rules in rules.cc and the taint seeds in index.cc).
+
+/** Wall-clock identifiers banned wherever they appear. */
+const std::set<std::string_view> &wallClockBanned();
+/** Wall-clock identifiers banned only as calls (`time(`, `clock(`). */
+const std::set<std::string_view> &wallClockCallOnly();
+/** Raw-RNG identifiers banned wherever they appear. */
+const std::set<std::string_view> &rawRandomBanned();
+/** Raw-RNG identifiers banned only as calls (`rand(`). */
+const std::set<std::string_view> &rawRandomCallOnly();
+
+} // namespace aitax::lint
+
+#endif // AITAX_LINT_TAINT_H

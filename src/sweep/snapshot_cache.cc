@@ -1,8 +1,9 @@
 #include "sweep/snapshot_cache.h"
 
 #include <map>
-#include <mutex>
 #include <utility>
+
+#include "core/thread_annotations.h"
 
 namespace aitax::sweep {
 
@@ -10,12 +11,13 @@ namespace {
 
 struct CacheState
 {
-    std::mutex mu;
+    core::Mutex mu;
     // std::map, not unordered: iteration order never reaches outputs
     // today, but a deterministic container costs nothing and keeps the
     // aitax-lint unordered-container rule trivially satisfied.
-    std::map<std::string, std::shared_ptr<const void>> entries;
-    SnapshotCacheStats stats;
+    std::map<std::string, std::shared_ptr<const void>> entries
+        AITAX_GUARDED_BY(mu);
+    SnapshotCacheStats stats AITAX_GUARDED_BY(mu);
 };
 
 CacheState &
@@ -31,7 +33,7 @@ std::shared_ptr<const void>
 snapshotCacheLookup(const std::string &key)
 {
     CacheState &c = cache();
-    const std::lock_guard<std::mutex> lock(c.mu);
+    const core::MutexLock lock(c.mu);
     const auto it = c.entries.find(key);
     if (it == c.entries.end()) {
         ++c.stats.misses;
@@ -46,7 +48,7 @@ snapshotCacheStore(const std::string &key,
                    std::shared_ptr<const void> value)
 {
     CacheState &c = cache();
-    const std::lock_guard<std::mutex> lock(c.mu);
+    const core::MutexLock lock(c.mu);
     const auto [it, inserted] = c.entries.emplace(key, std::move(value));
     if (inserted)
         ++c.stats.stores;
@@ -59,7 +61,7 @@ SnapshotCacheStats
 snapshotCacheStatsNow()
 {
     CacheState &c = cache();
-    const std::lock_guard<std::mutex> lock(c.mu);
+    const core::MutexLock lock(c.mu);
     return c.stats;
 }
 
@@ -67,7 +69,7 @@ void
 snapshotCacheResetStats()
 {
     CacheState &c = cache();
-    const std::lock_guard<std::mutex> lock(c.mu);
+    const core::MutexLock lock(c.mu);
     c.stats = SnapshotCacheStats{};
 }
 
@@ -75,7 +77,7 @@ void
 snapshotCacheClearForTest()
 {
     CacheState &c = cache();
-    const std::lock_guard<std::mutex> lock(c.mu);
+    const core::MutexLock lock(c.mu);
     c.entries.clear();
     c.stats = SnapshotCacheStats{};
 }

@@ -5,9 +5,10 @@
 #include <cstdlib>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <string_view>
 #include <thread>
+
+#include "core/thread_annotations.h"
 
 namespace aitax::sweep {
 
@@ -50,8 +51,15 @@ namespace {
 /** One worker's run of job indices; mutex-guarded for stealing. */
 struct WorkDeque
 {
-    std::mutex m;
-    std::deque<std::size_t> d;
+    core::Mutex m;
+    std::deque<std::size_t> d AITAX_GUARDED_BY(m);
+};
+
+/** First exception thrown by any worker; later ones are dropped. */
+struct ErrorSlot
+{
+    core::Mutex m;
+    std::exception_ptr first AITAX_GUARDED_BY(m);
 };
 
 } // namespace
@@ -72,13 +80,21 @@ SweepRunner::forEach(std::size_t count,
     const std::size_t n_workers = std::min(workers, count);
     std::vector<WorkDeque> deques(n_workers);
     // Contiguous blocks: neighbouring scenarios often share cached
-    // graphs, and block handoff keeps steals coarse-grained.
-    for (std::size_t i = 0; i < count; ++i)
-        deques[i * n_workers / count].d.push_back(i);
+    // graphs, and block handoff keeps steals coarse-grained. Worker w
+    // owns exactly the i with i * n_workers / count == w; filling per
+    // worker keeps every guarded access under its deque's mutex.
+    for (std::size_t w = 0; w < n_workers; ++w) {
+        const std::size_t lo =
+            (w * count + n_workers - 1) / n_workers;
+        const std::size_t hi =
+            ((w + 1) * count + n_workers - 1) / n_workers;
+        const core::MutexLock lock(deques[w].m);
+        for (std::size_t i = lo; i < hi; ++i)
+            deques[w].d.push_back(i);
+    }
 
     std::atomic<bool> stop{false};
-    std::exception_ptr first_error;
-    std::mutex error_m;
+    ErrorSlot error;
 
     auto worker = [&](std::size_t self) {
         for (;;) {
@@ -87,7 +103,7 @@ SweepRunner::forEach(std::size_t count,
             std::size_t index = 0;
             bool found = false;
             {
-                std::lock_guard<std::mutex> lock(deques[self].m);
+                const core::MutexLock lock(deques[self].m);
                 if (!deques[self].d.empty()) {
                     index = deques[self].d.front();
                     deques[self].d.pop_front();
@@ -101,7 +117,7 @@ SweepRunner::forEach(std::size_t count,
                 for (std::size_t v = 0; v < n_workers; ++v) {
                     if (v == self)
                         continue;
-                    std::lock_guard<std::mutex> lock(deques[v].m);
+                    const core::MutexLock lock(deques[v].m);
                     if (deques[v].d.size() > victim_size) {
                         victim_size = deques[v].d.size();
                         victim = v;
@@ -109,7 +125,7 @@ SweepRunner::forEach(std::size_t count,
                 }
                 if (victim == n_workers)
                     return; // every deque empty: sweep drained
-                std::lock_guard<std::mutex> lock(deques[victim].m);
+                const core::MutexLock lock(deques[victim].m);
                 if (deques[victim].d.empty())
                     continue; // lost the race; rescan
                 index = deques[victim].d.back();
@@ -118,9 +134,9 @@ SweepRunner::forEach(std::size_t count,
             try {
                 fn(index);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_m);
-                if (!first_error)
-                    first_error = std::current_exception();
+                const core::MutexLock lock(error.m);
+                if (!error.first)
+                    error.first = std::current_exception();
                 stop.store(true, std::memory_order_relaxed);
                 return;
             }
@@ -134,8 +150,11 @@ SweepRunner::forEach(std::size_t count,
     for (auto &t : threads)
         t.join();
 
-    if (first_error)
-        std::rethrow_exception(first_error);
+    // Workers are joined, but take the lock anyway so the access is
+    // provably clean under -Wthread-safety.
+    const core::MutexLock lock(error.m);
+    if (error.first)
+        std::rethrow_exception(error.first);
 }
 
 } // namespace aitax::sweep

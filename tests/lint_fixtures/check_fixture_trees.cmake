@@ -1,0 +1,69 @@
+# Self-check for the cross-file lint rules: runs aitax_lint over the
+# bad and clean fixture trees and asserts the exact expected finding
+# set, so rule regressions fail CI even when the main tree is clean.
+#
+# Invoked by ctest (see tests/CMakeLists.txt):
+#   cmake -DLINT_CLI=<path> -DFIXTURES=<dir> -P check_fixture_trees.cmake
+
+if(NOT DEFINED LINT_CLI OR NOT DEFINED FIXTURES)
+    message(FATAL_ERROR "pass -DLINT_CLI=... and -DFIXTURES=...")
+endif()
+
+# --- tree_bad: exact findings, exit 1 ----------------------------------
+execute_process(
+    COMMAND "${LINT_CLI}" --root "${FIXTURES}/tree_bad" --strict -q
+    OUTPUT_VARIABLE got_bad
+    RESULT_VARIABLE rc_bad)
+if(NOT rc_bad EQUAL 1)
+    message(FATAL_ERROR "tree_bad: expected exit 1, got ${rc_bad}")
+endif()
+file(READ "${FIXTURES}/tree_bad_expected.txt" want_bad)
+if(NOT got_bad STREQUAL want_bad)
+    message(FATAL_ERROR "tree_bad: finding set drifted.\n"
+                        "--- got ---\n${got_bad}"
+                        "--- want ---\n${want_bad}")
+endif()
+
+# --- tree_clean: no findings, exit 0 -----------------------------------
+execute_process(
+    COMMAND "${LINT_CLI}" --root "${FIXTURES}/tree_clean" --strict -q
+    OUTPUT_VARIABLE got_clean
+    RESULT_VARIABLE rc_clean)
+if(NOT rc_clean EQUAL 0)
+    message(FATAL_ERROR "tree_clean: expected exit 0, got ${rc_clean}:\n"
+                        "${got_clean}")
+endif()
+
+# --- --graph determinism: byte-identical across two runs ---------------
+execute_process(
+    COMMAND "${LINT_CLI}" --root "${FIXTURES}/tree_bad" --graph
+    OUTPUT_VARIABLE dot1
+    RESULT_VARIABLE rc_dot1)
+execute_process(
+    COMMAND "${LINT_CLI}" --root "${FIXTURES}/tree_bad" --graph
+    OUTPUT_VARIABLE dot2
+    RESULT_VARIABLE rc_dot2)
+if(NOT rc_dot1 EQUAL 0 OR NOT rc_dot2 EQUAL 0)
+    message(FATAL_ERROR "--graph failed (${rc_dot1}/${rc_dot2})")
+endif()
+if(NOT dot1 STREQUAL dot2)
+    message(FATAL_ERROR "--graph output is not deterministic")
+endif()
+
+# --- --format json: well-formed counts, same verdict -------------------
+execute_process(
+    COMMAND "${LINT_CLI}" --root "${FIXTURES}/tree_bad" --strict
+            --format json
+    OUTPUT_VARIABLE json_bad
+    RESULT_VARIABLE rc_json)
+if(NOT rc_json EQUAL 1)
+    message(FATAL_ERROR "json run: expected exit 1, got ${rc_json}")
+endif()
+if(NOT json_bad MATCHES "\"schema\": \"aitax-lint-report/1\"")
+    message(FATAL_ERROR "json run: missing schema header:\n${json_bad}")
+endif()
+if(NOT json_bad MATCHES "\"counts\": {\"findings\": 5,")
+    message(FATAL_ERROR "json run: expected 5 findings:\n${json_bad}")
+endif()
+
+message(STATUS "lint fixture trees: ok")

@@ -1,0 +1,15 @@
+/** Fixture: back edge closing the 3-file include cycle. */
+
+#ifndef AITAX_SIM_CYCLE_C_H
+#define AITAX_SIM_CYCLE_C_H
+
+#include "sim/cycle_a.h"
+
+namespace aitax::sim {
+struct CycleC
+{
+    CycleA *next = nullptr;
+};
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_CYCLE_C_H

@@ -1,0 +1,14 @@
+/** Fixture: illegal upward edge — sim (layer 1) includes sweep
+ *  (layer 2). */
+
+#include "sweep/pool.h"
+
+namespace aitax::sim {
+
+int
+pump()
+{
+    return 1;
+}
+
+} // namespace aitax::sim

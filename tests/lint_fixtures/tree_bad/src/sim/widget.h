@@ -1,0 +1,13 @@
+/** Fixture: the declaration src/soc/partial.h forgets to include. */
+
+#ifndef AITAX_SIM_WIDGET_H
+#define AITAX_SIM_WIDGET_H
+
+namespace aitax::sim {
+struct Widget
+{
+    int id = 0;
+};
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_WIDGET_H

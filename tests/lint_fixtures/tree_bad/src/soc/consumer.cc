@@ -1,0 +1,12 @@
+/** Fixture: restricted code (src/soc/) reaching the wall clock three
+ *  calls deep through the sweep helpers in timing.cc. */
+
+namespace aitax::soc {
+
+double
+consume()
+{
+    return chainTop();
+}
+
+} // namespace aitax::soc

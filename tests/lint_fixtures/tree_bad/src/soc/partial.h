@@ -1,0 +1,13 @@
+/** Fixture: not self-contained — references sim::Widget but never
+ *  includes sim/widget.h. */
+
+#ifndef AITAX_SOC_PARTIAL_H
+#define AITAX_SOC_PARTIAL_H
+
+namespace aitax::soc {
+
+sim::Widget *borrowWidget();
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_PARTIAL_H

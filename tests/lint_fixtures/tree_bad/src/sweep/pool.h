@@ -1,0 +1,18 @@
+/** Fixture: mutex-holding class with an unannotated guarded member. */
+
+#ifndef AITAX_SWEEP_POOL_H
+#define AITAX_SWEEP_POOL_H
+
+#include <mutex>
+
+namespace aitax::sweep {
+
+struct JobPool
+{
+    std::mutex m;
+    int pending = 0;
+};
+
+} // namespace aitax::sweep
+
+#endif // AITAX_SWEEP_POOL_H

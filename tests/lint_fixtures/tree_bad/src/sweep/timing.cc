@@ -1,0 +1,28 @@
+/** Fixture: a 3-deep call chain whose bottom reads the wall clock.
+ *  Legal here — src/sweep/ may read wall time — but taint-clock
+ *  propagates the reach to restricted callers in other files. */
+
+#include <chrono>
+
+namespace aitax::sweep {
+
+double
+chainBottom()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double
+chainMid()
+{
+    return chainBottom();
+}
+
+double
+chainTop()
+{
+    return chainMid();
+}
+
+} // namespace aitax::sweep

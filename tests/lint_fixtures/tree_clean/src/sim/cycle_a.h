@@ -1,0 +1,15 @@
+/** Fixture: the cycle from tree_bad, broken — a straight chain. */
+
+#ifndef AITAX_SIM_CYCLE_A_H
+#define AITAX_SIM_CYCLE_A_H
+
+#include "sim/cycle_b.h"
+
+namespace aitax::sim {
+struct CycleA
+{
+    CycleB *next = nullptr;
+};
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_CYCLE_A_H

@@ -1,0 +1,15 @@
+/** Fixture: middle of the chain; no back edge. */
+
+#ifndef AITAX_SIM_CYCLE_B_H
+#define AITAX_SIM_CYCLE_B_H
+
+#include "sim/cycle_c.h"
+
+namespace aitax::sim {
+struct CycleB
+{
+    CycleC *next = nullptr;
+};
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_CYCLE_B_H

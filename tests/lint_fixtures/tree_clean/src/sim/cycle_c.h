@@ -1,0 +1,17 @@
+/** Fixture: chain bottom; forward declaration instead of a cycle. */
+
+#ifndef AITAX_SIM_CYCLE_C_H
+#define AITAX_SIM_CYCLE_C_H
+
+namespace aitax::sim {
+
+struct CycleA;
+
+struct CycleC
+{
+    CycleA *next = nullptr;
+};
+
+} // namespace aitax::sim
+
+#endif // AITAX_SIM_CYCLE_C_H

@@ -1,0 +1,12 @@
+/** Fixture: same caller as tree_bad; clean because chainTop is a
+ *  declared taint barrier. */
+
+namespace aitax::soc {
+
+double
+consume()
+{
+    return chainTop();
+}
+
+} // namespace aitax::soc

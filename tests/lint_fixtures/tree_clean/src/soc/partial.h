@@ -1,0 +1,14 @@
+/** Fixture: self-contained — includes what it references. */
+
+#ifndef AITAX_SOC_PARTIAL_H
+#define AITAX_SOC_PARTIAL_H
+
+#include "sim/widget.h"
+
+namespace aitax::soc {
+
+sim::Widget *borrowWidget();
+
+} // namespace aitax::soc
+
+#endif // AITAX_SOC_PARTIAL_H

@@ -1,0 +1,18 @@
+/** Fixture: mutex-holding class with annotated guarded state. */
+
+#ifndef AITAX_SWEEP_POOL_H
+#define AITAX_SWEEP_POOL_H
+
+#include "core/thread_annotations.h"
+
+namespace aitax::sweep {
+
+struct JobPool
+{
+    core::Mutex m;
+    int pending AITAX_GUARDED_BY(m) = 0;
+};
+
+} // namespace aitax::sweep
+
+#endif // AITAX_SWEEP_POOL_H

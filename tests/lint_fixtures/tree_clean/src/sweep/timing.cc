@@ -1,0 +1,30 @@
+/** Fixture: the tree_bad chain, sealed with a reviewed barrier —
+ *  chainTop's wall reach is observability-only and stops here. */
+
+#include <chrono>
+
+namespace aitax::sweep {
+
+double
+chainBottom()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double
+chainMid()
+{
+    return chainBottom();
+}
+
+// Wall seconds feed the human progress line only; nothing derived
+// from them reaches deterministic outputs.
+// aitax-lint: taint-barrier(taint-clock)
+double
+chainTop()
+{
+    return chainMid();
+}
+
+} // namespace aitax::sweep

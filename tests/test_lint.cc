@@ -12,13 +12,17 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "lint/baseline.h"
+#include "lint/graph_rules.h"
+#include "lint/index.h"
 #include "lint/linter.h"
 #include "lint/rules.h"
+#include "lint/taint.h"
 #include "lint/token.h"
 
 namespace {
@@ -26,10 +30,17 @@ namespace {
 using aitax::lint::Baseline;
 using aitax::lint::BaselineEntry;
 using aitax::lint::Finding;
+using aitax::lint::GraphOptions;
+using aitax::lint::LayerContract;
+using aitax::lint::LintOptions;
+using aitax::lint::lintRepo;
 using aitax::lint::LintResult;
 using aitax::lint::lintSource;
+using aitax::lint::RepoIndex;
 using aitax::lint::TokKind;
 using aitax::lint::tokenize;
+
+using SourceList = std::vector<std::pair<std::string, std::string>>;
 
 std::string
 readFixture(const std::string &name)
@@ -465,6 +476,281 @@ TEST(BaselineTest, ContainsMatchesExactTriple)
     EXPECT_TRUE(b.contains({"src/a.cc", 3, "wall-clock", "", ""}));
     EXPECT_FALSE(b.contains({"src/a.cc", 4, "wall-clock", "", ""}));
     EXPECT_FALSE(b.contains({"src/a.cc", 3, "raw-random", "", ""}));
+}
+
+// --- RepoIndex: pass-1 construction ------------------------------------
+
+TEST(RepoIndexTest, FilesAreSortedRegardlessOfInsertionOrder)
+{
+    const SourceList forward = {
+        {"src/sim/a.h", "namespace aitax::sim { class A; }\n"},
+        {"src/sim/b.h", "namespace aitax::sim { class B; }\n"},
+        {"tools/t.cc", "int main() { return 0; }\n"},
+    };
+    SourceList reversed(forward.rbegin(), forward.rend());
+
+    const RepoIndex fwd = RepoIndex::fromSources(forward);
+    const RepoIndex rev = RepoIndex::fromSources(reversed);
+
+    ASSERT_EQ(fwd.files().size(), 3U);
+    ASSERT_EQ(rev.files().size(), 3U);
+    for (std::size_t i = 0; i < fwd.files().size(); ++i) {
+        EXPECT_EQ(fwd.files()[i].path, rev.files()[i].path);
+        if (i > 0)
+            EXPECT_LT(fwd.files()[i - 1].path, fwd.files()[i].path);
+    }
+    // The derived DOT graph is byte-identical too.
+    EXPECT_EQ(fwd.dotGraph(), rev.dotGraph());
+}
+
+TEST(RepoIndexTest, ModuleOfStripsSrcPrefix)
+{
+    EXPECT_EQ(RepoIndex::moduleOf("src/sim/engine.cc"), "sim");
+    EXPECT_EQ(RepoIndex::moduleOf("tools/aitax_cli.cc"), "tools");
+    EXPECT_EQ(RepoIndex::moduleOf("bench/bench_soc.cc"), "bench");
+}
+
+TEST(RepoIndexTest, IncludeClosureAndDeclarations)
+{
+    const RepoIndex idx = RepoIndex::fromSources({
+        {"src/sim/a.h",
+         "#include \"sim/b.h\"\nnamespace aitax::sim { class A; }\n"},
+        {"src/sim/b.h", "namespace aitax::sim { class B; }\n"},
+        {"src/sim/lone.h", "namespace aitax::sim { class Lone; }\n"},
+    });
+    const int a = idx.fileIndexOf("src/sim/a.h");
+    const int b = idx.fileIndexOf("src/sim/b.h");
+    ASSERT_GE(a, 0);
+    ASSERT_GE(b, 0);
+
+    // Closure is self-inclusive, transitive and sorted.
+    const std::vector<int> want = {std::min(a, b), std::max(a, b)};
+    EXPECT_EQ(idx.includeClosure(a), want);
+    EXPECT_TRUE(idx.closureDeclares(a, "B"));
+    EXPECT_FALSE(idx.closureDeclares(b, "A"));
+    EXPECT_FALSE(idx.closureDeclares(a, "Lone"));
+    EXPECT_EQ(idx.declarersOf("B"), std::vector<int>{b});
+    EXPECT_TRUE(idx.declarersOf("Nowhere").empty());
+}
+
+TEST(RepoIndexTest, FunctionDefsCallsAndSeeds)
+{
+    const RepoIndex idx = RepoIndex::fromSources({
+        {"src/sweep/t.cc",
+         "#include <chrono>\n"
+         "namespace aitax::sweep {\n"
+         "double helper();\n"
+         "double wall()\n{\n"
+         "    const auto t = std::chrono::steady_clock::now();\n"
+         "    return helper() + t.time_since_epoch().count();\n"
+         "}\n"
+         "} // namespace aitax::sweep\n"},
+    });
+    ASSERT_EQ(idx.files().size(), 1U);
+    const auto *refs = idx.lookupFunctions("wall");
+    ASSERT_NE(refs, nullptr);
+    ASSERT_EQ(refs->size(), 1U);
+    const auto &def = idx.function((*refs)[0]);
+    EXPECT_EQ(def.name, "wall");
+    // Calls are recorded in body order; `now(` precedes `helper(`.
+    const bool callsHelper =
+        std::any_of(def.calls.begin(), def.calls.end(),
+                    [](const auto &c) { return c.name == "helper"; });
+    EXPECT_TRUE(callsHelper);
+    // steady_clock seeds taint-clock at its source line.
+    ASSERT_TRUE(def.seeds.count("taint-clock"));
+    EXPECT_EQ(def.seeds.at("taint-clock").first, "steady_clock");
+    EXPECT_EQ(def.seeds.at("taint-clock").second, 6);
+    // Declarations without bodies are not definitions.
+    EXPECT_EQ(idx.lookupFunctions("helper"), nullptr);
+}
+
+// --- graph rules: layering / cycles ------------------------------------
+
+TEST(GraphRules, RegistryIsSortedAndComplete)
+{
+    const auto &rules = aitax::lint::allGraphRules();
+    EXPECT_GE(rules.size(), 4U);
+    for (std::size_t i = 1; i < rules.size(); ++i)
+        EXPECT_LT(rules[i - 1].id, rules[i].id);
+    EXPECT_NE(aitax::lint::findGraphRule("layering"), nullptr);
+    EXPECT_NE(aitax::lint::findGraphRule("taint-clock"), nullptr);
+    EXPECT_EQ(aitax::lint::findGraphRule("no-such-rule"), nullptr);
+}
+
+TEST(GraphRules, LayerContractParse)
+{
+    const LayerContract c =
+        LayerContract::parse("# comment\n"
+                             "layer sim stats\n"
+                             "layer sweep\n"
+                             "free core/thread_annotations.h\n");
+    EXPECT_EQ(c.layerOf.at("sim"), 1);
+    EXPECT_EQ(c.layerOf.at("stats"), 1);
+    EXPECT_EQ(c.layerOf.at("sweep"), 2);
+    EXPECT_TRUE(c.isFree("src/core/thread_annotations.h"));
+    EXPECT_FALSE(c.isFree("src/core/event.h"));
+}
+
+TEST(GraphRules, IncludeCycleIsReportedOnceCanonically)
+{
+    const RepoIndex idx = RepoIndex::fromSources({
+        {"src/sim/a.h", "#include \"sim/b.h\"\n"},
+        {"src/sim/b.h", "#include \"sim/c.h\"\n"},
+        {"src/sim/c.h", "#include \"sim/a.h\"\n"},
+    });
+    std::vector<Finding> out;
+    aitax::lint::findGraphRule("layering")->check(idx, GraphOptions{},
+                                                  out);
+    ASSERT_EQ(out.size(), 1U);
+    EXPECT_EQ(out[0].rule, "layering");
+    EXPECT_EQ(out[0].file, "src/sim/a.h");
+    EXPECT_NE(out[0].message.find("src/sim/a.h -> src/sim/b.h -> "
+                                  "src/sim/c.h -> src/sim/a.h"),
+              std::string::npos)
+        << out[0].message;
+}
+
+// --- taint propagation -------------------------------------------------
+
+/** Mutually recursive pair in src/sweep/ where fB reads the wall
+ *  clock, plus a restricted caller in src/soc/. The propagation
+ *  fixed point must terminate on the call-graph cycle and taint both
+ *  functions. */
+SourceList
+taintCycleSources(const std::string &callerLine)
+{
+    return {
+        {"src/sweep/a.cc",
+         "namespace aitax::sweep {\n"
+         "double fB();\n"
+         "double fA()\n{\n"
+         "    return fB();\n"
+         "}\n"
+         "} // namespace aitax::sweep\n"},
+        {"src/sweep/b.cc",
+         "#include <chrono>\n"
+         "namespace aitax::sweep {\n"
+         "double fA();\n"
+         "double fB()\n{\n"
+         "    const auto t = std::chrono::steady_clock::now();\n"
+         "    return fA() + t.time_since_epoch().count();\n"
+         "}\n"
+         "} // namespace aitax::sweep\n"},
+        {"src/soc/use.cc",
+         "namespace aitax::soc {\n"
+         "double go()\n{\n" +
+             callerLine +
+             "}\n"
+             "} // namespace aitax::soc\n"},
+    };
+}
+
+TEST(Taint, FixedPointTerminatesOnCallGraphCycle)
+{
+    const RepoIndex idx =
+        RepoIndex::fromSources(taintCycleSources("    return fA();\n"));
+    const auto *spec = aitax::lint::findTaintSpec("taint-clock");
+    ASSERT_NE(spec, nullptr);
+    std::vector<Finding> out;
+    aitax::lint::propagateTaint(idx, *spec, out);
+
+    // Exactly one finding: the cross-file call in restricted code.
+    // The tainted-but-exempt definitions in src/sweep/ stay silent.
+    ASSERT_EQ(out.size(), 1U);
+    EXPECT_EQ(out[0].file, "src/soc/use.cc");
+    EXPECT_EQ(out[0].line, 4);
+    EXPECT_EQ(out[0].rule, "taint-clock");
+    EXPECT_NE(out[0].message.find("`fA`"), std::string::npos)
+        << out[0].message;
+    EXPECT_NE(out[0].message.find("steady_clock"), std::string::npos)
+        << out[0].message;
+}
+
+TEST(Taint, BarrierStopsPropagation)
+{
+    SourceList srcs = taintCycleSources("    return fA();\n");
+    // Seal fA: the wall reach is reviewed and does not escape.
+    srcs[0].second =
+        "namespace aitax::sweep {\n"
+        "double fB();\n"
+        "// aitax-lint: taint-barrier(taint-clock)\n"
+        "double fA()\n{\n"
+        "    return fB();\n"
+        "}\n"
+        "} // namespace aitax::sweep\n";
+    const RepoIndex idx = RepoIndex::fromSources(srcs);
+    std::vector<Finding> out;
+    aitax::lint::propagateTaint(
+        idx, *aitax::lint::findTaintSpec("taint-clock"), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Taint, RegistryLookup)
+{
+    EXPECT_EQ(aitax::lint::taintSpecs().size(), 2U);
+    EXPECT_NE(aitax::lint::findTaintSpec("taint-random"), nullptr);
+    EXPECT_EQ(aitax::lint::findTaintSpec("wall-clock"), nullptr);
+}
+
+// --- cross-file findings vs suppressions and baseline ------------------
+
+TEST(CrossFile, AllowMarkerSuppressesTaintFinding)
+{
+    const RepoIndex idx = RepoIndex::fromSources(taintCycleSources(
+        "    // aitax-lint: allow(taint-clock) — progress line only\n"
+        "    return fA();\n"));
+    LintOptions opts;
+    opts.ruleFilter = {"taint-clock"};
+    const LintResult r = lintRepo(idx, opts);
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressed, 1U);
+}
+
+TEST(CrossFile, BaselineAbsorbsTaintFindingAndGoesStale)
+{
+    const RepoIndex idx =
+        RepoIndex::fromSources(taintCycleSources("    return fA();\n"));
+    LintOptions opts;
+    opts.ruleFilter = {"taint-clock"};
+    const LintResult r = lintRepo(idx, opts);
+    ASSERT_EQ(r.findings.size(), 1U);
+
+    // A baseline built from the finding absorbs it...
+    const Baseline b = Baseline::fromFindings(r.findings);
+    std::vector<Finding> fresh;
+    EXPECT_TRUE(b.apply(r.findings, fresh).empty());
+    EXPECT_TRUE(fresh.empty());
+
+    // ...and goes stale once the finding is fixed (shrink-only).
+    const Baseline stale =
+        Baseline::parse("src/soc/use.cc:4:taint-clock\n"
+                        "src/gone.cc:1:taint-clock\n");
+    fresh.clear();
+    const std::vector<BaselineEntry> left = stale.apply(r.findings, fresh);
+    ASSERT_EQ(left.size(), 1U);
+    EXPECT_EQ(left[0].file, "src/gone.cc");
+}
+
+TEST(CrossFile, SelfContainedHeaderCheckIsStrictOnly)
+{
+    const RepoIndex idx = RepoIndex::fromSources({
+        {"src/sim/widget.h", "namespace aitax::sim {\nclass Widget;\n}\n"},
+        {"src/soc/p.h",
+         "namespace aitax::soc {\nsim::Widget *get();\n}\n"},
+    });
+    LintOptions opts;
+    opts.ruleFilter = {"include-hygiene"};
+    // Low-confidence findings are dropped by default...
+    EXPECT_TRUE(lintRepo(idx, opts).findings.empty());
+    // ...and surface under --strict.
+    opts.strict = true;
+    const LintResult r = lintRepo(idx, opts);
+    ASSERT_EQ(r.findings.size(), 1U);
+    EXPECT_EQ(r.findings[0].file, "src/soc/p.h");
+    EXPECT_EQ(r.findings[0].rule, "include-hygiene");
+    EXPECT_NE(r.findings[0].message.find("sim::Widget"),
+              std::string::npos);
 }
 
 // --- formatting --------------------------------------------------------

@@ -475,6 +475,10 @@ campaignMain(int argc, char **argv)
     if (faults)
         cfg.workerCmd.push_back("--faults");
 
+    // runCampaign reads steady_clock for the wall-seconds line on the
+    // human progress report only; nothing wall-derived reaches the
+    // deterministic campaign outputs (chunk results merge by index).
+    // aitax-lint: allow(taint-clock)
     const sweep::CampaignSummary sum = sweep::runCampaign(cfg);
 
     if (sum.status == sweep::CampaignStatus::Error) {

@@ -3,6 +3,11 @@
  * aitax-lint CLI — determinism-and-hygiene static analysis for this
  * repository. See docs/LINTING.md for the rule catalogue.
  *
+ * Pass 1 tokenizes every file under src//tools//bench/ once into a
+ * RepoIndex; pass 2 runs the file-local rules per file plus the
+ * cross-file rules (layering, taint-clock, taint-random, header
+ * self-containment) over the index.
+ *
  * Exit status: 0 when clean under the active mode, 1 when findings
  * (or, with --strict, stale baseline entries) remain, 2 on usage or
  * I/O errors.
@@ -16,7 +21,9 @@
 #include <vector>
 
 #include "lint/baseline.h"
+#include "lint/graph_rules.h"
 #include "lint/linter.h"
+#include "lint/taint.h"
 
 namespace {
 
@@ -31,19 +38,27 @@ usage()
                  "\n"
                  "Walks src/, tools/ and bench/ under the repo root and "
                  "checks every .h/.cc\n"
-                 "file against the aitax determinism rules.\n"
+                 "file against the aitax determinism rules, file-local "
+                 "and cross-file.\n"
                  "\n"
                  "  --root DIR       repo root (default: nearest parent "
                  "with src/ + ROADMAP.md)\n"
                  "  --baseline FILE  baseline path (default: "
                  "<root>/tools/lint_baseline.txt)\n"
                  "  --strict         fail on unbaselined findings and on "
-                 "stale baseline entries\n"
+                 "stale baseline entries;\n"
+                 "                   also enables low-confidence checks\n"
                  "  --fix-baseline   rewrite the baseline to match "
                  "current findings\n"
                  "  --rule ID        run only this rule (repeatable)\n"
                  "  --no-baseline    report every finding, baseline "
                  "ignored\n"
+                 "  --format FMT     output format: text (default) or "
+                 "json\n"
+                 "  --graph          dump the in-repo include graph as "
+                 "DOT and exit\n"
+                 "  --explain RULE   print a rule's summary and "
+                 "rationale and exit\n"
                  "  --list-rules     print the rule catalogue and exit\n"
                  "  -q, --quiet      suppress per-finding hints\n");
 }
@@ -71,6 +86,46 @@ listRules()
         std::printf("%-20s   why: %s\n", "",
                     std::string(r.rationale).c_str());
     }
+    std::printf("cross-file rules:\n");
+    for (const GraphRule &r : allGraphRules()) {
+        std::printf("%-20s %s\n", std::string(r.id).c_str(),
+                    std::string(r.summary).c_str());
+        std::printf("%-20s   why: %s\n", "",
+                    std::string(r.rationale).c_str());
+    }
+}
+
+/** Print everything known about @p id. @return found anywhere. */
+bool
+explainRule(const std::string &id)
+{
+    bool found = false;
+    if (const Rule *r = findRule(id)) {
+        std::printf("%s (file-local)\n  summary: %s\n  why: %s\n",
+                    id.c_str(), std::string(r->summary).c_str(),
+                    std::string(r->rationale).c_str());
+        found = true;
+    }
+    if (const GraphRule *g = findGraphRule(id)) {
+        std::printf("%s (cross-file)\n  summary: %s\n  why: %s\n",
+                    id.c_str(), std::string(g->summary).c_str(),
+                    std::string(g->rationale).c_str());
+        found = true;
+    }
+    if (const TaintSpec *t = findTaintSpec(id)) {
+        std::printf("  fix: %s\n", std::string(t->hint).c_str());
+        std::printf("  barrier: `// aitax-lint: taint-barrier(%s)` on "
+                    "the line above a reviewed definition stops "
+                    "propagation through it\n",
+                    id.c_str());
+    }
+    return found;
+}
+
+bool
+knownRule(const std::string &id)
+{
+    return findRule(id) != nullptr || findGraphRule(id) != nullptr;
 }
 
 } // namespace
@@ -80,11 +135,14 @@ main(int argc, char **argv)
 {
     std::string root;
     std::string baselinePath;
-    std::vector<std::string> ruleFilter;
-    bool strict = false;
+    std::string format = "text";
+    std::string explainId;
+    LintOptions opts;
     bool fixBaseline = false;
     bool noBaseline = false;
     bool quiet = false;
+    bool graph = false;
+    bool doExplain = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -101,13 +159,20 @@ main(int argc, char **argv)
         } else if (arg == "--baseline") {
             baselinePath = value("--baseline");
         } else if (arg == "--rule") {
-            ruleFilter.emplace_back(value("--rule"));
+            opts.ruleFilter.emplace_back(value("--rule"));
         } else if (arg == "--strict") {
-            strict = true;
+            opts.strict = true;
         } else if (arg == "--fix-baseline") {
             fixBaseline = true;
         } else if (arg == "--no-baseline") {
             noBaseline = true;
+        } else if (arg == "--format") {
+            format = value("--format");
+        } else if (arg == "--graph") {
+            graph = true;
+        } else if (arg == "--explain") {
+            explainId = value("--explain");
+            doExplain = true;
         } else if (arg == "--list-rules") {
             listRules();
             return 0;
@@ -124,8 +189,21 @@ main(int argc, char **argv)
         }
     }
 
-    for (const std::string &r : ruleFilter) {
-        if (findRule(r) == nullptr) {
+    if (doExplain) {
+        if (!explainRule(explainId)) {
+            std::fprintf(stderr, "aitax_lint: unknown rule '%s'\n",
+                         explainId.c_str());
+            return 2;
+        }
+        return 0;
+    }
+    if (format != "text" && format != "json") {
+        std::fprintf(stderr, "aitax_lint: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+    }
+    for (const std::string &r : opts.ruleFilter) {
+        if (!knownRule(r)) {
             std::fprintf(stderr, "aitax_lint: unknown rule '%s'\n",
                          r.c_str());
             return 2;
@@ -144,7 +222,13 @@ main(int argc, char **argv)
         baselinePath =
             (fs::path(root) / "tools" / "lint_baseline.txt").string();
 
-    const LintResult res = lintTree(root, ruleFilter);
+    if (graph) {
+        const RepoIndex idx = RepoIndex::build(root);
+        std::fputs(idx.dotGraph().c_str(), stdout);
+        return 0;
+    }
+
+    const LintResult res = lintTree(root, opts);
 
     if (fixBaseline) {
         const Baseline b = Baseline::fromFindings(res.findings);
@@ -169,9 +253,20 @@ main(int argc, char **argv)
         stale = b.apply(res.findings, fresh);
     }
 
+    if (format == "json") {
+        const std::string report =
+            renderJson(fresh, res.filesScanned,
+                       res.findings.size() - fresh.size(),
+                       res.suppressed, stale);
+        std::fputs(report.c_str(), stdout);
+        const bool failed =
+            !fresh.empty() || (opts.strict && !stale.empty());
+        return failed ? 1 : 0;
+    }
+
     for (const Finding &f : fresh)
         std::printf("%s\n", formatFinding(f, !quiet).c_str());
-    if (strict) {
+    if (opts.strict) {
         for (const BaselineEntry &e : stale)
             std::printf("%s:%d: [%s] stale baseline entry: no such "
                         "finding anymore (remove it or run "
@@ -183,12 +278,13 @@ main(int argc, char **argv)
                 "(%zu baselined, %zu suppressed%s)\n",
                 res.filesScanned, fresh.size(),
                 res.findings.size() - fresh.size(), res.suppressed,
-                strict ? (", " + std::to_string(stale.size()) +
-                          " stale baseline entr" +
-                          (stale.size() == 1 ? "y" : "ies"))
-                             .c_str()
-                       : "");
+                opts.strict ? (", " + std::to_string(stale.size()) +
+                               " stale baseline entr" +
+                               (stale.size() == 1 ? "y" : "ies"))
+                                  .c_str()
+                            : "");
 
-    const bool failed = !fresh.empty() || (strict && !stale.empty());
+    const bool failed =
+        !fresh.empty() || (opts.strict && !stale.empty());
     return failed ? 1 : 0;
 }
