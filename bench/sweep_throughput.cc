@@ -39,6 +39,7 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -158,11 +159,79 @@ baselineNumber(const std::string &json, const char *key)
     return std::strtod(json.c_str() + colon + 1, nullptr);
 }
 
+/** ScenarioFn over the bench matrix of the given dimensions. */
+sweep::ScenarioFn
+benchScenarioFn(int scenarios, int runs)
+{
+    auto specs = std::make_shared<std::vector<bench::RunSpec>>(
+        buildMatrix(scenarios, runs));
+    return [specs](int index) {
+        const bench::ResolvedSpec r =
+            bench::resolveSpec((*specs)[static_cast<std::size_t>(index)]);
+        bench::RunMetrics m;
+        const core::TaxReport report =
+            bench::runResolved(r, sim::EngineMode::Fast, &m);
+        sweep::ScenarioOutcome o;
+        o.e2eMeanMs = report.endToEndMeanMs();
+        o.events = m.events;
+        return o;
+    };
+}
+
+/**
+ * Worker-side corpus addressing for the bench matrix: resolve a
+ * "corpus=bench scenarios=N runs=N ..." campaign spec into the exact
+ * corpus the coordinator is sharding, rebuilding the matrix locally.
+ */
+sweep::SpecResolver
+benchSpecResolver()
+{
+    return [](const std::string &spec,
+              std::string *error) -> sweep::ScenarioFn {
+        std::string corpus;
+        int scenarios = 0;
+        int runs = 0;
+        std::size_t pos = 0;
+        while (pos < spec.size()) {
+            while (pos < spec.size() && spec[pos] == ' ')
+                ++pos;
+            std::size_t end = spec.find(' ', pos);
+            if (end == std::string::npos)
+                end = spec.size();
+            const std::string tok = spec.substr(pos, end - pos);
+            pos = end;
+            const std::size_t eq = tok.find('=');
+            if (eq == std::string::npos)
+                continue;
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            if (key == "corpus")
+                corpus = val;
+            else if (key == "scenarios")
+                scenarios = std::atoi(val.c_str());
+            else if (key == "runs")
+                runs = std::atoi(val.c_str());
+            // chunk/engine and unknown keys: coordinator-side concerns.
+        }
+        if (corpus != "bench") {
+            *error = "this worker only serves corpus=bench (got \"" +
+                     corpus + "\")";
+            return {};
+        }
+        if (scenarios <= 0 || runs <= 0) {
+            *error = "corpus=bench needs scenarios>0 and runs>0";
+            return {};
+        }
+        return benchScenarioFn(scenarios, runs);
+    };
+}
+
 /**
  * Hidden worker mode: serve matrix scenarios over the campaign's
  * stdin/stdout protocol. The coordinator (the campaign passes below)
  * re-execs this binary with --serve plus the matrix dimensions, so a
- * worker builds the exact corpus the coordinator is sharding.
+ * worker builds the exact corpus the coordinator is sharding; the v2
+ * spec handshake re-resolves the same corpus from the identity line.
  */
 int
 serveMain(int argc, char **argv)
@@ -189,18 +258,8 @@ serveMain(int argc, char **argv)
         else
             std::exit(2);
     }
-    const auto specs = buildMatrix(scenarios, runs);
-    return sweep::runWorker(opts, [&specs](int index) {
-        const bench::ResolvedSpec r =
-            bench::resolveSpec(specs[static_cast<std::size_t>(index)]);
-        bench::RunMetrics m;
-        const core::TaxReport report =
-            bench::runResolved(r, sim::EngineMode::Fast, &m);
-        sweep::ScenarioOutcome o;
-        o.e2eMeanMs = report.endToEndMeanMs();
-        o.events = m.events;
-        return o;
-    });
+    return sweep::runWorker(opts, benchScenarioFn(scenarios, runs),
+                            benchSpecResolver());
 }
 
 /** One shard-count row of the campaign scaling curve. */
@@ -409,6 +468,10 @@ main(int argc, char **argv)
         ccfg.identity =
             "corpus=bench scenarios=" + std::to_string(scenarios) +
             " runs=" + std::to_string(runs) + " chunk=32 engine=fast";
+        // v2 workers re-resolve the corpus from this spec; the argv
+        // flags below keep the handshake and the argv paths in
+        // byte-for-byte agreement.
+        ccfg.corpusSpec = ccfg.identity;
         ccfg.workerCmd = {self_exe,
                           "--serve",
                           "--scenarios",
@@ -596,6 +659,7 @@ main(int argc, char **argv)
         << (engine_match ? "true" : "false") << ",\n";
     // Per-shard-count campaign rows: the fleet-scaling curve.
     out << "  \"campaign\": {\n"
+        << "    \"transport\": \"pipe\",\n"
         << "    \"chunk\": 32,\n"
         << "    \"byte_identical_across_shards\": "
         << (campaign_match ? "true" : "false") << ",\n";

@@ -1,5 +1,7 @@
 #include "stats/streaming_distribution.h"
 
+#include "stats/numfmt.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -212,9 +214,16 @@ StreamingDistribution::serialize() const
     out += std::to_string(count_);
     if (count_ == 0)
         return out;
-    std::snprintf(buf, sizeof(buf), " s=%.17g q=%.17g lo=%.17g hi=%.17g",
-                  sum_, sumSq_, min_, max_);
-    out += buf;
+    // Locale-independent formatting (numfmt.h): identical bytes to the
+    // historical C-locale "%.17g" regardless of LC_NUMERIC.
+    out += " s=";
+    appendG17(out, sum_);
+    out += " q=";
+    appendG17(out, sumSq_);
+    out += " lo=";
+    appendG17(out, min_);
+    out += " hi=";
+    appendG17(out, max_);
     out += " b=";
     bool first = true;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -270,13 +279,9 @@ StreamingDistribution::deserialize(std::string_view text,
     }
 
     auto readDouble = [&](const char *tag, double &slot) {
-        if (!expect(tag))
-            return false;
-        slot = std::strtod(p, &end);
-        if (end == p)
-            return false;
-        p = end;
-        return true;
+        // parseDouble is locale-independent; strtod would stop at the
+        // '.' under a comma-decimal LC_NUMERIC and corrupt the moment.
+        return expect(tag) && parseDouble(p, slot);
     };
     if (!readDouble("s=", d.sum_) || !readDouble("q=", d.sumSq_) ||
         !readDouble("lo=", d.min_) || !readDouble("hi=", d.max_))

@@ -9,84 +9,25 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <set>
+#include <memory>
 
 #include <poll.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
-#include "sweep/sweep_runner.h"
+#include "stats/numfmt.h"
+#include "sweep/protocol.h"
+#include "sweep/transport.h"
 
 namespace aitax::sweep {
 
 namespace {
 
-constexpr const char *kWorkerBanner = "aitax-sweep-worker-v1 ready";
-constexpr const char *kManifestMagic = "aitax-campaign-v1";
-
 /** Replacement workers spawned after crashes before giving up. */
 constexpr int kMaxRespawns = 8;
 
-std::string
-formatG17(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
+using Clock = std::chrono::steady_clock;
 
 } // namespace
-
-// ---------------------------------------------------------------------
-// Worker side
-// ---------------------------------------------------------------------
-
-int
-runWorker(const WorkerOptions &opts, const ScenarioFn &fn)
-{
-    std::printf("%s\n", kWorkerBanner);
-    std::fflush(stdout);
-
-    SweepRunner pool(opts.jobs);
-    SnapshotCacheStats last = snapshotCacheStatsNow();
-    int rangesSeen = 0;
-    char line[256];
-    while (std::fgets(line, sizeof(line), stdin) != nullptr) {
-        if (std::strncmp(line, "quit", 4) == 0)
-            return 0;
-        int begin = 0;
-        int end = 0;
-        if (std::sscanf(line, "range %d %d", &begin, &end) != 2 ||
-            begin < 0 || end < begin) {
-            std::fprintf(stderr, "sweep-serve: bad command: %s", line);
-            return 2;
-        }
-        ++rangesSeen;
-        if (opts.exitAfterRanges >= 0 && rangesSeen >= opts.exitAfterRanges)
-            std::exit(7); // crash injection: drop the chunk on the floor
-
-        const auto n = static_cast<std::size_t>(end - begin);
-        const std::vector<ScenarioOutcome> results =
-            pool.map<ScenarioOutcome>(n, [&](std::size_t i) {
-                return fn(begin + static_cast<int>(i));
-            });
-        for (std::size_t i = 0; i < n; ++i)
-            std::printf("r %d %s %llu\n", begin + static_cast<int>(i),
-                        formatG17(results[i].e2eMeanMs).c_str(),
-                        static_cast<unsigned long long>(results[i].events));
-
-        const SnapshotCacheStats now = snapshotCacheStatsNow();
-        std::printf("done %d %d %llu %llu %llu %llu\n", begin, end,
-                    static_cast<unsigned long long>(now.hits - last.hits),
-                    static_cast<unsigned long long>(now.misses - last.misses),
-                    static_cast<unsigned long long>(now.stores - last.stores),
-                    static_cast<unsigned long long>(now.raceDiscards -
-                                                    last.raceDiscards));
-        last = now;
-        std::fflush(stdout);
-    }
-    return 0;
-}
 
 // ---------------------------------------------------------------------
 // Aggregate
@@ -113,11 +54,15 @@ CampaignAggregate::merge(const CampaignAggregate &chunk)
 std::string
 CampaignAggregate::serialize() const
 {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "ca1 n=%llu e=%llu k=%.17g | ",
-                  static_cast<unsigned long long>(scenarios),
-                  static_cast<unsigned long long>(events), checksumMs);
-    return std::string(buf) + latencyMs.serialize();
+    std::string out = "ca1 n=";
+    out += std::to_string(scenarios);
+    out += " e=";
+    out += std::to_string(events);
+    out += " k=";
+    stats::appendG17(out, checksumMs);
+    out += " | ";
+    out += latencyMs.serialize();
+    return out;
 }
 
 bool
@@ -130,18 +75,26 @@ CampaignAggregate::deserialize(std::string_view text, CampaignAggregate &out,
         return false;
     };
     CampaignAggregate a;
-    unsigned long long n = 0;
-    unsigned long long e = 0;
-    int consumed = 0;
     const std::string s(text);
-    if (std::sscanf(s.c_str(), "ca1 n=%llu e=%llu k=%lf | %n", &n, &e,
-                    &a.checksumMs, &consumed) != 3 ||
-        consumed == 0)
+    const char *p = s.c_str();
+    auto expect = [&p](const char *tag) {
+        while (*p == ' ')
+            ++p;
+        const std::size_t n = std::strlen(tag);
+        if (std::strncmp(p, tag, n) != 0)
+            return false;
+        p += n;
+        return true;
+    };
+    // Locale-independent parse (numfmt.h): the manifest must
+    // round-trip bit-exactly under any LC_NUMERIC.
+    if (!expect("ca1") || !expect("n=") || !stats::parseU64(p, a.scenarios) ||
+        !expect("e=") || !stats::parseU64(p, a.events) || !expect("k=") ||
+        !stats::parseDouble(p, a.checksumMs) || !expect("|"))
         return fail("bad ca1 prefix");
-    a.scenarios = n;
-    a.events = e;
-    if (!stats::StreamingDistribution::deserialize(
-            s.c_str() + consumed, a.latencyMs, error))
+    while (*p == ' ')
+        ++p;
+    if (!stats::StreamingDistribution::deserialize(p, a.latencyMs, error))
         return false;
     if (a.latencyMs.count() != a.scenarios)
         return fail("sketch count disagrees with n=");
@@ -157,22 +110,25 @@ namespace {
 
 struct WorkerProc
 {
-    pid_t pid = -1;
-    int inFd = -1;  ///< commands to the worker's stdin
-    int outFd = -1; ///< results from the worker's stdout
-    std::string buf;
+    std::unique_ptr<WorkerChannel> ch; ///< null once reaped
+    std::string buf;                   ///< undecoded protocol text
     bool sawBanner = false;
+    int version = 1;
+    bool awaitingSpec = false;
     bool quitSent = false;
     int chunkId = -1; ///< assigned chunk; -1 when idle
     int nextExpected = -1;
     int rangeEnd = -1;
     CampaignAggregate partial;
+    /** Last protocol bytes (or command sent); deadline reference. */
+    Clock::time_point lastActivity;
 };
 
 struct Coordinator
 {
     const CampaignConfig &cfg;
     CampaignSummary &sum;
+    std::unique_ptr<Transport> transport;
     int chunkCount = 0;
     /** Chunks awaiting dispatch, ascending; re-dispatches append. */
     std::vector<int> pendingChunks;
@@ -205,14 +161,21 @@ struct Coordinator
         return false;
     }
 
+    /** A worker the deadline watches: handshake or chunk in flight. */
+    static bool isBusy(const WorkerProc &w)
+    {
+        return !w.quitSent &&
+               (!w.sawBanner || w.awaitingSpec || w.chunkId >= 0);
+    }
+
     bool loadManifest();
     bool openManifest(bool truncate);
+    bool truncateManifestTo(long offset);
     void appendManifest(int id, const CampaignAggregate &partial);
     void noteCompleted(int id, CampaignAggregate partial, bool fromResume);
     void advanceFrontier();
 
     bool spawnWorker(bool injectKill);
-    void sendCommand(WorkerProc &w, const std::string &cmd);
     void assignNext(WorkerProc &w);
     bool handleLine(WorkerProc &w, const std::string &line);
     void reapWorker(WorkerProc &w);
@@ -233,14 +196,34 @@ Coordinator::openManifest(bool truncate)
         std::fprintf(manifest, "%s %s\n", kManifestMagic,
                      cfg.identity.c_str());
         std::fflush(manifest);
+        fsync(fileno(manifest));
     }
     return true;
 }
 
 bool
+Coordinator::truncateManifestTo(long offset)
+{
+    if (::truncate(cfg.checkpointPath.c_str(),
+                   static_cast<off_t>(offset)) != 0)
+        return fail("cannot truncate torn checkpoint manifest: " +
+                    cfg.checkpointPath);
+    return true;
+}
+
+/**
+ * Crash-consistency contract (docs/ROBUSTNESS.md): every record is
+ * fsync'd after its newline, so a crash can tear at most the *final*
+ * line (a write() prefix, never a hole in the middle). A torn final
+ * line — one with no terminating newline that fails to parse — is
+ * therefore expected damage: warn, truncate it away, and resume from
+ * the preceding record. Any malformed *terminated* line still
+ * hard-fails, because that is corruption the contract rules out.
+ */
+bool
 Coordinator::loadManifest()
 {
-    std::FILE *f = std::fopen(cfg.checkpointPath.c_str(), "r");
+    std::FILE *f = std::fopen(cfg.checkpointPath.c_str(), "rb");
     if (f == nullptr) {
         // Nothing to resume from: degrade to a fresh campaign.
         std::fprintf(stderr,
@@ -249,56 +232,102 @@ Coordinator::loadManifest()
                      cfg.checkpointPath.c_str());
         return openManifest(/*truncate=*/true);
     }
-    char line[8192];
-    if (std::fgets(line, sizeof(line), f) == nullptr) {
-        std::fclose(f);
+    std::string data;
+    char buf[8192];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, got);
+    std::fclose(f);
+    if (data.empty())
         return openManifest(/*truncate=*/true);
-    }
-    std::string header(line);
-    while (!header.empty() &&
-           (header.back() == '\n' || header.back() == '\r'))
-        header.pop_back();
+
     const std::string expected =
         std::string(kManifestMagic) + " " + cfg.identity;
-    if (header != expected) {
-        std::fclose(f);
+    const std::size_t hdrEnd = data.find('\n');
+    if (hdrEnd == std::string::npos) {
+        // Unterminated first line: if it is a prefix of our own
+        // header, the crash happened during the very first write —
+        // start fresh. A complete different header is still foreign.
+        if (expected.compare(0, data.size(), data) == 0) {
+            std::fprintf(stderr,
+                         "campaign: torn manifest header at %s; "
+                         "starting fresh\n",
+                         cfg.checkpointPath.c_str());
+            return openManifest(/*truncate=*/true);
+        }
+        return fail("checkpoint manifest belongs to a different "
+                    "campaign: \"" +
+                    data + "\" vs \"" + expected + "\"");
+    }
+    std::string header = data.substr(0, hdrEnd);
+    if (!header.empty() && header.back() == '\r')
+        header.pop_back();
+    if (header != expected)
         return fail("checkpoint manifest belongs to a different "
                     "campaign: \"" +
                     header + "\" vs \"" + expected + "\"");
-    }
-    while (std::fgets(line, sizeof(line), f) != nullptr) {
-        std::string text(line);
-        while (!text.empty() &&
-               (text.back() == '\n' || text.back() == '\r'))
+
+    std::size_t pos = hdrEnd + 1;
+    bool tailMissingNewline = false;
+    while (pos < data.size()) {
+        const std::size_t lineStart = pos;
+        const std::size_t nl = data.find('\n', pos);
+        const bool unterminated = nl == std::string::npos;
+        std::string text = data.substr(
+            pos, unterminated ? std::string::npos : nl - pos);
+        pos = unterminated ? data.size() : nl + 1;
+        if (!text.empty() && text.back() == '\r')
             text.pop_back();
         if (text.empty())
             continue;
-        int id = 0;
-        int consumed = 0;
-        if (std::sscanf(text.c_str(), "chunk %d %n", &id, &consumed) != 1 ||
-            consumed == 0 || id < 0 || id >= chunkCount) {
-            std::fclose(f);
-            return fail("malformed manifest line: " + text);
-        }
+
+        std::string why;
+        int id = -1;
         CampaignAggregate partial;
-        std::string err;
-        if (!CampaignAggregate::deserialize(text.c_str() + consumed,
-                                            partial, &err)) {
-            std::fclose(f);
-            return fail("malformed manifest chunk " + std::to_string(id) +
-                        ": " + err);
+        const char *p = text.c_str();
+        std::uint64_t expectN = 0;
+        if (std::strncmp(p, "chunk ", 6) != 0 ||
+            (p += 6, !stats::parseInt(p, id)) || id < 0 ||
+            id >= chunkCount) {
+            why = "malformed manifest line: " + text;
+        } else if (!CampaignAggregate::deserialize(p, partial, &why)) {
+            why = "malformed manifest chunk " + std::to_string(id) +
+                  ": " + why;
+        } else if (expectN = static_cast<std::uint64_t>(chunkEnd(id) -
+                                                        chunkBegin(id)),
+                   partial.scenarios != expectN) {
+            why = "manifest chunk " + std::to_string(id) +
+                  " has wrong scenario count";
         }
-        const int expectN = chunkEnd(id) - chunkBegin(id);
-        if (partial.scenarios != static_cast<std::uint64_t>(expectN)) {
-            std::fclose(f);
-            return fail("manifest chunk " + std::to_string(id) +
-                        " has wrong scenario count");
+        if (!why.empty()) {
+            if (unterminated) {
+                std::fprintf(stderr,
+                             "campaign: truncating torn manifest tail "
+                             "at byte %zu of %s\n",
+                             lineStart, cfg.checkpointPath.c_str());
+                if (!truncateManifestTo(
+                        static_cast<long>(lineStart)))
+                    return false;
+                break;
+            }
+            return fail(why);
         }
         if (completed.find(id) == completed.end())
             noteCompleted(id, std::move(partial), /*fromResume=*/true);
+        // The record parsed consistently (serialization carries its
+        // own count/bucket-total invariants), so losing only the
+        // trailing newline loses no data — but the separator must be
+        // restored before any new record is appended after it.
+        tailMissingNewline = unterminated;
     }
-    std::fclose(f);
-    return openManifest(/*truncate=*/false);
+    if (!openManifest(/*truncate=*/false))
+        return false;
+    if (tailMissingNewline && manifest != nullptr) {
+        std::fputc('\n', manifest);
+        std::fflush(manifest);
+        fsync(fileno(manifest));
+    }
+    return true;
 }
 
 void
@@ -309,6 +338,9 @@ Coordinator::appendManifest(int id, const CampaignAggregate &partial)
     std::fprintf(manifest, "chunk %d %s\n", id,
                  partial.serialize().c_str());
     std::fflush(manifest);
+    // fsync per record pins the crash-consistency contract: after a
+    // power cut, at most the final line is torn (a write prefix).
+    fsync(fileno(manifest));
 }
 
 void
@@ -344,71 +376,20 @@ Coordinator::advanceFrontier()
 bool
 Coordinator::spawnWorker(bool injectKill)
 {
-    int toChild[2];
-    int fromChild[2];
-    if (pipe(toChild) != 0)
-        return fail("pipe() failed");
-    if (pipe(fromChild) != 0) {
-        close(toChild[0]);
-        close(toChild[1]);
-        return fail("pipe() failed");
+    std::vector<std::string> extra;
+    if (injectKill) {
+        extra.push_back("--exit-after");
+        extra.push_back(std::to_string(cfg.killWorkerAfterRanges));
     }
-    const pid_t pid = fork();
-    if (pid < 0) {
-        close(toChild[0]);
-        close(toChild[1]);
-        close(fromChild[0]);
-        close(fromChild[1]);
-        return fail("fork() failed");
-    }
-    if (pid == 0) {
-        dup2(toChild[0], STDIN_FILENO);
-        dup2(fromChild[1], STDOUT_FILENO);
-        close(toChild[0]);
-        close(toChild[1]);
-        close(fromChild[0]);
-        close(fromChild[1]);
-        std::vector<std::string> argvS = cfg.workerCmd;
-        if (injectKill) {
-            argvS.push_back("--exit-after");
-            argvS.push_back(std::to_string(cfg.killWorkerAfterRanges));
-        }
-        std::vector<char *> argv;
-        argv.reserve(argvS.size() + 1);
-        for (std::string &a : argvS)
-            argv.push_back(a.data());
-        argv.push_back(nullptr);
-        execv(argv[0], argv.data());
-        std::fprintf(stderr, "campaign worker: execv(%s) failed: %s\n",
-                     argv[0], std::strerror(errno));
-        _exit(127);
-    }
-    close(toChild[0]);
-    close(fromChild[1]);
+    std::string err;
+    std::unique_ptr<WorkerChannel> ch = transport->openWorker(extra, &err);
+    if (ch == nullptr)
+        return fail("cannot open worker: " + err);
     WorkerProc w;
-    w.pid = pid;
-    w.inFd = toChild[1];
-    w.outFd = fromChild[0];
+    w.ch = std::move(ch);
+    w.lastActivity = Clock::now();
     workers.push_back(std::move(w));
     return true;
-}
-
-void
-Coordinator::sendCommand(WorkerProc &w, const std::string &cmd)
-{
-    // EPIPE here means the worker already died; its EOF handler will
-    // reclaim the chunk, so a failed write is not itself an error.
-    std::size_t off = 0;
-    while (off < cmd.size()) {
-        const ssize_t n =
-            write(w.inFd, cmd.data() + off, cmd.size() - off);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            break;
-        }
-        off += static_cast<std::size_t>(n);
-    }
 }
 
 void
@@ -417,10 +398,9 @@ Coordinator::assignNext(WorkerProc &w)
     if (w.quitSent)
         return;
     if (stopping || pendingHead >= pendingChunks.size()) {
-        sendCommand(w, "quit\n");
+        w.ch->sendLine("quit");
         w.quitSent = true;
-        close(w.inFd);
-        w.inFd = -1;
+        w.ch->closeSend();
         return;
     }
     const int id = pendingChunks[pendingHead++];
@@ -428,27 +408,60 @@ Coordinator::assignNext(WorkerProc &w)
     w.partial = CampaignAggregate{};
     w.nextExpected = chunkBegin(id);
     w.rangeEnd = chunkEnd(id);
-    sendCommand(w, "range " + std::to_string(chunkBegin(id)) + " " +
-                       std::to_string(chunkEnd(id)) + "\n");
+    w.ch->sendLine("range " + std::to_string(chunkBegin(id)) + " " +
+                   std::to_string(chunkEnd(id)));
+    w.lastActivity = Clock::now();
 }
 
 bool
 Coordinator::handleLine(WorkerProc &w, const std::string &line)
 {
     if (!w.sawBanner) {
-        if (line != kWorkerBanner)
+        if (line == kWorkerBannerV2)
+            w.version = 2;
+        else if (line == kWorkerBannerV1)
+            w.version = 1;
+        else
             return fail("worker did not identify itself: \"" + line +
                         "\"");
         w.sawBanner = true;
+        if (!cfg.corpusSpec.empty()) {
+            if (w.version >= 2) {
+                w.ch->sendLine("spec " + cfg.corpusSpec);
+                w.awaitingSpec = true;
+                w.lastActivity = Clock::now();
+                return true;
+            }
+            // A v1 worker over pipes has its corpus baked into argv —
+            // the spec is redundant there. A *remote* v1 worker has no
+            // way to learn the corpus at all.
+            if (!cfg.workers.empty())
+                return fail(
+                    "remote worker speaks protocol v1; worker-side "
+                    "corpus addressing requires v2");
+        }
         assignNext(w);
         return true;
     }
+    if (line == "spec-ok") {
+        if (w.awaitingSpec) {
+            w.awaitingSpec = false;
+            assignNext(w);
+        }
+        return true;
+    }
+    if (line.compare(0, 8, "spec-err") == 0)
+        return fail("worker rejected campaign spec: " + line);
+    if (line == "hb")
+        return true; // liveness only; lastActivity already advanced
     if (line.compare(0, 2, "r ") == 0) {
         int idx = 0;
         double mean = 0.0;
-        unsigned long long events = 0;
-        if (std::sscanf(line.c_str(), "r %d %lf %llu", &idx, &mean,
-                        &events) != 3)
+        std::uint64_t events = 0;
+        const char *p = line.c_str() + 2;
+        // numfmt parse: locale-proof against a comma-decimal host.
+        if (!stats::parseInt(p, idx) || !stats::parseDouble(p, mean) ||
+            !stats::parseU64(p, events))
             return fail("malformed result line: " + line);
         if (w.chunkId < 0 || idx != w.nextExpected || idx >= w.rangeEnd)
             return fail("result index " + std::to_string(idx) +
@@ -463,12 +476,14 @@ Coordinator::handleLine(WorkerProc &w, const std::string &line)
     if (line.compare(0, 5, "done ") == 0) {
         int begin = 0;
         int end = 0;
-        unsigned long long h = 0;
-        unsigned long long m = 0;
-        unsigned long long s = 0;
-        unsigned long long d = 0;
-        if (std::sscanf(line.c_str(), "done %d %d %llu %llu %llu %llu",
-                        &begin, &end, &h, &m, &s, &d) != 6)
+        std::uint64_t h = 0;
+        std::uint64_t m = 0;
+        std::uint64_t s = 0;
+        std::uint64_t d = 0;
+        const char *p = line.c_str() + 5;
+        if (!stats::parseInt(p, begin) || !stats::parseInt(p, end) ||
+            !stats::parseU64(p, h) || !stats::parseU64(p, m) ||
+            !stats::parseU64(p, s) || !stats::parseU64(p, d))
             return fail("malformed done line: " + line);
         if (w.chunkId < 0 || begin != chunkBegin(w.chunkId) ||
             end != chunkEnd(w.chunkId) || w.nextExpected != end)
@@ -490,18 +505,25 @@ Coordinator::handleLine(WorkerProc &w, const std::string &line)
 void
 Coordinator::reapWorker(WorkerProc &w)
 {
-    if (w.outFd >= 0) {
-        close(w.outFd);
-        w.outFd = -1;
+    if (w.ch == nullptr)
+        return;
+    if (!w.buf.empty()) {
+        // A worker that died mid-write leaves a partial protocol line;
+        // those bytes belong to the chunk being re-dispatched, so they
+        // must not survive into any later parse. Discard explicitly.
+        std::fprintf(stderr,
+                     "campaign: discarding %zu unparsed bytes from a "
+                     "lost worker (partial line \"%.64s\")\n",
+                     w.buf.size(), w.buf.c_str());
+        w.buf.clear();
     }
-    if (w.inFd >= 0) {
-        close(w.inFd);
-        w.inFd = -1;
-    }
-    int status = 0;
-    waitpid(w.pid, &status, 0);
-    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
-                       w.quitSent && w.chunkId < 0;
+    // Endpoint cleanliness (exit status 0 / closed socket) is
+    // necessary but not sufficient: the coordinator also requires its
+    // own protocol state to agree (quit acknowledged, nothing in
+    // flight). An unknowable exit status (waitpid error) is unclean.
+    const bool endpointClean = w.ch->finishClean();
+    w.ch.reset();
+    const bool clean = endpointClean && w.quitSent && w.chunkId < 0;
     if (!clean) {
         ++sum.workersLost;
         if (w.chunkId >= 0) {
@@ -513,18 +535,20 @@ Coordinator::reapWorker(WorkerProc &w)
             w.chunkId = -1;
         }
     }
-    w.pid = -1;
 }
 
 bool
 Coordinator::eventLoop()
 {
+    const bool deadlineOn = cfg.workerDeadlineSeconds > 0.0;
     while (true) {
         std::vector<pollfd> fds;
         std::vector<std::size_t> owner;
         for (std::size_t i = 0; i < workers.size(); ++i) {
-            if (workers[i].pid >= 0 && workers[i].outFd >= 0) {
-                fds.push_back(pollfd{workers[i].outFd, POLLIN, 0});
+            if (workers[i].ch != nullptr &&
+                workers[i].ch->pollFd() >= 0) {
+                fds.push_back(
+                    pollfd{workers[i].ch->pollFd(), POLLIN, 0});
                 owner.push_back(i);
             }
         }
@@ -543,7 +567,27 @@ Coordinator::eventLoop()
                         std::to_string(chunkCount - completedCount) +
                         " chunks unfinished");
         }
-        const int rc = poll(fds.data(), fds.size(), -1);
+
+        int timeoutMs = -1;
+        if (deadlineOn) {
+            const Clock::time_point now = Clock::now();
+            for (const std::size_t k : owner) {
+                const WorkerProc &w = workers[k];
+                if (!isBusy(w))
+                    continue;
+                const double left =
+                    cfg.workerDeadlineSeconds -
+                    std::chrono::duration<double>(now - w.lastActivity)
+                        .count();
+                const int ms =
+                    left <= 0.0
+                        ? 0
+                        : static_cast<int>(left * 1000.0) + 1;
+                timeoutMs = timeoutMs < 0 ? ms : std::min(timeoutMs, ms);
+            }
+        }
+
+        const int rc = poll(fds.data(), fds.size(), timeoutMs);
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
@@ -553,10 +597,11 @@ Coordinator::eventLoop()
             if (fds[i].revents == 0)
                 continue;
             WorkerProc &w = workers[owner[i]];
-            char buf[4096];
-            const ssize_t n = read(w.outFd, buf, sizeof(buf));
+            if (w.ch == nullptr)
+                continue;
+            const int n = w.ch->readLines(w.buf);
             if (n > 0) {
-                w.buf.append(buf, static_cast<std::size_t>(n));
+                w.lastActivity = Clock::now();
                 std::size_t pos = 0;
                 std::size_t nl = 0;
                 while ((nl = w.buf.find('\n', pos)) !=
@@ -566,7 +611,31 @@ Coordinator::eventLoop()
                     pos = nl + 1;
                 }
                 w.buf.erase(0, pos);
-            } else if (n == 0 || (n < 0 && errno != EINTR)) {
+            } else if (n == 0) {
+                reapWorker(w);
+                if (!failure.empty())
+                    return false;
+            }
+            // n < 0: EINTR / incomplete frame — try again next round.
+        }
+
+        if (deadlineOn) {
+            const Clock::time_point now = Clock::now();
+            for (WorkerProc &w : workers) {
+                if (w.ch == nullptr || !isBusy(w))
+                    continue;
+                const double idle =
+                    std::chrono::duration<double>(now - w.lastActivity)
+                        .count();
+                if (idle < cfg.workerDeadlineSeconds)
+                    continue;
+                std::fprintf(stderr,
+                             "campaign: worker hung (no protocol "
+                             "activity for %.1fs); killing and "
+                             "re-dispatching its chunk\n",
+                             idle);
+                ++sum.workersHung;
+                w.ch->kill();
                 reapWorker(w);
                 if (!failure.empty())
                     return false;
@@ -581,22 +650,36 @@ CampaignSummary
 runCampaign(const CampaignConfig &cfg)
 {
     CampaignSummary sum;
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = Clock::now();
 
-    if (cfg.scenarios < 0 || cfg.chunk <= 0 || cfg.shards <= 0 ||
-        cfg.workerCmd.empty()) {
+    const bool tcp = !cfg.workers.empty();
+    if (cfg.scenarios < 0 || cfg.chunk <= 0 ||
+        (!tcp && (cfg.shards <= 0 || cfg.workerCmd.empty()))) {
         sum.error = "invalid campaign config";
+        return sum;
+    }
+    if (tcp && cfg.corpusSpec.empty()) {
+        sum.error = "tcp transport requires a corpus spec "
+                    "(workers resolve the corpus locally)";
+        return sum;
+    }
+    if (tcp && cfg.killWorkerAfterRanges >= 0) {
+        sum.error = "crash injection is argv-based and pipe-only";
         return sum;
     }
 
     // A dead worker's EPIPE must surface as a failed write(), not a
-    // process-killing signal; restore the caller's disposition after.
+    // process-killing signal; restore the caller's disposition on
+    // every exit path below (there is exactly one return).
     struct sigaction ign = {};
     struct sigaction oldPipe = {};
     ign.sa_handler = SIG_IGN;
     sigaction(SIGPIPE, &ign, &oldPipe);
 
     Coordinator co(cfg, sum);
+    co.transport = tcp ? makeTcpTransport(cfg.workers)
+                       : makeProcessTransport(cfg.workerCmd);
+    sum.transport = co.transport->name();
     co.chunkCount =
         cfg.chunk > 0 ? (cfg.scenarios + cfg.chunk - 1) / cfg.chunk : 0;
     sum.chunksTotal = co.chunkCount;
@@ -612,20 +695,23 @@ runCampaign(const CampaignConfig &cfg)
             if (co.completed.find(id) == co.completed.end() &&
                 id >= co.mergeFrontier)
                 co.pendingChunks.push_back(id);
+        const int shards =
+            tcp ? static_cast<int>(cfg.workers.size()) : cfg.shards;
         const int want =
-            std::min(cfg.shards,
+            std::min(shards,
                      std::max(1, static_cast<int>(
                                      co.pendingChunks.size())));
         for (int i = 0; ok && i < want; ++i)
             ok = co.spawnWorker(
-                /*injectKill=*/i == 0 && cfg.killWorkerAfterRanges >= 0);
+                /*injectKill=*/!tcp && i == 0 &&
+                cfg.killWorkerAfterRanges >= 0);
     }
     if (ok)
         ok = co.eventLoop();
 
     // Drain any workers still alive after a failure path.
     for (WorkerProc &w : co.workers) {
-        if (w.pid >= 0)
+        if (w.ch != nullptr)
             co.reapWorker(w);
     }
     if (co.manifest != nullptr)
@@ -638,7 +724,7 @@ runCampaign(const CampaignConfig &cfg)
         sum.aggregate.merge(kv.second);
     co.completed.clear();
 
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = Clock::now();
     sum.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     if (sum.wallSeconds > 0.0)
@@ -660,11 +746,22 @@ std::string
 campaignReportJson(const std::string &identity,
                    const CampaignAggregate &agg)
 {
+    return campaignReportJson(identity, agg, std::string());
+}
+
+std::string
+campaignReportJson(const std::string &identity,
+                   const CampaignAggregate &agg,
+                   const std::string &transport)
+{
+    using stats::formatG17;
     const stats::StreamingDistribution &d = agg.latencyMs;
     std::string out;
     out += "{\n";
     out += "  \"campaign\": {\n";
     out += "    \"identity\": \"" + identity + "\",\n";
+    if (!transport.empty())
+        out += "    \"transport\": \"" + transport + "\",\n";
     out += "    \"scenarios\": " + std::to_string(agg.scenarios) + ",\n";
     out += "    \"events\": " + std::to_string(agg.events) + ",\n";
     out += "    \"checksum_ms\": " + formatG17(agg.checksumMs) + ",\n";

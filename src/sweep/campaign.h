@@ -9,12 +9,24 @@
  * the thread pool: "parallelism across simulations, never inside one"
  * extended across process boundaries.
  *
- * Topology and protocol (newline-delimited text over pipes):
+ * Topology and protocol (line-oriented text; newline-delimited over
+ * pipes, length-delimited frames over TCP — see sweep/transport.h):
  *
- *   coordinator --(stdin)--> worker:   "range <begin> <end>" | "quit"
- *   worker --(stdout)--> coordinator:  "aitax-sweep-worker-v1 ready"
- *                                      "r <index> <e2e_mean_ms> <events>"
- *                                      "done <begin> <end> <cache h m s d>"
+ *   coordinator -> worker:  "spec <identity>" (v2) | "range <b> <e>"
+ *                           | "quit"
+ *   worker -> coordinator:  "aitax-sweep-worker-v2 ready"  (v1 accepted)
+ *                           "spec-ok" | "spec-err <why>"   (v2)
+ *                           "hb"                           (v2 liveness)
+ *                           "r <index> <e2e_mean_ms> <events>"
+ *                           "done <begin> <end> <cache h m s d>"
+ *
+ * v2 workers address their corpus *by spec*: the coordinator sends the
+ * campaign identity line and the worker resolves it to a ScenarioFn
+ * locally (sweep/serve.h SpecResolver), so remote workers never
+ * receive scenario payloads and one daemon serves many campaigns. v1
+ * workers (argv-bound corpora) remain fully supported over pipes.
+ * Every number on the wire is formatted and parsed locale-independently
+ * (stats/numfmt.h) — a comma-decimal LC_NUMERIC cannot corrupt it.
  *
  * The corpus is split into fixed-size chunks (the checkpoint and
  * streaming granularity). Workers pull contiguous chunks dynamically;
@@ -65,6 +77,17 @@ struct ScenarioOutcome
  */
 using ScenarioFn = std::function<ScenarioOutcome(int index)>;
 
+/**
+ * Worker-side corpus addressing (protocol v2): resolve a campaign
+ * spec line (the identity string) into a ScenarioFn, or return an
+ * empty function with @p error set to refuse it ("spec-err" on the
+ * wire). Must be deterministic: the same spec resolves to the same
+ * corpus on every worker, or byte-identity across transports breaks.
+ */
+using SpecResolver =
+    std::function<ScenarioFn(const std::string &spec,
+                             std::string *error)>;
+
 struct WorkerOptions
 {
     /** Threads for the worker's in-process SweepRunner pool. */
@@ -75,13 +98,18 @@ struct WorkerOptions
      * losing the in-flight chunk. < 0 disables.
      */
     int exitAfterRanges = -1;
+    /** Wire protocol to speak: 2 (default) or 1 (strict fallback). */
+    int protocolVersion = 2;
 };
 
 /**
  * Serve sweep ranges over stdin/stdout until "quit" or EOF.
+ * @param resolver optional spec-addressed corpus resolution; without
+ *        it a "spec" command is acknowledged but @p fn stays bound.
  * @return process exit code (0 on a clean quit).
  */
-int runWorker(const WorkerOptions &opts, const ScenarioFn &fn);
+int runWorker(const WorkerOptions &opts, const ScenarioFn &fn,
+              const SpecResolver &resolver = {});
 
 /** Mergeable aggregate state of a campaign (or one chunk of it). */
 struct CampaignAggregate
@@ -123,8 +151,32 @@ struct CampaignConfig
     /**
      * argv of one worker process (argv[0] = executable). The
      * coordinator appends nothing; bake seed/jobs/engine flags in.
+     * Ignored when `workers` selects the TCP transport.
      */
     std::vector<std::string> workerCmd;
+    /**
+     * Remote worker endpoints ("host:port"), one session per entry
+     * (repeat an endpoint for several sessions against one daemon).
+     * Non-empty selects the TCP transport and overrides shards /
+     * workerCmd. Remote workers must speak protocol v2 and resolve
+     * `corpusSpec` themselves.
+     */
+    std::vector<std::string> workers;
+    /**
+     * Campaign spec sent to v2 workers ("spec <corpusSpec>") before
+     * the first range; conventionally the identity string. Empty
+     * skips the handshake (argv-bound corpora, pipe transport only).
+     */
+    std::string corpusSpec;
+    /**
+     * Hung-worker deadline, seconds. A worker with an assigned chunk
+     * (or an unanswered handshake) that produces no protocol bytes
+     * for this long is killed and its chunk re-dispatched, exactly
+     * like a crashed worker. <= 0 disables (local default: a dead
+     * process already reports EOF; the deadline is for remote workers
+     * whose TCP peer can hang without closing).
+     */
+    double workerDeadlineSeconds = 0.0;
     /**
      * Campaign identity line, e.g. "corpus=fuzz seed=42 scenarios=256
      * chunk=32 faults=0 engine=fast". Written to the manifest header
@@ -174,10 +226,14 @@ struct CampaignSummary
     int chunksRun = 0;
     /** Chunks restored from the manifest (--resume). */
     int chunksResumed = 0;
-    /** Worker processes that died mid-campaign. */
+    /** Worker processes/sessions that died mid-campaign. */
     int workersLost = 0;
+    /** Subset of workersLost killed by the liveness deadline. */
+    int workersHung = 0;
     /** Chunks that had to be re-dispatched after a worker loss. */
     int chunksRedispatched = 0;
+    /** Transport the campaign ran over: "pipe" or "tcp". */
+    std::string transport;
 };
 
 /**
@@ -188,11 +244,17 @@ CampaignSummary runCampaign(const CampaignConfig &cfg);
 
 /**
  * The deterministic campaign report: identity + aggregate only, every
- * double as "%.17g". Byte-identical at any shard/job split and across
- * kill/resume — the artifact the verify tier compares.
+ * double as "%.17g" (locale-independent). Byte-identical at any
+ * shard/job/transport split and across kill/resume — the artifact the
+ * verify tier compares. The @p transport overload adds a single
+ * `"transport"` line for the BENCH artifacts; strip it (or pass the
+ * two-argument form) when byte-comparing across transports.
  */
 std::string campaignReportJson(const std::string &identity,
                                const CampaignAggregate &agg);
+std::string campaignReportJson(const std::string &identity,
+                               const CampaignAggregate &agg,
+                               const std::string &transport);
 
 /** /proc/self/exe (fallback: @p argv0) — workers re-exec this binary. */
 std::string selfExecutablePath(const char *argv0);

@@ -184,6 +184,10 @@ campaignConfig(int shards, int jobs)
                    " scenarios=" + std::to_string(kScenarios) +
                    " chunk=" + std::to_string(kChunk) +
                    " faults=0 engine=fast";
+    // Exercise the v2 spec handshake on every pipe campaign: the
+    // worker re-resolves its corpus from this line and must produce
+    // the same bytes as its argv-bound binding.
+    cfg.corpusSpec = cfg.identity;
     cfg.workerCmd = {AITAX_CLI_PATH,
                      "sweep-serve",
                      "--seed",

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <sstream>
 
 #include "stats/accumulator.h"
 #include "stats/distribution.h"
+#include "stats/numfmt.h"
 #include "stats/table.h"
 
 namespace aitax::stats {
@@ -272,6 +275,65 @@ TEST(Table, CountsRowsAndColumns)
     EXPECT_EQ(t.rows(), 0u);
     t.addRow({"1", "2", "3"});
     EXPECT_EQ(t.rows(), 1u);
+}
+
+// --- Locale-free number formatting (stats/numfmt.h) ------------------
+
+TEST(NumFmt, FormatG17MatchesPrintfG17)
+{
+    // The campaign wire format and goldens were written with C-locale
+    // "%.17g"; formatG17 must reproduce those bytes exactly, forever,
+    // in any locale.
+    for (const double v :
+         {0.0, 0.5, 0.1, 1.0 / 3.0, 62.183374463145633, -2586.9076671,
+          1e-300, 1.7976931348623157e308, 292522.0}) {
+        char ref[64];
+        std::snprintf(ref, sizeof(ref), "%.17g", v);
+        EXPECT_EQ(formatG17(v), ref) << v;
+    }
+}
+
+TEST(NumFmt, ParseRoundTripsAndStopsAtDelimiters)
+{
+    double d = 0.0;
+    const char *p = "  187.7437407078001 tail";
+    EXPECT_TRUE(parseDouble(p, d));
+    EXPECT_EQ(d, 187.7437407078001);
+    EXPECT_STREQ(p, " tail");
+
+    // Never a decimal comma, regardless of LC_NUMERIC.
+    p = "3,5";
+    EXPECT_TRUE(parseDouble(p, d));
+    EXPECT_EQ(d, 3.0);
+    EXPECT_STREQ(p, ",5");
+
+    p = "nope";
+    EXPECT_FALSE(parseDouble(p, d));
+
+    std::uint64_t u = 0;
+    p = " 18446744073709551615 x";
+    EXPECT_TRUE(parseU64(p, u));
+    EXPECT_EQ(u, 18446744073709551615ull);
+
+    int i = 0;
+    p = "12345678901"; // overflows int32
+    EXPECT_FALSE(parseInt(p, i));
+    p = " -42)";
+    EXPECT_TRUE(parseInt(p, i));
+    EXPECT_EQ(i, -42);
+    EXPECT_STREQ(p, ")");
+}
+
+TEST(NumFmt, FormatParseRoundTripIsExact)
+{
+    for (const double v : {1.0 / 3.0, 0.1, 62.183374463145633,
+                           4060.1275090281924, 1e-17}) {
+        const std::string s = formatG17(v);
+        const char *p = s.c_str();
+        double back = 0.0;
+        ASSERT_TRUE(parseDouble(p, back)) << s;
+        EXPECT_EQ(back, v) << s;
+    }
 }
 
 } // namespace

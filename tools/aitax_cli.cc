@@ -65,11 +65,32 @@
  *     --gate <events/sec>    exit 1 if aggregate throughput is lower
  *     --stop-after-chunks <n>  interrupt after n chunks (exit 3)
  *     --kill-worker-after <n>  crash worker 0 on its nth range
+ *     --workers host:port,...  dispatch to remote workers over TCP
+ *                            instead of forking local processes (one
+ *                            session per endpoint; repeat an endpoint
+ *                            for several sessions on one daemon).
+ *                            Workers resolve the corpus from the
+ *                            campaign spec — protocol v2 required.
+ *     --worker-deadline <s>  kill + re-dispatch a worker with no
+ *                            protocol activity for s seconds
  *
  *   aitax_cli sweep-serve [--seed N] [--jobs N] [--faults]
  *             [--engine fast|reference] [--exit-after N]
+ *             [--protocol v1|v2] [--listen PORT] [--bind ADDR]
+ *             [--accept N] [--port-file FILE]
  *                                     worker: serve scenario ranges
- *                                     over the stdin/stdout protocol
+ *                                     over stdin/stdout, or (--listen)
+ *                                     over TCP, sessions served
+ *                                     sequentially in-process
+ *
+ *   aitax_cli serve [--listen PORT] [--bind ADDR] [--jobs N]
+ *             [--accept N] [--port-file FILE]
+ *                                     fleet worker daemon: accepts any
+ *                                     number of concurrent campaigns,
+ *                                     one forked session per
+ *                                     connection (per-campaign
+ *                                     isolation); corpora are resolved
+ *                                     from each campaign's spec
  */
 
 #include <cstdio>
@@ -85,6 +106,7 @@
 #include <fstream>
 
 #include "sweep/campaign.h"
+#include "sweep/serve.h"
 #include "sweep/snapshot_cache.h"
 #include "sweep/sweep_runner.h"
 #include "trace/chrome_trace.h"
@@ -338,9 +360,14 @@ campaignUsage()
                  "[--jobs N] [--seed N] [--chunk N] [--faults] "
                  "[--engine fast|reference] [--checkpoint FILE] "
                  "[--resume] [--out FILE] [--stats] [--gate EPS] "
-                 "[--stop-after-chunks N] [--kill-worker-after N]\n"
+                 "[--stop-after-chunks N] [--kill-worker-after N] "
+                 "[--workers host:port,...] [--worker-deadline SEC]\n"
                  "       aitax_cli sweep-serve [--seed N] [--jobs N] "
-                 "[--faults] [--engine fast|reference] [--exit-after N]\n");
+                 "[--faults] [--engine fast|reference] [--exit-after N] "
+                 "[--protocol v1|v2] [--listen PORT] [--bind ADDR] "
+                 "[--accept N] [--port-file FILE]\n"
+                 "       aitax_cli serve [--listen PORT] [--bind ADDR] "
+                 "[--jobs N] [--accept N] [--port-file FILE]\n");
     std::exit(2);
 }
 
@@ -360,7 +387,61 @@ fuzzScenarioFn(std::uint64_t master_seed, bool faults,
     };
 }
 
-/** Worker mode: serve scenario ranges over stdin/stdout. */
+/**
+ * Worker-side corpus addressing: resolve a campaign spec (the identity
+ * line, "corpus=fuzz seed=S ... faults=F engine=E") into the same
+ * ScenarioFn a local argv-configured worker would build. Keys other
+ * than corpus/seed/faults/engine (scenarios, chunk, ...) shape the
+ * coordinator's dispatch, not the per-index function, and are ignored.
+ */
+sweep::SpecResolver
+fuzzSpecResolver()
+{
+    return [](const std::string &spec,
+              std::string *error) -> sweep::ScenarioFn {
+        std::string corpus;
+        std::uint64_t seed = 2021;
+        bool faults = false;
+        sim::EngineMode engine = sim::EngineMode::Fast;
+        std::size_t pos = 0;
+        while (pos < spec.size()) {
+            std::size_t sp = spec.find(' ', pos);
+            if (sp == std::string::npos)
+                sp = spec.size();
+            const std::string tok = spec.substr(pos, sp - pos);
+            pos = sp + 1;
+            const std::size_t eq = tok.find('=');
+            if (eq == std::string::npos)
+                continue;
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            if (key == "corpus")
+                corpus = val;
+            else if (key == "seed")
+                seed = std::strtoull(val.c_str(), nullptr, 10);
+            else if (key == "faults")
+                faults = val != "0";
+            else if (key == "engine") {
+                if (val == "fast")
+                    engine = sim::EngineMode::Fast;
+                else if (val == "reference")
+                    engine = sim::EngineMode::Reference;
+                else {
+                    *error = "unknown engine \"" + val + "\"";
+                    return {};
+                }
+            }
+        }
+        if (corpus != "fuzz") {
+            *error = "this worker only serves corpus=fuzz (got \"" +
+                     corpus + "\")";
+            return {};
+        }
+        return fuzzScenarioFn(seed, faults, engine);
+    };
+}
+
+/** Worker mode: serve scenario ranges over stdin/stdout or TCP. */
 int
 sweepServeMain(int argc, char **argv)
 {
@@ -368,6 +449,10 @@ sweepServeMain(int argc, char **argv)
     bool faults = false;
     sim::EngineMode engine = sim::EngineMode::Fast;
     sweep::WorkerOptions opts;
+    int listen_port = -1;
+    std::string bind_addr = "127.0.0.1";
+    int accept_limit = -1;
+    std::string port_file;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -384,7 +469,23 @@ sweepServeMain(int argc, char **argv)
             faults = true;
         else if (arg == "--exit-after")
             opts.exitAfterRanges = std::atoi(next());
-        else if (arg == "--engine") {
+        else if (arg == "--listen")
+            listen_port = std::atoi(next());
+        else if (arg == "--bind")
+            bind_addr = next();
+        else if (arg == "--accept")
+            accept_limit = std::atoi(next());
+        else if (arg == "--port-file")
+            port_file = next();
+        else if (arg == "--protocol") {
+            const std::string which = next();
+            if (which == "v1")
+                opts.protocolVersion = 1;
+            else if (which == "v2")
+                opts.protocolVersion = 2;
+            else
+                campaignUsage();
+        } else if (arg == "--engine") {
             const std::string which = next();
             if (which == "fast")
                 engine = sim::EngineMode::Fast;
@@ -397,8 +498,52 @@ sweepServeMain(int argc, char **argv)
     }
     if (opts.jobs <= 0)
         opts.jobs = 1;
+    if (listen_port >= 0) {
+        sweep::ServeOptions so;
+        so.jobs = opts.jobs;
+        so.exitAfterRanges = opts.exitAfterRanges;
+        so.protocolVersion = opts.protocolVersion;
+        return sweep::serveTcpWorker(
+            bind_addr, listen_port, so,
+            fuzzScenarioFn(master_seed, faults, engine),
+            fuzzSpecResolver(), accept_limit, port_file);
+    }
     return sweep::runWorker(opts,
-                            fuzzScenarioFn(master_seed, faults, engine));
+                            fuzzScenarioFn(master_seed, faults, engine),
+                            fuzzSpecResolver());
+}
+
+/** Fleet worker daemon: `aitax_cli serve`. */
+int
+serveMain(int argc, char **argv)
+{
+    sweep::DaemonOptions opts;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                campaignUsage();
+            return argv[++i];
+        };
+        if (arg == "--listen")
+            opts.port = std::atoi(next());
+        else if (arg == "--bind")
+            opts.bindAddr = next();
+        else if (arg == "--jobs")
+            opts.jobs = std::atoi(next());
+        else if (arg == "--accept")
+            opts.acceptLimit = std::atoi(next());
+        else if (arg == "--port-file")
+            opts.portFile = next();
+        else
+            campaignUsage();
+    }
+    if (opts.jobs <= 0)
+        opts.jobs = 1;
+    if (opts.port < 0)
+        campaignUsage();
+    return sweep::runServeDaemon(opts, fuzzSpecResolver());
 }
 
 /** Coordinator mode: shard the corpus across worker processes. */
@@ -452,6 +597,22 @@ campaignMain(int argc, char **argv)
             cfg.stopAfterChunks = std::atoi(next());
         else if (arg == "--kill-worker-after")
             cfg.killWorkerAfterRanges = std::atoi(next());
+        else if (arg == "--workers") {
+            const std::string list = next();
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                if (comma > pos)
+                    cfg.workers.push_back(
+                        list.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+            if (cfg.workers.empty())
+                campaignUsage();
+        } else if (arg == "--worker-deadline")
+            cfg.workerDeadlineSeconds = std::atof(next());
         else
             campaignUsage();
     }
@@ -464,6 +625,9 @@ campaignMain(int argc, char **argv)
                    " chunk=" + std::to_string(cfg.chunk) +
                    " faults=" + (faults ? "1" : "0") +
                    " engine=" + engine;
+    // Workers resolve the corpus from the spec (protocol v2); keeping
+    // the argv flags too means a v1 worker over pipes still works.
+    cfg.corpusSpec = cfg.identity;
     cfg.workerCmd = {sweep::selfExecutablePath(argv[0]),
                      "sweep-serve",
                      "--seed",
@@ -488,14 +652,20 @@ campaignMain(int argc, char **argv)
 
     std::printf("campaign: %s\n", cfg.identity.c_str());
     std::printf("  chunks: %d total, %d run, %d resumed, "
-                "%d re-dispatched, %d workers lost\n",
+                "%d re-dispatched, %d workers lost (%d hung)\n",
                 sum.chunksTotal, sum.chunksRun, sum.chunksResumed,
-                sum.chunksRedispatched, sum.workersLost);
+                sum.chunksRedispatched, sum.workersLost,
+                sum.workersHung);
     std::printf("  throughput: %.0f events/sec "
-                "(%llu events in %.2f s, shards=%d jobs=%d)\n",
+                "(%llu events in %.2f s, transport=%s shards=%d "
+                "jobs=%d)\n",
                 sum.eventsPerSec,
                 static_cast<unsigned long long>(sum.aggregate.events),
-                sum.wallSeconds, cfg.shards, jobs);
+                sum.wallSeconds, sum.transport.c_str(),
+                cfg.workers.empty()
+                    ? cfg.shards
+                    : static_cast<int>(cfg.workers.size()),
+                jobs);
     std::printf("  latency: %s\n",
                 sum.aggregate.latencyMs.summary().c_str());
     if (stats) {
@@ -522,7 +692,10 @@ campaignMain(int argc, char **argv)
             std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
             return 1;
         }
-        out << sweep::campaignReportJson(cfg.identity, sum.aggregate);
+        // The transport line is observability; strip it (grep -v) when
+        // byte-comparing reports across transports.
+        out << sweep::campaignReportJson(cfg.identity, sum.aggregate,
+                                         sum.transport);
         std::printf("campaign: wrote %s\n", out_path.c_str());
     }
 
@@ -545,6 +718,8 @@ main(int argc, char **argv)
         return verifyMain(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "sweep-serve") == 0)
         return sweepServeMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+        return serveMain(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
         return campaignMain(argc, argv);
 
